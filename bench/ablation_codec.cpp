@@ -1,0 +1,58 @@
+// Ablation: codec storage-format choices the paper leaves implicit.
+//
+// (a) coefficient width: storing ⟨m, q⟩ as full float32 vs truncated
+//     (bfloat-style) 24/16 bits trades reconstruction error for segment
+//     size; (b) length-field width caps |M_i| and bounds the worst case;
+//     (c) strict vs weak criterion is the δ=0 column. Measured on the
+//     LeNet-5 dense_1 stream.
+#include "bench_util.hpp"
+
+#include "core/codec.hpp"
+#include "eval/layer_selection.hpp"
+#include "nn/models.hpp"
+
+int main(int, char** argv) {
+  using namespace nocw;
+  const std::string dir = bench::output_dir(argv[0]);
+
+  nn::Model model = nn::make_lenet5();
+  const int selected = eval::select_layer(model);
+  const auto kernel = model.graph.layer(selected).kernel();
+
+  Table coef({"delta", "coef bits", "CR", "MSE", "mean |M_i|"});
+  for (double delta : {5.0, 15.0}) {
+    for (unsigned bits : {32u, 24u, 16u}) {
+      core::CodecConfig cfg;
+      cfg.delta_percent = delta;
+      cfg.coef_bits = bits;
+      const auto layer = core::compress(kernel, cfg);
+      coef.add_row({fmt_pct(delta / 100.0), std::to_string(bits),
+                    fmt_fixed(layer.compression_ratio(), 2),
+                    fmt_sci(layer.mse(), 2),
+                    fmt_fixed(layer.mean_segment_length(), 2)});
+    }
+  }
+  bench::emit("Ablation: coefficient width (LeNet-5 dense_1)", coef, dir,
+              "ablation_codec_coef");
+
+  Table len({"delta", "length bits", "max |M_i|", "CR", "MSE"});
+  for (double delta : {15.0}) {
+    for (unsigned bits : {4u, 6u, 8u, 10u}) {
+      core::CodecConfig cfg;
+      cfg.delta_percent = delta;
+      cfg.length_bits = bits;
+      const auto layer = core::compress(kernel, cfg);
+      std::uint32_t max_len = 0;
+      for (const auto& s : layer.segments) {
+        max_len = std::max(max_len, s.length);
+      }
+      len.add_row({fmt_pct(delta / 100.0), std::to_string(bits),
+                   std::to_string(max_len),
+                   fmt_fixed(layer.compression_ratio(), 2),
+                   fmt_sci(layer.mse(), 2)});
+    }
+  }
+  bench::emit("Ablation: length-field width (LeNet-5 dense_1, delta=15%)",
+              len, dir, "ablation_codec_len");
+  return 0;
+}

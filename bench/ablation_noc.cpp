@@ -1,0 +1,104 @@
+// Ablation: how the compression win depends on the interconnect
+// configuration. Not a paper figure — DESIGN.md calls these design choices
+// out; this bench quantifies them. Sweeps mesh size, buffer depth, packet
+// size and routing order, reporting the LeNet-5 inference latency/energy
+// with and without compressing dense_1 at δ=15%.
+#include "bench_util.hpp"
+
+#include "accel/simulator.hpp"
+#include "core/codec.hpp"
+#include "eval/layer_selection.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace nocw;
+
+struct Variant {
+  std::string name;
+  accel::AccelConfig cfg;
+};
+
+}  // namespace
+
+int main(int, char** argv) {
+  const std::string dir = bench::output_dir(argv[0]);
+
+  nn::Model model = nn::make_lenet5();
+  const accel::ModelSummary summary = accel::summarize(model);
+
+  // Build the δ=15% plan once.
+  const int selected = eval::select_layer(model);
+  core::CodecConfig ccfg;
+  ccfg.delta_percent = 15.0;
+  const core::CompressedLayer compressed =
+      core::compress(model.graph.layer(selected).kernel(), ccfg);
+  accel::CompressionPlan plan;
+  plan[model.graph.layer(selected).name()] = accel::LayerCompression{
+      compressed.compressed_bits(), compressed.original_count};
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"baseline 4x4 / depth 4 / pkt 32 / XY", {}};
+    variants.push_back(v);
+  }
+  for (int depth : {2, 8}) {
+    Variant v{"buffer depth " + std::to_string(depth), {}};
+    v.cfg.noc.buffer_depth = depth;
+    variants.push_back(v);
+  }
+  for (std::uint32_t pkt : {8u, 128u}) {
+    Variant v{"packet " + std::to_string(pkt) + " flits", {}};
+    v.cfg.packet_flits = pkt;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"YX routing", {}};
+    v.cfg.noc.routing = noc::Routing::YX;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"6x6 mesh (32 PEs)", {}};
+    v.cfg.noc.width = 6;
+    v.cfg.noc.height = 6;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"128-bit links", {}};
+    v.cfg.noc.link_width_bits = 128;
+    variants.push_back(v);
+  }
+  for (int vcs : {2, 4}) {
+    Variant v{std::to_string(vcs) + " virtual channels", {}};
+    v.cfg.noc.virtual_channels = vcs;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"overlapped phases (double buffering)", {}};
+    v.cfg.overlap_phases = true;
+    variants.push_back(v);
+  }
+
+  Table t({"Variant", "Latency (cyc)", "Latency x-15 (cyc)", "Latency gain",
+           "Energy (uJ)", "Energy x-15 (uJ)", "Energy gain"});
+  for (auto& v : variants) {
+    v.cfg.noc_window_flits = bench::noc_window();
+    accel::AcceleratorSim sim(v.cfg);
+    const accel::InferenceResult base = sim.simulate(summary);
+    const accel::InferenceResult comp = sim.simulate(summary, &plan);
+    const double base_lat = v.cfg.overlap_phases
+                                ? base.latency.overlap_total
+                                : base.latency.total();
+    const double comp_lat = v.cfg.overlap_phases
+                                ? comp.latency.overlap_total
+                                : comp.latency.total();
+    t.add_row({v.name, fmt_fixed(base_lat, 0), fmt_fixed(comp_lat, 0),
+               fmt_pct(1.0 - comp_lat / base_lat),
+               fmt_fixed(base.energy.total() * 1e6, 2),
+               fmt_fixed(comp.energy.total() * 1e6, 2),
+               fmt_pct(1.0 - comp.energy.total() / base.energy.total())});
+  }
+  bench::emit("Ablation: interconnect configuration vs compression win", t,
+              dir, "ablation_noc");
+  return 0;
+}

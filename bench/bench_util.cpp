@@ -1,0 +1,62 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/serialize.hpp"
+#include "nn/train.hpp"
+
+namespace nocw::bench {
+
+std::string output_dir(const char* argv0) {
+  std::string path(argv0 ? argv0 : ".");
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return path.substr(0, slash);
+}
+
+void emit(const std::string& title, const Table& table,
+          const std::string& dir, const std::string& slug) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.to_string().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/results", ec);
+  const std::string csv_path = dir + "/results/" + slug + ".csv";
+  if (table.write_csv(csv_path)) {
+    std::printf("(csv: %s)\n", csv_path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+TrainedLenet trained_lenet(const std::string& cache_dir) {
+  TrainedLenet out{nn::make_lenet5(), nn::Dataset{}, 0.0};
+  const int test_n = 400;
+  out.test = nn::make_digits(test_n, /*seed=*/90001);
+
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir + "/results", ec);
+  const std::string cache = cache_dir + "/results/lenet5_trained.weights";
+  if (!nn::load_weights(out.model.graph, cache)) {
+    const int train_n = static_cast<int>(env_int("REPRO_TRAIN", 1200));
+    const int epochs = static_cast<int>(env_int("REPRO_EPOCHS", 5));
+    std::printf("[bench] training LeNet-5 (%d samples, %d epochs)...\n",
+                train_n, epochs);
+    std::fflush(stdout);
+    const nn::Dataset train = nn::make_digits(train_n, /*seed=*/90002);
+    nn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    cfg.learning_rate = 0.08F;
+    const nn::TrainStats stats =
+        nn::train_classifier(out.model.graph, train, cfg);
+    std::printf("[bench] final train accuracy %.3f, loss %.4f\n",
+                stats.epoch_accuracy.back(), stats.epoch_loss.back());
+    (void)nn::save_weights(out.model.graph, cache);
+  }
+  out.test_accuracy = nn::evaluate_top1(out.model.graph, out.test);
+  std::printf("[bench] LeNet-5 test top-1 accuracy: %.4f\n",
+              out.test_accuracy);
+  std::fflush(stdout);
+  return out;
+}
+
+}  // namespace nocw::bench

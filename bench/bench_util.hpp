@@ -1,0 +1,47 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench prints its table(s) to stdout and mirrors them to
+// <exe-dir>/<name>.csv. Scale knobs come from the environment:
+//   REPRO_PROBES  probe inputs per model for accuracy evaluation (default 4)
+//   REPRO_TRAIN   LeNet-5 training samples (default 1200)
+//   REPRO_EPOCHS  LeNet-5 training epochs (default 5)
+//   REPRO_WINDOW  NoC sampling window in flits (default 24000)
+// Defaults finish the full bench suite in minutes on one laptop core.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "nn/digits.hpp"
+#include "nn/models.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace nocw::bench {
+
+inline int probe_count() {
+  return static_cast<int>(env_int("REPRO_PROBES", 6));
+}
+
+inline std::uint64_t noc_window() {
+  return static_cast<std::uint64_t>(env_int("REPRO_WINDOW", 24000));
+}
+
+/// Directory of the running executable (argv[0] based), for CSV output.
+std::string output_dir(const char* argv0);
+
+/// Print a titled table and write it to `<dir>/<slug>.csv`.
+void emit(const std::string& title, const Table& table,
+          const std::string& dir, const std::string& slug);
+
+/// LeNet-5 trained on the procedural digit set. Trains once per build tree:
+/// the checkpoint is cached at `<dir>/lenet5_trained.weights` and reloaded
+/// by every subsequent bench. Returns the model and its held-out test set.
+struct TrainedLenet {
+  nn::Model model;
+  nn::Dataset test;
+  double test_accuracy = 0.0;
+};
+TrainedLenet trained_lenet(const std::string& cache_dir);
+
+}  // namespace nocw::bench

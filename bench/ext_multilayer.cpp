@@ -1,0 +1,74 @@
+// Extension: multi-layer compression (the paper's Sec. V future work).
+//
+// Greedy per-layer δ selection under an accuracy constraint, compared with
+// the paper's single-layer policy at matched accuracy, on the trained
+// LeNet-5 (real top-1) and on MobileNet (top-5 retention) — the model the
+// paper singles out as benefitting most from compressing more than one
+// layer, since its selected layer holds only ~24% of the weights.
+#include "bench_util.hpp"
+
+#include "accel/simulator.hpp"
+#include "eval/flow.hpp"
+#include "eval/multi_layer.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace nocw;
+
+void report(Table& t, const std::string& model_name, nn::Model& model,
+            const eval::MultiLayerResult& r) {
+  const accel::ModelSummary summary = accel::summarize(model);
+  accel::AccelConfig acfg;
+  acfg.noc_window_flits = bench::noc_window();
+  accel::AcceleratorSim sim(acfg);
+  const accel::InferenceResult base = sim.simulate(summary);
+  const accel::CompressionPlan plan = r.to_accel_plan();
+  const accel::InferenceResult comp = sim.simulate(summary, &plan);
+  t.add_row({model_name, std::to_string(r.plan.size()),
+             fmt_fixed(r.weighted_cr, 2), fmt_fixed(r.accuracy, 4),
+             fmt_pct(1.0 - comp.latency.total() / base.latency.total()),
+             fmt_pct(1.0 - comp.energy.total() / base.energy.total())});
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  const std::string dir = bench::output_dir(argv[0]);
+
+  Table t({"Model", "Layers compressed", "Weighted CR", "Accuracy",
+           "Latency reduction", "Energy reduction"});
+
+  {
+    bench::TrainedLenet lenet = bench::trained_lenet(dir);
+    eval::MultiLayerConfig cfg;
+    cfg.topk = 1;
+    cfg.min_accuracy = lenet.test_accuracy - 0.05;  // <=5 points drop
+    const nn::Dataset test = nn::make_digits(200, 90003);
+    const eval::MultiLayerResult r =
+        eval::optimize_multi_layer(lenet.model, &test, cfg);
+    report(t, "LeNet-5 (multi)", lenet.model, r);
+    std::printf("  LeNet-5 plan:");
+    for (const auto& e : r.plan) {
+      std::printf(" %s@%.0f%%(CR %.1f)", e.layer.c_str(), e.delta_percent,
+                  e.cr);
+    }
+    std::printf("\n");
+  }
+  {
+    nn::Model m = nn::make_mobilenet();
+    eval::MultiLayerConfig cfg;
+    cfg.topk = 5;
+    cfg.probes = bench::probe_count();
+    cfg.min_accuracy = 0.95;
+    cfg.delta_steps = {2, 4, 8};
+    const eval::MultiLayerResult r =
+        eval::optimize_multi_layer(m, nullptr, cfg);
+    report(t, "MobileNet (multi)", m, r);
+    std::printf("  MobileNet plan: %zu layers compressed\n", r.plan.size());
+  }
+
+  bench::emit("Extension: multi-layer compression under accuracy constraint",
+              t, dir, "ext_multilayer");
+  return 0;
+}

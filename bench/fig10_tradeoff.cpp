@@ -1,0 +1,129 @@
+// Fig. 10 (a)-(l): accuracy vs inference latency and accuracy vs inference
+// energy for every model, sweeping the tolerance threshold δ. Latency and
+// energy are normalized to the original (uncompressed) model and broken
+// down into the paper's components. LeNet-5 reports genuine top-1 accuracy
+// of the in-repo-trained network; the ImageNet-scale models report top-5
+// agreement with their own uncompressed outputs (DESIGN.md §4).
+#include "bench_util.hpp"
+
+#include "accel/simulator.hpp"
+#include "eval/flow.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace nocw;
+
+const std::vector<double>& delta_grid(const std::string& model) {
+  static const std::vector<double> kWide{0, 5, 10, 15, 20};
+  static const std::vector<double> kNarrow{0, 2, 4, 6, 8};
+  if (model == "VGG-16" || model == "MobileNet" || model == "ResNet50") {
+    return kNarrow;
+  }
+  return kWide;
+}
+
+struct SeriesPoint {
+  std::string label;
+  double accuracy;
+  accel::LatencyBreakdown latency;
+  power::EnergyBreakdown energy;
+};
+
+void emit_model(const std::string& dir, const nn::Model& model,
+                const std::vector<SeriesPoint>& series) {
+  const double lat0 = series.front().latency.total();
+  const double e0 = series.front().energy.total();
+
+  Table lat({"Config", "Accuracy", "Memory", "Communication", "Computation",
+             "Total latency"});
+  for (const auto& p : series) {
+    lat.add_row({p.label, fmt_fixed(p.accuracy, 4),
+                 fmt_fixed(p.latency.memory_cycles / lat0, 3),
+                 fmt_fixed(p.latency.comm_cycles / lat0, 3),
+                 fmt_fixed(p.latency.compute_cycles / lat0, 3),
+                 fmt_fixed(p.latency.total() / lat0, 3)});
+  }
+  bench::emit("Fig. 10: " + model.name + " accuracy vs normalized latency",
+              lat, dir, "fig10_" + model.name + "_latency");
+
+  Table en({"Config", "Accuracy", "Comm dyn", "Comm leak", "Comp dyn",
+            "Comp leak", "LMem dyn", "LMem leak", "MMem dyn", "MMem leak",
+            "Total energy"});
+  for (const auto& p : series) {
+    en.add_row({p.label, fmt_fixed(p.accuracy, 4),
+                fmt_fixed(p.energy.communication.dynamic_j / e0, 3),
+                fmt_fixed(p.energy.communication.leakage_j / e0, 3),
+                fmt_fixed(p.energy.computation.dynamic_j / e0, 3),
+                fmt_fixed(p.energy.computation.leakage_j / e0, 3),
+                fmt_fixed(p.energy.local_memory.dynamic_j / e0, 3),
+                fmt_fixed(p.energy.local_memory.leakage_j / e0, 3),
+                fmt_fixed(p.energy.main_memory.dynamic_j / e0, 3),
+                fmt_fixed(p.energy.main_memory.leakage_j / e0, 3),
+                fmt_fixed(p.energy.total() / e0, 3)});
+  }
+  bench::emit("Fig. 10: " + model.name + " accuracy vs normalized energy",
+              en, dir, "fig10_" + model.name + "_energy");
+}
+
+void run_model(const std::string& dir, nn::Model& model,
+               eval::DeltaEvaluator& ev) {
+  const accel::ModelSummary summary = accel::summarize(model);
+  accel::AccelConfig cfg;
+  cfg.noc_window_flits = bench::noc_window();
+  accel::AcceleratorSim sim(cfg);
+  const accel::InferenceResult base = sim.simulate(summary);
+
+  std::vector<SeriesPoint> series;
+  series.push_back(SeriesPoint{model.name, ev.baseline_accuracy(),
+                               base.latency, base.energy});
+  for (double delta : delta_grid(model.name)) {
+    const eval::DeltaPoint p = ev.evaluate(delta);
+    accel::CompressionPlan plan;
+    plan[ev.selected_layer()] = p.compression;
+    const accel::InferenceResult comp = sim.simulate(summary, &plan);
+    series.push_back(SeriesPoint{"x-" + fmt_fixed(delta, 0), p.accuracy,
+                                 comp.latency, comp.energy});
+  }
+  emit_model(dir, model, series);
+
+  const auto& last = series.back();
+  const double lat_red = 1.0 - last.latency.total() /
+                                   series.front().latency.total();
+  const double e_red =
+      1.0 - last.energy.total() / series.front().energy.total();
+  std::printf(
+      "[%s] at delta=%s: latency -%s, energy -%s, accuracy %.4f "
+      "(baseline %.4f)\n",
+      model.name.c_str(), last.label.c_str(), fmt_pct(lat_red).c_str(),
+      fmt_pct(e_red).c_str(), last.accuracy, series.front().accuracy);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  const std::string dir = bench::output_dir(argv[0]);
+
+  {
+    // LeNet-5: genuinely trained; top-1 against held-out digits.
+    bench::TrainedLenet lenet = bench::trained_lenet(dir);
+    eval::EvalConfig cfg;
+    cfg.topk = 1;
+    eval::DeltaEvaluator ev(lenet.model, lenet.test, cfg);
+    run_model(dir, lenet.model, ev);
+  }
+  for (const auto& name : nn::model_names()) {
+    if (name == "LeNet-5") continue;
+    nn::Model m = nn::make_model(name, /*seed=*/1);
+    eval::EvalConfig cfg;
+    cfg.topk = 5;
+    cfg.probes = bench::probe_count();
+    std::printf("[%s] computing probe activations (%d probes)...\n",
+                name.c_str(), cfg.probes);
+    std::fflush(stdout);
+    eval::DeltaEvaluator ev(m, cfg);
+    run_model(dir, m, ev);
+  }
+  return 0;
+}

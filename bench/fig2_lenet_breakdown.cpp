@@ -1,0 +1,63 @@
+// Fig. 2: normalized latency and energy breakdown, layer by layer, for a
+// LeNet-5 inference on the 4x4 NoC accelerator. The paper's observation:
+// main memory dominates latency; communication + main memory dominate
+// energy.
+#include "bench_util.hpp"
+
+#include "accel/simulator.hpp"
+#include "nn/models.hpp"
+
+int main(int, char** argv) {
+  using namespace nocw;
+  const std::string dir = bench::output_dir(argv[0]);
+
+  const nn::Model m = nn::make_lenet5();
+  const accel::ModelSummary summary = accel::summarize(m);
+  accel::AccelConfig cfg;
+  cfg.noc_window_flits = bench::noc_window();
+  accel::AcceleratorSim sim(cfg);
+  const accel::InferenceResult r = sim.simulate(summary);
+
+  const double total_lat = r.latency.total();
+  Table lat({"Layer", "Memory", "Communication", "Computation",
+             "Layer share"});
+  for (const auto& l : r.layers) {
+    lat.add_row({l.name, fmt_pct(l.latency.memory_cycles / total_lat, 1),
+                 fmt_pct(l.latency.comm_cycles / total_lat, 1),
+                 fmt_pct(l.latency.compute_cycles / total_lat, 1),
+                 fmt_pct(l.latency.total() / total_lat, 1)});
+  }
+  lat.add_row({"TOTAL (cycles)", fmt_fixed(r.latency.memory_cycles, 0),
+               fmt_fixed(r.latency.comm_cycles, 0),
+               fmt_fixed(r.latency.compute_cycles, 0),
+               fmt_fixed(total_lat, 0)});
+  bench::emit("Fig. 2 (left): normalized latency breakdown per layer", lat,
+              dir, "fig2_latency");
+
+  const double total_e = r.energy.total();
+  Table en({"Layer", "Comm dyn", "Comm leak", "Comp dyn", "Comp leak",
+            "LocalMem dyn", "LocalMem leak", "MainMem dyn", "MainMem leak"});
+  for (const auto& l : r.layers) {
+    en.add_row({l.name,
+                fmt_pct(l.energy.communication.dynamic_j / total_e, 2),
+                fmt_pct(l.energy.communication.leakage_j / total_e, 2),
+                fmt_pct(l.energy.computation.dynamic_j / total_e, 2),
+                fmt_pct(l.energy.computation.leakage_j / total_e, 2),
+                fmt_pct(l.energy.local_memory.dynamic_j / total_e, 2),
+                fmt_pct(l.energy.local_memory.leakage_j / total_e, 2),
+                fmt_pct(l.energy.main_memory.dynamic_j / total_e, 2),
+                fmt_pct(l.energy.main_memory.leakage_j / total_e, 2)});
+  }
+  en.add_row({"TOTAL (uJ)",
+              fmt_fixed(r.energy.communication.dynamic_j * 1e6, 3),
+              fmt_fixed(r.energy.communication.leakage_j * 1e6, 3),
+              fmt_fixed(r.energy.computation.dynamic_j * 1e6, 3),
+              fmt_fixed(r.energy.computation.leakage_j * 1e6, 3),
+              fmt_fixed(r.energy.local_memory.dynamic_j * 1e6, 3),
+              fmt_fixed(r.energy.local_memory.leakage_j * 1e6, 3),
+              fmt_fixed(r.energy.main_memory.dynamic_j * 1e6, 3),
+              fmt_fixed(r.energy.main_memory.leakage_j * 1e6, 3)});
+  bench::emit("Fig. 2 (right): normalized energy breakdown per layer", en,
+              dir, "fig2_energy");
+  return 0;
+}

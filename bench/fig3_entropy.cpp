@@ -1,0 +1,31 @@
+// Fig. 3: byte entropy of random data, a text file, and the weight streams
+// of the six CNN models — the motivation for a custom lossy codec (CNN
+// weights are statistically indistinguishable from random bytes).
+#include "bench_util.hpp"
+
+#include "core/entropy.hpp"
+#include "nn/models.hpp"
+#include "util/stats.hpp"
+
+int main(int, char** argv) {
+  using namespace nocw;
+  const std::string dir = bench::output_dir(argv[0]);
+
+  Table t({"Data set", "Entropy (bits/byte)"});
+  t.add_row({"Random data", fmt_fixed(core::random_data_entropy(1 << 20, 7), 3)});
+  t.add_row({"Text file", fmt_fixed(core::text_entropy(1 << 17), 3)});
+
+  for (const auto& name : nn::model_names()) {
+    nn::Model m = nn::make_model(name, /*seed=*/1);
+    // Byte histogram over the whole serialized weight stream.
+    std::vector<std::uint64_t> hist(256, 0);
+    for (int idx : m.graph.parameterized_nodes()) {
+      const auto h = byte_histogram(m.graph.layer(idx).kernel());
+      for (std::size_t b = 0; b < hist.size(); ++b) hist[b] += h[b];
+    }
+    t.add_row({name + " weights", fmt_fixed(shannon_entropy_hist(hist), 3)});
+  }
+  bench::emit("Fig. 3: entropy of random data, text, and CNN weights", t,
+              dir, "fig3_entropy");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Engineering micro-benchmarks (google-benchmark): codec throughput,
+// decompressor-unit rate, router/network cycle rate, GEMM, quantization.
+// Not a paper figure — these guard the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/decompressor_unit.hpp"
+#include "nn/gemm.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "quant/affine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nocw;
+
+std::vector<float> weights(std::size_t n, double stddev = 0.05) {
+  Xoshiro256pp rng(42);
+  std::vector<float> w(n);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, stddev));
+  return w;
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto w = weights(static_cast<std::size_t>(state.range(0)));
+  core::CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compress(w, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Compress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Decompress(benchmark::State& state) {
+  const auto w = weights(static_cast<std::size_t>(state.range(0)));
+  core::CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  const auto layer = core::compress(w, cfg);
+  std::vector<float> out(w.size());
+  for (auto _ : state) {
+    core::decompress(layer, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Decompress)->Arg(1 << 18);
+
+void BM_DecompressorUnit(benchmark::State& state) {
+  const auto w = weights(1 << 14);
+  core::CodecConfig cfg;
+  cfg.delta_percent = 15.0;
+  const auto layer = core::compress(w, cfg);
+  for (auto _ : state) {
+    core::DecompressorUnit du;
+    float sink = 0.0F;
+    for (const auto& seg : layer.segments) {
+      du.load(seg);
+      while (du.busy()) {
+        if (auto v = du.tick()) sink += *v;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+BENCHMARK(BM_DecompressorUnit);
+
+void BM_Serialize(benchmark::State& state) {
+  const auto w = weights(1 << 16);
+  core::CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  const auto layer = core::compress(w, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::serialize(layer));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_Serialize);
+
+void BM_Quantize(benchmark::State& state) {
+  const auto w = weights(1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::quantize_tensor(w));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_Quantize);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = weights(n * n, 1.0);
+  const auto b = weights(n * n, 1.0);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256);
+
+void BM_NocUniformTraffic(benchmark::State& state) {
+  for (auto _ : state) {
+    noc::Network net{noc::NocConfig{}};
+    net.add_packets(
+        noc::uniform_random_traffic(net.config(), 500, 4, 11));
+    net.run_until_drained(1000000);
+    benchmark::DoNotOptimize(net.stats().cycles);
+  }
+}
+BENCHMARK(BM_NocUniformTraffic);
+
+void BM_NocScatterStream(benchmark::State& state) {
+  noc::NocConfig cfg;
+  const auto pes = cfg.pe_nodes();
+  for (auto _ : state) {
+    noc::Network net{cfg};
+    for (int mi : cfg.memory_interface_nodes()) {
+      net.add_packets(noc::scatter_flow(mi, pes, 3000, 32));
+    }
+    net.run_until_drained(1000000);
+    benchmark::DoNotOptimize(net.stats().throughput());
+  }
+}
+BENCHMARK(BM_NocScatterStream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Table I: fraction of the parameters accounted by the layer selected for
+// compression, for each network model.
+#include "bench_util.hpp"
+
+#include "eval/layer_selection.hpp"
+#include "nn/models.hpp"
+
+int main(int, char** argv) {
+  using namespace nocw;
+  const std::string dir = bench::output_dir(argv[0]);
+
+  Table t({"Network Model", "no. params x1000", "Layer name", "Type",
+           "Fraction"});
+  for (const auto& name : nn::model_names()) {
+    const nn::Model m = nn::make_model(name, /*seed=*/1);
+    const int idx = eval::select_layer(m);
+    const nn::Layer& layer = m.graph.layer(idx);
+    const double fraction =
+        static_cast<double>(layer.param_count()) /
+        static_cast<double>(m.graph.total_params());
+    const char* type =
+        layer.type() == nn::LayerType::Dense ? "FC" : "CONV";
+    t.add_row({name,
+               fmt_fixed(static_cast<double>(m.graph.total_params()) / 1000.0,
+                         0),
+               layer.name(), type, fmt_pct(fraction)});
+  }
+  bench::emit("Table I: layers selected for compression", t, dir,
+              "tab1_layer_selection");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table III: stacking the proposed compression on top of TFLite-style int8
+// quantization, for LeNet-5 (trained, top-1), AlexNet and VGG-16 (top-5
+// agreement). Reports the QT-alone weighted CR / accuracy and the stacked
+// values per δ. As in the paper's own VGG row, small δ can dip below the
+// QT-alone ratio (segment overhead on 8-bit codes); moderate δ wins.
+#include "bench_util.hpp"
+
+#include "eval/quantized_flow.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace nocw;
+
+void run(Table& t, const std::string& name, eval::QuantizedDeltaEvaluator& ev,
+         const std::vector<double>& grid) {
+  t.add_row({name, "QT alone", fmt_fixed(ev.baseline().weighted_cr, 2),
+             fmt_fixed(ev.baseline().accuracy, 4)});
+  for (double delta : grid) {
+    const eval::QuantizedDeltaPoint p = ev.evaluate(delta);
+    t.add_row({name, fmt_pct(delta / 100.0), fmt_fixed(p.weighted_cr, 2),
+               fmt_fixed(p.accuracy, 4)});
+  }
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  const std::string dir = bench::output_dir(argv[0]);
+  Table t({"Network Model", "delta", "Weighted CR", "Top-k Accuracy"});
+
+  {
+    bench::TrainedLenet lenet = bench::trained_lenet(dir);
+    eval::QuantizedEvalConfig cfg;
+    cfg.topk = 1;
+    eval::QuantizedDeltaEvaluator ev(lenet.model, lenet.test, cfg);
+    run(t, "LeNet-5", ev, {0, 5, 10, 15, 20});
+  }
+  {
+    nn::Model m = nn::make_alexnet();
+    eval::QuantizedEvalConfig cfg;
+    cfg.probes = bench::probe_count();
+    eval::QuantizedDeltaEvaluator ev(m, cfg);
+    run(t, "AlexNet", ev, {0, 5, 10, 15, 20});
+  }
+  {
+    nn::Model m = nn::make_vgg16();
+    eval::QuantizedEvalConfig cfg;
+    cfg.probes = bench::probe_count();
+    std::printf("[VGG-16] two full-resolution probe passes, be patient...\n");
+    std::fflush(stdout);
+    eval::QuantizedDeltaEvaluator ev(m, cfg);
+    run(t, "VGG-16", ev, {0, 5, 7, 8, 10});
+  }
+
+  bench::emit("Table III: quantization + proposed compression", t, dir,
+              "tab3_quantized");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: compress a weight stream, inspect the trade-off, decompress.
+//
+//   $ ./quickstart
+//
+// Walks through the core API in five steps: generate a realistic weight
+// succession, sweep the tolerance threshold δ, inspect the storage format,
+// verify the hardware decompressor agrees with the software path, and show
+// the serialized bitstream round-trip.
+#include <cstdio>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/decompressor_unit.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace nocw;
+
+  // 1. A synthetic layer: 100k Laplacian-distributed weights, the shape
+  //    trained CNN layers exhibit (peaked at zero, heavy tails).
+  Xoshiro256pp rng(7);
+  std::vector<float> weights(100000);
+  for (auto& w : weights) {
+    const double u = rng.uniform() - 0.5;
+    w = static_cast<float>((u < 0 ? 1 : -1) * 0.05 *
+                           std::log(1.0 - 2.0 * std::abs(u)));
+  }
+  std::printf("layer: %zu weights, range %.4f\n", weights.size(),
+              value_range(weights));
+
+  // 2. Sweep the tolerance threshold δ (percent of the weight range).
+  std::printf("\n%6s %8s %10s %12s\n", "delta", "CR", "MSE", "mean |M_i|");
+  for (double delta : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    core::CodecConfig cfg;
+    cfg.delta_percent = delta;
+    const core::CompressedLayer layer = core::compress(weights, cfg);
+    std::printf("%5.0f%% %8.2f %10.2e %12.2f\n", delta,
+                layer.compression_ratio(), layer.mse(),
+                layer.mean_segment_length());
+  }
+
+  // 3. Pick δ = 10% and look at what is actually stored.
+  core::CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  const core::CompressedLayer layer = core::compress(weights, cfg);
+  std::printf("\nat delta=10%%: %zu segments, first three:\n",
+              layer.segments.size());
+  for (std::size_t i = 0; i < 3 && i < layer.segments.size(); ++i) {
+    const auto& s = layer.segments[i];
+    std::printf("  <m=%+.5f, q=%+.5f, len=%u>\n", s.m, s.q, s.length);
+  }
+
+  // 4. The per-PE hardware decompressor (Fig. 6 of the paper) reconstructs
+  //    the same stream, one weight per clock, multiplier-free.
+  core::DecompressorUnit du;
+  std::vector<float> hw;
+  hw.reserve(weights.size());
+  for (const auto& seg : layer.segments) {
+    du.load(seg);
+    while (du.busy()) {
+      if (auto w = du.tick()) hw.push_back(*w);
+    }
+  }
+  const std::vector<float> sw = core::decompress(layer);
+  std::printf("\nhardware decompressor: %llu weights in %llu cycles, "
+              "bit-identical to software: %s\n",
+              static_cast<unsigned long long>(du.emitted()),
+              static_cast<unsigned long long>(du.cycles()),
+              hw == sw ? "yes" : "NO");
+
+  // 5. Serialize to the bit-packed main-memory format and back.
+  const auto bytes = core::serialize(layer);
+  const auto back = core::deserialize(bytes);
+  std::printf("serialized: %zu bytes (%.2fx smaller than %zu raw bytes), "
+              "round-trip ok: %s\n",
+              bytes.size(),
+              static_cast<double>(weights.size() * 4) / bytes.size(),
+              weights.size() * 4,
+              core::decompress(back) == sw ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// NoC-based CNN accelerator simulator (paper Fig. 7 reference architecture).
+//
+// Execution model per traffic-bearing layer, following the paper's Fig. 1:
+//   (1) the four corner memory interfaces fetch weights (possibly in the
+//       compressed ⟨m,q,len⟩ format) and the input feature map from main
+//       memory;
+//   (2) the NoC scatters them to the 12 PEs (cycle-accurate wormhole
+//       simulation — window-sampled for very large layers, then scaled,
+//       since the traffic is steady-state streaming);
+//   (3) the PEs compute (8 vector-MAC lanes x 8-way dot product = 64
+//       MACs/cycle each), decompressing weights on the fly at one weight per
+//       cycle per decompressor (Fig. 6), which never stalls the stream;
+//   (4) the output feature map is gathered back and written to main memory.
+// The reported layer latency is the stacked sum of the memory,
+// communication and computation components — the same decomposition the
+// paper's Fig. 2 / Fig. 10 breakdowns use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/summary.hpp"
+#include "noc/config.hpp"
+#include "noc/stats.hpp"
+#include "power/energy_model.hpp"
+
+namespace nocw::accel {
+
+struct AccelConfig {
+  noc::NocConfig noc;
+  int macs_per_pe_per_cycle = 64;     ///< 8 lanes x 8-way dot product
+  int pe_local_memory_bytes = 8192;   ///< 8 KB per PE
+  int dram_words_per_cycle_per_mi = 1;  ///< 64-bit words per cycle per MI
+  double dram_efficiency = 0.7;       ///< sustained/peak bandwidth (row misses)
+  int dram_latency_cycles = 100;      ///< first-access latency per layer
+  std::uint32_t packet_flits = 32;    ///< wormhole packet size
+  int bits_per_weight = 32;
+  int bits_per_activation = 32;
+  /// NoC sampling window: layers whose phase traffic exceeds this many flits
+  /// are simulated for a window and scaled (streaming steady state).
+  std::uint64_t noc_window_flits = 24000;
+  std::uint64_t max_phase_cycles = 8000000;  ///< deadlock guard
+  /// Phase timing model. The paper's stacked breakdowns correspond to the
+  /// serialized model (layer latency = memory + NoC + compute). With
+  /// double-buffered local memories the three phases stream concurrently
+  /// and the layer is bound by its slowest phase; enable `overlap_phases`
+  /// to model that (ablation_noc quantifies the difference).
+  bool overlap_phases = false;
+};
+
+/// Per-layer override installed by the compression flow: the selected
+/// layer's weight stream is replaced by its compressed size, and the PEs
+/// charge one decompressor accumulate per reconstructed weight.
+struct LayerCompression {
+  std::uint64_t compressed_bits = 0;
+  std::uint64_t weight_count = 0;  ///< decompress steps when reconstructing
+};
+using CompressionPlan = std::map<std::string, LayerCompression>;
+
+/// Latency decomposition in cycles (the paper's three latency components).
+/// Under the overlap model `overlap_total` holds the max-bound layer time;
+/// total() still reports the stacked sum the paper's figures decompose.
+struct LatencyBreakdown {
+  double memory_cycles = 0.0;
+  double comm_cycles = 0.0;
+  double compute_cycles = 0.0;
+  double overlap_total = 0.0;
+  [[nodiscard]] double total() const noexcept {
+    return memory_cycles + comm_cycles + compute_cycles;
+  }
+  LatencyBreakdown& operator+=(const LatencyBreakdown& o) noexcept {
+    memory_cycles += o.memory_cycles;
+    comm_cycles += o.comm_cycles;
+    compute_cycles += o.compute_cycles;
+    overlap_total += o.overlap_total;
+    return *this;
+  }
+};
+
+struct LayerResult {
+  std::string name;
+  nn::LayerType type = nn::LayerType::Input;
+  std::uint64_t weight_stream_bits = 0;  ///< after compression, if any
+  std::uint64_t total_flits = 0;
+  LatencyBreakdown latency;
+  power::EnergyBreakdown energy;
+};
+
+struct InferenceResult {
+  std::string model_name;
+  std::vector<LayerResult> layers;
+  LatencyBreakdown latency;
+  power::EnergyBreakdown energy;
+
+  [[nodiscard]] double total_cycles() const noexcept {
+    return latency.total();
+  }
+  [[nodiscard]] double total_seconds(double clock_ghz = 1.0) const noexcept {
+    return latency.total() / (clock_ghz * 1e9);
+  }
+};
+
+class AcceleratorSim {
+ public:
+  explicit AcceleratorSim(const AccelConfig& cfg = AccelConfig{},
+                          const power::EnergyTable& table =
+                              power::EnergyTable{});
+
+  /// Simulate one inference of `summary`, optionally with a compression
+  /// plan overriding selected layers' weight streams.
+  [[nodiscard]] InferenceResult simulate(
+      const ModelSummary& summary,
+      const CompressionPlan* plan = nullptr) const;
+
+  [[nodiscard]] LayerResult simulate_layer(
+      const LayerSummary& layer,
+      const LayerCompression* compression = nullptr) const;
+
+  [[nodiscard]] const AccelConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct NocPhase {
+    double cycles = 0.0;
+    power::EventCounts events;
+  };
+  /// Cycle-accurate scatter+gather for the layer's flit volumes, window
+  /// sampled when large.
+  [[nodiscard]] NocPhase run_noc_phase(std::uint64_t scatter_flits,
+                                       std::uint64_t gather_flits) const;
+
+  AccelConfig cfg_;
+  power::EnergyTable table_;
+};
+
+}  // namespace nocw::accel

@@ -1,0 +1,177 @@
+#include "accel/summary.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace nocw::accel {
+
+namespace {
+
+using nn::LayerType;
+using nn::Padding;
+
+std::uint64_t elems(const std::vector<int>& shape) {
+  std::uint64_t n = 1;
+  for (int d : shape) n *= static_cast<std::uint64_t>(d);
+  return n;
+}
+
+}  // namespace
+
+const LayerSummary* ModelSummary::find(const std::string& name) const {
+  for (const auto& l : layers) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
+std::vector<std::size_t> ModelSummary::macro_layers() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].traffic_bearing) out.push_back(i);
+  }
+  return out;
+}
+
+ModelSummary summarize(const nn::Model& model) {
+  ModelSummary ms;
+  ms.model_name = model.name;
+  const nn::Graph& g = model.graph;
+  std::vector<std::vector<int>> shapes(g.node_count());
+  ms.layers.reserve(g.node_count());
+
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const auto& node = g.node(static_cast<int>(i));
+    const nn::Layer& layer = g.layer(static_cast<int>(i));
+    LayerSummary s;
+    s.name = layer.name();
+    s.type = layer.type();
+    s.params = layer.param_count();
+    s.weight_count = layer.kernel().size();
+
+    std::uint64_t in_elems = 0;
+    for (int in : node.inputs) {
+      in_elems += elems(shapes[static_cast<std::size_t>(in)]);
+    }
+    const std::vector<int>* in0 =
+        node.inputs.empty() ? nullptr
+                            : &shapes[static_cast<std::size_t>(node.inputs[0])];
+
+    std::vector<int> out_shape;
+    switch (layer.type()) {
+      case LayerType::Input: {
+        const auto& il = static_cast<const nn::InputLayer&>(layer);
+        out_shape = il.input_shape();
+        out_shape[0] = 1;  // batch 1
+        in_elems = 0;      // the graph input is not on-chip traffic yet
+        break;
+      }
+      case LayerType::Conv2D: {
+        const auto& c = static_cast<const nn::Conv2D&>(layer);
+        const int h = (*in0)[1], w = (*in0)[2];
+        const int oh = nn::conv_out_extent(h, c.kernel_h(), c.stride(),
+                                           c.padding());
+        const int ow = nn::conv_out_extent(w, c.kernel_w(), c.stride(),
+                                           c.padding());
+        out_shape = {1, oh, ow, c.out_channels()};
+        s.macs = static_cast<std::uint64_t>(oh) * ow * c.kernel_h() *
+                 c.kernel_w() * c.in_channels() * c.out_channels();
+        s.traffic_bearing = true;
+        break;
+      }
+      case LayerType::DepthwiseConv2D: {
+        const auto& c = static_cast<const nn::DepthwiseConv2D&>(layer);
+        const int h = (*in0)[1], w = (*in0)[2];
+        const int oh = nn::conv_out_extent(h, c.kernel_h(), c.stride(),
+                                           c.padding());
+        const int ow = nn::conv_out_extent(w, c.kernel_w(), c.stride(),
+                                           c.padding());
+        out_shape = {1, oh, ow, c.channels()};
+        s.macs = static_cast<std::uint64_t>(oh) * ow * c.kernel_h() *
+                 c.kernel_w() * c.channels();
+        s.traffic_bearing = true;
+        break;
+      }
+      case LayerType::Dense: {
+        const auto& d = static_cast<const nn::Dense&>(layer);
+        out_shape = {1, d.out_features()};
+        s.macs = static_cast<std::uint64_t>(d.in_features()) *
+                 d.out_features();
+        s.traffic_bearing = true;
+        break;
+      }
+      case LayerType::MaxPool: {
+        const auto& p = static_cast<const nn::MaxPool&>(layer);
+        const int oh = nn::conv_out_extent((*in0)[1], p.pool(), p.stride(),
+                                           p.padding());
+        const int ow = nn::conv_out_extent((*in0)[2], p.pool(), p.stride(),
+                                           p.padding());
+        out_shape = {1, oh, ow, (*in0)[3]};
+        s.ops = elems(out_shape) * static_cast<std::uint64_t>(p.pool()) *
+                p.pool();
+        s.traffic_bearing = true;
+        break;
+      }
+      case LayerType::AvgPool: {
+        const auto& p = static_cast<const nn::AvgPool&>(layer);
+        const int oh = nn::conv_out_extent((*in0)[1], p.pool(), p.stride(),
+                                           p.padding());
+        const int ow = nn::conv_out_extent((*in0)[2], p.pool(), p.stride(),
+                                           p.padding());
+        out_shape = {1, oh, ow, (*in0)[3]};
+        s.ops = elems(out_shape) * static_cast<std::uint64_t>(p.pool()) *
+                p.pool();
+        s.traffic_bearing = true;
+        break;
+      }
+      case LayerType::GlobalAvgPool: {
+        out_shape = {1, (*in0)[3]};
+        s.ops = in_elems;
+        s.traffic_bearing = true;
+        break;
+      }
+      case LayerType::ReLU:
+      case LayerType::ReLU6:
+      case LayerType::Softmax:
+      case LayerType::BatchNorm:
+        out_shape = *in0;
+        s.ops = in_elems;  // fused into the producer; no traffic of its own
+        break;
+      case LayerType::Flatten: {
+        // Reshape carries a target shape; plain Flatten collapses.
+        if (const auto* r = dynamic_cast<const nn::Reshape*>(&layer)) {
+          out_shape = {1};
+          out_shape.insert(out_shape.end(), r->per_sample_shape().begin(),
+                           r->per_sample_shape().end());
+        } else {
+          out_shape = {1, static_cast<int>(elems(*in0))};
+        }
+        break;
+      }
+      case LayerType::Add: {
+        out_shape = *in0;
+        s.ops = in_elems;
+        break;
+      }
+      case LayerType::Concat: {
+        out_shape = *in0;
+        int channels = 0;
+        for (int in : node.inputs) {
+          channels += shapes[static_cast<std::size_t>(in)].back();
+        }
+        out_shape.back() = channels;
+        break;
+      }
+    }
+    s.ifmap_elems = in_elems;
+    s.ofmap_elems = elems(out_shape);
+    s.output_shape = out_shape;
+    shapes[i] = std::move(out_shape);
+    ms.total_params += s.params;
+    ms.total_macs += s.macs;
+    ms.layers.push_back(std::move(s));
+  }
+  return ms;
+}
+
+}  // namespace nocw::accel

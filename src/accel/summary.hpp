@@ -1,0 +1,48 @@
+// Analytic per-layer summary of a model (shapes, parameters, MACs).
+//
+// The accelerator simulator works from layer *volumes* — weight bytes to
+// fetch, feature-map bytes to move, MACs to execute — not from live float
+// math, so summarizing a 138M-parameter VGG-16 costs microseconds. Shapes
+// are propagated symbolically through the graph with batch size 1 (one
+// inference, as in the paper's latency/energy experiments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/models.hpp"
+
+namespace nocw::accel {
+
+struct LayerSummary {
+  std::string name;
+  nn::LayerType type = nn::LayerType::Input;
+  std::size_t params = 0;        ///< Keras-style parameter count
+  std::uint64_t weight_count = 0;  ///< kernel elements (the compressible W)
+  std::uint64_t ifmap_elems = 0;   ///< sum over all inputs
+  std::uint64_t ofmap_elems = 0;
+  std::uint64_t macs = 0;        ///< multiply-accumulates
+  std::uint64_t ops = 0;         ///< non-MAC arithmetic (pooling, merging)
+  /// True for the "macro" layers that exchange data with main memory in the
+  /// Fig. 1 execution model (conv/dense/pool); activation/norm/shape layers
+  /// are fused into their producer and move no traffic of their own.
+  bool traffic_bearing = false;
+  std::vector<int> output_shape;
+};
+
+struct ModelSummary {
+  std::string model_name;
+  std::vector<LayerSummary> layers;  ///< one per graph node, in graph order
+  std::uint64_t total_params = 0;
+  std::uint64_t total_macs = 0;
+
+  [[nodiscard]] const LayerSummary* find(const std::string& name) const;
+  /// Indices of traffic-bearing layers, in execution order.
+  [[nodiscard]] std::vector<std::size_t> macro_layers() const;
+};
+
+/// Symbolic pass over the model graph.
+ModelSummary summarize(const nn::Model& model);
+
+}  // namespace nocw::accel

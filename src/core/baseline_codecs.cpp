@@ -1,0 +1,229 @@
+#include "core/baseline_codecs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+
+#include "util/bitio.hpp"
+
+namespace nocw::core {
+
+namespace {
+constexpr std::uint8_t kEsc = 0xA5;
+constexpr std::size_t kMinRun = 4;
+}  // namespace
+
+std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> data) {
+  // Grammar: ESC 0x00            -> one literal ESC byte
+  //          ESC count byte      -> `count` copies of `byte` (count >= 4)
+  //          anything else       -> literal byte
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t b = data[i];
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == b && run < 255) ++run;
+    if (run >= kMinRun) {
+      out.push_back(kEsc);
+      out.push_back(static_cast<std::uint8_t>(run));
+      out.push_back(b);
+      i += run;
+    } else {
+      for (std::size_t k = 0; k < run; ++k) {
+        out.push_back(b);
+        if (b == kEsc) out.push_back(0);  // stuff the escape
+      }
+      i += run;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t b = data[i++];
+    if (b != kEsc) {
+      out.push_back(b);
+      continue;
+    }
+    if (i >= data.size()) throw std::runtime_error("rle: truncated escape");
+    const std::uint8_t count = data[i++];
+    if (count == 0) {
+      out.push_back(kEsc);  // stuffed literal
+      continue;
+    }
+    if (i >= data.size()) throw std::runtime_error("rle: truncated run");
+    const std::uint8_t value = data[i++];
+    for (std::uint8_t k = 0; k < count; ++k) out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint8_t> data) {
+  // Histogram.
+  std::array<std::uint64_t, 256> freq{};
+  for (auto b : data) ++freq[b];
+
+  // Build code lengths via a simple Huffman tree (package in a heap).
+  struct Node {
+    std::uint64_t weight;
+    int index;  // < 256: leaf symbol; >= 256: internal
+  };
+  struct Cmp {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      return a.index > b.index;  // deterministic ties
+    }
+  };
+  std::vector<std::pair<int, int>> children;  // internal node -> (l, r)
+  std::priority_queue<Node, std::vector<Node>, Cmp> heap;
+  int symbols = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] > 0) {
+      heap.push(Node{freq[s], s});
+      ++symbols;
+    }
+  }
+  std::array<std::uint8_t, 256> code_len{};
+  if (symbols == 1) {
+    // Degenerate alphabet: one symbol, 1-bit codes.
+    for (int s = 0; s < 256; ++s) {
+      if (freq[s] > 0) code_len[s] = 1;
+    }
+  } else if (symbols > 1) {
+    int next_internal = 256;
+    while (heap.size() > 1) {
+      const Node a = heap.top();
+      heap.pop();
+      const Node b = heap.top();
+      heap.pop();
+      children.emplace_back(a.index, b.index);
+      heap.push(Node{a.weight + b.weight, next_internal++});
+    }
+    // Depth-first walk to assign lengths.
+    struct Item {
+      int index;
+      std::uint8_t depth;
+    };
+    std::vector<Item> stack{{heap.top().index, 0}};
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      if (it.index < 256) {
+        code_len[static_cast<std::size_t>(it.index)] = std::max<std::uint8_t>(
+            it.depth, 1);
+        continue;
+      }
+      const auto [l, r] = children[static_cast<std::size_t>(it.index - 256)];
+      stack.push_back({l, static_cast<std::uint8_t>(it.depth + 1)});
+      stack.push_back({r, static_cast<std::uint8_t>(it.depth + 1)});
+    }
+  }
+
+  // Canonical codes from lengths.
+  std::array<std::uint32_t, 256> code{};
+  {
+    std::vector<int> order;
+    for (int s = 0; s < 256; ++s) {
+      if (code_len[s] > 0) order.push_back(s);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (code_len[a] != code_len[b]) return code_len[a] < code_len[b];
+      return a < b;
+    });
+    std::uint32_t next = 0;
+    std::uint8_t prev_len = 0;
+    for (int s : order) {
+      next <<= (code_len[s] - prev_len);
+      code[static_cast<std::size_t>(s)] = next++;
+      prev_len = code_len[s];
+    }
+  }
+
+  BitWriter w;
+  w.write(data.size(), 48);
+  for (int s = 0; s < 256; ++s) w.write(code_len[s], 8);
+  for (auto b : data) {
+    // MSB-first emission of the canonical code.
+    const std::uint8_t len = code_len[b];
+    const std::uint32_t c = code[b];
+    for (int bit = len - 1; bit >= 0; --bit) w.write((c >> bit) & 1u, 1);
+  }
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> huffman_decode(std::span<const std::uint8_t> data) {
+  BitReader r(data);
+  const std::uint64_t count = r.read(48);
+  std::array<std::uint8_t, 256> code_len{};
+  for (int s = 0; s < 256; ++s) {
+    code_len[s] = static_cast<std::uint8_t>(r.read(8));
+  }
+  // Rebuild canonical codes and a (length -> first code, symbols) decoder.
+  std::vector<int> order;
+  for (int s = 0; s < 256; ++s) {
+    if (code_len[s] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (code_len[a] != code_len[b]) return code_len[a] < code_len[b];
+    return a < b;
+  });
+  std::array<std::uint32_t, 33> first_code{};
+  std::array<std::uint32_t, 33> first_index{};
+  std::array<std::uint32_t, 33> span_per_len{};
+  {
+    std::uint32_t next = 0;
+    std::uint8_t prev_len = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::uint8_t len = code_len[static_cast<std::size_t>(order[i])];
+      if (len > 32) throw std::runtime_error("huffman: code too long");
+      if (len != prev_len) {
+        next <<= (len - prev_len);
+        first_code[len] = next;
+        first_index[len] = static_cast<std::uint32_t>(i);
+        prev_len = len;
+      }
+      ++span_per_len[len];
+      ++next;
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t c = 0;
+    std::uint8_t len = 0;
+    int symbol = -1;
+    while (len < 32) {
+      c = (c << 1) | static_cast<std::uint32_t>(r.read(1));
+      ++len;
+      const std::uint32_t span = span_per_len[len];
+      if (span != 0 && c >= first_code[len] && c < first_code[len] + span) {
+        symbol = order[first_index[len] + (c - first_code[len])];
+        break;
+      }
+    }
+    if (symbol < 0) throw std::runtime_error("huffman: bad code");
+    out.push_back(static_cast<std::uint8_t>(symbol));
+  }
+  return out;
+}
+
+double lossless_cr(std::size_t original_bytes, std::size_t encoded_bytes) {
+  if (encoded_bytes == 0) return 1.0;
+  return static_cast<double>(original_bytes) /
+         static_cast<double>(encoded_bytes);
+}
+
+std::vector<std::uint8_t> weights_as_bytes(std::span<const float> weights) {
+  std::vector<std::uint8_t> out(weights.size() * sizeof(float));
+  std::memcpy(out.data(), weights.data(), out.size());
+  return out;
+}
+
+}  // namespace nocw::core

@@ -1,0 +1,36 @@
+// Classical lossless baselines: byte-level RLE and Huffman coding.
+//
+// The paper's Sec. III-B argues that CNN weight streams are too high-entropy
+// for traditional compressors — run-length coding finds no runs and entropy
+// coding finds a flat histogram — which motivates the custom lossy codec.
+// These reference implementations let the claim be *measured* rather than
+// asserted (see bench/ext_baseline_codecs): both achieve CR ≈ 1 on weights
+// while Huffman gets ~2x on text.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nocw::core {
+
+/// Escape-based run-length encoding: runs of >= 4 identical bytes become
+/// ESC, byte, count(1..255); the escape byte itself is stuffed. Worst case
+/// expands by the escape-stuffing overhead only.
+std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> data);
+
+/// Canonical Huffman over the byte alphabet. The encoded stream embeds the
+/// 256-entry code-length table (one byte each) plus the payload bit count,
+/// so decode needs no side channel.
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> huffman_decode(std::span<const std::uint8_t> data);
+
+/// original size / encoded size for the given encoder output.
+double lossless_cr(std::size_t original_bytes, std::size_t encoded_bytes);
+
+/// Serialize a float weight stream to bytes (the representation a lossless
+/// compressor would see in main memory).
+std::vector<std::uint8_t> weights_as_bytes(std::span<const float> weights);
+
+}  // namespace nocw::core

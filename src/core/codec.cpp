@@ -1,0 +1,207 @@
+#include "core/codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/linefit.hpp"
+#include "util/bitio.hpp"
+#include "util/stats.hpp"
+
+namespace nocw::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0xC17E;  // "compressed-tensor"
+constexpr std::uint64_t kVersion = 1;
+
+unsigned clamp_coef_bits(unsigned bits) {
+  if (bits < 9) return 9;    // sign + 8 exponent bits is the usable minimum
+  if (bits > 32) return 32;
+  return bits;
+}
+
+std::size_t max_segment_length(unsigned length_bits) {
+  // The field stores |M_i| - 1, so length_bits bits encode up to 2^bits.
+  if (length_bits >= 24) return std::size_t{1} << 24;  // sanity cap
+  return std::size_t{1} << length_bits;
+}
+
+}  // namespace
+
+float quantize_coefficient(double value, unsigned bits) noexcept {
+  const auto f = static_cast<float>(value);
+  bits = clamp_coef_bits(bits);
+  if (bits == 32) return f;
+  std::uint32_t raw;
+  std::memcpy(&raw, &f, sizeof(raw));
+  const unsigned drop = 32 - bits;
+  // Round to nearest on the dropped bits; a carry that ripples into the
+  // exponent is the correct IEEE rounding behaviour.
+  raw += (1u << (drop - 1));
+  raw &= ~((1u << drop) - 1u);
+  float out;
+  std::memcpy(&out, &raw, sizeof(out));
+  return out;
+}
+
+CompressedLayer compress(std::span<const float> weights,
+                         const CodecConfig& cfg) {
+  CompressedLayer layer;
+  layer.config = cfg;
+  layer.config.coef_bits = clamp_coef_bits(cfg.coef_bits);
+  layer.original_count = weights.size();
+  layer.delta_abs = delta_from_percent(cfg.delta_percent, weights);
+  if (weights.empty()) return layer;
+
+  SegmenterConfig scfg;
+  scfg.delta = layer.delta_abs;
+  scfg.max_length = max_segment_length(cfg.length_bits);
+
+  StreamSegmenter seg(scfg);
+  LineFitAccumulator acc;
+  auto emit = [&]() {
+    const LineFit fit = acc.fit();
+    CompressedSegment s;
+    s.m = quantize_coefficient(fit.m, layer.config.coef_bits);
+    s.q = quantize_coefficient(fit.q, layer.config.coef_bits);
+    s.length = static_cast<std::uint32_t>(acc.count());
+    layer.segments.push_back(s);
+    acc.reset();
+  };
+  for (float w : weights) {
+    if (seg.push(w) != 0) emit();
+    acc.add(static_cast<double>(w));
+  }
+  if (seg.finish() != 0) emit();
+
+  // Replay Eq. (2) in float — exactly what the hardware decompressor will
+  // produce, including accumulation drift — to record the true SSE.
+  double sse = 0.0;
+  std::size_t idx = 0;
+  for (const auto& s : layer.segments) {
+    float w = s.q;
+    for (std::uint32_t j = 0; j < s.length; ++j) {
+      const double err = static_cast<double>(weights[idx + j]) -
+                         static_cast<double>(w);
+      sse += err * err;
+      w += s.m;
+    }
+    idx += s.length;
+  }
+  layer.sse = sse;
+  return layer;
+}
+
+void decompress(const CompressedLayer& layer, std::span<float> out) {
+  if (out.size() != layer.original_count) {
+    throw std::invalid_argument("decompress: output size mismatch");
+  }
+  std::size_t idx = 0;
+  for (const auto& s : layer.segments) {
+    // Init state of the Fig. 6 FSM: w̃_1 = q; Run state: w̃_j = w̃_{j-1} + m.
+    float w = s.q;
+    for (std::uint32_t j = 0; j < s.length; ++j) {
+      out[idx++] = w;
+      w += s.m;
+    }
+  }
+  if (idx != layer.original_count) {
+    throw std::runtime_error("decompress: segment lengths do not tile layer");
+  }
+}
+
+std::vector<float> decompress(const CompressedLayer& layer) {
+  std::vector<float> out(layer.original_count);
+  decompress(layer, out);
+  return out;
+}
+
+std::size_t CompressedLayer::compressed_bits() const noexcept {
+  return segments.size() *
+         (2 * static_cast<std::size_t>(config.coef_bits) + config.length_bits);
+}
+
+std::size_t CompressedLayer::original_bits() const noexcept {
+  return original_count * static_cast<std::size_t>(config.weight_bits);
+}
+
+double CompressedLayer::compression_ratio() const noexcept {
+  const std::size_t cb = compressed_bits();
+  if (cb == 0) return 1.0;
+  return static_cast<double>(original_bits()) / static_cast<double>(cb);
+}
+
+double CompressedLayer::mse() const noexcept {
+  return original_count ? sse / static_cast<double>(original_count) : 0.0;
+}
+
+double CompressedLayer::mean_segment_length() const noexcept {
+  if (segments.empty()) return 0.0;
+  return static_cast<double>(original_count) /
+         static_cast<double>(segments.size());
+}
+
+std::vector<std::uint8_t> serialize(const CompressedLayer& layer) {
+  BitWriter w;
+  w.write(kMagic, 16);
+  w.write(kVersion, 8);
+  w.write(layer.config.coef_bits, 6);
+  w.write(layer.config.length_bits, 6);
+  w.write(layer.config.weight_bits, 6);
+  w.write(layer.original_count, 48);
+  w.write(layer.segments.size(), 48);
+  w.write_float(static_cast<float>(layer.delta_abs));
+  const unsigned coef_bits = layer.config.coef_bits;
+  const unsigned len_bits = layer.config.length_bits;
+  for (const auto& s : layer.segments) {
+    std::uint32_t raw_m = 0;
+    std::uint32_t raw_q = 0;
+    std::memcpy(&raw_m, &s.m, sizeof(raw_m));
+    std::memcpy(&raw_q, &s.q, sizeof(raw_q));
+    w.write(raw_m >> (32 - coef_bits), coef_bits);
+    w.write(raw_q >> (32 - coef_bits), coef_bits);
+    if (s.length == 0 || s.length > (std::uint64_t{1} << len_bits)) {
+      throw std::runtime_error("serialize: segment length out of field range");
+    }
+    w.write(s.length - 1, len_bits);
+  }
+  return w.bytes();
+}
+
+CompressedLayer deserialize(std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  if (r.read(16) != kMagic) throw std::runtime_error("bad magic");
+  if (r.read(8) != kVersion) throw std::runtime_error("bad version");
+  CompressedLayer layer;
+  layer.config.coef_bits = static_cast<unsigned>(r.read(6));
+  layer.config.length_bits = static_cast<unsigned>(r.read(6));
+  layer.config.weight_bits = static_cast<unsigned>(r.read(6));
+  layer.original_count = r.read(48);
+  const std::uint64_t n_segments = r.read(48);
+  layer.delta_abs = static_cast<double>(r.read_float());
+  const unsigned coef_bits = clamp_coef_bits(layer.config.coef_bits);
+  if (coef_bits != layer.config.coef_bits) {
+    throw std::runtime_error("corrupt coef_bits field");
+  }
+  layer.segments.reserve(n_segments);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n_segments; ++i) {
+    CompressedSegment s;
+    const auto raw_m =
+        static_cast<std::uint32_t>(r.read(coef_bits) << (32 - coef_bits));
+    const auto raw_q =
+        static_cast<std::uint32_t>(r.read(coef_bits) << (32 - coef_bits));
+    std::memcpy(&s.m, &raw_m, sizeof(s.m));
+    std::memcpy(&s.q, &raw_q, sizeof(s.q));
+    s.length =
+        static_cast<std::uint32_t>(r.read(layer.config.length_bits)) + 1;
+    total += s.length;
+    layer.segments.push_back(s);
+  }
+  if (total != layer.original_count) {
+    throw std::runtime_error("segment lengths do not tile original count");
+  }
+  return layer;
+}
+
+}  // namespace nocw::core

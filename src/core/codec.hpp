@@ -1,0 +1,91 @@
+// Lossy weights codec (paper Sec. III-B, III-C).
+//
+// Compression pipeline: greedy weak-monotonic segmentation with tolerance δ
+// (segment.hpp) → per-segment least-squares line fit (linefit.hpp) → each
+// segment stored as the triple ⟨m_i, q_i, |M_i|⟩. Decompression reconstructs
+// w̃_1 = q_i, w̃_j = w̃_{j-1} + m_i (Eq. 2) — accumulation only, no multiply —
+// exactly what the per-PE hardware decompression unit of Fig. 6 computes.
+//
+// Field widths are configurable so the storage-cost model can be explored
+// (an ablation the paper leaves implicit): coefficients may be rounded to a
+// truncated float32 (keeping the top `coef_bits` of the IEEE-754 encoding,
+// i.e. bfloat16 when coef_bits = 16) and the segment length occupies
+// `length_bits` bits, which also caps |M_i| at 2^length_bits.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/segment.hpp"
+
+namespace nocw::core {
+
+struct CodecConfig {
+  /// Tolerance threshold δ as a percentage of max(W)-min(W), the convention
+  /// used throughout the paper's Table II / Fig. 10 ("δ = x%").
+  double delta_percent = 0.0;
+
+  /// Bits stored per line coefficient (m and q). 32 keeps exact float32;
+  /// 16 truncates to bfloat16. Must be in [9, 32].
+  unsigned coef_bits = 32;
+
+  /// Bits of the segment-length field; caps |M_i| at 2^length_bits.
+  unsigned length_bits = 8;
+
+  /// Bits per weight in the *uncompressed* representation (32 for float
+  /// models, 8 for int8-quantized models). Only used for ratio accounting.
+  unsigned weight_bits = 32;
+};
+
+/// One encoded sub-succession: the fitted line and how many weights it
+/// reconstructs. Coefficients are stored post-quantization, i.e. exactly the
+/// values the decompressor will use.
+struct CompressedSegment {
+  float m = 0.0F;
+  float q = 0.0F;
+  std::uint32_t length = 0;
+};
+
+/// A compressed weight succession plus the bookkeeping needed for the
+/// paper's metrics.
+struct CompressedLayer {
+  std::vector<CompressedSegment> segments;
+  std::size_t original_count = 0;  ///< n = |W|
+  double delta_abs = 0.0;          ///< absolute δ used for segmentation
+  double sse = 0.0;                ///< Σ (w_i - w̃_i)² after Eq. 2 replay
+  CodecConfig config;
+
+  /// Payload bits of the compressed representation (no container header).
+  [[nodiscard]] std::size_t compressed_bits() const noexcept;
+  /// Bits of the uncompressed representation.
+  [[nodiscard]] std::size_t original_bits() const noexcept;
+  /// CR column of Table II: original bits / compressed bits.
+  [[nodiscard]] double compression_ratio() const noexcept;
+  /// MSE column of Table II.
+  [[nodiscard]] double mse() const noexcept;
+  /// Mean |M_i|.
+  [[nodiscard]] double mean_segment_length() const noexcept;
+};
+
+/// Compress `weights` with tolerance δ = cfg.delta_percent % of the range.
+/// Single pass for segmentation+fit, one replay pass for the exact SSE.
+CompressedLayer compress(std::span<const float> weights,
+                         const CodecConfig& cfg);
+
+/// Reconstruct the approximated weights via Eq. (2). `out.size()` must equal
+/// `layer.original_count`.
+void decompress(const CompressedLayer& layer, std::span<float> out);
+std::vector<float> decompress(const CompressedLayer& layer);
+
+/// Serialize to the bit-packed storage format (what main memory would hold).
+std::vector<std::uint8_t> serialize(const CompressedLayer& layer);
+/// Parse a bit-packed stream back; throws std::runtime_error on corruption.
+CompressedLayer deserialize(std::span<const std::uint8_t> bytes);
+
+/// Round a double coefficient to the top `bits` bits of its float32 encoding
+/// (round-to-nearest on the dropped mantissa bits). bits == 32 is exact.
+float quantize_coefficient(double value, unsigned bits) noexcept;
+
+}  // namespace nocw::core

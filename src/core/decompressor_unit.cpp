@@ -1,0 +1,43 @@
+#include "core/decompressor_unit.hpp"
+
+#include <stdexcept>
+
+namespace nocw::core {
+
+void DecompressorUnit::load(const CompressedSegment& segment) {
+  if (busy()) throw std::logic_error("DecompressorUnit::load while busy");
+  if (segment.length == 0) return;  // empty segment: nothing to do
+  m_ = segment.m;
+  accum_ = segment.q;
+  remaining_ = segment.length;
+  state_ = State::Init;
+}
+
+std::optional<float> DecompressorUnit::tick() {
+  ++cycles_;
+  switch (state_) {
+    case State::Idle:
+      return std::nullopt;
+    case State::Init: {
+      // w̃_1 = q (already latched in accum_ by load()).
+      const float out = accum_;
+      ++emitted_;
+      if (--remaining_ == 0) {
+        state_ = State::Idle;
+      } else {
+        state_ = State::Run;
+      }
+      return out;
+    }
+    case State::Run: {
+      accum_ += m_;  // w̃_j = w̃_{j-1} + m — accumulate, never multiply
+      const float out = accum_;
+      ++emitted_;
+      if (--remaining_ == 0) state_ = State::Idle;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nocw::core

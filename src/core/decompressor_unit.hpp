@@ -1,0 +1,50 @@
+// Cycle-level model of the per-PE decompression unit (paper Fig. 6).
+//
+// Datapath: a register holding the running reconstruction w̃, an adder, and a
+// down-counter over |M_i|. Control: a two-state FSM — in *Init* the unit
+// latches w̃_1 = q_i; in *Run* it emits w̃_j = w̃_{j-1} + m_i each cycle. One
+// approximated weight is produced per clock, so decompression never stalls
+// the MAC datapath it feeds. This model is bit-equivalent to core::decompress
+// (verified by tests) and is what the accelerator simulator instantiates in
+// every PE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/codec.hpp"
+
+namespace nocw::core {
+
+class DecompressorUnit {
+ public:
+  enum class State : std::uint8_t { Idle, Init, Run };
+
+  /// Latch a compressed segment ⟨m, q, |M|⟩. Only legal when idle.
+  void load(const CompressedSegment& segment);
+
+  /// Advance one clock. Returns the weight emitted this cycle, or nullopt
+  /// when the unit is idle.
+  std::optional<float> tick();
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool busy() const noexcept { return state_ != State::Idle; }
+  /// Weights still to emit (including the one of the current cycle).
+  [[nodiscard]] std::uint32_t remaining() const noexcept { return remaining_; }
+  /// Total clock cycles consumed since construction/reset.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  /// Total weights emitted since construction/reset.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+  void reset() noexcept { *this = DecompressorUnit{}; }
+
+ private:
+  State state_ = State::Idle;
+  float m_ = 0.0F;
+  float accum_ = 0.0F;
+  std::uint32_t remaining_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace nocw::core

@@ -1,0 +1,68 @@
+#include "core/entropy.hpp"
+
+#include <array>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nocw::core {
+
+double weight_stream_entropy(std::span<const float> weights) {
+  return shannon_entropy_hist(byte_histogram(weights));
+}
+
+double random_data_entropy(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint64_t> hist(256, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++hist[static_cast<std::uint8_t>(rng() & 0xFF)];
+  }
+  return shannon_entropy_hist(hist);
+}
+
+std::string sample_text(std::size_t min_bytes) {
+  // Word pool with roughly English letter frequencies; sampling with a
+  // Zipf-ish bias over a fixed list yields prose-like byte statistics
+  // (entropy ≈ 4.2 bits/byte) without shipping a corpus file.
+  static constexpr std::array<const char*, 65> kWords = {
+      "the",     "of",        "and",       "to",       "in",      "a",
+      "is",      "that",      "network",   "traffic",  "energy",  "latency",
+      "memory",  "chip",      "weights",   "model",    "layer",   "accuracy",
+      "inference", "compression", "parameters", "accelerator", "communication",
+      "technique", "results",  "figure",    "table",    "between", "which",
+      "with",    "for",       "are",       "this",     "be",      "as",
+      "on",      "we",        "by",        "an",       "it",      "can",
+      "from",    "reduction", "proposed",  "approach", "data",    "value",
+      "each",    "when",      "more",      "other",    "such",    "their",
+      "these",   "both",      "than",      "into",     "about",   "over",
+      "under",   "through",   "during",    "because",  "however", "therefore"};
+  Xoshiro256pp rng(0x7e87u);
+  std::string out;
+  out.reserve(min_bytes + 16);
+  std::size_t sentence_len = 0;
+  while (out.size() < min_bytes) {
+    // Zipf-like rank bias: square the uniform to favour common words.
+    const double u = rng.uniform();
+    const auto idx = static_cast<std::size_t>(u * u * kWords.size());
+    const char* word = kWords[idx < kWords.size() ? idx : kWords.size() - 1];
+    if (sentence_len == 0 && !out.empty()) out += ' ';
+    out += word;
+    ++sentence_len;
+    if (sentence_len >= 8 + rng.bounded(8)) {
+      out += ". ";
+      sentence_len = 0;
+    } else {
+      out += ' ';
+      // keep counting words in the sentence
+    }
+  }
+  return out;
+}
+
+double text_entropy(std::size_t min_bytes) {
+  const std::string text = sample_text(min_bytes);
+  return shannon_entropy_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+}  // namespace nocw::core

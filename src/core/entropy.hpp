@@ -1,0 +1,31 @@
+// Entropy analysis of weight streams (paper Fig. 3).
+//
+// The paper motivates the custom codec by showing that serialized CNN weights
+// have near-maximal byte entropy — indistinguishable from random data — so
+// dictionary/statistical compressors cannot help. These helpers reproduce the
+// three bars of Fig. 3: random data (upper bound ≈ 8 bits/byte), an English
+// text file (≈ 4.2-4.8 bits/byte), and the per-model weight streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nocw::core {
+
+/// Byte-level Shannon entropy (bits/byte) of a serialized float stream.
+double weight_stream_entropy(std::span<const float> weights);
+
+/// Entropy of `n` bytes of uniform random data with the given seed.
+double random_data_entropy(std::size_t n, std::uint64_t seed);
+
+/// A deterministic pseudo-English corpus of at least `min_bytes` bytes,
+/// generated from a word list so its letter statistics match typical prose.
+/// Stands in for the paper's "text file" reference bar.
+std::string sample_text(std::size_t min_bytes);
+
+/// Entropy of sample_text(min_bytes).
+double text_entropy(std::size_t min_bytes);
+
+}  // namespace nocw::core

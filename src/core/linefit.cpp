@@ -1,0 +1,34 @@
+#include "core/linefit.hpp"
+
+#include <algorithm>
+
+namespace nocw::core {
+
+LineFit LineFitAccumulator::fit() const noexcept {
+  LineFit out;
+  if (n_ == 0) return out;
+  const auto n = static_cast<double>(n_);
+  if (n_ == 1) {
+    out.q = sy_;
+    return out;
+  }
+  // x is the ramp 0..n-1, so its sums are closed-form.
+  const double sx = n * (n - 1.0) / 2.0;
+  const double sxx = (n - 1.0) * n * (2.0 * n - 1.0) / 6.0;
+  const double sxx_c = sxx - sx * sx / n;   // centered Σ(x-x̄)²
+  const double sxy_c = sxy_ - sx * sy_ / n; // centered Σ(x-x̄)(y-ȳ)
+  const double syy_c = syy_ - sy_ * sy_ / n;
+  out.m = sxy_c / sxx_c;
+  out.q = (sy_ - out.m * sx) / n;
+  // Residual SS of the OLS fit; clamp tiny negative values from cancellation.
+  out.sse = std::max(0.0, syy_c - out.m * sxy_c);
+  return out;
+}
+
+LineFit fit_line(std::span<const float> values) {
+  LineFitAccumulator acc;
+  for (float v : values) acc.add(static_cast<double>(v));
+  return acc.fit();
+}
+
+}  // namespace nocw::core

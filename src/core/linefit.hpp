@@ -1,0 +1,52 @@
+// Least-squares line fit for a monotonic sub-succession (paper Sec. III-B).
+//
+// For a segment M_i = {w_f, w_{f+1}, ..., w_l} the fit is over the points
+// (j, w_{f+j}), j = 0..|M_i|-1, yielding the slope/intercept pair ⟨m_i, q_i⟩
+// that minimizes the mean squared error. Because x is always the ramp
+// 0,1,...,L-1, the normal-equation sums over x are closed-form, so the fit is
+// one pass over the segment values and O(1) space.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace nocw::core {
+
+/// Fitted line w̃(j) = m*j + q plus the fit's residual sum of squares.
+struct LineFit {
+  double m = 0.0;    ///< slope
+  double q = 0.0;    ///< intercept (= first reconstructed value)
+  double sse = 0.0;  ///< residual sum of squared errors over the segment
+};
+
+/// Streaming accumulator: feed segment values in order, then fit().
+/// Used by the codec so arbitrarily long layers compress in one pass.
+class LineFitAccumulator {
+ public:
+  void reset() noexcept { *this = LineFitAccumulator{}; }
+
+  void add(double y) noexcept {
+    const double x = static_cast<double>(n_);
+    sy_ += y;
+    sxy_ += x * y;
+    syy_ += y * y;
+    ++n_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Closed-form OLS solution. For a single point the line is the point
+  /// itself (m = 0, q = y, sse = 0).
+  [[nodiscard]] LineFit fit() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double sy_ = 0.0;
+  double sxy_ = 0.0;
+  double syy_ = 0.0;
+};
+
+/// Convenience one-shot fit over a contiguous segment.
+LineFit fit_line(std::span<const float> values);
+
+}  // namespace nocw::core

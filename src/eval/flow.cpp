@@ -1,0 +1,84 @@
+#include "eval/flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eval/layer_selection.hpp"
+#include "eval/probes.hpp"
+#include "nn/metrics.hpp"
+
+namespace nocw::eval {
+
+DeltaEvaluator::DeltaEvaluator(nn::Model& model, const EvalConfig& cfg)
+    : model_(&model), cfg_(cfg) {
+  const nn::Tensor probes = make_probes(
+      cfg_.probes, model.input_size, model.input_channels, cfg_.probe_seed);
+  prepare(probes);
+  baseline_accuracy_ = 1.0;  // agreement with itself
+}
+
+DeltaEvaluator::DeltaEvaluator(nn::Model& model, const nn::Dataset& test,
+                               const EvalConfig& cfg)
+    : model_(&model), cfg_(cfg) {
+  labels_ = test.labels;
+  prepare(test.images);
+  baseline_accuracy_ =
+      nn::topk_accuracy(baseline_outputs_, labels_, cfg_.topk);
+}
+
+void DeltaEvaluator::prepare(const nn::Tensor& inputs) {
+  selected_node_ = select_layer(*model_);
+  selected_name_ = model_->graph.layer(selected_node_).name();
+  const auto kernel = model_->graph.layer(selected_node_).kernel();
+  selected_fraction_ =
+      static_cast<double>(
+          model_->graph.layer(selected_node_).param_count()) /
+      static_cast<double>(model_->graph.total_params());
+  original_weights_.assign(kernel.begin(), kernel.end());
+
+  auto [outputs, captured] =
+      model_->graph.forward_capturing(inputs, selected_node_);
+  baseline_outputs_ = std::move(outputs);
+  captured_ = std::move(captured);
+}
+
+DeltaPoint DeltaEvaluator::evaluate(double delta_percent) {
+  DeltaPoint point;
+  point.delta_percent = delta_percent;
+
+  core::CodecConfig codec = cfg_.codec;
+  codec.delta_percent = delta_percent;
+
+  // Compress the original weights (never re-compress an approximation).
+  const core::CompressedLayer compressed =
+      core::compress(original_weights_, codec);
+  point.report.delta_percent = delta_percent;
+  point.report.cr = compressed.compression_ratio();
+  point.report.weighted_cr =
+      core::weighted_cr(point.report.cr, selected_fraction_);
+  point.report.mem_fp_reduction =
+      core::mem_footprint_reduction(point.report.cr, selected_fraction_);
+  point.report.mse = compressed.mse();
+  point.report.segment_count = compressed.segments.size();
+  point.report.mean_segment_length = compressed.mean_segment_length();
+  point.compression.compressed_bits = compressed.compressed_bits();
+  point.compression.weight_count = compressed.original_count;
+
+  // Install the approximated weights, replay the tail, restore.
+  auto kernel = model_->graph.layer(selected_node_).kernel();
+  core::decompress(compressed, kernel);
+  const nn::Tensor outputs =
+      model_->graph.forward_tail(captured_, selected_node_);
+  std::copy(original_weights_.begin(), original_weights_.end(),
+            kernel.begin());
+
+  if (labels_.empty()) {
+    point.accuracy =
+        nn::mean_topk_agreement(baseline_outputs_, outputs, cfg_.topk);
+  } else {
+    point.accuracy = nn::topk_accuracy(outputs, labels_, cfg_.topk);
+  }
+  return point;
+}
+
+}  // namespace nocw::eval

@@ -1,0 +1,82 @@
+// The paper's evaluation flow (Fig. 8), as a reusable library.
+//
+// A DeltaEvaluator owns one model, the selected layer (Layer Selection
+// block), a probe set, and the cached activations feeding the selected
+// layer. Because compression perturbs exactly one layer, the expensive
+// network prefix runs once; each δ then costs one compression pass over the
+// layer's weights plus a cheap tail replay. Accuracy is top-1 against labels
+// when a labeled dataset is supplied (LeNet-5), otherwise top-5 agreement
+// with the original model's outputs (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/simulator.hpp"
+#include "core/codec.hpp"
+#include "core/metrics.hpp"
+#include "nn/digits.hpp"
+#include "nn/models.hpp"
+
+namespace nocw::eval {
+
+struct EvalConfig {
+  int probes = 8;          ///< probe inputs for agreement mode
+  int topk = 5;            ///< 5 for the ImageNet-scale zoo, 1 for LeNet-5
+  std::uint64_t probe_seed = 4242;
+  core::CodecConfig codec;  ///< delta_percent is overridden per evaluation
+};
+
+/// Everything the benches need about one δ point.
+struct DeltaPoint {
+  double delta_percent = 0.0;
+  double accuracy = 0.0;                  ///< top-k (or top-1) accuracy
+  core::CompressionReport report;         ///< the Table II row
+  accel::LayerCompression compression;    ///< for the accelerator plan
+};
+
+class DeltaEvaluator {
+ public:
+  /// Agreement mode: probes are generated; baseline = original outputs.
+  DeltaEvaluator(nn::Model& model, const EvalConfig& cfg);
+
+  /// Labeled mode: accuracy is measured against `test` labels (the model
+  /// should have been trained first).
+  DeltaEvaluator(nn::Model& model, const nn::Dataset& test,
+                 const EvalConfig& cfg);
+
+  /// Accuracy of the unmodified model (top-k agreement mode reports 1.0 by
+  /// construction only if the model is deterministic — it is — so labeled
+  /// mode is the interesting baseline).
+  [[nodiscard]] double baseline_accuracy() const {
+    return baseline_accuracy_;
+  }
+
+  /// Compress the selected layer at δ, replay the tail, restore weights.
+  [[nodiscard]] DeltaPoint evaluate(double delta_percent);
+
+  /// Fraction of the model's parameters held by the selected layer.
+  [[nodiscard]] double selected_fraction() const noexcept {
+    return selected_fraction_;
+  }
+  [[nodiscard]] const std::string& selected_layer() const noexcept {
+    return selected_name_;
+  }
+
+ private:
+  void prepare(const nn::Tensor& inputs);
+
+  nn::Model* model_;
+  EvalConfig cfg_;
+  int selected_node_ = -1;
+  std::string selected_name_;
+  double selected_fraction_ = 0.0;
+  nn::Tensor captured_;          ///< activations feeding the selected layer
+  nn::Tensor baseline_outputs_;  ///< original model outputs on the probes
+  std::vector<int> labels_;      ///< labeled mode only
+  double baseline_accuracy_ = 1.0;
+  std::vector<float> original_weights_;
+};
+
+}  // namespace nocw::eval

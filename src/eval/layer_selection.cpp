@@ -1,0 +1,32 @@
+#include "eval/layer_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nocw::eval {
+
+int select_layer(const nn::Model& model) {
+  const auto nodes = model.graph.parameterized_nodes();
+  if (nodes.empty()) throw std::invalid_argument("model has no parameters");
+  // The paper weighs both criteria: its Table I picks MobileNet's conv_preds
+  // (1.02M weights) over conv_pw_13 (1.05M) and ResNet50's fc1000 (2.05M)
+  // over res5c's 3x3 (2.36M) because they sit deeper. Operationally: among
+  // layers within 2x of the largest weight count, take the deepest.
+  std::size_t max_weights = 0;
+  for (int idx : nodes) {
+    max_weights =
+        std::max(max_weights, model.graph.layer(idx).kernel().size());
+  }
+  int best = -1;
+  for (int idx : nodes) {
+    const std::size_t w = model.graph.layer(idx).kernel().size();
+    if (2 * w >= max_weights) best = idx;  // nodes are in depth order
+  }
+  return best;
+}
+
+std::string select_layer_name(const nn::Model& model) {
+  return model.graph.layer(select_layer(model)).name();
+}
+
+}  // namespace nocw::eval

@@ -1,0 +1,22 @@
+// Layer Selection policy (paper Sec. IV-A).
+//
+// "The layer with the largest number of parameters and more in depth located
+// is selected": among parameterized layers, pick the one with the most
+// kernel weights, breaking ties toward the deepest node. The zoo's
+// `selected_layer` fields are cross-checked against this policy by tests.
+#pragma once
+
+#include <string>
+
+#include "nn/models.hpp"
+
+namespace nocw::eval {
+
+/// Graph node index of the layer the policy selects. Throws if the model has
+/// no parameterized layers.
+int select_layer(const nn::Model& model);
+
+/// Name of the selected layer.
+std::string select_layer_name(const nn::Model& model);
+
+}  // namespace nocw::eval

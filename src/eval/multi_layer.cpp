@@ -1,0 +1,159 @@
+#include "eval/multi_layer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/codec.hpp"
+#include "eval/probes.hpp"
+#include "nn/metrics.hpp"
+
+namespace nocw::eval {
+
+accel::CompressionPlan MultiLayerResult::to_accel_plan() const {
+  accel::CompressionPlan out;
+  for (const auto& e : plan) {
+    out[e.layer] = accel::LayerCompression{e.compressed_bits, e.weight_count};
+  }
+  return out;
+}
+
+namespace {
+
+struct LayerState {
+  int node = -1;
+  std::vector<float> original;
+  int step = -1;  ///< index into delta_steps; -1 = uncompressed
+};
+
+}  // namespace
+
+MultiLayerResult optimize_multi_layer(nn::Model& model,
+                                      const nn::Dataset* test,
+                                      const MultiLayerConfig& cfg) {
+  const nn::Tensor inputs =
+      test ? test->images
+           : make_probes(cfg.probes, model.input_size, model.input_channels,
+                         cfg.probe_seed);
+  const nn::Tensor baseline = model.graph.forward(inputs);
+
+  auto accuracy_now = [&]() {
+    const nn::Tensor out = model.graph.forward(inputs);
+    return test ? nn::topk_accuracy(out, test->labels, cfg.topk)
+                : nn::topk_retention(baseline, out, cfg.topk);
+  };
+
+  MultiLayerResult result;
+  result.baseline_accuracy =
+      test ? nn::topk_accuracy(baseline, test->labels, cfg.topk) : 1.0;
+
+  std::vector<LayerState> layers;
+  for (int idx : model.graph.parameterized_nodes()) {
+    nn::Layer& layer = model.graph.layer(idx);
+    if (layer.type() == nn::LayerType::BatchNorm) continue;  // statistics
+    LayerState st;
+    st.node = idx;
+    const auto k = layer.kernel();
+    st.original.assign(k.begin(), k.end());
+    layers.push_back(std::move(st));
+  }
+
+  // Memoized compression of layer i at ladder step s (from ORIGINAL weights).
+  std::map<std::pair<int, int>, core::CompressedLayer> cache;
+  auto compressed_at = [&](std::size_t li,
+                           int step) -> const core::CompressedLayer& {
+    const auto key = std::make_pair(static_cast<int>(li), step);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      core::CodecConfig ccfg;
+      ccfg.delta_percent = cfg.delta_steps[static_cast<std::size_t>(step)];
+      it = cache.emplace(key, core::compress(layers[li].original, ccfg))
+               .first;
+    }
+    return it->second;
+  };
+
+  auto install = [&](std::size_t li, int step) {
+    auto kernel = model.graph.layer(layers[li].node).kernel();
+    if (step < 0) {
+      std::copy(layers[li].original.begin(), layers[li].original.end(),
+                kernel.begin());
+    } else {
+      core::decompress(compressed_at(li, step), kernel);
+    }
+  };
+
+  auto bits_of = [&](std::size_t li, int step) -> std::uint64_t {
+    if (step < 0) {
+      return static_cast<std::uint64_t>(layers[li].original.size()) * 32;
+    }
+    return compressed_at(li, step).compressed_bits();
+  };
+
+  // Layers whose next bump already failed the constraint are frozen until
+  // some other move succeeds (a successful move changes the context, so
+  // frozen layers thaw then).
+  std::vector<bool> frozen(layers.size(), false);
+  for (int round = 0; round < cfg.max_rounds; ++round) {
+    // Rank candidate bumps by bits saved, then try them in order and commit
+    // the first one that keeps the accuracy constraint. This needs only a
+    // couple of forward passes per round instead of one per layer.
+    std::vector<std::pair<std::uint64_t, std::size_t>> candidates;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+      if (frozen[li]) continue;
+      const int next = layers[li].step + 1;
+      if (next >= static_cast<int>(cfg.delta_steps.size())) continue;
+      const std::uint64_t saved =
+          bits_of(li, layers[li].step) - bits_of(li, next);
+      if (saved > 0) candidates.emplace_back(saved, li);
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    bool committed = false;
+    for (const auto& [saved, li] : candidates) {
+      const int next = layers[li].step + 1;
+      install(li, next);
+      const double acc = accuracy_now();
+      if (acc + 1e-12 >= cfg.min_accuracy) {
+        layers[li].step = next;
+        result.accuracy = acc;
+        committed = true;
+        std::fill(frozen.begin(), frozen.end(), false);
+        break;
+      }
+      install(li, layers[li].step);  // roll back and freeze
+      frozen[li] = true;
+    }
+    if (!committed) break;
+  }
+
+  // Collect the plan and whole-model ratio.
+  std::uint64_t before_bits = 0;
+  std::uint64_t after_bits = 0;
+  for (int idx : model.graph.parameterized_nodes()) {
+    before_bits +=
+        static_cast<std::uint64_t>(model.graph.layer(idx).param_count()) * 32;
+  }
+  after_bits = before_bits;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    if (layers[li].step < 0) continue;
+    const auto& comp = compressed_at(li, layers[li].step);
+    LayerPlanEntry e;
+    e.layer = model.graph.layer(layers[li].node).name();
+    e.delta_percent =
+        cfg.delta_steps[static_cast<std::size_t>(layers[li].step)];
+    e.cr = comp.compression_ratio();
+    e.compressed_bits = comp.compressed_bits();
+    e.weight_count = comp.original_count;
+    after_bits -= static_cast<std::uint64_t>(e.weight_count) * 32;
+    after_bits += e.compressed_bits;
+    result.plan.push_back(std::move(e));
+  }
+  result.weighted_cr =
+      static_cast<double>(before_bits) / static_cast<double>(after_bits);
+  if (result.plan.empty()) result.accuracy = result.baseline_accuracy;
+
+  // Restore original weights.
+  for (std::size_t li = 0; li < layers.size(); ++li) install(li, -1);
+  return result;
+}
+
+}  // namespace nocw::eval

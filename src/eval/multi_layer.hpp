@@ -1,0 +1,60 @@
+// Multi-layer compression under an accuracy constraint — the extension the
+// paper's Sec. V leaves as future work ("defining a technique aimed at
+// selecting the set of layers to be compressed and, for each of them, the
+// appropriate compression level").
+//
+// Greedy ladder search: every parameterized layer starts uncompressed; each
+// round tries raising one layer's δ to the next step of the ladder,
+// installs the whole current plan, measures accuracy on the probe set, and
+// commits the move with the best bits-saved-per-accuracy-lost ratio among
+// those that keep accuracy above the constraint. Terminates when no move is
+// admissible. Deterministic given (model, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/simulator.hpp"
+#include "nn/digits.hpp"
+#include "nn/models.hpp"
+
+namespace nocw::eval {
+
+struct MultiLayerConfig {
+  /// δ ladder (percent of each layer's own range), ascending.
+  std::vector<double> delta_steps{2, 4, 6, 8, 10, 15, 20};
+  /// Absolute accuracy floor the plan must respect.
+  double min_accuracy = 0.9;
+  int probes = 6;   ///< agreement mode probe count
+  int topk = 5;
+  std::uint64_t probe_seed = 4242;
+  int max_rounds = 64;  ///< safety bound on greedy rounds
+};
+
+struct LayerPlanEntry {
+  std::string layer;
+  double delta_percent = 0.0;
+  double cr = 1.0;
+  std::uint64_t compressed_bits = 0;
+  std::uint64_t weight_count = 0;
+};
+
+struct MultiLayerResult {
+  std::vector<LayerPlanEntry> plan;  ///< compressed layers only
+  double accuracy = 0.0;             ///< of the final plan
+  double baseline_accuracy = 0.0;
+  double weighted_cr = 1.0;          ///< whole-model bits before/after
+
+  /// Convert to the accelerator simulator's plan type.
+  [[nodiscard]] accel::CompressionPlan to_accel_plan() const;
+};
+
+/// Optimize in place (weights are restored before returning). With `test`
+/// non-null accuracy is top-k against labels; otherwise top-k retention
+/// against the unmodified model.
+MultiLayerResult optimize_multi_layer(nn::Model& model,
+                                      const nn::Dataset* test,
+                                      const MultiLayerConfig& cfg);
+
+}  // namespace nocw::eval

@@ -1,0 +1,74 @@
+#include "eval/probes.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::eval {
+
+namespace {
+
+/// Separable box blur in place (3-tap), one pass per axis.
+void box_blur(std::vector<float>& img, int h, int w) {
+  std::vector<float> tmp(img.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0F;
+      int cnt = 0;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int xx = x + dx;
+        if (xx < 0 || xx >= w) continue;
+        acc += img[static_cast<std::size_t>(y) * w + xx];
+        ++cnt;
+      }
+      tmp[static_cast<std::size_t>(y) * w + x] = acc / static_cast<float>(cnt);
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0F;
+      int cnt = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int yy = y + dy;
+        if (yy < 0 || yy >= h) continue;
+        acc += tmp[static_cast<std::size_t>(yy) * w + x];
+        ++cnt;
+      }
+      img[static_cast<std::size_t>(y) * w + x] = acc / static_cast<float>(cnt);
+    }
+  }
+}
+
+}  // namespace
+
+nn::Tensor make_probes(int n, int size, int channels, std::uint64_t seed) {
+  nn::Tensor out({n, size, size, channels});
+  Xoshiro256pp rng(seed);
+  std::vector<float> plane(static_cast<std::size_t>(size) * size);
+  for (int img = 0; img < n; ++img) {
+    for (int c = 0; c < channels; ++c) {
+      for (auto& v : plane) v = static_cast<float>(rng.normal());
+      // A few blur passes push the spectrum toward 1/f.
+      box_blur(plane, size, size);
+      box_blur(plane, size, size);
+      box_blur(plane, size, size);
+      float lo = plane[0];
+      float hi = plane[0];
+      for (float v : plane) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const float span = hi > lo ? hi - lo : 1.0F;
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          out.at(img, y, x, c) =
+              (plane[static_cast<std::size_t>(y) * size + x] - lo) / span;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nocw::eval

@@ -1,0 +1,18 @@
+// Probe input generation for the agreement-accuracy evaluation
+// (DESIGN.md §4: stands in for the ImageNet validation images).
+//
+// Probes are random fields with natural-image statistics (approximately 1/f
+// spatial spectrum, obtained by repeated box filtering of white noise),
+// normalized to [0, 1]. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+
+namespace nocw::eval {
+
+/// A batch of n probes shaped (n, size, size, channels).
+nn::Tensor make_probes(int n, int size, int channels, std::uint64_t seed);
+
+}  // namespace nocw::eval

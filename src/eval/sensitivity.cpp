@@ -1,0 +1,72 @@
+#include "eval/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "eval/probes.hpp"
+#include "nn/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nocw::eval {
+
+std::vector<LayerSensitivity> sensitivity_analysis(
+    nn::Model& model, const nn::Dataset* test, const SensitivityConfig& cfg) {
+  const nn::Tensor inputs =
+      test ? test->images
+           : make_probes(cfg.probes, model.input_size, model.input_channels,
+                         cfg.seed);
+  const nn::Tensor baseline = model.graph.forward(inputs);
+  const double baseline_acc =
+      test ? nn::topk_accuracy(baseline, test->labels, cfg.topk) : 1.0;
+
+  Xoshiro256pp rng(cfg.seed ^ 0xABCDEFULL);
+  const auto param_nodes = model.graph.parameterized_nodes();
+  double geo_mean_size = 1.0;
+  if (cfg.equalize_energy) {
+    double log_sum = 0.0;
+    for (int idx : param_nodes) {
+      log_sum += std::log(static_cast<double>(
+          std::max<std::size_t>(1, model.graph.layer(idx).kernel().size())));
+    }
+    geo_mean_size = std::exp(log_sum / static_cast<double>(param_nodes.size()));
+  }
+
+  std::vector<LayerSensitivity> out;
+  for (int idx : param_nodes) {
+    nn::Layer& layer = model.graph.layer(idx);
+    auto kernel = layer.kernel();
+    const std::vector<float> original(kernel.begin(), kernel.end());
+    const double range = value_range(kernel);
+    double amp = cfg.noise_fraction * (range > 0 ? range : 1.0);
+    if (cfg.equalize_energy && !kernel.empty()) {
+      amp *= std::sqrt(geo_mean_size / static_cast<double>(kernel.size()));
+    }
+
+    double acc_sum = 0.0;
+    for (int t = 0; t < cfg.trials; ++t) {
+      for (std::size_t i = 0; i < kernel.size(); ++i) {
+        kernel[i] = original[i] +
+                    static_cast<float>(rng.uniform(-amp, amp));
+      }
+      const nn::Tensor outputs = model.graph.forward(inputs);
+      acc_sum += test ? nn::topk_accuracy(outputs, test->labels, cfg.topk)
+                      : nn::mean_topk_agreement(baseline, outputs, cfg.topk);
+      std::copy(original.begin(), original.end(), kernel.begin());
+    }
+    LayerSensitivity s;
+    s.layer = layer.name();
+    s.accuracy_drop =
+        std::max(0.0, baseline_acc - acc_sum / cfg.trials);
+    out.push_back(std::move(s));
+  }
+  double max_drop = 0.0;
+  for (const auto& s : out) max_drop = std::max(max_drop, s.accuracy_drop);
+  for (auto& s : out) {
+    s.normalized = max_drop > 0 ? s.accuracy_drop / max_drop : 0.0;
+  }
+  return out;
+}
+
+}  // namespace nocw::eval

@@ -1,0 +1,130 @@
+#include "nn/digits.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace nocw::nn {
+
+namespace {
+
+struct Pt {
+  float x, y;
+};
+struct Seg {
+  Pt a, b;
+};
+
+/// Digit skeletons on a unit box (x in [0,1], y in [0,1], y grows downward).
+/// Roughly seven-segment shapes with a few diagonals for 2/4/7.
+const std::vector<Seg>& glyph(int digit) {
+  static const std::array<std::vector<Seg>, 10> kGlyphs = {{
+      // 0: rounded rectangle outline
+      {{{{0.15F, 0.05F}, {0.85F, 0.05F}}, {{0.85F, 0.05F}, {0.85F, 0.95F}},
+        {{0.85F, 0.95F}, {0.15F, 0.95F}}, {{0.15F, 0.95F}, {0.15F, 0.05F}}}},
+      // 1: vertical stroke with a small flag
+      {{{{0.5F, 0.05F}, {0.5F, 0.95F}}, {{0.3F, 0.25F}, {0.5F, 0.05F}}}},
+      // 2
+      {{{{0.15F, 0.05F}, {0.85F, 0.05F}}, {{0.85F, 0.05F}, {0.85F, 0.5F}},
+        {{0.85F, 0.5F}, {0.15F, 0.95F}}, {{0.15F, 0.95F}, {0.85F, 0.95F}}}},
+      // 3
+      {{{{0.15F, 0.05F}, {0.85F, 0.05F}}, {{0.85F, 0.05F}, {0.85F, 0.95F}},
+        {{0.85F, 0.95F}, {0.15F, 0.95F}}, {{0.35F, 0.5F}, {0.85F, 0.5F}}}},
+      // 4
+      {{{{0.75F, 0.05F}, {0.15F, 0.6F}}, {{0.15F, 0.6F}, {0.85F, 0.6F}},
+        {{0.75F, 0.05F}, {0.75F, 0.95F}}}},
+      // 5
+      {{{{0.85F, 0.05F}, {0.15F, 0.05F}}, {{0.15F, 0.05F}, {0.15F, 0.5F}},
+        {{0.15F, 0.5F}, {0.85F, 0.5F}}, {{0.85F, 0.5F}, {0.85F, 0.95F}},
+        {{0.85F, 0.95F}, {0.15F, 0.95F}}}},
+      // 6
+      {{{{0.85F, 0.05F}, {0.15F, 0.05F}}, {{0.15F, 0.05F}, {0.15F, 0.95F}},
+        {{0.15F, 0.95F}, {0.85F, 0.95F}}, {{0.85F, 0.95F}, {0.85F, 0.5F}},
+        {{0.85F, 0.5F}, {0.15F, 0.5F}}}},
+      // 7
+      {{{{0.15F, 0.05F}, {0.85F, 0.05F}}, {{0.85F, 0.05F}, {0.35F, 0.95F}}}},
+      // 8
+      {{{{0.15F, 0.05F}, {0.85F, 0.05F}}, {{0.85F, 0.05F}, {0.85F, 0.95F}},
+        {{0.85F, 0.95F}, {0.15F, 0.95F}}, {{0.15F, 0.95F}, {0.15F, 0.05F}},
+        {{0.15F, 0.5F}, {0.85F, 0.5F}}}},
+      // 9
+      {{{{0.85F, 0.5F}, {0.15F, 0.5F}}, {{0.15F, 0.5F}, {0.15F, 0.05F}},
+        {{0.15F, 0.05F}, {0.85F, 0.05F}}, {{0.85F, 0.05F}, {0.85F, 0.95F}},
+        {{0.85F, 0.95F}, {0.15F, 0.95F}}}},
+  }};
+  return kGlyphs[static_cast<std::size_t>(digit)];
+}
+
+float dist_to_segment(Pt p, Seg s) {
+  const float dx = s.b.x - s.a.x;
+  const float dy = s.b.y - s.a.y;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0F
+                ? ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len2
+                : 0.0F;
+  t = std::clamp(t, 0.0F, 1.0F);
+  const float px = s.a.x + t * dx - p.x;
+  const float py = s.a.y + t * dy - p.y;
+  return std::sqrt(px * px + py * py);
+}
+
+}  // namespace
+
+Tensor render_digit(int digit, Xoshiro256pp& rng) {
+  constexpr int kSize = 32;
+  Tensor img({1, kSize, kSize, 1});
+  const auto& segs = glyph(digit);
+
+  // Random affine jitter: the glyph box (20x24 px nominal) moves, scales and
+  // rotates slightly, as handwriting would.
+  const float scale = static_cast<float>(rng.uniform(0.85, 1.15));
+  const float angle = static_cast<float>(rng.uniform(-0.18, 0.18));
+  const float cx = 16.0F + static_cast<float>(rng.uniform(-2.5, 2.5));
+  const float cy = 16.0F + static_cast<float>(rng.uniform(-2.5, 2.5));
+  const float half_w = 9.0F * scale;
+  const float half_h = 11.0F * scale;
+  const float cos_a = std::cos(angle);
+  const float sin_a = std::sin(angle);
+  const float thickness =
+      static_cast<float>(rng.uniform(1.2, 2.2));
+  const float ink = static_cast<float>(rng.uniform(0.75, 1.0));
+
+  for (int y = 0; y < kSize; ++y) {
+    for (int x = 0; x < kSize; ++x) {
+      // Map the pixel back into glyph space (inverse affine).
+      const float rx = static_cast<float>(x) - cx;
+      const float ry = static_cast<float>(y) - cy;
+      const float gx = (cos_a * rx + sin_a * ry) / (2.0F * half_w) + 0.5F;
+      const float gy = (-sin_a * rx + cos_a * ry) / (2.0F * half_h) + 0.5F;
+      float dmin = 1e9F;
+      for (const Seg& s : segs) {
+        dmin = std::min(dmin, dist_to_segment({gx, gy}, s));
+      }
+      // Distance in glyph units -> pixels (approx via width scale).
+      const float dpx = dmin * 2.0F * half_w;
+      // Soft-edged stroke.
+      const float v = ink / (1.0F + std::exp(2.5F * (dpx - thickness)));
+      float noisy = v + static_cast<float>(rng.normal(0.0, 0.03));
+      img.at(0, y, x, 0) = std::clamp(noisy, 0.0F, 1.0F);
+    }
+  }
+  return img;
+}
+
+Dataset make_digits(int n, std::uint64_t seed) {
+  Dataset ds;
+  ds.images = Tensor({n, 32, 32, 1});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  Xoshiro256pp rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int digit = i % 10;
+    ds.labels[static_cast<std::size_t>(i)] = digit;
+    const Tensor img = render_digit(digit, rng);
+    std::copy(img.data().begin(), img.data().end(),
+              ds.images.data().begin() +
+                  static_cast<std::ptrdiff_t>(i) * 32 * 32);
+  }
+  return ds;
+}
+
+}  // namespace nocw::nn

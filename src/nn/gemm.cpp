@@ -1,0 +1,46 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nocw::nn {
+
+namespace {
+// Block sizes chosen so an A-panel (kMb x kKb) and C-panel rows stay in L1/L2.
+constexpr std::size_t kMb = 64;
+constexpr std::size_t kKb = 256;
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t i0 = 0; i0 < m; i0 += kMb) {
+    const std::size_t i1 = std::min(i0 + kMb, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kKb) {
+      const std::size_t p1 = std::min(p0 + kKb, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0F) continue;  // im2col zero padding is common
+          const float* brow = b + p * n;
+          // Inner loop over n: contiguous FMA chain, auto-vectorized.
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemv(const float* a, const float* x, float* y, std::size_t m,
+          std::size_t k, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float acc = accumulate ? y[i] : 0.0F;
+    for (std::size_t p = 0; p < k; ++p) acc += arow[p] * x[p];
+    y[i] = acc;
+  }
+}
+
+}  // namespace nocw::nn

@@ -1,0 +1,22 @@
+// Minimal single-threaded GEMM tuned for the conv/dense layers in the zoo.
+//
+// C[M x N] (+)= A[M x K] * B[K x N], all row-major. The kernel blocks over K
+// and unrolls over N so GCC auto-vectorizes the inner loop; on one laptop
+// core this reaches a few GFLOP/s, enough to run full-resolution VGG-16
+// probe passes in seconds. No transposed variants are needed: im2col lays
+// patches out so conv is exactly this product.
+#pragma once
+
+#include <cstddef>
+
+namespace nocw::nn {
+
+/// C = A*B (beta = 0) or C += A*B (accumulate = true).
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate = false);
+
+/// y = A*x (+ y), the M x K by K matrix-vector special case.
+void gemv(const float* a, const float* x, float* y, std::size_t m,
+          std::size_t k, bool accumulate = false);
+
+}  // namespace nocw::nn

@@ -1,0 +1,71 @@
+// Static DAG of layers (the model container for the zoo).
+//
+// Nodes are appended in topological order (every input edge must point to an
+// already-added node), which makes execution a single in-order sweep. The
+// graph supports the penultimate-activation caching trick used by the
+// evaluation flow: because compression perturbs exactly one layer, the
+// expensive prefix up to that layer is computed once per probe input and
+// only the tail is replayed per δ (see forward_tail / capture_input_of).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace nocw::nn {
+
+class Graph {
+ public:
+  struct Node {
+    LayerPtr layer;
+    std::vector<int> inputs;  ///< indices of producer nodes (empty for input)
+  };
+
+  /// Append a node; returns its index. All `input_nodes` must be < the new
+  /// index (topological insertion).
+  int add(LayerPtr layer, std::vector<int> input_nodes = {});
+
+  /// Convenience for linear chains: wires to the previously added node.
+  int add_sequential(LayerPtr layer);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const Node& node(int i) const { return nodes_.at(i); }
+  [[nodiscard]] Layer& layer(int i) { return *nodes_.at(i).layer; }
+  [[nodiscard]] const Layer& layer(int i) const { return *nodes_.at(i).layer; }
+
+  /// Index of the node whose layer has this name; -1 if absent.
+  [[nodiscard]] int find(const std::string& name) const noexcept;
+
+  /// Full forward pass; returns the last node's output.
+  [[nodiscard]] Tensor forward(const Tensor& input) const;
+
+  /// Forward pass that also returns the (single) input tensor feeding node
+  /// `capture`: the cached activation for the δ-sweep replay. Requires node
+  /// `capture` to have exactly one producer.
+  [[nodiscard]] std::pair<Tensor, Tensor> forward_capturing(
+      const Tensor& input, int capture) const;
+
+  /// Replay only nodes [from, end) given the captured input of node `from`.
+  /// Every replayed node may consume only the captured tensor or outputs of
+  /// other replayed nodes (true for the tail-of-network layers the selection
+  /// policy picks); violations throw.
+  [[nodiscard]] Tensor forward_tail(const Tensor& captured_input,
+                                    int from) const;
+
+  /// Sum of param_count() over all layers.
+  [[nodiscard]] std::size_t total_params() const noexcept;
+
+  /// Indices of nodes whose layer has a non-empty kernel, in graph order.
+  [[nodiscard]] std::vector<int> parameterized_nodes() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace nocw::nn

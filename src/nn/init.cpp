@@ -1,0 +1,81 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace nocw::nn {
+
+namespace {
+
+struct Fan {
+  double in = 1.0;
+  double out = 1.0;
+};
+
+Fan fan_of(Layer& layer) {
+  switch (layer.type()) {
+    case LayerType::Conv2D: {
+      auto& c = static_cast<Conv2D&>(layer);
+      const double window = static_cast<double>(c.kernel_h()) * c.kernel_w();
+      return {window * c.in_channels(), window * c.out_channels()};
+    }
+    case LayerType::DepthwiseConv2D: {
+      auto& c = static_cast<DepthwiseConv2D&>(layer);
+      const double window = static_cast<double>(c.kernel_h()) * c.kernel_w();
+      return {window, window};
+    }
+    case LayerType::Dense: {
+      auto& d = static_cast<Dense&>(layer);
+      return {static_cast<double>(d.in_features()),
+              static_cast<double>(d.out_features())};
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+void init_layer(Layer& layer, Xoshiro256pp& rng, InitScheme scheme,
+                InitDistribution dist) {
+  if (layer.type() == LayerType::BatchNorm) {
+    auto& bn = static_cast<BatchNorm&>(layer);
+    for (auto& g : bn.kernel()) g = static_cast<float>(rng.normal(1.0, 0.08));
+    for (auto& b : bn.bias()) b = static_cast<float>(rng.normal(0.0, 0.05));
+    for (auto& m : bn.moving_mean()) {
+      m = static_cast<float>(rng.normal(0.0, 0.1));
+    }
+    for (auto& v : bn.moving_var()) {
+      v = static_cast<float>(std::abs(rng.normal(1.0, 0.1)) + 0.1);
+    }
+    return;
+  }
+  const Fan fan = fan_of(layer);
+  const double stddev =
+      scheme == InitScheme::HeNormal
+          ? std::sqrt(2.0 / fan.in)
+          : std::sqrt(2.0 / (fan.in + fan.out));
+  if (dist == InitDistribution::Gaussian) {
+    for (auto& w : layer.kernel()) {
+      w = static_cast<float>(rng.normal(0.0, stddev));
+    }
+  } else {
+    // Laplacian with the same fan-scaled stddev (see InitDistribution docs).
+    const double b_scale = stddev / std::sqrt(2.0);
+    for (auto& w : layer.kernel()) {
+      const double u = rng.uniform() - 0.5;
+      const double mag = -b_scale * std::log(1.0 - 2.0 * std::abs(u));
+      w = static_cast<float>(u < 0 ? -mag : mag);
+    }
+  }
+  for (auto& b : layer.bias()) b = 0.0F;
+}
+
+void init_graph(Graph& graph, std::uint64_t seed, InitScheme scheme,
+                InitDistribution dist) {
+  Xoshiro256pp rng(seed);
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    init_layer(graph.layer(static_cast<int>(i)), rng, scheme, dist);
+  }
+}
+
+}  // namespace nocw::nn

@@ -1,0 +1,622 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "nn/gemm.hpp"
+
+namespace nocw::nn {
+
+const char* layer_type_name(LayerType t) noexcept {
+  switch (t) {
+    case LayerType::Input: return "Input";
+    case LayerType::Conv2D: return "Conv2D";
+    case LayerType::DepthwiseConv2D: return "DepthwiseConv2D";
+    case LayerType::Dense: return "Dense";
+    case LayerType::MaxPool: return "MaxPool";
+    case LayerType::AvgPool: return "AvgPool";
+    case LayerType::GlobalAvgPool: return "GlobalAvgPool";
+    case LayerType::ReLU: return "ReLU";
+    case LayerType::ReLU6: return "ReLU6";
+    case LayerType::Softmax: return "Softmax";
+    case LayerType::Flatten: return "Flatten";
+    case LayerType::BatchNorm: return "BatchNorm";
+    case LayerType::Add: return "Add";
+    case LayerType::Concat: return "Concat";
+  }
+  return "?";
+}
+
+int conv_out_extent(int in, int window, int stride, Padding padding) noexcept {
+  if (padding == Padding::Same) return (in + stride - 1) / stride;
+  return (in - window) / stride + 1;
+}
+
+int same_pad_total(int in, int window, int stride) noexcept {
+  const int out = (in + stride - 1) / stride;
+  return std::max((out - 1) * stride + window - in, 0);
+}
+
+namespace {
+
+const Tensor& single_input(std::span<const Tensor* const> inputs) {
+  if (inputs.size() != 1 || inputs[0] == nullptr) {
+    throw std::invalid_argument("layer expects exactly one input");
+  }
+  return *inputs[0];
+}
+
+void require_rank(const Tensor& t, int rank, const char* what) {
+  if (t.rank() != rank) {
+    throw std::invalid_argument(std::string(what) + ": expected rank " +
+                                std::to_string(rank) + ", got " +
+                                t.shape_string());
+  }
+}
+
+}  // namespace
+
+// --- InputLayer ------------------------------------------------------------
+
+Tensor InputLayer::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  if (static_cast<int>(shape_.size()) != in.rank()) {
+    throw std::invalid_argument("input rank mismatch for " + name());
+  }
+  for (std::size_t i = 1; i < shape_.size(); ++i) {
+    if (shape_[i] != in.shape()[i]) {
+      throw std::invalid_argument("input shape mismatch for " + name() +
+                                  ": got " + in.shape_string());
+    }
+  }
+  return in;  // pass-through copy
+}
+
+// --- Conv2D ------------------------------------------------------------------
+
+Conv2D::Conv2D(std::string name, int in_channels, int out_channels,
+               int kernel_h, int kernel_w, int stride, Padding padding,
+               bool use_bias)
+    : Layer(std::move(name)), cin_(in_channels), cout_(out_channels),
+      kh_(kernel_h), kw_(kernel_w), stride_(stride), padding_(padding),
+      kernel_(static_cast<std::size_t>(kernel_h) * kernel_w * in_channels *
+              out_channels),
+      bias_(use_bias ? static_cast<std::size_t>(out_channels) : 0) {}
+
+Tensor Conv2D::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 4, "Conv2D");
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  if (c != cin_) throw std::invalid_argument("Conv2D channel mismatch");
+  const int oh = conv_out_extent(h, kh_, stride_, padding_);
+  const int ow = conv_out_extent(w, kw_, stride_, padding_);
+  const int pad_top =
+      padding_ == Padding::Same ? same_pad_total(h, kh_, stride_) / 2 : 0;
+  const int pad_left =
+      padding_ == Padding::Same ? same_pad_total(w, kw_, stride_) / 2 : 0;
+
+  Tensor out({n, oh, ow, cout_});
+  const std::size_t k = static_cast<std::size_t>(kh_) * kw_ * cin_;
+  std::vector<float> cols(static_cast<std::size_t>(oh) * ow * k);
+
+  for (int img = 0; img < n; ++img) {
+    // im2col: one row of `cols` per output position.
+    float* col = cols.data();
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        for (int ky = 0; ky < kh_; ++ky) {
+          const int iy = y * stride_ - pad_top + ky;
+          float* dst = col + (static_cast<std::size_t>(ky) * kw_) * cin_;
+          if (iy < 0 || iy >= h) {
+            std::memset(dst, 0, static_cast<std::size_t>(kw_) * cin_ *
+                                    sizeof(float));
+            continue;
+          }
+          const int ix0 = x * stride_ - pad_left;
+          if (ix0 >= 0 && ix0 + kw_ <= w) {
+            std::memcpy(dst, &in.at(img, iy, ix0, 0),
+                        static_cast<std::size_t>(kw_) * cin_ * sizeof(float));
+          } else {
+            for (int kx = 0; kx < kw_; ++kx) {
+              const int ix = ix0 + kx;
+              float* d = dst + static_cast<std::size_t>(kx) * cin_;
+              if (ix < 0 || ix >= w) {
+                std::memset(d, 0, static_cast<std::size_t>(cin_) *
+                                      sizeof(float));
+              } else {
+                std::memcpy(d, &in.at(img, iy, ix, 0),
+                            static_cast<std::size_t>(cin_) * sizeof(float));
+              }
+            }
+          }
+        }
+        col += k;
+      }
+    }
+    float* dst = &out.at(img, 0, 0, 0);
+    gemm(cols.data(), kernel_.data(), dst,
+         static_cast<std::size_t>(oh) * ow, k,
+         static_cast<std::size_t>(cout_));
+    if (!bias_.empty()) {
+      for (std::size_t pos = 0; pos < static_cast<std::size_t>(oh) * ow;
+           ++pos) {
+        float* row = dst + pos * cout_;
+        for (int co = 0; co < cout_; ++co) row[co] += bias_[co];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> Conv2D::backward(std::span<const Tensor* const> inputs,
+                                     const Tensor& grad_out) {
+  if (padding_ != Padding::Valid) {
+    throw std::logic_error("Conv2D::backward supports Valid padding only");
+  }
+  const Tensor& in = single_input(inputs);
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2);
+  const int oh = grad_out.dim(1), ow = grad_out.dim(2);
+  if (kernel_grad_.empty()) kernel_grad_.resize(kernel_.size(), 0.0F);
+  if (bias_grad_.empty()) bias_grad_.resize(bias_.size(), 0.0F);
+
+  Tensor grad_in({n, h, w, cin_});
+  for (int img = 0; img < n; ++img) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        const float* go = &grad_out.at(img, y, x, 0);
+        if (!bias_grad_.empty()) {
+          for (int co = 0; co < cout_; ++co) bias_grad_[co] += go[co];
+        }
+        for (int ky = 0; ky < kh_; ++ky) {
+          const int iy = y * stride_ + ky;
+          for (int kx = 0; kx < kw_; ++kx) {
+            const int ix = x * stride_ + kx;
+            const float* iv = &in.at(img, iy, ix, 0);
+            float* gv = &grad_in.at(img, iy, ix, 0);
+            float* kbase =
+                kernel_grad_.data() +
+                ((static_cast<std::size_t>(ky) * kw_ + kx) * cin_) * cout_;
+            const float* wbase =
+                kernel_.data() +
+                ((static_cast<std::size_t>(ky) * kw_ + kx) * cin_) * cout_;
+            for (int ci = 0; ci < cin_; ++ci) {
+              const float ival = iv[ci];
+              float gacc = 0.0F;
+              float* krow = kbase + static_cast<std::size_t>(ci) * cout_;
+              const float* wrow = wbase + static_cast<std::size_t>(ci) * cout_;
+              for (int co = 0; co < cout_; ++co) {
+                krow[co] += ival * go[co];
+                gacc += wrow[co] * go[co];
+              }
+              gv[ci] += gacc;
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+void Conv2D::zero_grads() {
+  std::fill(kernel_grad_.begin(), kernel_grad_.end(), 0.0F);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0F);
+}
+
+void Conv2D::sgd_step(float lr) {
+  if (kernel_grad_.empty()) return;
+  for (std::size_t i = 0; i < kernel_.size(); ++i) {
+    kernel_[i] -= lr * kernel_grad_[i];
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    bias_[i] -= lr * bias_grad_[i];
+  }
+}
+
+// --- DepthwiseConv2D ---------------------------------------------------------
+
+DepthwiseConv2D::DepthwiseConv2D(std::string name, int channels, int kernel_h,
+                                 int kernel_w, int stride, Padding padding,
+                                 bool use_bias)
+    : Layer(std::move(name)), channels_(channels), kh_(kernel_h),
+      kw_(kernel_w), stride_(stride), padding_(padding),
+      kernel_(static_cast<std::size_t>(kernel_h) * kernel_w * channels),
+      bias_(use_bias ? static_cast<std::size_t>(channels) : 0) {}
+
+Tensor DepthwiseConv2D::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 4, "DepthwiseConv2D");
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  if (c != channels_) {
+    throw std::invalid_argument("DepthwiseConv2D channel mismatch");
+  }
+  const int oh = conv_out_extent(h, kh_, stride_, padding_);
+  const int ow = conv_out_extent(w, kw_, stride_, padding_);
+  const int pad_top =
+      padding_ == Padding::Same ? same_pad_total(h, kh_, stride_) / 2 : 0;
+  const int pad_left =
+      padding_ == Padding::Same ? same_pad_total(w, kw_, stride_) / 2 : 0;
+
+  Tensor out({n, oh, ow, channels_});
+  for (int img = 0; img < n; ++img) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float* o = &out.at(img, y, x, 0);
+        if (bias_.empty()) {
+          for (int ci = 0; ci < channels_; ++ci) o[ci] = 0.0F;
+        } else {
+          for (int ci = 0; ci < channels_; ++ci) o[ci] = bias_[ci];
+        }
+        for (int ky = 0; ky < kh_; ++ky) {
+          const int iy = y * stride_ - pad_top + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < kw_; ++kx) {
+            const int ix = x * stride_ - pad_left + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float* iv = &in.at(img, iy, ix, 0);
+            const float* kv =
+                kernel_.data() +
+                (static_cast<std::size_t>(ky) * kw_ + kx) * channels_;
+            for (int ci = 0; ci < channels_; ++ci) o[ci] += iv[ci] * kv[ci];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// --- Dense -------------------------------------------------------------------
+
+Dense::Dense(std::string name, int in_features, int out_features)
+    : Layer(std::move(name)), in_(in_features), out_(out_features),
+      kernel_(static_cast<std::size_t>(in_features) * out_features),
+      bias_(static_cast<std::size_t>(out_features)) {}
+
+Tensor Dense::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 2, "Dense");
+  if (in.dim(1) != in_) throw std::invalid_argument("Dense feature mismatch");
+  const int n = in.dim(0);
+  Tensor out({n, out_});
+  gemm(in.raw(), kernel_.data(), out.raw(), static_cast<std::size_t>(n),
+       static_cast<std::size_t>(in_), static_cast<std::size_t>(out_));
+  for (int i = 0; i < n; ++i) {
+    float* row = out.raw() + static_cast<std::size_t>(i) * out_;
+    for (int j = 0; j < out_; ++j) row[j] += bias_[j];
+  }
+  return out;
+}
+
+std::vector<Tensor> Dense::backward(std::span<const Tensor* const> inputs,
+                                    const Tensor& grad_out) {
+  const Tensor& in = single_input(inputs);
+  const int n = in.dim(0);
+  if (kernel_grad_.empty()) kernel_grad_.resize(kernel_.size(), 0.0F);
+  if (bias_grad_.empty()) bias_grad_.resize(bias_.size(), 0.0F);
+
+  Tensor grad_in({n, in_});
+  for (int img = 0; img < n; ++img) {
+    const float* x = in.raw() + static_cast<std::size_t>(img) * in_;
+    const float* go = grad_out.raw() + static_cast<std::size_t>(img) * out_;
+    float* gi = grad_in.raw() + static_cast<std::size_t>(img) * in_;
+    for (int j = 0; j < out_; ++j) bias_grad_[j] += go[j];
+    for (int i = 0; i < in_; ++i) {
+      float* krow = kernel_grad_.data() + static_cast<std::size_t>(i) * out_;
+      const float* wrow = kernel_.data() + static_cast<std::size_t>(i) * out_;
+      const float xv = x[i];
+      float acc = 0.0F;
+      for (int j = 0; j < out_; ++j) {
+        krow[j] += xv * go[j];
+        acc += wrow[j] * go[j];
+      }
+      gi[i] = acc;
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+void Dense::zero_grads() {
+  std::fill(kernel_grad_.begin(), kernel_grad_.end(), 0.0F);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0F);
+}
+
+void Dense::sgd_step(float lr) {
+  if (kernel_grad_.empty()) return;
+  for (std::size_t i = 0; i < kernel_.size(); ++i) {
+    kernel_[i] -= lr * kernel_grad_[i];
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    bias_[i] -= lr * bias_grad_[i];
+  }
+}
+
+// --- Pooling -----------------------------------------------------------------
+
+Tensor MaxPool::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 4, "MaxPool");
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  const int oh = conv_out_extent(h, pool_, stride_, padding_);
+  const int ow = conv_out_extent(w, pool_, stride_, padding_);
+  const int pad_top =
+      padding_ == Padding::Same ? same_pad_total(h, pool_, stride_) / 2 : 0;
+  const int pad_left =
+      padding_ == Padding::Same ? same_pad_total(w, pool_, stride_) / 2 : 0;
+  Tensor out({n, oh, ow, c});
+  for (int img = 0; img < n; ++img) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float* o = &out.at(img, y, x, 0);
+        for (int ci = 0; ci < c; ++ci) {
+          o[ci] = -std::numeric_limits<float>::infinity();
+        }
+        for (int ky = 0; ky < pool_; ++ky) {
+          const int iy = y * stride_ - pad_top + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < pool_; ++kx) {
+            const int ix = x * stride_ - pad_left + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float* iv = &in.at(img, iy, ix, 0);
+            for (int ci = 0; ci < c; ++ci) o[ci] = std::max(o[ci], iv[ci]);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> MaxPool::backward(std::span<const Tensor* const> inputs,
+                                      const Tensor& grad_out) {
+  if (padding_ != Padding::Valid) {
+    throw std::logic_error("MaxPool::backward supports Valid padding only");
+  }
+  const Tensor& in = single_input(inputs);
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  const int oh = grad_out.dim(1), ow = grad_out.dim(2);
+  Tensor grad_in({n, h, w, c});
+  for (int img = 0; img < n; ++img) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        for (int ci = 0; ci < c; ++ci) {
+          // Route the gradient to the argmax of the window.
+          float best = -std::numeric_limits<float>::infinity();
+          int by = 0, bx = 0;
+          for (int ky = 0; ky < pool_; ++ky) {
+            for (int kx = 0; kx < pool_; ++kx) {
+              const float v =
+                  in.at(img, y * stride_ + ky, x * stride_ + kx, ci);
+              if (v > best) {
+                best = v;
+                by = ky;
+                bx = kx;
+              }
+            }
+          }
+          grad_in.at(img, y * stride_ + by, x * stride_ + bx, ci) +=
+              grad_out.at(img, y, x, ci);
+        }
+      }
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+Tensor AvgPool::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 4, "AvgPool");
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  const int oh = conv_out_extent(h, pool_, stride_, padding_);
+  const int ow = conv_out_extent(w, pool_, stride_, padding_);
+  const int pad_top =
+      padding_ == Padding::Same ? same_pad_total(h, pool_, stride_) / 2 : 0;
+  const int pad_left =
+      padding_ == Padding::Same ? same_pad_total(w, pool_, stride_) / 2 : 0;
+  Tensor out({n, oh, ow, c});
+  for (int img = 0; img < n; ++img) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float* o = &out.at(img, y, x, 0);
+        int valid = 0;
+        for (int ky = 0; ky < pool_; ++ky) {
+          const int iy = y * stride_ - pad_top + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < pool_; ++kx) {
+            const int ix = x * stride_ - pad_left + kx;
+            if (ix < 0 || ix >= w) continue;
+            ++valid;
+            const float* iv = &in.at(img, iy, ix, 0);
+            for (int ci = 0; ci < c; ++ci) o[ci] += iv[ci];
+          }
+        }
+        const float inv = valid > 0 ? 1.0F / static_cast<float>(valid) : 0.0F;
+        for (int ci = 0; ci < c; ++ci) o[ci] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 4, "GlobalAvgPool");
+  const int n = in.dim(0), h = in.dim(1), w = in.dim(2), c = in.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (int img = 0; img < n; ++img) {
+    float* o = out.raw() + static_cast<std::size_t>(img) * c;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float* iv = &in.at(img, y, x, 0);
+        for (int ci = 0; ci < c; ++ci) o[ci] += iv[ci];
+      }
+    }
+    for (int ci = 0; ci < c; ++ci) o[ci] *= inv;
+  }
+  return out;
+}
+
+// --- Activations ---------------------------------------------------------------
+
+Tensor ReLU::forward(std::span<const Tensor* const> inputs) const {
+  Tensor out = single_input(inputs);
+  for (auto& v : out.data()) v = std::max(v, 0.0F);
+  return out;
+}
+
+std::vector<Tensor> ReLU::backward(std::span<const Tensor* const> inputs,
+                                   const Tensor& grad_out) {
+  const Tensor& in = single_input(inputs);
+  Tensor grad_in = grad_out;
+  auto gi = grad_in.data();
+  auto iv = in.data();
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    if (iv[i] <= 0.0F) gi[i] = 0.0F;
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+Tensor ReLU6::forward(std::span<const Tensor* const> inputs) const {
+  Tensor out = single_input(inputs);
+  for (auto& v : out.data()) v = std::clamp(v, 0.0F, 6.0F);
+  return out;
+}
+
+Tensor Softmax::forward(std::span<const Tensor* const> inputs) const {
+  const Tensor& in = single_input(inputs);
+  require_rank(in, 2, "Softmax");
+  Tensor out = in;
+  const int n = in.dim(0), c = in.dim(1);
+  for (int img = 0; img < n; ++img) {
+    float* row = out.raw() + static_cast<std::size_t>(img) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0F;
+    for (int j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0F / sum;
+    for (int j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+// --- Shape ops --------------------------------------------------------------
+
+Tensor Reshape::forward(std::span<const Tensor* const> inputs) const {
+  Tensor out = single_input(inputs);
+  std::vector<int> shape;
+  shape.push_back(out.dim(0));
+  shape.insert(shape.end(), per_sample_.begin(), per_sample_.end());
+  out.reshape(std::move(shape));
+  return out;
+}
+
+Tensor Flatten::forward(std::span<const Tensor* const> inputs) const {
+  Tensor out = single_input(inputs);
+  const int n = out.dim(0);
+  const int features = static_cast<int>(out.size()) / std::max(n, 1);
+  out.reshape({n, features});
+  return out;
+}
+
+std::vector<Tensor> Flatten::backward(std::span<const Tensor* const> inputs,
+                                      const Tensor& grad_out) {
+  const Tensor& in = single_input(inputs);
+  Tensor grad_in = grad_out;
+  grad_in.reshape(in.shape());
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+// --- BatchNorm ---------------------------------------------------------------
+
+BatchNorm::BatchNorm(std::string name, int channels, float epsilon)
+    : Layer(std::move(name)), eps_(epsilon),
+      gamma_(static_cast<std::size_t>(channels), 1.0F),
+      beta_(static_cast<std::size_t>(channels), 0.0F),
+      mean_(static_cast<std::size_t>(channels), 0.0F),
+      var_(static_cast<std::size_t>(channels), 1.0F) {}
+
+Tensor BatchNorm::forward(std::span<const Tensor* const> inputs) const {
+  Tensor out = single_input(inputs);
+  const int c = out.shape().back();
+  if (static_cast<std::size_t>(c) != gamma_.size()) {
+    throw std::invalid_argument("BatchNorm channel mismatch");
+  }
+  // Fold to y = x*scale + shift once per call.
+  std::vector<float> scale(gamma_.size());
+  std::vector<float> shift(gamma_.size());
+  for (std::size_t i = 0; i < gamma_.size(); ++i) {
+    scale[i] = gamma_[i] / std::sqrt(var_[i] + eps_);
+    shift[i] = beta_[i] - mean_[i] * scale[i];
+  }
+  auto d = out.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const std::size_t ci = i % gamma_.size();
+    d[i] = d[i] * scale[ci] + shift[ci];
+  }
+  return out;
+}
+
+// --- Merging ------------------------------------------------------------------
+
+Tensor Add::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() < 2) throw std::invalid_argument("Add needs >= 2 inputs");
+  Tensor out = *inputs[0];
+  for (std::size_t k = 1; k < inputs.size(); ++k) {
+    const Tensor& rhs = *inputs[k];
+    if (rhs.shape() != out.shape()) {
+      throw std::invalid_argument("Add shape mismatch");
+    }
+    auto o = out.data();
+    auto r = rhs.data();
+    for (std::size_t i = 0; i < o.size(); ++i) o[i] += r[i];
+  }
+  return out;
+}
+
+Tensor Concat::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.empty()) throw std::invalid_argument("Concat needs inputs");
+  const Tensor& first = *inputs[0];
+  require_rank(first, 4, "Concat");
+  const int n = first.dim(0), h = first.dim(1), w = first.dim(2);
+  int total_c = 0;
+  for (const Tensor* t : inputs) {
+    require_rank(*t, 4, "Concat");
+    if (t->dim(0) != n || t->dim(1) != h || t->dim(2) != w) {
+      throw std::invalid_argument("Concat spatial mismatch");
+    }
+    total_c += t->dim(3);
+  }
+  Tensor out({n, h, w, total_c});
+  for (int img = 0; img < n; ++img) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        float* o = &out.at(img, y, x, 0);
+        for (const Tensor* t : inputs) {
+          const int c = t->dim(3);
+          std::memcpy(o, &t->at(img, y, x, 0),
+                      static_cast<std::size_t>(c) * sizeof(float));
+          o += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nocw::nn

@@ -1,0 +1,102 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nocw::nn {
+
+int argmax(std::span<const float> scores) {
+  if (scores.empty()) throw std::invalid_argument("argmax of empty row");
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<int> topk(std::span<const float> scores, int k) {
+  const int n = static_cast<int>(scores.size());
+  k = std::min(k, n);
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](int a, int b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+bool in_topk(std::span<const float> scores, int label, int k) {
+  const auto best = topk(scores, k);
+  return std::find(best.begin(), best.end(), label) != best.end();
+}
+
+double topk_overlap(std::span<const float> a, std::span<const float> b,
+                    int k) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("topk_overlap row size mismatch");
+  }
+  const auto ta = topk(a, k);
+  auto tb = topk(b, k);
+  std::sort(tb.begin(), tb.end());
+  int hits = 0;
+  for (int i : ta) {
+    if (std::binary_search(tb.begin(), tb.end(), i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ta.size());
+}
+
+namespace {
+std::span<const float> row(const Tensor& t, int i) {
+  const int c = t.dim(1);
+  return t.data().subspan(static_cast<std::size_t>(i) * c,
+                          static_cast<std::size_t>(c));
+}
+}  // namespace
+
+double top1_accuracy(const Tensor& scores, std::span<const int> labels) {
+  return topk_accuracy(scores, labels, 1);
+}
+
+double topk_accuracy(const Tensor& scores, std::span<const int> labels,
+                     int k) {
+  if (scores.rank() != 2 ||
+      static_cast<std::size_t>(scores.dim(0)) != labels.size()) {
+    throw std::invalid_argument("topk_accuracy shape mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  int hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (in_topk(row(scores, static_cast<int>(i)), labels[i], k)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double topk_retention(const Tensor& baseline, const Tensor& outputs, int k) {
+  if (baseline.shape() != outputs.shape() || baseline.rank() != 2) {
+    throw std::invalid_argument("topk_retention shape mismatch");
+  }
+  const int n = baseline.dim(0);
+  if (n == 0) return 0.0;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const int label = argmax(row(baseline, i));
+    if (in_topk(row(outputs, i), label, k)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double mean_topk_agreement(const Tensor& a, const Tensor& b, int k) {
+  if (a.shape() != b.shape() || a.rank() != 2) {
+    throw std::invalid_argument("mean_topk_agreement shape mismatch");
+  }
+  const int n = a.dim(0);
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += topk_overlap(row(a, i), row(b, i), k);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace nocw::nn

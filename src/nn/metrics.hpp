@@ -1,0 +1,46 @@
+// Classification metrics: top-1 / top-k accuracy and top-k agreement.
+//
+// The paper reports top-5 accuracy (top-1 for LeNet-5). For the untrained
+// ImageNet-scale zoo we report *top-5 agreement with the uncompressed
+// model*: the original model's prediction set is the ground truth and the
+// metric measures how much of it the compressed model preserves — exactly
+// the prediction churn the paper's accuracy columns capture (DESIGN.md §4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nocw::nn {
+
+/// Index of the maximum of a score row.
+int argmax(std::span<const float> scores);
+
+/// Indices of the k largest scores, descending (deterministic tie-break by
+/// lower index first).
+std::vector<int> topk(std::span<const float> scores, int k);
+
+/// True when `label` appears among the k best scores.
+bool in_topk(std::span<const float> scores, int label, int k);
+
+/// |topk(a) ∩ topk(b)| / k — smooth agreement between two score rows.
+double topk_overlap(std::span<const float> a, std::span<const float> b, int k);
+
+/// Fraction of rows of `scores` (N x C tensor) whose argmax equals labels[i].
+double top1_accuracy(const Tensor& scores, std::span<const int> labels);
+
+/// Fraction of rows whose label is within the top k.
+double topk_accuracy(const Tensor& scores, std::span<const int> labels, int k);
+
+/// Mean top-k overlap across paired rows of two (N x C) score tensors.
+double mean_topk_agreement(const Tensor& a, const Tensor& b, int k);
+
+/// Top-k retention: fraction of rows where the *top-1* prediction of
+/// `baseline` appears in the top k of `outputs`. This is the exact analog of
+/// top-k accuracy with the baseline model's prediction standing in for the
+/// ground-truth label (DESIGN.md §4) — the metric the δ sweeps report for
+/// the untrained ImageNet-scale zoo.
+double topk_retention(const Tensor& baseline, const Tensor& outputs, int k);
+
+}  // namespace nocw::nn

@@ -1,0 +1,244 @@
+// ResNet50 and Inception-v3 builders, plus the zoo registry.
+#include <memory>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/models_util.hpp"
+
+namespace nocw::nn {
+
+using detail::conv_bn_relu;
+
+namespace {
+
+/// ResNet bottleneck: 1x1 (a) -> 3x3 (a) -> 1x1 (4a), each conv_bn, summed
+/// with a shortcut (projection conv when `project`), then ReLU.
+int bottleneck(Graph& g, const std::string& name, int from, int cin, int a,
+               int stride, bool project) {
+  const int cout = 4 * a;
+  int n = conv_bn_relu(g, name + "_1x1a", from, cin, a, 1, 1, stride,
+                       Padding::Valid);
+  n = conv_bn_relu(g, name + "_3x3", n, a, a, 3, 3, 1, Padding::Same);
+  // Last conv has no ReLU before the residual add.
+  int main_out = g.add(std::make_unique<Conv2D>(name + "_1x1b", a, cout, 1, 1,
+                                                1, Padding::Valid),
+                       {n});
+  main_out = g.add(std::make_unique<BatchNorm>(name + "_1x1b_bn", cout),
+                   {main_out});
+  int shortcut = from;
+  if (project) {
+    shortcut = g.add(std::make_unique<Conv2D>(name + "_proj", cin, cout, 1, 1,
+                                              stride, Padding::Valid),
+                     {from});
+    shortcut = g.add(std::make_unique<BatchNorm>(name + "_proj_bn", cout),
+                     {shortcut});
+  }
+  const int sum =
+      g.add(std::make_unique<Add>(name + "_add"), {main_out, shortcut});
+  return g.add(std::make_unique<ReLU>(name + "_relu"), {sum});
+}
+
+}  // namespace
+
+Model make_resnet50(std::uint64_t seed) {
+  Model m;
+  m.name = "ResNet50";
+  m.input_size = 224;
+  m.input_channels = 3;
+  m.num_classes = 1000;
+  m.selected_layer = "fc1000";
+
+  Graph& g = m.graph;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 224, 224, 3}));
+  n = conv_bn_relu(g, "conv1", n, 3, 64, 7, 7, 2, Padding::Same);  // 112x112
+  n = g.add(std::make_unique<MaxPool>("pool1", 3, 2, Padding::Same), {n});
+
+  struct Stage {
+    int a;
+    int blocks;
+    int stride;  // stride of the first (projection) block
+  };
+  const Stage stages[] = {{64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2}};
+  int cin = 64;
+  int si = 2;
+  for (const Stage& s : stages) {
+    for (int b = 0; b < s.blocks; ++b) {
+      const std::string name =
+          "res" + std::to_string(si) + static_cast<char>('a' + b);
+      const bool project = (b == 0);
+      const int stride = (b == 0) ? s.stride : 1;
+      n = bottleneck(g, name, n, cin, s.a, stride, project);
+      cin = 4 * s.a;
+    }
+    ++si;
+  }
+  n = g.add(std::make_unique<GlobalAvgPool>("gap"), {n});  // (N, 2048)
+  n = g.add(std::make_unique<Dense>("fc1000", 2048, 1000), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+
+  init_graph(g, seed);
+  return m;
+}
+
+namespace {
+
+/// Inception block A (mixed0..2 at 35x35).
+int inception_a(Graph& g, const std::string& name, int from, int cin,
+                int pool_channels) {
+  const int b1 = conv_bn_relu(g, name + "_1x1", from, cin, 64, 1, 1, 1,
+                              Padding::Same, false, false);
+  int b2 = conv_bn_relu(g, name + "_5x5a", from, cin, 48, 1, 1, 1,
+                        Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_5x5b", b2, 48, 64, 5, 5, 1, Padding::Same, false, false);
+  int b3 = conv_bn_relu(g, name + "_3x3a", from, cin, 64, 1, 1, 1,
+                        Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_3x3b", b3, 64, 96, 3, 3, 1, Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_3x3c", b3, 96, 96, 3, 3, 1, Padding::Same, false, false);
+  int b4 = g.add(std::make_unique<AvgPool>(name + "_pool", 3, 1,
+                                           Padding::Same),
+                 {from});
+  b4 = conv_bn_relu(g, name + "_poolproj", b4, cin, pool_channels, 1, 1, 1,
+                    Padding::Same, false, false);
+  return g.add(std::make_unique<Concat>(name), {b1, b2, b3, b4});
+}
+
+/// Reduction A (mixed3: 35x35 -> 17x17).
+int reduction_a(Graph& g, const std::string& name, int from, int cin) {
+  const int b1 = conv_bn_relu(g, name + "_3x3", from, cin, 384, 3, 3, 2,
+                              Padding::Valid, false, false);
+  int b2 = conv_bn_relu(g, name + "_dbl_a", from, cin, 64, 1, 1, 1,
+                        Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_dbl_b", b2, 64, 96, 3, 3, 1, Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_dbl_c", b2, 96, 96, 3, 3, 2, Padding::Valid, false, false);
+  const int b3 =
+      g.add(std::make_unique<MaxPool>(name + "_pool", 3, 2), {from});
+  return g.add(std::make_unique<Concat>(name), {b1, b2, b3});
+}
+
+/// Inception block B (mixed4..7 at 17x17) with 7x1/1x7 factorized convs.
+int inception_b(Graph& g, const std::string& name, int from, int cin, int c) {
+  const int b1 = conv_bn_relu(g, name + "_1x1", from, cin, 192, 1, 1, 1,
+                              Padding::Same, false, false);
+  int b2 = conv_bn_relu(g, name + "_7x7a", from, cin, c, 1, 1, 1,
+                        Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_7x7b", b2, c, c, 1, 7, 1, Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_7x7c", b2, c, 192, 7, 1, 1, Padding::Same, false, false);
+  int b3 = conv_bn_relu(g, name + "_dbl_a", from, cin, c, 1, 1, 1,
+                        Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_dbl_b", b3, c, c, 7, 1, 1, Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_dbl_c", b3, c, c, 1, 7, 1, Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_dbl_d", b3, c, c, 7, 1, 1, Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_dbl_e", b3, c, 192, 1, 7, 1, Padding::Same, false, false);
+  int b4 = g.add(std::make_unique<AvgPool>(name + "_pool", 3, 1,
+                                           Padding::Same),
+                 {from});
+  b4 = conv_bn_relu(g, name + "_poolproj", b4, cin, 192, 1, 1, 1,
+                    Padding::Same, false, false);
+  return g.add(std::make_unique<Concat>(name), {b1, b2, b3, b4});
+}
+
+/// Reduction B (mixed8: 17x17 -> 8x8).
+int reduction_b(Graph& g, const std::string& name, int from, int cin) {
+  int b1 = conv_bn_relu(g, name + "_3x3a", from, cin, 192, 1, 1, 1,
+                        Padding::Same, false, false);
+  b1 = conv_bn_relu(g, name + "_3x3b", b1, 192, 320, 3, 3, 2, Padding::Valid, false, false);
+  int b2 = conv_bn_relu(g, name + "_7x7a", from, cin, 192, 1, 1, 1,
+                        Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_7x7b", b2, 192, 192, 1, 7, 1, Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_7x7c", b2, 192, 192, 7, 1, 1, Padding::Same, false, false);
+  b2 = conv_bn_relu(g, name + "_7x7d", b2, 192, 192, 3, 3, 2, Padding::Valid, false, false);
+  const int b3 =
+      g.add(std::make_unique<MaxPool>(name + "_pool", 3, 2), {from});
+  return g.add(std::make_unique<Concat>(name), {b1, b2, b3});
+}
+
+/// Inception block C (mixed9..10 at 8x8) with split 1x3/3x1 branches.
+int inception_c(Graph& g, const std::string& name, int from, int cin) {
+  const int b1 = conv_bn_relu(g, name + "_1x1", from, cin, 320, 1, 1, 1,
+                              Padding::Same, false, false);
+  const int b2root = conv_bn_relu(g, name + "_3x3", from, cin, 384, 1, 1, 1,
+                                  Padding::Same, false, false);
+  const int b2a = conv_bn_relu(g, name + "_3x3_1x3", b2root, 384, 384, 1, 3,
+                               1, Padding::Same, false, false);
+  const int b2b = conv_bn_relu(g, name + "_3x3_3x1", b2root, 384, 384, 3, 1,
+                               1, Padding::Same, false, false);
+  const int b2 =
+      g.add(std::make_unique<Concat>(name + "_3x3_concat"), {b2a, b2b});
+  int b3 = conv_bn_relu(g, name + "_dbl_a", from, cin, 448, 1, 1, 1,
+                        Padding::Same, false, false);
+  b3 = conv_bn_relu(g, name + "_dbl_b", b3, 448, 384, 3, 3, 1, Padding::Same, false, false);
+  const int b3a = conv_bn_relu(g, name + "_dbl_1x3", b3, 384, 384, 1, 3, 1,
+                               Padding::Same, false, false);
+  const int b3b = conv_bn_relu(g, name + "_dbl_3x1", b3, 384, 384, 3, 1, 1,
+                               Padding::Same, false, false);
+  const int b3c =
+      g.add(std::make_unique<Concat>(name + "_dbl_concat"), {b3a, b3b});
+  int b4 = g.add(std::make_unique<AvgPool>(name + "_pool", 3, 1,
+                                           Padding::Same),
+                 {from});
+  b4 = conv_bn_relu(g, name + "_poolproj", b4, cin, 192, 1, 1, 1,
+                    Padding::Same, false, false);
+  return g.add(std::make_unique<Concat>(name), {b1, b2, b3c, b4});
+}
+
+}  // namespace
+
+Model make_inception_v3(std::uint64_t seed) {
+  Model m;
+  m.name = "Inception-v3";
+  m.input_size = 299;
+  m.input_channels = 3;
+  m.num_classes = 1000;
+  m.selected_layer = "pred";
+
+  Graph& g = m.graph;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 299, 299, 3}));
+  // Stem: 299 -> 35x35x192.
+  n = conv_bn_relu(g, "stem_conv1", n, 3, 32, 3, 3, 2, Padding::Valid, false, false);
+  n = conv_bn_relu(g, "stem_conv2", n, 32, 32, 3, 3, 1, Padding::Valid, false, false);
+  n = conv_bn_relu(g, "stem_conv3", n, 32, 64, 3, 3, 1, Padding::Same, false, false);
+  n = g.add(std::make_unique<MaxPool>("stem_pool1", 3, 2), {n});
+  n = conv_bn_relu(g, "stem_conv4", n, 64, 80, 1, 1, 1, Padding::Valid, false, false);
+  n = conv_bn_relu(g, "stem_conv5", n, 80, 192, 3, 3, 1, Padding::Valid, false, false);
+  n = g.add(std::make_unique<MaxPool>("stem_pool2", 3, 2), {n});
+
+  n = inception_a(g, "mixed0", n, 192, 32);  // -> 256
+  n = inception_a(g, "mixed1", n, 256, 64);  // -> 288
+  n = inception_a(g, "mixed2", n, 288, 64);  // -> 288
+  n = reduction_a(g, "mixed3", n, 288);      // -> 768 @ 17x17
+  n = inception_b(g, "mixed4", n, 768, 128);
+  n = inception_b(g, "mixed5", n, 768, 160);
+  n = inception_b(g, "mixed6", n, 768, 160);
+  n = inception_b(g, "mixed7", n, 768, 192);
+  n = reduction_b(g, "mixed8", n, 768);      // -> 1280 @ 8x8
+  n = inception_c(g, "mixed9", n, 1280);     // -> 2048
+  n = inception_c(g, "mixed10", n, 2048);    // -> 2048
+  n = g.add(std::make_unique<GlobalAvgPool>("gap"), {n});
+  n = g.add(std::make_unique<Dense>("pred", 2048, 1000), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+
+  init_graph(g, seed);
+  return m;
+}
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> kNames = {
+      "LeNet-5",   "AlexNet",      "VGG-16",
+      "MobileNet", "Inception-v3", "ResNet50"};
+  return kNames;
+}
+
+Model make_model(const std::string& name, std::uint64_t seed) {
+  if (name == "LeNet-5") return make_lenet5(seed);
+  if (name == "AlexNet") return make_alexnet(seed);
+  if (name == "VGG-16") return make_vgg16(seed);
+  if (name == "MobileNet") return make_mobilenet(seed);
+  if (name == "Inception-v3") return make_inception_v3(seed);
+  if (name == "ResNet50") return make_resnet50(seed);
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace nocw::nn

@@ -1,0 +1,165 @@
+// LeNet-5, AlexNet (compact), VGG-16 and MobileNet v1 builders.
+#include <memory>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/models_util.hpp"
+
+namespace nocw::nn {
+
+using detail::conv_bn_relu;
+using detail::conv_relu;
+using detail::dense_relu;
+
+Model make_lenet5(std::uint64_t seed) {
+  Model m;
+  m.name = "LeNet-5";
+  m.input_size = 32;
+  m.input_channels = 1;
+  m.num_classes = 10;
+  m.selected_layer = "dense_1";
+  m.top5 = false;  // 10 classes: the paper reports top-1 for LeNet-5
+
+  Graph& g = m.graph;
+  int n = g.add(std::make_unique<InputLayer>("input", std::vector<int>{0, 32, 32, 1}));
+  n = g.add(std::make_unique<Conv2D>("conv_1", 1, 6, 5, 5, 1, Padding::Valid), {n});
+  n = g.add(std::make_unique<ReLU>("conv_1_relu"), {n});
+  n = g.add(std::make_unique<MaxPool>("pool_1", 2, 2), {n});
+  n = g.add(std::make_unique<Conv2D>("conv_2", 6, 16, 5, 5, 1, Padding::Valid), {n});
+  n = g.add(std::make_unique<ReLU>("conv_2_relu"), {n});
+  n = g.add(std::make_unique<MaxPool>("pool_2", 2, 2), {n});
+  n = g.add(std::make_unique<Flatten>("flatten"), {n});
+  n = g.add(std::make_unique<Dense>("dense_1", 400, 120), {n});
+  n = g.add(std::make_unique<ReLU>("dense_1_relu"), {n});
+  n = g.add(std::make_unique<Dense>("dense_2", 120, 84), {n});
+  n = g.add(std::make_unique<ReLU>("dense_2_relu"), {n});
+  n = g.add(std::make_unique<Dense>("dense_3", 84, 10), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+
+  // Gaussian: LeNet-5 is trained in-repo and its Table II rows track the
+  // paper under Gaussian statistics (see InitDistribution docs).
+  init_graph(g, seed, InitScheme::GlorotNormal, InitDistribution::Gaussian);
+  return m;
+}
+
+Model make_alexnet(std::uint64_t seed) {
+  Model m;
+  m.name = "AlexNet";
+  m.input_size = 227;
+  m.input_channels = 3;
+  m.num_classes = 1000;
+  m.selected_layer = "dense_2";
+
+  Graph& g = m.graph;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 227, 227, 3}));
+  n = conv_relu(g, "conv_1", n, 3, 96, 11, 4, Padding::Valid);    // 55x55x96
+  n = g.add(std::make_unique<MaxPool>("pool_1", 3, 2), {n});      // 27x27
+  n = conv_relu(g, "conv_2", n, 96, 256, 5, 1, Padding::Same);
+  n = g.add(std::make_unique<MaxPool>("pool_2", 3, 2), {n});      // 13x13
+  n = conv_relu(g, "conv_3", n, 256, 384, 3, 1, Padding::Same);
+  n = conv_relu(g, "conv_4", n, 384, 384, 3, 1, Padding::Same);
+  n = conv_relu(g, "conv_5", n, 384, 256, 3, 1, Padding::Same);
+  n = g.add(std::make_unique<MaxPool>("pool_3", 3, 2), {n});      // 6x6x256
+  n = g.add(std::make_unique<GlobalAvgPool>("gap"), {n});         // 256
+  n = dense_relu(g, "dense_1", n, 256, 4096);
+  n = dense_relu(g, "dense_2", n, 4096, 4096);
+  n = g.add(std::make_unique<Dense>("dense_3", 4096, 1000), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+
+  init_graph(g, seed);
+  return m;
+}
+
+Model make_vgg16(std::uint64_t seed) {
+  Model m;
+  m.name = "VGG-16";
+  m.input_size = 224;
+  m.input_channels = 3;
+  m.num_classes = 1000;
+  m.selected_layer = "dense_1";
+
+  Graph& g = m.graph;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 224, 224, 3}));
+  struct Block {
+    int convs;
+    int channels;
+  };
+  const Block blocks[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+  int cin = 3;
+  int bi = 1;
+  for (const Block& b : blocks) {
+    for (int c = 1; c <= b.convs; ++c) {
+      const std::string name =
+          "block" + std::to_string(bi) + "_conv" + std::to_string(c);
+      n = conv_relu(g, name, n, cin, b.channels, 3, 1, Padding::Same);
+      cin = b.channels;
+    }
+    n = g.add(std::make_unique<MaxPool>("block" + std::to_string(bi) + "_pool",
+                                        2, 2),
+              {n});
+    ++bi;
+  }
+  n = g.add(std::make_unique<Flatten>("flatten"), {n});  // 7*7*512 = 25088
+  n = dense_relu(g, "dense_1", n, 25088, 4096);          // fc1: 102.8M params
+  n = dense_relu(g, "dense_2", n, 4096, 4096);
+  n = g.add(std::make_unique<Dense>("dense_3", 4096, 1000), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+
+  init_graph(g, seed);
+  return m;
+}
+
+Model make_mobilenet(std::uint64_t seed) {
+  Model m;
+  m.name = "MobileNet";
+  m.input_size = 224;
+  m.input_channels = 3;
+  m.num_classes = 1000;
+  m.selected_layer = "conv_preds";
+
+  Graph& g = m.graph;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 224, 224, 3}));
+  n = conv_bn_relu(g, "conv1", n, 3, 32, 3, 3, 2, Padding::Same, true, false);
+
+  struct Block {
+    int out_channels;
+    int stride;
+  };
+  // MobileNet v1 (alpha = 1) depthwise-separable schedule.
+  const Block blocks[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                          {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                          {512, 1}, {1024, 2}, {1024, 1}};
+  int cin = 32;
+  int idx = 1;
+  for (const Block& b : blocks) {
+    const std::string dw = "conv_dw_" + std::to_string(idx);
+    const int d = g.add(
+        std::make_unique<DepthwiseConv2D>(dw, cin, 3, 3, b.stride,
+                                          Padding::Same, false),
+        {n});
+    const int dbn = g.add(std::make_unique<BatchNorm>(dw + "_bn", cin), {d});
+    n = g.add(std::make_unique<ReLU6>(dw + "_relu"), {dbn});
+    const std::string pw = "conv_pw_" + std::to_string(idx);
+    n = conv_bn_relu(g, pw, n, cin, b.out_channels, 1, 1, 1, Padding::Same,
+                     true, false);
+    cin = b.out_channels;
+    ++idx;
+  }
+  n = g.add(std::make_unique<GlobalAvgPool>("gap"), {n});  // (N, 1024)
+  n = g.add(std::make_unique<Reshape>("reshape", std::vector<int>{1, 1, 1024}),
+            {n});
+  n = g.add(std::make_unique<Conv2D>("conv_preds", 1024, 1000, 1, 1, 1,
+                                     Padding::Valid),
+            {n});
+  n = g.add(std::make_unique<Flatten>("flatten_preds"), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+
+  init_graph(g, seed);
+  return m;
+}
+
+}  // namespace nocw::nn

@@ -1,0 +1,43 @@
+// Internal helpers shared by the model builder translation units.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace nocw::nn::detail {
+
+/// conv -> batchnorm -> ReLU (the Keras conv2d_bn building block).
+/// Returns the index of the ReLU node. `use_bias=false` matches the Keras
+/// MobileNet/Inception blocks where BatchNorm absorbs the bias; ResNet50's
+/// Keras definition keeps conv biases, so it passes true.
+inline int conv_bn_relu(Graph& g, const std::string& name, int from, int cin,
+                        int cout, int kh, int kw, int stride, Padding pad,
+                        bool relu6 = false, bool use_bias = true) {
+  const int conv = g.add(
+      std::make_unique<Conv2D>(name, cin, cout, kh, kw, stride, pad, use_bias),
+      {from});
+  const int bn = g.add(std::make_unique<BatchNorm>(name + "_bn", cout), {conv});
+  if (relu6) {
+    return g.add(std::make_unique<ReLU6>(name + "_relu"), {bn});
+  }
+  return g.add(std::make_unique<ReLU>(name + "_relu"), {bn});
+}
+
+/// conv -> ReLU without batch norm (AlexNet / VGG style).
+inline int conv_relu(Graph& g, const std::string& name, int from, int cin,
+                     int cout, int k, int stride, Padding pad) {
+  const int conv = g.add(
+      std::make_unique<Conv2D>(name, cin, cout, k, k, stride, pad), {from});
+  return g.add(std::make_unique<ReLU>(name + "_relu"), {conv});
+}
+
+/// dense -> ReLU.
+inline int dense_relu(Graph& g, const std::string& name, int from, int in,
+                      int out) {
+  const int d = g.add(std::make_unique<Dense>(name, in, out), {from});
+  return g.add(std::make_unique<ReLU>(name + "_relu"), {d});
+}
+
+}  // namespace nocw::nn::detail

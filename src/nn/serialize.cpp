@@ -1,0 +1,91 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace nocw::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E4F4357;  // "NOCW"
+
+/// All mutable float state of one layer, in a fixed order.
+std::vector<std::span<float>> layer_state(Layer& layer) {
+  std::vector<std::span<float>> spans;
+  if (!layer.kernel().empty()) spans.push_back(layer.kernel());
+  if (!layer.bias().empty()) spans.push_back(layer.bias());
+  if (layer.type() == LayerType::BatchNorm) {
+    auto& bn = static_cast<BatchNorm&>(layer);
+    spans.push_back(bn.moving_mean());
+    spans.push_back(bn.moving_var());
+  }
+  return spans;
+}
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u64(std::ifstream& f, std::uint64_t& v) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool save_weights(const Graph& graph, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::uint32_t magic = kMagic;
+  f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  write_u64(f, graph.node_count());
+  // const_cast: layer_state needs mutable spans; saving only reads them.
+  auto& g = const_cast<Graph&>(graph);
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    Layer& layer = g.layer(static_cast<int>(i));
+    const std::string& name = layer.name();
+    write_u64(f, name.size());
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto spans = layer_state(layer);
+    write_u64(f, spans.size());
+    for (const auto& s : spans) {
+      write_u64(f, s.size());
+      f.write(reinterpret_cast<const char*>(s.data()),
+              static_cast<std::streamsize>(s.size() * sizeof(float)));
+    }
+  }
+  return static_cast<bool>(f);
+}
+
+bool load_weights(Graph& graph, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!f || magic != kMagic) return false;
+  std::uint64_t nodes = 0;
+  if (!read_u64(f, nodes) || nodes != graph.node_count()) return false;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    Layer& layer = graph.layer(static_cast<int>(i));
+    std::uint64_t name_len = 0;
+    if (!read_u64(f, name_len) || name_len > 4096) return false;
+    std::string name(name_len, '\0');
+    f.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!f || name != layer.name()) return false;
+    std::uint64_t span_count = 0;
+    if (!read_u64(f, span_count)) return false;
+    const auto spans = layer_state(layer);
+    if (span_count != spans.size()) return false;
+    for (const auto& s : spans) {
+      std::uint64_t len = 0;
+      if (!read_u64(f, len) || len != s.size()) return false;
+      f.read(reinterpret_cast<char*>(s.data()),
+             static_cast<std::streamsize>(len * sizeof(float)));
+      if (!f) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nocw::nn

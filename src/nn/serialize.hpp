@@ -1,0 +1,22 @@
+// Weight checkpointing: save/load all learnable state of a graph.
+//
+// Binary format: magic, node records keyed by layer name with kernel, bias
+// and (for BatchNorm) moving statistics. Loading validates names and sizes
+// against the target graph, so a checkpoint only loads into the same
+// architecture. Used by the benches to train LeNet-5 once and share it.
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace nocw::nn {
+
+/// Write all parameters to `path`. Returns false on I/O failure.
+bool save_weights(const Graph& graph, const std::string& path);
+
+/// Load parameters from `path` into `graph`. Returns false when the file is
+/// missing, corrupt, or does not match the graph's architecture.
+bool load_weights(Graph& graph, const std::string& path);
+
+}  // namespace nocw::nn

@@ -1,0 +1,150 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nocw::nn {
+
+namespace {
+
+/// Verify the graph is a linear chain and return the index of the softmax
+/// (which must be the last node).
+int validate_chain(const Graph& g) {
+  if (g.node_count() < 3) throw std::logic_error("trainer: graph too small");
+  for (std::size_t i = 1; i < g.node_count(); ++i) {
+    const auto& inputs = g.node(static_cast<int>(i)).inputs;
+    if (inputs.size() != 1 || inputs[0] != static_cast<int>(i) - 1) {
+      throw std::logic_error("trainer: graph must be a linear chain");
+    }
+  }
+  const int last = static_cast<int>(g.node_count()) - 1;
+  if (g.layer(last).type() != LayerType::Softmax) {
+    throw std::logic_error("trainer: last layer must be Softmax");
+  }
+  return last;
+}
+
+Tensor slice_batch(const Tensor& images, std::span<const int> order,
+                   int begin, int count) {
+  std::vector<int> shape = images.shape();
+  shape[0] = count;
+  Tensor batch(shape);
+  const std::size_t stride = images.size() / images.dim(0);
+  for (int i = 0; i < count; ++i) {
+    const int src = order[static_cast<std::size_t>(begin + i)];
+    std::memcpy(batch.raw() + static_cast<std::size_t>(i) * stride,
+                images.raw() + static_cast<std::size_t>(src) * stride,
+                stride * sizeof(float));
+  }
+  return batch;
+}
+
+}  // namespace
+
+TrainStats train_classifier(Graph& graph, const Dataset& data,
+                            const TrainConfig& config) {
+  const int softmax_node = validate_chain(graph);
+  const int n = data.size();
+  TrainStats stats;
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Xoshiro256pp rng(config.shuffle_seed);
+
+  std::vector<Tensor> acts(graph.node_count());
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<int>(rng.bounded(
+          static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(j)]);
+    }
+    double loss_sum = 0.0;
+    int correct = 0;
+    for (int begin = 0; begin < n; begin += config.batch_size) {
+      const int count = std::min(config.batch_size, n - begin);
+      const Tensor batch = slice_batch(data.images, order, begin, count);
+
+      // Forward, caching every activation for the backward sweep.
+      for (int i = 0; i < static_cast<int>(graph.node_count()); ++i) {
+        const Tensor* in = (i == 0) ? &batch : &acts[i - 1];
+        const Tensor* ins[1] = {in};
+        acts[static_cast<std::size_t>(i)] =
+            graph.layer(i).forward(std::span<const Tensor* const>(ins, 1));
+      }
+      const Tensor& probs = acts[static_cast<std::size_t>(softmax_node)];
+      const int classes = probs.dim(1);
+
+      // Softmax cross-entropy gradient at the logits: (p - y) / batch.
+      Tensor grad({count, classes});
+      for (int i = 0; i < count; ++i) {
+        const int label = data.labels[static_cast<std::size_t>(
+            order[static_cast<std::size_t>(begin + i)])];
+        const float* p = probs.raw() + static_cast<std::size_t>(i) * classes;
+        float* gp = grad.raw() + static_cast<std::size_t>(i) * classes;
+        for (int c = 0; c < classes; ++c) {
+          gp[c] = (p[c] - (c == label ? 1.0F : 0.0F)) /
+                  static_cast<float>(count);
+        }
+        loss_sum -= std::log(std::max(p[label], 1e-12F));
+        if (argmax(std::span<const float>(p, static_cast<std::size_t>(
+                                                 classes))) == label) {
+          ++correct;
+        }
+      }
+
+      // Backward from the logits node (softmax folded into the loss grad).
+      for (int i = 0; i < static_cast<int>(graph.node_count()); ++i) {
+        graph.layer(i).zero_grads();
+      }
+      Tensor g = std::move(grad);
+      for (int i = softmax_node - 1; i >= 1; --i) {
+        const Tensor* in = (i == 0) ? &batch : &acts[i - 1];
+        const Tensor* ins[1] = {in};
+        auto grads = graph.layer(i).backward(
+            std::span<const Tensor* const>(ins, 1), g);
+        g = std::move(grads[0]);
+      }
+      for (int i = 0; i < static_cast<int>(graph.node_count()); ++i) {
+        graph.layer(i).sgd_step(config.learning_rate);
+      }
+    }
+    stats.epoch_loss.push_back(loss_sum / n);
+    stats.epoch_accuracy.push_back(static_cast<double>(correct) / n);
+  }
+  return stats;
+}
+
+Tensor predict(const Graph& graph, const Dataset& data) {
+  const int n = data.size();
+  constexpr int kBatch = 64;
+  Tensor all;
+  int written = 0;
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int begin = 0; begin < n; begin += kBatch) {
+    const int count = std::min(kBatch, n - begin);
+    const Tensor batch = slice_batch(data.images, order, begin, count);
+    const Tensor out = graph.forward(batch);
+    if (written == 0) {
+      all = Tensor({n, out.dim(1)});
+    }
+    std::memcpy(all.raw() + static_cast<std::size_t>(written) * out.dim(1),
+                out.raw(), out.size() * sizeof(float));
+    written += count;
+  }
+  return all;
+}
+
+double evaluate_top1(const Graph& graph, const Dataset& data) {
+  const Tensor probs = predict(graph, data);
+  return top1_accuracy(probs, data.labels);
+}
+
+}  // namespace nocw::nn

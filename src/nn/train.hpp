@@ -1,0 +1,41 @@
+// Minimal SGD trainer for sequential classifiers (used to train LeNet-5).
+//
+// The trainer requires a linear chain graph ending in Softmax whose layers
+// all implement backward() (Conv2D/Dense/MaxPool/ReLU/Flatten — the LeNet-5
+// configuration). Loss is softmax cross-entropy; the softmax node itself is
+// folded into the loss gradient (probs - onehot), the numerically standard
+// formulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/digits.hpp"
+#include "nn/graph.hpp"
+
+namespace nocw::nn {
+
+struct TrainConfig {
+  int epochs = 4;
+  int batch_size = 32;
+  float learning_rate = 0.05F;
+  std::uint64_t shuffle_seed = 17;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;      ///< mean CE loss per epoch
+  std::vector<double> epoch_accuracy;  ///< training top-1 per epoch
+};
+
+/// Train `graph` in place. Throws std::logic_error if the graph is not a
+/// backward-capable chain.
+TrainStats train_classifier(Graph& graph, const Dataset& data,
+                            const TrainConfig& config);
+
+/// Top-1 accuracy of `graph` on `data` (forward in batches of 64).
+double evaluate_top1(const Graph& graph, const Dataset& data);
+
+/// Class-probability outputs for the whole dataset (N x classes).
+Tensor predict(const Graph& graph, const Dataset& data);
+
+}  // namespace nocw::nn

@@ -1,0 +1,49 @@
+// Architectural parameters of the NoC (paper Sec. IV-A defaults).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nocw::noc {
+
+/// Dimension-order routing variants (both deadlock-free on meshes).
+enum class Routing {
+  XY,  ///< resolve X first, then Y (the paper's configuration)
+  YX,  ///< resolve Y first, then X
+};
+
+struct NocConfig {
+  int width = 4;             ///< mesh columns
+  int height = 4;            ///< mesh rows
+  int buffer_depth = 4;      ///< flits per input FIFO
+  int link_width_bits = 64;  ///< flit width == link width
+  double clock_ghz = 1.0;    ///< 1 GHz operating frequency
+  Routing routing = Routing::XY;
+  /// Virtual channels per physical input port. A packet is assigned one VC
+  /// at injection and keeps it along its (deterministic) path; the wormhole
+  /// lock is held per (output, VC), so a blocked packet no longer blocks
+  /// packets travelling on other VCs of the same link. 1 = plain wormhole.
+  int virtual_channels = 1;
+
+  [[nodiscard]] int node_count() const noexcept { return width * height; }
+  [[nodiscard]] int node_x(int id) const noexcept { return id % width; }
+  [[nodiscard]] int node_y(int id) const noexcept { return id / width; }
+  [[nodiscard]] int node_id(int x, int y) const noexcept {
+    return y * width + x;
+  }
+
+  /// Corner nodes host the memory interfaces; the rest are PEs.
+  [[nodiscard]] bool is_memory_interface(int id) const noexcept {
+    const int x = node_x(id);
+    const int y = node_y(id);
+    return (x == 0 || x == width - 1) && (y == 0 || y == height - 1);
+  }
+
+  [[nodiscard]] std::vector<int> memory_interface_nodes() const;
+  [[nodiscard]] std::vector<int> pe_nodes() const;
+
+  /// Manhattan hop distance between two nodes (XY routing path length).
+  [[nodiscard]] int hops(int a, int b) const noexcept;
+};
+
+}  // namespace nocw::noc

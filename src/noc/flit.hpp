@@ -1,0 +1,56 @@
+// Flit/packet model for the wormhole-switched mesh (paper Sec. IV-A).
+//
+// Links are 64 bits wide at 1 GHz; a packet is a head flit, body flits and a
+// tail flit (single-flit packets use HeadTail). Weights travel two-per-flit
+// (two float32 per 64-bit link word); compressed segments travel as
+// ⟨m, q, len⟩ records. The flit carries only what the simulator needs:
+// routing endpoints, wormhole framing, and its injection cycle for latency
+// accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace nocw::noc {
+
+enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
+
+struct Flit {
+  std::uint32_t packet_id = 0;
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  FlitType type = FlitType::HeadTail;
+  std::uint8_t vc = 0;             ///< virtual channel (fixed per packet)
+  std::uint32_t inject_cycle = 0;  ///< cycle the head entered the source queue
+};
+
+/// A packet awaiting injection: `size_flits` flits from src to dst, eligible
+/// for injection at `release_cycle`.
+struct PacketDescriptor {
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint32_t size_flits = 1;
+  std::uint64_t release_cycle = 0;
+};
+
+/// Router port indices. Local is the NI (injection/ejection) port.
+enum Port : int {
+  kLocal = 0,
+  kNorth = 1,
+  kEast = 2,
+  kSouth = 3,
+  kWest = 4,
+};
+inline constexpr int kNumPorts = 5;
+
+/// Opposite direction (the port on the neighbour that receives from `p`).
+constexpr int opposite(int p) noexcept {
+  switch (p) {
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    case kEast: return kWest;
+    case kWest: return kEast;
+    default: return kLocal;
+  }
+}
+
+}  // namespace nocw::noc

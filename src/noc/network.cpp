@@ -1,0 +1,175 @@
+#include "noc/network.hpp"
+
+#include <stdexcept>
+
+namespace nocw::noc {
+
+Network::Network(const NocConfig& cfg) : cfg_(cfg) {
+  vcs_ = cfg_.virtual_channels > 0 ? cfg_.virtual_channels : 1;
+  routers_.reserve(static_cast<std::size_t>(cfg_.node_count()));
+  for (int id = 0; id < cfg_.node_count(); ++id) {
+    routers_.emplace_back(id, cfg_);
+  }
+  sources_.resize(static_cast<std::size_t>(cfg_.node_count()));
+  staged_count_.resize(static_cast<std::size_t>(cfg_.node_count()) *
+                           kNumPorts * static_cast<std::size_t>(vcs_),
+                       0);
+}
+
+void Network::add_packet(const PacketDescriptor& p) {
+  if (p.src >= cfg_.node_count() || p.dst >= cfg_.node_count()) {
+    throw std::invalid_argument("packet endpoint out of range");
+  }
+  if (p.size_flits == 0) throw std::invalid_argument("empty packet");
+  auto& s = sources_[p.src];
+  s.pending.push(p);
+  s.queued_flits += p.size_flits;
+}
+
+void Network::add_packets(std::span<const PacketDescriptor> ps) {
+  for (const auto& p : ps) add_packet(p);
+}
+
+void Network::inject_phase() {
+  for (int node = 0; node < cfg_.node_count(); ++node) {
+    auto& s = sources_[static_cast<std::size_t>(node)];
+    if (!s.active) {
+      if (s.pending.empty() ||
+          s.pending.top().release_cycle > stats_.cycles) {
+        continue;
+      }
+      s.current = s.pending.top();
+      s.pending.pop();
+      s.active = true;
+      s.sent = 0;
+      s.packet_id = next_packet_id_++;
+    }
+    const int vc = static_cast<int>(s.packet_id % static_cast<std::uint32_t>(vcs_));
+    auto& local =
+        routers_[static_cast<std::size_t>(node)].input_vc(kLocal, vc);
+    const std::size_t idx = stage_index(node, kLocal, vc);
+    if (local.free_slots() <= staged_count_[idx]) continue;
+
+    Flit f;
+    f.packet_id = s.packet_id;
+    f.src = s.current.src;
+    f.dst = s.current.dst;
+    f.vc = static_cast<std::uint8_t>(vc);
+    f.inject_cycle = static_cast<std::uint32_t>(s.current.release_cycle);
+    const bool first = (s.sent == 0);
+    const bool last = (s.sent + 1 == s.current.size_flits);
+    f.type = first && last ? FlitType::HeadTail
+             : first       ? FlitType::Head
+             : last        ? FlitType::Tail
+                           : FlitType::Body;
+    staged_.push_back(StagedMove{node, kLocal, f});
+    ++staged_count_[idx];
+    ++s.sent;
+    --s.queued_flits;
+    ++stats_.flits_injected;
+    if (first) ++stats_.packets_injected;
+    if (last) s.active = false;
+  }
+}
+
+void Network::switch_phase() {
+  for (auto& r : routers_) {
+    for (int out = 0; out < kNumPorts; ++out) {
+      if (out == kLocal) {
+        // Ejection: the NI always sinks one flit per cycle per port.
+        const auto in = r.allocate(out);
+        if (!in) continue;
+        const Flit f = r.grant(*in, out);
+        ++stats_.buffer_reads;
+        ++stats_.router_traversals;
+        ++stats_.flits_ejected;
+        if (f.type == FlitType::Tail || f.type == FlitType::HeadTail) {
+          ++stats_.packets_ejected;
+          stats_.packet_latency.add(
+              static_cast<double>(stats_.cycles - f.inject_cycle));
+        }
+        if (eject_hook_) eject_hook_(f, stats_.cycles);
+        continue;
+      }
+      // Neighbour router and its receiving port.
+      const int x = cfg_.node_x(r.id());
+      const int y = cfg_.node_y(r.id());
+      int nx = x, ny = y;
+      switch (out) {
+        case kNorth: ny = y - 1; break;
+        case kSouth: ny = y + 1; break;
+        case kEast: nx = x + 1; break;
+        case kWest: nx = x - 1; break;
+        default: break;
+      }
+      if (nx < 0 || nx >= cfg_.width || ny < 0 || ny >= cfg_.height) {
+        continue;  // edge router: this output has no link (and DOR never
+                   // routes a flit toward it)
+      }
+      const int nid = cfg_.node_id(nx, ny);
+      const int nport = opposite(out);
+      // Allocation only considers candidates whose downstream (port, VC)
+      // FIFO can take a flit this cycle, so a back-pressured VC never
+      // stalls the output for traffic on other VCs.
+      const auto in = r.allocate(out, [&](const Flit& f) {
+        const int vc = static_cast<int>(f.vc);
+        const auto& nbuf =
+            routers_[static_cast<std::size_t>(nid)].input_vc(nport, vc);
+        return nbuf.free_slots() >
+               staged_count_[stage_index(nid, nport, vc)];
+      });
+      if (!in) continue;
+      const Flit f = r.grant(*in, out);
+      const std::size_t idx =
+          stage_index(nid, nport, static_cast<int>(f.vc));
+      staged_.push_back(StagedMove{nid, nport, f});
+      ++staged_count_[idx];
+      ++stats_.buffer_reads;
+      ++stats_.router_traversals;
+      ++stats_.link_traversals;
+    }
+  }
+}
+
+void Network::step() {
+  staged_.clear();
+  std::fill(staged_count_.begin(), staged_count_.end(),
+            static_cast<std::uint8_t>(0));
+  switch_phase();
+  inject_phase();
+  for (const auto& m : staged_) {
+    routers_[static_cast<std::size_t>(m.router)]
+        .input_vc(m.port, static_cast<int>(m.flit.vc))
+        .push(m.flit);
+    ++stats_.buffer_writes;
+  }
+  ++stats_.cycles;
+}
+
+bool Network::drained() const noexcept {
+  return undelivered_flits() == 0;
+}
+
+std::uint64_t Network::undelivered_flits() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sources_) n += s.queued_flits;
+  for (const auto& r : routers_) n += r.buffered_flits();
+  return n;
+}
+
+std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
+  const std::uint64_t start = stats_.cycles;
+  while (!drained()) {
+    if (stats_.cycles - start >= max_cycles) {
+      throw std::runtime_error("NoC did not drain within cycle budget");
+    }
+    step();
+  }
+  return stats_.cycles - start;
+}
+
+void Network::run_cycles(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+}  // namespace nocw::noc

@@ -1,0 +1,111 @@
+// Cycle engine for the mesh: routers + NIs + traffic sources.
+//
+// One step() is one clock cycle. All switch decisions in a cycle observe the
+// state at the cycle boundary and moves are committed together, so a flit
+// advances at most one hop per cycle and arbitration is order-independent.
+// Sources hold packet descriptors (not expanded flits), so streaming a
+// multi-million-flit layer costs O(1) memory per flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/stats.hpp"
+
+namespace nocw::noc {
+
+class Network {
+ public:
+  explicit Network(const NocConfig& cfg);
+
+  const NocConfig& config() const noexcept { return cfg_; }
+
+  /// Queue a packet for injection at its source node. Packets become
+  /// eligible at release_cycle and inject one flit per cycle per node.
+  void add_packet(const PacketDescriptor& p);
+  void add_packets(std::span<const PacketDescriptor> ps);
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// True when no pending, queued, or in-flight flits remain.
+  [[nodiscard]] bool drained() const noexcept;
+
+  /// Step until drained; returns cycles executed. Throws std::runtime_error
+  /// if max_cycles elapse first (deadlock guard).
+  std::uint64_t run_until_drained(std::uint64_t max_cycles);
+
+  void run_cycles(std::uint64_t n);
+
+  [[nodiscard]] const NocStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NocStats& stats() noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return stats_.cycles; }
+
+  [[nodiscard]] Router& router(int id) {
+    return routers_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Router& router(int id) const {
+    return routers_[static_cast<std::size_t>(id)];
+  }
+
+  /// Called for every ejected flit (after stats are updated).
+  void set_eject_hook(std::function<void(const Flit&, std::uint64_t)> hook) {
+    eject_hook_ = std::move(hook);
+  }
+
+  /// Flits not yet delivered (pending + queued + buffered in routers).
+  [[nodiscard]] std::uint64_t undelivered_flits() const noexcept;
+
+ private:
+  struct Source {
+    struct Cmp {
+      bool operator()(const PacketDescriptor& a,
+                      const PacketDescriptor& b) const noexcept {
+        return a.release_cycle > b.release_cycle;  // min-heap
+      }
+    };
+    std::priority_queue<PacketDescriptor, std::vector<PacketDescriptor>, Cmp>
+        pending;
+    // Progress through the packet currently being injected.
+    bool active = false;
+    PacketDescriptor current{};
+    std::uint32_t sent = 0;
+    std::uint32_t packet_id = 0;
+    std::uint64_t queued_flits = 0;  ///< flits not yet injected at this node
+  };
+
+  struct StagedMove {
+    int router;
+    int port;  ///< physical port; the flit's own vc selects the FIFO
+    Flit flit;
+  };
+
+  void inject_phase();
+  void switch_phase();
+
+  NocConfig cfg_;
+  std::vector<Router> routers_;
+  std::vector<Source> sources_;
+  NocStats stats_;
+  std::vector<StagedMove> staged_;
+  // staged occupancy per (router, port, vc) for capacity checks in a cycle
+  std::vector<std::uint8_t> staged_count_;
+  int vcs_ = 1;
+  [[nodiscard]] std::size_t stage_index(int node, int port,
+                                        int vc) const noexcept {
+    return (static_cast<std::size_t>(node) * kNumPorts +
+            static_cast<std::size_t>(port)) *
+               static_cast<std::size_t>(vcs_) +
+           static_cast<std::size_t>(vc);
+  }
+  std::uint32_t next_packet_id_ = 1;
+  std::function<void(const Flit&, std::uint64_t)> eject_hook_;
+};
+
+}  // namespace nocw::noc

@@ -1,0 +1,98 @@
+#include "noc/router.hpp"
+
+#include <stdexcept>
+
+namespace nocw::noc {
+
+Router::Router(int id, const NocConfig& cfg)
+    : id_(id), x_(cfg.node_x(id)), y_(cfg.node_y(id)),
+      vcs_(cfg.virtual_channels > 0 ? cfg.virtual_channels : 1), cfg_(&cfg) {
+  buffers_.reserve(static_cast<std::size_t>(kNumPorts) * vcs_);
+  for (int i = 0; i < kNumPorts * vcs_; ++i) {
+    buffers_.emplace_back(static_cast<std::size_t>(cfg.buffer_depth));
+  }
+  lock_.assign(static_cast<std::size_t>(kNumPorts) * vcs_, -1);
+  rr_.assign(kNumPorts, 0);
+}
+
+int Router::route(int dst) const noexcept {
+  // Dimension-order routing; both orders are deadlock-free on meshes.
+  const int dx = cfg_->node_x(dst);
+  const int dy = cfg_->node_y(dst);
+  if (cfg_->routing == Routing::YX) {
+    if (dy > y_) return kSouth;
+    if (dy < y_) return kNorth;
+    if (dx > x_) return kEast;
+    if (dx < x_) return kWest;
+    return kLocal;
+  }
+  if (dx > x_) return kEast;
+  if (dx < x_) return kWest;
+  if (dy > y_) return kSouth;
+  if (dy < y_) return kNorth;
+  return kLocal;
+}
+
+std::optional<int> Router::allocate(
+    int out_port, const std::function<bool(const Flit&)>& can_accept) const {
+  // Round-robin over flattened (input port, VC) indices. A request is
+  // admissible when its head flit routes to out_port, the (out, VC)
+  // wormhole lock is either free (for Head/HeadTail) or owned by exactly
+  // this input (for Body/Tail continuation), and the caller's capacity
+  // predicate accepts the flit.
+  const int total = kNumPorts * vcs_;
+  const int start = rr_[static_cast<std::size_t>(out_port)];
+  for (int k = 0; k < total; ++k) {
+    const int in_flat = (start + k) % total;
+    const auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
+    if (buf.empty()) continue;
+    const Flit& f = buf.front();
+    if (route(f.dst) != out_port) continue;
+    const int owner =
+        lock_[flat(out_port, static_cast<int>(f.vc))];
+    const bool is_head =
+        f.type == FlitType::Head || f.type == FlitType::HeadTail;
+    if (!(is_head ? (owner == -1) : (owner == in_flat))) continue;
+    if (can_accept && !can_accept(f)) continue;
+    return in_flat;
+  }
+  return std::nullopt;
+}
+
+Flit Router::grant(int in_flat, int out_port) {
+  auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
+  if (buf.empty()) throw std::logic_error("grant on empty input");
+  const Flit f = buf.pop();
+  int& lock = lock_[flat(out_port, static_cast<int>(f.vc))];
+  switch (f.type) {
+    case FlitType::Head:
+      lock = in_flat;
+      break;
+    case FlitType::Tail:
+    case FlitType::HeadTail:
+      lock = -1;
+      break;
+    case FlitType::Body:
+      break;
+  }
+  // Rotate priority past the winner on every grant so concurrent packets on
+  // different VCs share the physical link fairly (flit-level interleaving).
+  rr_[static_cast<std::size_t>(out_port)] =
+      (in_flat + 1) % (kNumPorts * vcs_);
+  return f;
+}
+
+bool Router::idle() const noexcept {
+  for (const auto& b : buffers_) {
+    if (!b.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t Router::buffered_flits() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b.size();
+  return n;
+}
+
+}  // namespace nocw::noc

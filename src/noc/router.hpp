@@ -1,0 +1,90 @@
+// Input-buffered wormhole router with dimension-order routing and virtual
+// channels.
+//
+// Five physical ports (Local/N/E/S/W), `virtual_channels` FIFOs per input
+// port. A packet's VC is fixed at injection and identical at every hop (its
+// path is deterministic, so per-VC FIFO order is preserved end to end). The
+// wormhole lock is held per (output port, VC): once a Head flit of VC v
+// claims an output, only that packet may send VC-v flits there until its
+// Tail passes — but packets on *other* VCs interleave freely on the same
+// physical link, which is the blocking-avoidance VCs exist for. Switch
+// allocation grants at most one flit per output per cycle, round-robin over
+// the flattened (input port, VC) request set. Flow control is
+// credit-equivalent per (port, VC) buffer. With virtual_channels = 1 this
+// degenerates exactly to the classic single-lane wormhole router.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace nocw::noc {
+
+class Router {
+ public:
+  Router(int id, const NocConfig& cfg);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] int vcs() const noexcept { return vcs_; }
+
+  /// FIFO of (physical port, virtual channel).
+  [[nodiscard]] RingBuffer<Flit>& input_vc(int port, int vc) {
+    return buffers_[flat(port, vc)];
+  }
+  [[nodiscard]] const RingBuffer<Flit>& input_vc(int port, int vc) const {
+    return buffers_[flat(port, vc)];
+  }
+
+  /// VC 0 of a port — the whole port when virtual_channels = 1.
+  [[nodiscard]] RingBuffer<Flit>& input(int port) {
+    return input_vc(port, 0);
+  }
+  [[nodiscard]] const RingBuffer<Flit>& input(int port) const {
+    return input_vc(port, 0);
+  }
+
+  /// Dimension-order route computation: output port for destination `dst`.
+  [[nodiscard]] int route(int dst) const noexcept;
+
+  /// Switch allocation for one output port: choose a flattened
+  /// (input port, VC) index whose head flit may traverse to `out_port`
+  /// this cycle, honouring the per-(output, VC) wormhole locks with
+  /// round-robin priority. `can_accept` lets the caller veto candidates
+  /// whose downstream (port, VC) buffer is full, so a back-pressured VC
+  /// does not stall the whole output while another VC could use it. With
+  /// virtual_channels = 1 the returned index equals the input port number.
+  [[nodiscard]] std::optional<int> allocate(
+      int out_port,
+      const std::function<bool(const Flit&)>& can_accept = {}) const;
+
+  /// Commit a grant: pop the head flit of the flattened input index and
+  /// update the wormhole lock of (out_port, flit.vc).
+  Flit grant(int in_flat, int out_port);
+
+  /// True when every input FIFO is empty.
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] std::size_t buffered_flits() const noexcept;
+
+  [[nodiscard]] std::size_t flat(int port, int vc) const noexcept {
+    return static_cast<std::size_t>(port) * static_cast<std::size_t>(vcs_) +
+           static_cast<std::size_t>(vc);
+  }
+
+ private:
+  int id_;
+  int x_, y_;
+  int vcs_;
+  const NocConfig* cfg_;
+  std::vector<RingBuffer<Flit>> buffers_;  ///< kNumPorts x vcs_
+  /// Wormhole owner per (output port, VC): flattened input index or -1.
+  std::vector<int> lock_;  ///< kNumPorts x vcs_
+  /// Round-robin pointer per output port over flattened input indices.
+  std::vector<int> rr_;  ///< kNumPorts
+};
+
+}  // namespace nocw::noc

@@ -1,0 +1,36 @@
+// Event counters collected by the cycle engine.
+//
+// The power model (src/power) turns these event counts into energy via
+// back-annotated per-event tables, exactly the structure of the paper's
+// flow (circuit-level figures annotated onto the cycle-accurate simulator).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace nocw::noc {
+
+struct NocStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_ejected = 0;
+  std::uint64_t router_traversals = 0;  ///< flit crossing a router crossbar
+  std::uint64_t link_traversals = 0;    ///< flit crossing an inter-router link
+  std::uint64_t buffer_writes = 0;
+  std::uint64_t buffer_reads = 0;
+  RunningStats packet_latency;  ///< injection to tail ejection, cycles
+
+  /// Delivered throughput in flits per cycle.
+  [[nodiscard]] double throughput() const noexcept {
+    return cycles ? static_cast<double>(flits_ejected) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+  void reset() { *this = NocStats{}; }
+};
+
+}  // namespace nocw::noc

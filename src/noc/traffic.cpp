@@ -1,0 +1,103 @@
+#include "noc/traffic.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nocw::noc {
+
+std::vector<PacketDescriptor> stream_flow(int src, int dst,
+                                          std::uint64_t total_flits,
+                                          std::uint32_t flits_per_packet,
+                                          std::uint64_t release_cycle) {
+  if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
+  std::vector<PacketDescriptor> out;
+  out.reserve(static_cast<std::size_t>(
+      (total_flits + flits_per_packet - 1) / flits_per_packet));
+  std::uint64_t left = total_flits;
+  while (left > 0) {
+    PacketDescriptor p;
+    p.src = static_cast<std::uint16_t>(src);
+    p.dst = static_cast<std::uint16_t>(dst);
+    p.size_flits = static_cast<std::uint32_t>(
+        left < flits_per_packet ? left : flits_per_packet);
+    p.release_cycle = release_cycle;
+    out.push_back(p);
+    left -= p.size_flits;
+  }
+  return out;
+}
+
+std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
+                                           std::uint64_t total_flits,
+                                           std::uint32_t flits_per_packet,
+                                           std::uint64_t release_cycle) {
+  if (dsts.empty()) throw std::invalid_argument("scatter with no targets");
+  if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
+  std::vector<PacketDescriptor> out;
+  std::uint64_t left = total_flits;
+  std::size_t turn = 0;
+  while (left > 0) {
+    PacketDescriptor p;
+    p.src = static_cast<std::uint16_t>(src);
+    p.dst = static_cast<std::uint16_t>(dsts[turn % dsts.size()]);
+    p.size_flits = static_cast<std::uint32_t>(
+        left < flits_per_packet ? left : flits_per_packet);
+    p.release_cycle = release_cycle;
+    out.push_back(p);
+    left -= p.size_flits;
+    ++turn;
+  }
+  return out;
+}
+
+std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
+                                          std::uint64_t total_flits,
+                                          std::uint32_t flits_per_packet,
+                                          std::uint64_t release_cycle) {
+  if (srcs.empty()) throw std::invalid_argument("gather with no sources");
+  if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
+  std::vector<PacketDescriptor> out;
+  std::uint64_t left = total_flits;
+  std::size_t turn = 0;
+  while (left > 0) {
+    PacketDescriptor p;
+    p.src = static_cast<std::uint16_t>(srcs[turn % srcs.size()]);
+    p.dst = static_cast<std::uint16_t>(dst);
+    p.size_flits = static_cast<std::uint32_t>(
+        left < flits_per_packet ? left : flits_per_packet);
+    p.release_cycle = release_cycle;
+    out.push_back(p);
+    left -= p.size_flits;
+    ++turn;
+  }
+  return out;
+}
+
+std::vector<PacketDescriptor> uniform_random_traffic(
+    const NocConfig& cfg, int packets, std::uint32_t flits_per_packet,
+    std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<PacketDescriptor> out;
+  out.reserve(static_cast<std::size_t>(packets));
+  const auto nodes = static_cast<std::uint64_t>(cfg.node_count());
+  for (int i = 0; i < packets; ++i) {
+    PacketDescriptor p;
+    p.src = static_cast<std::uint16_t>(rng.bounded(nodes));
+    do {
+      p.dst = static_cast<std::uint16_t>(rng.bounded(nodes));
+    } while (p.dst == p.src);
+    p.size_flits = flits_per_packet;
+    p.release_cycle = 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::uint64_t total_flits(std::span<const PacketDescriptor> ps) {
+  std::uint64_t n = 0;
+  for (const auto& p : ps) n += p.size_flits;
+  return n;
+}
+
+}  // namespace nocw::noc

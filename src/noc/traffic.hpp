@@ -1,0 +1,48 @@
+// Traffic pattern builders.
+//
+// The accelerator's layer phases reduce to three patterns: a stream between
+// two fixed endpoints (chopped into maximum-size packets), a scatter from a
+// memory interface to a set of PEs (weights/ifmap dispatch), and a gather
+// from PEs back to a memory interface (ofmap writeback). Uniform random
+// traffic is provided for NoC validation and micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+
+namespace nocw::noc {
+
+/// Chop `total_flits` from src to dst into packets of at most
+/// `flits_per_packet`, all eligible at `release_cycle`.
+std::vector<PacketDescriptor> stream_flow(int src, int dst,
+                                          std::uint64_t total_flits,
+                                          std::uint32_t flits_per_packet,
+                                          std::uint64_t release_cycle = 0);
+
+/// Distribute `total_flits` from `src` round-robin over `dsts` in packets of
+/// `flits_per_packet` (the MI -> PEs dispatch pattern).
+std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
+                                           std::uint64_t total_flits,
+                                           std::uint32_t flits_per_packet,
+                                           std::uint64_t release_cycle = 0);
+
+/// Gather `total_flits` from `srcs` (round-robin) into `dst` (the PEs -> MI
+/// writeback pattern).
+std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
+                                          std::uint64_t total_flits,
+                                          std::uint32_t flits_per_packet,
+                                          std::uint64_t release_cycle = 0);
+
+/// `packets` uniform-random source/destination pairs (src != dst).
+std::vector<PacketDescriptor> uniform_random_traffic(
+    const NocConfig& cfg, int packets, std::uint32_t flits_per_packet,
+    std::uint64_t seed);
+
+/// Total flits described by a set of packets.
+std::uint64_t total_flits(std::span<const PacketDescriptor> ps);
+
+}  // namespace nocw::noc

@@ -1,0 +1,29 @@
+// Analytic SRAM/DRAM model standing in for CACTI (DESIGN.md §4).
+//
+// CACTI derives access energy, leakage and timing from capacity, word width
+// and technology. We reproduce the first-order scaling laws it exhibits at
+// 45 nm: access energy grows ~ sqrt(capacity) (bitline/wordline length),
+// leakage grows linearly with capacity, and latency grows with log2 of the
+// capacity. The constants are pinned so an 8 KB, 64-bit SRAM lands at the
+// EnergyTable defaults used by the accelerator.
+#pragma once
+
+#include <cstdint>
+
+namespace nocw::power {
+
+struct MemoryEstimate {
+  double read_energy_pj = 0.0;   ///< per word
+  double write_energy_pj = 0.0;  ///< per word
+  double leakage_mw = 0.0;       ///< whole macro
+  int access_cycles = 1;         ///< at 1 GHz
+};
+
+/// On-chip SRAM estimate for `capacity_bytes` with `word_bits` ports.
+MemoryEstimate sram_estimate(std::uint64_t capacity_bytes, int word_bits);
+
+/// Off-chip DRAM estimate (per-word interface energy dominates; capacity
+/// affects background power only).
+MemoryEstimate dram_estimate(std::uint64_t capacity_bytes, int word_bits);
+
+}  // namespace nocw::power

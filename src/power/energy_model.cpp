@@ -1,0 +1,57 @@
+#include "power/energy_model.hpp"
+
+namespace nocw::power {
+
+EventCounts& EventCounts::operator+=(const EventCounts& o) noexcept {
+  router_traversals += o.router_traversals;
+  link_traversals += o.link_traversals;
+  buffer_writes += o.buffer_writes;
+  buffer_reads += o.buffer_reads;
+  macs += o.macs;
+  decompress_steps += o.decompress_steps;
+  sram_reads += o.sram_reads;
+  sram_writes += o.sram_writes;
+  dram_accesses += o.dram_accesses;
+  return *this;
+}
+
+namespace {
+constexpr double kPjToJ = 1e-12;
+constexpr double kMwToW = 1e-3;
+}  // namespace
+
+EnergyBreakdown annotate(const EventCounts& e, double seconds,
+                         const EnergyTable& t, const PlatformShape& shape) {
+  EnergyBreakdown out;
+
+  out.communication.dynamic_j =
+      (static_cast<double>(e.router_traversals) * t.router_traversal_pj +
+       static_cast<double>(e.link_traversals) * t.link_traversal_pj +
+       static_cast<double>(e.buffer_writes) * t.buffer_write_pj +
+       static_cast<double>(e.buffer_reads) * t.buffer_read_pj) *
+      kPjToJ;
+  out.communication.leakage_j =
+      static_cast<double>(shape.routers) * t.router_leak_mw * kMwToW * seconds;
+
+  out.computation.dynamic_j =
+      (static_cast<double>(e.macs) * t.mac_pj +
+       static_cast<double>(e.decompress_steps) * t.decompress_pj) *
+      kPjToJ;
+  out.computation.leakage_j =
+      static_cast<double>(shape.pes) * t.pe_leak_mw * kMwToW * seconds;
+
+  out.local_memory.dynamic_j =
+      (static_cast<double>(e.sram_reads) * t.sram_read_pj +
+       static_cast<double>(e.sram_writes) * t.sram_write_pj) *
+      kPjToJ;
+  out.local_memory.leakage_j =
+      static_cast<double>(shape.pes) * t.sram_leak_mw * kMwToW * seconds;
+
+  out.main_memory.dynamic_j =
+      static_cast<double>(e.dram_accesses) * t.dram_access_pj * kPjToJ;
+  out.main_memory.leakage_j = t.dram_background_mw * kMwToW * seconds;
+
+  return out;
+}
+
+}  // namespace nocw::power

@@ -1,0 +1,102 @@
+// Energy/timing back-annotation tables (DESIGN.md §4 substitution for the
+// paper's Synopsys DC / HSPICE / CACTI flow).
+//
+// The paper's methodology synthesizes the PE and router at 45 nm, extracts
+// per-event energies, and back-annotates them onto the cycle-accurate
+// simulator; memory energy/timing comes from CACTI. We keep exactly that
+// structure: the simulator counts events (flit hops, buffer accesses, MACs,
+// SRAM/DRAM words) and this module converts counts plus elapsed time into
+// the eight Fig. 10 energy components. Constants are 45 nm-plausible and
+// chosen so the Fig. 2 breakdown shape holds (main memory dominates latency;
+// communication + main memory dominate energy); absolute joules are not
+// calibrated to the authors' silicon.
+#pragma once
+
+#include <cstdint>
+
+namespace nocw::power {
+
+/// Per-event dynamic energies in picojoules and leakage powers in milliwatts.
+struct EnergyTable {
+  // --- NoC (per 64-bit flit event) ---
+  double router_traversal_pj = 8.0;  ///< crossbar + arbitration per flit
+  double link_traversal_pj = 4.0;    ///< 1 mm inter-router wire per flit
+  double buffer_write_pj = 2.0;
+  double buffer_read_pj = 1.5;
+  double router_leak_mw = 0.9;       ///< per router
+
+  // --- PE compute ---
+  double mac_pj = 2.0;               ///< one multiply-accumulate
+  double decompress_pj = 0.4;        ///< one accumulate step of Fig. 6
+  double pe_leak_mw = 1.6;           ///< per PE datapath
+
+  // --- Local memory (per 64-bit word; 8 KB SRAM, CACTI-like) ---
+  double sram_read_pj = 1.6;
+  double sram_write_pj = 1.8;
+  double sram_leak_mw = 0.25;        ///< per PE local SRAM
+
+  // --- Main memory (per 64-bit word over the MI) ---
+  double dram_access_pj = 400.0;     ///< read or write, interface included
+  double dram_background_mw = 60.0;  ///< whole DRAM subsystem
+};
+
+/// Dynamic + leakage split for one subsystem (joules).
+struct EnergyComponent {
+  double dynamic_j = 0.0;
+  double leakage_j = 0.0;
+  [[nodiscard]] double total() const noexcept { return dynamic_j + leakage_j; }
+
+  EnergyComponent& operator+=(const EnergyComponent& o) noexcept {
+    dynamic_j += o.dynamic_j;
+    leakage_j += o.leakage_j;
+    return *this;
+  }
+};
+
+/// The Fig. 10 energy breakdown: four subsystems x (dynamic, leakage).
+struct EnergyBreakdown {
+  EnergyComponent communication;
+  EnergyComponent computation;
+  EnergyComponent local_memory;
+  EnergyComponent main_memory;
+
+  [[nodiscard]] double total() const noexcept {
+    return communication.total() + computation.total() +
+           local_memory.total() + main_memory.total();
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept {
+    communication += o.communication;
+    computation += o.computation;
+    local_memory += o.local_memory;
+    main_memory += o.main_memory;
+    return *this;
+  }
+};
+
+/// Event counts accumulated by the accelerator simulator for one phase.
+struct EventCounts {
+  std::uint64_t router_traversals = 0;
+  std::uint64_t link_traversals = 0;
+  std::uint64_t buffer_writes = 0;
+  std::uint64_t buffer_reads = 0;
+  std::uint64_t macs = 0;
+  std::uint64_t decompress_steps = 0;
+  std::uint64_t sram_reads = 0;   ///< 64-bit words
+  std::uint64_t sram_writes = 0;  ///< 64-bit words
+  std::uint64_t dram_accesses = 0;  ///< 64-bit words
+
+  EventCounts& operator+=(const EventCounts& o) noexcept;
+};
+
+struct PlatformShape {
+  int routers = 16;
+  int pes = 12;
+};
+
+/// Convert event counts + elapsed time into the Fig. 10 breakdown.
+/// `seconds` is the wall-clock the phase occupied (leakage integrates it).
+EnergyBreakdown annotate(const EventCounts& events, double seconds,
+                         const EnergyTable& table, const PlatformShape& shape);
+
+}  // namespace nocw::power

@@ -1,0 +1,68 @@
+#include "quant/affine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nocw::quant {
+
+std::int8_t AffineParams::quantize(float real) const noexcept {
+  const float q = std::nearbyint(real / scale) + static_cast<float>(zero_point);
+  const float clamped = std::clamp(q, -128.0F, 127.0F);
+  return static_cast<std::int8_t>(clamped);
+}
+
+AffineParams choose_params(std::span<const float> values) {
+  AffineParams p;
+  if (values.empty()) return p;
+  float lo = values[0];
+  float hi = values[0];
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // The representable range must include 0 so that zero quantizes exactly.
+  lo = std::min(lo, 0.0F);
+  hi = std::max(hi, 0.0F);
+  if (hi == lo) {
+    p.scale = 1.0F;
+    p.zero_point = 0;
+    return p;
+  }
+  p.scale = (hi - lo) / 255.0F;
+  // zero_point = the int8 code representing real 0, rounded and clamped.
+  const float zp = -128.0F - lo / p.scale;
+  p.zero_point =
+      static_cast<std::int32_t>(std::clamp(std::nearbyint(zp), -128.0F, 127.0F));
+  return p;
+}
+
+std::vector<float> QuantizedTensor::dequantize() const {
+  std::vector<float> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = params.dequantize(data[i]);
+  }
+  return out;
+}
+
+QuantizedTensor quantize_tensor(std::span<const float> values) {
+  QuantizedTensor t;
+  t.params = choose_params(values);
+  t.data.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    t.data[i] = t.params.quantize(values[i]);
+  }
+  return t;
+}
+
+double quantization_mse(std::span<const float> values) {
+  const QuantizedTensor t = quantize_tensor(values);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = static_cast<double>(values[i]) -
+                     static_cast<double>(t.params.dequantize(t.data[i]));
+    acc += d * d;
+  }
+  return values.empty() ? 0.0 : acc / static_cast<double>(values.size());
+}
+
+}  // namespace nocw::quant

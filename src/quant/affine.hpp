@@ -1,0 +1,45 @@
+// Post-training affine (asymmetric) int8 quantization, TensorFlow-Lite style
+// (paper Sec. IV-D): real_value = (int8_value - zero_point) * scale.
+//
+// This is the "hybrid 8-bit integer representation" the paper stacks its
+// compression on top of in Table III. Parameters are chosen per tensor from
+// the min/max of the data, exactly like the TFLite converter's weight path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nocw::quant {
+
+struct AffineParams {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+
+  [[nodiscard]] float dequantize(std::int8_t q) const noexcept {
+    return static_cast<float>(static_cast<std::int32_t>(q) - zero_point) *
+           scale;
+  }
+
+  [[nodiscard]] std::int8_t quantize(float real) const noexcept;
+};
+
+/// Choose per-tensor scale/zero-point so that [min(w), max(w)] maps onto
+/// [-128, 127], always representing 0 exactly (required so zero padding and
+/// pruned weights stay zero, as in TFLite).
+AffineParams choose_params(std::span<const float> values);
+
+/// A quantized weight tensor: the int8 payload plus its affine parameters.
+struct QuantizedTensor {
+  std::vector<std::int8_t> data;
+  AffineParams params;
+
+  [[nodiscard]] std::vector<float> dequantize() const;
+};
+
+QuantizedTensor quantize_tensor(std::span<const float> values);
+
+/// Round-trip error of quantizing then dequantizing (mean squared).
+double quantization_mse(std::span<const float> values);
+
+}  // namespace nocw::quant

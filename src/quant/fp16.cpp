@@ -1,0 +1,90 @@
+#include "quant/fp16.hpp"
+
+#include <cstring>
+
+namespace nocw::quant {
+
+std::uint16_t float_to_half(float value) noexcept {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  std::int32_t exp = static_cast<std::int32_t>((f >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mant = f & 0x7FFFFFu;
+
+  if (((f >> 23) & 0xFF) == 0xFF) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<std::uint16_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const unsigned shift = static_cast<unsigned>(14 - exp);
+    std::uint32_t half_mant = mant >> shift;
+    // round to nearest even
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // normal number: keep top 10 mantissa bits with round-to-nearest-even
+  std::uint32_t half = (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_to_float(std::uint16_t half) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1Fu;
+  std::uint32_t mant = half & 0x3FFu;
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {
+      // subnormal: normalize
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      mant &= 0x3FFu;
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1F) {
+    f = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+std::vector<std::uint16_t> to_half(std::span<const float> values) {
+  std::vector<std::uint16_t> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = float_to_half(values[i]);
+  }
+  return out;
+}
+
+std::vector<float> from_half(std::span<const std::uint16_t> halves) {
+  std::vector<float> out(halves.size());
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    out[i] = half_to_float(halves[i]);
+  }
+  return out;
+}
+
+std::vector<float> roundtrip_half(std::span<const float> values) {
+  std::vector<float> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = half_to_float(float_to_half(values[i]));
+  }
+  return out;
+}
+
+}  // namespace nocw::quant

@@ -1,0 +1,23 @@
+// IEEE 754 binary16 (half precision) storage conversions.
+//
+// TFLite's milder quantization mode stores weights as fp16; we provide the
+// same option so the Table III experiment can sweep representation width.
+// Conversions are round-to-nearest-even and handle subnormals, inf and NaN.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nocw::quant {
+
+std::uint16_t float_to_half(float value) noexcept;
+float half_to_float(std::uint16_t half) noexcept;
+
+std::vector<std::uint16_t> to_half(std::span<const float> values);
+std::vector<float> from_half(std::span<const std::uint16_t> halves);
+
+/// Round-trip through fp16 (the approximation a half-precision store incurs).
+std::vector<float> roundtrip_half(std::span<const float> values);
+
+}  // namespace nocw::quant

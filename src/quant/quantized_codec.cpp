@@ -1,0 +1,35 @@
+#include "quant/quantized_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nocw::quant {
+
+core::CompressedLayer compress_quantized(const QuantizedTensor& tensor,
+                                         const QuantizedCodecConfig& cfg) {
+  std::vector<float> codes(tensor.data.size());
+  for (std::size_t i = 0; i < tensor.data.size(); ++i) {
+    codes[i] = static_cast<float>(tensor.data[i]);
+  }
+  core::CodecConfig ccfg;
+  ccfg.delta_percent = cfg.delta_percent;
+  ccfg.coef_bits = cfg.coef_bits;
+  ccfg.length_bits = cfg.length_bits;
+  ccfg.weight_bits = 8;
+  return core::compress(codes, ccfg);
+}
+
+QuantizedTensor decompress_quantized(const core::CompressedLayer& layer,
+                                     const AffineParams& params) {
+  const std::vector<float> codes = core::decompress(layer);
+  QuantizedTensor out;
+  out.params = params;
+  out.data.resize(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const float c = std::clamp(std::nearbyint(codes[i]), -128.0F, 127.0F);
+    out.data[i] = static_cast<std::int8_t>(c);
+  }
+  return out;
+}
+
+}  // namespace nocw::quant

@@ -1,0 +1,35 @@
+// Stacking the monotonic-segment codec on top of int8 quantization
+// (paper Sec. IV-D / Table III).
+//
+// The compression operates on the *integer code* succession: quantization
+// only remaps each weight through a monotone affine function, so the
+// monotonic-segment structure the codec exploits is preserved — this is the
+// orthogonality the paper demonstrates. Reconstructed codes are rounded and
+// clamped back to int8 before dequantization. Defaults store the line
+// coefficients in 16 bits (codes span only [-128, 127], so bfloat-style
+// coefficients lose nothing that matters) and account the original
+// representation at 8 bits/weight.
+#pragma once
+
+#include "core/codec.hpp"
+#include "quant/affine.hpp"
+
+namespace nocw::quant {
+
+struct QuantizedCodecConfig {
+  double delta_percent = 0.0;  ///< δ as % of the code range (max - min code)
+  unsigned coef_bits = 16;
+  unsigned length_bits = 8;
+};
+
+/// Compress the int8 code stream of `tensor`. The returned layer has
+/// weight_bits = 8 so compression_ratio() is relative to the quantized size.
+core::CompressedLayer compress_quantized(const QuantizedTensor& tensor,
+                                         const QuantizedCodecConfig& cfg);
+
+/// Reconstruct an int8 tensor (codes rounded to nearest, clamped) carrying
+/// the original affine parameters.
+QuantizedTensor decompress_quantized(const core::CompressedLayer& layer,
+                                     const AffineParams& params);
+
+}  // namespace nocw::quant

@@ -1,0 +1,45 @@
+#include "util/bitio.hpp"
+
+#include <cstring>
+
+namespace nocw {
+
+void BitWriter::write(std::uint64_t value, unsigned bits) {
+  if (bits == 0 || bits > 64) throw std::invalid_argument("bits must be 1..64");
+  if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::size_t byte = bit_count_ / 8;
+    const unsigned off = bit_count_ % 8;
+    if (byte >= buf_.size()) buf_.push_back(0);
+    if ((value >> i) & 1ULL) buf_[byte] |= static_cast<std::uint8_t>(1u << off);
+    ++bit_count_;
+  }
+}
+
+void BitWriter::write_float(float value) {
+  std::uint32_t raw;
+  std::memcpy(&raw, &value, sizeof(raw));
+  write(raw, 32);
+}
+
+std::uint64_t BitReader::read(unsigned bits) {
+  if (bits == 0 || bits > 64) throw std::invalid_argument("bits must be 1..64");
+  if (bits > bits_left()) throw std::out_of_range("BitReader exhausted");
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const unsigned off = pos_ % 8;
+    if ((bytes_[byte] >> off) & 1u) value |= std::uint64_t{1} << i;
+    ++pos_;
+  }
+  return value;
+}
+
+float BitReader::read_float() {
+  const auto raw = static_cast<std::uint32_t>(read(32));
+  float value;
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+}  // namespace nocw

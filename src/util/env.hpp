@@ -1,0 +1,22 @@
+// Environment-variable knobs shared by benches and examples.
+//
+// Reproduction benches scale their probe sets with REPRO_SCALE / REPRO_PROBES
+// so the full suite finishes on a laptop core; these helpers centralize the
+// parsing and defaulting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nocw {
+
+/// Read an integer env var, returning `fallback` when unset or malformed.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a double env var, returning `fallback` when unset or malformed.
+double env_double(const char* name, double fallback);
+
+/// Read a string env var, returning `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace nocw

@@ -1,0 +1,70 @@
+// Fixed-capacity FIFO used for router input buffers and PE queues.
+//
+// Capacity is a runtime constant (buffer depth is an architectural
+// parameter); storage is a single contiguous allocation and push/pop are
+// branch-light, since the NoC simulator performs millions of these per run.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nocw {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return buf_.size() - size_;
+  }
+
+  /// Push one element; caller must check !full() first.
+  void push(T value) {
+    assert(!full());
+    buf_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % buf_.size();
+    ++size_;
+  }
+
+  /// Front element; caller must check !empty() first.
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  /// Pop and return the front element; caller must check !empty() first.
+  T pop() {
+    assert(!empty());
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return value;
+  }
+
+  void clear() noexcept {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nocw

@@ -1,0 +1,86 @@
+// Streaming statistics and small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace nocw {
+
+/// Single-pass accumulator for mean/variance/min/max (Welford's algorithm).
+/// Numerically stable for the long event streams produced by the NoC
+/// simulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    mean_ = (na * mean_ + nb * o.mean_) / nt;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean squared error between two equally sized sequences.
+double mean_squared_error(std::span<const float> a, std::span<const float> b);
+
+/// max(x) - min(x); 0 for empty input.
+double value_range(std::span<const float> x);
+
+/// Shannon entropy in bits/symbol of the byte histogram of `bytes`.
+double shannon_entropy_bytes(std::span<const std::uint8_t> bytes);
+
+/// Shannon entropy in bits/symbol of an arbitrary integer histogram.
+double shannon_entropy_hist(std::span<const std::uint64_t> histogram);
+
+/// Histogram of the raw bytes of a float stream (the paper's Fig. 3 measures
+/// the entropy of serialized weights).
+std::vector<std::uint64_t> byte_histogram(std::span<const float> values);
+
+}  // namespace nocw

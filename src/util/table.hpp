@@ -1,0 +1,50 @@
+// Console table / CSV emission used by every bench binary.
+//
+// Each reproduction bench prints the paper's table rows as an aligned ASCII
+// table and mirrors them to a CSV file next to the binary, so results can be
+// diffed or re-plotted without re-running the simulation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nocw {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (headers + rows, RFC-4180 quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_fixed(double v, int precision);
+std::string fmt_sci(double v, int precision);
+std::string fmt_pct(double fraction, int precision = 0);  // 0.57 -> "57%"
+
+}  // namespace nocw

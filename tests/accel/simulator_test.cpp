@@ -1,0 +1,128 @@
+#include "accel/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace nocw::accel {
+namespace {
+
+AccelConfig fast_cfg() {
+  AccelConfig cfg;
+  cfg.noc_window_flits = 4000;  // keep unit tests quick
+  return cfg;
+}
+
+TEST(Simulator, LenetInferenceProducesBreakdowns) {
+  const nn::Model m = nn::make_lenet5();
+  const ModelSummary s = summarize(m);
+  AcceleratorSim sim(fast_cfg());
+  const InferenceResult r = sim.simulate(s);
+  EXPECT_EQ(r.layers.size(), 7u);  // macro layers only
+  EXPECT_GT(r.latency.memory_cycles, 0.0);
+  EXPECT_GT(r.latency.comm_cycles, 0.0);
+  EXPECT_GT(r.latency.compute_cycles, 0.0);
+  EXPECT_GT(r.energy.total(), 0.0);
+}
+
+TEST(Simulator, MainMemoryDominatesLatencyForLenet) {
+  // The paper's Fig. 2 observation.
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(fast_cfg());
+  const InferenceResult r = sim.simulate(s);
+  EXPECT_GT(r.latency.memory_cycles, r.latency.compute_cycles);
+}
+
+TEST(Simulator, FcLayerDominatedByWeightTraffic) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(fast_cfg());
+  const InferenceResult r = sim.simulate(s);
+  const LayerResult* fc = nullptr;
+  for (const auto& l : r.layers) {
+    if (l.name == "dense_1") fc = &l;
+  }
+  ASSERT_NE(fc, nullptr);
+  // dense_1 has 48k weights vs a 400-element ifmap: data movement (memory +
+  // NoC) dwarfs compute, which is the premise of the whole paper.
+  EXPECT_GT(fc->latency.memory_cycles + fc->latency.comm_cycles,
+            0.9 * fc->latency.total());
+  EXPECT_LT(fc->latency.compute_cycles, 0.05 * fc->latency.total());
+}
+
+TEST(Simulator, CompressionPlanReducesLatencyAndEnergy) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(fast_cfg());
+  const InferenceResult base = sim.simulate(s);
+
+  CompressionPlan plan;
+  const LayerSummary* fc = s.find("dense_1");
+  ASSERT_NE(fc, nullptr);
+  LayerCompression lc;
+  lc.compressed_bits = fc->weight_count * 32 / 4;  // pretend CR = 4
+  lc.weight_count = fc->weight_count;
+  plan["dense_1"] = lc;
+  const InferenceResult comp = sim.simulate(s, &plan);
+
+  EXPECT_LT(comp.latency.total(), base.latency.total());
+  EXPECT_LT(comp.energy.total(), base.energy.total());
+  // Compute time is untouched by compression.
+  EXPECT_DOUBLE_EQ(comp.latency.compute_cycles, base.latency.compute_cycles);
+}
+
+TEST(Simulator, CompressionChargesDecompressorEnergy) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(fast_cfg());
+  const LayerSummary* fc = s.find("dense_1");
+  LayerCompression lc;
+  lc.compressed_bits = fc->weight_count * 32;  // CR = 1: same traffic
+  lc.weight_count = fc->weight_count;
+  const LayerResult base = sim.simulate_layer(*fc, nullptr);
+  const LayerResult comp = sim.simulate_layer(*fc, &lc);
+  // Identical traffic but extra decompressor accumulate energy.
+  EXPECT_GT(comp.energy.computation.dynamic_j,
+            base.energy.computation.dynamic_j);
+}
+
+TEST(Simulator, NonTrafficLayersContributeNothing) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(fast_cfg());
+  const LayerSummary* relu = s.find("conv_1_relu");
+  ASSERT_NE(relu, nullptr);
+  const LayerResult r = sim.simulate_layer(*relu, nullptr);
+  EXPECT_DOUBLE_EQ(r.latency.total(), 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.total(), 0.0);
+}
+
+TEST(Simulator, WindowSamplingConsistentWithFullRun) {
+  // A mid-size layer run with a big window (full simulation) vs a small
+  // window (sampled + scaled): communication estimates agree within 15%.
+  const ModelSummary s = summarize(nn::make_lenet5());
+  const LayerSummary* fc = s.find("dense_1");  // ~24k flits
+  AccelConfig full_cfg;
+  full_cfg.noc_window_flits = 1 << 30;
+  AccelConfig win_cfg;
+  win_cfg.noc_window_flits = 3000;
+  const LayerResult full = AcceleratorSim(full_cfg).simulate_layer(*fc);
+  const LayerResult win = AcceleratorSim(win_cfg).simulate_layer(*fc);
+  EXPECT_NEAR(win.latency.comm_cycles / full.latency.comm_cycles, 1.0, 0.15);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(fast_cfg());
+  const InferenceResult a = sim.simulate(s);
+  const InferenceResult b = sim.simulate(s);
+  EXPECT_DOUBLE_EQ(a.latency.total(), b.latency.total());
+  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Simulator, MobilenetSimulatesInReasonableTime) {
+  const ModelSummary s = summarize(nn::make_mobilenet());
+  AcceleratorSim sim(fast_cfg());
+  const InferenceResult r = sim.simulate(s);
+  EXPECT_GT(r.layers.size(), 20u);
+  EXPECT_GT(r.latency.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace nocw::accel

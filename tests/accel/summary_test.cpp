@@ -1,0 +1,93 @@
+#include "accel/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace nocw::accel {
+namespace {
+
+TEST(Summary, LenetShapesAndMacs) {
+  const nn::Model m = nn::make_lenet5();
+  const ModelSummary s = summarize(m);
+  EXPECT_EQ(s.total_params, m.graph.total_params());
+
+  const LayerSummary* conv1 = s.find("conv_1");
+  ASSERT_NE(conv1, nullptr);
+  EXPECT_EQ(conv1->output_shape, (std::vector<int>{1, 28, 28, 6}));
+  // 28*28*5*5*1*6
+  EXPECT_EQ(conv1->macs, 28u * 28 * 25 * 6);
+  EXPECT_TRUE(conv1->traffic_bearing);
+
+  const LayerSummary* fc = s.find("dense_1");
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->macs, 400u * 120);
+  EXPECT_EQ(fc->ifmap_elems, 400u);
+  EXPECT_EQ(fc->ofmap_elems, 120u);
+}
+
+TEST(Summary, PoolAndActivationHandling) {
+  const nn::Model m = nn::make_lenet5();
+  const ModelSummary s = summarize(m);
+  const LayerSummary* pool = s.find("pool_1");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->output_shape, (std::vector<int>{1, 14, 14, 6}));
+  EXPECT_TRUE(pool->traffic_bearing);
+  EXPECT_EQ(pool->macs, 0u);
+  EXPECT_GT(pool->ops, 0u);
+
+  const LayerSummary* relu = s.find("conv_1_relu");
+  ASSERT_NE(relu, nullptr);
+  EXPECT_FALSE(relu->traffic_bearing);  // fused
+}
+
+TEST(Summary, TotalMacsMatchKnownModelScale) {
+  // VGG-16 at 224x224 is famously ~15.5 GMACs; ResNet50 ~3.9 GMACs.
+  const ModelSummary vgg = summarize(nn::make_vgg16());
+  EXPECT_NEAR(static_cast<double>(vgg.total_macs), 15.5e9, 0.5e9);
+  const ModelSummary rn = summarize(nn::make_resnet50());
+  EXPECT_NEAR(static_cast<double>(rn.total_macs), 3.9e9, 0.4e9);
+}
+
+TEST(Summary, MobilenetMacsNearPublished) {
+  // MobileNet v1: ~569 MMACs.
+  const ModelSummary s = summarize(nn::make_mobilenet());
+  EXPECT_NEAR(static_cast<double>(s.total_macs), 569e6, 60e6);
+}
+
+TEST(Summary, InceptionConcatChannels) {
+  const nn::Model m = nn::make_inception_v3();
+  const ModelSummary s = summarize(m);
+  const LayerSummary* mixed0 = s.find("mixed0");
+  ASSERT_NE(mixed0, nullptr);
+  EXPECT_EQ(mixed0->output_shape, (std::vector<int>{1, 35, 35, 256}));
+  const LayerSummary* mixed10 = s.find("mixed10");
+  ASSERT_NE(mixed10, nullptr);
+  EXPECT_EQ(mixed10->output_shape.back(), 2048);
+}
+
+TEST(Summary, ResnetAddPreservesShape) {
+  const nn::Model m = nn::make_resnet50();
+  const ModelSummary s = summarize(m);
+  const LayerSummary* add = s.find("res2a_add");
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->output_shape, (std::vector<int>{1, 56, 56, 256}));
+}
+
+TEST(Summary, MacroLayersAreOrderedSubset) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  const auto macro = s.macro_layers();
+  // conv1, pool1, conv2, pool2, dense1, dense2, dense3 = 7 macro layers
+  EXPECT_EQ(macro.size(), 7u);
+  for (std::size_t i = 1; i < macro.size(); ++i) {
+    EXPECT_LT(macro[i - 1], macro[i]);
+  }
+}
+
+TEST(Summary, FindUnknownReturnsNull) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  EXPECT_EQ(s.find("not_a_layer"), nullptr);
+}
+
+}  // namespace
+}  // namespace nocw::accel

@@ -1,0 +1,153 @@
+#include "core/baseline_codecs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/entropy.hpp"
+#include "util/rng.hpp"
+
+namespace nocw::core {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  return out;
+}
+
+// --- RLE ---------------------------------------------------------------------
+
+TEST(Rle, EmptyRoundTrip) {
+  EXPECT_TRUE(rle_decode(rle_encode({})).empty());
+}
+
+TEST(Rle, LiteralsRoundTrip) {
+  const auto data = bytes_of("abcdefg");
+  EXPECT_EQ(rle_decode(rle_encode(data)), data);
+}
+
+TEST(Rle, LongRunCompresses) {
+  std::vector<std::uint8_t> data(200, 0x42);
+  const auto enc = rle_encode(data);
+  EXPECT_LT(enc.size(), 10u);
+  EXPECT_EQ(rle_decode(enc), data);
+}
+
+TEST(Rle, EscapeByteStuffedCorrectly) {
+  std::vector<std::uint8_t> data{0xA5, 0x01, 0xA5, 0xA5, 0x02};
+  EXPECT_EQ(rle_decode(rle_encode(data)), data);
+}
+
+TEST(Rle, RunOfEscapeBytes) {
+  std::vector<std::uint8_t> data(50, 0xA5);
+  const auto enc = rle_encode(data);
+  EXPECT_EQ(rle_decode(enc), data);
+  EXPECT_LT(enc.size(), data.size());
+}
+
+TEST(Rle, RandomDataRoundTripAndNoGain) {
+  const auto data = random_bytes(100000, 5);
+  const auto enc = rle_encode(data);
+  EXPECT_EQ(rle_decode(enc), data);
+  // High-entropy data: RLE finds nothing (CR <= ~1).
+  EXPECT_LT(lossless_cr(data.size(), enc.size()), 1.05);
+}
+
+TEST(Rle, TruncatedInputThrows) {
+  std::vector<std::uint8_t> bad{0xA5};
+  EXPECT_THROW(rle_decode(bad), std::runtime_error);
+  std::vector<std::uint8_t> bad2{0xA5, 0x05};
+  EXPECT_THROW(rle_decode(bad2), std::runtime_error);
+}
+
+TEST(Rle, MixedContentRoundTrip) {
+  Xoshiro256pp rng(6);
+  std::vector<std::uint8_t> data;
+  for (int block = 0; block < 100; ++block) {
+    if (rng.chance(0.5)) {
+      const auto b = static_cast<std::uint8_t>(rng() & 0xFF);
+      const auto n = 1 + rng.bounded(300);
+      data.insert(data.end(), n, b);
+    } else {
+      for (int k = 0; k < 20; ++k) {
+        data.push_back(static_cast<std::uint8_t>(rng() & 0xFF));
+      }
+    }
+  }
+  EXPECT_EQ(rle_decode(rle_encode(data)), data);
+}
+
+// --- Huffman -------------------------------------------------------------------
+
+TEST(Huffman, EmptyRoundTrip) {
+  EXPECT_TRUE(huffman_decode(huffman_encode({})).empty());
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint8_t> data(1000, 0x7F);
+  const auto enc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(enc), data);
+  // 1 bit/symbol + table: far below 1 byte/symbol.
+  EXPECT_LT(enc.size(), 500u);
+}
+
+TEST(Huffman, TextRoundTripAndCompresses) {
+  const std::string text = sample_text(1 << 16);
+  const auto data = bytes_of(text);
+  const auto enc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(enc), data);
+  // Prose has ~4.2 bits/byte entropy: Huffman should approach ~1.8x.
+  EXPECT_GT(lossless_cr(data.size(), enc.size()), 1.5);
+}
+
+TEST(Huffman, RandomDataRoundTripNoGain) {
+  const auto data = random_bytes(100000, 9);
+  const auto enc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(enc), data);
+  EXPECT_LT(lossless_cr(data.size(), enc.size()), 1.02);
+}
+
+TEST(Huffman, SkewedDistributionApproachesEntropy) {
+  // 90% zeros, 10% spread: entropy ~ 1.3 bits/byte.
+  Xoshiro256pp rng(10);
+  std::vector<std::uint8_t> data(100000);
+  for (auto& b : data) {
+    b = rng.chance(0.9) ? 0 : static_cast<std::uint8_t>(rng.bounded(16) + 1);
+  }
+  const auto enc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(enc), data);
+  EXPECT_GT(lossless_cr(data.size(), enc.size()), 4.0);
+}
+
+TEST(Huffman, BinaryAlphabetRoundTrip) {
+  Xoshiro256pp rng(11);
+  std::vector<std::uint8_t> data(5000);
+  for (auto& b : data) b = rng.chance(0.5) ? 0x00 : 0xFF;
+  EXPECT_EQ(huffman_decode(huffman_encode(data)), data);
+}
+
+// --- The paper's claim -----------------------------------------------------------
+
+TEST(BaselineCodecs, TraditionalCompressionFailsOnWeights) {
+  // Sec. III-B: weight streams are near-random bytes, so lossless
+  // compressors gain (almost) nothing — the reason a lossy domain-specific
+  // codec is needed at all.
+  Xoshiro256pp rng(12);
+  std::vector<float> weights(100000);
+  for (auto& w : weights) w = static_cast<float>(rng.normal(0.0, 0.05));
+  const auto data = weights_as_bytes(weights);
+  EXPECT_LT(lossless_cr(data.size(), rle_encode(data).size()), 1.05);
+  const auto henc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(henc), data);
+  EXPECT_LT(lossless_cr(data.size(), henc.size()), 1.25);
+}
+
+}  // namespace
+}  // namespace nocw::core

@@ -1,0 +1,243 @@
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nocw::core {
+namespace {
+
+std::vector<float> gaussian_weights(std::size_t n, std::uint64_t seed,
+                                    double stddev = 0.05) {
+  Xoshiro256pp rng(seed);
+  std::vector<float> w(n);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, stddev));
+  return w;
+}
+
+TEST(Codec, EmptyLayer) {
+  const CompressedLayer layer = compress({}, CodecConfig{});
+  EXPECT_EQ(layer.original_count, 0u);
+  EXPECT_TRUE(layer.segments.empty());
+  EXPECT_TRUE(decompress(layer).empty());
+}
+
+TEST(Codec, SegmentLengthsTileLayer) {
+  const auto w = gaussian_weights(10000, 41);
+  for (double delta : {0.0, 5.0, 20.0}) {
+    CodecConfig cfg;
+    cfg.delta_percent = delta;
+    const auto layer = compress(w, cfg);
+    std::uint64_t total = 0;
+    for (const auto& s : layer.segments) total += s.length;
+    EXPECT_EQ(total, w.size());
+  }
+}
+
+TEST(Codec, PerfectLineReconstructsNearlyExactly) {
+  std::vector<float> w;
+  for (int j = 0; j < 200; ++j) w.push_back(1.0F + 0.5F * static_cast<float>(j));
+  CodecConfig cfg;  // delta 0; ascending line is one segment anyway
+  const auto layer = compress(w, cfg);
+  ASSERT_EQ(layer.segments.size(), 1u);
+  const auto out = decompress(layer);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(out[i], w[i], 1e-3F) << i;
+  }
+  EXPECT_LT(layer.mse(), 1e-8);
+}
+
+TEST(Codec, MseMatchesExplicitReconstruction) {
+  const auto w = gaussian_weights(5000, 42);
+  CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  const auto layer = compress(w, cfg);
+  const auto out = decompress(layer);
+  EXPECT_NEAR(layer.mse(), mean_squared_error(w, out), 1e-12);
+}
+
+TEST(Codec, MseBoundedByDeltaScale) {
+  // Larger δ admits rougher segments, but the fit error stays within the
+  // same order as δ² (each segment deviates at most ~δ per step pair).
+  const auto w = gaussian_weights(20000, 43, 0.1);
+  double prev_mse = 0.0;
+  for (double delta : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    CodecConfig cfg;
+    cfg.delta_percent = delta;
+    const auto layer = compress(w, cfg);
+    EXPECT_GE(layer.mse(), prev_mse * 0.5) << "MSE should broadly grow";
+    prev_mse = layer.mse();
+  }
+  EXPECT_GT(prev_mse, 0.0);
+}
+
+TEST(Codec, CompressionRatioGrowsWithDelta) {
+  const auto w = gaussian_weights(50000, 44);
+  double prev = 0.0;
+  for (double delta : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    CodecConfig cfg;
+    cfg.delta_percent = delta;
+    const auto layer = compress(w, cfg);
+    const double cr = layer.compression_ratio();
+    EXPECT_GT(cr, prev) << "delta " << delta;
+    prev = cr;
+  }
+  // At δ=20% of the range of a Gaussian sample, CR should be well above 2x.
+  EXPECT_GT(prev, 2.0);
+}
+
+TEST(Codec, DeltaZeroRatioNearTheory) {
+  // mean segment length ~2.44, storage 72 bits/segment vs 32 bits/weight:
+  // CR ≈ 32*2.44/72 ≈ 1.08 for i.i.d. data.
+  const auto w = gaussian_weights(200000, 45);
+  const auto layer = compress(w, CodecConfig{});
+  EXPECT_NEAR(layer.compression_ratio(), 1.08, 0.08);
+}
+
+TEST(Codec, ReconstructionErrorWithinSegmentBound) {
+  // Every reconstructed value must stay within a few δ of the original:
+  // the fit line of a weakly monotonic segment cannot wander arbitrarily.
+  const auto w = gaussian_weights(10000, 46, 0.05);
+  CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  const auto layer = compress(w, cfg);
+  const auto out = decompress(layer);
+  const double range = value_range(w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LT(std::abs(out[i] - w[i]), range) << i;
+  }
+}
+
+TEST(Codec, DecompressSizeMismatchThrows) {
+  const auto w = gaussian_weights(100, 47);
+  const auto layer = compress(w, CodecConfig{});
+  std::vector<float> wrong(99);
+  EXPECT_THROW(decompress(layer, wrong), std::invalid_argument);
+}
+
+TEST(Codec, SerializeDeserializeRoundTrip) {
+  const auto w = gaussian_weights(5000, 48);
+  CodecConfig cfg;
+  cfg.delta_percent = 15.0;
+  const auto layer = compress(w, cfg);
+  const auto bytes = serialize(layer);
+  const auto back = deserialize(bytes);
+  ASSERT_EQ(back.segments.size(), layer.segments.size());
+  EXPECT_EQ(back.original_count, layer.original_count);
+  for (std::size_t i = 0; i < layer.segments.size(); ++i) {
+    EXPECT_EQ(back.segments[i].m, layer.segments[i].m);
+    EXPECT_EQ(back.segments[i].q, layer.segments[i].q);
+    EXPECT_EQ(back.segments[i].length, layer.segments[i].length);
+  }
+  // Decompressing the deserialized stream yields identical weights.
+  const auto a = decompress(layer);
+  const auto b = decompress(back);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Codec, SerializedSizeMatchesAccounting) {
+  const auto w = gaussian_weights(3000, 49);
+  CodecConfig cfg;
+  cfg.delta_percent = 5.0;
+  const auto layer = compress(w, cfg);
+  const auto bytes = serialize(layer);
+  // Header is 16+8+6+6+6+48+48+32 = 170 bits.
+  const std::size_t expected_bits = 170 + layer.compressed_bits();
+  EXPECT_EQ(bytes.size(), (expected_bits + 7) / 8);
+}
+
+TEST(Codec, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> junk(64, 0xAB);
+  EXPECT_THROW(deserialize(junk), std::runtime_error);
+}
+
+TEST(Codec, ReducedCoefficientBitsRoundTrip) {
+  const auto w = gaussian_weights(5000, 50);
+  CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  cfg.coef_bits = 16;  // bfloat16-style coefficients
+  const auto layer = compress(w, cfg);
+  const auto bytes = serialize(layer);
+  const auto back = deserialize(bytes);
+  const auto a = decompress(layer);
+  const auto b = decompress(back);
+  EXPECT_EQ(a, b);
+  // 16-bit coefficients halve the per-segment cost: CR roughly doubles
+  // relative to 32-bit coefficients at the same δ.
+  CodecConfig cfg32 = cfg;
+  cfg32.coef_bits = 32;
+  const auto layer32 = compress(w, cfg32);
+  EXPECT_GT(layer.compression_ratio(), 1.5 * layer32.compression_ratio());
+}
+
+TEST(Codec, QuantizeCoefficientExactAt32Bits) {
+  EXPECT_EQ(quantize_coefficient(0.123456789, 32),
+            static_cast<float>(0.123456789));
+}
+
+TEST(Codec, QuantizeCoefficientTruncatesMantissa) {
+  const float q = quantize_coefficient(1.0F + 1e-4F, 16);
+  // bfloat16 has ~3 decimal digits: 1.0001 rounds to 1.0 at 16 bits.
+  EXPECT_NEAR(q, 1.0F, 1e-2F);
+  // And the low 16 bits of the encoding must be zero.
+  std::uint32_t raw;
+  std::memcpy(&raw, &q, sizeof(raw));
+  EXPECT_EQ(raw & 0xFFFFu, 0u);
+}
+
+TEST(Codec, LengthFieldCapRespected) {
+  std::vector<float> w(5000);
+  std::iota(w.begin(), w.end(), 0.0F);  // single monotone ramp
+  CodecConfig cfg;
+  cfg.length_bits = 4;  // segments capped at 16
+  const auto layer = compress(w, cfg);
+  for (const auto& s : layer.segments) EXPECT_LE(s.length, 16u);
+  const auto bytes = serialize(layer);
+  const auto back = deserialize(bytes);
+  EXPECT_EQ(decompress(back), decompress(layer));
+}
+
+TEST(Codec, WeightBitsAffectsRatioAccountingOnly) {
+  const auto w = gaussian_weights(2000, 51);
+  CodecConfig a;
+  a.weight_bits = 32;
+  CodecConfig b;
+  b.weight_bits = 8;
+  const auto la = compress(w, a);
+  const auto lb = compress(w, b);
+  EXPECT_EQ(la.segments.size(), lb.segments.size());
+  EXPECT_NEAR(la.compression_ratio() / lb.compression_ratio(), 4.0, 1e-9);
+}
+
+// Property sweep over δ values: reconstruction must always tile and MSE must
+// equal the replayed reconstruction error.
+class CodecDeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodecDeltaSweep, InvariantsHold) {
+  const double delta = GetParam();
+  const auto w = gaussian_weights(20000, 52);
+  CodecConfig cfg;
+  cfg.delta_percent = delta;
+  const auto layer = compress(w, cfg);
+  const auto out = decompress(layer);
+  ASSERT_EQ(out.size(), w.size());
+  EXPECT_NEAR(layer.mse(), mean_squared_error(w, out), 1e-12);
+  EXPECT_GE(layer.compression_ratio(), 0.4);
+  for (const auto& s : layer.segments) {
+    EXPECT_GE(s.length, 1u);
+    EXPECT_LE(s.length, 256u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaGrid, CodecDeltaSweep,
+                         ::testing::Values(0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 8.0,
+                                           10.0, 15.0, 20.0, 30.0, 50.0));
+
+}  // namespace
+}  // namespace nocw::core

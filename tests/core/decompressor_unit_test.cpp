@@ -1,0 +1,120 @@
+#include "core/decompressor_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::core {
+namespace {
+
+TEST(DecompressorUnit, IdleTickEmitsNothing) {
+  DecompressorUnit du;
+  EXPECT_FALSE(du.busy());
+  EXPECT_EQ(du.tick(), std::nullopt);
+  EXPECT_EQ(du.cycles(), 1u);
+  EXPECT_EQ(du.emitted(), 0u);
+}
+
+TEST(DecompressorUnit, SingleWeightSegment) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{0.5F, 2.0F, 1});
+  EXPECT_TRUE(du.busy());
+  EXPECT_EQ(du.state(), DecompressorUnit::State::Init);
+  const auto out = du.tick();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 2.0F);  // w̃_1 = q
+  EXPECT_FALSE(du.busy());
+}
+
+TEST(DecompressorUnit, EmitsLinearRamp) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{0.25F, 1.0F, 5});
+  std::vector<float> got;
+  while (du.busy()) {
+    const auto out = du.tick();
+    ASSERT_TRUE(out.has_value());
+    got.push_back(*out);
+  }
+  const std::vector<float> expect{1.0F, 1.25F, 1.5F, 1.75F, 2.0F};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(DecompressorUnit, OneWeightPerCycle) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{1.0F, 0.0F, 100});
+  const std::uint64_t start = du.cycles();
+  std::uint64_t produced = 0;
+  while (du.busy()) {
+    if (du.tick().has_value()) ++produced;
+  }
+  EXPECT_EQ(produced, 100u);
+  EXPECT_EQ(du.cycles() - start, 100u);  // exactly one weight per clock
+}
+
+TEST(DecompressorUnit, LoadWhileBusyThrows) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{0.0F, 0.0F, 3});
+  EXPECT_THROW(du.load(CompressedSegment{0.0F, 0.0F, 1}), std::logic_error);
+}
+
+TEST(DecompressorUnit, ZeroLengthSegmentIsNoOp) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{1.0F, 1.0F, 0});
+  EXPECT_FALSE(du.busy());
+}
+
+TEST(DecompressorUnit, StateSequenceInitThenRun) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{1.0F, 0.0F, 3});
+  EXPECT_EQ(du.state(), DecompressorUnit::State::Init);
+  du.tick();
+  EXPECT_EQ(du.state(), DecompressorUnit::State::Run);
+  du.tick();
+  EXPECT_EQ(du.state(), DecompressorUnit::State::Run);
+  du.tick();
+  EXPECT_EQ(du.state(), DecompressorUnit::State::Idle);
+}
+
+TEST(DecompressorUnit, BitEquivalentToSoftwareDecompress) {
+  // The FSM must produce exactly the same float stream as core::decompress,
+  // including float accumulation order (Eq. 2).
+  Xoshiro256pp rng(61);
+  std::vector<float> w(20000);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.2));
+  CodecConfig cfg;
+  cfg.delta_percent = 12.0;
+  const auto layer = compress(w, cfg);
+  const auto sw = decompress(layer);
+
+  DecompressorUnit du;
+  std::vector<float> hw;
+  hw.reserve(sw.size());
+  for (const auto& seg : layer.segments) {
+    du.load(seg);
+    while (du.busy()) {
+      const auto out = du.tick();
+      ASSERT_TRUE(out.has_value());
+      hw.push_back(*out);
+    }
+  }
+  ASSERT_EQ(hw.size(), sw.size());
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    // Bit-exact: both paths perform the identical float additions.
+    EXPECT_EQ(hw[i], sw[i]) << i;
+  }
+}
+
+TEST(DecompressorUnit, ResetReturnsToIdle) {
+  DecompressorUnit du;
+  du.load(CompressedSegment{1.0F, 0.0F, 10});
+  du.tick();
+  du.reset();
+  EXPECT_FALSE(du.busy());
+  EXPECT_EQ(du.cycles(), 0u);
+  EXPECT_EQ(du.emitted(), 0u);
+}
+
+}  // namespace
+}  // namespace nocw::core

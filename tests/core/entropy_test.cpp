@@ -1,0 +1,62 @@
+#include "core/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::core {
+namespace {
+
+TEST(Entropy, RandomDataNearEightBits) {
+  EXPECT_GT(random_data_entropy(1 << 20, 7), 7.99);
+}
+
+TEST(Entropy, RandomDataDeterministicPerSeed) {
+  EXPECT_DOUBLE_EQ(random_data_entropy(100000, 3),
+                   random_data_entropy(100000, 3));
+}
+
+TEST(Entropy, TextWellBelowRandom) {
+  const double h = text_entropy(1 << 16);
+  EXPECT_GT(h, 3.0);   // prose is not trivially redundant...
+  EXPECT_LT(h, 5.5);   // ...but far from random bytes
+}
+
+TEST(Entropy, SampleTextLongEnoughAndPrintable) {
+  const std::string t = sample_text(5000);
+  EXPECT_GE(t.size(), 5000u);
+  for (char c : t) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ' || c == '.') << int(c);
+  }
+}
+
+TEST(Entropy, GaussianWeightStreamNearRandom) {
+  // The paper's Fig. 3 point: serialized CNN weights look like random bytes.
+  Xoshiro256pp rng(81);
+  std::vector<float> w(1 << 18);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.05));
+  const double h = weight_stream_entropy(w);
+  EXPECT_GT(h, 7.0);
+  EXPECT_LE(h, 8.0);
+}
+
+TEST(Entropy, ConstantWeightStreamIsLow) {
+  std::vector<float> w(10000, 0.125F);
+  EXPECT_LT(weight_stream_entropy(w), 2.1);
+}
+
+TEST(Entropy, OrderingRandomGreaterThanWeightsGreaterThanText) {
+  Xoshiro256pp rng(82);
+  std::vector<float> w(1 << 18);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.05));
+  const double h_random = random_data_entropy(1 << 20, 7);
+  const double h_weights = weight_stream_entropy(w);
+  const double h_text = text_entropy(1 << 16);
+  EXPECT_GT(h_random, h_weights);
+  EXPECT_GT(h_weights, h_text);
+}
+
+}  // namespace
+}  // namespace nocw::core

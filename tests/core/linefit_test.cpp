@@ -1,0 +1,125 @@
+#include "core/linefit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::core {
+namespace {
+
+TEST(LineFit, EmptyIsZero) {
+  const LineFit f = fit_line({});
+  EXPECT_DOUBLE_EQ(f.m, 0.0);
+  EXPECT_DOUBLE_EQ(f.q, 0.0);
+  EXPECT_DOUBLE_EQ(f.sse, 0.0);
+}
+
+TEST(LineFit, SinglePointIsThePoint) {
+  const std::vector<float> v{4.5F};
+  const LineFit f = fit_line(v);
+  EXPECT_DOUBLE_EQ(f.m, 0.0);
+  EXPECT_DOUBLE_EQ(f.q, 4.5);
+  EXPECT_DOUBLE_EQ(f.sse, 0.0);
+}
+
+TEST(LineFit, TwoPointsExact) {
+  const std::vector<float> v{1.0F, 3.0F};
+  const LineFit f = fit_line(v);
+  EXPECT_NEAR(f.m, 2.0, 1e-12);
+  EXPECT_NEAR(f.q, 1.0, 1e-12);
+  EXPECT_NEAR(f.sse, 0.0, 1e-12);
+}
+
+TEST(LineFit, PerfectLineHasZeroResidual) {
+  std::vector<float> v;
+  for (int j = 0; j < 50; ++j) v.push_back(-2.0F + 0.25F * static_cast<float>(j));
+  const LineFit f = fit_line(v);
+  EXPECT_NEAR(f.m, 0.25, 1e-9);
+  EXPECT_NEAR(f.q, -2.0, 1e-9);
+  EXPECT_NEAR(f.sse, 0.0, 1e-9);
+}
+
+TEST(LineFit, ConstantSequence) {
+  const std::vector<float> v{7.0F, 7.0F, 7.0F, 7.0F};
+  const LineFit f = fit_line(v);
+  EXPECT_NEAR(f.m, 0.0, 1e-12);
+  EXPECT_NEAR(f.q, 7.0, 1e-12);
+  EXPECT_NEAR(f.sse, 0.0, 1e-9);
+}
+
+TEST(LineFit, KnownThreePointCase) {
+  // Points (0,0), (1,1), (2,0): OLS gives m = 0, q = 1/3, SSE = 2/3.
+  const std::vector<float> v{0.0F, 1.0F, 0.0F};
+  const LineFit f = fit_line(v);
+  EXPECT_NEAR(f.m, 0.0, 1e-12);
+  EXPECT_NEAR(f.q, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f.sse, 2.0 / 3.0, 1e-12);
+}
+
+TEST(LineFit, MatchesBruteForceNormalEquations) {
+  Xoshiro256pp rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.bounded(64);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 2.0));
+    const LineFit f = fit_line(v);
+    // Brute-force OLS in long double.
+    long double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      sx += j;
+      sy += v[j];
+      sxx += static_cast<long double>(j) * j;
+      sxy += static_cast<long double>(j) * v[j];
+    }
+    const long double denom = n * sxx - sx * sx;
+    const long double m = (n * sxy - sx * sy) / denom;
+    const long double q = (sy - m * sx) / n;
+    EXPECT_NEAR(f.m, static_cast<double>(m), 1e-8);
+    EXPECT_NEAR(f.q, static_cast<double>(q), 1e-8);
+    // Residual from the fitted line.
+    long double sse = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const long double e = v[j] - (m * j + q);
+      sse += e * e;
+    }
+    EXPECT_NEAR(f.sse, static_cast<double>(sse), 1e-6);
+  }
+}
+
+TEST(LineFit, FitMinimizesSse) {
+  // Perturbing (m, q) away from the OLS solution must not reduce the SSE.
+  Xoshiro256pp rng(32);
+  std::vector<float> v(20);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const LineFit f = fit_line(v);
+  auto sse_of = [&](double m, double q) {
+    double s = 0;
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      const double e = v[j] - (m * static_cast<double>(j) + q);
+      s += e * e;
+    }
+    return s;
+  };
+  const double base = sse_of(f.m, f.q);
+  for (double dm : {-0.01, 0.01}) {
+    for (double dq : {-0.01, 0.01}) {
+      EXPECT_GE(sse_of(f.m + dm, f.q + dq), base - 1e-9);
+    }
+  }
+}
+
+TEST(LineFitAccumulator, ResetClears) {
+  LineFitAccumulator acc;
+  acc.add(1.0);
+  acc.add(5.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  acc.add(2.0);
+  const LineFit f = acc.fit();
+  EXPECT_DOUBLE_EQ(f.q, 2.0);
+}
+
+}  // namespace
+}  // namespace nocw::core

@@ -1,0 +1,73 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::core {
+namespace {
+
+TEST(Metrics, WeightedCrLinearFormula) {
+  // Weighted CR = f*CR + (1-f), the formula the paper's Table II follows
+  // (e.g. AlexNet δ=20%: 0.7*11.44 + 0.3 ≈ 8.3).
+  EXPECT_NEAR(weighted_cr(11.44, 0.70), 8.31, 0.02);
+  EXPECT_NEAR(weighted_cr(4.02, 0.80), 3.42, 0.02);
+  EXPECT_NEAR(weighted_cr(12.79, 0.08), 1.94, 0.02);
+}
+
+TEST(Metrics, WeightedCrIdentityCases) {
+  EXPECT_DOUBLE_EQ(weighted_cr(5.0, 0.0), 1.0);   // nothing compressed
+  EXPECT_DOUBLE_EQ(weighted_cr(5.0, 1.0), 5.0);   // whole model compressed
+  EXPECT_DOUBLE_EQ(weighted_cr(1.0, 0.5), 1.0);   // CR 1 changes nothing
+}
+
+TEST(Metrics, MemFootprintReductionFormula) {
+  // Mem fp reduction = f*(1 - 1/CR): AlexNet δ=20% → 0.7*(1-1/11.44) ≈ 64%.
+  EXPECT_NEAR(mem_footprint_reduction(11.44, 0.70), 0.639, 0.005);
+  EXPECT_NEAR(mem_footprint_reduction(12.79, 0.08), 0.074, 0.005);
+  EXPECT_DOUBLE_EQ(mem_footprint_reduction(1.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(mem_footprint_reduction(2.0, 0.0), 0.0);
+}
+
+TEST(Metrics, ReductionBoundedByFraction) {
+  // No matter how well the layer compresses, the model cannot shrink by more
+  // than the layer's own share of the parameters.
+  for (double cr : {1.5, 4.0, 100.0}) {
+    for (double f : {0.1, 0.5, 0.9}) {
+      EXPECT_LT(mem_footprint_reduction(cr, f), f);
+      EXPECT_GE(mem_footprint_reduction(cr, f), 0.0);
+    }
+  }
+}
+
+TEST(Metrics, AssessProducesConsistentReport) {
+  Xoshiro256pp rng(71);
+  std::vector<float> w(30000);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.05));
+  CodecConfig cfg;
+  cfg.delta_percent = 15.0;
+  const CompressionReport r = assess_compression(w, 0.8, cfg);
+  EXPECT_DOUBLE_EQ(r.delta_percent, 15.0);
+  EXPECT_GT(r.cr, 1.0);
+  EXPECT_NEAR(r.weighted_cr, 0.8 * r.cr + 0.2, 1e-12);
+  EXPECT_NEAR(r.mem_fp_reduction, 0.8 * (1.0 - 1.0 / r.cr), 1e-12);
+  EXPECT_GT(r.mse, 0.0);
+  EXPECT_GT(r.segment_count, 0u);
+  EXPECT_NEAR(r.mean_segment_length,
+              static_cast<double>(w.size()) / r.segment_count, 1e-9);
+}
+
+TEST(Metrics, ZeroDeltaStillReportsSaneRow) {
+  Xoshiro256pp rng(72);
+  std::vector<float> w(10000);
+  for (auto& x : w) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const CompressionReport r = assess_compression(w, 0.5, CodecConfig{});
+  EXPECT_GT(r.cr, 0.9);
+  EXPECT_LT(r.cr, 1.5);
+  EXPECT_GE(r.mse, 0.0);
+}
+
+}  // namespace
+}  // namespace nocw::core

@@ -1,0 +1,114 @@
+#include "eval/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/train.hpp"
+
+namespace nocw::eval {
+namespace {
+
+EvalConfig lenet_cfg() {
+  EvalConfig cfg;
+  cfg.topk = 1;
+  return cfg;
+}
+
+TEST(Flow, AgreementModeBaselineIsPerfect) {
+  nn::Model m = nn::make_lenet5();
+  EvalConfig cfg;
+  cfg.probes = 4;
+  cfg.topk = 3;
+  DeltaEvaluator ev(m, cfg);
+  EXPECT_DOUBLE_EQ(ev.baseline_accuracy(), 1.0);
+  EXPECT_EQ(ev.selected_layer(), "dense_1");
+  EXPECT_NEAR(ev.selected_fraction(), 0.78, 0.03);
+}
+
+TEST(Flow, ZeroDeltaBarelyPerturbs) {
+  nn::Model m = nn::make_lenet5();
+  EvalConfig cfg;
+  cfg.probes = 6;
+  cfg.topk = 3;
+  DeltaEvaluator ev(m, cfg);
+  const DeltaPoint p = ev.evaluate(0.0);
+  EXPECT_GT(p.accuracy, 0.5);
+  EXPECT_GT(p.report.cr, 1.0);
+  EXPECT_GT(p.compression.compressed_bits, 0u);
+}
+
+TEST(Flow, AccuracyDegradesWithDelta) {
+  nn::Model m = nn::make_lenet5();
+  EvalConfig cfg;
+  cfg.probes = 8;
+  cfg.topk = 3;
+  DeltaEvaluator ev(m, cfg);
+  const double acc_small = ev.evaluate(0.0).accuracy;
+  const double acc_huge = ev.evaluate(500.0).accuracy;
+  EXPECT_GE(acc_small, acc_huge);
+}
+
+TEST(Flow, CrGrowsWithDelta) {
+  nn::Model m = nn::make_lenet5();
+  EvalConfig cfg;
+  cfg.probes = 2;
+  DeltaEvaluator ev(m, cfg);
+  double prev = 0.0;
+  for (double d : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    const DeltaPoint p = ev.evaluate(d);
+    EXPECT_GT(p.report.cr, prev);
+    prev = p.report.cr;
+  }
+  EXPECT_GT(prev, 2.0);
+}
+
+TEST(Flow, WeightsRestoredAfterEvaluate) {
+  nn::Model m = nn::make_lenet5();
+  const int idx = m.graph.find("dense_1");
+  const auto before = std::vector<float>(
+      m.graph.layer(idx).kernel().begin(), m.graph.layer(idx).kernel().end());
+  EvalConfig cfg;
+  cfg.probes = 2;
+  DeltaEvaluator ev(m, cfg);
+  (void)ev.evaluate(20.0);
+  const auto kernel = m.graph.layer(idx).kernel();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(kernel[i], before[i]);
+  }
+}
+
+TEST(Flow, RepeatedEvaluationIsIdempotent) {
+  // Compressing always from the original weights: evaluating the same δ
+  // twice gives bit-identical results.
+  nn::Model m = nn::make_lenet5();
+  EvalConfig cfg;
+  cfg.probes = 3;
+  DeltaEvaluator ev(m, cfg);
+  const DeltaPoint a = ev.evaluate(10.0);
+  (void)ev.evaluate(20.0);
+  const DeltaPoint b = ev.evaluate(10.0);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.report.cr, b.report.cr);
+}
+
+TEST(Flow, LabeledModeUsesRealAccuracy) {
+  nn::Model m = nn::make_lenet5();
+  const nn::Dataset train = nn::make_digits(300, 61);
+  const nn::Dataset test = nn::make_digits(100, 62);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  tcfg.learning_rate = 0.1F;
+  (void)nn::train_classifier(m.graph, train, tcfg);
+
+  EvalConfig cfg = lenet_cfg();
+  DeltaEvaluator ev(m, test, cfg);
+  EXPECT_GT(ev.baseline_accuracy(), 0.3);  // trained above chance
+  const DeltaPoint p0 = ev.evaluate(0.0);
+  // δ=0 reconstruction is accurate: accuracy within a few points of baseline.
+  EXPECT_NEAR(p0.accuracy, ev.baseline_accuracy(), 0.15);
+  // An absurd δ destroys the layer.
+  const DeltaPoint huge = ev.evaluate(1000.0);
+  EXPECT_LE(huge.accuracy, p0.accuracy + 1e-9);
+}
+
+}  // namespace
+}  // namespace nocw::eval

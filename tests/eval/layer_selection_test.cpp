@@ -1,0 +1,42 @@
+#include "eval/layer_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace nocw::eval {
+namespace {
+
+TEST(LayerSelection, MatchesPaperTableOneForEveryModel) {
+  // The policy (largest layer, deepest on ties) must reproduce the paper's
+  // Table I choices, which the zoo records in Model::selected_layer.
+  for (const auto& name : nn::model_names()) {
+    const nn::Model m = nn::make_model(name, 3);
+    EXPECT_EQ(select_layer_name(m), m.selected_layer) << name;
+  }
+}
+
+TEST(LayerSelection, PrefersDeepestOnTies) {
+  nn::Graph g;
+  int n = g.add(std::make_unique<nn::InputLayer>(
+      "input", std::vector<int>{0, 4}));
+  n = g.add(std::make_unique<nn::Dense>("shallow", 4, 4), {n});
+  n = g.add(std::make_unique<nn::Dense>("deep", 4, 4), {n});
+  g.add(std::make_unique<nn::Softmax>("softmax"), {n});
+  nn::Model m;
+  m.graph = std::move(g);
+  EXPECT_EQ(select_layer_name(m), "deep");
+}
+
+TEST(LayerSelection, ThrowsWithoutParameters) {
+  nn::Graph g;
+  int n = g.add(std::make_unique<nn::InputLayer>(
+      "input", std::vector<int>{0, 4}));
+  g.add(std::make_unique<nn::Softmax>("softmax"), {n});
+  nn::Model m;
+  m.graph = std::move(g);
+  EXPECT_THROW(select_layer(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocw::eval

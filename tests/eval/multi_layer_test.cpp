@@ -1,0 +1,98 @@
+#include "eval/multi_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/train.hpp"
+
+namespace nocw::eval {
+namespace {
+
+MultiLayerConfig fast_cfg(double min_accuracy) {
+  MultiLayerConfig cfg;
+  cfg.min_accuracy = min_accuracy;
+  cfg.probes = 4;
+  cfg.topk = 3;
+  cfg.delta_steps = {5, 10, 20};
+  cfg.max_rounds = 20;
+  return cfg;
+}
+
+TEST(MultiLayer, RespectsAccuracyConstraint) {
+  nn::Model m = nn::make_lenet5();
+  const MultiLayerResult r = optimize_multi_layer(m, nullptr, fast_cfg(0.75));
+  EXPECT_GE(r.accuracy, 0.75);
+  EXPECT_GE(r.weighted_cr, 1.0);
+}
+
+TEST(MultiLayer, LooseConstraintCompressesMoreThanTight) {
+  nn::Model loose_model = nn::make_lenet5();
+  nn::Model tight_model = nn::make_lenet5();
+  const MultiLayerResult loose =
+      optimize_multi_layer(loose_model, nullptr, fast_cfg(0.25));
+  const MultiLayerResult tight =
+      optimize_multi_layer(tight_model, nullptr, fast_cfg(0.99));
+  EXPECT_GE(loose.weighted_cr, tight.weighted_cr);
+}
+
+TEST(MultiLayer, ImpossibleConstraintYieldsEmptyPlan) {
+  nn::Model m = nn::make_lenet5();
+  MultiLayerConfig cfg = fast_cfg(1.1);  // unattainable
+  const MultiLayerResult r = optimize_multi_layer(m, nullptr, cfg);
+  EXPECT_TRUE(r.plan.empty());
+  EXPECT_DOUBLE_EQ(r.weighted_cr, 1.0);
+}
+
+TEST(MultiLayer, WeightsRestoredAfterOptimization) {
+  nn::Model m = nn::make_lenet5();
+  const int idx = m.graph.find("dense_1");
+  const std::vector<float> before(m.graph.layer(idx).kernel().begin(),
+                                  m.graph.layer(idx).kernel().end());
+  (void)optimize_multi_layer(m, nullptr, fast_cfg(0.5));
+  const auto kernel = m.graph.layer(idx).kernel();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(kernel[i], before[i]);
+  }
+}
+
+TEST(MultiLayer, PlanEntriesAreConsistent) {
+  nn::Model m = nn::make_lenet5();
+  const MultiLayerResult r = optimize_multi_layer(m, nullptr, fast_cfg(0.5));
+  for (const auto& e : r.plan) {
+    EXPECT_GE(m.graph.find(e.layer), 0);
+    EXPECT_GT(e.cr, 0.0);
+    EXPECT_GT(e.compressed_bits, 0u);
+    EXPECT_GT(e.weight_count, 0u);
+    EXPECT_GT(e.delta_percent, 0.0);
+  }
+  const accel::CompressionPlan plan = r.to_accel_plan();
+  EXPECT_EQ(plan.size(), r.plan.size());
+}
+
+TEST(MultiLayer, BeatsSingleLayerAtSameConstraintOrMatches) {
+  // Compressing several layers can only save at least as many bits as the
+  // single selected layer at the δ the plan assigns it.
+  nn::Model m = nn::make_lenet5();
+  const MultiLayerResult r = optimize_multi_layer(m, nullptr, fast_cfg(0.5));
+  if (r.plan.size() >= 2) {
+    EXPECT_GT(r.weighted_cr, 1.0);
+  }
+}
+
+TEST(MultiLayer, LabeledModeUsesRealAccuracy) {
+  nn::Model m = nn::make_lenet5();
+  const nn::Dataset train = nn::make_digits(300, 81);
+  const nn::Dataset test = nn::make_digits(80, 82);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  tcfg.learning_rate = 0.1F;
+  (void)nn::train_classifier(m.graph, train, tcfg);
+
+  MultiLayerConfig cfg = fast_cfg(0.0);
+  cfg.topk = 1;
+  const MultiLayerResult r = optimize_multi_layer(m, &test, cfg);
+  EXPECT_GT(r.baseline_accuracy, 0.2);
+  EXPECT_GE(r.weighted_cr, 1.0);
+}
+
+}  // namespace
+}  // namespace nocw::eval

@@ -1,0 +1,56 @@
+#include "eval/probes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nocw::eval {
+namespace {
+
+TEST(Probes, ShapeAndRange) {
+  const nn::Tensor p = make_probes(3, 16, 3, 1);
+  EXPECT_EQ(p.shape(), (std::vector<int>{3, 16, 16, 3}));
+  for (float v : p.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Probes, DeterministicPerSeed) {
+  const nn::Tensor a = make_probes(2, 8, 1, 9);
+  const nn::Tensor b = make_probes(2, 8, 1, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Probes, SeedsDiffer) {
+  const nn::Tensor a = make_probes(1, 8, 1, 1);
+  const nn::Tensor b = make_probes(1, 8, 1, 2);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Probes, SpatiallyCorrelated) {
+  // Natural-image statistics: neighbouring pixels must correlate far more
+  // than distant ones (white noise would give ~0 for both).
+  const nn::Tensor p = make_probes(4, 32, 1, 33);
+  double neigh = 0.0;
+  double far = 0.0;
+  int count = 0;
+  for (int n = 0; n < 4; ++n) {
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x + 16 < 32; ++x) {
+        const float v = p.at(n, y, x, 0);
+        neigh += std::abs(v - p.at(n, y, x + 1, 0));
+        far += std::abs(v - p.at(n, y, x + 16, 0));
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(neigh / count, 0.5 * far / count);
+}
+
+}  // namespace
+}  // namespace nocw::eval

@@ -1,0 +1,68 @@
+#include "eval/quantized_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::eval {
+namespace {
+
+QuantizedEvalConfig small_cfg() {
+  QuantizedEvalConfig cfg;
+  cfg.probes = 4;
+  cfg.topk = 3;
+  return cfg;
+}
+
+TEST(QuantizedFlow, BaselineCrNearFour) {
+  // Almost all LeNet params are weights -> int8 quantization approaches 4x.
+  nn::Model m = nn::make_lenet5();
+  QuantizedDeltaEvaluator ev(m, small_cfg());
+  EXPECT_GT(ev.baseline().weighted_cr, 3.0);
+  EXPECT_LE(ev.baseline().weighted_cr, 4.0);
+}
+
+TEST(QuantizedFlow, BaselineAccuracyHigh) {
+  // int8 quantization alone barely moves the outputs.
+  nn::Model m = nn::make_lenet5();
+  QuantizedDeltaEvaluator ev(m, small_cfg());
+  EXPECT_GT(ev.baseline().accuracy, 0.6);
+}
+
+TEST(QuantizedFlow, StackedCrExceedsQuantizationAloneAtModerateDelta) {
+  // At δ=0 the segment overhead can slightly lose to raw int8 (the paper's
+  // own VGG row in Table III shows the same dip: QT 2.26 -> 1.21 at δ=0);
+  // from moderate δ the stacking wins.
+  nn::Model m = nn::make_lenet5();
+  QuantizedDeltaEvaluator ev(m, small_cfg());
+  const QuantizedDeltaPoint zero = ev.evaluate(0.0);
+  EXPECT_GT(zero.weighted_cr, 0.5 * ev.baseline().weighted_cr);
+  const QuantizedDeltaPoint mid = ev.evaluate(40.0);
+  EXPECT_GT(mid.weighted_cr, ev.baseline().weighted_cr);
+}
+
+TEST(QuantizedFlow, CrGrowsAndAccuracyFallsWithDelta) {
+  nn::Model m = nn::make_lenet5();
+  QuantizedDeltaEvaluator ev(m, small_cfg());
+  const QuantizedDeltaPoint lo = ev.evaluate(0.0);
+  const QuantizedDeltaPoint hi = ev.evaluate(40.0);
+  EXPECT_GT(hi.weighted_cr, lo.weighted_cr);
+  EXPECT_LE(hi.accuracy, lo.accuracy + 1e-9);
+}
+
+TEST(QuantizedFlow, SelectedLayerMatchesPolicy) {
+  nn::Model m = nn::make_lenet5();
+  QuantizedDeltaEvaluator ev(m, small_cfg());
+  EXPECT_EQ(ev.selected_layer(), "dense_1");
+}
+
+TEST(QuantizedFlow, RepeatedEvaluationIdempotent) {
+  nn::Model m = nn::make_lenet5();
+  QuantizedDeltaEvaluator ev(m, small_cfg());
+  const QuantizedDeltaPoint a = ev.evaluate(15.0);
+  (void)ev.evaluate(30.0);
+  const QuantizedDeltaPoint b = ev.evaluate(15.0);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.weighted_cr, b.weighted_cr);
+}
+
+}  // namespace
+}  // namespace nocw::eval

@@ -1,0 +1,119 @@
+// Randomized property tests (fuzz-style) across module boundaries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/baseline_codecs.hpp"
+#include "core/codec.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nocw {
+namespace {
+
+// --- Codec fuzz -------------------------------------------------------------
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomConfigRoundTrips) {
+  Xoshiro256pp rng(GetParam());
+  // Random weight distribution shape.
+  const std::size_t n = 100 + rng.bounded(20000);
+  std::vector<float> w(n);
+  const int shape = static_cast<int>(rng.bounded(4));
+  for (auto& x : w) {
+    switch (shape) {
+      case 0: x = static_cast<float>(rng.normal(0.0, 0.1)); break;
+      case 1: x = static_cast<float>(rng.uniform(-1.0, 1.0)); break;
+      case 2: {  // heavy tail
+        const double u = rng.uniform() - 0.5;
+        x = static_cast<float>((u < 0 ? -1 : 1) * 0.02 *
+                               std::log(1.0 - 2.0 * std::abs(u)));
+        break;
+      }
+      default:  // quantized-ish plateaus
+        x = static_cast<float>(rng.bounded(16)) * 0.1F;
+        break;
+    }
+  }
+  core::CodecConfig cfg;
+  cfg.delta_percent = rng.uniform(0.0, 60.0);
+  cfg.coef_bits = 16 + static_cast<unsigned>(rng.bounded(17));
+  cfg.length_bits = 4 + static_cast<unsigned>(rng.bounded(7));
+
+  const auto layer = core::compress(w, cfg);
+  // Invariants: segments tile, decompress sizes match, MSE equals the
+  // replayed reconstruction error, serialization round-trips bit-exactly.
+  std::uint64_t total = 0;
+  for (const auto& s : layer.segments) {
+    ASSERT_GE(s.length, 1u);
+    total += s.length;
+  }
+  ASSERT_EQ(total, w.size());
+  const auto out = core::decompress(layer);
+  ASSERT_EQ(out.size(), w.size());
+  EXPECT_NEAR(layer.mse(), mean_squared_error(w, out), 1e-10);
+  const auto bytes = core::serialize(layer);
+  const auto back = core::deserialize(bytes);
+  EXPECT_EQ(core::decompress(back), out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// --- Lossless codec fuzz ------------------------------------------------------
+
+class LosslessFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LosslessFuzz, RleAndHuffmanRoundTripArbitraryBytes) {
+  Xoshiro256pp rng(GetParam() * 7919);
+  std::vector<std::uint8_t> data(rng.bounded(50000));
+  const int mode = static_cast<int>(rng.bounded(3));
+  for (auto& b : data) {
+    switch (mode) {
+      case 0: b = static_cast<std::uint8_t>(rng() & 0xFF); break;
+      case 1: b = static_cast<std::uint8_t>(rng.bounded(4)); break;
+      default: b = rng.chance(0.3) ? 0xA5 : 0x00; break;  // escape-heavy
+    }
+  }
+  EXPECT_EQ(core::rle_decode(core::rle_encode(data)), data);
+  EXPECT_EQ(core::huffman_decode(core::huffman_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LosslessFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// --- NoC conservation fuzz ------------------------------------------------------
+
+class NocFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NocFuzz, FlitConservationUnderRandomTraffic) {
+  Xoshiro256pp rng(GetParam() * 104729);
+  noc::NocConfig cfg;
+  cfg.width = 2 + static_cast<int>(rng.bounded(4));
+  cfg.height = 2 + static_cast<int>(rng.bounded(4));
+  cfg.buffer_depth = 1 + static_cast<int>(rng.bounded(8));
+  cfg.routing = rng.chance(0.5) ? noc::Routing::XY : noc::Routing::YX;
+  noc::Network net(cfg);
+  const int packets = 50 + static_cast<int>(rng.bounded(400));
+  const auto ps = noc::uniform_random_traffic(
+      cfg, packets, 1 + static_cast<std::uint32_t>(rng.bounded(12)),
+      GetParam());
+  net.add_packets(ps);
+  // Must drain (deadlock-free routing) and conserve every flit.
+  net.run_until_drained(5000000);
+  EXPECT_EQ(net.stats().flits_injected, noc::total_flits(ps));
+  EXPECT_EQ(net.stats().flits_ejected, noc::total_flits(ps));
+  EXPECT_EQ(net.stats().packets_ejected, ps.size());
+  EXPECT_EQ(net.undelivered_flits(), 0u);
+  // Latency of every packet is at least its hop count.
+  EXPECT_GE(net.stats().packet_latency.min(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NocFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace nocw

@@ -1,0 +1,141 @@
+// Cross-module integration tests: the full paper pipeline wired together.
+#include <gtest/gtest.h>
+
+#include "accel/simulator.hpp"
+#include "core/codec.hpp"
+#include "core/decompressor_unit.hpp"
+#include "eval/flow.hpp"
+#include "eval/layer_selection.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+#include "nn/train.hpp"
+
+namespace nocw {
+namespace {
+
+TEST(Pipeline, CompressSimulateEndToEnd) {
+  // Model -> layer selection -> compress -> accel plan -> both sims.
+  nn::Model model = nn::make_lenet5();
+  const int selected = eval::select_layer(model);
+  core::CodecConfig ccfg;
+  ccfg.delta_percent = 15.0;
+  const core::CompressedLayer compressed =
+      core::compress(model.graph.layer(selected).kernel(), ccfg);
+
+  const accel::ModelSummary summary = accel::summarize(model);
+  accel::AccelConfig acfg;
+  acfg.noc_window_flits = 4000;
+  accel::AcceleratorSim sim(acfg);
+  const accel::InferenceResult base = sim.simulate(summary);
+  accel::CompressionPlan plan;
+  plan[model.graph.layer(selected).name()] = accel::LayerCompression{
+      compressed.compressed_bits(), compressed.original_count};
+  const accel::InferenceResult comp = sim.simulate(summary, &plan);
+
+  // The headline claim, end to end: compression reduces both metrics, by a
+  // factor consistent with the weight-traffic share and the CR.
+  EXPECT_LT(comp.latency.total(), base.latency.total());
+  EXPECT_LT(comp.energy.total(), base.energy.total());
+  const double reduction = 1.0 - comp.latency.total() / base.latency.total();
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.80);
+}
+
+TEST(Pipeline, DeltaEvaluatorAgreesWithManualTailReplay) {
+  nn::Model model = nn::make_lenet5();
+  eval::EvalConfig cfg;
+  cfg.probes = 3;
+  cfg.topk = 3;
+  eval::DeltaEvaluator ev(model, cfg);
+  const eval::DeltaPoint p = ev.evaluate(10.0);
+
+  // Manual path: compress, install, full forward, compare retention.
+  nn::Model fresh = nn::make_lenet5();  // same seed -> same weights
+  const int selected = eval::select_layer(fresh);
+  core::CodecConfig ccfg;
+  ccfg.delta_percent = 10.0;
+  const auto compressed =
+      core::compress(fresh.graph.layer(selected).kernel(), ccfg);
+  EXPECT_EQ(compressed.compressed_bits(), p.compression.compressed_bits);
+  EXPECT_NEAR(compressed.compression_ratio(), p.report.cr, 1e-12);
+}
+
+TEST(Pipeline, TrainedModelSurvivesCheckpointAndCompression) {
+  nn::Model model = nn::make_lenet5();
+  const nn::Dataset train = nn::make_digits(200, 95);
+  const nn::Dataset test = nn::make_digits(60, 96);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.learning_rate = 0.1F;
+  (void)nn::train_classifier(model.graph, train, tcfg);
+  const double acc = nn::evaluate_top1(model.graph, test);
+
+  const std::string path = ::testing::TempDir() + "/pipeline_lenet.weights";
+  ASSERT_TRUE(nn::save_weights(model.graph, path));
+  nn::Model reloaded = nn::make_lenet5(/*seed=*/999);  // different init
+  ASSERT_TRUE(nn::load_weights(reloaded.graph, path));
+  EXPECT_DOUBLE_EQ(nn::evaluate_top1(reloaded.graph, test), acc);
+  std::remove(path.c_str());
+
+  // Compress-decompress the checkpointed model's selected layer at δ=0 and
+  // verify accuracy is essentially unchanged.
+  eval::EvalConfig cfg;
+  cfg.topk = 1;
+  eval::DeltaEvaluator ev(reloaded, test, cfg);
+  const eval::DeltaPoint p = ev.evaluate(0.0);
+  EXPECT_NEAR(p.accuracy, acc, 0.1);
+}
+
+TEST(Pipeline, CheckpointRejectsWrongArchitecture) {
+  nn::Model lenet = nn::make_lenet5();
+  const std::string path = ::testing::TempDir() + "/pipeline_arch.weights";
+  ASSERT_TRUE(nn::save_weights(lenet.graph, path));
+  nn::Model mobilenet = nn::make_mobilenet();
+  EXPECT_FALSE(nn::load_weights(mobilenet.graph, path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(nn::load_weights(lenet.graph, "/nonexistent.weights"));
+}
+
+TEST(Pipeline, DecompressorUnitFeedsSameWeightsAsEvaluator) {
+  // The weights the accuracy evaluator installs are exactly what the PE
+  // hardware would reconstruct flit by flit.
+  nn::Model model = nn::make_lenet5();
+  const int selected = eval::select_layer(model);
+  const auto kernel = model.graph.layer(selected).kernel();
+  core::CodecConfig ccfg;
+  ccfg.delta_percent = 12.0;
+  const auto layer = core::compress(kernel, ccfg);
+  const auto sw = core::decompress(layer);
+
+  core::DecompressorUnit du;
+  std::size_t i = 0;
+  for (const auto& seg : layer.segments) {
+    du.load(seg);
+    while (du.busy()) {
+      const auto w = du.tick();
+      ASSERT_TRUE(w.has_value());
+      ASSERT_LT(i, sw.size());
+      EXPECT_EQ(*w, sw[i]) << i;
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, sw.size());
+}
+
+TEST(Pipeline, SerializedStreamFitsMemoryFootprintClaim) {
+  // serialize() output size must match the CR the metrics report (within
+  // the fixed header).
+  nn::Model model = nn::make_lenet5();
+  const int selected = eval::select_layer(model);
+  const auto kernel = model.graph.layer(selected).kernel();
+  core::CodecConfig ccfg;
+  ccfg.delta_percent = 15.0;
+  const auto layer = core::compress(kernel, ccfg);
+  const auto bytes = core::serialize(layer);
+  const double actual_cr =
+      static_cast<double>(kernel.size() * 4) / static_cast<double>(bytes.size());
+  EXPECT_NEAR(actual_cr, layer.compression_ratio(), 0.05);
+}
+
+}  // namespace
+}  // namespace nocw

@@ -1,0 +1,173 @@
+// Gradient checks for the trainable layer subset (finite differences).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace nocw::nn {
+namespace {
+
+Tensor run1(Layer& layer, const Tensor& in) {
+  const Tensor* ins[1] = {&in};
+  return layer.forward(std::span<const Tensor* const>(ins, 1));
+}
+
+std::vector<Tensor> back1(Layer& layer, const Tensor& in,
+                          const Tensor& grad_out) {
+  const Tensor* ins[1] = {&in};
+  return layer.backward(std::span<const Tensor* const>(ins, 1), grad_out);
+}
+
+/// Scalar loss = sum(out * weights) so dLoss/dOut = weights; compare the
+/// analytic input gradient with central finite differences.
+void check_input_gradient(Layer& layer, Tensor in, double tol = 2e-2) {
+  Xoshiro256pp rng(7);
+  Tensor out = run1(layer, in);
+  Tensor loss_w(out.shape());
+  for (auto& v : loss_w.data()) v = static_cast<float>(rng.normal());
+
+  layer.zero_grads();
+  const auto grads = back1(layer, in, loss_w);
+  ASSERT_EQ(grads.size(), 1u);
+  const Tensor& gin = grads[0];
+  ASSERT_EQ(gin.shape(), in.shape());
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < in.size(); i += std::max<std::size_t>(
+                                             1, in.size() / 24)) {
+    const float orig = in[i];
+    in[i] = orig + eps;
+    const Tensor up = run1(layer, in);
+    in[i] = orig - eps;
+    const Tensor dn = run1(layer, in);
+    in[i] = orig;
+    double fd = 0.0;
+    for (std::size_t j = 0; j < up.size(); ++j) {
+      fd += static_cast<double>(loss_w[j]) * (up[j] - dn[j]);
+    }
+    fd /= 2.0 * eps;
+    EXPECT_NEAR(gin[i], fd, tol * std::max(1.0, std::abs(fd))) << "index " << i;
+  }
+}
+
+TEST(Backward, DenseInputGradient) {
+  Xoshiro256pp rng(221);
+  Dense d("d", 6, 4);
+  for (auto& w : d.kernel()) w = static_cast<float>(rng.normal());
+  Tensor in({2, 6});
+  for (auto& v : in.data()) v = static_cast<float>(rng.normal());
+  check_input_gradient(d, in);
+}
+
+TEST(Backward, DenseWeightGradient) {
+  Xoshiro256pp rng(222);
+  Dense d("d", 3, 2);
+  for (auto& w : d.kernel()) w = static_cast<float>(rng.normal());
+  Tensor in({1, 3});
+  for (auto& v : in.data()) v = static_cast<float>(rng.normal());
+  Tensor grad_out({1, 2});
+  grad_out[0] = 1.0F;
+  grad_out[1] = -0.5F;
+  d.zero_grads();
+  (void)back1(d, in, grad_out);
+  // dL/dW[i][j] = x[i] * g[j]; verify by stepping a weight and re-running.
+  const float eps = 1e-2F;
+  const Tensor base = run1(d, in);
+  const double base_loss = base[0] * 1.0 + base[1] * -0.5;
+  d.kernel()[2] += eps;  // weight (in=1, out=0)
+  const Tensor stepped = run1(d, in);
+  const double new_loss = stepped[0] * 1.0 + stepped[1] * -0.5;
+  const double fd = (new_loss - base_loss) / eps;
+  EXPECT_NEAR(fd, in[1] * grad_out[0], 1e-3);
+}
+
+TEST(Backward, DenseSgdStepMovesAgainstGradient) {
+  Dense d("d", 1, 1);
+  d.kernel()[0] = 1.0F;
+  Tensor in({1, 1});
+  in[0] = 2.0F;
+  Tensor grad_out({1, 1});
+  grad_out[0] = 1.0F;  // dL/dy = 1 -> dL/dw = x = 2
+  d.zero_grads();
+  (void)back1(d, in, grad_out);
+  d.sgd_step(0.1F);
+  EXPECT_FLOAT_EQ(d.kernel()[0], 1.0F - 0.1F * 2.0F);
+}
+
+TEST(Backward, Conv2DInputGradient) {
+  Xoshiro256pp rng(223);
+  Conv2D c("c", 2, 3, 3, 3, 1, Padding::Valid);
+  for (auto& w : c.kernel()) w = static_cast<float>(rng.normal());
+  Tensor in({1, 5, 5, 2});
+  for (auto& v : in.data()) v = static_cast<float>(rng.normal());
+  check_input_gradient(c, in);
+}
+
+TEST(Backward, Conv2DStridedInputGradient) {
+  Xoshiro256pp rng(224);
+  Conv2D c("c", 1, 2, 2, 2, 2, Padding::Valid);
+  for (auto& w : c.kernel()) w = static_cast<float>(rng.normal());
+  Tensor in({1, 4, 4, 1});
+  for (auto& v : in.data()) v = static_cast<float>(rng.normal());
+  check_input_gradient(c, in);
+}
+
+TEST(Backward, Conv2DSamePaddingThrows) {
+  Conv2D c("c", 1, 1, 3, 3, 1, Padding::Same);
+  Tensor in({1, 4, 4, 1});
+  Tensor g({1, 4, 4, 1});
+  EXPECT_THROW(back1(c, in, g), std::logic_error);
+}
+
+TEST(Backward, ReluMasksGradient) {
+  ReLU r("r");
+  Tensor in({1, 3});
+  in[0] = -1.0F;
+  in[1] = 2.0F;
+  in[2] = 0.0F;
+  Tensor g({1, 3});
+  g.fill(1.0F);
+  const auto grads = back1(r, in, g);
+  EXPECT_FLOAT_EQ(grads[0][0], 0.0F);
+  EXPECT_FLOAT_EQ(grads[0][1], 1.0F);
+  EXPECT_FLOAT_EQ(grads[0][2], 0.0F);  // non-positive blocked
+}
+
+TEST(Backward, MaxPoolRoutesToArgmax) {
+  MaxPool mp("p", 2, 2);
+  Tensor in({1, 2, 2, 1});
+  in.at(0, 0, 0, 0) = 1.0F;
+  in.at(0, 0, 1, 0) = 5.0F;
+  in.at(0, 1, 0, 0) = 2.0F;
+  in.at(0, 1, 1, 0) = 3.0F;
+  Tensor g({1, 1, 1, 1});
+  g[0] = 7.0F;
+  const auto grads = back1(mp, in, g);
+  EXPECT_FLOAT_EQ(grads[0].at(0, 0, 1, 0), 7.0F);
+  EXPECT_FLOAT_EQ(grads[0].at(0, 0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(grads[0].at(0, 1, 1, 0), 0.0F);
+}
+
+TEST(Backward, FlattenReshapesGradient) {
+  Flatten f("f");
+  Tensor in({1, 2, 2, 1});
+  Tensor g({1, 4});
+  for (int i = 0; i < 4; ++i) g[static_cast<std::size_t>(i)] = i;
+  const auto grads = back1(f, in, g);
+  EXPECT_EQ(grads[0].shape(), in.shape());
+  EXPECT_FLOAT_EQ(grads[0].at(0, 1, 1, 0), 3.0F);
+}
+
+TEST(Backward, UnsupportedLayerThrows) {
+  BatchNorm bn("bn", 2);
+  Tensor in({1, 2});
+  Tensor g({1, 2});
+  EXPECT_THROW(back1(bn, in, g), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nocw::nn

@@ -1,0 +1,87 @@
+#include "nn/digits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nocw::nn {
+namespace {
+
+TEST(Digits, ShapeAndBalance) {
+  const Dataset ds = make_digits(100, 1);
+  EXPECT_EQ(ds.size(), 100);
+  EXPECT_EQ(ds.images.shape(), (std::vector<int>{100, 32, 32, 1}));
+  int counts[10] = {};
+  for (int l : ds.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    ++counts[l];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Digits, PixelsInUnitRange) {
+  const Dataset ds = make_digits(50, 2);
+  for (float v : ds.images.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Digits, DeterministicPerSeed) {
+  const Dataset a = make_digits(20, 3);
+  const Dataset b = make_digits(20, 3);
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    EXPECT_EQ(a.images[i], b.images[i]);
+  }
+}
+
+TEST(Digits, DifferentSeedsDiffer) {
+  const Dataset a = make_digits(20, 3);
+  const Dataset b = make_digits(20, 4);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    if (a.images[i] != b.images[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Digits, GlyphsHaveInk) {
+  Xoshiro256pp rng(5);
+  for (int d = 0; d < 10; ++d) {
+    const Tensor img = render_digit(d, rng);
+    double sum = 0.0;
+    for (float v : img.data()) sum += v;
+    EXPECT_GT(sum, 20.0) << "digit " << d << " nearly blank";
+    EXPECT_LT(sum, 32.0 * 32.0 * 0.6) << "digit " << d << " nearly solid";
+  }
+}
+
+TEST(Digits, DistinctDigitsDistinctImages) {
+  // Same RNG state cloned per digit: the glyphs themselves must differ.
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      Xoshiro256pp ra(7);
+      Xoshiro256pp rb(7);
+      const Tensor ia = render_digit(a, ra);
+      const Tensor ib = render_digit(b, rb);
+      double diff = 0.0;
+      for (std::size_t i = 0; i < ia.size(); ++i) {
+        diff += std::abs(ia[i] - ib[i]);
+      }
+      EXPECT_GT(diff, 5.0) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Digits, JitterVariesSameDigit) {
+  Xoshiro256pp rng(8);
+  const Tensor a = render_digit(3, rng);
+  const Tensor b = render_digit(3, rng);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+}  // namespace
+}  // namespace nocw::nn

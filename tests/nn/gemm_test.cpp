@@ -1,0 +1,112 @@
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::nn {
+namespace {
+
+void naive(const float* a, const float* b, float* c, std::size_t m,
+           std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+TEST(Gemm, Identity) {
+  const std::vector<float> eye{1, 0, 0, 1};
+  const std::vector<float> x{3, 4, 5, 6};
+  std::vector<float> y(4);
+  gemm(eye.data(), x.data(), y.data(), 2, 2, 2);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Gemm, KnownSmallProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4);
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  const std::vector<float> a{1, 0, 0, 1};
+  const std::vector<float> b{1, 1, 1, 1};
+  std::vector<float> c{10, 10, 10, 10};
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2, /*accumulate=*/true);
+  EXPECT_EQ(c, (std::vector<float>{11, 11, 11, 11}));
+}
+
+TEST(Gemm, NonAccumulateOverwrites) {
+  const std::vector<float> a{1, 0, 0, 1};
+  const std::vector<float> b{1, 1, 1, 1};
+  std::vector<float> c{99, 99, 99, 99};
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{1, 1, 1, 1}));
+}
+
+TEST(Gemm, MatchesNaiveAcrossShapes) {
+  Xoshiro256pp rng(201);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1},   {1, 7, 5},    {5, 1, 3},   {3, 3, 3},
+      {17, 33, 9}, {64, 256, 8}, {65, 257, 31}, {128, 300, 70}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+    gemm(a.data(), b.data(), c.data(), m, k, n);
+    naive(a.data(), b.data(), ref.data(), m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_NEAR(c[i], ref[i], 1e-3F) << "shape " << m << "x" << k << "x"
+                                       << n << " at " << i;
+    }
+  }
+}
+
+TEST(Gemm, ZeroRowsInAAreSkippedCorrectly) {
+  // The kernel short-circuits zero A entries (im2col padding); the result
+  // must still be exact.
+  Xoshiro256pp rng(202);
+  const std::size_t m = 9, k = 40, n = 13;
+  std::vector<float> a(m * k, 0.0F), b(k * n), c(m * n), ref(m * n);
+  for (std::size_t i = 0; i < a.size(); i += 3) {
+    a[i] = static_cast<float>(rng.normal());
+  }
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  naive(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4F);
+}
+
+TEST(Gemv, MatchesGemmSingleColumn) {
+  Xoshiro256pp rng(203);
+  const std::size_t m = 37, k = 101;
+  std::vector<float> a(m * k), x(k), y(m), ref(m);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  gemv(a.data(), x.data(), y.data(), m, k);
+  gemm(a.data(), x.data(), ref.data(), m, k, 1);
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], ref[i], 1e-3F);
+}
+
+TEST(Gemv, Accumulate) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> x{3, 4};
+  std::vector<float> y{100};
+  gemv(a.data(), x.data(), y.data(), 1, 2, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(y[0], 111.0F);
+}
+
+}  // namespace
+}  // namespace nocw::nn

@@ -1,0 +1,138 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nocw::nn {
+namespace {
+
+TEST(Metrics, ArgmaxBasics) {
+  const std::vector<float> v{0.1F, 0.9F, 0.3F};
+  EXPECT_EQ(argmax(v), 1);
+  EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+TEST(Metrics, TopkOrderedDescending) {
+  const std::vector<float> v{0.1F, 0.9F, 0.3F, 0.7F};
+  const auto t = topk(v, 3);
+  EXPECT_EQ(t, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Metrics, TopkTieBreaksByIndex) {
+  const std::vector<float> v{0.5F, 0.5F, 0.5F};
+  EXPECT_EQ(topk(v, 2), (std::vector<int>{0, 1}));
+}
+
+TEST(Metrics, TopkClampsK) {
+  const std::vector<float> v{1.0F, 2.0F};
+  EXPECT_EQ(topk(v, 10).size(), 2u);
+}
+
+TEST(Metrics, InTopk) {
+  const std::vector<float> v{0.1F, 0.9F, 0.3F, 0.7F};
+  EXPECT_TRUE(in_topk(v, 1, 1));
+  EXPECT_FALSE(in_topk(v, 0, 2));
+  EXPECT_TRUE(in_topk(v, 0, 4));
+}
+
+TEST(Metrics, OverlapIdenticalIsOne) {
+  const std::vector<float> v{0.4F, 0.3F, 0.2F, 0.1F};
+  EXPECT_DOUBLE_EQ(topk_overlap(v, v, 3), 1.0);
+}
+
+TEST(Metrics, OverlapDisjointIsZero) {
+  const std::vector<float> a{1.0F, 0.9F, 0.0F, 0.0F};
+  const std::vector<float> b{0.0F, 0.0F, 1.0F, 0.9F};
+  EXPECT_DOUBLE_EQ(topk_overlap(a, b, 2), 0.0);
+}
+
+TEST(Metrics, OverlapPartial) {
+  const std::vector<float> a{3.0F, 2.0F, 1.0F, 0.0F};
+  const std::vector<float> b{3.0F, 0.0F, 1.0F, 2.0F};
+  // top2(a) = {0,1}, top2(b) = {0,3} -> overlap 1/2
+  EXPECT_DOUBLE_EQ(topk_overlap(a, b, 2), 0.5);
+}
+
+TEST(Metrics, Top1AccuracyCounts) {
+  Tensor scores({3, 4});
+  scores.at(0, 2) = 1.0F;  // predicts 2
+  scores.at(1, 0) = 1.0F;  // predicts 0
+  scores.at(2, 3) = 1.0F;  // predicts 3
+  const std::vector<int> labels{2, 1, 3};
+  EXPECT_NEAR(top1_accuracy(scores, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, TopkAccuracyMoreForgiving) {
+  Tensor scores({1, 5});
+  scores.at(0, 0) = 5.0F;
+  scores.at(0, 1) = 4.0F;
+  scores.at(0, 2) = 3.0F;
+  const std::vector<int> labels{2};
+  EXPECT_DOUBLE_EQ(top1_accuracy(scores, labels), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, labels, 3), 1.0);
+}
+
+TEST(Metrics, MeanAgreementAveragesRows) {
+  Tensor a({2, 4});
+  Tensor b({2, 4});
+  // Row 0 identical; row 1 disjoint top-2.
+  a.at(0, 0) = 2.0F;
+  a.at(0, 1) = 1.0F;
+  b.at(0, 0) = 2.0F;
+  b.at(0, 1) = 1.0F;
+  a.at(1, 0) = 2.0F;
+  a.at(1, 1) = 1.0F;
+  b.at(1, 2) = 2.0F;
+  b.at(1, 3) = 1.0F;
+  EXPECT_DOUBLE_EQ(mean_topk_agreement(a, b, 2), 0.5);
+}
+
+TEST(Metrics, RetentionPerfectWhenUnchanged) {
+  Tensor a({2, 5});
+  a.at(0, 3) = 1.0F;
+  a.at(1, 0) = 1.0F;
+  EXPECT_DOUBLE_EQ(topk_retention(a, a, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topk_retention(a, a, 5), 1.0);
+}
+
+TEST(Metrics, RetentionForgivesRankShuffleWithinK) {
+  // Baseline argmax drops to rank 3 in the outputs: retained for k=5, lost
+  // for k=1.
+  Tensor base({1, 6});
+  base.at(0, 2) = 1.0F;
+  Tensor out({1, 6});
+  out.at(0, 0) = 3.0F;
+  out.at(0, 1) = 2.0F;
+  out.at(0, 2) = 1.0F;
+  EXPECT_DOUBLE_EQ(topk_retention(base, out, 5), 1.0);
+  EXPECT_DOUBLE_EQ(topk_retention(base, out, 1), 0.0);
+}
+
+TEST(Metrics, RetentionCountsPerRow) {
+  Tensor base({2, 4});
+  base.at(0, 0) = 1.0F;
+  base.at(1, 1) = 1.0F;
+  Tensor out({2, 4});
+  out.at(0, 0) = 1.0F;  // row 0 retained
+  out.at(1, 3) = 1.0F;  // row 1: baseline top-1 (idx 1) ties at 0 ->
+  out.at(1, 1) = -1.0F; // pushed below, lost for k=1
+  EXPECT_DOUBLE_EQ(topk_retention(base, out, 1), 0.5);
+}
+
+TEST(Metrics, RetentionShapeMismatchThrows) {
+  Tensor a({1, 4});
+  Tensor b({1, 5});
+  EXPECT_THROW(topk_retention(a, b, 2), std::invalid_argument);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  Tensor a({1, 4});
+  Tensor b({1, 5});
+  EXPECT_THROW(mean_topk_agreement(a, b, 2), std::invalid_argument);
+  const std::vector<int> labels{0, 1};
+  EXPECT_THROW(topk_accuracy(a, labels, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocw::nn

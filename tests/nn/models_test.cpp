@@ -1,0 +1,159 @@
+// Zoo structural checks: parameter totals and Table I selected-layer
+// fractions (DESIGN.md §5 records where our counts differ from the paper's
+// rounded figures and why).
+#include "nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace nocw::nn {
+namespace {
+
+std::size_t layer_params(const Model& m, const std::string& name) {
+  const int idx = m.graph.find(name);
+  EXPECT_GE(idx, 0) << name;
+  return m.graph.layer(idx).param_count();
+}
+
+TEST(Models, LeNetParamCountExact) {
+  const Model m = make_lenet5();
+  EXPECT_EQ(m.graph.total_params(), 61706u);  // the paper's "62k"
+  EXPECT_EQ(layer_params(m, "dense_1"), 48120u);
+}
+
+TEST(Models, LeNetSelectedLayerFraction) {
+  const Model m = make_lenet5();
+  const double f = static_cast<double>(layer_params(m, "dense_1")) /
+                   static_cast<double>(m.graph.total_params());
+  EXPECT_NEAR(f, 0.78, 0.03);  // paper rounds to 80%
+}
+
+TEST(Models, AlexNetDenseTwoDominates) {
+  const Model m = make_alexnet();
+  const std::size_t total = m.graph.total_params();
+  EXPECT_NEAR(static_cast<double>(total), 25.7e6, 0.3e6);  // paper: "24,000k"
+  EXPECT_EQ(layer_params(m, "dense_2"), 4096u * 4096 + 4096);
+  const double f =
+      static_cast<double>(layer_params(m, "dense_2")) / total;
+  EXPECT_GT(f, 0.6);  // paper: 70%
+  EXPECT_LT(f, 0.75);
+}
+
+TEST(Models, Vgg16ParamCountExact) {
+  const Model m = make_vgg16();
+  EXPECT_EQ(m.graph.total_params(), 138357544u);  // canonical VGG-16
+  EXPECT_EQ(layer_params(m, "dense_1"), 25088u * 4096 + 4096);
+  const double f = static_cast<double>(layer_params(m, "dense_1")) /
+                   static_cast<double>(m.graph.total_params());
+  EXPECT_NEAR(f, 0.743, 0.01);  // paper rounds to 77%
+}
+
+TEST(Models, MobileNetParamCount) {
+  const Model m = make_mobilenet();
+  // Keras MobileNet v1 alpha=1: 4,253,864 params incl. BN statistics.
+  EXPECT_EQ(m.graph.total_params(), 4253864u);
+  EXPECT_EQ(layer_params(m, "conv_preds"), 1024u * 1000 + 1000);
+}
+
+TEST(Models, ResNet50ParamCount) {
+  const Model m = make_resnet50();
+  // Keras ResNet50: 25,636,712 params incl. BN statistics.
+  EXPECT_EQ(m.graph.total_params(), 25636712u);
+  EXPECT_EQ(layer_params(m, "fc1000"), 2048u * 1000 + 1000);
+  const double f = static_cast<double>(layer_params(m, "fc1000")) /
+                   static_cast<double>(m.graph.total_params());
+  EXPECT_NEAR(f, 0.08, 0.01);  // paper: 8%
+}
+
+TEST(Models, InceptionV3ParamCountNearKeras) {
+  const Model m = make_inception_v3();
+  // Keras InceptionV3: 23,851,784 (its BN layers omit gamma; ours keep it,
+  // so allow a small excess).
+  const double total = static_cast<double>(m.graph.total_params());
+  EXPECT_NEAR(total, 23.85e6, 0.8e6);
+  EXPECT_EQ(layer_params(m, "pred"), 2048u * 1000 + 1000);
+  EXPECT_NEAR(static_cast<double>(layer_params(m, "pred")) / total, 0.09,
+              0.015);  // paper: 9%
+}
+
+TEST(Models, RegistryCoversAllSixModels) {
+  EXPECT_EQ(model_names().size(), 6u);
+  for (const auto& name : model_names()) {
+    const Model m = make_model(name, 9);
+    EXPECT_EQ(m.name, name);
+    EXPECT_GE(m.graph.find(m.selected_layer), 0)
+        << name << " selected layer " << m.selected_layer;
+    EXPECT_GT(m.graph.total_params(), 0u);
+  }
+  EXPECT_THROW(make_model("GoogLeNet", 1), std::invalid_argument);
+}
+
+TEST(Models, SeedsChangeWeightsNotStructure) {
+  Model a = make_lenet5(1);
+  Model b = make_lenet5(2);
+  EXPECT_EQ(a.graph.total_params(), b.graph.total_params());
+  const auto wa = a.graph.layer(a.graph.find("dense_1")).kernel();
+  const auto wb = b.graph.layer(b.graph.find("dense_1")).kernel();
+  bool differ = false;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    if (wa[i] != wb[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Models, SameSeedReproducesWeights) {
+  Model a = make_lenet5(42);
+  Model b = make_lenet5(42);
+  const auto wa = a.graph.layer(a.graph.find("dense_1")).kernel();
+  const auto wb = b.graph.layer(b.graph.find("dense_1")).kernel();
+  for (std::size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+}
+
+TEST(Models, LeNetForwardShape) {
+  Model m = make_lenet5();
+  Tensor in({2, 32, 32, 1});
+  Xoshiro256pp rng(241);
+  for (auto& v : in.data()) v = static_cast<float>(rng.uniform());
+  const Tensor out = m.graph.forward(in);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 10}));
+}
+
+TEST(Models, MobileNetForwardShapeAndProbabilities) {
+  Model m = make_mobilenet();
+  Tensor in({1, 224, 224, 3});
+  Xoshiro256pp rng(242);
+  for (auto& v : in.data()) v = static_cast<float>(rng.uniform());
+  const Tensor out = m.graph.forward(in);
+  ASSERT_EQ(out.shape(), (std::vector<int>{1, 1000}));
+  float sum = 0.0F;
+  for (float v : out.data()) {
+    EXPECT_GE(v, 0.0F);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-3F);
+}
+
+TEST(Models, FanInScalingShrinksWeightRangeWithLayerSize) {
+  // The property that drives the paper's MSE ordering: VGG's dense_1
+  // (fan-in 25088) must have a much tighter weight range than LeNet's
+  // dense_1 (fan-in 400).
+  Model lenet = make_lenet5();
+  Model vgg = make_vgg16();
+  auto range = [](std::span<const float> w) {
+    float lo = w[0], hi = w[0];
+    for (float v : w) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  const auto wl =
+      lenet.graph.layer(lenet.graph.find("dense_1")).kernel();
+  const auto wv = vgg.graph.layer(vgg.graph.find("dense_1")).kernel();
+  EXPECT_GT(range(wl), 2.0F * range(wv));
+}
+
+}  // namespace
+}  // namespace nocw::nn

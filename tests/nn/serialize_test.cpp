@@ -1,0 +1,89 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/models.hpp"
+
+namespace nocw::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripRestoresEveryParameter) {
+  Model a = make_lenet5(1);
+  const std::string path = temp_path("lenet_rt.weights");
+  ASSERT_TRUE(save_weights(a.graph, path));
+
+  Model b = make_lenet5(2);  // different weights
+  ASSERT_TRUE(load_weights(b.graph, path));
+  for (int idx : a.graph.parameterized_nodes()) {
+    const auto wa = a.graph.layer(idx).kernel();
+    const auto wb = b.graph.layer(idx).kernel();
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+    const auto ba = a.graph.layer(idx).bias();
+    const auto bb = b.graph.layer(idx).bias();
+    for (std::size_t i = 0; i < ba.size(); ++i) EXPECT_EQ(ba[i], bb[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BatchNormStatisticsIncluded) {
+  Model a = make_mobilenet(1);
+  const std::string path = temp_path("mobilenet_bn.weights");
+  ASSERT_TRUE(save_weights(a.graph, path));
+  Model b = make_mobilenet(7);
+  ASSERT_TRUE(load_weights(b.graph, path));
+  const int bn = b.graph.find("conv1_bn");
+  ASSERT_GE(bn, 0);
+  auto& bn_a = static_cast<BatchNorm&>(a.graph.layer(a.graph.find("conv1_bn")));
+  auto& bn_b = static_cast<BatchNorm&>(b.graph.layer(bn));
+  for (std::size_t i = 0; i < bn_a.moving_mean().size(); ++i) {
+    EXPECT_EQ(bn_a.moving_mean()[i], bn_b.moving_mean()[i]);
+    EXPECT_EQ(bn_a.moving_var()[i], bn_b.moving_var()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFailsGracefully) {
+  Model m = make_lenet5();
+  EXPECT_FALSE(load_weights(m.graph, temp_path("does_not_exist.weights")));
+}
+
+TEST(Serialize, CorruptMagicRejected) {
+  const std::string path = temp_path("corrupt.weights");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a checkpoint";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  Model m = make_lenet5();
+  EXPECT_FALSE(load_weights(m.graph, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileRejected) {
+  Model a = make_lenet5();
+  const std::string path = temp_path("trunc.weights");
+  ASSERT_TRUE(save_weights(a.graph, path));
+  // Truncate to half.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  Model b = make_lenet5();
+  EXPECT_FALSE(load_weights(b.graph, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nocw::nn

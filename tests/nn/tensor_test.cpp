@@ -1,0 +1,85 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({4, 4});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, NhwcIndexingIsRowMajorChannelLast) {
+  Tensor t({1, 2, 2, 3});
+  t.at(0, 0, 0, 0) = 1.0F;
+  t.at(0, 0, 0, 2) = 2.0F;
+  t.at(0, 0, 1, 0) = 3.0F;
+  t.at(0, 1, 0, 0) = 4.0F;
+  EXPECT_EQ(t[0], 1.0F);
+  EXPECT_EQ(t[2], 2.0F);
+  EXPECT_EQ(t[3], 3.0F);
+  EXPECT_EQ(t[6], 4.0F);
+}
+
+TEST(Tensor, Rank2Indexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0F;
+  EXPECT_EQ(t[5], 7.0F);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.at(1, 2), 7.0F);
+}
+
+TEST(Tensor, FillSetsEverything) {
+  Tensor t({3, 3});
+  t.fill(2.5F);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  t.reshape({2, 2, 3, 1});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t[7], 7.0F);
+}
+
+TEST(Tensor, ReshapeWrongCountThrows) {
+  Tensor t({2, 6});
+  EXPECT_THROW(t.reshape({5}), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeExtentThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({1, 32, 32, 3});
+  EXPECT_EQ(t.shape_string(), "[1, 32, 32, 3]");
+}
+
+TEST(Tensor, CopySemantics) {
+  Tensor a({2, 2});
+  a.fill(1.0F);
+  Tensor b = a;
+  b.fill(2.0F);
+  EXPECT_EQ(a[0], 1.0F);
+  EXPECT_EQ(b[0], 2.0F);
+}
+
+}  // namespace
+}  // namespace nocw::nn

@@ -1,0 +1,106 @@
+#include "nn/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/init.hpp"
+#include "nn/metrics.hpp"
+#include "nn/models.hpp"
+
+namespace nocw::nn {
+namespace {
+
+/// Small trainable chain for fast tests: 32x32 digits -> conv -> pool ->
+/// flatten -> dense -> softmax.
+Graph make_tiny_classifier() {
+  Graph g;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 32, 32, 1}));
+  n = g.add(std::make_unique<Conv2D>("conv", 1, 4, 5, 5, 1, Padding::Valid),
+            {n});
+  n = g.add(std::make_unique<ReLU>("relu"), {n});
+  n = g.add(std::make_unique<MaxPool>("pool", 4, 4), {n});
+  n = g.add(std::make_unique<Flatten>("flatten"), {n});
+  n = g.add(std::make_unique<Dense>("dense", 7 * 7 * 4, 10), {n});
+  g.add(std::make_unique<Softmax>("softmax"), {n});
+  init_graph(g, 77);
+  return g;
+}
+
+TEST(Train, LossDecreasesOverEpochs) {
+  Graph g = make_tiny_classifier();
+  const Dataset ds = make_digits(200, 51);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 20;
+  cfg.learning_rate = 0.1F;
+  const TrainStats stats = train_classifier(g, ds, cfg);
+  ASSERT_EQ(stats.epoch_loss.size(), 3u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+}
+
+TEST(Train, LearnsDigitsAboveChance) {
+  Graph g = make_tiny_classifier();
+  const Dataset train = make_digits(400, 52);
+  const Dataset test = make_digits(100, 999);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 20;
+  cfg.learning_rate = 0.1F;
+  (void)train_classifier(g, train, cfg);
+  const double acc = evaluate_top1(g, test);
+  EXPECT_GT(acc, 0.5) << "tiny classifier should beat 10% chance easily";
+}
+
+TEST(Train, PredictShapeMatchesDataset) {
+  Graph g = make_tiny_classifier();
+  const Dataset ds = make_digits(37, 53);  // not a multiple of batch size
+  const Tensor probs = predict(g, ds);
+  EXPECT_EQ(probs.shape(), (std::vector<int>{37, 10}));
+  for (int i = 0; i < 37; ++i) {
+    float sum = 0.0F;
+    for (int c = 0; c < 10; ++c) sum += probs.at(i, c);
+    EXPECT_NEAR(sum, 1.0F, 1e-4F);
+  }
+}
+
+TEST(Train, RejectsNonChainGraphs) {
+  Graph g;
+  const int in = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 4}));
+  const int a = g.add(std::make_unique<Dense>("a", 4, 4), {in});
+  const int b = g.add(std::make_unique<Dense>("b", 4, 4), {in});  // branch
+  g.add(std::make_unique<Add>("add"), {a, b});
+  const Dataset ds = make_digits(10, 54);
+  EXPECT_THROW(train_classifier(g, ds, TrainConfig{}), std::logic_error);
+}
+
+TEST(Train, RejectsGraphNotEndingInSoftmax) {
+  Graph g;
+  int n = g.add(std::make_unique<InputLayer>(
+      "input", std::vector<int>{0, 32, 32, 1}));
+  n = g.add(std::make_unique<Flatten>("flatten"), {n});
+  g.add(std::make_unique<Dense>("dense", 1024, 10), {n});
+  const Dataset ds = make_digits(10, 55);
+  EXPECT_THROW(train_classifier(g, ds, TrainConfig{}), std::logic_error);
+}
+
+TEST(Train, LeNetEndToEndSmoke) {
+  // One cheap epoch on a small set: loss must be finite and accuracy above
+  // chance on the training data itself. (The full-accuracy training run
+  // lives in the benches, not unit tests.)
+  Model m = make_lenet5();
+  const Dataset train = make_digits(150, 56);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 25;
+  cfg.learning_rate = 0.08F;
+  const TrainStats stats = train_classifier(m.graph, train, cfg);
+  EXPECT_TRUE(std::isfinite(stats.epoch_loss.back()));
+  EXPECT_GT(stats.epoch_accuracy.back(), 0.2);
+}
+
+}  // namespace
+}  // namespace nocw::nn

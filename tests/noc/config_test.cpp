@@ -1,0 +1,58 @@
+#include "noc/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::noc {
+namespace {
+
+TEST(NocConfig, DefaultIsPaperMesh) {
+  NocConfig cfg;
+  EXPECT_EQ(cfg.node_count(), 16);
+  EXPECT_EQ(cfg.link_width_bits, 64);
+  EXPECT_DOUBLE_EQ(cfg.clock_ghz, 1.0);
+}
+
+TEST(NocConfig, CoordinateRoundTrip) {
+  NocConfig cfg;
+  for (int id = 0; id < cfg.node_count(); ++id) {
+    EXPECT_EQ(cfg.node_id(cfg.node_x(id), cfg.node_y(id)), id);
+  }
+}
+
+TEST(NocConfig, CornersAreMemoryInterfaces) {
+  NocConfig cfg;
+  const auto mis = cfg.memory_interface_nodes();
+  // Paper: corners host memory interfaces, the other 12 nodes are PEs.
+  EXPECT_EQ(mis, (std::vector<int>{0, 3, 12, 15}));
+  EXPECT_EQ(cfg.pe_nodes().size(), 12u);
+  for (int pe : cfg.pe_nodes()) {
+    EXPECT_FALSE(cfg.is_memory_interface(pe));
+  }
+}
+
+TEST(NocConfig, HopsIsManhattan) {
+  NocConfig cfg;
+  EXPECT_EQ(cfg.hops(0, 0), 0);
+  EXPECT_EQ(cfg.hops(0, 15), 6);
+  EXPECT_EQ(cfg.hops(0, 3), 3);
+  EXPECT_EQ(cfg.hops(5, 6), 1);
+  EXPECT_EQ(cfg.hops(5, 9), 1);
+  // Symmetry.
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(cfg.hops(a, b), cfg.hops(b, a));
+    }
+  }
+}
+
+TEST(NocConfig, NonSquareMesh) {
+  NocConfig cfg;
+  cfg.width = 8;
+  cfg.height = 2;
+  EXPECT_EQ(cfg.node_count(), 16);
+  EXPECT_EQ(cfg.memory_interface_nodes(),
+            (std::vector<int>{0, 7, 8, 15}));
+}
+
+}  // namespace
+}  // namespace nocw::noc

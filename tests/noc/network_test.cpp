@@ -1,0 +1,208 @@
+#include "noc/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "noc/traffic.hpp"
+
+namespace nocw::noc {
+namespace {
+
+TEST(Network, SingleFlitMinimalLatency) {
+  Network net{NocConfig{}};
+  PacketDescriptor p;
+  p.src = 0;
+  p.dst = 3;  // 3 hops east
+  p.size_flits = 1;
+  net.add_packet(p);
+  net.run_until_drained(100);
+  EXPECT_EQ(net.stats().flits_ejected, 1u);
+  EXPECT_EQ(net.stats().packets_ejected, 1u);
+  // Injection (1) + 3 inter-router hops + ejection: latency is hops-bound.
+  EXPECT_GE(net.stats().packet_latency.mean(), 4.0);
+  EXPECT_LE(net.stats().packet_latency.mean(), 8.0);
+}
+
+TEST(Network, AllFlitsDelivered) {
+  Network net{NocConfig{}};
+  const auto ps = uniform_random_traffic(net.config(), 200, 4, 99);
+  net.add_packets(ps);
+  net.run_until_drained(100000);
+  EXPECT_EQ(net.stats().flits_injected, total_flits(ps));
+  EXPECT_EQ(net.stats().flits_ejected, total_flits(ps));
+  EXPECT_EQ(net.stats().packets_ejected, ps.size());
+}
+
+TEST(Network, SelfTrafficDelivered) {
+  Network net{NocConfig{}};
+  PacketDescriptor p;
+  p.src = 5;
+  p.dst = 5;
+  p.size_flits = 3;
+  net.add_packet(p);
+  net.run_until_drained(100);
+  EXPECT_EQ(net.stats().flits_ejected, 3u);
+  EXPECT_EQ(net.stats().link_traversals, 0u);  // never leaves the router
+}
+
+TEST(Network, PacketArrivesInOrder) {
+  Network net{NocConfig{}};
+  PacketDescriptor p;
+  p.src = 12;
+  p.dst = 3;
+  p.size_flits = 16;
+  net.add_packet(p);
+  std::vector<FlitType> seen;
+  net.set_eject_hook([&](const Flit& f, std::uint64_t) {
+    seen.push_back(f.type);
+  });
+  net.run_until_drained(1000);
+  ASSERT_EQ(seen.size(), 16u);
+  EXPECT_EQ(seen.front(), FlitType::Head);
+  EXPECT_EQ(seen.back(), FlitType::Tail);
+  for (std::size_t i = 1; i + 1 < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], FlitType::Body);
+  }
+}
+
+TEST(Network, WormholeNeverInterleavesPacketsOnEjection) {
+  Network net{NocConfig{}};
+  // Many multi-flit packets converging on one destination.
+  for (int src : {0, 3, 12, 15, 5, 10}) {
+    for (int k = 0; k < 5; ++k) {
+      PacketDescriptor p;
+      p.src = static_cast<std::uint16_t>(src);
+      p.dst = 6;
+      p.size_flits = 7;
+      net.add_packet(p);
+    }
+  }
+  std::uint32_t open_packet = 0;
+  bool violated = false;
+  net.set_eject_hook([&](const Flit& f, std::uint64_t) {
+    if (f.type == FlitType::Head) {
+      if (open_packet != 0) violated = true;
+      open_packet = f.packet_id;
+    } else if (f.type == FlitType::Body || f.type == FlitType::Tail) {
+      if (open_packet != f.packet_id) violated = true;
+      if (f.type == FlitType::Tail) open_packet = 0;
+    }
+  });
+  net.run_until_drained(100000);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(net.stats().packets_ejected, 30u);
+}
+
+TEST(Network, LinkTraversalsMatchManhattanHops) {
+  Network net{NocConfig{}};
+  PacketDescriptor p;
+  p.src = 0;
+  p.dst = 15;  // 6 hops
+  p.size_flits = 4;
+  net.add_packet(p);
+  net.run_until_drained(1000);
+  EXPECT_EQ(net.stats().link_traversals, 4u * 6);
+  // Router traversals = (hops + 1 ejection) per flit.
+  EXPECT_EQ(net.stats().router_traversals, 4u * 7);
+}
+
+TEST(Network, ReleaseCycleDelaysInjection) {
+  Network net{NocConfig{}};
+  PacketDescriptor p;
+  p.src = 0;
+  p.dst = 1;
+  p.size_flits = 1;
+  p.release_cycle = 50;
+  net.add_packet(p);
+  net.run_cycles(40);
+  EXPECT_EQ(net.stats().flits_injected, 0u);
+  net.run_until_drained(100);
+  EXPECT_EQ(net.stats().flits_ejected, 1u);
+}
+
+TEST(Network, ThroughputBoundedByInjectionPort) {
+  // One source streaming to one sink: at most 1 flit/cycle end to end.
+  Network net{NocConfig{}};
+  const auto ps = stream_flow(0, 15, 2000, 32);
+  net.add_packets(ps);
+  net.run_until_drained(10000);
+  EXPECT_GT(net.stats().throughput(), 0.8);
+  EXPECT_LE(net.stats().throughput(), 1.0);
+}
+
+TEST(Network, ParallelDisjointFlowsScaleThroughput) {
+  // Two row-disjoint streams double the delivered throughput.
+  Network net{NocConfig{}};
+  net.add_packets(stream_flow(0, 3, 2000, 32));
+  net.add_packets(stream_flow(12, 15, 2000, 32));
+  net.run_until_drained(10000);
+  EXPECT_GT(net.stats().throughput(), 1.6);
+}
+
+TEST(Network, SharedLinkHalvesPerFlowThroughput) {
+  // Two streams contending for the same column links: total stays ~1.
+  Network net{NocConfig{}};
+  net.add_packets(stream_flow(1, 13, 1500, 32));
+  net.add_packets(stream_flow(1, 9, 1500, 32));
+  const std::uint64_t cycles = net.run_until_drained(20000);
+  // 3000 flits through a single injection port: at least 3000 cycles.
+  EXPECT_GE(cycles, 3000u);
+  EXPECT_LE(net.stats().throughput(), 1.05);
+}
+
+TEST(Network, DrainGuardThrows) {
+  Network net{NocConfig{}};
+  net.add_packets(stream_flow(0, 15, 1000, 32));
+  EXPECT_THROW(net.run_until_drained(10), std::runtime_error);
+}
+
+TEST(Network, InvalidPacketsRejected) {
+  Network net{NocConfig{}};
+  PacketDescriptor p;
+  p.src = 99;
+  p.dst = 0;
+  p.size_flits = 1;
+  EXPECT_THROW(net.add_packet(p), std::invalid_argument);
+  p.src = 0;
+  p.size_flits = 0;
+  EXPECT_THROW(net.add_packet(p), std::invalid_argument);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run = [] {
+    Network net{NocConfig{}};
+    net.add_packets(uniform_random_traffic(net.config(), 300, 6, 7));
+    net.run_until_drained(1000000);
+    return net.stats();
+  };
+  const NocStats a = run();
+  const NocStats b = run();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.link_traversals, b.link_traversals);
+  EXPECT_DOUBLE_EQ(a.packet_latency.mean(), b.packet_latency.mean());
+}
+
+TEST(Network, HotspotSlowerThanUniform) {
+  // All-to-one traffic must take longer than the same volume spread
+  // uniformly (ejection-port serialization).
+  NocConfig cfg;
+  Network hotspot{cfg};
+  std::vector<PacketDescriptor> ps;
+  for (int src = 0; src < 16; ++src) {
+    if (src == 5) continue;
+    for (const auto& p : stream_flow(src, 5, 60, 4)) ps.push_back(p);
+  }
+  hotspot.add_packets(ps);
+  const auto hotspot_cycles = hotspot.run_until_drained(1000000);
+
+  Network uniform{cfg};
+  uniform.add_packets(
+      uniform_random_traffic(cfg, static_cast<int>(ps.size()), 4, 5));
+  const auto uniform_cycles = uniform.run_until_drained(1000000);
+  EXPECT_GT(hotspot_cycles, uniform_cycles);
+}
+
+}  // namespace
+}  // namespace nocw::noc

@@ -1,0 +1,137 @@
+#include "noc/router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::noc {
+namespace {
+
+NocConfig cfg4x4() { return NocConfig{}; }
+
+Flit head(int src, int dst, std::uint32_t id = 1) {
+  Flit f;
+  f.packet_id = id;
+  f.src = static_cast<std::uint16_t>(src);
+  f.dst = static_cast<std::uint16_t>(dst);
+  f.type = FlitType::Head;
+  return f;
+}
+
+TEST(Router, XyRouteComputation) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);  // node (1,1)
+  EXPECT_EQ(r.route(5), kLocal);
+  EXPECT_EQ(r.route(6), kEast);
+  EXPECT_EQ(r.route(4), kWest);
+  EXPECT_EQ(r.route(1), kNorth);
+  EXPECT_EQ(r.route(9), kSouth);
+  // X resolved before Y: dst (3,3)=15 from (1,1) goes East first.
+  EXPECT_EQ(r.route(15), kEast);
+  // dst (1,3)=13: same column -> South.
+  EXPECT_EQ(r.route(13), kSouth);
+}
+
+TEST(Router, AllocatePicksRequestingInput) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  r.input(kWest).push(head(4, 6));  // wants East
+  EXPECT_FALSE(r.allocate(kNorth).has_value());
+  const auto in = r.allocate(kEast);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(*in, kWest);
+}
+
+TEST(Router, WormholeLockHoldsUntilTail) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  // Packet A: head+body+tail from West to East.
+  Flit h = head(4, 6, 1);
+  Flit b = h;
+  b.type = FlitType::Body;
+  Flit t = h;
+  t.type = FlitType::Tail;
+  r.input(kWest).push(h);
+  // Competing head from North also wants East.
+  r.input(kNorth).push(head(1, 6, 2));
+
+  auto in = r.allocate(kEast);
+  ASSERT_TRUE(in.has_value());
+  const int winner = *in;
+  (void)r.grant(winner, kEast);  // head claims the lock
+
+  // Body of the winning packet arrives later; until then no one else may use
+  // the locked output.
+  const auto blocked = r.allocate(kEast);
+  if (winner == kWest) {
+    EXPECT_FALSE(blocked.has_value());  // owner's buffer is empty
+    r.input(kWest).push(b);
+    auto again = r.allocate(kEast);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, kWest);
+    (void)r.grant(kWest, kEast);
+    r.input(kWest).push(t);
+    (void)r.grant(kWest, kEast);  // tail releases the lock
+    const auto after = r.allocate(kEast);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(*after, kNorth);  // the competitor finally wins
+  }
+}
+
+TEST(Router, BodyFlitWithoutLockNotGranted) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  Flit b = head(4, 6);
+  b.type = FlitType::Body;
+  r.input(kWest).push(b);
+  EXPECT_FALSE(r.allocate(kEast).has_value());
+}
+
+TEST(Router, HeadTailReleasesImmediately) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  Flit f = head(4, 6);
+  f.type = FlitType::HeadTail;
+  r.input(kWest).push(f);
+  const auto in = r.allocate(kEast);
+  ASSERT_TRUE(in.has_value());
+  (void)r.grant(*in, kEast);
+  r.input(kNorth).push(head(1, 6, 2));
+  const auto next = r.allocate(kEast);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, kNorth);
+}
+
+TEST(Router, RoundRobinRotatesPriority) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  // Two single-flit packets from different inputs, both to the East.
+  Flit a = head(4, 6, 1);
+  a.type = FlitType::HeadTail;
+  Flit b = head(1, 6, 2);
+  b.type = FlitType::HeadTail;
+  r.input(kWest).push(a);
+  r.input(kNorth).push(b);
+  const auto first = r.allocate(kEast);
+  ASSERT_TRUE(first.has_value());
+  (void)r.grant(*first, kEast);
+  const auto second = r.allocate(kEast);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+}
+
+TEST(Router, IdleAndBufferedCount) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  EXPECT_TRUE(r.idle());
+  r.input(kWest).push(head(4, 6));
+  EXPECT_FALSE(r.idle());
+  EXPECT_EQ(r.buffered_flits(), 1u);
+}
+
+TEST(Router, GrantOnEmptyInputThrows) {
+  const NocConfig cfg = cfg4x4();
+  Router r(5, cfg);
+  EXPECT_THROW((void)r.grant(kWest, kEast), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nocw::noc

@@ -1,0 +1,88 @@
+#include "noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::noc {
+namespace {
+
+TEST(Traffic, StreamChopsIntoMaxSizePackets) {
+  const auto ps = stream_flow(0, 5, 100, 32);
+  ASSERT_EQ(ps.size(), 4u);
+  EXPECT_EQ(ps[0].size_flits, 32u);
+  EXPECT_EQ(ps[3].size_flits, 4u);  // remainder
+  EXPECT_EQ(total_flits(ps), 100u);
+  for (const auto& p : ps) {
+    EXPECT_EQ(p.src, 0);
+    EXPECT_EQ(p.dst, 5);
+  }
+}
+
+TEST(Traffic, StreamExactMultiple) {
+  const auto ps = stream_flow(1, 2, 64, 32);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[1].size_flits, 32u);
+}
+
+TEST(Traffic, EmptyStreamYieldsNothing) {
+  EXPECT_TRUE(stream_flow(0, 1, 0, 32).empty());
+}
+
+TEST(Traffic, ZeroPacketSizeThrows) {
+  EXPECT_THROW(stream_flow(0, 1, 10, 0), std::invalid_argument);
+}
+
+TEST(Traffic, ScatterRoundRobinsDestinations) {
+  const std::vector<int> dsts{1, 2, 5};
+  const auto ps = scatter_flow(0, dsts, 96, 16);
+  ASSERT_EQ(ps.size(), 6u);
+  EXPECT_EQ(ps[0].dst, 1);
+  EXPECT_EQ(ps[1].dst, 2);
+  EXPECT_EQ(ps[2].dst, 5);
+  EXPECT_EQ(ps[3].dst, 1);
+  EXPECT_EQ(total_flits(ps), 96u);
+}
+
+TEST(Traffic, GatherRoundRobinsSources) {
+  const std::vector<int> srcs{4, 7};
+  const auto ps = gather_flow(srcs, 0, 48, 16);
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0].src, 4);
+  EXPECT_EQ(ps[1].src, 7);
+  EXPECT_EQ(ps[2].src, 4);
+  for (const auto& p : ps) EXPECT_EQ(p.dst, 0);
+}
+
+TEST(Traffic, ScatterGatherValidateInputs) {
+  EXPECT_THROW(scatter_flow(0, {}, 10, 4), std::invalid_argument);
+  EXPECT_THROW(gather_flow({}, 0, 10, 4), std::invalid_argument);
+}
+
+TEST(Traffic, ReleaseCyclePropagates) {
+  const auto ps = stream_flow(0, 1, 10, 4, 77);
+  for (const auto& p : ps) EXPECT_EQ(p.release_cycle, 77u);
+}
+
+TEST(Traffic, UniformRandomAvoidsSelfTraffic) {
+  NocConfig cfg;
+  const auto ps = uniform_random_traffic(cfg, 500, 3, 13);
+  EXPECT_EQ(ps.size(), 500u);
+  for (const auto& p : ps) {
+    EXPECT_NE(p.src, p.dst);
+    EXPECT_LT(p.src, 16);
+    EXPECT_LT(p.dst, 16);
+    EXPECT_EQ(p.size_flits, 3u);
+  }
+}
+
+TEST(Traffic, UniformRandomDeterministicPerSeed) {
+  NocConfig cfg;
+  const auto a = uniform_random_traffic(cfg, 50, 3, 21);
+  const auto b = uniform_random_traffic(cfg, 50, 3, 21);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace nocw::noc

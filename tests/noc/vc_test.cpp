@@ -1,0 +1,141 @@
+// Virtual-channel behaviour tests.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+
+namespace nocw::noc {
+namespace {
+
+NocConfig with_vcs(int vcs) {
+  NocConfig cfg;
+  cfg.virtual_channels = vcs;
+  return cfg;
+}
+
+TEST(VirtualChannels, SingleVcMatchesLegacyBehaviour) {
+  // vcs = 1 must be cycle-identical to the plain wormhole configuration.
+  auto run = [](int vcs) {
+    Network net(with_vcs(vcs));
+    net.add_packets(uniform_random_traffic(net.config(), 300, 6, 7));
+    net.run_until_drained(1000000);
+    return net.stats();
+  };
+  const NocStats once = run(1);
+  const NocStats again = run(1);
+  EXPECT_EQ(once.cycles, again.cycles);
+  EXPECT_EQ(once.link_traversals, again.link_traversals);
+}
+
+TEST(VirtualChannels, AllTrafficDeliveredAcrossVcCounts) {
+  for (int vcs : {1, 2, 4}) {
+    Network net(with_vcs(vcs));
+    const auto ps = uniform_random_traffic(net.config(), 400, 5, 99);
+    net.add_packets(ps);
+    net.run_until_drained(1000000);
+    EXPECT_EQ(net.stats().flits_ejected, total_flits(ps)) << vcs << " VCs";
+    EXPECT_EQ(net.stats().packets_ejected, ps.size());
+  }
+}
+
+TEST(VirtualChannels, PerVcStreamsNeverInterleave) {
+  // Packets may interleave on a link across VCs, but within one VC the
+  // wormhole invariant holds; at the destination, track per-VC open packets.
+  Network net(with_vcs(4));
+  for (int src : {0, 3, 12, 15, 5, 10, 6, 9}) {
+    for (int k = 0; k < 4; ++k) {
+      PacketDescriptor p;
+      p.src = static_cast<std::uint16_t>(src);
+      p.dst = 7;
+      p.size_flits = 9;
+      net.add_packet(p);
+    }
+  }
+  std::map<int, std::uint32_t> open;  // vc -> packet id
+  bool violated = false;
+  net.set_eject_hook([&](const Flit& f, std::uint64_t) {
+    const int vc = static_cast<int>(f.vc);
+    if (f.type == FlitType::Head) {
+      if (open.count(vc)) violated = true;
+      open[vc] = f.packet_id;
+    } else if (f.type == FlitType::Body || f.type == FlitType::Tail) {
+      if (!open.count(vc) || open[vc] != f.packet_id) violated = true;
+      if (f.type == FlitType::Tail) open.erase(vc);
+    }
+  });
+  net.run_until_drained(1000000);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(net.stats().packets_ejected, 32u);
+}
+
+TEST(VirtualChannels, PacketsInterleaveAcrossVcsOnSharedLink) {
+  // Two long packets from different sources share the column into node 13;
+  // with 2 VCs their flits interleave at the destination (impossible with
+  // 1 VC, where the wormhole lock serializes them).
+  auto interleavings = [](int vcs) {
+    Network net(with_vcs(vcs));
+    PacketDescriptor a;
+    a.src = 1;
+    a.dst = 13;
+    a.size_flits = 40;
+    PacketDescriptor b;
+    b.src = 5;
+    b.dst = 13;
+    b.size_flits = 40;
+    net.add_packet(a);
+    net.add_packet(b);
+    int switches = 0;
+    std::uint32_t last = 0;
+    net.set_eject_hook([&](const Flit& f, std::uint64_t) {
+      if (last != 0 && f.packet_id != last) ++switches;
+      last = f.packet_id;
+    });
+    net.run_until_drained(100000);
+    return switches;
+  };
+  EXPECT_EQ(interleavings(1), 1);  // strictly one packet after the other
+  EXPECT_GT(interleavings(2), 1);  // flit-level interleaving
+}
+
+TEST(VirtualChannels, RelieveHeadOfLineBlocking) {
+  // Head-of-line scenario: a long packet into a congested hotspot shares an
+  // input FIFO path with traffic to an idle destination. With more VCs the
+  // idle-destination traffic must not finish later, and the total drain
+  // time should not degrade.
+  auto drain = [](int vcs) {
+    Network net(with_vcs(vcs));
+    // Hotspot: many streams to node 0.
+    for (int src : {5, 6, 9, 10, 3, 15}) {
+      net.add_packets(stream_flow(src, 0, 400, 32));
+    }
+    // Victim flow crossing the same region toward idle node 12.
+    net.add_packets(stream_flow(3, 12, 400, 32));
+    return net.run_until_drained(2000000);
+  };
+  const auto one = drain(1);
+  const auto four = drain(4);
+  EXPECT_LE(four, one);
+}
+
+TEST(VirtualChannels, VcAssignmentRoundRobinsPackets) {
+  Network net(with_vcs(3));
+  for (int k = 0; k < 6; ++k) {
+    PacketDescriptor p;
+    p.src = 0;
+    p.dst = 1;
+    p.size_flits = 1;
+    net.add_packet(p);
+  }
+  std::map<int, int> seen;  // vc -> count
+  net.set_eject_hook([&](const Flit& f, std::uint64_t) {
+    ++seen[static_cast<int>(f.vc)];
+  });
+  net.run_until_drained(10000);
+  EXPECT_EQ(seen.size(), 3u);
+  for (const auto& [vc, count] : seen) EXPECT_EQ(count, 2) << "vc " << vc;
+}
+
+}  // namespace
+}  // namespace nocw::noc

@@ -1,0 +1,54 @@
+#include "power/cacti_like.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::power {
+namespace {
+
+TEST(CactiLike, AnchoredAtPeSram) {
+  const MemoryEstimate e = sram_estimate(8192, 64);
+  EXPECT_NEAR(e.read_energy_pj, 1.6, 1e-9);
+  EXPECT_NEAR(e.write_energy_pj, 1.8, 1e-9);
+  EXPECT_NEAR(e.leakage_mw, 0.25, 1e-9);
+  EXPECT_EQ(e.access_cycles, 1);
+}
+
+TEST(CactiLike, EnergyGrowsSublinearlyWithCapacity) {
+  const auto small = sram_estimate(8192, 64);
+  const auto big = sram_estimate(8192 * 16, 64);
+  EXPECT_GT(big.read_energy_pj, small.read_energy_pj);
+  // sqrt scaling: 16x capacity -> 4x energy, far below 16x.
+  EXPECT_NEAR(big.read_energy_pj / small.read_energy_pj, 4.0, 0.01);
+}
+
+TEST(CactiLike, LeakageGrowsLinearlyWithCapacity) {
+  const auto small = sram_estimate(8192, 64);
+  const auto big = sram_estimate(8192 * 4, 64);
+  EXPECT_NEAR(big.leakage_mw / small.leakage_mw, 4.0, 0.01);
+}
+
+TEST(CactiLike, WidthScalesEnergy) {
+  const auto narrow = sram_estimate(8192, 32);
+  const auto wide = sram_estimate(8192, 128);
+  EXPECT_NEAR(wide.read_energy_pj / narrow.read_energy_pj, 4.0, 0.01);
+}
+
+TEST(CactiLike, LargeArraysTakeMoreCycles) {
+  EXPECT_GE(sram_estimate(1 << 20, 64).access_cycles, 2);
+}
+
+TEST(CactiLike, DramFarCostlierThanSram) {
+  const auto sram = sram_estimate(8192, 64);
+  const auto dram = dram_estimate(1ULL << 30, 64);
+  EXPECT_GT(dram.read_energy_pj, 100.0 * sram.read_energy_pj);
+  EXPECT_GT(dram.access_cycles, 10);
+}
+
+TEST(CactiLike, DramBackgroundGrowsWithCapacity) {
+  const auto one_gb = dram_estimate(1ULL << 30, 64);
+  const auto four_gb = dram_estimate(4ULL << 30, 64);
+  EXPECT_GT(four_gb.leakage_mw, one_gb.leakage_mw);
+}
+
+}  // namespace
+}  // namespace nocw::power

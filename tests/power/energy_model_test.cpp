@@ -1,0 +1,89 @@
+#include "power/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::power {
+namespace {
+
+TEST(EnergyModel, ZeroEventsZeroTimeIsZero) {
+  const EnergyBreakdown e =
+      annotate(EventCounts{}, 0.0, EnergyTable{}, PlatformShape{});
+  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyModel, DynamicScalesLinearlyWithEvents) {
+  EnergyTable t;
+  EventCounts a;
+  a.macs = 1000;
+  EventCounts b;
+  b.macs = 2000;
+  const auto ea = annotate(a, 0.0, t, PlatformShape{});
+  const auto eb = annotate(b, 0.0, t, PlatformShape{});
+  EXPECT_NEAR(eb.computation.dynamic_j, 2.0 * ea.computation.dynamic_j,
+              1e-18);
+}
+
+TEST(EnergyModel, LeakageScalesWithTime) {
+  EnergyTable t;
+  const auto e1 = annotate(EventCounts{}, 1e-6, t, PlatformShape{});
+  const auto e2 = annotate(EventCounts{}, 2e-6, t, PlatformShape{});
+  EXPECT_NEAR(e2.communication.leakage_j, 2.0 * e1.communication.leakage_j,
+              1e-15);
+  EXPECT_GT(e1.main_memory.leakage_j, 0.0);
+}
+
+TEST(EnergyModel, ComponentsRouteToCorrectBuckets) {
+  EnergyTable t;
+  EventCounts ev;
+  ev.dram_accesses = 100;
+  const auto e = annotate(ev, 0.0, t, PlatformShape{});
+  EXPECT_GT(e.main_memory.dynamic_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.communication.dynamic_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.computation.dynamic_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.local_memory.dynamic_j, 0.0);
+}
+
+TEST(EnergyModel, KnownHandComputedCase) {
+  EnergyTable t;
+  EventCounts ev;
+  ev.router_traversals = 10;  // 10 * 8 pJ
+  ev.link_traversals = 10;    // 10 * 4 pJ
+  const auto e = annotate(ev, 0.0, t, PlatformShape{});
+  EXPECT_NEAR(e.communication.dynamic_j, 120e-12, 1e-15);
+}
+
+TEST(EnergyModel, DramWordDominatesNocFlit) {
+  // The architectural premise of the paper: off-chip access costs far more
+  // than moving the same word across the NoC.
+  EnergyTable t;
+  const double noc_per_flit = t.router_traversal_pj + t.link_traversal_pj +
+                              t.buffer_read_pj + t.buffer_write_pj;
+  EXPECT_GT(t.dram_access_pj, 10.0 * noc_per_flit);
+}
+
+TEST(EnergyModel, EventCountsAccumulate) {
+  EventCounts a;
+  a.macs = 5;
+  a.dram_accesses = 7;
+  EventCounts b;
+  b.macs = 3;
+  b.sram_reads = 2;
+  a += b;
+  EXPECT_EQ(a.macs, 8u);
+  EXPECT_EQ(a.dram_accesses, 7u);
+  EXPECT_EQ(a.sram_reads, 2u);
+}
+
+TEST(EnergyModel, BreakdownAccumulates) {
+  EnergyTable t;
+  EventCounts ev;
+  ev.macs = 100;
+  EnergyBreakdown total;
+  const auto one = annotate(ev, 1e-6, t, PlatformShape{});
+  total += one;
+  total += one;
+  EXPECT_NEAR(total.total(), 2.0 * one.total(), 1e-15);
+}
+
+}  // namespace
+}  // namespace nocw::power

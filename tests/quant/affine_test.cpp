@@ -1,0 +1,101 @@
+#include "quant/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nocw::quant {
+namespace {
+
+TEST(Affine, ZeroIsRepresentedExactly) {
+  Xoshiro256pp rng(91);
+  std::vector<float> w(1000);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.3, 0.2));
+  const AffineParams p = choose_params(w);
+  const std::int8_t zero_code = p.quantize(0.0F);
+  EXPECT_NEAR(p.dequantize(zero_code), 0.0F, p.scale * 0.51F);
+}
+
+TEST(Affine, EmptyInputGivesIdentityParams) {
+  const AffineParams p = choose_params({});
+  EXPECT_EQ(p.scale, 1.0F);
+  EXPECT_EQ(p.zero_point, 0);
+}
+
+TEST(Affine, ConstantTensor) {
+  std::vector<float> w(100, 0.0F);
+  const AffineParams p = choose_params(w);
+  EXPECT_EQ(p.dequantize(p.quantize(0.0F)), 0.0F);
+}
+
+TEST(Affine, RoundTripErrorBoundedByHalfScale) {
+  Xoshiro256pp rng(92);
+  std::vector<float> w(10000);
+  for (auto& x : w) x = static_cast<float>(rng.uniform(-0.8, 1.2));
+  const QuantizedTensor t = quantize_tensor(w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const float back = t.params.dequantize(t.data[i]);
+    EXPECT_LE(std::abs(back - w[i]), t.params.scale * 0.5001F + 1e-6F) << i;
+  }
+}
+
+TEST(Affine, CodesSpanFullRange) {
+  std::vector<float> w;
+  for (int i = 0; i <= 255; ++i) w.push_back(static_cast<float>(i) / 255.0F);
+  const QuantizedTensor t = quantize_tensor(w);
+  std::int8_t lo = 127;
+  std::int8_t hi = -128;
+  for (auto c : t.data) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_EQ(static_cast<int>(lo), -128);
+  EXPECT_EQ(static_cast<int>(hi), 127);
+}
+
+TEST(Affine, DequantizeFollowsTfliteFormula) {
+  AffineParams p;
+  p.scale = 0.02F;
+  p.zero_point = 10;
+  // real = (int8 - zero_point) * scale
+  EXPECT_FLOAT_EQ(p.dequantize(15), 0.1F);
+  EXPECT_FLOAT_EQ(p.dequantize(10), 0.0F);
+  EXPECT_FLOAT_EQ(p.dequantize(-10), -0.4F);
+}
+
+TEST(Affine, QuantizeClampsOutOfRange) {
+  AffineParams p;
+  p.scale = 0.01F;
+  p.zero_point = 0;
+  EXPECT_EQ(static_cast<int>(p.quantize(100.0F)), 127);
+  EXPECT_EQ(static_cast<int>(p.quantize(-100.0F)), -128);
+}
+
+TEST(Affine, MseSmallRelativeToVariance) {
+  Xoshiro256pp rng(93);
+  std::vector<float> w(20000);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.1));
+  const double mse = quantization_mse(w);
+  // 8-bit quantization noise ≈ scale²/12, orders below the signal variance.
+  EXPECT_LT(mse, 0.01 * 0.1 * 0.1);
+  EXPECT_GT(mse, 0.0);
+}
+
+TEST(Affine, DequantizeVectorMatchesScalar) {
+  Xoshiro256pp rng(94);
+  std::vector<float> w(500);
+  for (auto& x : w) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const QuantizedTensor t = quantize_tensor(w);
+  const std::vector<float> d = t.dequantize();
+  ASSERT_EQ(d.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_FLOAT_EQ(d[i], t.params.dequantize(t.data[i]));
+  }
+}
+
+}  // namespace
+}  // namespace nocw::quant

@@ -1,0 +1,89 @@
+#include "quant/fp16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::quant {
+namespace {
+
+TEST(Fp16, ExactSmallValues) {
+  for (float f : {0.0F, 1.0F, -1.0F, 0.5F, 2.0F, -0.25F, 1024.0F}) {
+    EXPECT_EQ(half_to_float(float_to_half(f)), f) << f;
+  }
+}
+
+TEST(Fp16, SignedZeroPreserved) {
+  EXPECT_EQ(float_to_half(0.0F), 0x0000u);
+  EXPECT_EQ(float_to_half(-0.0F), 0x8000u);
+  EXPECT_TRUE(std::signbit(half_to_float(0x8000u)));
+}
+
+TEST(Fp16, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(float_to_half(inf), 0x7C00u);
+  EXPECT_EQ(float_to_half(-inf), 0xFC00u);
+  EXPECT_TRUE(std::isinf(half_to_float(0x7C00u)));
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(nan))));
+}
+
+TEST(Fp16, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(float_to_half(1e6F), 0x7C00u);  // > 65504 (half max)
+  EXPECT_EQ(float_to_half(-1e6F), 0xFC00u);
+}
+
+TEST(Fp16, HalfMaxRepresentable) {
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(65504.0F)), 65504.0F);
+}
+
+TEST(Fp16, SubnormalsRoundTrip) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0F, -24);
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(tiny)), tiny);
+  // Below half of that, rounds to zero.
+  EXPECT_EQ(half_to_float(float_to_half(std::ldexp(1.0F, -26))), 0.0F);
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  Xoshiro256pp rng(101);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = static_cast<float>(rng.normal(0.0, 1.0));
+    if (f == 0.0F) continue;
+    const float back = half_to_float(float_to_half(f));
+    // Half has 11 significand bits: relative error <= 2^-11.
+    EXPECT_LE(std::abs(back - f) / std::abs(f), 1.0F / 2048.0F + 1e-7F) << f;
+  }
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half value
+  // (1 + 2^-10); ties round to even mantissa, i.e. down to 1.0.
+  const float halfway = 1.0F + std::ldexp(1.0F, -11);
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(halfway)), 1.0F);
+  // Slightly above the tie rounds up.
+  const float above = 1.0F + std::ldexp(1.0F, -11) + std::ldexp(1.0F, -16);
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(above)),
+                  1.0F + std::ldexp(1.0F, -10));
+}
+
+TEST(Fp16, VectorHelpersMatchScalar) {
+  Xoshiro256pp rng(102);
+  std::vector<float> w(1000);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.1));
+  const auto halves = to_half(w);
+  const auto back = from_half(halves);
+  const auto round = roundtrip_half(w);
+  ASSERT_EQ(back.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(back[i], half_to_float(halves[i]));
+    EXPECT_EQ(round[i], back[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nocw::quant

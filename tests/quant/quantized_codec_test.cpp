@@ -1,0 +1,115 @@
+#include "quant/quantized_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw::quant {
+namespace {
+
+QuantizedTensor make_tensor(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<float> w(n);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.05));
+  return quantize_tensor(w);
+}
+
+TEST(QuantizedCodec, RatioAccountsEightBitBaseline) {
+  const auto t = make_tensor(50000, 111);
+  QuantizedCodecConfig cfg;
+  const auto layer = compress_quantized(t, cfg);
+  EXPECT_EQ(layer.config.weight_bits, 8u);
+  EXPECT_EQ(layer.original_count, t.data.size());
+}
+
+TEST(QuantizedCodec, ZeroDeltaPreservesMostSignalEnergy) {
+  // At δ=0 the per-segment line fit leaves residuals proportional to the
+  // within-segment deviation; reconstruction error must stay far below the
+  // signal's own variance (the paper's δ=0 rows show MSE ≈ 1% of the range²).
+  const auto t = make_tensor(20000, 112);
+  QuantizedCodecConfig cfg;
+  cfg.delta_percent = 0.0;
+  const auto layer = compress_quantized(t, cfg);
+  const auto back = decompress_quantized(layer, t.params);
+  ASSERT_EQ(back.data.size(), t.data.size());
+  double mse = 0.0;
+  double var = 0.0;
+  double mean = 0.0;
+  for (auto c : t.data) mean += c;
+  mean /= static_cast<double>(t.data.size());
+  for (std::size_t i = 0; i < t.data.size(); ++i) {
+    const double d = static_cast<double>(t.data[i]) - back.data[i];
+    mse += d * d;
+    const double dv = static_cast<double>(t.data[i]) - mean;
+    var += dv * dv;
+  }
+  mse /= static_cast<double>(t.data.size());
+  var /= static_cast<double>(t.data.size());
+  EXPECT_LT(mse, 0.1 * var);
+  EXPECT_GT(mse, 0.0);
+}
+
+TEST(QuantizedCodec, TieRunsCompressWellAtZeroDelta) {
+  // Quantization creates runs of equal codes, so even δ=0 produces longer
+  // segments than the float stream would.
+  Xoshiro256pp rng(113);
+  std::vector<float> w(50000);
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, 0.02));
+  const auto t = quantize_tensor(w);
+  QuantizedCodecConfig cfg;
+  const auto layer = compress_quantized(t, cfg);
+  EXPECT_GT(layer.mean_segment_length(), 2.437);
+}
+
+TEST(QuantizedCodec, CrGrowsWithDelta) {
+  const auto t = make_tensor(50000, 114);
+  double prev = 0.0;
+  for (double delta : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    QuantizedCodecConfig cfg;
+    cfg.delta_percent = delta;
+    const auto layer = compress_quantized(t, cfg);
+    const double cr = layer.compression_ratio();
+    EXPECT_GT(cr, prev);
+    prev = cr;
+  }
+}
+
+TEST(QuantizedCodec, ReconstructedCodesInValidRange) {
+  const auto t = make_tensor(30000, 115);
+  QuantizedCodecConfig cfg;
+  cfg.delta_percent = 25.0;
+  const auto layer = compress_quantized(t, cfg);
+  const auto back = decompress_quantized(layer, t.params);
+  for (auto c : back.data) {
+    EXPECT_GE(static_cast<int>(c), -128);
+    EXPECT_LE(static_cast<int>(c), 127);
+  }
+  EXPECT_EQ(back.params.scale, t.params.scale);
+  EXPECT_EQ(back.params.zero_point, t.params.zero_point);
+}
+
+TEST(QuantizedCodec, DequantizedErrorTracksDelta) {
+  const auto t = make_tensor(30000, 116);
+  const std::vector<float> original = t.dequantize();
+  double prev_mse = -1.0;
+  for (double delta : {0.0, 10.0, 30.0}) {
+    QuantizedCodecConfig cfg;
+    cfg.delta_percent = delta;
+    const auto layer = compress_quantized(t, cfg);
+    const auto back = decompress_quantized(layer, t.params);
+    const std::vector<float> rec = back.dequantize();
+    double mse = 0.0;
+    for (std::size_t i = 0; i < rec.size(); ++i) {
+      const double d = static_cast<double>(rec[i]) - original[i];
+      mse += d * d;
+    }
+    mse /= static_cast<double>(rec.size());
+    EXPECT_GT(mse, prev_mse);
+    prev_mse = mse;
+  }
+}
+
+}  // namespace
+}  // namespace nocw::quant

@@ -1,0 +1,104 @@
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocw {
+namespace {
+
+TEST(BitIo, SingleBitRoundTrip) {
+  BitWriter w;
+  w.write(1, 1);
+  w.write(0, 1);
+  w.write(1, 1);
+  EXPECT_EQ(w.bit_count(), 3u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(1), 0u);
+  EXPECT_EQ(r.read(1), 1u);
+}
+
+TEST(BitIo, FullWidthRoundTrip) {
+  BitWriter w;
+  const std::uint64_t v = 0xDEADBEEFCAFEBABEULL;
+  w.write(v, 64);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(64), v);
+}
+
+TEST(BitIo, ValueMaskedToWidth) {
+  BitWriter w;
+  w.write(0xFFFF, 4);  // only low 4 bits kept
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(4), 0xFu);
+}
+
+TEST(BitIo, MixedWidthsRoundTrip) {
+  BitWriter w;
+  w.write(0x5, 3);
+  w.write(0x1234, 13);
+  w.write(1, 1);
+  w.write(0x7F, 7);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(3), 0x5u);
+  EXPECT_EQ(r.read(13), 0x1234u & 0x1FFFu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(7), 0x7Fu);
+}
+
+TEST(BitIo, FloatRoundTripExact) {
+  BitWriter w;
+  for (float f : {0.0F, -0.0F, 1.5F, -3.25e-7F, 1e30F}) w.write_float(f);
+  BitReader r(w.bytes());
+  for (float f : {0.0F, -0.0F, 1.5F, -3.25e-7F, 1e30F}) {
+    const float got = r.read_float();
+    EXPECT_EQ(std::memcmp(&got, &f, sizeof(f)), 0);
+  }
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(3, 2);
+  BitReader r(w.bytes());
+  r.read(2);
+  // The writer zero-pads to a whole byte, so 6 padding bits remain.
+  EXPECT_EQ(r.bits_left(), 6u);
+  r.read(6);
+  EXPECT_THROW(r.read(1), std::out_of_range);
+}
+
+TEST(BitIo, ZeroOrOversizedWidthThrows) {
+  BitWriter w;
+  EXPECT_THROW(w.write(0, 0), std::invalid_argument);
+  EXPECT_THROW(w.write(0, 65), std::invalid_argument);
+  w.write(1, 8);
+  BitReader r(w.bytes());
+  EXPECT_THROW(r.read(0), std::invalid_argument);
+  EXPECT_THROW(r.read(65), std::invalid_argument);
+}
+
+TEST(BitIo, RandomizedRoundTrip) {
+  Xoshiro256pp rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> entries;
+    for (int i = 0; i < 200; ++i) {
+      const unsigned bits = 1 + static_cast<unsigned>(rng.bounded(64));
+      std::uint64_t value = rng();
+      if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+      entries.emplace_back(value, bits);
+      w.write(value, bits);
+    }
+    BitReader r(w.bytes());
+    for (const auto& [value, bits] : entries) {
+      EXPECT_EQ(r.read(bits), value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocw

@@ -1,0 +1,83 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace nocw {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_EQ(rb.free_slots(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAroundCapacity) {
+  RingBuffer<int> rb(2);
+  for (int i = 0; i < 100; ++i) {
+    rb.push(i);
+    EXPECT_EQ(rb.pop(), i);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, InterleavedPushPopKeepsOrder) {
+  RingBuffer<int> rb(4);
+  rb.push(0);
+  rb.push(1);
+  EXPECT_EQ(rb.pop(), 0);
+  rb.push(2);
+  rb.push(3);
+  rb.push(4);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+}
+
+TEST(RingBuffer, FrontDoesNotConsume) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  EXPECT_EQ(rb.front(), "a");
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.pop(), "a");
+}
+
+TEST(RingBuffer, MoveOnlyTypes) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(5));
+  auto p = rb.pop();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+}  // namespace
+}  // namespace nocw

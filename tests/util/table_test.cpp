@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nocw {
+namespace {
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"Model", "CR"});
+  t.add_row({"LeNet-5", "1.21"});
+  t.add_row({"AlexNet", "11.44"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("LeNet-5"), std::string::npos);
+  EXPECT_NE(s.find("11.44"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, WriteCsvCreatesReadableFile) {
+  Table t({"k", "v"});
+  t.add_row({"alpha", "1"});
+  const std::string path = ::testing::TempDir() + "/nocw_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), "k,v\nalpha,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table t({"k"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(Formatting, FixedSciPct) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(fmt_pct(0.57), "57%");
+  EXPECT_EQ(fmt_pct(0.125, 1), "12.5%");
+}
+
+}  // namespace
+}  // namespace nocw
