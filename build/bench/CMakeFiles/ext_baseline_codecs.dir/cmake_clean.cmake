@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baseline_codecs.dir/ext_baseline_codecs.cpp.o"
+  "CMakeFiles/ext_baseline_codecs.dir/ext_baseline_codecs.cpp.o.d"
+  "ext_baseline_codecs"
+  "ext_baseline_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baseline_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multilayer.dir/ext_multilayer.cpp.o"
+  "CMakeFiles/ext_multilayer.dir/ext_multilayer.cpp.o.d"
+  "ext_multilayer"
+  "ext_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tradeoff.dir/fig10_tradeoff.cpp.o"
+  "CMakeFiles/fig10_tradeoff.dir/fig10_tradeoff.cpp.o.d"
+  "fig10_tradeoff"
+  "fig10_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_entropy.dir/fig3_entropy.cpp.o"
+  "CMakeFiles/fig3_entropy.dir/fig3_entropy.cpp.o.d"
+  "fig3_entropy"
+  "fig3_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

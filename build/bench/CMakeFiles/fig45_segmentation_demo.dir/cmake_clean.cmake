@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig45_segmentation_demo.dir/fig45_segmentation_demo.cpp.o"
+  "CMakeFiles/fig45_segmentation_demo.dir/fig45_segmentation_demo.cpp.o.d"
+  "fig45_segmentation_demo"
+  "fig45_segmentation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig45_segmentation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

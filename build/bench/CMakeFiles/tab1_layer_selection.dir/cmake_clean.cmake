@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_layer_selection.dir/tab1_layer_selection.cpp.o"
+  "CMakeFiles/tab1_layer_selection.dir/tab1_layer_selection.cpp.o.d"
+  "tab1_layer_selection"
+  "tab1_layer_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_layer_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_compression.dir/tab2_compression.cpp.o"
+  "CMakeFiles/tab2_compression.dir/tab2_compression.cpp.o.d"
+  "tab2_compression"
+  "tab2_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_quantized.dir/tab3_quantized.cpp.o"
+  "CMakeFiles/tab3_quantized.dir/tab3_quantized.cpp.o.d"
+  "tab3_quantized"
+  "tab3_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

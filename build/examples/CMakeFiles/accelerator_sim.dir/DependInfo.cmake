@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/accelerator_sim.cpp" "examples/CMakeFiles/accelerator_sim.dir/accelerator_sim.cpp.o" "gcc" "examples/CMakeFiles/accelerator_sim.dir/accelerator_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/nocw_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/nocw_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nocw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nocw_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nocw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nocw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_then_compress.dir/quantize_then_compress.cpp.o"
+  "CMakeFiles/quantize_then_compress.dir/quantize_then_compress.cpp.o.d"
+  "quantize_then_compress"
+  "quantize_then_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_then_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

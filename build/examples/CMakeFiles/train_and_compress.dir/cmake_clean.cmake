@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_compress.dir/train_and_compress.cpp.o"
+  "CMakeFiles/train_and_compress.dir/train_and_compress.cpp.o.d"
+  "train_and_compress"
+  "train_and_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

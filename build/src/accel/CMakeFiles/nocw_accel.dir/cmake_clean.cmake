@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_accel.dir/simulator.cpp.o"
+  "CMakeFiles/nocw_accel.dir/simulator.cpp.o.d"
+  "CMakeFiles/nocw_accel.dir/summary.cpp.o"
+  "CMakeFiles/nocw_accel.dir/summary.cpp.o.d"
+  "libnocw_accel.a"
+  "libnocw_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_codecs.cpp" "src/core/CMakeFiles/nocw_core.dir/baseline_codecs.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/baseline_codecs.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/nocw_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/decompressor_unit.cpp" "src/core/CMakeFiles/nocw_core.dir/decompressor_unit.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/decompressor_unit.cpp.o.d"
+  "/root/repo/src/core/entropy.cpp" "src/core/CMakeFiles/nocw_core.dir/entropy.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/entropy.cpp.o.d"
+  "/root/repo/src/core/linefit.cpp" "src/core/CMakeFiles/nocw_core.dir/linefit.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/linefit.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/nocw_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/segment.cpp" "src/core/CMakeFiles/nocw_core.dir/segment.cpp.o" "gcc" "src/core/CMakeFiles/nocw_core.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_core.dir/baseline_codecs.cpp.o"
+  "CMakeFiles/nocw_core.dir/baseline_codecs.cpp.o.d"
+  "CMakeFiles/nocw_core.dir/codec.cpp.o"
+  "CMakeFiles/nocw_core.dir/codec.cpp.o.d"
+  "CMakeFiles/nocw_core.dir/decompressor_unit.cpp.o"
+  "CMakeFiles/nocw_core.dir/decompressor_unit.cpp.o.d"
+  "CMakeFiles/nocw_core.dir/entropy.cpp.o"
+  "CMakeFiles/nocw_core.dir/entropy.cpp.o.d"
+  "CMakeFiles/nocw_core.dir/linefit.cpp.o"
+  "CMakeFiles/nocw_core.dir/linefit.cpp.o.d"
+  "CMakeFiles/nocw_core.dir/metrics.cpp.o"
+  "CMakeFiles/nocw_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/nocw_core.dir/segment.cpp.o"
+  "CMakeFiles/nocw_core.dir/segment.cpp.o.d"
+  "libnocw_core.a"
+  "libnocw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/flow.cpp" "src/eval/CMakeFiles/nocw_eval.dir/flow.cpp.o" "gcc" "src/eval/CMakeFiles/nocw_eval.dir/flow.cpp.o.d"
+  "/root/repo/src/eval/layer_selection.cpp" "src/eval/CMakeFiles/nocw_eval.dir/layer_selection.cpp.o" "gcc" "src/eval/CMakeFiles/nocw_eval.dir/layer_selection.cpp.o.d"
+  "/root/repo/src/eval/multi_layer.cpp" "src/eval/CMakeFiles/nocw_eval.dir/multi_layer.cpp.o" "gcc" "src/eval/CMakeFiles/nocw_eval.dir/multi_layer.cpp.o.d"
+  "/root/repo/src/eval/probes.cpp" "src/eval/CMakeFiles/nocw_eval.dir/probes.cpp.o" "gcc" "src/eval/CMakeFiles/nocw_eval.dir/probes.cpp.o.d"
+  "/root/repo/src/eval/quantized_flow.cpp" "src/eval/CMakeFiles/nocw_eval.dir/quantized_flow.cpp.o" "gcc" "src/eval/CMakeFiles/nocw_eval.dir/quantized_flow.cpp.o.d"
+  "/root/repo/src/eval/sensitivity.cpp" "src/eval/CMakeFiles/nocw_eval.dir/sensitivity.cpp.o" "gcc" "src/eval/CMakeFiles/nocw_eval.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nocw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nocw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nocw_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/nocw_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nocw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

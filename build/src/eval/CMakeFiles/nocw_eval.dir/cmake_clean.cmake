@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_eval.dir/flow.cpp.o"
+  "CMakeFiles/nocw_eval.dir/flow.cpp.o.d"
+  "CMakeFiles/nocw_eval.dir/layer_selection.cpp.o"
+  "CMakeFiles/nocw_eval.dir/layer_selection.cpp.o.d"
+  "CMakeFiles/nocw_eval.dir/multi_layer.cpp.o"
+  "CMakeFiles/nocw_eval.dir/multi_layer.cpp.o.d"
+  "CMakeFiles/nocw_eval.dir/probes.cpp.o"
+  "CMakeFiles/nocw_eval.dir/probes.cpp.o.d"
+  "CMakeFiles/nocw_eval.dir/quantized_flow.cpp.o"
+  "CMakeFiles/nocw_eval.dir/quantized_flow.cpp.o.d"
+  "CMakeFiles/nocw_eval.dir/sensitivity.cpp.o"
+  "CMakeFiles/nocw_eval.dir/sensitivity.cpp.o.d"
+  "libnocw_eval.a"
+  "libnocw_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/digits.cpp" "src/nn/CMakeFiles/nocw_nn.dir/digits.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/digits.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/nocw_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/nocw_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/nocw_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/nocw_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/nocw_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/models_big.cpp" "src/nn/CMakeFiles/nocw_nn.dir/models_big.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/models_big.cpp.o.d"
+  "/root/repo/src/nn/models_small.cpp" "src/nn/CMakeFiles/nocw_nn.dir/models_small.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/models_small.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/nocw_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/nocw_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/nocw_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/nocw_nn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

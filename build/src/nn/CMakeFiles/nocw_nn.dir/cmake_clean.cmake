@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_nn.dir/digits.cpp.o"
+  "CMakeFiles/nocw_nn.dir/digits.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/gemm.cpp.o"
+  "CMakeFiles/nocw_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/graph.cpp.o"
+  "CMakeFiles/nocw_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/init.cpp.o"
+  "CMakeFiles/nocw_nn.dir/init.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/layers.cpp.o"
+  "CMakeFiles/nocw_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/metrics.cpp.o"
+  "CMakeFiles/nocw_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/models_big.cpp.o"
+  "CMakeFiles/nocw_nn.dir/models_big.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/models_small.cpp.o"
+  "CMakeFiles/nocw_nn.dir/models_small.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/serialize.cpp.o"
+  "CMakeFiles/nocw_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/tensor.cpp.o"
+  "CMakeFiles/nocw_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/nocw_nn.dir/train.cpp.o"
+  "CMakeFiles/nocw_nn.dir/train.cpp.o.d"
+  "libnocw_nn.a"
+  "libnocw_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

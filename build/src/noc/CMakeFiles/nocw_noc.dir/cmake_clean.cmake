@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_noc.dir/config.cpp.o"
+  "CMakeFiles/nocw_noc.dir/config.cpp.o.d"
+  "CMakeFiles/nocw_noc.dir/network.cpp.o"
+  "CMakeFiles/nocw_noc.dir/network.cpp.o.d"
+  "CMakeFiles/nocw_noc.dir/router.cpp.o"
+  "CMakeFiles/nocw_noc.dir/router.cpp.o.d"
+  "CMakeFiles/nocw_noc.dir/traffic.cpp.o"
+  "CMakeFiles/nocw_noc.dir/traffic.cpp.o.d"
+  "libnocw_noc.a"
+  "libnocw_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

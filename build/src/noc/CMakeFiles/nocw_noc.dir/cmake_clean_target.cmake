@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnocw_noc.a"
+)

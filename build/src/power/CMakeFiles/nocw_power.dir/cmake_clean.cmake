@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_power.dir/cacti_like.cpp.o"
+  "CMakeFiles/nocw_power.dir/cacti_like.cpp.o.d"
+  "CMakeFiles/nocw_power.dir/energy_model.cpp.o"
+  "CMakeFiles/nocw_power.dir/energy_model.cpp.o.d"
+  "libnocw_power.a"
+  "libnocw_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

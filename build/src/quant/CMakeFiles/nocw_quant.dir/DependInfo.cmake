@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/affine.cpp" "src/quant/CMakeFiles/nocw_quant.dir/affine.cpp.o" "gcc" "src/quant/CMakeFiles/nocw_quant.dir/affine.cpp.o.d"
+  "/root/repo/src/quant/fp16.cpp" "src/quant/CMakeFiles/nocw_quant.dir/fp16.cpp.o" "gcc" "src/quant/CMakeFiles/nocw_quant.dir/fp16.cpp.o.d"
+  "/root/repo/src/quant/quantized_codec.cpp" "src/quant/CMakeFiles/nocw_quant.dir/quantized_codec.cpp.o" "gcc" "src/quant/CMakeFiles/nocw_quant.dir/quantized_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nocw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_quant.dir/affine.cpp.o"
+  "CMakeFiles/nocw_quant.dir/affine.cpp.o.d"
+  "CMakeFiles/nocw_quant.dir/fp16.cpp.o"
+  "CMakeFiles/nocw_quant.dir/fp16.cpp.o.d"
+  "CMakeFiles/nocw_quant.dir/quantized_codec.cpp.o"
+  "CMakeFiles/nocw_quant.dir/quantized_codec.cpp.o.d"
+  "libnocw_quant.a"
+  "libnocw_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocw_util.dir/bitio.cpp.o"
+  "CMakeFiles/nocw_util.dir/bitio.cpp.o.d"
+  "CMakeFiles/nocw_util.dir/env.cpp.o"
+  "CMakeFiles/nocw_util.dir/env.cpp.o.d"
+  "CMakeFiles/nocw_util.dir/stats.cpp.o"
+  "CMakeFiles/nocw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nocw_util.dir/table.cpp.o"
+  "CMakeFiles/nocw_util.dir/table.cpp.o.d"
+  "libnocw_util.a"
+  "libnocw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

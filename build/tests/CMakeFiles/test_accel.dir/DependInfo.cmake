@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/simulator_test.cpp" "tests/CMakeFiles/test_accel.dir/accel/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/simulator_test.cpp.o.d"
+  "/root/repo/tests/accel/summary_test.cpp" "tests/CMakeFiles/test_accel.dir/accel/summary_test.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/summary_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/nocw_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nocw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nocw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

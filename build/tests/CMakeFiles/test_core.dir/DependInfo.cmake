@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_codecs_test.cpp" "tests/CMakeFiles/test_core.dir/core/baseline_codecs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/baseline_codecs_test.cpp.o.d"
+  "/root/repo/tests/core/codec_test.cpp" "tests/CMakeFiles/test_core.dir/core/codec_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/codec_test.cpp.o.d"
+  "/root/repo/tests/core/decompressor_unit_test.cpp" "tests/CMakeFiles/test_core.dir/core/decompressor_unit_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/decompressor_unit_test.cpp.o.d"
+  "/root/repo/tests/core/entropy_test.cpp" "tests/CMakeFiles/test_core.dir/core/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/entropy_test.cpp.o.d"
+  "/root/repo/tests/core/linefit_test.cpp" "tests/CMakeFiles/test_core.dir/core/linefit_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/linefit_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/segment_test.cpp" "tests/CMakeFiles/test_core.dir/core/segment_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/segment_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nocw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

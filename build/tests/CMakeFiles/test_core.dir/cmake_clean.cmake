@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/baseline_codecs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/baseline_codecs_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/codec_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/codec_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/decompressor_unit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/decompressor_unit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/entropy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/entropy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/linefit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/linefit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/segment_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/segment_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/flow_test.cpp" "tests/CMakeFiles/test_eval.dir/eval/flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/eval/flow_test.cpp.o.d"
+  "/root/repo/tests/eval/layer_selection_test.cpp" "tests/CMakeFiles/test_eval.dir/eval/layer_selection_test.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/eval/layer_selection_test.cpp.o.d"
+  "/root/repo/tests/eval/multi_layer_test.cpp" "tests/CMakeFiles/test_eval.dir/eval/multi_layer_test.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/eval/multi_layer_test.cpp.o.d"
+  "/root/repo/tests/eval/probes_test.cpp" "tests/CMakeFiles/test_eval.dir/eval/probes_test.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/eval/probes_test.cpp.o.d"
+  "/root/repo/tests/eval/quantized_flow_test.cpp" "tests/CMakeFiles/test_eval.dir/eval/quantized_flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/eval/quantized_flow_test.cpp.o.d"
+  "/root/repo/tests/eval/sensitivity_test.cpp" "tests/CMakeFiles/test_eval.dir/eval/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/eval/sensitivity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/nocw_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nocw_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nocw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/nocw_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nocw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nocw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

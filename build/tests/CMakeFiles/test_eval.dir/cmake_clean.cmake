@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval.dir/eval/flow_test.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/flow_test.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/layer_selection_test.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/layer_selection_test.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/multi_layer_test.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/multi_layer_test.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/probes_test.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/probes_test.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/quantized_flow_test.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/quantized_flow_test.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/sensitivity_test.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/sensitivity_test.cpp.o.d"
+  "test_eval"
+  "test_eval.pdb"
+  "test_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

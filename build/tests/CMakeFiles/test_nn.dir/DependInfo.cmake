@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/backward_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/backward_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/backward_test.cpp.o.d"
+  "/root/repo/tests/nn/digits_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/digits_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/digits_test.cpp.o.d"
+  "/root/repo/tests/nn/gemm_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gemm_test.cpp.o.d"
+  "/root/repo/tests/nn/graph_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/graph_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/metrics_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn/models_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/models_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/models_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o.d"
+  "/root/repo/tests/nn/train_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/train_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/train_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nocw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/config_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/config_test.cpp.o.d"
+  "/root/repo/tests/noc/network_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/network_test.cpp.o.d"
+  "/root/repo/tests/noc/router_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/router_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/router_test.cpp.o.d"
+  "/root/repo/tests/noc/routing_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/routing_test.cpp.o.d"
+  "/root/repo/tests/noc/traffic_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/traffic_test.cpp.o.d"
+  "/root/repo/tests/noc/vc_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/vc_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/vc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/nocw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nocw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

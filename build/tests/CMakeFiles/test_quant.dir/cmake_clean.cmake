@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/quant/affine_test.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/affine_test.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/fp16_test.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/fp16_test.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/quantized_codec_test.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/quantized_codec_test.cpp.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
