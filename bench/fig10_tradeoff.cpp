@@ -77,13 +77,16 @@ void run_model(const std::string& dir, nn::Model& model,
   std::vector<SeriesPoint> series;
   series.push_back(SeriesPoint{model.name, ev.baseline_accuracy(),
                                base.latency, base.energy});
-  for (double delta : delta_grid(model.name)) {
-    const eval::DeltaPoint p = ev.evaluate(delta);
+  // The δ points are independent; evaluate_many runs them concurrently on
+  // the global thread pool (bit-identical to the serial sweep).
+  const std::vector<eval::DeltaPoint> points =
+      ev.evaluate_many(delta_grid(model.name));
+  for (const eval::DeltaPoint& p : points) {
     accel::CompressionPlan plan;
     plan[ev.selected_layer()] = p.compression;
     const accel::InferenceResult comp = sim.simulate(summary, &plan);
-    series.push_back(SeriesPoint{"x-" + fmt_fixed(delta, 0), p.accuracy,
-                                 comp.latency, comp.energy});
+    series.push_back(SeriesPoint{"x-" + fmt_fixed(p.delta_percent, 0),
+                                 p.accuracy, comp.latency, comp.energy});
   }
   emit_model(dir, model, series);
 

@@ -1,17 +1,31 @@
 // Engineering micro-benchmarks (google-benchmark): codec throughput,
 // decompressor-unit rate, router/network cycle rate, GEMM, quantization.
 // Not a paper figure — these guard the simulator's own performance.
+//
+// After the google-benchmark suite, main() runs a GEMM/conv thread-scaling
+// sweep (1, 2, 4, N threads) and writes machine-readable results to
+// BENCH_parallel.json (path override: NOCW_BENCH_JSON) so later PRs can
+// track the perf trajectory of the parallel kernels.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/codec.hpp"
 #include "core/decompressor_unit.hpp"
 #include "nn/gemm.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
 #include "quant/affine.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -103,6 +117,21 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(128)->Arg(256);
 
+void BM_GemmParallel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  set_global_threads(static_cast<unsigned>(state.range(1)));
+  const auto a = weights(n * n, 1.0);
+  const auto b = weights(n * n, 1.0);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
+  set_global_threads(1);
+}
+BENCHMARK(BM_GemmParallel)->Args({512, 1})->Args({512, 2})->Args({512, 4});
+
 void BM_NocUniformTraffic(benchmark::State& state) {
   for (auto _ : state) {
     noc::Network net{noc::NocConfig{}};
@@ -128,6 +157,126 @@ void BM_NocScatterStream(benchmark::State& state) {
 }
 BENCHMARK(BM_NocScatterStream);
 
+// --- thread-scaling sweep → BENCH_parallel.json ----------------------------
+
+struct ScalePoint {
+  unsigned threads = 1;
+  double seconds = 0.0;
+};
+
+template <typename Fn>
+double best_seconds(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::vector<unsigned> scaling_thread_counts() {
+  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+  std::vector<unsigned> counts{1, 2, 4};
+  counts.push_back(hw);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void emit_results(std::FILE* f, const std::vector<ScalePoint>& pts,
+                  double flops) {
+  const double t1 = pts.front().seconds;
+  std::fprintf(f, "    \"results\": [\n");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::fprintf(f,
+                 "      {\"threads\": %u, \"seconds\": %.6f, "
+                 "\"gflops\": %.3f, \"speedup\": %.3f}%s\n",
+                 pts[i].threads, pts[i].seconds,
+                 flops / pts[i].seconds * 1e-9, t1 / pts[i].seconds,
+                 i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+}
+
+void write_parallel_scaling_report() {
+  const std::string path =
+      env_string("NOCW_BENCH_JSON", "BENCH_parallel.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  const std::vector<unsigned> counts = scaling_thread_counts();
+
+  // GEMM: the acceptance-size 512x512x512 product.
+  constexpr std::size_t kN = 512;
+  const auto a = weights(kN * kN, 1.0);
+  const auto b = weights(kN * kN, 1.0);
+  std::vector<float> c(kN * kN);
+  const double gemm_flops = 2.0 * kN * kN * kN;
+  std::vector<ScalePoint> gemm_pts;
+  for (unsigned t : counts) {
+    set_global_threads(t);
+    nn::gemm(a.data(), b.data(), c.data(), kN, kN, kN);  // warm up pool
+    gemm_pts.push_back(ScalePoint{
+        t, best_seconds(3, [&] {
+          nn::gemm(a.data(), b.data(), c.data(), kN, kN, kN);
+        })});
+  }
+
+  // Conv: a mid-network Same-padded 3x3 layer (im2col + GEMM path).
+  constexpr int kBatch = 4, kHW = 56, kCin = 32, kCout = 64;
+  nn::Conv2D conv("scaling_conv", kCin, kCout, 3, 3, 1, nn::Padding::Same);
+  {
+    Xoshiro256pp rng(7);
+    for (auto& v : conv.kernel()) v = static_cast<float>(rng.normal(0, 0.05));
+  }
+  nn::Tensor input({kBatch, kHW, kHW, kCin});
+  {
+    Xoshiro256pp rng(8);
+    for (auto& v : input.data()) v = static_cast<float>(rng.normal());
+  }
+  const nn::Tensor* conv_in[] = {&input};
+  const double conv_flops = 2.0 * kBatch * kHW * kHW * 9.0 * kCin * kCout;
+  std::vector<ScalePoint> conv_pts;
+  for (unsigned t : counts) {
+    set_global_threads(t);
+    (void)conv.forward(conv_in);  // warm up pool
+    conv_pts.push_back(ScalePoint{
+        t, best_seconds(3, [&] { (void)conv.forward(conv_in); })});
+  }
+  set_global_threads(1);
+
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"gemm\": {\n");
+  std::fprintf(f,
+               "    \"m\": %zu, \"k\": %zu, \"n\": %zu, \"flops\": %.0f,\n",
+               kN, kN, kN, gemm_flops);
+  emit_results(f, gemm_pts, gemm_flops);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"conv\": {\n");
+  std::fprintf(f,
+               "    \"batch\": %d, \"height\": %d, \"width\": %d, "
+               "\"in_channels\": %d, \"out_channels\": %d, \"flops\": %.0f,\n",
+               kBatch, kHW, kHW, kCin, kCout, conv_flops);
+  emit_results(f, conv_pts, conv_flops);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("thread-scaling results written to %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_parallel_scaling_report();
+  return 0;
+}

@@ -1,11 +1,13 @@
 #include "eval/flow.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "eval/layer_selection.hpp"
 #include "eval/probes.hpp"
 #include "nn/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nocw::eval {
 
@@ -43,6 +45,37 @@ void DeltaEvaluator::prepare(const nn::Tensor& inputs) {
 }
 
 DeltaPoint DeltaEvaluator::evaluate(double delta_percent) {
+  return evaluate_on(model_->graph, delta_percent);
+}
+
+std::vector<DeltaPoint> DeltaEvaluator::evaluate_many(
+    const std::vector<double>& delta_percents) {
+  std::vector<DeltaPoint> points(delta_percents.size());
+  ThreadPool& pool = global_pool();
+  if (pool.size() <= 1 || ThreadPool::in_parallel_region() ||
+      delta_percents.size() <= 1) {
+    for (std::size_t i = 0; i < delta_percents.size(); ++i) {
+      points[i] = evaluate(delta_percents[i]);
+    }
+    return points;
+  }
+  // Each lane replays the tail on its own replica; the caller's model is
+  // only read (by clone()), never mutated, while the sweep runs.
+  std::vector<std::unique_ptr<nn::Graph>> replicas(pool.size());
+  pool.parallel_for(
+      0, delta_percents.size(), /*grain=*/1,
+      [&](std::size_t i0, std::size_t i1, unsigned lane) {
+        auto& slot = replicas[lane];
+        if (!slot) slot = std::make_unique<nn::Graph>(model_->graph.clone());
+        for (std::size_t i = i0; i < i1; ++i) {
+          points[i] = evaluate_on(*slot, delta_percents[i]);
+        }
+      });
+  return points;
+}
+
+DeltaPoint DeltaEvaluator::evaluate_on(nn::Graph& graph,
+                                       double delta_percent) const {
   DeltaPoint point;
   point.delta_percent = delta_percent;
 
@@ -65,10 +98,9 @@ DeltaPoint DeltaEvaluator::evaluate(double delta_percent) {
   point.compression.weight_count = compressed.original_count;
 
   // Install the approximated weights, replay the tail, restore.
-  auto kernel = model_->graph.layer(selected_node_).kernel();
+  auto kernel = graph.layer(selected_node_).kernel();
   core::decompress(compressed, kernel);
-  const nn::Tensor outputs =
-      model_->graph.forward_tail(captured_, selected_node_);
+  const nn::Tensor outputs = graph.forward_tail(captured_, selected_node_);
   std::copy(original_weights_.begin(), original_weights_.end(),
             kernel.begin());
 

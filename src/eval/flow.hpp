@@ -56,6 +56,13 @@ class DeltaEvaluator {
   /// Compress the selected layer at δ, replay the tail, restore weights.
   [[nodiscard]] DeltaPoint evaluate(double delta_percent);
 
+  /// Evaluate a whole δ sweep. Points are independent, so they run
+  /// concurrently on the global thread pool (each lane replays the tail on
+  /// a private replica of the model); results are bit-identical to calling
+  /// evaluate() serially, in sweep order, for any NOCW_THREADS.
+  [[nodiscard]] std::vector<DeltaPoint> evaluate_many(
+      const std::vector<double>& delta_percents);
+
   /// Fraction of the model's parameters held by the selected layer.
   [[nodiscard]] double selected_fraction() const noexcept {
     return selected_fraction_;
@@ -66,6 +73,8 @@ class DeltaEvaluator {
 
  private:
   void prepare(const nn::Tensor& inputs);
+  [[nodiscard]] DeltaPoint evaluate_on(nn::Graph& graph,
+                                       double delta_percent) const;
 
   nn::Model* model_;
   EvalConfig cfg_;

@@ -6,6 +6,7 @@
 #include "core/codec.hpp"
 #include "eval/probes.hpp"
 #include "nn/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nocw::eval {
 
@@ -94,6 +95,40 @@ MultiLayerResult optimize_multi_layer(nn::Model& model,
   // frozen layers thaw then).
   std::vector<bool> frozen(layers.size(), false);
   for (int round = 0; round < cfg.max_rounds; ++round) {
+    // Compress this round's candidate ladder steps concurrently before the
+    // serial greedy walk consults them. compress() is a pure function of
+    // (weights, δ), so the cache contents — and therefore the whole greedy
+    // trajectory — are identical for any thread count; only the cache fill
+    // order is fixed (ascending li) to keep iteration deterministic.
+    std::vector<std::pair<int, int>> missing;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+      if (frozen[li]) continue;
+      const int next = layers[li].step + 1;
+      if (next >= static_cast<int>(cfg.delta_steps.size())) continue;
+      if (cache.find(std::make_pair(static_cast<int>(li), next)) ==
+          cache.end()) {
+        missing.emplace_back(static_cast<int>(li), next);
+      }
+    }
+    if (missing.size() > 1 && global_thread_count() > 1) {
+      std::vector<core::CompressedLayer> fresh(missing.size());
+      global_pool().parallel_for(
+          0, missing.size(), /*grain=*/1,
+          [&](std::size_t i0, std::size_t i1, unsigned /*lane*/) {
+            for (std::size_t i = i0; i < i1; ++i) {
+              core::CodecConfig ccfg;
+              ccfg.delta_percent = cfg.delta_steps[static_cast<std::size_t>(
+                  missing[i].second)];
+              fresh[i] = core::compress(
+                  layers[static_cast<std::size_t>(missing[i].first)].original,
+                  ccfg);
+            }
+          });
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        cache.emplace(missing[i], std::move(fresh[i]));
+      }
+    }
+
     // Rank candidate bumps by bits saved, then try them in order and commit
     // the first one that keeps the accuracy constraint. This needs only a
     // couple of forward passes per round instead of one per layer.

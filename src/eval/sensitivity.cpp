@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "eval/probes.hpp"
 #include "nn/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nocw::eval {
+
+namespace {
+
+struct LayerJob {
+  int node = -1;
+  std::vector<float> original;
+  double amp = 0.0;
+};
+
+}  // namespace
 
 std::vector<LayerSensitivity> sensitivity_analysis(
     nn::Model& model, const nn::Dataset* test, const SensitivityConfig& cfg) {
@@ -21,7 +33,6 @@ std::vector<LayerSensitivity> sensitivity_analysis(
   const double baseline_acc =
       test ? nn::topk_accuracy(baseline, test->labels, cfg.topk) : 1.0;
 
-  Xoshiro256pp rng(cfg.seed ^ 0xABCDEFULL);
   const auto param_nodes = model.graph.parameterized_nodes();
   double geo_mean_size = 1.0;
   if (cfg.equalize_energy) {
@@ -33,30 +44,72 @@ std::vector<LayerSensitivity> sensitivity_analysis(
     geo_mean_size = std::exp(log_sum / static_cast<double>(param_nodes.size()));
   }
 
-  std::vector<LayerSensitivity> out;
+  std::vector<LayerJob> jobs;
+  jobs.reserve(param_nodes.size());
   for (int idx : param_nodes) {
-    nn::Layer& layer = model.graph.layer(idx);
-    auto kernel = layer.kernel();
-    const std::vector<float> original(kernel.begin(), kernel.end());
+    const auto kernel = model.graph.layer(idx).kernel();
+    LayerJob job;
+    job.node = idx;
+    job.original.assign(kernel.begin(), kernel.end());
     const double range = value_range(kernel);
-    double amp = cfg.noise_fraction * (range > 0 ? range : 1.0);
+    job.amp = cfg.noise_fraction * (range > 0 ? range : 1.0);
     if (cfg.equalize_energy && !kernel.empty()) {
-      amp *= std::sqrt(geo_mean_size / static_cast<double>(kernel.size()));
+      job.amp *=
+          std::sqrt(geo_mean_size / static_cast<double>(kernel.size()));
     }
+    jobs.push_back(std::move(job));
+  }
 
+  // One task per (layer, trial) pair. Each task draws its noise from an RNG
+  // seeded by (cfg.seed, task index), so the stream a trial sees is fixed no
+  // matter how tasks land on threads; per-task accuracies are reduced in
+  // task order below, keeping the floating-point sum order fixed too.
+  const std::size_t trials = static_cast<std::size_t>(cfg.trials);
+  const std::size_t tasks = jobs.size() * trials;
+  std::vector<double> task_acc(tasks, 0.0);
+
+  ThreadPool& pool = global_pool();
+  // Weight mutation is not thread-safe on a shared graph: with one lane the
+  // model's own graph is perturbed and restored in place (the historical
+  // serial path, zero copies); with several lanes each lane lazily clones a
+  // private replica and the caller's model is never touched concurrently.
+  std::vector<std::unique_ptr<nn::Graph>> replicas(pool.size());
+  auto graph_for_lane = [&](unsigned lane) -> nn::Graph& {
+    if (pool.size() <= 1) return model.graph;
+    auto& slot = replicas[lane];
+    if (!slot) slot = std::make_unique<nn::Graph>(model.graph.clone());
+    return *slot;
+  };
+
+  pool.parallel_for(
+      0, tasks, /*grain=*/1,
+      [&](std::size_t t0, std::size_t t1, unsigned lane) {
+        nn::Graph& graph = graph_for_lane(lane);
+        for (std::size_t t = t0; t < t1; ++t) {
+          const LayerJob& job = jobs[t / trials];
+          auto kernel = graph.layer(job.node).kernel();
+          Xoshiro256pp rng(task_seed(cfg.seed ^ 0xABCDEFULL, t));
+          for (std::size_t i = 0; i < kernel.size(); ++i) {
+            kernel[i] = job.original[i] +
+                        static_cast<float>(rng.uniform(-job.amp, job.amp));
+          }
+          const nn::Tensor outputs = graph.forward(inputs);
+          task_acc[t] =
+              test ? nn::topk_accuracy(outputs, test->labels, cfg.topk)
+                   : nn::mean_topk_agreement(baseline, outputs, cfg.topk);
+          std::copy(job.original.begin(), job.original.end(), kernel.begin());
+        }
+      });
+
+  std::vector<LayerSensitivity> out;
+  out.reserve(jobs.size());
+  for (std::size_t li = 0; li < jobs.size(); ++li) {
     double acc_sum = 0.0;
-    for (int t = 0; t < cfg.trials; ++t) {
-      for (std::size_t i = 0; i < kernel.size(); ++i) {
-        kernel[i] = original[i] +
-                    static_cast<float>(rng.uniform(-amp, amp));
-      }
-      const nn::Tensor outputs = model.graph.forward(inputs);
-      acc_sum += test ? nn::topk_accuracy(outputs, test->labels, cfg.topk)
-                      : nn::mean_topk_agreement(baseline, outputs, cfg.topk);
-      std::copy(original.begin(), original.end(), kernel.begin());
+    for (std::size_t t = 0; t < trials; ++t) {
+      acc_sum += task_acc[li * trials + t];
     }
     LayerSensitivity s;
-    s.layer = layer.name();
+    s.layer = model.graph.layer(jobs[li].node).name();
     s.accuracy_drop =
         std::max(0.0, baseline_acc - acc_sum / cfg.trials);
     out.push_back(std::move(s));

@@ -3,44 +3,95 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/thread_pool.hpp"
+
 namespace nocw::nn {
 
 namespace {
-// Block sizes chosen so an A-panel (kMb x kKb) and C-panel rows stay in L1/L2.
+// Block sizes chosen so an A-panel (kMb x kKb) stays in L1/L2 and the C rows
+// being updated (kMb x kNb floats) stay cache-resident even when n is the
+// 4096-wide classifier of AlexNet/VGG.
 constexpr std::size_t kMb = 64;
 constexpr std::size_t kKb = 256;
-}  // namespace
+constexpr std::size_t kNb = 512;
 
-void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t i0 = 0; i0 < m; i0 += kMb) {
-    const std::size_t i1 = std::min(i0 + kMb, m);
+/// Compute rows [i0, i1) of C. Per-element accumulation order is ascending
+/// k regardless of the j/k blocking, so any row partition of the M loop
+/// produces bit-identical C.
+template <bool kSkipZeros>
+void gemm_rows(const float* a, const float* b, float* c, std::size_t i0,
+               std::size_t i1, std::size_t k, std::size_t n) {
+  for (std::size_t ib = i0; ib < i1; ib += kMb) {
+    const std::size_t ie = std::min(ib + kMb, i1);
     for (std::size_t p0 = 0; p0 < k; p0 += kKb) {
       const std::size_t p1 = std::min(p0 + kKb, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * n;
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float av = arow[p];
-          if (av == 0.0F) continue;  // im2col zero padding is common
-          const float* brow = b + p * n;
-          // Inner loop over n: contiguous FMA chain, auto-vectorized.
-          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (std::size_t j0 = 0; j0 < n; j0 += kNb) {
+        const std::size_t jn = std::min(j0 + kNb, n) - j0;
+        for (std::size_t i = ib; i < ie; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n + j0;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float av = arow[p];
+            if constexpr (kSkipZeros) {
+              if (av == 0.0F) continue;  // im2col zero padding is common
+            }
+            const float* brow = b + p * n + j0;
+            // Inner loop over n: contiguous FMA chain, auto-vectorized.
+            for (std::size_t j = 0; j < jn; ++j) crow[j] += av * brow[j];
+          }
         }
       }
     }
   }
 }
 
+/// Deterministic density probe: sample a strided subset of A and skip zeros
+/// only when they are frequent enough to pay for the per-element branch.
+bool should_skip_zeros(const float* a, std::size_t count) {
+  if (count == 0) return false;
+  const std::size_t samples = std::min<std::size_t>(count, 257);
+  const std::size_t stride = count / samples;
+  std::size_t zeros = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (a[s * stride] == 0.0F) ++zeros;
+  }
+  return zeros * 8 >= samples;  // >= 12.5% exact zeros
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate, GemmMode mode) {
+  if (m == 0 || n == 0) return;
+  const bool skip_zeros =
+      mode == GemmMode::Sparse ||
+      (mode == GemmMode::Auto && should_skip_zeros(a, m * k));
+  global_pool().parallel_for(
+      0, m, /*grain=*/kMb,
+      [&](std::size_t i0, std::size_t i1, unsigned /*lane*/) {
+        if (!accumulate) {
+          std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+        }
+        if (skip_zeros) {
+          gemm_rows<true>(a, b, c, i0, i1, k, n);
+        } else {
+          gemm_rows<false>(a, b, c, i0, i1, k, n);
+        }
+      });
+}
+
 void gemv(const float* a, const float* x, float* y, std::size_t m,
           std::size_t k, bool accumulate) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float acc = accumulate ? y[i] : 0.0F;
-    for (std::size_t p = 0; p < k; ++p) acc += arow[p] * x[p];
-    y[i] = acc;
-  }
+  global_pool().parallel_for(
+      0, m, /*grain=*/128,
+      [&](std::size_t i0, std::size_t i1, unsigned /*lane*/) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* arow = a + i * k;
+          float acc = accumulate ? y[i] : 0.0F;
+          for (std::size_t p = 0; p < k; ++p) acc += arow[p] * x[p];
+          y[i] = acc;
+        }
+      });
 }
 
 }  // namespace nocw::nn

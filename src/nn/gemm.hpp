@@ -1,21 +1,36 @@
-// Minimal single-threaded GEMM tuned for the conv/dense layers in the zoo.
+// Multi-threaded GEMM tuned for the conv/dense layers in the zoo.
 //
 // C[M x N] (+)= A[M x K] * B[K x N], all row-major. The kernel blocks over K
-// and unrolls over N so GCC auto-vectorizes the inner loop; on one laptop
-// core this reaches a few GFLOP/s, enough to run full-resolution VGG-16
-// probe passes in seconds. No transposed variants are needed: im2col lays
-// patches out so conv is exactly this product.
+// and N so the B-panel and the C rows being updated stay cache-resident, and
+// the inner loop is a contiguous FMA chain GCC auto-vectorizes. M-row blocks
+// are distributed over the global thread pool: each lane owns a disjoint set
+// of C rows and the per-element accumulation order (ascending k) is
+// identical to the serial kernel, so results are bit-exact for any
+// NOCW_THREADS. No transposed variants are needed: im2col lays patches out
+// so conv is exactly this product.
 #pragma once
 
 #include <cstddef>
 
 namespace nocw::nn {
 
+/// How the kernel treats zero entries of A.
+///
+/// im2col matrices of Same-padded convs and post-ReLU activations are full
+/// of exact zeros, and skipping them (`Sparse`) beats multiplying by them.
+/// For dense operands the per-element branch costs ~15% — `Dense` hoists it
+/// out of the hot path. `Auto` (the default) samples A once and picks.
+/// The two paths differ at most in the sign of a floating-point zero; mode
+/// choice never depends on thread count, so determinism is preserved.
+enum class GemmMode { Auto, Dense, Sparse };
+
 /// C = A*B (beta = 0) or C += A*B (accumulate = true).
 void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n, bool accumulate = false);
+          std::size_t k, std::size_t n, bool accumulate = false,
+          GemmMode mode = GemmMode::Auto);
 
-/// y = A*x (+ y), the M x K by K matrix-vector special case.
+/// y = A*x (+ y), the M x K by K matrix-vector special case. Parallel over
+/// output rows; each row is an independent dot product (bit-exact).
 void gemv(const float* a, const float* x, float* y, std::size_t m,
           std::size_t k, bool accumulate = false);
 

@@ -1,6 +1,9 @@
 #include "nn/graph.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace nocw::nn {
 
@@ -31,6 +34,15 @@ int Graph::find(const std::string& name) const noexcept {
   return -1;
 }
 
+Graph Graph::clone() const {
+  Graph g;
+  g.nodes_.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    g.nodes_.push_back(Node{n.layer->clone(), n.inputs});
+  }
+  return g;
+}
+
 namespace {
 
 /// Index of the last node consuming each node's output (-1 = never used).
@@ -45,6 +57,47 @@ std::vector<int> last_use(const std::vector<Graph::Node>& nodes) {
 }  // namespace
 
 Tensor Graph::forward(const Tensor& input) const {
+  const int batch = input.rank() > 0 ? input.dim(0) : 0;
+  if (batch >= 2 && global_pool().size() > 1 &&
+      !ThreadPool::in_parallel_region()) {
+    return forward_batched(input);
+  }
+  return forward_serial(input);
+}
+
+Tensor Graph::forward_batched(const Tensor& input) const {
+  ThreadPool& pool = global_pool();
+  const std::size_t batch = static_cast<std::size_t>(input.dim(0));
+  const std::size_t in_stride = input.size() / batch;
+  // One contiguous sub-batch per chunk; chunk index = b0 / grain. Sample
+  // independence makes the stitched output bit-identical to the serial pass.
+  const std::size_t grain = (batch + pool.size() - 1) / pool.size();
+  std::vector<Tensor> parts((batch + grain - 1) / grain);
+  pool.parallel_for(
+      0, batch, grain, [&](std::size_t b0, std::size_t b1, unsigned /*lane*/) {
+        std::vector<int> sub_shape = input.shape();
+        sub_shape[0] = static_cast<int>(b1 - b0);
+        Tensor sub(std::move(sub_shape));
+        std::memcpy(sub.raw(), input.raw() + b0 * in_stride,
+                    (b1 - b0) * in_stride * sizeof(float));
+        parts[b0 / grain] = forward_serial(sub);
+      });
+  std::vector<int> out_shape = parts.front().shape();
+  const std::size_t out_stride =
+      parts.front().size() /
+      static_cast<std::size_t>(parts.front().dim(0));
+  out_shape[0] = static_cast<int>(batch);
+  Tensor out(std::move(out_shape));
+  std::size_t row = 0;
+  for (const Tensor& p : parts) {
+    std::memcpy(out.raw() + row * out_stride, p.raw(),
+                p.size() * sizeof(float));
+    row += static_cast<std::size_t>(p.dim(0));
+  }
+  return out;
+}
+
+Tensor Graph::forward_serial(const Tensor& input) const {
   if (nodes_.empty()) throw std::logic_error("empty graph");
   const std::vector<int> last = last_use(nodes_);
   std::vector<Tensor> outputs(nodes_.size());

@@ -42,7 +42,16 @@ class Graph {
   /// Index of the node whose layer has this name; -1 if absent.
   [[nodiscard]] int find(const std::string& name) const noexcept;
 
-  /// Full forward pass; returns the last node's output.
+  /// Deep copy: every layer's inference state is cloned, edges preserved.
+  /// Parallel evaluation sweeps give each thread its own replica so weight
+  /// mutation (noise injection, δ-compression) needs no locking.
+  [[nodiscard]] Graph clone() const;
+
+  /// Full forward pass; returns the last node's output. When the global
+  /// thread pool has more than one lane and the batch has 2+ samples, the
+  /// batch is split into contiguous sub-batches executed concurrently;
+  /// samples are independent, so outputs are bit-identical to the serial
+  /// sweep for any NOCW_THREADS.
   [[nodiscard]] Tensor forward(const Tensor& input) const;
 
   /// Forward pass that also returns the (single) input tensor feeding node
@@ -65,6 +74,9 @@ class Graph {
   [[nodiscard]] std::vector<int> parameterized_nodes() const;
 
  private:
+  [[nodiscard]] Tensor forward_serial(const Tensor& input) const;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input) const;
+
   std::vector<Node> nodes_;
 };
 

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "nn/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nocw::nn {
 
@@ -56,6 +57,15 @@ void require_rank(const Tensor& t, int rank, const char* what) {
   }
 }
 
+/// Chunk size for parallelizing a conv's output-row loop: coarse enough to
+/// amortize dispatch, fine enough to balance. Chunk boundaries never affect
+/// results (each output row is written by exactly one chunk).
+std::size_t row_grain(int rows) {
+  const unsigned lanes = global_thread_count();
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(rows) / (static_cast<std::size_t>(lanes) * 4));
+}
+
 }  // namespace
 
 // --- InputLayer ------------------------------------------------------------
@@ -102,39 +112,49 @@ Tensor Conv2D::forward(std::span<const Tensor* const> inputs) const {
   std::vector<float> cols(static_cast<std::size_t>(oh) * ow * k);
 
   for (int img = 0; img < n; ++img) {
-    // im2col: one row of `cols` per output position.
-    float* col = cols.data();
-    for (int y = 0; y < oh; ++y) {
-      for (int x = 0; x < ow; ++x) {
-        for (int ky = 0; ky < kh_; ++ky) {
-          const int iy = y * stride_ - pad_top + ky;
-          float* dst = col + (static_cast<std::size_t>(ky) * kw_) * cin_;
-          if (iy < 0 || iy >= h) {
-            std::memset(dst, 0, static_cast<std::size_t>(kw_) * cin_ *
-                                    sizeof(float));
-            continue;
-          }
-          const int ix0 = x * stride_ - pad_left;
-          if (ix0 >= 0 && ix0 + kw_ <= w) {
-            std::memcpy(dst, &in.at(img, iy, ix0, 0),
-                        static_cast<std::size_t>(kw_) * cin_ * sizeof(float));
-          } else {
-            for (int kx = 0; kx < kw_; ++kx) {
-              const int ix = ix0 + kx;
-              float* d = dst + static_cast<std::size_t>(kx) * cin_;
-              if (ix < 0 || ix >= w) {
-                std::memset(d, 0, static_cast<std::size_t>(cin_) *
+    // im2col: one row of `cols` per output position. Output rows are
+    // disjoint `cols` slices, so the y loop parallelizes without
+    // synchronization (and runs inline when already inside a parallel
+    // region, e.g. a batched Graph::forward).
+    global_pool().parallel_for(
+        0, static_cast<std::size_t>(oh), row_grain(oh),
+        [&](std::size_t y0, std::size_t y1, unsigned /*lane*/) {
+          for (std::size_t y = y0; y < y1; ++y) {
+            float* col = cols.data() + y * ow * k;
+            for (int x = 0; x < ow; ++x) {
+              for (int ky = 0; ky < kh_; ++ky) {
+                const int iy =
+                    static_cast<int>(y) * stride_ - pad_top + ky;
+                float* dst = col + (static_cast<std::size_t>(ky) * kw_) * cin_;
+                if (iy < 0 || iy >= h) {
+                  std::memset(dst, 0, static_cast<std::size_t>(kw_) * cin_ *
+                                          sizeof(float));
+                  continue;
+                }
+                const int ix0 = x * stride_ - pad_left;
+                if (ix0 >= 0 && ix0 + kw_ <= w) {
+                  std::memcpy(dst, &in.at(img, iy, ix0, 0),
+                              static_cast<std::size_t>(kw_) * cin_ *
+                                  sizeof(float));
+                } else {
+                  for (int kx = 0; kx < kw_; ++kx) {
+                    const int ix = ix0 + kx;
+                    float* d = dst + static_cast<std::size_t>(kx) * cin_;
+                    if (ix < 0 || ix >= w) {
+                      std::memset(d, 0, static_cast<std::size_t>(cin_) *
+                                            sizeof(float));
+                    } else {
+                      std::memcpy(d, &in.at(img, iy, ix, 0),
+                                  static_cast<std::size_t>(cin_) *
                                       sizeof(float));
-              } else {
-                std::memcpy(d, &in.at(img, iy, ix, 0),
-                            static_cast<std::size_t>(cin_) * sizeof(float));
+                    }
+                  }
+                }
               }
+              col += k;
             }
           }
-        }
-        col += k;
-      }
-    }
+        });
     float* dst = &out.at(img, 0, 0, 0);
     gemm(cols.data(), kernel_.data(), dst,
          static_cast<std::size_t>(oh) * ow, k,
@@ -243,29 +263,38 @@ Tensor DepthwiseConv2D::forward(std::span<const Tensor* const> inputs) const {
 
   Tensor out({n, oh, ow, channels_});
   for (int img = 0; img < n; ++img) {
-    for (int y = 0; y < oh; ++y) {
-      for (int x = 0; x < ow; ++x) {
-        float* o = &out.at(img, y, x, 0);
-        if (bias_.empty()) {
-          for (int ci = 0; ci < channels_; ++ci) o[ci] = 0.0F;
-        } else {
-          for (int ci = 0; ci < channels_; ++ci) o[ci] = bias_[ci];
-        }
-        for (int ky = 0; ky < kh_; ++ky) {
-          const int iy = y * stride_ - pad_top + ky;
-          if (iy < 0 || iy >= h) continue;
-          for (int kx = 0; kx < kw_; ++kx) {
-            const int ix = x * stride_ - pad_left + kx;
-            if (ix < 0 || ix >= w) continue;
-            const float* iv = &in.at(img, iy, ix, 0);
-            const float* kv =
-                kernel_.data() +
-                (static_cast<std::size_t>(ky) * kw_ + kx) * channels_;
-            for (int ci = 0; ci < channels_; ++ci) o[ci] += iv[ci] * kv[ci];
+    // Each output row is written by exactly one chunk: safe, bit-exact
+    // parallelism (per-pixel accumulation order is unchanged).
+    global_pool().parallel_for(
+        0, static_cast<std::size_t>(oh), row_grain(oh),
+        [&](std::size_t y0, std::size_t y1, unsigned /*lane*/) {
+          for (std::size_t yz = y0; yz < y1; ++yz) {
+            const int y = static_cast<int>(yz);
+            for (int x = 0; x < ow; ++x) {
+              float* o = &out.at(img, y, x, 0);
+              if (bias_.empty()) {
+                for (int ci = 0; ci < channels_; ++ci) o[ci] = 0.0F;
+              } else {
+                for (int ci = 0; ci < channels_; ++ci) o[ci] = bias_[ci];
+              }
+              for (int ky = 0; ky < kh_; ++ky) {
+                const int iy = y * stride_ - pad_top + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < kw_; ++kx) {
+                  const int ix = x * stride_ - pad_left + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  const float* iv = &in.at(img, iy, ix, 0);
+                  const float* kv =
+                      kernel_.data() +
+                      (static_cast<std::size_t>(ky) * kw_ + kx) * channels_;
+                  for (int ci = 0; ci < channels_; ++ci) {
+                    o[ci] += iv[ci] * kv[ci];
+                  }
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
   }
   return out;
 }
@@ -617,6 +646,88 @@ Tensor Concat::forward(std::span<const Tensor* const> inputs) const {
     }
   }
   return out;
+}
+
+// --- clone() -----------------------------------------------------------------
+// Inference state only: weights, bias, statistics. Gradient buffers start
+// empty in the clone (replicas are forward-only).
+
+std::unique_ptr<Layer> InputLayer::clone() const {
+  return std::make_unique<InputLayer>(name(), shape_);
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto c = std::make_unique<Conv2D>(name(), cin_, cout_, kh_, kw_, stride_,
+                                    padding_, !bias_.empty());
+  c->kernel_ = kernel_;
+  c->bias_ = bias_;
+  return c;
+}
+
+std::unique_ptr<Layer> DepthwiseConv2D::clone() const {
+  auto c = std::make_unique<DepthwiseConv2D>(name(), channels_, kh_, kw_,
+                                             stride_, padding_,
+                                             !bias_.empty());
+  c->kernel_ = kernel_;
+  c->bias_ = bias_;
+  return c;
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto c = std::make_unique<Dense>(name(), in_, out_);
+  c->kernel_ = kernel_;
+  c->bias_ = bias_;
+  return c;
+}
+
+std::unique_ptr<Layer> MaxPool::clone() const {
+  return std::make_unique<MaxPool>(name(), pool_, stride_, padding_);
+}
+
+std::unique_ptr<Layer> AvgPool::clone() const {
+  return std::make_unique<AvgPool>(name(), pool_, stride_, padding_);
+}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>(name());
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  return std::make_unique<ReLU>(name());
+}
+
+std::unique_ptr<Layer> ReLU6::clone() const {
+  return std::make_unique<ReLU6>(name());
+}
+
+std::unique_ptr<Layer> Softmax::clone() const {
+  return std::make_unique<Softmax>(name());
+}
+
+std::unique_ptr<Layer> Reshape::clone() const {
+  return std::make_unique<Reshape>(name(), per_sample_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>(name());
+}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  auto c = std::make_unique<BatchNorm>(
+      name(), static_cast<int>(gamma_.size()), eps_);
+  c->gamma_ = gamma_;
+  c->beta_ = beta_;
+  c->mean_ = mean_;
+  c->var_ = var_;
+  return c;
+}
+
+std::unique_ptr<Layer> Add::clone() const {
+  return std::make_unique<Add>(name());
+}
+
+std::unique_ptr<Layer> Concat::clone() const {
+  return std::make_unique<Concat>(name());
 }
 
 }  // namespace nocw::nn

@@ -59,6 +59,12 @@ class Layer {
   [[nodiscard]] virtual Tensor forward(
       std::span<const Tensor* const> inputs) const = 0;
 
+  /// Deep copy of the layer's inference state (weights, bias, statistics;
+  /// training gradients are not carried over). Parallel evaluation sweeps
+  /// clone whole graphs to give every thread an independently mutable
+  /// weight set — see Graph::clone().
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
   /// The compressible weight succession (empty for parameterless layers).
   [[nodiscard]] virtual std::span<float> kernel() { return {}; }
   [[nodiscard]] virtual std::span<const float> kernel() const { return {}; }
@@ -95,6 +101,7 @@ class InputLayer final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] const std::vector<int>& input_shape() const noexcept {
     return shape_;
   }
@@ -115,6 +122,7 @@ class Conv2D final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::span<float> kernel() override { return kernel_; }
   [[nodiscard]] std::span<const float> kernel() const override {
     return kernel_;
@@ -156,6 +164,7 @@ class DepthwiseConv2D final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::span<float> kernel() override { return kernel_; }
   [[nodiscard]] std::span<const float> kernel() const override {
     return kernel_;
@@ -187,6 +196,7 @@ class Dense final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::span<float> kernel() override { return kernel_; }
   [[nodiscard]] std::span<const float> kernel() const override {
     return kernel_;
@@ -223,6 +233,7 @@ class MaxPool final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   /// Training path supports Valid padding (the LeNet-5 configuration).
   [[nodiscard]] std::vector<Tensor> backward(
       std::span<const Tensor* const> inputs, const Tensor& grad_out) override;
@@ -245,6 +256,7 @@ class AvgPool final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] int pool() const noexcept { return pool_; }
   [[nodiscard]] int stride() const noexcept { return stride_; }
   [[nodiscard]] Padding padding() const noexcept { return padding_; }
@@ -262,6 +274,7 @@ class GlobalAvgPool final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 };
 
 class ReLU final : public Layer {
@@ -272,6 +285,7 @@ class ReLU final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::vector<Tensor> backward(
       std::span<const Tensor* const> inputs, const Tensor& grad_out) override;
 };
@@ -284,6 +298,7 @@ class ReLU6 final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 };
 
 class Softmax final : public Layer {
@@ -294,6 +309,7 @@ class Softmax final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 };
 
 /// Reshape to a fixed per-sample shape (batch dim preserved). Used e.g. by
@@ -309,6 +325,7 @@ class Reshape final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] const std::vector<int>& per_sample_shape() const noexcept {
     return per_sample_;
   }
@@ -325,6 +342,7 @@ class Flatten final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::vector<Tensor> backward(
       std::span<const Tensor* const> inputs, const Tensor& grad_out) override;
 };
@@ -341,6 +359,7 @@ class BatchNorm final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   /// BatchNorm's "kernel" for compression purposes is gamma (rarely chosen
   /// by the layer-selection policy, but exposed for completeness).
   [[nodiscard]] std::span<float> kernel() override { return gamma_; }
@@ -368,6 +387,7 @@ class Add final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 };
 
 /// Concatenation along the channel (last) axis.
@@ -379,6 +399,7 @@ class Concat final : public Layer {
   }
   [[nodiscard]] Tensor forward(
       std::span<const Tensor* const> inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 };
 
 /// Output spatial extent for a conv/pool window.

@@ -1,0 +1,186 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/env.hpp"
+
+namespace nocw {
+
+namespace {
+
+// Region state of the calling thread. Workers set these while executing
+// chunks; the submitting thread sets them while it participates. Nested
+// parallel_for calls observe tl_in_region and run inline on tl_lane.
+thread_local bool tl_in_region = false;
+thread_local unsigned tl_lane = 0;
+
+}  // namespace
+
+struct ThreadPool::Job {
+  const ChunkFn* fn = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunk_count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<unsigned> pending_lanes{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+};
+
+ThreadPool::ThreadPool(unsigned threads) : lanes_(std::max(threads, 1U)) {
+  workers_.reserve(lanes_ - 1);
+  for (unsigned lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return tl_in_region; }
+
+unsigned ThreadPool::current_lane() noexcept { return tl_lane; }
+
+void ThreadPool::run_chunks(Job& job, unsigned lane) {
+  tl_in_region = true;
+  tl_lane = lane;
+  for (;;) {
+    const std::size_t idx = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= job.chunk_count) break;
+    const std::size_t b = job.begin + idx * job.grain;
+    const std::size_t e = std::min(b + job.grain, job.end);
+    try {
+      (*job.fn)(b, e, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+  tl_in_region = false;
+  tl_lane = 0;
+}
+
+void ThreadPool::worker_main(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wake_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != seen);
+      });
+      if (stop_) return;
+      job = job_;
+      seen = job_seq_;
+    }
+    run_chunks(*job, lane);
+    if (job->pending_lanes.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last lane out signals the submitter. Notify under mu_ so the wait
+      // predicate below cannot miss the transition.
+      std::lock_guard<std::mutex> lk(mu_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const ChunkFn& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  // Serial fast path: one lane, nested call, or a range that fits a single
+  // chunk. One direct call, no synchronization. Correct because chunk
+  // boundaries are forbidden (by contract) from affecting results.
+  if (lanes_ <= 1 || tl_in_region || end - begin <= grain) {
+    fn(begin, end, tl_lane);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunk_count = (end - begin + grain - 1) / grain;
+  job.pending_lanes.store(lanes_, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  wake_.notify_all();
+
+  run_chunks(job, /*lane=*/0);
+
+  if (job.pending_lanes.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [&] {
+      return job.pending_lanes.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
+
+unsigned default_thread_count() {
+  const std::int64_t requested = env_int("NOCW_THREADS", 0);
+  if (requested > 0) {
+    return static_cast<unsigned>(std::min<std::int64_t>(requested, 512));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  ThreadPool* p = g_pool_ptr.load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(default_thread_count());
+    g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+  }
+  return *g_pool;
+}
+
+void set_global_threads(unsigned threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // joins old workers before the replacement spins up
+  g_pool = std::make_unique<ThreadPool>(std::max(threads, 1U));
+  g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+}
+
+unsigned global_thread_count() { return global_pool().size(); }
+
+std::uint64_t task_seed(std::uint64_t seed, std::uint64_t task_index) noexcept {
+  // SplitMix64 finalizer over a golden-ratio stride: adjacent task indices
+  // land in uncorrelated streams, and the mapping is pure (thread-count and
+  // schedule independent).
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace nocw

@@ -1,0 +1,155 @@
+// The parallel kernels promise bit-identical results for any thread count.
+// These tests pin that contract: reference outputs computed at 1 thread must
+// match exactly (EXPECT_EQ on floats, not EXPECT_NEAR) at 2 and 8 threads.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/models.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nocw::nn {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed,
+                              double zero_fraction = 0.0) {
+  Xoshiro256pp rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = rng.uniform() < zero_fraction ? 0.0F
+                                      : static_cast<float>(rng.normal());
+  }
+  return v;
+}
+
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_threads(1); }
+};
+
+TEST_F(ParallelDeterminism, GemmMatchesSerialAcrossThreadCounts) {
+  // m spans several row-blocks so the parallel path really splits the work;
+  // 30% zeros exercises the sparse (zero-skipping) kernel.
+  const std::size_t m = 150, k = 64, n = 48;
+  const auto a = random_vec(m * k, 1, 0.3);
+  const auto b = random_vec(k * n, 2);
+
+  set_global_threads(1);
+  std::vector<float> ref(m * n);
+  gemm(a.data(), b.data(), ref.data(), m, k, n);
+
+  for (unsigned threads : {2U, 8U}) {
+    set_global_threads(threads);
+    std::vector<float> out(m * n, -1.0F);
+    gemm(a.data(), b.data(), out.data(), m, k, n);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(out[i], ref[i]) << "threads " << threads << " index " << i;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, GemmAccumulateMatchesSerial) {
+  const std::size_t m = 70, k = 33, n = 17;
+  const auto a = random_vec(m * k, 3);
+  const auto b = random_vec(k * n, 4);
+  const auto base = random_vec(m * n, 5);
+
+  set_global_threads(1);
+  std::vector<float> ref = base;
+  gemm(a.data(), b.data(), ref.data(), m, k, n, /*accumulate=*/true);
+
+  set_global_threads(8);
+  std::vector<float> out = base;
+  gemm(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/true);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(out[i], ref[i]) << "index " << i;
+  }
+}
+
+TEST_F(ParallelDeterminism, GemmDenseAndSparseModesAgreeOnNonzeroData) {
+  // With no exact zeros in A the zero-skip test never fires, so the dense
+  // and sparse kernels must produce identical bits.
+  const std::size_t m = 40, k = 31, n = 23;
+  const auto a = random_vec(m * k, 6);
+  const auto b = random_vec(k * n, 7);
+  std::vector<float> dense(m * n);
+  std::vector<float> sparse(m * n);
+  gemm(a.data(), b.data(), dense.data(), m, k, n, false, GemmMode::Dense);
+  gemm(a.data(), b.data(), sparse.data(), m, k, n, false, GemmMode::Sparse);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    ASSERT_EQ(dense[i], sparse[i]) << "index " << i;
+  }
+}
+
+TEST_F(ParallelDeterminism, GemvMatchesSerialAcrossThreadCounts) {
+  const std::size_t m = 600, n = 37;
+  const auto a = random_vec(m * n, 8, 0.2);
+  const auto x = random_vec(n, 9);
+
+  set_global_threads(1);
+  std::vector<float> ref(m);
+  gemv(a.data(), x.data(), ref.data(), m, n);
+
+  for (unsigned threads : {2U, 8U}) {
+    set_global_threads(threads);
+    std::vector<float> out(m, -1.0F);
+    gemv(a.data(), x.data(), out.data(), m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(out[i], ref[i]) << "threads " << threads << " row " << i;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, GraphForwardBitIdenticalAcrossThreadCounts) {
+  // Batch >= 8 so the batched path splits across lanes at 8 threads; LeNet-5
+  // covers conv (im2col), pooling, dense (gemm) and softmax layers.
+  Model m = make_lenet5();
+  Tensor input({8, m.input_size, m.input_size, m.input_channels});
+  {
+    Xoshiro256pp rng(10);
+    for (auto& v : input.data()) v = static_cast<float>(rng.normal());
+  }
+
+  set_global_threads(1);
+  const Tensor ref = m.graph.forward(input);
+
+  for (unsigned threads : {2U, 8U}) {
+    set_global_threads(threads);
+    const Tensor out = m.graph.forward(input);
+    ASSERT_EQ(out.shape(), ref.shape()) << "threads " << threads;
+    for (std::size_t i = 0; i < ref.data().size(); ++i) {
+      ASSERT_EQ(out.data()[i], ref.data()[i])
+          << "threads " << threads << " index " << i;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, CloneIsDeepAndForwardEquivalent) {
+  Model m = make_lenet5();
+  Graph copy = m.graph.clone();
+
+  Tensor input({2, m.input_size, m.input_size, m.input_channels});
+  {
+    Xoshiro256pp rng(11);
+    for (auto& v : input.data()) v = static_cast<float>(rng.normal());
+  }
+  const Tensor a = m.graph.forward(input);
+  const Tensor b = copy.forward(input);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "index " << i;
+  }
+
+  // Mutating the clone must not leak into the original (deep copy).
+  const int idx = copy.find("dense_1");
+  auto kernel = copy.layer(idx).kernel();
+  const float before = m.graph.layer(idx).kernel()[0];
+  kernel[0] += 1.0F;
+  EXPECT_EQ(m.graph.layer(idx).kernel()[0], before);
+}
+
+}  // namespace
+}  // namespace nocw::nn

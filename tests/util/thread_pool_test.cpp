@@ -1,0 +1,169 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace nocw {
+namespace {
+
+TEST(ThreadPool, SizeCountsLanesIncludingCaller) {
+  ThreadPool p1(1);
+  EXPECT_EQ(p1.size(), 1U);
+  ThreadPool p4(4);
+  EXPECT_EQ(p4.size(), 4U);
+  ThreadPool p0(0);  // clamped
+  EXPECT_EQ(p0.size(), 1U);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t, unsigned) {
+    calls.fetch_add(1);
+  });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t, unsigned) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SerialFastPathIsOneCallOverTheFullRange) {
+  ThreadPool pool(1);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(3, 103, 10,
+                    [&](std::size_t b, std::size_t e, unsigned lane) {
+                      chunks.emplace_back(b, e);
+                      EXPECT_EQ(lane, 0U);
+                    });
+  ASSERT_EQ(chunks.size(), 1U);
+  EXPECT_EQ(chunks[0].first, 3U);
+  EXPECT_EQ(chunks[0].second, 103U);
+}
+
+TEST(ThreadPool, EveryIndexCoveredExactlyOnce) {
+  for (unsigned threads : {2U, 3U, 8U}) {
+    for (std::size_t grain : {1UL, 7UL, 64UL}) {
+      ThreadPool pool(threads);
+      constexpr std::size_t kRange = 1000;
+      std::vector<std::atomic<int>> hits(kRange);
+      for (auto& h : hits) h.store(0);
+      pool.parallel_for(0, kRange, grain,
+                        [&](std::size_t b, std::size_t e, unsigned) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            hits[i].fetch_add(1);
+                          }
+                        });
+      for (std::size_t i = 0; i < kRange; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads "
+                                     << threads << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnGrain) {
+  // Chunks must be exactly grain-sized (short tail allowed) regardless of
+  // thread count: that is the static partitioning the determinism contract
+  // rests on.
+  for (unsigned threads : {2U, 5U}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(10, 95, 20,
+                      [&](std::size_t b, std::size_t e, unsigned) {
+                        std::lock_guard<std::mutex> lk(mu);
+                        chunks.emplace(b, e);
+                      });
+    const std::set<std::pair<std::size_t, std::size_t>> expected{
+        {10, 30}, {30, 50}, {50, 70}, {70, 90}, {90, 95}};
+    EXPECT_EQ(chunks, expected);
+  }
+}
+
+TEST(ThreadPool, LanesAreWithinBoundsAndScratchIsPerLane) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> lane_hits(4);
+  for (auto& h : lane_hits) h.store(0);
+  pool.parallel_for(0, 256, 1, [&](std::size_t, std::size_t, unsigned lane) {
+    ASSERT_LT(lane, 4U);
+    lane_hits[lane].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& h : lane_hits) total += h.load();
+  EXPECT_EQ(total, 256);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::size_t b, std::size_t, unsigned) {
+                          if (b == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a throwing region and run the next one normally.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) {
+      sum.fetch_add(static_cast<int>(i));
+    }
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, 8, 1, [&](std::size_t ob, std::size_t oe, unsigned) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    for (std::size_t o = ob; o < oe; ++o) {
+      // A nested region must run inline on the calling lane.
+      pool.parallel_for(0, 8, 2,
+                        [&](std::size_t ib, std::size_t ie, unsigned) {
+                          for (std::size_t i = ib; i < ie; ++i) {
+                            hits[o * 8 + i].fetch_add(1);
+                          }
+                        });
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 5, 0, [&](std::size_t b, std::size_t e, unsigned) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(GlobalPool, SetGlobalThreadsResizes) {
+  set_global_threads(3);
+  EXPECT_EQ(global_thread_count(), 3U);
+  set_global_threads(1);
+  EXPECT_EQ(global_thread_count(), 1U);
+}
+
+TEST(TaskSeed, PureAndSpread) {
+  EXPECT_EQ(task_seed(7, 0), task_seed(7, 0));
+  EXPECT_NE(task_seed(7, 0), task_seed(7, 1));
+  EXPECT_NE(task_seed(7, 0), task_seed(8, 0));
+  // Adjacent indices must land far apart (SplitMix64 finalizer).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(task_seed(42, i));
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+}  // namespace
+}  // namespace nocw
