@@ -87,10 +87,10 @@ int main(int, char** argv) {
     const accel::InferenceResult base = sim.simulate(summary);
     const accel::InferenceResult comp = sim.simulate(summary, &plan);
     const double base_lat = v.cfg.overlap_phases
-                                ? base.latency.overlap_total
+                                ? base.latency.overlap_cycles
                                 : base.latency.total();
     const double comp_lat = v.cfg.overlap_phases
-                                ? comp.latency.overlap_total
+                                ? comp.latency.overlap_cycles
                                 : comp.latency.total();
     t.add_row({v.name, fmt_fixed(base_lat, 0), fmt_fixed(comp_lat, 0),
                fmt_pct(1.0 - comp_lat / base_lat),

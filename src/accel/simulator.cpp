@@ -5,6 +5,7 @@
 
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
+#include "util/check.hpp"
 
 namespace nocw::accel {
 
@@ -16,9 +17,42 @@ std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
+void LatencyBreakdown::check_invariants() const {
+  NOCW_CHECK(std::isfinite(memory_cycles));
+  NOCW_CHECK(std::isfinite(comm_cycles));
+  NOCW_CHECK(std::isfinite(compute_cycles));
+  NOCW_CHECK(std::isfinite(overlap_cycles));
+  NOCW_CHECK_GE(memory_cycles, 0.0);
+  NOCW_CHECK_GE(comm_cycles, 0.0);
+  NOCW_CHECK_GE(compute_cycles, 0.0);
+  NOCW_CHECK_GE(overlap_cycles, 0.0);
+}
+
 AcceleratorSim::AcceleratorSim(const AccelConfig& cfg,
                                const power::EnergyTable& table)
-    : cfg_(cfg), table_(table) {}
+    : cfg_(cfg), table_(table) {
+  check_invariants();
+}
+
+void AcceleratorSim::check_invariants() const {
+  NOCW_CHECK_GE(cfg_.noc.width, 1);
+  NOCW_CHECK_GE(cfg_.noc.height, 1);
+  NOCW_CHECK_GE(cfg_.noc.buffer_depth, 1);
+  NOCW_CHECK_GE(cfg_.noc.link_width_bits, 1);
+  NOCW_CHECK_GE(cfg_.noc.virtual_channels, 1);
+  NOCW_CHECK_GT(cfg_.noc.clock_ghz, 0.0);
+  NOCW_CHECK_GT(cfg_.macs_per_pe_per_cycle, 0);
+  NOCW_CHECK_GE(cfg_.pe_local_memory_bytes, 0);
+  NOCW_CHECK_GT(cfg_.dram_words_per_cycle_per_mi, 0);
+  NOCW_CHECK_GT(cfg_.dram_efficiency, 0.0);
+  NOCW_CHECK_LE(cfg_.dram_efficiency, 1.0);
+  NOCW_CHECK_GE(cfg_.dram_latency_cycles, 0);
+  NOCW_CHECK_GT(cfg_.packet_flits, 0U);
+  NOCW_CHECK_GT(cfg_.bits_per_weight, 0);
+  NOCW_CHECK_GT(cfg_.bits_per_activation, 0);
+  NOCW_CHECK_GT(cfg_.noc_window_flits, std::uint64_t{0});
+  NOCW_CHECK_GT(cfg_.max_phase_cycles, std::uint64_t{0});
+}
 
 AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
     std::uint64_t scatter_flits, std::uint64_t gather_flits) const {
@@ -156,7 +190,7 @@ LayerResult AcceleratorSim::simulate_layer(
   r.latency.compute_cycles = static_cast<double>(
       ceil_div(layer.macs + layer.ops, std::max<std::uint64_t>(throughput, 1)));
 
-  r.latency.overlap_total =
+  r.latency.overlap_cycles =
       std::max({r.latency.memory_cycles, r.latency.comm_cycles,
                 r.latency.compute_cycles});
 
@@ -171,11 +205,13 @@ LayerResult AcceleratorSim::simulate_layer(
   ev.sram_reads = layer.macs + layer.ops + ofmap_words;
 
   const double layer_cycles =
-      cfg_.overlap_phases ? r.latency.overlap_total : r.latency.total();
+      cfg_.overlap_phases ? r.latency.overlap_cycles : r.latency.total();
   const double seconds = layer_cycles / (cfg_.noc.clock_ghz * 1e9);
   const power::PlatformShape shape{cfg_.noc.node_count(),
                                    static_cast<int>(pe_count)};
   r.energy = power::annotate(ev, seconds, table_, shape);
+  r.latency.check_invariants();
+  r.energy.check_invariants();
   return r;
 }
 

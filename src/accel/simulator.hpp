@@ -60,13 +60,13 @@ struct LayerCompression {
 using CompressionPlan = std::map<std::string, LayerCompression>;
 
 /// Latency decomposition in cycles (the paper's three latency components).
-/// Under the overlap model `overlap_total` holds the max-bound layer time;
+/// Under the overlap model `overlap_cycles` holds the max-bound layer time;
 /// total() still reports the stacked sum the paper's figures decompose.
 struct LatencyBreakdown {
   double memory_cycles = 0.0;
   double comm_cycles = 0.0;
   double compute_cycles = 0.0;
-  double overlap_total = 0.0;
+  double overlap_cycles = 0.0;
   [[nodiscard]] double total() const noexcept {
     return memory_cycles + comm_cycles + compute_cycles;
   }
@@ -74,9 +74,12 @@ struct LatencyBreakdown {
     memory_cycles += o.memory_cycles;
     comm_cycles += o.comm_cycles;
     compute_cycles += o.compute_cycles;
-    overlap_total += o.overlap_total;
+    overlap_cycles += o.overlap_cycles;
     return *this;
   }
+
+  /// Invariant: every component is finite and non-negative.
+  void check_invariants() const;
 };
 
 struct LayerResult {
@@ -119,6 +122,13 @@ class AcceleratorSim {
       const LayerCompression* compression = nullptr) const;
 
   [[nodiscard]] const AccelConfig& config() const noexcept { return cfg_; }
+
+  /// Validate the configuration: positive mesh extents, buffer depth,
+  /// packet size, word widths, clock and cycle budgets; DRAM efficiency in
+  /// (0, 1]. Throws nocw::CheckError on violation. Runs once at
+  /// construction, so a simulator that exists is a simulator whose derived
+  /// rates (flits/word, words/cycle, seconds/cycle) are all well-defined.
+  void check_invariants() const;
 
  private:
   struct NocPhase {

@@ -7,12 +7,13 @@
 // the paper compresses.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace nocw::nn {
 
@@ -30,7 +31,7 @@ class Tensor {
     return static_cast<int>(shape_.size());
   }
   [[nodiscard]] int dim(int i) const {
-    assert(i >= 0 && i < rank());
+    NOCW_CHECK(i >= 0 && i < rank());
     return shape_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
@@ -41,11 +42,11 @@ class Tensor {
   [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
 
   float& operator[](std::size_t i) {
-    assert(i < data_.size());
+    NOCW_DCHECK_LT(i, data_.size());
     return data_[i];
   }
   float operator[](std::size_t i) const {
-    assert(i < data_.size());
+    NOCW_DCHECK_LT(i, data_.size());
     return data_[i];
   }
 
@@ -59,11 +60,11 @@ class Tensor {
 
   /// (N, C) element access for rank-2 tensors.
   float& at(int n, int c) {
-    assert(rank() == 2);
+    NOCW_DCHECK_EQ(rank(), 2);
     return data_[static_cast<std::size_t>(n) * shape_[1] + c];
   }
   const float& at(int n, int c) const {
-    assert(rank() == 2);
+    NOCW_DCHECK_EQ(rank(), 2);
     return data_[static_cast<std::size_t>(n) * shape_[1] + c];
   }
 
@@ -78,9 +79,9 @@ class Tensor {
 
  private:
   [[nodiscard]] std::size_t flat_index(int n, int h, int w, int c) const {
-    assert(rank() == 4);
-    assert(n >= 0 && n < shape_[0] && h >= 0 && h < shape_[1]);
-    assert(w >= 0 && w < shape_[2] && c >= 0 && c < shape_[3]);
+    NOCW_DCHECK_EQ(rank(), 4);
+    NOCW_DCHECK(n >= 0 && n < shape_[0] && h >= 0 && h < shape_[1]);
+    NOCW_DCHECK(w >= 0 && w < shape_[2] && c >= 0 && c < shape_[3]);
     return ((static_cast<std::size_t>(n) * shape_[1] + h) * shape_[2] + w) *
                shape_[3] +
            c;

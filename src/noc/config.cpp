@@ -6,6 +6,7 @@ namespace nocw::noc {
 
 std::vector<int> NocConfig::memory_interface_nodes() const {
   std::vector<int> out;
+  out.reserve(4);
   for (int id = 0; id < node_count(); ++id) {
     if (is_memory_interface(id)) out.push_back(id);
   }
@@ -14,6 +15,7 @@ std::vector<int> NocConfig::memory_interface_nodes() const {
 
 std::vector<int> NocConfig::pe_nodes() const {
   std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(node_count()));
   for (int id = 0; id < node_count(); ++id) {
     if (!is_memory_interface(id)) out.push_back(id);
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace nocw::noc {
 
 Network::Network(const NocConfig& cfg) : cfg_(cfg) {
@@ -164,12 +166,37 @@ std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
       throw std::runtime_error("NoC did not drain within cycle budget");
     }
     step();
+    if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
   }
+  check_invariants();
   return stats_.cycles - start;
 }
 
 void Network::run_cycles(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) step();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    step();
+    if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
+  }
+  check_invariants();
+}
+
+void Network::check_invariants() const {
+  std::uint64_t buffered = 0;
+  for (const auto& r : routers_) {
+    r.check_invariants();
+    buffered += r.buffered_flits();
+  }
+  // Flit conservation: every injected flit is either ejected or still sits
+  // in some router FIFO. Queued flits at the sources are not yet injected.
+  NOCW_CHECK_EQ(stats_.flits_injected, stats_.flits_ejected + buffered);
+  NOCW_CHECK_GE(stats_.packets_injected, stats_.packets_ejected);
+  NOCW_CHECK_GE(stats_.flits_injected, stats_.packets_injected);
+  // Every buffered flit was written exactly once and is read exactly once.
+  NOCW_CHECK_EQ(stats_.buffer_writes, stats_.buffer_reads + buffered);
+  // Each crossbar traversal reads one flit out of an input FIFO.
+  NOCW_CHECK_EQ(stats_.router_traversals, stats_.buffer_reads);
+  // One latency sample per ejected packet (Fig. 2 latency feeds off this).
+  NOCW_CHECK_EQ(stats_.packet_latency.count(), stats_.packets_ejected);
 }
 
 }  // namespace nocw::noc

@@ -62,6 +62,18 @@ class Network {
   /// Flits not yet delivered (pending + queued + buffered in routers).
   [[nodiscard]] std::uint64_t undelivered_flits() const noexcept;
 
+  /// Validate the cycle engine's global invariants: flit conservation
+  /// (injected == ejected + buffered in routers), monotone packet counters,
+  /// buffer-access accounting, one latency sample per ejected packet, and
+  /// every router's structural invariants. Throws nocw::CheckError on
+  /// violation. Called every kInvariantCheckInterval cycles by the run
+  /// loops and from tests; it observes only committed state, so it is valid
+  /// at any cycle boundary.
+  void check_invariants() const;
+
+  /// Cycle-batch granularity at which the run loops self-check.
+  static constexpr std::uint64_t kInvariantCheckInterval = 1024;
+
  private:
   struct Source {
     struct Cmp {

@@ -1,6 +1,6 @@
 #include "noc/router.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace nocw::noc {
 
@@ -61,7 +61,7 @@ std::optional<int> Router::allocate(
 
 Flit Router::grant(int in_flat, int out_port) {
   auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
-  if (buf.empty()) throw std::logic_error("grant on empty input");
+  NOCW_CHECK(!buf.empty());
   const Flit f = buf.pop();
   int& lock = lock_[flat(out_port, static_cast<int>(f.vc))];
   switch (f.type) {
@@ -93,6 +93,29 @@ std::size_t Router::buffered_flits() const noexcept {
   std::size_t n = 0;
   for (const auto& b : buffers_) n += b.size();
   return n;
+}
+
+void Router::check_invariants() const {
+  const int total = kNumPorts * vcs_;
+  NOCW_CHECK_EQ(buffers_.size(), static_cast<std::size_t>(total));
+  NOCW_CHECK_EQ(lock_.size(), static_cast<std::size_t>(total));
+  NOCW_CHECK_EQ(rr_.size(), static_cast<std::size_t>(kNumPorts));
+  const auto depth = static_cast<std::size_t>(cfg_->buffer_depth);
+  for (const auto& b : buffers_) {
+    // VC occupancy never exceeds the configured buffer depth, and the
+    // credit count (free slots) stays within [0, depth].
+    NOCW_CHECK_EQ(b.capacity(), depth);
+    NOCW_CHECK_LE(b.size(), depth);
+    NOCW_CHECK_EQ(b.free_slots(), depth - b.size());
+  }
+  for (const int owner : lock_) {
+    NOCW_CHECK_GE(owner, -1);
+    NOCW_CHECK_LT(owner, total);
+  }
+  for (const int p : rr_) {
+    NOCW_CHECK_GE(p, 0);
+    NOCW_CHECK_LT(p, total);
+  }
 }
 
 }  // namespace nocw::noc

@@ -68,6 +68,13 @@ class Router {
   /// True when every input FIFO is empty.
   [[nodiscard]] bool idle() const noexcept;
 
+  /// Validate structural invariants: per-VC occupancy within capacity
+  /// (equivalently, credit counts in [0, buffer_depth]), wormhole lock
+  /// owners and round-robin pointers in range. Throws nocw::CheckError on
+  /// violation. Called from Network::check_invariants() at cycle-batch
+  /// boundaries and from tests.
+  void check_invariants() const;
+
   [[nodiscard]] std::size_t buffered_flits() const noexcept;
 
   [[nodiscard]] std::size_t flat(int port, int vc) const noexcept {

@@ -30,7 +30,9 @@ struct NocStats {
                   : 0.0;
   }
 
-  void reset() { *this = NocStats{}; }
+  /// Restore the default-constructed state. Written as `*this = {}` so the
+  /// struct can grow new counters without this silently missing them.
+  void reset() { *this = {}; }
 };
 
 }  // namespace nocw::noc

@@ -35,6 +35,8 @@ std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
   if (dsts.empty()) throw std::invalid_argument("scatter with no targets");
   if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   std::vector<PacketDescriptor> out;
+  out.reserve(static_cast<std::size_t>(
+      (total_flits + flits_per_packet - 1) / flits_per_packet));
   std::uint64_t left = total_flits;
   std::size_t turn = 0;
   while (left > 0) {
@@ -58,6 +60,8 @@ std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
   if (srcs.empty()) throw std::invalid_argument("gather with no sources");
   if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   std::vector<PacketDescriptor> out;
+  out.reserve(static_cast<std::size_t>(
+      (total_flits + flits_per_packet - 1) / flits_per_packet));
   std::uint64_t left = total_flits;
   std::size_t turn = 0;
   while (left > 0) {

@@ -1,17 +1,31 @@
 #include "power/energy_model.hpp"
 
+#include <cmath>
+
+#include "util/check.hpp"
+
 namespace nocw::power {
 
-EventCounts& EventCounts::operator+=(const EventCounts& o) noexcept {
-  router_traversals += o.router_traversals;
-  link_traversals += o.link_traversals;
-  buffer_writes += o.buffer_writes;
-  buffer_reads += o.buffer_reads;
-  macs += o.macs;
-  decompress_steps += o.decompress_steps;
-  sram_reads += o.sram_reads;
-  sram_writes += o.sram_writes;
-  dram_accesses += o.dram_accesses;
+namespace {
+
+/// a + b, throwing nocw::CheckError on 64-bit wraparound.
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  NOCW_CHECK_LE(b, UINT64_MAX - a);
+  return a + b;
+}
+
+}  // namespace
+
+EventCounts& EventCounts::operator+=(const EventCounts& o) {
+  router_traversals = checked_add(router_traversals, o.router_traversals);
+  link_traversals = checked_add(link_traversals, o.link_traversals);
+  buffer_writes = checked_add(buffer_writes, o.buffer_writes);
+  buffer_reads = checked_add(buffer_reads, o.buffer_reads);
+  macs = checked_add(macs, o.macs);
+  decompress_steps = checked_add(decompress_steps, o.decompress_steps);
+  sram_reads = checked_add(sram_reads, o.sram_reads);
+  sram_writes = checked_add(sram_writes, o.sram_writes);
+  dram_accesses = checked_add(dram_accesses, o.dram_accesses);
   return *this;
 }
 
@@ -20,8 +34,29 @@ constexpr double kPjToJ = 1e-12;
 constexpr double kMwToW = 1e-3;
 }  // namespace
 
+void EnergyComponent::check_invariants() const {
+  NOCW_CHECK(std::isfinite(dynamic_j));
+  NOCW_CHECK(std::isfinite(leakage_j));
+  NOCW_CHECK_GE(dynamic_j, 0.0);
+  NOCW_CHECK_GE(leakage_j, 0.0);
+}
+
+void EnergyBreakdown::check_invariants() const {
+  communication.check_invariants();
+  computation.check_invariants();
+  local_memory.check_invariants();
+  main_memory.check_invariants();
+}
+
 EnergyBreakdown annotate(const EventCounts& e, double seconds,
                          const EnergyTable& t, const PlatformShape& shape) {
+  // Leakage integrates elapsed time and scales with the platform shape; a
+  // negative duration or an empty platform is always a caller bug, and the
+  // resulting negative joules would silently skew every Fig. 10 component.
+  NOCW_CHECK_GE(seconds, 0.0);
+  NOCW_CHECK_GT(shape.routers, 0);
+  NOCW_CHECK_GT(shape.pes, 0);
+
   EnergyBreakdown out;
 
   out.communication.dynamic_j =

@@ -51,6 +51,9 @@ struct EnergyComponent {
     leakage_j += o.leakage_j;
     return *this;
   }
+
+  /// Invariant: joules are finite and non-negative.
+  void check_invariants() const;
 };
 
 /// The Fig. 10 energy breakdown: four subsystems x (dynamic, leakage).
@@ -72,6 +75,9 @@ struct EnergyBreakdown {
     main_memory += o.main_memory;
     return *this;
   }
+
+  /// Invariant: every component's joules are finite and non-negative.
+  void check_invariants() const;
 };
 
 /// Event counts accumulated by the accelerator simulator for one phase.
@@ -86,7 +92,10 @@ struct EventCounts {
   std::uint64_t sram_writes = 0;  ///< 64-bit words
   std::uint64_t dram_accesses = 0;  ///< 64-bit words
 
-  EventCounts& operator+=(const EventCounts& o) noexcept;
+  /// Guarded accumulate: every field grows monotonically and a 64-bit wrap
+  /// throws nocw::CheckError instead of silently corrupting the energy
+  /// annotation downstream.
+  EventCounts& operator+=(const EventCounts& o);
 };
 
 struct PlatformShape {

@@ -5,10 +5,11 @@
 // branch-light, since the NoC simulator performs millions of these per run.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace nocw {
 
@@ -16,7 +17,7 @@ template <typename T>
 class RingBuffer {
  public:
   explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
-    assert(capacity > 0);
+    NOCW_CHECK_GT(capacity, std::size_t{0});
   }
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
@@ -29,7 +30,7 @@ class RingBuffer {
 
   /// Push one element; caller must check !full() first.
   void push(T value) {
-    assert(!full());
+    NOCW_DCHECK(!full());
     buf_[tail_] = std::move(value);
     tail_ = (tail_ + 1) % buf_.size();
     ++size_;
@@ -37,18 +38,18 @@ class RingBuffer {
 
   /// Front element; caller must check !empty() first.
   [[nodiscard]] const T& front() const {
-    assert(!empty());
+    NOCW_DCHECK(!empty());
     return buf_[head_];
   }
 
   [[nodiscard]] T& front() {
-    assert(!empty());
+    NOCW_DCHECK(!empty());
     return buf_[head_];
   }
 
   /// Pop and return the front element; caller must check !empty() first.
   T pop() {
-    assert(!empty());
+    NOCW_DCHECK(!empty());
     T value = std::move(buf_[head_]);
     head_ = (head_ + 1) % buf_.size();
     --size_;

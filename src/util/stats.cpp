@@ -1,12 +1,13 @@
 #include "util/stats.hpp"
 
-#include <cassert>
 #include <cstring>
+
+#include "util/check.hpp"
 
 namespace nocw {
 
 double mean_squared_error(std::span<const float> a, std::span<const float> b) {
-  assert(a.size() == b.size());
+  NOCW_CHECK_EQ(a.size(), b.size());
   if (a.empty()) return 0.0;
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {

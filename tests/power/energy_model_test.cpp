@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace nocw::power {
 namespace {
 
@@ -72,6 +74,35 @@ TEST(EnergyModel, EventCountsAccumulate) {
   EXPECT_EQ(a.macs, 8u);
   EXPECT_EQ(a.dram_accesses, 7u);
   EXPECT_EQ(a.sram_reads, 2u);
+}
+
+TEST(EnergyModel, AnnotateRejectsNegativeSeconds) {
+  EXPECT_THROW(annotate(EventCounts{}, -1e-9, EnergyTable{}, PlatformShape{}),
+               CheckError);
+}
+
+TEST(EnergyModel, AnnotateRejectsNonPositivePlatformShape) {
+  EXPECT_THROW(
+      annotate(EventCounts{}, 0.0, EnergyTable{}, PlatformShape{0, 12}),
+      CheckError);
+  EXPECT_THROW(
+      annotate(EventCounts{}, 0.0, EnergyTable{}, PlatformShape{16, -1}),
+      CheckError);
+}
+
+TEST(EnergyModel, AnnotatedBreakdownIsNonNegative) {
+  EventCounts ev;
+  ev.macs = 123;
+  ev.dram_accesses = 45;
+  ev.router_traversals = 67;
+  const auto e = annotate(ev, 1e-6, EnergyTable{}, PlatformShape{});
+  EXPECT_NO_THROW(e.check_invariants());
+}
+
+TEST(EnergyModel, ComponentCheckRejectsNegativeJoules) {
+  EnergyComponent c;
+  c.dynamic_j = -1e-12;
+  EXPECT_THROW(c.check_invariants(), CheckError);
 }
 
 TEST(EnergyModel, BreakdownAccumulates) {

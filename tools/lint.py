@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that a generic tool cannot express.
+
+Rules (all scoped to src/, the library code):
+
+  units       double/float *fields* declared in src/power, src/noc and
+              src/accel headers must carry a physical-unit suffix (_pj, _j,
+              _mw, _w, _ghz, _hz, _cycles, _seconds, _s, _bits, _bytes,
+              _flits) or an explicitly dimensionless one (_efficiency,
+              _ratio, _scale, _factor, _fraction, _share, _utilization).
+              A bare `cycles` or `seconds` is also accepted. The energy
+              model multiplies these fields straight into the Fig. 10
+              joules; an unlabelled unit is how a pJ/J mix-up ships.
+
+  rng         rand(), srand() and std::random_device are forbidden outside
+              util/rng.hpp. All stochastic behaviour flows through the
+              seeded, implementation-stable generators in util/rng.hpp so
+              every experiment is reproducible from a single 64-bit seed.
+
+  iostream    std::cout in library code is forbidden (library output goes
+              through return values; printing belongs to bench/, examples/
+              and tools).
+
+  assert      naked assert() is forbidden outside util/check.hpp; use
+              NOCW_CHECK* (always-on invariants) or NOCW_DCHECK* (hot
+              paths). static_assert is fine.
+
+Usage:
+  tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
+                               repository containing this script)
+  tools/lint.py --self-test    verify every rule fires on a seeded
+                               violation and stays quiet on clean code
+
+Exit status: 0 clean, 1 violations found (or self-test failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+UNIT_SUFFIXES = (
+    "_pj", "_j", "_mw", "_w", "_ghz", "_hz", "_cycles", "_seconds", "_s",
+    "_bits", "_bytes", "_flits",
+)
+DIMENSIONLESS_SUFFIXES = (
+    "_efficiency", "_ratio", "_scale", "_factor", "_fraction", "_share",
+    "_utilization",
+)
+EXACT_UNIT_NAMES = {"cycles", "seconds"}
+
+UNITS_DIRS = ("src/power", "src/noc", "src/accel")
+RNG_ALLOWED = "src/util/rng.hpp"
+ASSERT_ALLOWED = "src/util/check.hpp"
+
+# `double name;` or `double name = ...;` at the start of a line — a field or
+# namespace-scope declaration. Function parameters and return types never
+# start a line with the bare type in this codebase's style.
+FIELD_RE = re.compile(r"^\s*(?:double|float)\s+(\w+)\s*(?:=[^;]*)?;")
+RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
+COUT_RE = re.compile(r"std::cout")
+ASSERT_RE = re.compile(r"\bassert\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving line numbers."""
+    out = []
+    i = 0
+    n = len(text)
+    in_line = in_block = in_string = False
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if in_line:
+            if c == "\n":
+                in_line = False
+                out.append(c)
+            else:
+                out.append(" ")
+        elif in_block:
+            if c == "*" and nxt == "/":
+                in_block = False
+                out.append("  ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+        elif in_string:
+            if c == "\\":
+                out.append(c + nxt)
+                i += 1
+            else:
+                if c == '"':
+                    in_string = False
+                out.append(c)
+        elif c == '"':
+            in_string = True
+            out.append(c)
+        elif c == "/" and nxt == "/":
+            in_line = True
+            out.append("  ")
+            i += 1
+        elif c == "/" and nxt == "*":
+            in_block = True
+            out.append("  ")
+            i += 1
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def unit_name_ok(name: str) -> bool:
+    if name in EXACT_UNIT_NAMES:
+        return True
+    return name.endswith(UNIT_SUFFIXES) or name.endswith(
+        DIMENSIONLESS_SUFFIXES)
+
+
+def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
+    rel = path.relative_to(root).as_posix()
+    text = strip_comments(path.read_text(encoding="utf-8"))
+    findings = []
+
+    in_units_scope = rel.endswith((".hpp", ".h")) and rel.startswith(
+        UNITS_DIRS)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if in_units_scope and "(" not in line:
+            m = FIELD_RE.match(line)
+            if m and not unit_name_ok(m.group(1)):
+                findings.append(
+                    f"{rel}:{lineno}: [units] float field '{m.group(1)}' "
+                    f"lacks a unit suffix ({', '.join(UNIT_SUFFIXES)}; "
+                    f"dimensionless: {', '.join(DIMENSIONLESS_SUFFIXES)})")
+        if rel != RNG_ALLOWED and RAND_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [rng] rand()/srand()/std::random_device "
+                f"outside util/rng.hpp breaks seeded reproducibility")
+        if COUT_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [iostream] std::cout in library code; "
+                f"printing belongs in bench/, examples/ or tools")
+        if rel != ASSERT_ALLOWED and ASSERT_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [assert] naked assert(); use NOCW_CHECK* "
+                f"or NOCW_DCHECK* from util/check.hpp")
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> list[str]:
+    findings = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".cpp", ".hpp", ".h", ".cc"):
+            findings.extend(lint_file(root, path))
+    return findings
+
+
+def self_test() -> int:
+    """Seed one violation per rule plus a clean file; every violation must
+    be flagged and the clean file must not be."""
+    seeded = {
+        "src/power/bad_units.hpp":
+            "struct T {\n  double latency;\n  double energy = 0.0;\n};\n",
+        "src/nn/bad_rng.cpp":
+            "int f() { return rand(); }\n",
+        "src/core/bad_rng2.cpp":
+            "#include <random>\nstd::random_device rd;\n",
+        "src/eval/bad_print.cpp":
+            "#include <iostream>\nvoid p() { std::cout << 1; }\n",
+        "src/noc/bad_assert.cpp":
+            "#include <cassert>\nvoid g(int x) { assert(x > 0); }\n",
+    }
+    clean = {
+        "src/power/good.hpp":
+            "struct U {\n"
+            "  double read_energy_pj = 1.0;\n"
+            "  double leakage_mw = 0.5;\n"
+            "  double memory_cycles = 0.0;\n"
+            "  double dram_efficiency = 0.7;\n"
+            "  double seconds = 0.0;\n"
+            "};\n",
+        "src/util/good.cpp":
+            "// rand() in a comment is fine; \"std::cout\" only here\n"
+            "static_assert(sizeof(int) == 4);\n",
+    }
+    expected_rules = {
+        "src/power/bad_units.hpp": "[units]",
+        "src/nn/bad_rng.cpp": "[rng]",
+        "src/core/bad_rng2.cpp": "[rng]",
+        "src/eval/bad_print.cpp": "[iostream]",
+        "src/noc/bad_assert.cpp": "[assert]",
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        for rel, content in {**seeded, **clean}.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(content, encoding="utf-8")
+        findings = lint_tree(root)
+
+        failures = []
+        # bad_units.hpp seeds two violations on one rule.
+        units_hits = [f for f in findings if f.startswith(
+            "src/power/bad_units.hpp")]
+        if len(units_hits) != 2:
+            failures.append(
+                f"expected 2 [units] findings in bad_units.hpp, got "
+                f"{len(units_hits)}")
+        for rel, rule in expected_rules.items():
+            if not any(f.startswith(rel) and rule in f for f in findings):
+                failures.append(f"rule {rule} did not fire on {rel}")
+        for rel in clean:
+            hits = [f for f in findings if f.startswith(rel)]
+            if hits:
+                failures.append(f"false positive on clean file {rel}: {hits}")
+
+        if failures:
+            print("lint self-test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"lint self-test passed: {len(findings)} seeded violations "
+              f"flagged, 0 false positives")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root.resolve())
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} violation(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
