@@ -35,9 +35,18 @@ TrainedLenet trained_lenet(const std::string& cache_dir) {
   std::error_code ec;
   std::filesystem::create_directories(cache_dir + "/results", ec);
   const std::string cache = cache_dir + "/results/lenet5_trained.weights";
-  if (!nn::load_weights(out.model.graph, cache)) {
-    const int train_n = static_cast<int>(env_int("REPRO_TRAIN", 1200));
-    const int epochs = static_cast<int>(env_int("REPRO_EPOCHS", 5));
+  bool loaded = false;
+  try {
+    loaded = nn::load_weights(out.model.graph, cache);
+  } catch (const nn::SerializeError& e) {
+    // Stale or corrupt cache (e.g. written by an older format version):
+    // report it and retrain rather than aborting the bench.
+    std::printf("[bench] discarding cached checkpoint %s: %s\n", cache.c_str(),
+                e.what());
+  }
+  if (!loaded) {
+    const int train_n = static_cast<int>(env_int("REPRO_TRAIN", 1200, 1));
+    const int epochs = static_cast<int>(env_int("REPRO_EPOCHS", 5, 1));
     std::printf("[bench] training LeNet-5 (%d samples, %d epochs)...\n",
                 train_n, epochs);
     std::fflush(stdout);

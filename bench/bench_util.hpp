@@ -20,11 +20,11 @@
 namespace nocw::bench {
 
 inline int probe_count() {
-  return static_cast<int>(env_int("REPRO_PROBES", 6));
+  return static_cast<int>(env_int("REPRO_PROBES", 6, 1));
 }
 
 inline std::uint64_t noc_window() {
-  return static_cast<std::uint64_t>(env_int("REPRO_WINDOW", 24000));
+  return static_cast<std::uint64_t>(env_int("REPRO_WINDOW", 24000, 1));
 }
 
 /// Directory of the running executable (argv[0] based), for CSV output.

@@ -1,0 +1,99 @@
+// Extension: accuracy under transmission faults, and what CRC-protected
+// flits + MI→PE retransmission cost to win it back. Not a paper figure — the
+// paper transmits the compressed stream over an ideal NoC; this bench
+// quantifies the fragility that compression adds (one flipped bit corrupts a
+// whole ⟨m, q, len⟩ segment) and prices the recovery hardware on the
+// cycle-accurate simulator. Deterministic for a fixed seed: the table, CSV
+// and BENCH_fault.json are bit-identical across runs and NOCW_THREADS.
+#include "bench_util.hpp"
+
+#include "eval/fault_sweep.hpp"
+
+int main(int, char** argv) {
+  using namespace nocw;
+  const std::string dir = bench::output_dir(argv[0]);
+
+  bench::TrainedLenet lenet = bench::trained_lenet(dir);
+
+  eval::FaultSweepConfig cfg;
+  cfg.bit_error_rates = {1e-6, 1e-5, 1e-4, 1e-3};
+  cfg.delta_percents = {0.0, 10.0};
+  cfg.trials = static_cast<int>(env_int("REPRO_FAULT_TRIALS", 3, 1));
+  cfg.fault_seed =
+      static_cast<std::uint64_t>(env_int("REPRO_FAULT_SEED", 90210, 0));
+  cfg.topk = 1;
+  cfg.noc_flits = bench::noc_window() / 6;  // weight stream only
+  cfg.noc.fault.router_stall_probability = 1e-4;  // background control noise
+
+  const eval::FaultSweepResult sweep =
+      eval::run_fault_sweep(lenet.model, lenet.test, cfg);
+
+  Table t({"BER", "delta", "acc clean", "acc uncompressed", "acc compressed",
+           "acc protected", "seg corrupted", "cycles +CRC", "energy +CRC",
+           "retx", "drops"});
+  for (const auto& p : sweep.points) {
+    const double cyc_over = p.unprotected_cycles > 0.0
+                                ? p.protected_cycles / p.unprotected_cycles
+                                : 1.0;
+    const double e_over = p.unprotected_energy_j > 0.0
+                              ? p.protected_energy_j / p.unprotected_energy_j
+                              : 1.0;
+    t.add_row({fmt_sci(p.bit_error_rate, 0),
+               fmt_pct(p.delta_percent / 100.0), fmt_fixed(p.accuracy_clean, 4),
+               fmt_fixed(p.accuracy_uncompressed, 4),
+               fmt_fixed(p.accuracy_compressed, 4),
+               fmt_fixed(p.accuracy_protected, 4),
+               fmt_pct(p.corrupted_segment_fraction, 1),
+               "x" + fmt_fixed(cyc_over, 3), "x" + fmt_fixed(e_over, 3),
+               std::to_string(p.retransmissions),
+               std::to_string(p.packets_dropped)});
+  }
+  std::printf("selected layer: %s; fault-free baseline accuracy %.4f\n",
+              sweep.selected_layer.c_str(), sweep.baseline_accuracy);
+  bench::emit("Extension: accuracy under faults, CRC+retransmission cost", t,
+              dir, "ext_fault_sweep");
+
+  // Machine-readable mirror for CI artifacts. Deterministic fields only.
+  const std::string json_path =
+      env_string("NOCW_FAULT_JSON", "BENCH_fault.json");
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"selected_layer\": \"%s\",\n",
+               sweep.selected_layer.c_str());
+  std::fprintf(f, "  \"baseline_accuracy\": %.6f,\n",
+               sweep.baseline_accuracy);
+  std::fprintf(f, "  \"fault_seed\": %llu,\n",
+               static_cast<unsigned long long>(cfg.fault_seed));
+  std::fprintf(f, "  \"trials\": %d,\n", cfg.trials);
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const auto& p = sweep.points[i];
+    std::fprintf(
+        f,
+        "    {\"ber\": %.1e, \"delta_percent\": %.1f,"
+        " \"accuracy_clean\": %.6f, \"accuracy_uncompressed\": %.6f,"
+        " \"accuracy_compressed\": %.6f, \"accuracy_protected\": %.6f,"
+        " \"corrupted_segment_fraction\": %.6f,"
+        " \"unprotected_cycles\": %.0f, \"protected_cycles\": %.0f,"
+        " \"unprotected_energy_j\": %.8e, \"protected_energy_j\": %.8e,"
+        " \"crc_failures\": %llu, \"retransmissions\": %llu,"
+        " \"packets_dropped\": %llu}%s\n",
+        p.bit_error_rate, p.delta_percent, p.accuracy_clean,
+        p.accuracy_uncompressed, p.accuracy_compressed, p.accuracy_protected,
+        p.corrupted_segment_fraction, p.unprotected_cycles, p.protected_cycles,
+        p.unprotected_energy_j, p.protected_energy_j,
+        static_cast<unsigned long long>(p.crc_failures),
+        static_cast<unsigned long long>(p.retransmissions),
+        static_cast<unsigned long long>(p.packets_dropped),
+        i + 1 < sweep.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("fault-sweep results written to %s\n", json_path.c_str());
+  return 0;
+}

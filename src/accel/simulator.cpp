@@ -52,6 +52,16 @@ void AcceleratorSim::check_invariants() const {
   NOCW_CHECK_GT(cfg_.bits_per_activation, 0);
   NOCW_CHECK_GT(cfg_.noc_window_flits, std::uint64_t{0});
   NOCW_CHECK_GT(cfg_.max_phase_cycles, std::uint64_t{0});
+  // Fault/protection knobs ride inside cfg_.noc; validate probabilities here
+  // so a mis-set sweep fails at construction, not mid-run.
+  NOCW_CHECK_GE(cfg_.noc.fault.bit_flip_probability, 0.0);
+  NOCW_CHECK_LE(cfg_.noc.fault.bit_flip_probability, 1.0);
+  NOCW_CHECK_GE(cfg_.noc.fault.link_fault_probability, 0.0);
+  NOCW_CHECK_LE(cfg_.noc.fault.link_fault_probability, 1.0);
+  NOCW_CHECK_GE(cfg_.noc.fault.router_stall_probability, 0.0);
+  NOCW_CHECK_LE(cfg_.noc.fault.router_stall_probability, 1.0);
+  NOCW_CHECK_GE(cfg_.noc.fault.permanent_stuck_links, 0);
+  NOCW_CHECK_GE(cfg_.noc.protection.max_retries, 0);
 }
 
 AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
@@ -141,6 +151,8 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
       std::llround(static_cast<double>(st.buffer_writes) * up));
   out.events.buffer_reads = static_cast<std::uint64_t>(
       std::llround(static_cast<double>(st.buffer_reads) * up));
+  out.events.crc_flit_events = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(st.crc_flit_events) * up));
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "core/codec.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -12,7 +13,9 @@ namespace nocw::core {
 namespace {
 
 constexpr std::uint64_t kMagic = 0xC17E;  // "compressed-tensor"
-constexpr std::uint64_t kVersion = 1;
+// v2 adds the flags byte (bit 0 = per-segment CRC-8) after the version.
+constexpr std::uint64_t kVersion = 2;
+constexpr std::uint64_t kFlagSegmentChecksum = 0x1;
 
 unsigned clamp_coef_bits(unsigned bits) {
   if (bits < 9) return 9;    // sign + 8 exponent bits is the usable minimum
@@ -24,6 +27,35 @@ std::size_t max_segment_length(unsigned length_bits) {
   // The field stores |M_i| - 1, so length_bits bits encode up to 2^bits.
   if (length_bits >= 24) return std::size_t{1} << 24;  // sanity cap
   return std::size_t{1} << length_bits;
+}
+
+/// CRC-8 (poly 0x07) folded over the low `bytes` bytes of `value`,
+/// little-endian — covers exactly the field values as stored, so any bit
+/// flip inside a serialized record changes the checksum.
+std::uint8_t crc8_update(std::uint8_t crc, std::uint64_t value,
+                         unsigned bytes) {
+  for (unsigned i = 0; i < bytes; ++i) {
+    crc ^= static_cast<std::uint8_t>(value >> (8 * i));
+    for (int b = 0; b < 8; ++b) {
+      crc = static_cast<std::uint8_t>((crc << 1) ^ ((crc & 0x80U) ? 0x07 : 0));
+    }
+  }
+  return crc;
+}
+
+std::uint8_t segment_crc8(std::uint64_t raw_m, std::uint64_t raw_q,
+                          std::uint64_t len_field) {
+  std::uint8_t crc = 0xFF;
+  crc = crc8_update(crc, raw_m, 4);
+  crc = crc8_update(crc, raw_q, 4);
+  crc = crc8_update(crc, len_field, 4);
+  return crc;
+}
+
+[[noreturn]] void fail(const std::string& what, std::size_t bit_offset) {
+  throw DecodeError(what + " (bit " + std::to_string(bit_offset) + ", byte " +
+                        std::to_string(bit_offset / 8) + ")",
+                    bit_offset);
 }
 
 }  // namespace
@@ -97,7 +129,22 @@ void decompress(const CompressedLayer& layer, std::span<float> out) {
     throw std::invalid_argument("decompress: output size mismatch");
   }
   std::size_t idx = 0;
-  for (const auto& s : layer.segments) {
+  for (std::size_t i = 0; i < layer.segments.size(); ++i) {
+    const CompressedSegment& s = layer.segments[i];
+    // Validate before writing: a corrupted length field must degrade to a
+    // descriptive error, never an out-of-bounds store; a non-finite
+    // coefficient would poison every weight downstream of the segment.
+    if (s.length > out.size() - idx) {
+      throw DecodeError("decompress: segment " + std::to_string(i) +
+                        " length " + std::to_string(s.length) +
+                        " overruns declared output size " +
+                        std::to_string(out.size()) + " at weight " +
+                        std::to_string(idx));
+    }
+    if (!std::isfinite(s.m) || !std::isfinite(s.q)) {
+      throw DecodeError("decompress: segment " + std::to_string(i) +
+                        " has non-finite coefficients");
+    }
     // Init state of the Fig. 6 FSM: w̃_1 = q; Run state: w̃_j = w̃_{j-1} + m.
     float w = s.q;
     for (std::uint32_t j = 0; j < s.length; ++j) {
@@ -106,7 +153,9 @@ void decompress(const CompressedLayer& layer, std::span<float> out) {
     }
   }
   if (idx != layer.original_count) {
-    throw std::runtime_error("decompress: segment lengths do not tile layer");
+    throw DecodeError("decompress: segment lengths tile " +
+                      std::to_string(idx) + " weights, layer declares " +
+                      std::to_string(layer.original_count));
   }
 }
 
@@ -118,7 +167,8 @@ std::vector<float> decompress(const CompressedLayer& layer) {
 
 std::size_t CompressedLayer::compressed_bits() const noexcept {
   return segments.size() *
-         (2 * static_cast<std::size_t>(config.coef_bits) + config.length_bits);
+         (2 * static_cast<std::size_t>(config.coef_bits) + config.length_bits +
+          (config.segment_checksum ? 8 : 0));
 }
 
 std::size_t CompressedLayer::original_bits() const noexcept {
@@ -145,6 +195,7 @@ std::vector<std::uint8_t> serialize(const CompressedLayer& layer) {
   BitWriter w;
   w.write(kMagic, 16);
   w.write(kVersion, 8);
+  w.write(layer.config.segment_checksum ? kFlagSegmentChecksum : 0, 8);
   w.write(layer.config.coef_bits, 6);
   w.write(layer.config.length_bits, 6);
   w.write(layer.config.weight_bits, 6);
@@ -158,48 +209,193 @@ std::vector<std::uint8_t> serialize(const CompressedLayer& layer) {
     std::uint32_t raw_q = 0;
     std::memcpy(&raw_m, &s.m, sizeof(raw_m));
     std::memcpy(&raw_q, &s.q, sizeof(raw_q));
-    w.write(raw_m >> (32 - coef_bits), coef_bits);
-    w.write(raw_q >> (32 - coef_bits), coef_bits);
+    const std::uint64_t m_field = raw_m >> (32 - coef_bits);
+    const std::uint64_t q_field = raw_q >> (32 - coef_bits);
+    w.write(m_field, coef_bits);
+    w.write(q_field, coef_bits);
     if (s.length == 0 || s.length > (std::uint64_t{1} << len_bits)) {
       throw std::runtime_error("serialize: segment length out of field range");
     }
-    w.write(s.length - 1, len_bits);
+    const std::uint64_t len_field = s.length - 1;
+    w.write(len_field, len_bits);
+    if (layer.config.segment_checksum) {
+      w.write(segment_crc8(m_field, q_field, len_field), 8);
+    }
   }
   return w.bytes();
 }
 
+namespace {
+
+struct StreamHeader {
+  CompressedLayer layer;       // config/counts/delta filled, segments empty
+  std::uint64_t n_segments = 0;
+  bool checksum = false;
+};
+
+/// Parse and validate the fixed-size header. Shared by the strict and the
+/// tolerant path — header corruption is fatal for both.
+StreamHeader parse_header(BitReader& r, std::size_t total_bits) {
+  constexpr std::size_t kHeaderBits = 16 + 8 + 8 + 3 * 6 + 2 * 48 + 32;
+  if (total_bits < kHeaderBits) {
+    fail("deserialize: stream truncated inside header: " +
+             std::to_string(total_bits) + " bits, header needs " +
+             std::to_string(kHeaderBits),
+         total_bits);
+  }
+  if (r.read(16) != kMagic) fail("deserialize: bad magic", 0);
+  const std::uint64_t version = r.read(8);
+  if (version != kVersion) {
+    fail("deserialize: unsupported version " + std::to_string(version) +
+             " (expected " + std::to_string(kVersion) + ")",
+         16);
+  }
+  const std::uint64_t flags = r.read(8);
+  if ((flags & ~kFlagSegmentChecksum) != 0) {
+    fail("deserialize: unknown flags " + std::to_string(flags), 24);
+  }
+  StreamHeader h;
+  h.checksum = (flags & kFlagSegmentChecksum) != 0;
+  h.layer.config.segment_checksum = h.checksum;
+  h.layer.config.coef_bits = static_cast<unsigned>(r.read(6));
+  h.layer.config.length_bits = static_cast<unsigned>(r.read(6));
+  h.layer.config.weight_bits = static_cast<unsigned>(r.read(6));
+  if (clamp_coef_bits(h.layer.config.coef_bits) != h.layer.config.coef_bits) {
+    fail("deserialize: corrupt coef_bits field " +
+             std::to_string(h.layer.config.coef_bits),
+         32);
+  }
+  if (h.layer.config.length_bits == 0 || h.layer.config.length_bits > 48) {
+    fail("deserialize: corrupt length_bits field " +
+             std::to_string(h.layer.config.length_bits),
+         38);
+  }
+  if (h.layer.config.weight_bits == 0) {
+    fail("deserialize: corrupt weight_bits field", 44);
+  }
+  h.layer.original_count = r.read(48);
+  h.n_segments = r.read(48);
+  h.layer.delta_abs = static_cast<double>(r.read_float());
+  return h;
+}
+
+std::size_t segment_record_bits(const StreamHeader& h) {
+  return 2 * static_cast<std::size_t>(h.layer.config.coef_bits) +
+         h.layer.config.length_bits + (h.checksum ? 8 : 0);
+}
+
+struct RawSegment {
+  CompressedSegment seg;
+  bool crc_ok = true;
+};
+
+RawSegment read_segment(BitReader& r, const StreamHeader& h) {
+  const unsigned coef_bits = h.layer.config.coef_bits;
+  RawSegment out;
+  const std::uint64_t m_field = r.read(coef_bits);
+  const std::uint64_t q_field = r.read(coef_bits);
+  const std::uint64_t len_field = r.read(h.layer.config.length_bits);
+  const auto raw_m = static_cast<std::uint32_t>(m_field << (32 - coef_bits));
+  const auto raw_q = static_cast<std::uint32_t>(q_field << (32 - coef_bits));
+  std::memcpy(&out.seg.m, &raw_m, sizeof(out.seg.m));
+  std::memcpy(&out.seg.q, &raw_q, sizeof(out.seg.q));
+  out.seg.length = static_cast<std::uint32_t>(len_field) + 1;
+  if (h.checksum) {
+    const auto stored = static_cast<std::uint8_t>(r.read(8));
+    out.crc_ok = stored == segment_crc8(m_field, q_field, len_field);
+  }
+  return out;
+}
+
+}  // namespace
+
 CompressedLayer deserialize(std::span<const std::uint8_t> bytes) {
   BitReader r(bytes);
-  if (r.read(16) != kMagic) throw std::runtime_error("bad magic");
-  if (r.read(8) != kVersion) throw std::runtime_error("bad version");
-  CompressedLayer layer;
-  layer.config.coef_bits = static_cast<unsigned>(r.read(6));
-  layer.config.length_bits = static_cast<unsigned>(r.read(6));
-  layer.config.weight_bits = static_cast<unsigned>(r.read(6));
-  layer.original_count = r.read(48);
-  const std::uint64_t n_segments = r.read(48);
-  layer.delta_abs = static_cast<double>(r.read_float());
-  const unsigned coef_bits = clamp_coef_bits(layer.config.coef_bits);
-  if (coef_bits != layer.config.coef_bits) {
-    throw std::runtime_error("corrupt coef_bits field");
+  StreamHeader h = parse_header(r, bytes.size() * 8);
+  const std::size_t record_bits = segment_record_bits(h);
+  if (h.n_segments * record_bits > r.bits_left()) {
+    fail("deserialize: stream truncated: " + std::to_string(h.n_segments) +
+             " segments need " + std::to_string(h.n_segments * record_bits) +
+             " bits, " + std::to_string(r.bits_left()) + " left",
+         r.bit_pos());
   }
-  layer.segments.reserve(n_segments);
+  CompressedLayer layer = std::move(h.layer);
+  layer.segments.reserve(h.n_segments);
   std::uint64_t total = 0;
-  for (std::uint64_t i = 0; i < n_segments; ++i) {
-    CompressedSegment s;
-    const auto raw_m =
-        static_cast<std::uint32_t>(r.read(coef_bits) << (32 - coef_bits));
-    const auto raw_q =
-        static_cast<std::uint32_t>(r.read(coef_bits) << (32 - coef_bits));
-    std::memcpy(&s.m, &raw_m, sizeof(s.m));
-    std::memcpy(&s.q, &raw_q, sizeof(s.q));
-    s.length =
-        static_cast<std::uint32_t>(r.read(layer.config.length_bits)) + 1;
-    total += s.length;
-    layer.segments.push_back(s);
+  for (std::uint64_t i = 0; i < h.n_segments; ++i) {
+    const std::size_t seg_start = r.bit_pos();
+    const RawSegment raw = read_segment(r, h);
+    if (!raw.crc_ok) {
+      fail("deserialize: segment " + std::to_string(i) + " failed CRC-8",
+           seg_start);
+    }
+    if (!std::isfinite(raw.seg.m) || !std::isfinite(raw.seg.q)) {
+      fail("deserialize: segment " + std::to_string(i) +
+               " has non-finite coefficients",
+           seg_start);
+    }
+    total += raw.seg.length;
+    layer.segments.push_back(raw.seg);
   }
   if (total != layer.original_count) {
-    throw std::runtime_error("segment lengths do not tile original count");
+    fail("deserialize: segment lengths tile " + std::to_string(total) +
+             " weights, header declares " +
+             std::to_string(layer.original_count),
+         r.bit_pos());
+  }
+  return layer;
+}
+
+CompressedLayer deserialize_tolerant(std::span<const std::uint8_t> bytes,
+                                     DecodeDiagnostics* diag) {
+  DecodeDiagnostics local;
+  DecodeDiagnostics& d = diag ? *diag : local;
+  d = {};
+
+  BitReader r(bytes);
+  StreamHeader h = parse_header(r, bytes.size() * 8);  // header stays fatal
+  d.segments_total = h.n_segments;
+  const std::size_t record_bits = segment_record_bits(h);
+
+  CompressedLayer layer = std::move(h.layer);
+  layer.segments.reserve(h.n_segments);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < h.n_segments; ++i) {
+    if (r.bits_left() < record_bits) {
+      d.truncated = true;
+      break;
+    }
+    RawSegment raw = read_segment(r, h);
+    bool bad = !raw.crc_ok || !std::isfinite(raw.seg.m) ||
+               !std::isfinite(raw.seg.q);
+    if (raw.seg.length > layer.original_count - total) {
+      // Corrupted length field: clamp so the layer still tiles.
+      raw.seg.length =
+          static_cast<std::uint32_t>(layer.original_count - total);
+      bad = true;
+    }
+    if (bad) {
+      // Keep the (clamped) length — it still consumes its slot of the
+      // weight stream — but reconstruct zeros: the fault-sweep's model of a
+      // detected, unrecoverable segment.
+      raw.seg.m = 0.0F;
+      raw.seg.q = 0.0F;
+      ++d.segments_corrupted;
+    }
+    if (raw.seg.length == 0) continue;  // fully clamped away
+    total += raw.seg.length;
+    layer.segments.push_back(raw.seg);
+  }
+  // Pad truncation (or under-tiling) with zero segments so the result always
+  // reconstructs original_count weights.
+  while (total < layer.original_count) {
+    CompressedSegment pad;
+    pad.length = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(layer.original_count - total,
+                                std::uint64_t{1} << 24));
+    total += pad.length;
+    layer.segments.push_back(pad);
+    ++d.segments_missing;
   }
   return layer;
 }

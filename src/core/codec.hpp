@@ -16,11 +16,34 @@
 #include <cstdint>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/segment.hpp"
 
 namespace nocw::core {
+
+/// Raised when a compressed stream (or an in-memory CompressedLayer built
+/// from one) is malformed: bad magic/version, truncation, a segment that
+/// overruns the declared weight count, non-finite coefficients, or a failed
+/// per-segment checksum. Never undefined behaviour — a corrupted stream is a
+/// runtime input, not a programming error. `bit_offset()` locates the first
+/// offending bit of the input stream (0 when the error is not tied to a
+/// stream position, e.g. validation of an in-memory layer).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what, std::size_t bit_offset = 0)
+      : std::runtime_error(what), bit_offset_(bit_offset) {}
+
+  [[nodiscard]] std::size_t bit_offset() const noexcept { return bit_offset_; }
+  [[nodiscard]] std::size_t byte_offset() const noexcept {
+    return bit_offset_ / 8;
+  }
+
+ private:
+  std::size_t bit_offset_;
+};
 
 struct CodecConfig {
   /// Tolerance threshold δ as a percentage of max(W)-min(W), the convention
@@ -37,6 +60,13 @@ struct CodecConfig {
   /// Bits per weight in the *uncompressed* representation (32 for float
   /// models, 8 for int8-quantized models). Only used for ratio accounting.
   unsigned weight_bits = 32;
+
+  /// Append a CRC-8 to every serialized ⟨m, q, len⟩ record so a corrupted
+  /// segment is detected (and can be zeroed by deserialize_tolerant) instead
+  /// of silently reconstructing garbage weights. Costs 8 bits per segment in
+  /// compressed_bits(); off by default so the paper's Table II numbers are
+  /// unchanged.
+  bool segment_checksum = false;
 };
 
 /// One encoded sub-succession: the fitted line and how many weights it
@@ -75,14 +105,38 @@ CompressedLayer compress(std::span<const float> weights,
                          const CodecConfig& cfg);
 
 /// Reconstruct the approximated weights via Eq. (2). `out.size()` must equal
-/// `layer.original_count`.
+/// `layer.original_count`. Segment headers are validated first: a length that
+/// would overrun `out`, a non-finite m or q, or lengths that fail to tile the
+/// layer throw DecodeError — never an out-of-bounds write.
 void decompress(const CompressedLayer& layer, std::span<float> out);
 std::vector<float> decompress(const CompressedLayer& layer);
 
 /// Serialize to the bit-packed storage format (what main memory would hold).
 std::vector<std::uint8_t> serialize(const CompressedLayer& layer);
-/// Parse a bit-packed stream back; throws std::runtime_error on corruption.
+/// Parse a bit-packed stream back; throws DecodeError (with the offending
+/// bit/byte offset in the message) on any corruption: short header, bad
+/// magic/version, infeasible field widths, a declared segment count the
+/// remaining bytes cannot hold, a failed per-segment CRC-8, non-finite
+/// coefficients, or lengths that do not tile original_count.
 CompressedLayer deserialize(std::span<const std::uint8_t> bytes);
+
+/// What deserialize_tolerant had to repair. All zero ⇔ the stream was clean.
+struct DecodeDiagnostics {
+  std::size_t segments_total = 0;      ///< records the header declared
+  std::size_t segments_corrupted = 0;  ///< CRC-8/validity failures, zeroed
+  std::size_t segments_missing = 0;    ///< synthesized to cover truncation
+  bool truncated = false;              ///< stream ended mid-payload
+};
+
+/// Best-effort parse for accuracy-under-fault studies: instead of throwing,
+/// a segment whose CRC-8 fails (or whose coefficients are non-finite) keeps
+/// its length but has m = q = 0, truncated tails are padded with zero
+/// segments, and overrunning lengths are clamped — so the result always
+/// decompresses to exactly `original_count` weights. Header corruption is
+/// still fatal (DecodeError): without magic/version/counts there is nothing
+/// to tolerate. `diag`, when non-null, reports what was repaired.
+CompressedLayer deserialize_tolerant(std::span<const std::uint8_t> bytes,
+                                     DecodeDiagnostics* diag = nullptr);
 
 /// Round a double coefficient to the top `bits` bits of its float32 encoding
 /// (round-to-nearest on the dropped mantissa bits). bits == 32 is exact.

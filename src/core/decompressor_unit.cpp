@@ -1,11 +1,18 @@
 #include "core/decompressor_unit.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace nocw::core {
 
 void DecompressorUnit::load(const CompressedSegment& segment) {
   if (busy()) throw std::logic_error("DecompressorUnit::load while busy");
+  // A non-finite coefficient (a corrupted stream that slipped past CRC, or a
+  // caller bug) would propagate NaN through every weight the unit emits and
+  // from there through the whole forward pass — reject it at the latch.
+  if (!std::isfinite(segment.m) || !std::isfinite(segment.q)) {
+    throw DecodeError("DecompressorUnit::load: non-finite coefficients");
+  }
   if (segment.length == 0) return;  // empty segment: nothing to do
   m_ = segment.m;
   accum_ = segment.q;

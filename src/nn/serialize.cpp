@@ -1,6 +1,8 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <vector>
 
@@ -9,6 +11,10 @@ namespace nocw::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4E4F4357;  // "NOCW"
+// v1 files had no version field; the u32 after the magic was the low half of
+// the node count, so they now fail the version check (and retrain) instead
+// of being misparsed.
+constexpr std::uint32_t kVersion = 2;
 
 /// All mutable float state of one layer, in a fixed order.
 std::vector<std::span<float>> layer_state(Layer& layer) {
@@ -27,10 +33,37 @@ void write_u64(std::ofstream& f, std::uint64_t v) {
   f.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool read_u64(std::ifstream& f, std::uint64_t& v) {
-  f.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return static_cast<bool>(f);
-}
+/// Byte-offset-tracking reader: every short read throws SerializeError
+/// naming what was being parsed and where the file ran out.
+struct CheckpointReader {
+  std::ifstream f;
+  std::size_t offset = 0;
+
+  void read_bytes(void* dst, std::size_t n, const std::string& what) {
+    f.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!f) {
+      const auto got = static_cast<std::size_t>(std::max<std::streamsize>(
+          f.gcount(), 0));
+      throw SerializeError("load_weights: file truncated reading " + what +
+                               ": wanted " + std::to_string(n) +
+                               " bytes, got " + std::to_string(got),
+                           offset + got);
+    }
+    offset += n;
+  }
+
+  std::uint32_t read_u32(const std::string& what) {
+    std::uint32_t v = 0;
+    read_bytes(&v, sizeof(v), what);
+    return v;
+  }
+
+  std::uint64_t read_u64(const std::string& what) {
+    std::uint64_t v = 0;
+    read_bytes(&v, sizeof(v), what);
+    return v;
+  }
+};
 
 }  // namespace
 
@@ -38,7 +71,9 @@ bool save_weights(const Graph& graph, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return false;
   const std::uint32_t magic = kMagic;
+  const std::uint32_t version = kVersion;
   f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  f.write(reinterpret_cast<const char*>(&version), sizeof(version));
   write_u64(f, graph.node_count());
   // const_cast: layer_state needs mutable spans; saving only reads them.
   auto& g = const_cast<Graph&>(graph);
@@ -59,30 +94,72 @@ bool save_weights(const Graph& graph, const std::string& path) {
 }
 
 bool load_weights(Graph& graph, const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  std::uint32_t magic = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!f || magic != kMagic) return false;
-  std::uint64_t nodes = 0;
-  if (!read_u64(f, nodes) || nodes != graph.node_count()) return false;
+  CheckpointReader r;
+  r.f.open(path, std::ios::binary);
+  if (!r.f) return false;  // missing file: recoverable, caller retrains
+
+  const std::uint32_t magic = r.read_u32("magic");
+  if (magic != kMagic) {
+    throw SerializeError("load_weights: bad magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08X", magic);
+      return std::string(buf);
+    }() + ", not a NOCW checkpoint", 0);
+  }
+  const std::uint32_t version = r.read_u32("format version");
+  if (version != kVersion) {
+    throw SerializeError("load_weights: unsupported checkpoint version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ")",
+                         sizeof(kMagic));
+  }
+  const std::uint64_t nodes = r.read_u64("node count");
+  if (nodes != graph.node_count()) {
+    throw SerializeError("load_weights: checkpoint holds " +
+                             std::to_string(nodes) + " nodes, graph has " +
+                             std::to_string(graph.node_count()),
+                         r.offset - sizeof(std::uint64_t));
+  }
   for (std::size_t i = 0; i < graph.node_count(); ++i) {
     Layer& layer = graph.layer(static_cast<int>(i));
-    std::uint64_t name_len = 0;
-    if (!read_u64(f, name_len) || name_len > 4096) return false;
+    const std::string label = "layer " + std::to_string(i);
+    const std::uint64_t name_len = r.read_u64(label + " name length");
+    if (name_len > 4096) {
+      throw SerializeError("load_weights: " + label + " name length " +
+                               std::to_string(name_len) +
+                               " implausible, file is corrupt",
+                           r.offset - sizeof(std::uint64_t));
+    }
     std::string name(name_len, '\0');
-    f.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!f || name != layer.name()) return false;
-    std::uint64_t span_count = 0;
-    if (!read_u64(f, span_count)) return false;
+    const std::size_t name_at = r.offset;
+    r.read_bytes(name.data(), name_len, label + " name");
+    if (name != layer.name()) {
+      throw SerializeError("load_weights: " + label + " is '" + name +
+                               "', graph expects '" + layer.name() +
+                               "' — wrong architecture or corrupt file",
+                           name_at);
+    }
+    const std::uint64_t span_count = r.read_u64(label + " span count");
     const auto spans = layer_state(layer);
-    if (span_count != spans.size()) return false;
-    for (const auto& s : spans) {
-      std::uint64_t len = 0;
-      if (!read_u64(f, len) || len != s.size()) return false;
-      f.read(reinterpret_cast<char*>(s.data()),
-             static_cast<std::streamsize>(len * sizeof(float)));
-      if (!f) return false;
+    if (span_count != spans.size()) {
+      throw SerializeError("load_weights: " + label + " ('" + name +
+                               "') holds " + std::to_string(span_count) +
+                               " parameter spans, graph expects " +
+                               std::to_string(spans.size()),
+                           r.offset - sizeof(std::uint64_t));
+    }
+    for (std::size_t si = 0; si < spans.size(); ++si) {
+      const std::uint64_t len = r.read_u64(label + " span length");
+      if (len != spans[si].size()) {
+        throw SerializeError("load_weights: " + label + " ('" + name +
+                                 "') span " + std::to_string(si) + " holds " +
+                                 std::to_string(len) +
+                                 " floats, graph expects " +
+                                 std::to_string(spans[si].size()),
+                             r.offset - sizeof(std::uint64_t));
+      }
+      r.read_bytes(spans[si].data(), len * sizeof(float),
+                   label + " ('" + name + "') span " + std::to_string(si));
     }
   }
   return true;

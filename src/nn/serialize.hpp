@@ -1,22 +1,47 @@
 // Weight checkpointing: save/load all learnable state of a graph.
 //
-// Binary format: magic, node records keyed by layer name with kernel, bias
-// and (for BatchNorm) moving statistics. Loading validates names and sizes
-// against the target graph, so a checkpoint only loads into the same
-// architecture. Used by the benches to train LeNet-5 once and share it.
+// Binary format: magic + format version, then node records keyed by layer
+// name with kernel, bias and (for BatchNorm) moving statistics. Loading
+// validates names and sizes against the target graph, so a checkpoint only
+// loads into the same architecture. Used by the benches to train LeNet-5
+// once and share it.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
 #include <string>
 
 #include "nn/graph.hpp"
 
 namespace nocw::nn {
 
+/// Raised by load_weights when the file exists but cannot be loaded: bad
+/// magic, unsupported version, truncation, or a record that does not match
+/// the target graph's architecture. The message names the failing record and
+/// `byte_offset()` locates where in the file the parse stopped — enough to
+/// tell a corrupted checkpoint from a checkpoint of a different model.
+class SerializeError : public std::runtime_error {
+ public:
+  SerializeError(const std::string& what, std::size_t byte_offset)
+      : std::runtime_error(what + " (at byte offset " +
+                           std::to_string(byte_offset) + ")"),
+        byte_offset_(byte_offset) {}
+
+  [[nodiscard]] std::size_t byte_offset() const noexcept {
+    return byte_offset_;
+  }
+
+ private:
+  std::size_t byte_offset_;
+};
+
 /// Write all parameters to `path`. Returns false on I/O failure.
 bool save_weights(const Graph& graph, const std::string& path);
 
 /// Load parameters from `path` into `graph`. Returns false when the file is
-/// missing, corrupt, or does not match the graph's architecture.
+/// missing (the one expected, recoverable case — callers retrain); throws
+/// SerializeError when the file exists but is truncated, corrupt, from an
+/// unsupported format version, or does not match the graph's architecture.
 bool load_weights(Graph& graph, const std::string& path);
 
 }  // namespace nocw::nn

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "noc/fault.hpp"
+
 namespace nocw::noc {
 
 /// Dimension-order routing variants (both deadlock-free on meshes).
@@ -24,6 +26,12 @@ struct NocConfig {
   /// lock is held per (output, VC), so a blocked packet no longer blocks
   /// packets travelling on other VCs of the same link. 1 = plain wormhole.
   int virtual_channels = 1;
+  /// Seeded fault injection (bit flips, link faults, router stalls). The
+  /// default (all rates zero) is completely inert: cycles, stats and energy
+  /// are bit-identical to a fault-free build.
+  FaultConfig fault;
+  /// Per-packet CRC + MI→PE retransmission. Off by default (zero overhead).
+  ProtectionConfig protection;
 
   [[nodiscard]] int node_count() const noexcept { return width * height; }
   [[nodiscard]] int node_x(int id) const noexcept { return id % width; }

@@ -1,0 +1,168 @@
+#include "noc/fault.hpp"
+
+#include <cmath>
+
+#include "noc/flit.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nocw::noc {
+
+namespace {
+
+// Domain-separation salts so the same (cycle, entity) coordinates never
+// collide across fault mechanisms.
+constexpr std::uint64_t kSaltBitFlip = 0xB17F11B5ULL;
+constexpr std::uint64_t kSaltBitPick = 0xB17C0DE5ULL;
+constexpr std::uint64_t kSaltLinkDown = 0x11D0D011ULL;
+constexpr std::uint64_t kSaltStall = 0x57A11EDULL;
+constexpr std::uint64_t kSaltStuck = 0x57C0CA7ULL;
+
+/// Uniform double in [0, 1) from a hash value, mirroring
+/// Xoshiro256pp::uniform()'s bit discipline.
+double to_uniform(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) noexcept {
+  // Three chained SplitMix64 steps: each coordinate perturbs the state of
+  // the previous stage, giving a well-mixed counter-based generator.
+  SplitMix64 s1(seed ^ a);
+  SplitMix64 s2(s1.next() ^ b);
+  SplitMix64 s3(s2.next() ^ c);
+  return s3.next();
+}
+
+std::uint64_t synth_payload(std::uint32_t packet_id,
+                            std::uint32_t seq) noexcept {
+  return fault_hash(0xDA7AF117ULL, packet_id, seq, 0);
+}
+
+std::uint32_t crc32_word(std::uint32_t crc, std::uint64_t word) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    crc ^= static_cast<std::uint32_t>((word >> (8 * byte)) & 0xFFu);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc;
+}
+
+std::uint64_t corrupt_bits(std::span<std::uint8_t> bytes,
+                           double bit_flip_probability, std::uint64_t seed) {
+  NOCW_CHECK_GE(bit_flip_probability, 0.0);
+  NOCW_CHECK_LE(bit_flip_probability, 1.0);
+  if (bytes.empty() || bit_flip_probability <= 0.0) return 0;
+  const std::uint64_t nbits = static_cast<std::uint64_t>(bytes.size()) * 8;
+  Xoshiro256pp rng(seed);
+  std::uint64_t flips = 0;
+  if (bit_flip_probability >= 1.0) {
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(~b);
+    return nbits;
+  }
+  // Exact per-bit Bernoulli via geometric gap sampling: the gap to the next
+  // flipped bit is floor(log(u) / log(1 - p)), u ~ U(0, 1].
+  const double denom = std::log1p(-bit_flip_probability);
+  std::uint64_t pos = 0;
+  while (true) {
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    const double gap = std::floor(std::log(u) / denom);
+    if (gap >= static_cast<double>(nbits - pos)) break;
+    pos += static_cast<std::uint64_t>(gap);
+    bytes[pos >> 3] ^= static_cast<std::uint8_t>(1u << (pos & 7));
+    ++flips;
+    if (++pos >= nbits) break;
+  }
+  return flips;
+}
+
+FaultModel::FaultModel(const FaultConfig& cfg, int node_count) : cfg_(cfg) {
+  NOCW_CHECK_GE(cfg_.bit_flip_probability, 0.0);
+  NOCW_CHECK_LE(cfg_.bit_flip_probability, 1.0);
+  NOCW_CHECK_GE(cfg_.link_fault_probability, 0.0);
+  NOCW_CHECK_LE(cfg_.link_fault_probability, 1.0);
+  NOCW_CHECK_GE(cfg_.router_stall_probability, 0.0);
+  NOCW_CHECK_LE(cfg_.router_stall_probability, 1.0);
+  NOCW_CHECK_GE(cfg_.permanent_stuck_links, 0);
+  NOCW_CHECK_GT(node_count, 0);
+  enabled_ = cfg_.any();
+  if (!enabled_) return;
+  // Probability at least one of the 64 payload bits flips in one traversal.
+  flit_flip_probability_ =
+      1.0 - std::pow(1.0 - cfg_.bit_flip_probability, 64.0);
+  if (cfg_.permanent_stuck_links > 0) {
+    const std::size_t link_count =
+        static_cast<std::size_t>(node_count) * kNumPorts;
+    stuck_masks_.assign(link_count, 0);
+    int placed = 0;
+    // Deterministic placement: walk salted hashes until `permanent_stuck_links`
+    // distinct non-local links carry a non-zero stuck-at mask.
+    for (std::uint64_t salt = 0;
+         placed < cfg_.permanent_stuck_links && salt < link_count * 64;
+         ++salt) {
+      const std::uint64_t h = fault_hash(cfg_.seed, kSaltStuck, salt, 0);
+      const std::size_t link = static_cast<std::size_t>(h % link_count);
+      if (link % kNumPorts == static_cast<std::size_t>(kLocal)) continue;
+      if (stuck_masks_[link] != 0) continue;
+      std::uint64_t mask =
+          fault_hash(cfg_.seed, kSaltStuck, salt, 1) & 0xFFULL;
+      if (mask == 0) mask = 1;  // a stuck link always corrupts something
+      stuck_masks_[link] = mask;
+      ++placed;
+    }
+  }
+}
+
+int FaultModel::corrupt_payload(std::uint64_t& payload, std::uint64_t cycle,
+                                int router, int out_port) const noexcept {
+  if (!enabled_) return 0;
+  int flips = 0;
+  const std::uint64_t link =
+      static_cast<std::uint64_t>(router) * kNumPorts +
+      static_cast<std::uint64_t>(out_port);
+  if (flit_flip_probability_ > 0.0) {
+    const std::uint64_t h = fault_hash(cfg_.seed, kSaltBitFlip, cycle, link);
+    if (to_uniform(h) < flit_flip_probability_) {
+      const std::uint64_t bit =
+          fault_hash(cfg_.seed, kSaltBitPick, cycle, link) & 63;
+      payload ^= (1ULL << bit);
+      ++flips;
+    }
+  }
+  const std::uint64_t mask = stuck_mask(router, out_port);
+  if (mask != 0) {
+    payload ^= mask;
+    flips += __builtin_popcountll(mask);
+  }
+  return flips;
+}
+
+bool FaultModel::link_down(std::uint64_t cycle, int router,
+                           int out_port) const noexcept {
+  if (!enabled_ || cfg_.link_fault_probability <= 0.0) return false;
+  const std::uint64_t link =
+      static_cast<std::uint64_t>(router) * kNumPorts +
+      static_cast<std::uint64_t>(out_port);
+  const std::uint64_t h = fault_hash(cfg_.seed, kSaltLinkDown, cycle, link);
+  return to_uniform(h) < cfg_.link_fault_probability;
+}
+
+bool FaultModel::router_stalled(std::uint64_t cycle,
+                                int router) const noexcept {
+  if (!enabled_ || cfg_.router_stall_probability <= 0.0) return false;
+  const std::uint64_t h = fault_hash(cfg_.seed, kSaltStall, cycle,
+                                     static_cast<std::uint64_t>(router));
+  return to_uniform(h) < cfg_.router_stall_probability;
+}
+
+std::uint64_t FaultModel::stuck_mask(int router, int out_port) const noexcept {
+  if (stuck_masks_.empty()) return 0;
+  const std::size_t link = static_cast<std::size_t>(router) * kNumPorts +
+                           static_cast<std::size_t>(out_port);
+  return link < stuck_masks_.size() ? stuck_masks_[link] : 0;
+}
+
+}  // namespace nocw::noc

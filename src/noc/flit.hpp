@@ -21,6 +21,10 @@ struct Flit {
   FlitType type = FlitType::HeadTail;
   std::uint8_t vc = 0;             ///< virtual channel (fixed per packet)
   std::uint32_t inject_cycle = 0;  ///< cycle the head entered the source queue
+  /// 64-bit link word. Only populated when fault injection or CRC protection
+  /// is active: data flits carry a deterministic per-flit word, a packet's
+  /// CRC flit carries the CRC-32 of the preceding payloads.
+  std::uint64_t payload = 0;
 };
 
 /// A packet awaiting injection: `size_flits` flits from src to dst, eligible
@@ -30,6 +34,9 @@ struct PacketDescriptor {
   std::uint16_t dst = 0;
   std::uint32_t size_flits = 1;
   std::uint64_t release_cycle = 0;
+  /// Retransmission attempt count; 0 for fresh packets, maintained by the
+  /// network's CRC/NACK recovery protocol.
+  std::uint16_t attempt = 0;
 };
 
 /// Router port indices. Local is the NI (injection/ejection) port.

@@ -1,13 +1,18 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/check.hpp"
 
 namespace nocw::noc {
 
-Network::Network(const NocConfig& cfg) : cfg_(cfg) {
+Network::Network(const NocConfig& cfg)
+    : cfg_(cfg), fault_(cfg.fault, cfg.node_count()) {
   vcs_ = cfg_.virtual_channels > 0 ? cfg_.virtual_channels : 1;
+  protect_ = cfg_.protection.crc;
+  carry_payload_ = protect_ || fault_.enabled();
+  NOCW_CHECK_GE(cfg_.protection.max_retries, 0);
   routers_.reserve(static_cast<std::size_t>(cfg_.node_count()));
   for (int id = 0; id < cfg_.node_count(); ++id) {
     routers_.emplace_back(id, cfg_);
@@ -23,9 +28,13 @@ void Network::add_packet(const PacketDescriptor& p) {
     throw std::invalid_argument("packet endpoint out of range");
   }
   if (p.size_flits == 0) throw std::invalid_argument("empty packet");
+  queue_packet(p);
+}
+
+void Network::queue_packet(const PacketDescriptor& p) {
   auto& s = sources_[p.src];
   s.pending.push(p);
-  s.queued_flits += p.size_flits;
+  s.queued_flits += flits_of(p);
 }
 
 void Network::add_packets(std::span<const PacketDescriptor> ps) {
@@ -45,6 +54,8 @@ void Network::inject_phase() {
       s.active = true;
       s.sent = 0;
       s.packet_id = next_packet_id_++;
+      s.crc_accum = kCrcInit;
+      if (protect_) inflight_.emplace(s.packet_id, s.current);
     }
     const int vc = static_cast<int>(s.packet_id % static_cast<std::uint32_t>(vcs_));
     auto& local =
@@ -52,6 +63,7 @@ void Network::inject_phase() {
     const std::size_t idx = stage_index(node, kLocal, vc);
     if (local.free_slots() <= staged_count_[idx]) continue;
 
+    const auto size = static_cast<std::uint32_t>(flits_of(s.current));
     Flit f;
     f.packet_id = s.packet_id;
     f.src = s.current.src;
@@ -59,11 +71,22 @@ void Network::inject_phase() {
     f.vc = static_cast<std::uint8_t>(vc);
     f.inject_cycle = static_cast<std::uint32_t>(s.current.release_cycle);
     const bool first = (s.sent == 0);
-    const bool last = (s.sent + 1 == s.current.size_flits);
+    const bool last = (s.sent + 1 == size);
     f.type = first && last ? FlitType::HeadTail
              : first       ? FlitType::Head
              : last        ? FlitType::Tail
                            : FlitType::Body;
+    if (carry_payload_) {
+      const bool crc_flit = protect_ && last;
+      if (crc_flit) {
+        f.payload = s.crc_accum;
+        ++stats_.crc_flits_injected;
+      } else {
+        f.payload = synth_payload(s.packet_id, s.sent);
+        if (protect_) s.crc_accum = crc32_word(s.crc_accum, f.payload);
+      }
+      if (protect_) ++stats_.crc_flit_events;  // CRC generator work
+    }
     staged_.push_back(StagedMove{node, kLocal, f});
     ++staged_count_[idx];
     ++s.sent;
@@ -74,24 +97,80 @@ void Network::inject_phase() {
   }
 }
 
+void Network::eject_flit(const Flit& f) {
+  ++stats_.buffer_reads;
+  ++stats_.router_traversals;
+  ++stats_.flits_ejected;
+  if (protect_) ++stats_.crc_flit_events;  // CRC checker work
+  const bool tail =
+      f.type == FlitType::Tail || f.type == FlitType::HeadTail;
+  if (!tail) {
+    if (protect_) {
+      const auto it = eject_crc_.find(f.packet_id);
+      const std::uint32_t crc = it == eject_crc_.end() ? kCrcInit : it->second;
+      eject_crc_[f.packet_id] = crc32_word(crc, f.payload);
+    }
+    if (eject_hook_) eject_hook_(f, stats_.cycles);
+    return;
+  }
+  ++stats_.packets_ejected;
+  stats_.packet_latency.add(
+      static_cast<double>(stats_.cycles - f.inject_cycle));
+  if (!protect_) {
+    ++stats_.packets_delivered;
+    if (eject_hook_) eject_hook_(f, stats_.cycles);
+    return;
+  }
+  // The tail is the CRC flit: compare against the CRC accumulated over the
+  // packet's data payloads (wormhole delivery preserves flit order).
+  std::uint32_t crc = kCrcInit;
+  if (const auto it = eject_crc_.find(f.packet_id); it != eject_crc_.end()) {
+    crc = it->second;
+    eject_crc_.erase(it);
+  }
+  const auto pit = inflight_.find(f.packet_id);
+  NOCW_CHECK(pit != inflight_.end());
+  if (crc == static_cast<std::uint32_t>(f.payload)) {
+    ++stats_.packets_delivered;
+    inflight_.erase(pit);
+  } else {
+    // NACK path: requeue the original descriptor with exponential backoff,
+    // or drop once the retry budget is exhausted.
+    ++stats_.crc_failures;
+    PacketDescriptor d = pit->second;
+    inflight_.erase(pit);
+    if (d.attempt < cfg_.protection.max_retries) {
+      const unsigned shift = std::min<unsigned>(d.attempt, 32);
+      d.release_cycle =
+          stats_.cycles + (cfg_.protection.retry_backoff_cycles << shift);
+      ++d.attempt;
+      ++stats_.retransmissions;
+      queue_packet(d);
+    } else {
+      ++stats_.packets_dropped;
+    }
+  }
+  if (eject_hook_) eject_hook_(f, stats_.cycles);
+}
+
 void Network::switch_phase() {
+  const bool faulty = fault_.enabled();
   for (auto& r : routers_) {
+    if (faulty && fault_.router_stalled(stats_.cycles, r.id())) {
+      ++stats_.router_stall_cycles;
+      continue;  // control-path glitch: no allocation on any port this cycle
+    }
     for (int out = 0; out < kNumPorts; ++out) {
       if (out == kLocal) {
         // Ejection: the NI always sinks one flit per cycle per port.
         const auto in = r.allocate(out);
         if (!in) continue;
-        const Flit f = r.grant(*in, out);
-        ++stats_.buffer_reads;
-        ++stats_.router_traversals;
-        ++stats_.flits_ejected;
-        if (f.type == FlitType::Tail || f.type == FlitType::HeadTail) {
-          ++stats_.packets_ejected;
-          stats_.packet_latency.add(
-              static_cast<double>(stats_.cycles - f.inject_cycle));
-        }
-        if (eject_hook_) eject_hook_(f, stats_.cycles);
+        eject_flit(r.grant(*in, out));
         continue;
+      }
+      if (faulty && fault_.link_down(stats_.cycles, r.id(), out)) {
+        ++stats_.link_fault_cycles;
+        continue;  // transient outage: flits stay buffered and retry
       }
       // Neighbour router and its receiving port.
       const int x = cfg_.node_x(r.id());
@@ -121,7 +200,11 @@ void Network::switch_phase() {
                staged_count_[stage_index(nid, nport, vc)];
       });
       if (!in) continue;
-      const Flit f = r.grant(*in, out);
+      Flit f = r.grant(*in, out);
+      if (faulty) {
+        stats_.payload_bit_flips += static_cast<std::uint64_t>(
+            fault_.corrupt_payload(f.payload, stats_.cycles, r.id(), out));
+      }
       const std::size_t idx =
           stage_index(nid, nport, static_cast<int>(f.vc));
       staged_.push_back(StagedMove{nid, nport, f});
@@ -197,6 +280,20 @@ void Network::check_invariants() const {
   NOCW_CHECK_EQ(stats_.router_traversals, stats_.buffer_reads);
   // One latency sample per ejected packet (Fig. 2 latency feeds off this).
   NOCW_CHECK_EQ(stats_.packet_latency.count(), stats_.packets_ejected);
+  // CRC bookkeeping: every ejected packet is either delivered clean or
+  // failed its check, and every failure resolved into a retransmission or a
+  // drop at the moment it was detected.
+  NOCW_CHECK_EQ(stats_.packets_delivered + stats_.crc_failures,
+                stats_.packets_ejected);
+  NOCW_CHECK_EQ(stats_.retransmissions + stats_.packets_dropped,
+                stats_.crc_failures);
+  if (!protect_) {
+    NOCW_CHECK_EQ(stats_.crc_failures, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.crc_flits_injected, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.crc_flit_events, std::uint64_t{0});
+    NOCW_CHECK(inflight_.empty());
+    NOCW_CHECK(eject_crc_.empty());
+  }
 }
 
 }  // namespace nocw::noc

@@ -11,9 +11,11 @@
 #include <functional>
 #include <queue>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "noc/config.hpp"
+#include "noc/fault.hpp"
 #include "noc/flit.hpp"
 #include "noc/router.hpp"
 #include "noc/stats.hpp"
@@ -90,6 +92,7 @@ class Network {
     std::uint32_t sent = 0;
     std::uint32_t packet_id = 0;
     std::uint64_t queued_flits = 0;  ///< flits not yet injected at this node
+    std::uint32_t crc_accum = 0;     ///< running CRC of the active packet
   };
 
   struct StagedMove {
@@ -100,11 +103,26 @@ class Network {
 
   void inject_phase();
   void switch_phase();
+  void eject_flit(const Flit& f);
+  void queue_packet(const PacketDescriptor& p);
+  /// Flits a descriptor expands to at injection (+1 CRC flit if protected).
+  [[nodiscard]] std::uint64_t flits_of(const PacketDescriptor& p)
+      const noexcept {
+    return p.size_flits + (protect_ ? 1u : 0u);
+  }
 
   NocConfig cfg_;
   std::vector<Router> routers_;
   std::vector<Source> sources_;
   NocStats stats_;
+  FaultModel fault_;
+  bool protect_ = false;       ///< cfg_.protection.crc
+  bool carry_payload_ = false; ///< faults or protection active
+  /// Protected packets in flight: packet id → original descriptor (attempt
+  /// count included), so a CRC failure at ejection can requeue it.
+  std::unordered_map<std::uint32_t, PacketDescriptor> inflight_;
+  /// Ejection-side running CRC per in-flight packet id.
+  std::unordered_map<std::uint32_t, std::uint32_t> eject_crc_;
   std::vector<StagedMove> staged_;
   // staged occupancy per (router, port, vc) for capacity checks in a cycle
   std::vector<std::uint8_t> staged_count_;

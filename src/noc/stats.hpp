@@ -23,6 +23,19 @@ struct NocStats {
   std::uint64_t buffer_reads = 0;
   RunningStats packet_latency;  ///< injection to tail ejection, cycles
 
+  // --- fault injection (zero unless a FaultConfig is active) ---
+  std::uint64_t payload_bit_flips = 0;   ///< bits corrupted on links
+  std::uint64_t link_fault_cycles = 0;   ///< (link, cycle) transient outages
+  std::uint64_t router_stall_cycles = 0; ///< (router, cycle) stalls taken
+
+  // --- CRC protection + retransmission (zero unless protection.crc) ---
+  std::uint64_t crc_flits_injected = 0;  ///< extra CRC flits added to packets
+  std::uint64_t crc_flit_events = 0;     ///< flits through CRC gen/check logic
+  std::uint64_t crc_failures = 0;        ///< packets failing the eject check
+  std::uint64_t packets_delivered = 0;   ///< packets ejected CRC-clean
+  std::uint64_t retransmissions = 0;     ///< NACK-triggered re-injections
+  std::uint64_t packets_dropped = 0;     ///< retry budget exhausted
+
   /// Delivered throughput in flits per cycle.
   [[nodiscard]] double throughput() const noexcept {
     return cycles ? static_cast<double>(flits_ejected) /

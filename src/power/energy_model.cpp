@@ -21,6 +21,7 @@ EventCounts& EventCounts::operator+=(const EventCounts& o) {
   link_traversals = checked_add(link_traversals, o.link_traversals);
   buffer_writes = checked_add(buffer_writes, o.buffer_writes);
   buffer_reads = checked_add(buffer_reads, o.buffer_reads);
+  crc_flit_events = checked_add(crc_flit_events, o.crc_flit_events);
   macs = checked_add(macs, o.macs);
   decompress_steps = checked_add(decompress_steps, o.decompress_steps);
   sram_reads = checked_add(sram_reads, o.sram_reads);
@@ -63,7 +64,8 @@ EnergyBreakdown annotate(const EventCounts& e, double seconds,
       (static_cast<double>(e.router_traversals) * t.router_traversal_pj +
        static_cast<double>(e.link_traversals) * t.link_traversal_pj +
        static_cast<double>(e.buffer_writes) * t.buffer_write_pj +
-       static_cast<double>(e.buffer_reads) * t.buffer_read_pj) *
+       static_cast<double>(e.buffer_reads) * t.buffer_read_pj +
+       static_cast<double>(e.crc_flit_events) * t.crc_pj) *
       kPjToJ;
   out.communication.leakage_j =
       static_cast<double>(shape.routers) * t.router_leak_mw * kMwToW * seconds;

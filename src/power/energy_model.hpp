@@ -23,6 +23,7 @@ struct EnergyTable {
   double link_traversal_pj = 4.0;    ///< 1 mm inter-router wire per flit
   double buffer_write_pj = 2.0;
   double buffer_read_pj = 1.5;
+  double crc_pj = 0.3;               ///< CRC-32 generator/checker per flit
   double router_leak_mw = 0.9;       ///< per router
 
   // --- PE compute ---
@@ -86,6 +87,9 @@ struct EventCounts {
   std::uint64_t link_traversals = 0;
   std::uint64_t buffer_writes = 0;
   std::uint64_t buffer_reads = 0;
+  /// Flits through CRC generate/check logic (zero unless packet protection
+  /// is on, so unprotected runs charge no protection energy).
+  std::uint64_t crc_flit_events = 0;
   std::uint64_t macs = 0;
   std::uint64_t decompress_steps = 0;
   std::uint64_t sram_reads = 0;   ///< 64-bit words

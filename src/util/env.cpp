@@ -1,24 +1,76 @@
 #include "util/env.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
 
 namespace nocw {
 
+namespace {
+
+/// Warn at most once per variable name for the process lifetime, so a knob
+/// read in a hot loop (the thread pool reads NOCW_THREADS lazily) does not
+/// spam stderr.
+void warn_once(const char* name, const char* value, const char* why,
+               const char* fallback_repr) {
+  static std::set<std::string> warned;
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  if (!warned.insert(name).second) return;
+  std::fprintf(stderr,
+               "nocw: ignoring %s=\"%s\" (%s); using default %s\n",
+               name, value, why, fallback_repr);
+}
+
+}  // namespace
+
 std::int64_t env_int(const char* name, std::int64_t fallback) {
+  return env_int(name, fallback, std::numeric_limits<std::int64_t>::min());
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback,
+                     std::int64_t min_value) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(v, &end, 10);
-  if (end == v || *end != '\0') return fallback;
+  char fb[32];
+  std::snprintf(fb, sizeof(fb), "%lld", static_cast<long long>(fallback));
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    warn_once(name, v, "not an integer", fb);
+    return fallback;
+  }
+  if (parsed < min_value) {
+    warn_once(name, v, "below the minimum for this knob", fb);
+    return fallback;
+  }
   return parsed;
 }
 
 double env_double(const char* name, double fallback) {
+  return env_double(name, fallback, -std::numeric_limits<double>::infinity());
+}
+
+double env_double(const char* name, double fallback, double min_value) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);
-  if (end == v || *end != '\0') return fallback;
+  char fb[48];
+  std::snprintf(fb, sizeof(fb), "%g", fallback);
+  if (end == v || *end != '\0' || std::isnan(parsed)) {
+    warn_once(name, v, "not a number", fb);
+    return fallback;
+  }
+  if (parsed < min_value) {
+    warn_once(name, v, "below the minimum for this knob", fb);
+    return fallback;
+  }
   return parsed;
 }
 

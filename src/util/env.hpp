@@ -11,10 +11,23 @@
 namespace nocw {
 
 /// Read an integer env var, returning `fallback` when unset or malformed.
+/// A set-but-malformed value (e.g. NOCW_THREADS=abc) falls back with a
+/// one-time warning on stderr — a typo'd knob silently reverting to the
+/// default is how a "parallel" benchmark runs serial for weeks. An unset
+/// variable is silent: that is the normal case.
 std::int64_t env_int(const char* name, std::int64_t fallback);
 
-/// Read a double env var, returning `fallback` when unset or malformed.
+/// As above, but values below `min_value` (e.g. a negative thread count)
+/// also fall back with the one-time warning.
+std::int64_t env_int(const char* name, std::int64_t fallback,
+                     std::int64_t min_value);
+
+/// Read a double env var, returning `fallback` when unset or malformed; a
+/// set-but-malformed or non-finite value warns once on stderr.
 double env_double(const char* name, double fallback);
+
+/// As above, but values below `min_value` also fall back with the warning.
+double env_double(const char* name, double fallback, double min_value);
 
 /// Read a string env var, returning `fallback` when unset.
 std::string env_string(const char* name, const std::string& fallback);

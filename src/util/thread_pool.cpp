@@ -142,7 +142,9 @@ std::unique_ptr<ThreadPool> g_pool;
 std::atomic<ThreadPool*> g_pool_ptr{nullptr};
 
 unsigned default_thread_count() {
-  const std::int64_t requested = env_int("NOCW_THREADS", 0);
+  // min_value 0: a negative NOCW_THREADS warns once and falls back instead
+  // of silently meaning "auto".
+  const std::int64_t requested = env_int("NOCW_THREADS", 0, 0);
   if (requested > 0) {
     return static_cast<unsigned>(std::min<std::int64_t>(requested, 512));
   }

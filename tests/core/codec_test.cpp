@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -147,8 +148,8 @@ TEST(Codec, SerializedSizeMatchesAccounting) {
   cfg.delta_percent = 5.0;
   const auto layer = compress(w, cfg);
   const auto bytes = serialize(layer);
-  // Header is 16+8+6+6+6+48+48+32 = 170 bits.
-  const std::size_t expected_bits = 170 + layer.compressed_bits();
+  // Header is 16+8+8+6+6+6+48+48+32 = 178 bits (v2 adds the flags byte).
+  const std::size_t expected_bits = 178 + layer.compressed_bits();
   EXPECT_EQ(bytes.size(), (expected_bits + 7) / 8);
 }
 
@@ -213,6 +214,121 @@ TEST(Codec, WeightBitsAffectsRatioAccountingOnly) {
   const auto lb = compress(w, b);
   EXPECT_EQ(la.segments.size(), lb.segments.size());
   EXPECT_NEAR(la.compression_ratio() / lb.compression_ratio(), 4.0, 1e-9);
+}
+
+// --- corruption regressions ------------------------------------------------
+// A corrupted stream is a runtime input, not a programming error: every
+// malformed shape must surface as DecodeError (strict) or a zeroed/padded
+// repair (tolerant), never an out-of-bounds write.
+
+TEST(CodecCorruption, DecompressRejectsOverrunningSegment) {
+  CompressedLayer layer;
+  layer.original_count = 10;
+  layer.segments.push_back({0.5F, 1.0F, 20});  // claims twice the weights
+  EXPECT_THROW(decompress(layer), DecodeError);
+}
+
+TEST(CodecCorruption, DecompressRejectsUnderfilledTiling) {
+  CompressedLayer layer;
+  layer.original_count = 10;
+  layer.segments.push_back({0.5F, 1.0F, 4});  // 6 weights unaccounted for
+  EXPECT_THROW(decompress(layer), DecodeError);
+}
+
+TEST(CodecCorruption, DecompressRejectsNonFiniteCoefficients) {
+  CompressedLayer layer;
+  layer.original_count = 4;
+  layer.segments.push_back(
+      {std::numeric_limits<float>::quiet_NaN(), 0.0F, 4});
+  EXPECT_THROW(decompress(layer), DecodeError);
+  layer.segments[0] = {0.0F, std::numeric_limits<float>::infinity(), 4};
+  EXPECT_THROW(decompress(layer), DecodeError);
+}
+
+TEST(CodecCorruption, SegmentChecksumRoundTripAndAccounting) {
+  const auto w = gaussian_weights(3000, 53);
+  CodecConfig plain;
+  plain.delta_percent = 10.0;
+  CodecConfig checked = plain;
+  checked.segment_checksum = true;
+  const auto lp = compress(w, plain);
+  const auto lc = compress(w, checked);
+  // The checksum costs exactly 8 bits per segment and nothing else.
+  ASSERT_EQ(lp.segments.size(), lc.segments.size());
+  EXPECT_EQ(lc.compressed_bits(),
+            lp.compressed_bits() + 8 * lc.segments.size());
+  const auto back = deserialize(serialize(lc));
+  EXPECT_EQ(decompress(back), decompress(lc));
+}
+
+TEST(CodecCorruption, FlippedPayloadBitIsDetected) {
+  const auto w = gaussian_weights(2000, 54);
+  CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  cfg.segment_checksum = true;
+  const auto layer = compress(w, cfg);
+  auto bytes = serialize(layer);
+  // Byte 25 = bits 200..207, inside the first segment record (the v2 header
+  // occupies bits 0..177). The CRC-8 must flag whichever field it lands in.
+  bytes[25] ^= 0x10;
+  EXPECT_THROW(deserialize(bytes), DecodeError);
+
+  DecodeDiagnostics diag;
+  const auto repaired = deserialize_tolerant(bytes, &diag);
+  EXPECT_EQ(diag.segments_total, layer.segments.size());
+  EXPECT_GE(diag.segments_corrupted, 1u);
+  EXPECT_FALSE(diag.truncated);
+  // The repair keeps the tiling: decompression yields the full weight count,
+  // with the corrupted segment reconstructing zeros.
+  const auto out = decompress(repaired);
+  EXPECT_EQ(out.size(), layer.original_count);
+}
+
+TEST(CodecCorruption, TruncatedStreamStrictThrowsTolerantPads) {
+  const auto w = gaussian_weights(2000, 55);
+  CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  cfg.segment_checksum = true;
+  const auto layer = compress(w, cfg);
+  auto bytes = serialize(layer);
+  bytes.resize(bytes.size() / 2);
+
+  try {
+    (void)deserialize(bytes);
+    FAIL() << "expected DecodeError for truncated stream";
+  } catch (const DecodeError& e) {
+    EXPECT_LE(e.byte_offset(), bytes.size());
+  }
+
+  DecodeDiagnostics diag;
+  const auto repaired = deserialize_tolerant(bytes, &diag);
+  EXPECT_TRUE(diag.truncated);
+  EXPECT_GT(diag.segments_missing, 0u);
+  EXPECT_EQ(decompress(repaired).size(), layer.original_count);
+}
+
+TEST(CodecCorruption, TolerantOnCleanStreamMatchesStrict) {
+  const auto w = gaussian_weights(2000, 56);
+  CodecConfig cfg;
+  cfg.delta_percent = 10.0;
+  cfg.segment_checksum = true;
+  const auto bytes = serialize(compress(w, cfg));
+  DecodeDiagnostics diag;
+  const auto tolerant = deserialize_tolerant(bytes, &diag);
+  EXPECT_EQ(diag.segments_corrupted, 0u);
+  EXPECT_EQ(diag.segments_missing, 0u);
+  EXPECT_FALSE(diag.truncated);
+  EXPECT_EQ(decompress(tolerant), decompress(deserialize(bytes)));
+}
+
+TEST(CodecCorruption, HeaderCorruptionIsFatalEvenForTolerant) {
+  const auto w = gaussian_weights(500, 57);
+  CodecConfig cfg;
+  cfg.segment_checksum = true;
+  auto bytes = serialize(compress(w, cfg));
+  bytes[0] ^= 0xFF;  // magic
+  EXPECT_THROW(deserialize(bytes), DecodeError);
+  EXPECT_THROW(deserialize_tolerant(bytes), DecodeError);
 }
 
 // Property sweep over δ values: reconstruction must always tile and MSE must

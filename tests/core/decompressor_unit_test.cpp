@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -104,6 +105,19 @@ TEST(DecompressorUnit, BitEquivalentToSoftwareDecompress) {
     // Bit-exact: both paths perform the identical float additions.
     EXPECT_EQ(hw[i], sw[i]) << i;
   }
+}
+
+TEST(DecompressorUnit, NonFiniteCoefficientsRejectedAtLoad) {
+  // A corrupted segment must be refused at the load port, not propagated
+  // through the accumulator where it would poison every later weight.
+  DecompressorUnit du;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(du.load(CompressedSegment{nan, 0.0F, 3}), DecodeError);
+  EXPECT_THROW(du.load(CompressedSegment{0.0F, inf, 3}), DecodeError);
+  EXPECT_FALSE(du.busy());  // the unit stays usable
+  du.load(CompressedSegment{1.0F, 0.0F, 1});
+  EXPECT_TRUE(du.busy());
 }
 
 TEST(DecompressorUnit, ResetReturnsToIdle) {

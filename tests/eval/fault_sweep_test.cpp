@@ -1,0 +1,156 @@
+// The fault sweep promises seed-reproducible, thread-count-independent
+// results: a fixed fault_seed must give bit-identical FaultPoints across
+// repeated runs and across NOCW_THREADS — and at least one operating point
+// must show CRC + retransmission recovering clean accuracy at a measured
+// latency/energy cost.
+#include "eval/fault_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/digits.hpp"
+#include "nn/models.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nocw::eval {
+namespace {
+
+class FaultSweep : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_threads(1); }
+
+  static FaultSweepConfig small_config() {
+    FaultSweepConfig cfg;
+    cfg.bit_error_rates = {1e-5, 1e-4};
+    cfg.delta_percents = {0.0, 10.0};
+    cfg.trials = 2;
+    cfg.fault_seed = 4242;
+    cfg.topk = 1;
+    cfg.noc_flits = 1200;
+    return cfg;
+  }
+};
+
+void expect_points_equal(const FaultPoint& a, const FaultPoint& b,
+                         const char* context) {
+  EXPECT_EQ(a.bit_error_rate, b.bit_error_rate) << context;
+  EXPECT_EQ(a.delta_percent, b.delta_percent) << context;
+  EXPECT_EQ(a.accuracy_clean, b.accuracy_clean) << context;
+  EXPECT_EQ(a.accuracy_uncompressed, b.accuracy_uncompressed) << context;
+  EXPECT_EQ(a.accuracy_compressed, b.accuracy_compressed) << context;
+  EXPECT_EQ(a.accuracy_protected, b.accuracy_protected) << context;
+  EXPECT_EQ(a.corrupted_segment_fraction, b.corrupted_segment_fraction)
+      << context;
+  EXPECT_EQ(a.unprotected_cycles, b.unprotected_cycles) << context;
+  EXPECT_EQ(a.protected_cycles, b.protected_cycles) << context;
+  EXPECT_EQ(a.unprotected_energy_j, b.unprotected_energy_j) << context;
+  EXPECT_EQ(a.protected_energy_j, b.protected_energy_j) << context;
+  EXPECT_EQ(a.crc_failures, b.crc_failures) << context;
+  EXPECT_EQ(a.retransmissions, b.retransmissions) << context;
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped) << context;
+}
+
+TEST_F(FaultSweep, RepeatedRunsAreBitIdentical) {
+  set_global_threads(1);
+  nn::Model m = nn::make_lenet5();
+  const nn::Dataset test = nn::make_digits(24, 5150);
+  const FaultSweepConfig cfg = small_config();
+  const FaultSweepResult a = run_fault_sweep(m, test, cfg);
+  const FaultSweepResult b = run_fault_sweep(m, test, cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.baseline_accuracy, b.baseline_accuracy);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    expect_points_equal(a.points[i], b.points[i], "repeat run");
+  }
+}
+
+TEST_F(FaultSweep, IdenticalAcrossThreadCounts) {
+  const nn::Dataset test = nn::make_digits(24, 5150);
+  const FaultSweepConfig cfg = small_config();
+
+  set_global_threads(1);
+  nn::Model ref_model = nn::make_lenet5();
+  const FaultSweepResult ref = run_fault_sweep(ref_model, test, cfg);
+  ASSERT_EQ(ref.points.size(),
+            cfg.bit_error_rates.size() * cfg.delta_percents.size());
+
+  for (unsigned threads : {2U, 8U}) {
+    set_global_threads(threads);
+    nn::Model m = nn::make_lenet5();
+    const FaultSweepResult got = run_fault_sweep(m, test, cfg);
+    ASSERT_EQ(got.points.size(), ref.points.size()) << "threads " << threads;
+    EXPECT_EQ(got.baseline_accuracy, ref.baseline_accuracy)
+        << "threads " << threads;
+    for (std::size_t i = 0; i < ref.points.size(); ++i) {
+      expect_points_equal(got.points[i], ref.points[i],
+                          threads == 2 ? "threads=2" : "threads=8");
+    }
+  }
+}
+
+TEST_F(FaultSweep, SweepLeavesModelWeightsUntouched) {
+  set_global_threads(4);
+  nn::Model m = nn::make_lenet5();
+  const nn::Dataset test = nn::make_digits(16, 71);
+  FaultSweepConfig cfg = small_config();
+  cfg.trials = 1;
+
+  std::vector<std::vector<float>> before;
+  for (int idx : m.graph.parameterized_nodes()) {
+    const auto k = m.graph.layer(idx).kernel();
+    before.emplace_back(k.begin(), k.end());
+  }
+  (void)run_fault_sweep(m, test, cfg);
+  std::size_t li = 0;
+  for (int idx : m.graph.parameterized_nodes()) {
+    const auto k = m.graph.layer(idx).kernel();
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      ASSERT_EQ(k[i], before[li][i]) << "layer " << idx << " index " << i;
+    }
+    ++li;
+  }
+}
+
+TEST_F(FaultSweep, ProtectionRecoversCleanAccuracyAtMeasuredCost) {
+  set_global_threads(1);
+  nn::Model m = nn::make_lenet5();
+  const nn::Dataset test = nn::make_digits(24, 5150);
+  FaultSweepConfig cfg = small_config();
+  cfg.bit_error_rates = {1e-4};  // enough faults for CRC hits
+  cfg.delta_percents = {10.0};
+  cfg.noc_flits = 4000;
+  cfg.noc.protection.max_retries = 8;  // budget generous enough to recover all
+
+  const FaultSweepResult res = run_fault_sweep(m, test, cfg);
+  ASSERT_EQ(res.points.size(), 1u);
+  const FaultPoint& p = res.points[0];
+  // The operating point the PR promises: faults corrupt the unprotected
+  // stream, CRC detects them, retransmission recovers every packet, and the
+  // recovery has a real, measured latency/energy price.
+  EXPECT_GT(p.crc_failures, 0u);
+  EXPECT_GT(p.retransmissions, 0u);
+  EXPECT_EQ(p.packets_dropped, 0u);
+  EXPECT_EQ(p.accuracy_protected, p.accuracy_clean);
+  EXPECT_GT(p.protected_cycles, p.unprotected_cycles);
+  EXPECT_GT(p.protected_energy_j, p.unprotected_energy_j);
+}
+
+TEST_F(FaultSweep, CompressedStreamIsMoreFragileThanUncompressed) {
+  set_global_threads(1);
+  nn::Model m = nn::make_lenet5();
+  const nn::Dataset test = nn::make_digits(24, 5150);
+  FaultSweepConfig cfg = small_config();
+  cfg.bit_error_rates = {1e-4};
+  cfg.delta_percents = {0.0};
+  cfg.trials = 3;
+
+  const FaultSweepResult res = run_fault_sweep(m, test, cfg);
+  ASSERT_EQ(res.points.size(), 1u);
+  // The motivating observation: at equal BER the compressed stream loses
+  // whole segments, so it must register segment-level corruption.
+  EXPECT_GT(res.points[0].corrupted_segment_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace nocw::eval

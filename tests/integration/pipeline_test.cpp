@@ -91,8 +91,11 @@ TEST(Pipeline, CheckpointRejectsWrongArchitecture) {
   const std::string path = ::testing::TempDir() + "/pipeline_arch.weights";
   ASSERT_TRUE(nn::save_weights(lenet.graph, path));
   nn::Model mobilenet = nn::make_mobilenet();
-  EXPECT_FALSE(nn::load_weights(mobilenet.graph, path));
+  // Wrong architecture is a descriptive error, not a silent false: the
+  // checkpoint exists and parses, it just belongs to another model.
+  EXPECT_THROW(nn::load_weights(mobilenet.graph, path), nn::SerializeError);
   std::remove(path.c_str());
+  // A missing file stays recoverable (callers retrain).
   EXPECT_FALSE(nn::load_weights(lenet.graph, "/nonexistent.weights"));
 }
 

@@ -54,7 +54,7 @@ TEST(Serialize, MissingFileFailsGracefully) {
   EXPECT_FALSE(load_weights(m.graph, temp_path("does_not_exist.weights")));
 }
 
-TEST(Serialize, CorruptMagicRejected) {
+TEST(Serialize, CorruptMagicThrowsDescriptiveError) {
   const std::string path = temp_path("corrupt.weights");
   {
     std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -64,24 +64,62 @@ TEST(Serialize, CorruptMagicRejected) {
     std::fclose(f);
   }
   Model m = make_lenet5();
-  EXPECT_FALSE(load_weights(m.graph, path));
+  try {
+    load_weights(m.graph, path);
+    FAIL() << "corrupt magic must throw";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.byte_offset(), 0U);
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
   std::remove(path.c_str());
 }
 
-TEST(Serialize, TruncatedFileRejected) {
+TEST(Serialize, UnsupportedVersionThrows) {
+  Model a = make_lenet5();
+  const std::string path = temp_path("badver.weights");
+  ASSERT_TRUE(save_weights(a.graph, path));
+  {
+    // Overwrite the version field (bytes 4..7) with a bogus value.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+    const std::uint32_t bogus = 0xDEAD;
+    std::fwrite(&bogus, sizeof(bogus), 1, f);
+    std::fclose(f);
+  }
+  Model b = make_lenet5();
+  try {
+    load_weights(b.graph, path);
+    FAIL() << "version mismatch must throw";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.byte_offset(), 4U);
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileThrowsWithByteOffset) {
   Model a = make_lenet5();
   const std::string path = temp_path("trunc.weights");
   ASSERT_TRUE(save_weights(a.graph, path));
   // Truncate to half.
+  long size = 0;
   {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
+    size = std::ftell(f);
     std::fclose(f);
     ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
   }
   Model b = make_lenet5();
-  EXPECT_FALSE(load_weights(b.graph, path));
+  try {
+    load_weights(b.graph, path);
+    FAIL() << "truncated checkpoint must throw";
+  } catch (const SerializeError& e) {
+    // The parse must stop inside the file that remains.
+    EXPECT_LE(e.byte_offset(), static_cast<std::size_t>(size / 2));
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
   std::remove(path.c_str());
 }
 

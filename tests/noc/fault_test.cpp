@@ -1,0 +1,274 @@
+#include "noc/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+
+namespace nocw::noc {
+namespace {
+
+// --- primitives ------------------------------------------------------------
+
+TEST(FaultHash, PureFunctionOfArguments) {
+  const std::uint64_t a = fault_hash(1, 2, 3, 4);
+  EXPECT_EQ(a, fault_hash(1, 2, 3, 4));  // no hidden state
+  // Any coordinate change changes the value (probabilistically certain for a
+  // fixed set of probes; these are regression anchors, not proofs).
+  EXPECT_NE(a, fault_hash(2, 2, 3, 4));
+  EXPECT_NE(a, fault_hash(1, 3, 3, 4));
+  EXPECT_NE(a, fault_hash(1, 2, 4, 4));
+  EXPECT_NE(a, fault_hash(1, 2, 3, 5));
+}
+
+TEST(CorruptBits, ZeroRateFlipsNothing) {
+  std::vector<std::uint8_t> buf(256, 0xA5);
+  const auto orig = buf;
+  EXPECT_EQ(corrupt_bits(buf, 0.0, 7), 0u);
+  EXPECT_EQ(buf, orig);
+}
+
+TEST(CorruptBits, RateOneFlipsEverything) {
+  std::vector<std::uint8_t> buf(64, 0x0F);
+  EXPECT_EQ(corrupt_bits(buf, 1.0, 7), 64u * 8u);
+  for (auto b : buf) EXPECT_EQ(b, 0xF0);
+}
+
+TEST(CorruptBits, DeterministicPerSeed) {
+  std::vector<std::uint8_t> a(4096, 0);
+  std::vector<std::uint8_t> b(4096, 0);
+  const auto na = corrupt_bits(a, 1e-3, 42);
+  const auto nb = corrupt_bits(b, 1e-3, 42);
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(a, b);
+
+  std::vector<std::uint8_t> c(4096, 0);
+  (void)corrupt_bits(c, 1e-3, 43);
+  EXPECT_NE(a, c);  // different seed, different pattern
+}
+
+TEST(CorruptBits, FlipCountMatchesPopcount) {
+  std::vector<std::uint8_t> buf(1024, 0);
+  const auto flips = corrupt_bits(buf, 0.01, 11);
+  std::uint64_t pop = 0;
+  for (auto b : buf) pop += static_cast<unsigned>(__builtin_popcount(b));
+  EXPECT_EQ(flips, pop);
+  EXPECT_GT(flips, 0u);  // 8192 bits at 1% — emptiness would be a bug
+}
+
+TEST(Crc32Word, CatchesEverySingleBitFlip) {
+  // The CRC a packet carries is folded per 64-bit payload word; flipping any
+  // single bit of any word must change the final value (CRC-32 detects all
+  // single-bit errors by construction — this guards the implementation).
+  const std::vector<std::uint64_t> words{0x0123456789ABCDEFULL, 0, ~0ULL,
+                                         0xDEADBEEFCAFEF00DULL};
+  std::uint32_t clean = kCrcInit;
+  for (const auto w : words) clean = crc32_word(clean, w);
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    for (int bit = 0; bit < 64; ++bit) {
+      auto corrupted = words;
+      corrupted[wi] ^= (1ULL << bit);
+      std::uint32_t crc = kCrcInit;
+      for (const auto w : corrupted) crc = crc32_word(crc, w);
+      ASSERT_NE(crc, clean) << "missed flip of bit " << bit << " in word "
+                            << wi;
+    }
+  }
+}
+
+// --- FaultModel ------------------------------------------------------------
+
+TEST(FaultModel, DisabledByDefaultConfig) {
+  const FaultModel fm(FaultConfig{}, 16);
+  EXPECT_FALSE(fm.enabled());
+}
+
+TEST(FaultModel, DecisionsAreOrderIndependent) {
+  FaultConfig cfg;
+  cfg.link_fault_probability = 0.3;
+  cfg.router_stall_probability = 0.2;
+  cfg.seed = 99;
+  const FaultModel fm(cfg, 16);
+  // Query in two different orders; answers must agree because every decision
+  // is a pure function of (cycle, entity).
+  std::vector<bool> forward;
+  std::vector<bool> backward;
+  for (int r = 0; r < 16; ++r) forward.push_back(fm.router_stalled(5, r));
+  for (int r = 15; r >= 0; --r) backward.push_back(fm.router_stalled(5, r));
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(forward[static_cast<std::size_t>(r)],
+              backward[static_cast<std::size_t>(15 - r)]);
+  }
+  EXPECT_EQ(fm.link_down(123, 3, 1), fm.link_down(123, 3, 1));
+}
+
+TEST(FaultModel, PermanentStuckLinksArePlacedDeterministically) {
+  FaultConfig cfg;
+  cfg.permanent_stuck_links = 3;
+  cfg.seed = 5;
+  const FaultModel a(cfg, 16);
+  const FaultModel b(cfg, 16);
+  int stuck = 0;
+  for (int r = 0; r < 16; ++r) {
+    for (int p = 0; p < kNumPorts; ++p) {
+      EXPECT_EQ(a.stuck_mask(r, p), b.stuck_mask(r, p));
+      if (a.stuck_mask(r, p) != 0) ++stuck;
+    }
+  }
+  EXPECT_EQ(stuck, 3);
+}
+
+// --- network integration ---------------------------------------------------
+
+NocConfig faulty_cfg(double ber, bool protect, int max_retries = 4) {
+  NocConfig cfg;
+  cfg.fault.bit_flip_probability = ber;
+  cfg.fault.seed = 777;
+  cfg.protection.crc = protect;
+  cfg.protection.max_retries = max_retries;
+  return cfg;
+}
+
+std::vector<PacketDescriptor> weight_stream(const NocConfig& cfg,
+                                            std::uint64_t flits) {
+  std::vector<PacketDescriptor> ps;
+  const auto mis = cfg.memory_interface_nodes();
+  const auto pes = cfg.pe_nodes();
+  const std::uint64_t share = flits / mis.size();
+  for (const int mi : mis) {
+    const auto flow = scatter_flow(mi, pes, share, 8);
+    ps.insert(ps.end(), flow.begin(), flow.end());
+  }
+  return ps;
+}
+
+TEST(NetworkFault, UnprotectedRunStillDeliversCorruptedFlits) {
+  const NocConfig cfg = faulty_cfg(1e-4, /*protect=*/false);
+  Network net(cfg);
+  const auto ps = weight_stream(cfg, 2000);
+  net.add_packets(ps);
+  net.run_until_drained(200000);
+  const NocStats& st = net.stats();
+  EXPECT_EQ(st.flits_ejected, total_flits(ps));  // nothing detects the flips
+  EXPECT_GT(st.payload_bit_flips, 0u);
+  EXPECT_EQ(st.crc_failures, 0u);
+  EXPECT_EQ(st.retransmissions, 0u);
+  net.check_invariants();
+}
+
+TEST(NetworkFault, CrcCatchesFaultsAndRetransmissionRecovers) {
+  const NocConfig cfg = faulty_cfg(1e-4, /*protect=*/true);
+  Network net(cfg);
+  const auto ps = weight_stream(cfg, 2000);
+  net.add_packets(ps);
+  net.run_until_drained(400000);
+  const NocStats& st = net.stats();
+  // Faults happened, CRC caught them, retransmission recovered every packet
+  // within the default retry budget.
+  EXPECT_GT(st.payload_bit_flips, 0u);
+  EXPECT_GT(st.crc_failures, 0u);
+  EXPECT_GT(st.retransmissions, 0u);
+  EXPECT_EQ(st.packets_dropped, 0u);
+  EXPECT_EQ(st.packets_delivered, ps.size());
+  EXPECT_EQ(st.crc_failures, st.retransmissions + st.packets_dropped);
+  net.check_invariants();
+}
+
+TEST(NetworkFault, StuckLinkExhaustsRetryBudget) {
+  NocConfig cfg;
+  cfg.fault.permanent_stuck_links = 10;  // half the mesh's useful links
+  cfg.fault.seed = 3;
+  cfg.protection.crc = true;
+  cfg.protection.max_retries = 1;
+  cfg.protection.retry_backoff_cycles = 2;
+  Network net(cfg);
+  const auto ps = weight_stream(cfg, 1000);
+  net.add_packets(ps);
+  net.run_until_drained(400000);
+  const NocStats& st = net.stats();
+  // Packets whose path crosses a stuck link fail every attempt: with a
+  // 1-retry budget they must drop, and nothing may be double-counted.
+  EXPECT_GT(st.packets_dropped, 0u);
+  EXPECT_EQ(st.packets_delivered + st.packets_dropped, ps.size());
+  EXPECT_EQ(st.crc_failures, st.retransmissions + st.packets_dropped);
+  net.check_invariants();
+}
+
+NocStats run_stream(const NocConfig& cfg, std::uint64_t flits) {
+  Network net(cfg);
+  net.add_packets(weight_stream(cfg, flits));
+  net.run_until_drained(400000);
+  net.check_invariants();
+  return net.stats();
+}
+
+TEST(NetworkFault, IdenticalSeedGivesBitIdenticalStats) {
+  const NocConfig cfg = faulty_cfg(5e-4, /*protect=*/true);
+  const NocStats a = run_stream(cfg, 2000);
+  const NocStats b = run_stream(cfg, 2000);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.flits_injected, b.flits_injected);
+  EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+  EXPECT_EQ(a.payload_bit_flips, b.payload_bit_flips);
+  EXPECT_EQ(a.crc_failures, b.crc_failures);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packet_latency.mean(), b.packet_latency.mean());
+
+  NocConfig other = cfg;
+  other.fault.seed = 778;
+  const NocStats c = run_stream(other, 2000);
+  EXPECT_NE(a.payload_bit_flips, c.payload_bit_flips);
+}
+
+TEST(NetworkFault, DisabledFaultsAndProtectionAreZeroOverhead) {
+  // The fault/protection machinery must be completely inert by default:
+  // identical cycles and event counts to a config that never mentions it,
+  // and every new counter pinned at zero.
+  const NocStats st = run_stream(NocConfig{}, 2000);
+  EXPECT_EQ(st.payload_bit_flips, 0u);
+  EXPECT_EQ(st.link_fault_cycles, 0u);
+  EXPECT_EQ(st.router_stall_cycles, 0u);
+  EXPECT_EQ(st.crc_flits_injected, 0u);
+  EXPECT_EQ(st.crc_flit_events, 0u);
+  EXPECT_EQ(st.crc_failures, 0u);
+  EXPECT_EQ(st.retransmissions, 0u);
+  EXPECT_EQ(st.packets_dropped, 0u);
+}
+
+TEST(NetworkFault, CrcFlitOverheadIsExactlyOnePerPacket) {
+  NocConfig cfg;
+  cfg.protection.crc = true;  // protection without faults
+  Network net(cfg);
+  const auto ps = weight_stream(cfg, 1000);
+  net.add_packets(ps);
+  net.run_until_drained(200000);
+  const NocStats& st = net.stats();
+  EXPECT_EQ(st.crc_flits_injected, ps.size());
+  EXPECT_EQ(st.flits_injected, total_flits(ps) + ps.size());
+  // Fault-free: every packet passes its check first try.
+  EXPECT_EQ(st.crc_failures, 0u);
+  EXPECT_EQ(st.packets_delivered, ps.size());
+  // Generator + checker each touch every flit of every protected packet.
+  EXPECT_EQ(st.crc_flit_events, 2 * st.flits_injected);
+  net.check_invariants();
+}
+
+TEST(NetworkFault, TransientLinkAndStallFaultsDelayButDeliver) {
+  NocConfig cfg;
+  cfg.fault.link_fault_probability = 0.05;
+  cfg.fault.router_stall_probability = 0.05;
+  cfg.fault.seed = 21;
+  const NocStats faulty = run_stream(cfg, 1000);
+  const NocStats clean = run_stream(NocConfig{}, 1000);
+  EXPECT_EQ(faulty.flits_ejected, clean.flits_ejected);  // all delivered
+  EXPECT_GT(faulty.link_fault_cycles, 0u);
+  EXPECT_GT(faulty.router_stall_cycles, 0u);
+  EXPECT_GT(faulty.cycles, clean.cycles);  // outages cost time
+}
+
+}  // namespace
+}  // namespace nocw::noc

@@ -1,0 +1,110 @@
+// env_int/env_double must never propagate a typo'd knob into the run: unset
+// is silent fallback, malformed or out-of-range is fallback with a (one-time)
+// warning — and crucially never garbage like the parsed prefix of "12abc".
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace nocw {
+namespace {
+
+// Each test uses its own variable name: the warn-once registry is global, and
+// distinct names keep tests independent of execution order.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const char* value) : name_(std::move(name)) {
+    if (value == nullptr) {
+      ::unsetenv(name_.c_str());
+    } else {
+      ::setenv(name_.c_str(), value, 1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_.c_str()); }
+
+ private:
+  std::string name_;
+};
+
+TEST(EnvInt, UnsetReturnsFallback) {
+  ScopedEnv e("NOCW_TEST_UNSET_INT", nullptr);
+  EXPECT_EQ(env_int("NOCW_TEST_UNSET_INT", 17), 17);
+  EXPECT_EQ(env_int("NOCW_TEST_UNSET_INT", 17, 0), 17);
+}
+
+TEST(EnvInt, ValidValueParses) {
+  ScopedEnv e("NOCW_TEST_VALID_INT", "123");
+  EXPECT_EQ(env_int("NOCW_TEST_VALID_INT", 17), 123);
+  EXPECT_EQ(env_int("NOCW_TEST_VALID_INT", 17, 0), 123);
+}
+
+TEST(EnvInt, MalformedFallsBack) {
+  ScopedEnv e("NOCW_TEST_BAD_INT", "abc");
+  EXPECT_EQ(env_int("NOCW_TEST_BAD_INT", 17), 17);
+}
+
+TEST(EnvInt, TrailingGarbageFallsBack) {
+  // "12abc" must not parse as 12 — a mangled knob is a typo, not a value.
+  ScopedEnv e("NOCW_TEST_TRAIL_INT", "12abc");
+  EXPECT_EQ(env_int("NOCW_TEST_TRAIL_INT", 17), 17);
+}
+
+TEST(EnvInt, EmptyStringFallsBack) {
+  ScopedEnv e("NOCW_TEST_EMPTY_INT", "");
+  EXPECT_EQ(env_int("NOCW_TEST_EMPTY_INT", 17), 17);
+}
+
+TEST(EnvInt, BelowMinimumFallsBack) {
+  ScopedEnv e("NOCW_TEST_NEG_INT", "-4");
+  // Without a floor, negative values pass through untouched...
+  EXPECT_EQ(env_int("NOCW_TEST_NEG_INT", 17), -4);
+  // ...with a floor (e.g. a thread count), they fall back.
+  EXPECT_EQ(env_int("NOCW_TEST_NEG_INT", 17, 0), 17);
+}
+
+TEST(EnvInt, AtMinimumIsAccepted) {
+  ScopedEnv e("NOCW_TEST_MIN_INT", "0");
+  EXPECT_EQ(env_int("NOCW_TEST_MIN_INT", 17, 0), 0);
+}
+
+TEST(EnvDouble, UnsetReturnsFallback) {
+  ScopedEnv e("NOCW_TEST_UNSET_DBL", nullptr);
+  EXPECT_EQ(env_double("NOCW_TEST_UNSET_DBL", 2.5), 2.5);
+}
+
+TEST(EnvDouble, ValidValueParses) {
+  ScopedEnv e("NOCW_TEST_VALID_DBL", "0.75");
+  EXPECT_EQ(env_double("NOCW_TEST_VALID_DBL", 2.5), 0.75);
+  EXPECT_EQ(env_double("NOCW_TEST_VALID_DBL", 2.5, 0.0), 0.75);
+}
+
+TEST(EnvDouble, MalformedFallsBack) {
+  ScopedEnv e("NOCW_TEST_BAD_DBL", "fast");
+  EXPECT_EQ(env_double("NOCW_TEST_BAD_DBL", 2.5), 2.5);
+}
+
+TEST(EnvDouble, NanFallsBack) {
+  ScopedEnv e("NOCW_TEST_NAN_DBL", "nan");
+  EXPECT_EQ(env_double("NOCW_TEST_NAN_DBL", 2.5), 2.5);
+}
+
+TEST(EnvDouble, BelowMinimumFallsBack) {
+  ScopedEnv e("NOCW_TEST_NEG_DBL", "-1.0");
+  EXPECT_EQ(env_double("NOCW_TEST_NEG_DBL", 2.5, 0.0), 2.5);
+}
+
+TEST(EnvString, UnsetReturnsFallbackSetReturnsValue) {
+  {
+    ScopedEnv e("NOCW_TEST_STR", nullptr);
+    EXPECT_EQ(env_string("NOCW_TEST_STR", "dflt"), "dflt");
+  }
+  {
+    ScopedEnv e("NOCW_TEST_STR", "custom");
+    EXPECT_EQ(env_string("NOCW_TEST_STR", "dflt"), "custom");
+  }
+}
+
+}  // namespace
+}  // namespace nocw

@@ -25,6 +25,14 @@ Rules (all scoped to src/, the library code):
               NOCW_CHECK* (always-on invariants) or NOCW_DCHECK* (hot
               paths). static_assert is fine.
 
+  fault       the counter-based fault-sampling primitive fault_hash() may
+              only be called in src/noc/fault.cpp (declaration in
+              src/noc/fault.hpp). All stochastic fault behaviour must flow
+              through the FaultModel / corrupt_bits wrappers so a fault
+              experiment is reproducible from a single seed at any thread
+              count; ad-hoc sampling scattered through the tree is how
+              determinism quietly breaks.
+
 Usage:
   tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
                                repository containing this script)
@@ -48,13 +56,14 @@ UNIT_SUFFIXES = (
 )
 DIMENSIONLESS_SUFFIXES = (
     "_efficiency", "_ratio", "_scale", "_factor", "_fraction", "_share",
-    "_utilization",
+    "_utilization", "_probability",
 )
 EXACT_UNIT_NAMES = {"cycles", "seconds"}
 
 UNITS_DIRS = ("src/power", "src/noc", "src/accel")
 RNG_ALLOWED = "src/util/rng.hpp"
 ASSERT_ALLOWED = "src/util/check.hpp"
+FAULT_ALLOWED = ("src/noc/fault.cpp", "src/noc/fault.hpp")
 
 # `double name;` or `double name = ...;` at the start of a line — a field or
 # namespace-scope declaration. Function parameters and return types never
@@ -63,6 +72,7 @@ FIELD_RE = re.compile(r"^\s*(?:double|float)\s+(\w+)\s*(?:=[^;]*)?;")
 RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
 COUT_RE = re.compile(r"std::cout")
 ASSERT_RE = re.compile(r"\bassert\s*\(")
+FAULT_RE = re.compile(r"\bfault_hash\s*\(")
 
 
 def strip_comments(text: str) -> str:
@@ -113,6 +123,9 @@ def strip_comments(text: str) -> str:
 
 
 def unit_name_ok(name: str) -> bool:
+    # Private members carry a trailing underscore (`flip_probability_`);
+    # units are judged on the semantic name.
+    name = name.rstrip("_")
     if name in EXACT_UNIT_NAMES:
         return True
     return name.endswith(UNIT_SUFFIXES) or name.endswith(
@@ -146,6 +159,11 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
             findings.append(
                 f"{rel}:{lineno}: [assert] naked assert(); use NOCW_CHECK* "
                 f"or NOCW_DCHECK* from util/check.hpp")
+        if rel not in FAULT_ALLOWED and FAULT_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [fault] fault_hash() outside noc/fault.cpp; "
+                f"sample faults through FaultModel / corrupt_bits so fault "
+                f"experiments stay seed-reproducible")
     return findings
 
 
@@ -172,6 +190,9 @@ def self_test() -> int:
             "#include <iostream>\nvoid p() { std::cout << 1; }\n",
         "src/noc/bad_assert.cpp":
             "#include <cassert>\nvoid g(int x) { assert(x > 0); }\n",
+        "src/eval/bad_fault.cpp":
+            "#include \"noc/fault.hpp\"\n"
+            "unsigned long h() { return nocw::noc::fault_hash(1, 2, 3, 4); }\n",
     }
     clean = {
         "src/power/good.hpp":
@@ -180,8 +201,15 @@ def self_test() -> int:
             "  double leakage_mw = 0.5;\n"
             "  double memory_cycles = 0.0;\n"
             "  double dram_efficiency = 0.7;\n"
+            "  double bit_flip_probability = 0.0;\n"
+            "  double flip_probability_ = 0.0;\n"
             "  double seconds = 0.0;\n"
             "};\n",
+        "src/noc/fault.cpp":
+            "// the one place sampling may live\n"
+            "unsigned long fault_hash(unsigned long s, unsigned long a,\n"
+            "                         unsigned long b, unsigned long c);\n"
+            "unsigned long use() { return fault_hash(1, 2, 3, 4); }\n",
         "src/util/good.cpp":
             "// rand() in a comment is fine; \"std::cout\" only here\n"
             "static_assert(sizeof(int) == 4);\n",
@@ -192,6 +220,7 @@ def self_test() -> int:
         "src/core/bad_rng2.cpp": "[rng]",
         "src/eval/bad_print.cpp": "[iostream]",
         "src/noc/bad_assert.cpp": "[assert]",
+        "src/eval/bad_fault.cpp": "[fault]",
     }
 
     with tempfile.TemporaryDirectory() as tmp:
