@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "nn/serialize.hpp"
+#include "obs/log.hpp"
 #include "nn/train.hpp"
 
 namespace nocw::bench {
@@ -41,15 +42,14 @@ TrainedLenet trained_lenet(const std::string& cache_dir) {
   } catch (const nn::SerializeError& e) {
     // Stale or corrupt cache (e.g. written by an older format version):
     // report it and retrain rather than aborting the bench.
-    std::printf("[bench] discarding cached checkpoint %s: %s\n", cache.c_str(),
-                e.what());
+    obs::log("[bench] discarding cached checkpoint %s: %s\n", cache.c_str(),
+             e.what());
   }
   if (!loaded) {
     const int train_n = static_cast<int>(env_int("REPRO_TRAIN", 1200, 1));
     const int epochs = static_cast<int>(env_int("REPRO_EPOCHS", 5, 1));
-    std::printf("[bench] training LeNet-5 (%d samples, %d epochs)...\n",
-                train_n, epochs);
-    std::fflush(stdout);
+    obs::log("[bench] training LeNet-5 (%d samples, %d epochs)...\n",
+             train_n, epochs);
     const nn::Dataset train = nn::make_digits(train_n, /*seed=*/90002);
     nn::TrainConfig cfg;
     cfg.epochs = epochs;
@@ -57,14 +57,13 @@ TrainedLenet trained_lenet(const std::string& cache_dir) {
     cfg.learning_rate = 0.08F;
     const nn::TrainStats stats =
         nn::train_classifier(out.model.graph, train, cfg);
-    std::printf("[bench] final train accuracy %.3f, loss %.4f\n",
-                stats.epoch_accuracy.back(), stats.epoch_loss.back());
+    obs::log("[bench] final train accuracy %.3f, loss %.4f\n",
+             stats.epoch_accuracy.back(), stats.epoch_loss.back());
     (void)nn::save_weights(out.model.graph, cache);
   }
   out.test_accuracy = nn::evaluate_top1(out.model.graph, out.test);
-  std::printf("[bench] LeNet-5 test top-1 accuracy: %.4f\n",
-              out.test_accuracy);
-  std::fflush(stdout);
+  obs::log("[bench] LeNet-5 test top-1 accuracy: %.4f\n",
+           out.test_accuracy);
   return out;
 }
 

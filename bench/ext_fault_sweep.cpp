@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 
 #include "eval/fault_sweep.hpp"
+#include "obs/log.hpp"
 
 int main(int, char** argv) {
   using namespace nocw;
@@ -48,8 +49,8 @@ int main(int, char** argv) {
                std::to_string(p.retransmissions),
                std::to_string(p.packets_dropped)});
   }
-  std::printf("selected layer: %s; fault-free baseline accuracy %.4f\n",
-              sweep.selected_layer.c_str(), sweep.baseline_accuracy);
+  obs::log("selected layer: %s; fault-free baseline accuracy %.4f\n",
+           sweep.selected_layer.c_str(), sweep.baseline_accuracy);
   bench::emit("Extension: accuracy under faults, CRC+retransmission cost", t,
               dir, "ext_fault_sweep");
 
@@ -94,6 +95,6 @@ int main(int, char** argv) {
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("fault-sweep results written to %s\n", json_path.c_str());
+  obs::log("fault-sweep results written to %s\n", json_path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "eval/flow.hpp"
 #include "eval/multi_layer.hpp"
 #include "nn/models.hpp"
+#include "obs/log.hpp"
 
 namespace {
 
@@ -48,12 +49,12 @@ int main(int, char** argv) {
     const eval::MultiLayerResult r =
         eval::optimize_multi_layer(lenet.model, &test, cfg);
     report(t, "LeNet-5 (multi)", lenet.model, r);
-    std::printf("  LeNet-5 plan:");
+    obs::log("  LeNet-5 plan:");
     for (const auto& e : r.plan) {
-      std::printf(" %s@%.0f%%(CR %.1f)", e.layer.c_str(), e.delta_percent,
-                  e.cr);
+      obs::log(" %s@%.0f%%(CR %.1f)", e.layer.c_str(), e.delta_percent,
+               e.cr);
     }
-    std::printf("\n");
+    obs::log("\n");
   }
   {
     nn::Model m = nn::make_mobilenet();
@@ -65,7 +66,7 @@ int main(int, char** argv) {
     const eval::MultiLayerResult r =
         eval::optimize_multi_layer(m, nullptr, cfg);
     report(t, "MobileNet (multi)", m, r);
-    std::printf("  MobileNet plan: %zu layers compressed\n", r.plan.size());
+    obs::log("  MobileNet plan: %zu layers compressed\n", r.plan.size());
   }
 
   bench::emit("Extension: multi-layer compression under accuracy constraint",

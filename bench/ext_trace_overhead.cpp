@@ -1,0 +1,189 @@
+// Extension: cost of the observability subsystem on a LeNet-5 inference.
+//
+// Two claims are measured on the full accelerator simulation (compressed
+// selected layer, real codec):
+//   1. tracing disabled (NOCW_TRACE=0, the default) is free — the per-hop
+//      gate is one relaxed atomic load, priced here by a microbench and
+//      scaled by the run's actual gate-check count;
+//   2. tracing never feeds back into simulation state — latency and energy
+//      are bit-identical with the tracer on and off.
+// The enabled run's event stream is exported to results/trace_lenet5.json
+// (Chrome-trace JSON, drag into ui.perfetto.dev) and the measurements to
+// BENCH_trace.json for CI trending.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "accel/simulator.hpp"
+#include "core/codec.hpp"
+#include "core/decompressor_unit.hpp"
+#include "eval/layer_selection.hpp"
+#include "nn/models.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_ms(const nocw::accel::AcceleratorSim& sim,
+              const nocw::accel::ModelSummary& summary,
+              const nocw::accel::CompressionPlan& plan,
+              nocw::accel::InferenceResult& out) {
+  const auto t0 = Clock::now();
+  out = sim.simulate(summary, &plan);
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  using namespace nocw;
+  const std::string dir = bench::output_dir(argv[0]);
+
+  // Bench defaults (user env wins): sample every 4th hop and widen the ring
+  // so one full LeNet-5 inference fits without dropping the early layers.
+  ::setenv("NOCW_TRACE_BUF", "262144", /*overwrite=*/0);
+  if (std::getenv("NOCW_TRACE_SAMPLE") == nullptr) {
+    obs::Tracer::set_sample_every(4);
+  }
+
+  nn::Model m = nn::make_lenet5();
+  const accel::ModelSummary summary = accel::summarize(m);
+  accel::AccelConfig cfg;
+  cfg.noc_window_flits = bench::noc_window();
+  accel::AcceleratorSim sim(cfg);
+
+  // Compress the selected layer with the real codec so the simulation (and
+  // the trace) includes the decompression phase.
+  const int node = eval::select_layer(m);
+  const auto kernel = m.graph.layer(node).kernel();
+  core::CodecConfig codec;
+  codec.delta_percent = 2.0;
+  const std::vector<float> weights(kernel.begin(), kernel.end());
+  const core::CompressedLayer comp = core::compress(weights, codec);
+  accel::CompressionPlan plan;
+  plan[m.graph.layer(node).name()] =
+      accel::LayerCompression{comp.compressed_bits(), comp.original_count};
+
+  const int reps = static_cast<int>(env_int("REPRO_TRACE_REPS", 5, 1));
+
+  // --- tracing runtime-disabled (the NOCW_TRACE=0 default) ---
+  obs::Tracer::set_enabled(false);
+  accel::InferenceResult r_off;
+  std::vector<double> off_ms;
+  for (int i = 0; i < reps; ++i) off_ms.push_back(run_ms(sim, summary, plan, r_off));
+
+  // --- tracing enabled, all categories ---
+  obs::Tracer::set_enabled(true);
+  obs::Tracer::set_categories(obs::kCatAll);
+  obs::Tracer::global().clear();
+  accel::InferenceResult r_on;
+  const double on_ms = run_ms(sim, summary, plan, r_on);
+  {
+    // Drive the cycle-level decompressor FSM over the real segments so the
+    // trace carries its Init/Run phase spans too (the simulator charges
+    // decompression analytically).
+    core::DecompressorUnit unit;
+    const std::size_t n =
+        std::min<std::size_t>(comp.segments.size(), 64);
+    for (std::size_t i = 0; i < n; ++i) {
+      unit.load(comp.segments[i]);
+      while (unit.busy()) (void)unit.tick();
+    }
+  }
+  const std::uint64_t events = obs::Tracer::global().recorded();
+  const std::uint64_t dropped = obs::Tracer::global().dropped();
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/results", ec);
+  const std::string trace_path =
+      env_string("NOCW_TRACE_OUT", dir + "/results/trace_lenet5.json");
+  const bool wrote = obs::write_chrome_trace(trace_path);
+  obs::Tracer::set_enabled(false);
+
+  // Tracing must be observation-only: identical latency/energy on and off.
+  const bool bit_identical =
+      r_off.latency.total() == r_on.latency.total() &&
+      r_off.energy.total() == r_on.energy.total();
+
+  // --- price of the disabled gate ---
+  // One gate = the exact check every instrumented hot-path site performs.
+  const std::uint64_t gate_iters = 1u << 24;
+  volatile std::uint64_t sink = 0;
+  const auto g0 = Clock::now();
+  for (std::uint64_t i = 0; i < gate_iters; ++i) {
+    if (NOCW_TRACE_ON(obs::kCatNoc)) sink = sink + 1;
+  }
+  const auto g1 = Clock::now();
+  const double gate_ns =
+      std::chrono::duration<double, std::nano>(g1 - g0).count() /
+      static_cast<double>(gate_iters);
+  // Gate checks per inference: one per link hop + one per ejected flit +
+  // one per packet injection (the instrumented NoC sites), from the enabled
+  // run's observation.
+  std::uint64_t checks = 0;
+  for (const std::uint64_t v : r_on.noc_obs.link_flits) checks += v;
+  for (const std::uint64_t v : r_on.noc_obs.node_ejections) checks += v;
+  const double off_med_ms = median(off_ms);
+  const double disabled_overhead_pct =
+      static_cast<double>(checks) * gate_ns / (off_med_ms * 1e6) * 100.0;
+
+  Table t({"config", "wall ms", "events", "notes"});
+  t.add_row({"trace off (median of " + std::to_string(reps) + ")",
+             fmt_fixed(off_med_ms, 2), "0",
+             "gate " + fmt_fixed(gate_ns, 2) + " ns; est. overhead " +
+                 fmt_fixed(disabled_overhead_pct, 4) + "%"});
+  t.add_row({"trace on", fmt_fixed(on_ms, 2), std::to_string(events),
+             std::string(bit_identical ? "bit-identical results"
+                                       : "RESULTS DIVERGED") +
+                 ", " + std::to_string(dropped) + " dropped"});
+  bench::emit("Extension: tracer overhead on LeNet-5 inference", t, dir,
+              "ext_trace_overhead");
+  if (wrote) obs::log("trace written to %s\n", trace_path.c_str());
+
+  const std::string json_path =
+      env_string("NOCW_TRACE_JSON", "BENCH_trace.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"model\": \"LeNet-5\",\n");
+    std::fprintf(f, "  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"disabled_ms_median\": %.4f,\n", off_med_ms);
+    std::fprintf(f, "  \"enabled_ms\": %.4f,\n", on_ms);
+    std::fprintf(f, "  \"gate_check_ns\": %.4f,\n", gate_ns);
+    std::fprintf(f, "  \"gate_checks_per_inference\": %llu,\n",
+                 static_cast<unsigned long long>(checks));
+    std::fprintf(f, "  \"disabled_overhead_pct\": %.6f,\n",
+                 disabled_overhead_pct);
+    std::fprintf(f, "  \"disabled_overhead_under_1pct\": %s,\n",
+                 disabled_overhead_pct < 1.0 ? "true" : "false");
+    std::fprintf(f, "  \"bit_identical\": %s,\n",
+                 bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"trace_events\": %llu,\n",
+                 static_cast<unsigned long long>(events));
+    std::fprintf(f, "  \"trace_events_dropped\": %llu,\n",
+                 static_cast<unsigned long long>(dropped));
+    std::fprintf(f, "  \"latency_total_cycles\": %.0f,\n",
+                 r_on.latency.total());
+    std::fprintf(f, "  \"energy_total_j\": %.9g\n", r_on.energy.total());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    obs::log("trace-overhead results written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  return bit_identical && wrote ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "accel/simulator.hpp"
 #include "eval/flow.hpp"
 #include "nn/models.hpp"
+#include "obs/log.hpp"
 
 namespace {
 
@@ -95,12 +96,11 @@ void run_model(const std::string& dir, nn::Model& model,
                                    series.front().latency.total();
   const double e_red =
       1.0 - last.energy.total() / series.front().energy.total();
-  std::printf(
+  obs::log(
       "[%s] at delta=%s: latency -%s, energy -%s, accuracy %.4f "
       "(baseline %.4f)\n",
       model.name.c_str(), last.label.c_str(), fmt_pct(lat_red).c_str(),
       fmt_pct(e_red).c_str(), last.accuracy, series.front().accuracy);
-  std::fflush(stdout);
 }
 
 }  // namespace
@@ -122,9 +122,8 @@ int main(int, char** argv) {
     eval::EvalConfig cfg;
     cfg.topk = 5;
     cfg.probes = bench::probe_count();
-    std::printf("[%s] computing probe activations (%d probes)...\n",
-                name.c_str(), cfg.probes);
-    std::fflush(stdout);
+    obs::log("[%s] computing probe activations (%d probes)...\n",
+             name.c_str(), cfg.probes);
     eval::DeltaEvaluator ev(m, cfg);
     run_model(dir, m, ev);
   }

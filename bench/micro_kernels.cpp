@@ -22,6 +22,7 @@
 #include "nn/tensor.hpp"
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
+#include "obs/log.hpp"
 #include "quant/affine.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -267,7 +268,7 @@ void write_parallel_scaling_report() {
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("thread-scaling results written to %s\n", path.c_str());
+  obs::log("thread-scaling results written to %s\n", path.c_str());
 }
 
 }  // namespace

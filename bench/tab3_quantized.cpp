@@ -7,6 +7,7 @@
 
 #include "eval/quantized_flow.hpp"
 #include "nn/models.hpp"
+#include "obs/log.hpp"
 
 namespace {
 
@@ -47,8 +48,7 @@ int main(int, char** argv) {
     nn::Model m = nn::make_vgg16();
     eval::QuantizedEvalConfig cfg;
     cfg.probes = bench::probe_count();
-    std::printf("[VGG-16] two full-resolution probe passes, be patient...\n");
-    std::fflush(stdout);
+    obs::log("[VGG-16] two full-resolution probe passes, be patient...\n");
     eval::QuantizedDeltaEvaluator ev(m, cfg);
     run(t, "VGG-16", ev, {0, 5, 7, 8, 10});
   }

@@ -5,6 +5,7 @@
 
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nocw::accel {
@@ -130,6 +131,16 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
     if (ejected == q3_mark) q3_cycle = cycle;
   });
   const std::uint64_t cycles = net.run_until_drained(cfg_.max_phase_cycles);
+  if (net.observing()) {
+    const auto links = net.link_flit_counts();
+    const auto ejects = net.node_eject_counts();
+    out.observation.link_flits.assign(links.begin(), links.end());
+    out.observation.node_ejections.assign(ejects.begin(), ejects.end());
+    out.observation.packet_latency_cycles = net.packet_latency_samples();
+    out.observation.queue_depth_flits = net.queue_depth_samples();
+    out.observation.window_cycles = cycles;
+    out.observation.collected = true;
+  }
   const std::uint64_t remaining = total - injected;
   double extra = 0.0;
   if (remaining > 0) {
@@ -192,7 +203,16 @@ LayerResult AcceleratorSim::simulate_layer(
   const std::uint64_t scatter_flits = weight_words + ifmap_words;
   const std::uint64_t gather_flits = ofmap_words;
   r.total_flits = scatter_flits + gather_flits;
-  const NocPhase phase = run_noc_phase(scatter_flits, gather_flits);
+  const auto mem_off =
+      static_cast<std::uint64_t>(std::llround(r.latency.memory_cycles));
+  NocPhase phase;
+  {
+    // The network stamps phase-local cycles; shift its events past the DRAM
+    // phase so the whole layer shares one timeline.
+    obs::ScopedTimeBase noc_base(obs::time_base() + mem_off);
+    phase = run_noc_phase(scatter_flits, gather_flits);
+  }
+  r.noc_obs = std::move(phase.observation);
   r.latency.comm_cycles = phase.cycles;
 
   // --- (3) compute ---
@@ -224,6 +244,31 @@ LayerResult AcceleratorSim::simulate_layer(
   r.energy = power::annotate(ev, seconds, table_, shape);
   r.latency.check_invariants();
   r.energy.check_invariants();
+
+  // Phase spans on the layer-local timeline (the caller's ScopedTimeBase
+  // shifts them onto the inference-global one). Tracks: 0 = layer markers,
+  // 1 = DRAM, 2 = NoC, 3 = MAC lanes, 4 = decompressors.
+  const auto dur_of = [](double cycles) {
+    return static_cast<std::uint64_t>(std::llround(cycles));
+  };
+  const std::uint64_t comm_off = mem_off + dur_of(r.latency.comm_cycles);
+  NOCW_TRACE_SPAN(obs::kCatMem, "dram", obs::kPidAccel, 1, 0,
+                  dur_of(r.latency.memory_cycles));
+  NOCW_TRACE_SPAN_ARG(obs::kCatNoc, "noc", obs::kPidAccel, 2, mem_off,
+                      dur_of(r.latency.comm_cycles), "flits",
+                      static_cast<double>(r.total_flits));
+  NOCW_TRACE_SPAN_ARG(obs::kCatMac, "mac", obs::kPidAccel, 3, comm_off,
+                      dur_of(r.latency.compute_cycles), "macs",
+                      static_cast<double>(layer.macs + layer.ops));
+  if (compression) {
+    // Decompressors reconstruct one weight per cycle per PE, overlapped
+    // with the MAC phase (Fig. 6: decompression never stalls the stream).
+    NOCW_TRACE_SPAN_ARG(obs::kCatDecomp, "decompress", obs::kPidAccel, 4,
+                        comm_off, dur_of(r.latency.compute_cycles), "weights",
+                        static_cast<double>(compression->weight_count));
+  }
+  NOCW_TRACE_SPAN(obs::kCatLayer, "layer:" + r.name, obs::kPidAccel, 0, 0,
+                  dur_of(r.latency.total()));
   return r;
 }
 
@@ -231,16 +276,27 @@ InferenceResult AcceleratorSim::simulate(const ModelSummary& summary,
                                          const CompressionPlan* plan) const {
   InferenceResult result;
   result.model_name = summary.model_name;
+  // Layers stack on one inference-global timeline: each layer's spans are
+  // emitted relative to its own start, so advance the thread-local time base
+  // by the accumulated latency before simulating it.
+  std::uint64_t clock = 0;
+  const std::uint64_t outer_base = obs::time_base();
   for (const auto& layer : summary.layers) {
     const LayerCompression* lc = nullptr;
     if (plan) {
       const auto it = plan->find(layer.name);
       if (it != plan->end()) lc = &it->second;
     }
-    LayerResult lr = simulate_layer(layer, lc);
+    LayerResult lr;
+    {
+      obs::ScopedTimeBase layer_base(outer_base + clock);
+      lr = simulate_layer(layer, lc);
+    }
     if (!layer.traffic_bearing) continue;
+    clock += static_cast<std::uint64_t>(std::llround(lr.latency.total()));
     result.latency += lr.latency;
     result.energy += lr.energy;
+    result.noc_obs.merge(lr.noc_obs);
     result.layers.push_back(std::move(lr));
   }
   return result;

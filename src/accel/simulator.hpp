@@ -24,6 +24,7 @@
 #include "accel/summary.hpp"
 #include "noc/config.hpp"
 #include "noc/stats.hpp"
+#include "obs/observation.hpp"
 #include "power/energy_model.hpp"
 
 namespace nocw::accel {
@@ -89,6 +90,9 @@ struct LayerResult {
   std::uint64_t total_flits = 0;
   LatencyBreakdown latency;
   power::EnergyBreakdown energy;
+  /// NoC-phase observation (empty unless the network ran in observation
+  /// mode; see Network::set_observation).
+  obs::NocObservation noc_obs;
 };
 
 struct InferenceResult {
@@ -96,6 +100,8 @@ struct InferenceResult {
   std::vector<LayerResult> layers;
   LatencyBreakdown latency;
   power::EnergyBreakdown energy;
+  /// Merge of every traffic-bearing layer's NoC observation.
+  obs::NocObservation noc_obs;
 
   [[nodiscard]] double total_cycles() const noexcept {
     return latency.total();
@@ -134,6 +140,7 @@ class AcceleratorSim {
   struct NocPhase {
     double cycles = 0.0;
     power::EventCounts events;
+    obs::NocObservation observation;
   };
   /// Cycle-accurate scatter+gather for the layer's flit volumes, window
   /// sampled when large.

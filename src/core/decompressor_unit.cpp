@@ -18,6 +18,11 @@ void DecompressorUnit::load(const CompressedSegment& segment) {
   accum_ = segment.q;
   remaining_ = segment.length;
   state_ = State::Init;
+  if (trace_) {
+    obs::Tracer::global().record_instant(
+        obs::kCatDecomp, "decomp.load", obs::kPidDecomp, 0, cycles_, "length",
+        static_cast<double>(segment.length));
+  }
 }
 
 std::optional<float> DecompressorUnit::tick() {
@@ -29,10 +34,15 @@ std::optional<float> DecompressorUnit::tick() {
       // w̃_1 = q (already latched in accum_ by load()).
       const float out = accum_;
       ++emitted_;
+      if (trace_) {
+        obs::Tracer::global().record_span(obs::kCatDecomp, "decomp.init",
+                                          obs::kPidDecomp, 0, cycles_ - 1, 1);
+      }
       if (--remaining_ == 0) {
         state_ = State::Idle;
       } else {
         state_ = State::Run;
+        run_start_ = cycles_;
       }
       return out;
     }
@@ -40,7 +50,15 @@ std::optional<float> DecompressorUnit::tick() {
       accum_ += m_;  // w̃_j = w̃_{j-1} + m — accumulate, never multiply
       const float out = accum_;
       ++emitted_;
-      if (--remaining_ == 0) state_ = State::Idle;
+      if (--remaining_ == 0) {
+        state_ = State::Idle;
+        if (trace_) {
+          obs::Tracer::global().record_span(
+              obs::kCatDecomp, "decomp.run", obs::kPidDecomp, 0, run_start_,
+              cycles_ - run_start_, "weights",
+              static_cast<double>(cycles_ - run_start_));
+        }
+      }
       return out;
     }
   }

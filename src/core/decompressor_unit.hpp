@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/codec.hpp"
+#include "obs/trace.hpp"
 
 namespace nocw::core {
 
@@ -45,6 +46,9 @@ class DecompressorUnit {
   std::uint32_t remaining_ = 0;
   std::uint64_t cycles_ = 0;
   std::uint64_t emitted_ = 0;
+  std::uint64_t run_start_ = 0;  ///< cycle the current Run phase entered
+  /// Tracer gate cached at construction (one branch per FSM transition).
+  bool trace_ = NOCW_TRACE_ON(obs::kCatDecomp);
 };
 
 }  // namespace nocw::core

@@ -24,6 +24,7 @@
 #include "nn/digits.hpp"
 #include "nn/models.hpp"
 #include "noc/config.hpp"
+#include "obs/registry.hpp"
 #include "power/energy_model.hpp"
 
 namespace nocw::eval {
@@ -88,5 +89,12 @@ struct FaultSweepResult {
 /// bit-identical across runs and thread counts for a fixed cfg.
 FaultSweepResult run_fault_sweep(nn::Model& model, const nn::Dataset& test,
                                  const FaultSweepConfig& cfg);
+
+/// Publish a finished sweep into a counter registry (prefix.*): point and
+/// CRC/retransmission totals as counters, baseline accuracy as a gauge, and
+/// the per-point protected/compressed accuracies and protection cycle
+/// overheads as histograms.
+void annotate_registry(obs::Registry& reg, const FaultSweepResult& result,
+                       std::string_view prefix = "fault");
 
 }  // namespace nocw::eval

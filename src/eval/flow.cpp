@@ -7,6 +7,7 @@
 #include "eval/layer_selection.hpp"
 #include "eval/probes.hpp"
 #include "nn/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nocw::eval {
@@ -45,6 +46,7 @@ void DeltaEvaluator::prepare(const nn::Tensor& inputs) {
 }
 
 DeltaPoint DeltaEvaluator::evaluate(double delta_percent) {
+  ++evaluations_;
   return evaluate_on(model_->graph, delta_percent);
 }
 
@@ -71,7 +73,21 @@ std::vector<DeltaPoint> DeltaEvaluator::evaluate_many(
           points[i] = evaluate_on(*slot, delta_percents[i]);
         }
       });
+  evaluations_ += delta_percents.size();
+  NOCW_TRACE_INSTANT_ARG(obs::kCatEval, "delta_sweep", obs::kPidEval, 0,
+                         evaluations_, "points",
+                         static_cast<double>(delta_percents.size()));
   return points;
+}
+
+void DeltaEvaluator::annotate_registry(obs::Registry& reg,
+                                       std::string_view prefix) const {
+  const std::string base = std::string(prefix) + ".";
+  reg.set_gauge(base + "baseline_accuracy", "fraction", baseline_accuracy_);
+  reg.set_gauge(base + "selected_fraction", "fraction", selected_fraction_);
+  reg.set_counter(base + "probes", "count",
+                  static_cast<std::uint64_t>(cfg_.probes));
+  reg.set_counter(base + "evaluations", "count", evaluations_);
 }
 
 DeltaPoint DeltaEvaluator::evaluate_on(nn::Graph& graph,

@@ -18,6 +18,7 @@
 #include "core/metrics.hpp"
 #include "nn/digits.hpp"
 #include "nn/models.hpp"
+#include "obs/registry.hpp"
 
 namespace nocw::eval {
 
@@ -71,6 +72,17 @@ class DeltaEvaluator {
     return selected_name_;
   }
 
+  /// δ evaluations performed so far (evaluate + evaluate_many points).
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+
+  /// Publish the evaluator's state into a counter registry (prefix.*):
+  /// baseline accuracy, selected-layer fraction, probe count, and the
+  /// running evaluation count.
+  void annotate_registry(obs::Registry& reg,
+                         std::string_view prefix = "eval") const;
+
  private:
   void prepare(const nn::Tensor& inputs);
   [[nodiscard]] DeltaPoint evaluate_on(nn::Graph& graph,
@@ -86,6 +98,7 @@ class DeltaEvaluator {
   std::vector<int> labels_;      ///< labeled mode only
   double baseline_accuracy_ = 1.0;
   std::vector<float> original_weights_;
+  std::uint64_t evaluations_ = 0;
 };
 
 }  // namespace nocw::eval

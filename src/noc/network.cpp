@@ -21,6 +21,13 @@ Network::Network(const NocConfig& cfg)
   staged_count_.resize(static_cast<std::size_t>(cfg_.node_count()) *
                            kNumPorts * static_cast<std::size_t>(vcs_),
                        0);
+  link_flits_.resize(
+      static_cast<std::size_t>(cfg_.node_count()) * kNumPorts, 0);
+  node_ejects_.resize(static_cast<std::size_t>(cfg_.node_count()), 0);
+  trace_noc_ = NOCW_TRACE_ON(obs::kCatNoc);
+  observe_ = trace_noc_;
+  trace_sample_ = obs::Tracer::sample_every();
+  if (trace_sample_ == 0) trace_sample_ = 1;
 }
 
 void Network::add_packet(const PacketDescriptor& p) {
@@ -92,15 +99,24 @@ void Network::inject_phase() {
     ++s.sent;
     --s.queued_flits;
     ++stats_.flits_injected;
-    if (first) ++stats_.packets_injected;
+    if (first) {
+      ++stats_.packets_injected;
+      if (trace_noc_) {
+        obs::Tracer::global().record_instant(
+            obs::kCatNoc, "inject", obs::kPidNoc,
+            static_cast<std::uint32_t>(node), stats_.cycles, "dst",
+            static_cast<double>(s.current.dst));
+      }
+    }
     if (last) s.active = false;
   }
 }
 
-void Network::eject_flit(const Flit& f) {
+void Network::eject_flit(const Flit& f, int node) {
   ++stats_.buffer_reads;
   ++stats_.router_traversals;
   ++stats_.flits_ejected;
+  ++node_ejects_[static_cast<std::size_t>(node)];
   if (protect_) ++stats_.crc_flit_events;  // CRC checker work
   const bool tail =
       f.type == FlitType::Tail || f.type == FlitType::HeadTail;
@@ -114,8 +130,16 @@ void Network::eject_flit(const Flit& f) {
     return;
   }
   ++stats_.packets_ejected;
-  stats_.packet_latency.add(
-      static_cast<double>(stats_.cycles - f.inject_cycle));
+  const double latency = static_cast<double>(stats_.cycles - f.inject_cycle);
+  stats_.packet_latency.add(latency);
+  if (observe_ && latency_samples_.size() < kMaxObservationSamples) {
+    latency_samples_.push_back(latency);
+  }
+  if (trace_noc_) {
+    obs::Tracer::global().record_instant(
+        obs::kCatNoc, "eject", obs::kPidNoc, static_cast<std::uint32_t>(node),
+        stats_.cycles, "latency_cycles", latency);
+  }
   if (!protect_) {
     ++stats_.packets_delivered;
     if (eject_hook_) eject_hook_(f, stats_.cycles);
@@ -145,9 +169,21 @@ void Network::eject_flit(const Flit& f) {
           stats_.cycles + (cfg_.protection.retry_backoff_cycles << shift);
       ++d.attempt;
       ++stats_.retransmissions;
+      if (trace_noc_) {
+        obs::Tracer::global().record_instant(
+            obs::kCatNoc, "retransmit", obs::kPidNoc,
+            static_cast<std::uint32_t>(node), stats_.cycles, "attempt",
+            static_cast<double>(d.attempt));
+      }
       queue_packet(d);
     } else {
       ++stats_.packets_dropped;
+      if (trace_noc_) {
+        obs::Tracer::global().record_instant(
+            obs::kCatNoc, "drop", obs::kPidNoc,
+            static_cast<std::uint32_t>(node), stats_.cycles, "attempt",
+            static_cast<double>(d.attempt));
+      }
     }
   }
   if (eject_hook_) eject_hook_(f, stats_.cycles);
@@ -165,7 +201,7 @@ void Network::switch_phase() {
         // Ejection: the NI always sinks one flit per cycle per port.
         const auto in = r.allocate(out);
         if (!in) continue;
-        eject_flit(r.grant(*in, out));
+        eject_flit(r.grant(*in, out), r.id());
         continue;
       }
       if (faulty && fault_.link_down(stats_.cycles, r.id(), out)) {
@@ -212,6 +248,14 @@ void Network::switch_phase() {
       ++stats_.buffer_reads;
       ++stats_.router_traversals;
       ++stats_.link_traversals;
+      ++link_flits_[static_cast<std::size_t>(r.id()) * kNumPorts +
+                    static_cast<std::size_t>(out)];
+      if (trace_noc_ && hop_seq_++ % trace_sample_ == 0) {
+        obs::Tracer::global().record_instant(
+            obs::kCatNoc, "hop", obs::kPidNoc,
+            static_cast<std::uint32_t>(r.id()), stats_.cycles, "dst",
+            static_cast<double>(f.dst));
+      }
     }
   }
 }
@@ -229,6 +273,16 @@ void Network::step() {
     ++stats_.buffer_writes;
   }
   ++stats_.cycles;
+  if (observe_ && stats_.cycles % kQueueSampleInterval == 0) {
+    sample_queue_depths();
+  }
+}
+
+void Network::sample_queue_depths() {
+  if (queue_samples_.size() + routers_.size() > kMaxObservationSamples) return;
+  for (const auto& r : routers_) {
+    queue_samples_.push_back(static_cast<double>(r.buffered_flits()));
+  }
 }
 
 bool Network::drained() const noexcept {
@@ -280,6 +334,15 @@ void Network::check_invariants() const {
   NOCW_CHECK_EQ(stats_.router_traversals, stats_.buffer_reads);
   // One latency sample per ejected packet (Fig. 2 latency feeds off this).
   NOCW_CHECK_EQ(stats_.packet_latency.count(), stats_.packets_ejected);
+  // The observability arrays are decompositions of the canonical counters:
+  // per-link flit counts must sum to link_traversals and per-node ejections
+  // to flits_ejected, or a heatmap would disagree with the stats facade.
+  std::uint64_t link_sum = 0;
+  for (const std::uint64_t v : link_flits_) link_sum += v;
+  NOCW_CHECK_EQ(link_sum, stats_.link_traversals);
+  std::uint64_t eject_sum = 0;
+  for (const std::uint64_t v : node_ejects_) eject_sum += v;
+  NOCW_CHECK_EQ(eject_sum, stats_.flits_ejected);
   // CRC bookkeeping: every ejected packet is either delivered clean or
   // failed its check, and every failure resolved into a retransmission or a
   // drop at the moment it was detected.

@@ -19,6 +19,7 @@
 #include "noc/flit.hpp"
 #include "noc/router.hpp"
 #include "noc/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace nocw::noc {
 
@@ -64,6 +65,42 @@ class Network {
   /// Flits not yet delivered (pending + queued + buffered in routers).
   [[nodiscard]] std::uint64_t undelivered_flits() const noexcept;
 
+  // --- observability (src/obs) ---
+  // Per-link and per-node flit counts are always collected (one array
+  // increment on paths that already bump several counters); latency and
+  // queue-depth *samples* grow memory, so they are gated by observation
+  // mode, which defaults to "on iff the tracer's noc category is live".
+
+  /// Enable/disable packet-latency and queue-depth sampling.
+  void set_observation(bool on) noexcept { observe_ = on; }
+  [[nodiscard]] bool observing() const noexcept { return observe_; }
+
+  /// Flits sent over each output link, indexed [node * kNumPorts + port].
+  [[nodiscard]] std::span<const std::uint64_t> link_flit_counts()
+      const noexcept {
+    return link_flits_;
+  }
+  /// Flits ejected at each node's local port.
+  [[nodiscard]] std::span<const std::uint64_t> node_eject_counts()
+      const noexcept {
+    return node_ejects_;
+  }
+  /// Per-packet latency samples in cycles (observation mode only; capped at
+  /// kMaxObservationSamples, oldest kept).
+  [[nodiscard]] const std::vector<double>& packet_latency_samples()
+      const noexcept {
+    return latency_samples_;
+  }
+  /// Per-router buffered-flit occupancy, sampled every
+  /// kQueueSampleInterval cycles in observation mode.
+  [[nodiscard]] const std::vector<double>& queue_depth_samples()
+      const noexcept {
+    return queue_samples_;
+  }
+
+  static constexpr std::size_t kMaxObservationSamples = 1u << 20;
+  static constexpr std::uint64_t kQueueSampleInterval = 64;
+
   /// Validate the cycle engine's global invariants: flit conservation
   /// (injected == ejected + buffered in routers), monotone packet counters,
   /// buffer-access accounting, one latency sample per ejected packet, and
@@ -103,8 +140,9 @@ class Network {
 
   void inject_phase();
   void switch_phase();
-  void eject_flit(const Flit& f);
+  void eject_flit(const Flit& f, int node);
   void queue_packet(const PacketDescriptor& p);
+  void sample_queue_depths();
   /// Flits a descriptor expands to at injection (+1 CRC flit if protected).
   [[nodiscard]] std::uint64_t flits_of(const PacketDescriptor& p)
       const noexcept {
@@ -136,6 +174,18 @@ class Network {
   }
   std::uint32_t next_packet_id_ = 1;
   std::function<void(const Flit&, std::uint64_t)> eject_hook_;
+
+  // Observability. trace_noc_ caches the tracer gate at construction so the
+  // per-hop emission check is one branch on a plain bool; link/eject counts
+  // are unconditional (they back the utilization invariants below).
+  bool trace_noc_ = false;
+  bool observe_ = false;
+  std::uint64_t trace_sample_ = 1;  ///< emit every Nth hop event
+  std::uint64_t hop_seq_ = 0;       ///< hops seen, for sampling
+  std::vector<std::uint64_t> link_flits_;   ///< [node * kNumPorts + port]
+  std::vector<std::uint64_t> node_ejects_;  ///< per node
+  std::vector<double> latency_samples_;
+  std::vector<double> queue_samples_;
 };
 
 }  // namespace nocw::noc

@@ -1,0 +1,41 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/env.hpp"
+
+namespace nocw::obs {
+
+namespace {
+
+std::atomic<bool>& quiet_flag() {
+  static std::atomic<bool> flag{env_int("NOCW_QUIET", 0) != 0};
+  return flag;
+}
+
+}  // namespace
+
+bool quiet() noexcept { return quiet_flag().load(std::memory_order_relaxed); }
+
+void set_quiet(bool quiet) noexcept {
+  quiet_flag().store(quiet, std::memory_order_relaxed);
+}
+
+bool vlog(const char* fmt, std::va_list args) {
+  if (quiet()) return false;
+  std::vfprintf(stdout, fmt, args);
+  std::fflush(stdout);
+  return true;
+}
+
+bool log(const char* fmt, ...) {
+  if (quiet()) return false;
+  std::va_list args;
+  va_start(args, fmt);
+  const bool emitted = vlog(fmt, args);
+  va_end(args);
+  return emitted;
+}
+
+}  // namespace nocw::obs

@@ -1,0 +1,75 @@
+#include "obs/noc_stats_bridge.hpp"
+
+#include <string>
+
+namespace nocw::obs {
+
+namespace {
+
+using noc::NocStats;
+
+// One entry per uint64 field of NocStats, in declaration order. When you add
+// a counter to NocStats, add its row here (the static_assert below will
+// refuse to compile until you do) and keep tests/obs/registry_test.cpp's
+// distinct-value round trip passing.
+constexpr NocStatsField kFields[] = {
+    {"cycles", "cycles", &NocStats::cycles},
+    {"flits_injected", "flits", &NocStats::flits_injected},
+    {"flits_ejected", "flits", &NocStats::flits_ejected},
+    {"packets_injected", "packets", &NocStats::packets_injected},
+    {"packets_ejected", "packets", &NocStats::packets_ejected},
+    {"router_traversals", "events", &NocStats::router_traversals},
+    {"link_traversals", "events", &NocStats::link_traversals},
+    {"buffer_writes", "events", &NocStats::buffer_writes},
+    {"buffer_reads", "events", &NocStats::buffer_reads},
+    {"payload_bit_flips", "bits", &NocStats::payload_bit_flips},
+    {"link_fault_cycles", "cycles", &NocStats::link_fault_cycles},
+    {"router_stall_cycles", "cycles", &NocStats::router_stall_cycles},
+    {"crc_flits_injected", "flits", &NocStats::crc_flits_injected},
+    {"crc_flit_events", "events", &NocStats::crc_flit_events},
+    {"crc_failures", "packets", &NocStats::crc_failures},
+    {"packets_delivered", "packets", &NocStats::packets_delivered},
+    {"retransmissions", "packets", &NocStats::retransmissions},
+    {"packets_dropped", "packets", &NocStats::packets_dropped},
+};
+
+constexpr std::size_t kFieldCount = sizeof(kFields) / sizeof(kFields[0]);
+
+// Layout tripwire: NocStats is kFieldCount uint64 counters plus one
+// RunningStats (packet_latency). All members are 8-byte aligned on LP64, so
+// the sizes add exactly; a new field that is not in kFields changes
+// sizeof(NocStats) and breaks this assert at compile time. (Skipped on
+// non-64-bit ABIs, where padding could differ; the runtime round-trip test
+// still covers those.)
+static_assert(sizeof(void*) != 8 ||
+                  sizeof(NocStats) ==
+                      kFieldCount * sizeof(std::uint64_t) +
+                          sizeof(RunningStats),
+              "noc::NocStats and obs::noc_stats_bridge kFields diverged: "
+              "add the new counter to the table (name + unit) and extend the "
+              "round-trip test in tests/obs/registry_test.cpp");
+
+}  // namespace
+
+std::span<const NocStatsField> noc_stats_fields() noexcept {
+  return {kFields, kFieldCount};
+}
+
+void snapshot_noc_stats(Registry& reg, const noc::NocStats& stats,
+                        std::string_view prefix) {
+  const std::string base = std::string(prefix) + ".";
+  for (const NocStatsField& f : kFields) {
+    reg.set_counter(base + f.name, f.unit, stats.*(f.member));
+  }
+  const RunningStats& lat = stats.packet_latency;
+  reg.set_gauge(base + "packet_latency_mean", "cycles", lat.mean());
+  reg.set_gauge(base + "packet_latency_min", "cycles",
+                lat.count() ? lat.min() : 0.0);
+  reg.set_gauge(base + "packet_latency_max", "cycles",
+                lat.count() ? lat.max() : 0.0);
+  reg.set_counter(base + "packet_latency_count", "samples",
+                  static_cast<std::uint64_t>(lat.count()));
+  reg.set_gauge(base + "throughput", "ratio", stats.throughput());
+}
+
+}  // namespace nocw::obs

@@ -1,0 +1,45 @@
+// The audited bridge between noc::NocStats (hot-path counter struct) and
+// obs::Registry (named/typed export layer).
+//
+// Every uint64 field of NocStats appears exactly once in the static table
+// below, with its registry name and unit. Two tripwires keep the table and
+// the struct from silently diverging:
+//
+//   * a static_assert in noc_stats_bridge.cpp recomputes sizeof(NocStats)
+//     from the table length, so adding or removing a field without updating
+//     the table fails to *compile*;
+//   * tests/obs/registry_test.cpp round-trips a NocStats with every field
+//     set to a distinct value through snapshot_noc_stats() and reads each
+//     one back by name, and checks that NocStats::reset() zeroes every
+//     bridged counter.
+//
+// NocStats itself stays the facade the cycle engine writes; nothing here
+// runs on a simulation hot path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "noc/stats.hpp"
+#include "obs/registry.hpp"
+
+namespace nocw::obs {
+
+/// One bridged field: registry name (prefix applied by snapshot_noc_stats),
+/// unit from the registry vocabulary, and the member it mirrors.
+struct NocStatsField {
+  const char* name;
+  const char* unit;
+  std::uint64_t noc::NocStats::* member;
+};
+
+/// The full audit table, one entry per uint64 counter in NocStats.
+[[nodiscard]] std::span<const NocStatsField> noc_stats_fields() noexcept;
+
+/// Register every NocStats counter as "<prefix>.<field>" plus the
+/// packet-latency summary gauges ("<prefix>.packet_latency_*").
+void snapshot_noc_stats(Registry& reg, const noc::NocStats& stats,
+                        std::string_view prefix = "noc");
+
+}  // namespace nocw::obs

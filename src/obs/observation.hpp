@@ -1,0 +1,38 @@
+// Raw observation samples collected from one NoC phase / inference.
+//
+// The cycle engine exposes where flits actually went (per-link and per-node
+// counts) and how long packets actually took (latency samples, queue
+// depths); this struct carries those samples from noc::Network through
+// accel::AcceleratorSim to the derived reports in obs/report without either
+// side depending on the other's types. Latency and queue-depth sampling are
+// collected only when the network is observing (tracing enabled or
+// Network::set_observation(true)); the count vectors are always cheap and
+// always filled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nocw::obs {
+
+struct NocObservation {
+  /// Flits over each inter-router link, indexed [node * kNumPorts + port]
+  /// by the *sending* router's output port.
+  std::vector<std::uint64_t> link_flits;
+  /// Flits ejected at each node's local port (PE/MI ingestion).
+  std::vector<std::uint64_t> node_ejections;
+  /// Per-packet injection-to-tail latency in cycles (sampled when observing).
+  std::vector<double> packet_latency_cycles;
+  /// Per-router buffered-flit occupancy, sampled periodically when observing.
+  std::vector<double> queue_depth_flits;
+  /// Cycles the observed window ran (utilization denominator).
+  std::uint64_t window_cycles = 0;
+  /// True when any window contributed (reports skip empty observations).
+  bool collected = false;
+
+  /// Element-wise accumulate (layers of one inference share link/node
+  /// indexing; sample vectors concatenate).
+  void merge(const NocObservation& o);
+};
+
+}  // namespace nocw::obs

@@ -1,0 +1,178 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace nocw::obs {
+
+namespace {
+
+const char* port_name(int port) noexcept {
+  switch (port) {
+    case noc::kNorth: return "N";
+    case noc::kEast: return "E";
+    case noc::kSouth: return "S";
+    case noc::kWest: return "W";
+    default: return "L";
+  }
+}
+
+double utilization(std::uint64_t events, std::uint64_t cycles) noexcept {
+  return cycles ? static_cast<double>(events) / static_cast<double>(cycles)
+                : 0.0;
+}
+
+}  // namespace
+
+Table pe_utilization_heatmap(const noc::NocConfig& cfg,
+                             const NocObservation& obs) {
+  std::vector<std::string> headers{"row"};
+  for (int x = 0; x < cfg.width; ++x) {
+    headers.push_back("x=" + std::to_string(x));
+  }
+  Table t(std::move(headers));
+  if (!obs.collected) return t;
+  NOCW_CHECK_EQ(obs.node_ejections.size(),
+                static_cast<std::size_t>(cfg.node_count()));
+  for (int y = 0; y < cfg.height; ++y) {
+    std::vector<std::string> row{"y=" + std::to_string(y)};
+    for (int x = 0; x < cfg.width; ++x) {
+      const int id = cfg.node_id(x, y);
+      const double u = utilization(
+          obs.node_ejections[static_cast<std::size_t>(id)],
+          obs.window_cycles);
+      row.push_back(std::string(cfg.is_memory_interface(id) ? "MI " : "PE ") +
+                    fmt_pct(u, 1));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table link_utilization_table(const noc::NocConfig& cfg,
+                             const NocObservation& obs) {
+  Table t({"link", "flits", "utilization"});
+  if (!obs.collected) return t;
+  NOCW_CHECK_EQ(obs.link_flits.size(),
+                static_cast<std::size_t>(cfg.node_count()) * noc::kNumPorts);
+  struct Link {
+    int node;
+    int port;
+    std::uint64_t flits;
+  };
+  std::vector<Link> links;
+  for (int node = 0; node < cfg.node_count(); ++node) {
+    for (int port = 1; port < noc::kNumPorts; ++port) {  // skip local
+      const std::uint64_t flits =
+          obs.link_flits[static_cast<std::size_t>(node) * noc::kNumPorts +
+                         static_cast<std::size_t>(port)];
+      if (flits > 0) links.push_back({node, port, flits});
+    }
+  }
+  std::stable_sort(links.begin(), links.end(),
+                   [](const Link& a, const Link& b) {
+                     return a.flits > b.flits;  // busiest first
+                   });
+  for (const Link& l : links) {
+    t.add_row({"(" + std::to_string(cfg.node_x(l.node)) + "," +
+                   std::to_string(cfg.node_y(l.node)) + ")->" +
+                   port_name(l.port),
+               std::to_string(l.flits),
+               fmt_pct(utilization(l.flits, obs.window_cycles), 1)});
+  }
+  return t;
+}
+
+Table layer_phase_table(const accel::InferenceResult& result) {
+  Table t({"layer", "memory", "noc", "compute", "total", "mem%", "noc%",
+           "comp%"});
+  for (const accel::LayerResult& lr : result.layers) {
+    const double total = lr.latency.total();
+    const auto pct = [total](double v) {
+      return total > 0.0 ? fmt_pct(v / total, 1) : std::string("-");
+    };
+    t.add_row({lr.name, fmt_fixed(lr.latency.memory_cycles, 0),
+               fmt_fixed(lr.latency.comm_cycles, 0),
+               fmt_fixed(lr.latency.compute_cycles, 0), fmt_fixed(total, 0),
+               pct(lr.latency.memory_cycles), pct(lr.latency.comm_cycles),
+               pct(lr.latency.compute_cycles)});
+  }
+  const double total = result.latency.total();
+  const auto pct = [total](double v) {
+    return total > 0.0 ? fmt_pct(v / total, 1) : std::string("-");
+  };
+  t.add_row({"(total)", fmt_fixed(result.latency.memory_cycles, 0),
+             fmt_fixed(result.latency.comm_cycles, 0),
+             fmt_fixed(result.latency.compute_cycles, 0), fmt_fixed(total, 0),
+             pct(result.latency.memory_cycles),
+             pct(result.latency.comm_cycles),
+             pct(result.latency.compute_cycles)});
+  return t;
+}
+
+Table percentile_table(std::string_view label,
+                       std::span<const double> samples,
+                       std::string_view unit) {
+  Table t({"metric", "unit", "count", "mean", "p50", "p95", "p99", "max"});
+  if (samples.empty()) {
+    t.add_row({std::string(label), std::string(unit), "0", "-", "-", "-", "-",
+               "-"});
+    return t;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (const double v : sorted) rs.add(v);
+  t.add_row({std::string(label), std::string(unit),
+             std::to_string(sorted.size()), fmt_fixed(rs.mean(), 2),
+             fmt_fixed(percentile_sorted(sorted, 50.0), 2),
+             fmt_fixed(percentile_sorted(sorted, 95.0), 2),
+             fmt_fixed(percentile_sorted(sorted, 99.0), 2),
+             fmt_fixed(rs.max(), 2)});
+  return t;
+}
+
+void snapshot_inference(Registry& reg, const accel::InferenceResult& result,
+                        std::string_view prefix) {
+  const std::string base = std::string(prefix) + ".";
+  reg.set_gauge(base + "latency_memory", "cycles",
+                result.latency.memory_cycles);
+  reg.set_gauge(base + "latency_noc", "cycles", result.latency.comm_cycles);
+  reg.set_gauge(base + "latency_compute", "cycles",
+                result.latency.compute_cycles);
+  reg.set_gauge(base + "latency_total", "cycles", result.latency.total());
+  reg.set_gauge(base + "energy_total", "joules", result.energy.total());
+  reg.set_gauge(base + "energy_communication", "joules",
+                result.energy.communication.total());
+  reg.set_gauge(base + "energy_computation", "joules",
+                result.energy.computation.total());
+  reg.set_gauge(base + "energy_local_memory", "joules",
+                result.energy.local_memory.total());
+  reg.set_gauge(base + "energy_main_memory", "joules",
+                result.energy.main_memory.total());
+  reg.set_counter(base + "layers", "count", result.layers.size());
+  for (const double v : result.noc_obs.packet_latency_cycles) {
+    reg.observe(base + "packet_latency", "cycles", v);
+  }
+  for (const double v : result.noc_obs.queue_depth_flits) {
+    reg.observe(base + "queue_depth", "flits", v);
+  }
+}
+
+void snapshot_model_summary(Registry& reg,
+                            const accel::ModelSummary& summary,
+                            std::string_view prefix) {
+  const std::string base = std::string(prefix) + ".";
+  reg.set_counter(base + "layers", "count", summary.layers.size());
+  reg.set_counter(base + "macro_layers", "count",
+                  summary.macro_layers().size());
+  reg.set_counter(base + "total_params", "count", summary.total_params);
+  reg.set_counter(base + "total_macs", "count", summary.total_macs);
+}
+
+}  // namespace nocw::obs

@@ -1,0 +1,51 @@
+// Derived observability reports: utilization heatmaps, per-layer phase
+// breakdowns, latency/queue-depth percentile summaries.
+//
+// These turn raw observations (obs/observation.hpp) and simulation results
+// into the same util/table console/CSV surface every bench already uses, so
+// "where do the cycles go when δ changes" and "which links saturate during
+// the weight broadcast" are one function call away from any driver.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "accel/simulator.hpp"
+#include "noc/config.hpp"
+#include "obs/observation.hpp"
+#include "obs/registry.hpp"
+#include "util/table.hpp"
+
+namespace nocw::obs {
+
+/// width x height grid of per-node ejection utilization (flits ejected per
+/// observed cycle), annotated MI/PE. Row 0 is mesh row y=0.
+[[nodiscard]] Table pe_utilization_heatmap(const noc::NocConfig& cfg,
+                                           const NocObservation& obs);
+
+/// One row per active inter-router link (router, direction): flits carried
+/// and utilization (flits per observed cycle), busiest first.
+[[nodiscard]] Table link_utilization_table(const noc::NocConfig& cfg,
+                                           const NocObservation& obs);
+
+/// One row per traffic-bearing layer: memory/NoC/compute cycles and each
+/// phase's share of the stacked layer latency.
+[[nodiscard]] Table layer_phase_table(const accel::InferenceResult& result);
+
+/// One-row percentile summary (count, mean, p50, p95, p99, max) of a sample
+/// set; `label` names the quantity and `unit` its unit. Empty samples yield
+/// a count-0 row with "-" cells rather than NaNs.
+[[nodiscard]] Table percentile_table(std::string_view label,
+                                     std::span<const double> samples,
+                                     std::string_view unit);
+
+/// Register an inference's headline numbers and NoC observation percentiles
+/// under "<prefix>.*".
+void snapshot_inference(Registry& reg, const accel::InferenceResult& result,
+                        std::string_view prefix = "accel");
+
+/// Register a model summary's volumes under "<prefix>.*".
+void snapshot_model_summary(Registry& reg, const accel::ModelSummary& summary,
+                            std::string_view prefix = "model");
+
+}  // namespace nocw::obs

@@ -1,0 +1,27 @@
+// Chrome-trace / Perfetto JSON export of the tracer's event stream.
+//
+// The output is the Trace Event Format's "JSON object" flavour: a
+// `traceEvents` array of one-line event objects plus `process_name`
+// metadata, loadable directly in ui.perfetto.dev or chrome://tracing.
+// Timestamps are simulated cycles exported 1:1 as microseconds (`ts`), so
+// the Perfetto ruler reads "1 us" per cycle. Events are emitted one per
+// line, sorted by (pid, tid, ts), which keeps the file diffable and lets the
+// schema-validation test parse it line-wise without a JSON library.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace nocw::obs {
+
+/// Serialize `events` (pre-sorted or not; they are exported in the given
+/// order) plus process/thread metadata to Chrome-trace JSON.
+[[nodiscard]] std::string to_chrome_json(std::span<const TraceEvent> events);
+
+/// Collect the global tracer's events and write them to `path`.
+/// Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace nocw::obs

@@ -6,6 +6,26 @@
 
 namespace nocw {
 
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    NOCW_DCHECK(sorted[i - 1] <= sorted[i]);
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Linear interpolation between closest ranks over [0, n-1].
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> samples, double p) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
 double mean_squared_error(std::span<const float> a, std::span<const float> b) {
   NOCW_CHECK_EQ(a.size(), b.size());
   if (a.empty()) return 0.0;

@@ -67,6 +67,17 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Percentile of `sorted` (ascending), p in [0, 100], linear interpolation
+/// between closest ranks (numpy's default). Edge behaviour the p50/p95/p99
+/// reports rely on: empty input -> quiet NaN, a single sample -> that sample
+/// for every p, all-equal samples -> that value; p <= 0 -> min, p >= 100 ->
+/// max. Precondition: `sorted` is ascending (checked in debug builds).
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// As percentile_sorted, but copies and sorts internally. Prefer the sorted
+/// form when extracting several percentiles from one sample set.
+double percentile(std::span<const double> samples, double p);
+
 /// Mean squared error between two equally sized sequences.
 double mean_squared_error(std::span<const float> a, std::span<const float> b);
 

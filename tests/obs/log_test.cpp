@@ -1,0 +1,27 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocw::obs {
+namespace {
+
+// The tests drive the quiet switch directly (set_quiet) rather than via
+// NOCW_QUIET, which is read once per process; log() returns whether the
+// line was actually emitted, so no stdout capture is needed.
+
+TEST(ObsLog, EmitsWhenNotQuiet) {
+  set_quiet(false);
+  EXPECT_FALSE(quiet());
+  EXPECT_TRUE(log("[test] obs::log smoke line %d\n", 1));
+}
+
+TEST(ObsLog, QuietSuppresses) {
+  set_quiet(true);
+  EXPECT_TRUE(quiet());
+  EXPECT_FALSE(log("[test] this line must not appear\n"));
+  set_quiet(false);
+  EXPECT_TRUE(log("[test] and this one must\n"));
+}
+
+}  // namespace
+}  // namespace nocw::obs

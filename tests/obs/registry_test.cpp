@@ -1,0 +1,135 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/noc_stats_bridge.hpp"
+#include "util/check.hpp"
+
+namespace nocw::obs {
+namespace {
+
+TEST(Registry, CounterSetAndAdd) {
+  Registry reg;
+  reg.set_counter("noc.flits", "flits", 10);
+  EXPECT_DOUBLE_EQ(reg.value("noc.flits"), 10.0);
+  reg.add_counter("noc.flits", "flits", 5);
+  EXPECT_DOUBLE_EQ(reg.value("noc.flits"), 15.0);
+  reg.add_counter("noc.fresh", "events", 3);  // created at zero first
+  EXPECT_DOUBLE_EQ(reg.value("noc.fresh"), 3.0);
+}
+
+TEST(Registry, GaugeOverwrites) {
+  Registry reg;
+  reg.set_gauge("accel.utilization", "fraction", 0.25);
+  reg.set_gauge("accel.utilization", "fraction", 0.75);
+  EXPECT_DOUBLE_EQ(reg.value("accel.utilization"), 0.75);
+}
+
+TEST(Registry, HistogramSummarizesPercentiles) {
+  Registry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.observe("noc.latency", "cycles", static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(reg.value("noc.latency"), 100.0);  // histogram -> count
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const MetricSnapshot& s = snaps[0];
+  EXPECT_EQ(s.kind, MetricKind::Histogram);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(Registry, RejectsUnknownUnit) {
+  Registry reg;
+  EXPECT_THROW(reg.set_counter("x", "femtojoules", 1), CheckError);
+  EXPECT_FALSE(unit_allowed("femtojoules"));
+  EXPECT_TRUE(unit_allowed("joules"));
+}
+
+TEST(Registry, RejectsKindOrUnitChange) {
+  Registry reg;
+  reg.set_counter("n", "count", 1);
+  EXPECT_THROW(reg.set_gauge("n", "count", 1.0), CheckError);
+  EXPECT_THROW(reg.set_counter("n", "events", 1), CheckError);
+  reg.set_counter("n", "count", 2);  // same kind + unit is fine
+  EXPECT_DOUBLE_EQ(reg.value("n"), 2.0);
+}
+
+TEST(Registry, ValueOfMissingMetricThrows) {
+  Registry reg;
+  EXPECT_FALSE(reg.contains("ghost"));
+  EXPECT_THROW((void)reg.value("ghost"), CheckError);
+}
+
+TEST(Registry, JsonAndCsvCarryEveryMetric) {
+  Registry reg;
+  reg.set_counter("a.count", "count", 7);
+  reg.set_gauge("b.ratio", "ratio", 0.5);
+  reg.observe("c.hist", "cycles", 2.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("name,kind,unit"), std::string::npos);
+  EXPECT_NE(csv.find("a.count"), std::string::npos);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// --- NocStats bridge round-trip (the audit promised in the bridge header) -
+
+TEST(NocStatsBridge, EveryFieldRoundTripsDistinctValues) {
+  const auto fields = noc_stats_fields();
+  ASSERT_FALSE(fields.empty());
+
+  noc::NocStats stats;
+  std::uint64_t v = 1000;
+  for (const NocStatsField& f : fields) stats.*(f.member) = v++;
+  stats.packet_latency.add(10.0);
+  stats.packet_latency.add(30.0);
+
+  Registry reg;
+  snapshot_noc_stats(reg, stats, "noc");
+
+  v = 1000;
+  for (const NocStatsField& f : fields) {
+    const std::string name = std::string("noc.") + f.name;
+    ASSERT_TRUE(reg.contains(name)) << name;
+    EXPECT_DOUBLE_EQ(reg.value(name), static_cast<double>(v++)) << name;
+  }
+  EXPECT_DOUBLE_EQ(reg.value("noc.packet_latency_mean"), 20.0);
+  EXPECT_DOUBLE_EQ(reg.value("noc.packet_latency_min"), 10.0);
+  EXPECT_DOUBLE_EQ(reg.value("noc.packet_latency_max"), 30.0);
+  EXPECT_DOUBLE_EQ(reg.value("noc.packet_latency_count"), 2.0);
+}
+
+TEST(NocStatsBridge, NamesUniqueAndUnitsInVocabulary) {
+  std::set<std::string> names;
+  for (const NocStatsField& f : noc_stats_fields()) {
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate: " << f.name;
+    EXPECT_TRUE(unit_allowed(f.unit)) << f.name << " unit " << f.unit;
+  }
+}
+
+TEST(NocStatsBridge, ResetZeroesEveryBridgedCounter) {
+  noc::NocStats stats;
+  for (const NocStatsField& f : noc_stats_fields()) stats.*(f.member) = 77;
+  stats.reset();
+  Registry reg;
+  snapshot_noc_stats(reg, stats, "noc");
+  for (const NocStatsField& f : noc_stats_fields()) {
+    EXPECT_DOUBLE_EQ(reg.value(std::string("noc.") + f.name), 0.0) << f.name;
+  }
+}
+
+}  // namespace
+}  // namespace nocw::obs

@@ -1,0 +1,166 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace nocw::obs {
+namespace {
+
+NocObservation make_observation(const noc::NocConfig& cfg) {
+  NocObservation obs;
+  obs.link_flits.assign(
+      static_cast<std::size_t>(cfg.node_count()) * noc::kNumPorts, 0);
+  obs.node_ejections.assign(static_cast<std::size_t>(cfg.node_count()), 0);
+  obs.window_cycles = 100;
+  obs.collected = true;
+  return obs;
+}
+
+TEST(Report, PeHeatmapHasOneRowPerMeshRow) {
+  const noc::NocConfig cfg;  // 4x4
+  NocObservation obs = make_observation(cfg);
+  obs.node_ejections[5] = 50;  // node (1,1): 50 flits / 100 cycles
+  const Table t = pe_utilization_heatmap(cfg, obs);
+  EXPECT_EQ(t.row_count(), static_cast<std::size_t>(cfg.height));
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("PE 50.0%"), std::string::npos);
+  EXPECT_NE(s.find("MI "), std::string::npos);  // corners are annotated MI
+}
+
+TEST(Report, PeHeatmapEmptyObservationYieldsNoRows) {
+  const noc::NocConfig cfg;
+  const Table t = pe_utilization_heatmap(cfg, NocObservation{});
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(Report, LinkTableSortsBusiestFirstAndSkipsIdleLinks) {
+  const noc::NocConfig cfg;
+  NocObservation obs = make_observation(cfg);
+  obs.link_flits[0 * noc::kNumPorts + noc::kEast] = 10;
+  obs.link_flits[1 * noc::kNumPorts + noc::kWest] = 40;
+  obs.link_flits[2 * noc::kNumPorts + noc::kLocal] = 99;  // local: not a link
+  const Table t = link_utilization_table(cfg, obs);
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("(1,0)->W"), std::string::npos);
+  EXPECT_NE(s.find("(0,0)->E"), std::string::npos);
+  EXPECT_LT(s.find("(1,0)->W"), s.find("(0,0)->E"));  // 40 flits before 10
+}
+
+TEST(Report, PercentileTableEmptySamplesIsDashRow) {
+  const Table t = percentile_table("latency", {}, "cycles");
+  ASSERT_EQ(t.row_count(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("0"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+TEST(Report, PercentileTableMatchesStats) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const Table t = percentile_table("latency", samples, "cycles");
+  ASSERT_EQ(t.row_count(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("100"), std::string::npos);    // count
+  EXPECT_NE(s.find("50.50"), std::string::npos);  // mean and p50
+  EXPECT_NE(s.find("95.05"), std::string::npos);  // p95
+  EXPECT_NE(s.find("99.01"), std::string::npos);  // p99
+  EXPECT_NE(s.find("100.00"), std::string::npos);  // max
+}
+
+TEST(Report, LayerPhaseTableHasTotalsRow) {
+  accel::InferenceResult r;
+  accel::LayerResult a;
+  a.name = "conv1";
+  a.latency.memory_cycles = 100.0;
+  a.latency.comm_cycles = 50.0;
+  a.latency.compute_cycles = 50.0;
+  accel::LayerResult b;
+  b.name = "fc1";
+  b.latency.memory_cycles = 20.0;
+  b.latency.comm_cycles = 40.0;
+  b.latency.compute_cycles = 140.0;
+  r.layers = {a, b};
+  r.latency = a.latency;
+  r.latency += b.latency;
+  const Table t = layer_phase_table(r);
+  EXPECT_EQ(t.row_count(), 3u);  // two layers + (total)
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("conv1"), std::string::npos);
+  EXPECT_NE(s.find("fc1"), std::string::npos);
+  EXPECT_NE(s.find("(total)"), std::string::npos);
+  EXPECT_NE(s.find("50.0%"), std::string::npos);  // conv1 memory share
+}
+
+TEST(Report, SnapshotInferenceRegistersHeadlinesAndSamples) {
+  accel::InferenceResult r;
+  r.latency.memory_cycles = 10.0;
+  r.latency.comm_cycles = 20.0;
+  r.latency.compute_cycles = 30.0;
+  r.noc_obs.packet_latency_cycles = {5.0, 15.0};
+  r.noc_obs.queue_depth_flits = {1.0};
+  Registry reg;
+  snapshot_inference(reg, r, "accel");
+  EXPECT_DOUBLE_EQ(reg.value("accel.latency_total"), 60.0);
+  EXPECT_DOUBLE_EQ(reg.value("accel.latency_noc"), 20.0);
+  EXPECT_DOUBLE_EQ(reg.value("accel.packet_latency"), 2.0);  // histogram count
+  EXPECT_DOUBLE_EQ(reg.value("accel.queue_depth"), 1.0);
+  EXPECT_TRUE(reg.contains("accel.energy_total"));
+}
+
+TEST(Report, SnapshotModelSummaryCountsVolumes) {
+  accel::ModelSummary summary;
+  summary.model_name = "toy";
+  accel::LayerSummary l;
+  l.name = "conv";
+  l.traffic_bearing = true;
+  summary.layers = {l};
+  summary.total_params = 42;
+  summary.total_macs = 1000;
+  Registry reg;
+  snapshot_model_summary(reg, summary, "model");
+  EXPECT_DOUBLE_EQ(reg.value("model.layers"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("model.macro_layers"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("model.total_params"), 42.0);
+  EXPECT_DOUBLE_EQ(reg.value("model.total_macs"), 1000.0);
+}
+
+TEST(Observation, MergeAddsCountsAndConcatenatesSamples) {
+  NocObservation a;
+  a.link_flits = {1, 2};
+  a.node_ejections = {3};
+  a.packet_latency_cycles = {10.0};
+  a.queue_depth_flits = {2.0};
+  a.window_cycles = 100;
+  a.collected = true;
+
+  NocObservation b;
+  b.link_flits = {10, 20};
+  b.node_ejections = {30};
+  b.packet_latency_cycles = {20.0, 30.0};
+  b.window_cycles = 50;
+  b.collected = true;
+
+  a.merge(b);
+  EXPECT_EQ(a.link_flits, (std::vector<std::uint64_t>{11, 22}));
+  EXPECT_EQ(a.node_ejections, (std::vector<std::uint64_t>{33}));
+  EXPECT_EQ(a.packet_latency_cycles,
+            (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(a.queue_depth_flits, (std::vector<double>{2.0}));
+  EXPECT_EQ(a.window_cycles, 150u);
+  EXPECT_TRUE(a.collected);
+
+  NocObservation empty;
+  empty.merge(a);  // merging into an empty observation adopts the sizes
+  EXPECT_EQ(empty.link_flits, a.link_flits);
+  EXPECT_TRUE(empty.collected);
+}
+
+}  // namespace
+}  // namespace nocw::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace_export.hpp"
+
+namespace nocw::obs {
+namespace {
+
+#if defined(NOCW_TRACE_DISABLED)
+
+TEST(Trace, DisabledBuildFoldsMacrosAway) {
+  // NOCW_TRACING=OFF: the gate is the constant false and emission macros
+  // are ((void)0) — this test only has to compile.
+  EXPECT_FALSE(NOCW_TRACE_ON(kCatNoc));
+  NOCW_TRACE_INSTANT(kCatNoc, "never", kPidNoc, 0, 0);
+}
+
+#else  // tracing compiled in
+
+// The tracer is process-global; every test restores the disabled default so
+// suites can run in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::set_enabled(true);
+    Tracer::set_categories(kCatAll);
+    Tracer::set_sample_every(1);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().clear();
+    Tracer::set_categories(kCatAll);
+    Tracer::set_sample_every(1);
+    Tracer::set_enabled(false);
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothingThroughMacros) {
+  Tracer::set_enabled(false);
+  const std::uint64_t before = Tracer::global().recorded();
+  NOCW_TRACE_INSTANT(kCatNoc, "gated", kPidNoc, 1, 2);
+  NOCW_TRACE_SPAN(kCatMac, "gated", kPidAccel, 1, 2, 3);
+  EXPECT_EQ(Tracer::global().recorded(), before);
+  EXPECT_FALSE(NOCW_TRACE_ON(kCatNoc));
+}
+
+TEST_F(TraceTest, CategoryMaskGates) {
+  Tracer::set_categories(kCatMac);
+  EXPECT_TRUE(NOCW_TRACE_ON(kCatMac));
+  EXPECT_FALSE(NOCW_TRACE_ON(kCatNoc));
+  NOCW_TRACE_INSTANT(kCatNoc, "masked-out", kPidNoc, 0, 0);
+  NOCW_TRACE_INSTANT(kCatMac, "kept", kPidAccel, 0, 0);
+  const auto events = Tracer::global().collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "kept");
+}
+
+TEST(TraceStatic, ParseCategories) {
+  EXPECT_EQ(parse_categories("all"), kCatAll);
+  EXPECT_EQ(parse_categories(""), kCatAll);
+  EXPECT_EQ(parse_categories("noc"), kCatNoc);
+  EXPECT_EQ(parse_categories("noc,mac"), kCatNoc | kCatMac);
+  EXPECT_EQ(parse_categories("decomp,layer,mem,eval"),
+            kCatDecomp | kCatLayer | kCatMem | kCatEval);
+  EXPECT_EQ(parse_categories("noc,bogus"), kCatNoc);  // unknown ignored
+}
+
+TEST_F(TraceTest, CollectSortsByPidTidTs) {
+  Tracer& t = Tracer::global();
+  t.record_instant(kCatNoc, "c", kPidNoc, 1, 50);
+  t.record_instant(kCatNoc, "a", kPidAccel, 0, 99);
+  t.record_instant(kCatNoc, "d", kPidNoc, 1, 10);
+  t.record_instant(kCatNoc, "b", kPidNoc, 0, 5);
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "a");  // pid 1 before pid 2
+  EXPECT_EQ(events[1].name, "b");  // pid 2 tid 0
+  EXPECT_EQ(events[2].name, "d");  // pid 2 tid 1 ts 10
+  EXPECT_EQ(events[3].name, "c");  // pid 2 tid 1 ts 50
+}
+
+TEST_F(TraceTest, ScopedTimeBaseShiftsAndRestores) {
+  Tracer& t = Tracer::global();
+  EXPECT_EQ(time_base(), 0u);
+  {
+    ScopedTimeBase outer(100);
+    EXPECT_EQ(time_base(), 100u);
+    t.record_instant(kCatNoc, "outer", kPidNoc, 0, 5);
+    {
+      ScopedTimeBase inner(time_base() + 40);
+      t.record_instant(kCatNoc, "inner", kPidNoc, 0, 5);
+    }
+    EXPECT_EQ(time_base(), 100u);
+  }
+  EXPECT_EQ(time_base(), 0u);
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].ts, 105u);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].ts, 145u);
+}
+
+TEST_F(TraceTest, RingDropsOldestAndCountsDrops) {
+  Tracer& t = Tracer::global();
+  const std::size_t cap = Tracer::buffer_capacity();
+  const std::size_t extra = 10;
+  for (std::size_t i = 0; i < cap + extra; ++i) {
+    t.record_instant(kCatNoc, "e", kPidNoc, 0, i);
+  }
+  EXPECT_EQ(t.recorded(), cap);
+  EXPECT_EQ(t.dropped(), extra);
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), cap);
+  // Oldest `extra` events were overwritten: the window starts at ts = extra.
+  EXPECT_EQ(events.front().ts, extra);
+  EXPECT_EQ(events.back().ts, cap + extra - 1);
+}
+
+TEST_F(TraceTest, SpanCarriesDurationAndArg) {
+  Tracer& t = Tracer::global();
+  t.record_span(kCatMac, "busy", kPidAccel, 3, 7, 21, "macs", 64.0);
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_EQ(events[0].dur, 21u);
+  ASSERT_NE(events[0].arg_name, nullptr);
+  EXPECT_STREQ(events[0].arg_name, "macs");
+  EXPECT_DOUBLE_EQ(events[0].arg, 64.0);
+}
+
+TEST_F(TraceTest, ChromeJsonShapeAndMetadata) {
+  Tracer& t = Tracer::global();
+  t.record_instant(kCatNoc, "hop", kPidNoc, 2, 11);
+  t.record_span(kCatLayer, "layer:conv1", kPidAccel, 0, 0, 100);
+  const std::string json = to_chrome_json(t.collect());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"hop\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":100"), std::string::npos);
+}
+
+#endif  // NOCW_TRACE_DISABLED
+
+}  // namespace
+}  // namespace nocw::obs

@@ -72,6 +72,48 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(c.mean(), 1.5);
 }
 
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile_sorted({}, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 99.0)));
+}
+
+TEST(Percentile, SingleSampleForEveryP) {
+  const std::vector<double> one{42.0};
+  for (const double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(Percentile, AllEqualSamples) {
+  const std::vector<double> same(17, 3.5);
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(same, p), 3.5) << "p=" << p;
+  }
+}
+
+TEST(Percentile, LinearInterpolationMatchesNumpy) {
+  // numpy.percentile([1,2,3,4], [25,50,75]) -> 1.75, 2.5, 3.25
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 75.0), 3.25);
+}
+
+TEST(Percentile, ClampsPToValidRange) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 250.0), 3.0);
+}
+
+TEST(Percentile, UnsortedConvenienceFormSorts) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
 TEST(Mse, IdenticalIsZero) {
   const std::vector<float> a{1.0F, -2.0F, 3.0F};
   EXPECT_DOUBLE_EQ(mean_squared_error(a, a), 0.0);

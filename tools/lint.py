@@ -33,6 +33,18 @@ Rules (all scoped to src/, the library code):
               count; ad-hoc sampling scattered through the tree is how
               determinism quietly breaks.
 
+  metric      obs::Registry registration sites (set_counter, add_counter,
+              set_gauge, observe) whose unit argument is a string literal
+              must draw it from the closed vocabulary in METRIC_UNITS —
+              kept in sync with unit_allowed() in src/obs/registry.cpp, so
+              an unknown unit is caught before the run-time NOCW_CHECK is.
+
+  print       (scoped to bench/) std::printf / std::cout are forbidden in
+              bench drivers outside bench_util.cpp, the sanctioned table
+              emission point. Progress lines go through obs::log(), which
+              NOCW_QUIET can silence at once; fprintf to a *file* (JSON
+              mirrors) is fine.
+
 Usage:
   tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
                                repository containing this script)
@@ -64,6 +76,13 @@ UNITS_DIRS = ("src/power", "src/noc", "src/accel")
 RNG_ALLOWED = "src/util/rng.hpp"
 ASSERT_ALLOWED = "src/util/check.hpp"
 FAULT_ALLOWED = ("src/noc/fault.cpp", "src/noc/fault.hpp")
+PRINT_ALLOWED = "bench/bench_util.cpp"
+
+# Kept in sync with kUnits in src/obs/registry.cpp (unit_allowed).
+METRIC_UNITS = {
+    "count", "cycles", "seconds", "flits", "packets", "events", "bits",
+    "bytes", "joules", "watts", "ratio", "fraction", "percent", "samples",
+}
 
 # `double name;` or `double name = ...;` at the start of a line — a field or
 # namespace-scope declaration. Function parameters and return types never
@@ -73,6 +92,13 @@ RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
 COUT_RE = re.compile(r"std::cout")
 ASSERT_RE = re.compile(r"\bassert\s*\(")
 FAULT_RE = re.compile(r"\bfault_hash\s*\(")
+PRINT_RE = re.compile(r"std::printf|std::cout")
+# A registry call whose unit argument is a string literal. The name argument
+# (anything up to the first top-level comma; registry metric names never
+# contain commas) may span lines, hence DOTALL matching over the whole file.
+METRIC_RE = re.compile(
+    r"\b(?:set_counter|add_counter|set_gauge|observe)\s*"
+    r"\(\s*[^,;]*?,\s*\"([^\"]*)\"", re.S)
 
 
 def strip_comments(text: str) -> str:
@@ -164,6 +190,38 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [fault] fault_hash() outside noc/fault.cpp; "
                 f"sample faults through FaultModel / corrupt_bits so fault "
                 f"experiments stay seed-reproducible")
+    # Registry calls may span lines, so this rule matches the whole
+    # comment-stripped text rather than line-by-line.
+    for m in METRIC_RE.finditer(text):
+        unit = m.group(1)
+        if unit not in METRIC_UNITS:
+            lineno = text.count("\n", 0, m.start()) + 1
+            findings.append(
+                f"{rel}:{lineno}: [metric] unit '{unit}' is not in the "
+                f"registry vocabulary ({', '.join(sorted(METRIC_UNITS))}); "
+                f"keep units closed so exports stay comparable")
+    return findings
+
+
+def lint_bench_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
+    rel = path.relative_to(root).as_posix()
+    text = strip_comments(path.read_text(encoding="utf-8"))
+    findings = []
+    if rel != PRINT_ALLOWED:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if PRINT_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [print] std::printf/std::cout in a "
+                    f"bench driver; progress lines go through obs::log() "
+                    f"(NOCW_QUIET-aware), tables through bench::emit")
+    for m in METRIC_RE.finditer(text):
+        unit = m.group(1)
+        if unit not in METRIC_UNITS:
+            lineno = text.count("\n", 0, m.start()) + 1
+            findings.append(
+                f"{rel}:{lineno}: [metric] unit '{unit}' is not in the "
+                f"registry vocabulary ({', '.join(sorted(METRIC_UNITS))}); "
+                f"keep units closed so exports stay comparable")
     return findings
 
 
@@ -173,6 +231,11 @@ def lint_tree(root: pathlib.Path) -> list[str]:
     for path in sorted(src.rglob("*")):
         if path.suffix in (".cpp", ".hpp", ".h", ".cc"):
             findings.extend(lint_file(root, path))
+    bench = root / "bench"
+    if bench.is_dir():
+        for path in sorted(bench.rglob("*")):
+            if path.suffix in (".cpp", ".hpp", ".h", ".cc"):
+                findings.extend(lint_bench_file(root, path))
     return findings
 
 
@@ -193,6 +256,14 @@ def self_test() -> int:
         "src/eval/bad_fault.cpp":
             "#include \"noc/fault.hpp\"\n"
             "unsigned long h() { return nocw::noc::fault_hash(1, 2, 3, 4); }\n",
+        "src/eval/bad_metric.cpp":
+            "#include \"obs/registry.hpp\"\n"
+            "void f(nocw::obs::Registry& r) {\n"
+            "  r.set_gauge(\"x.energy\", \"femtojoules\", 1.0);\n"
+            "}\n",
+        "bench/bad_progress.cpp":
+            "#include <cstdio>\n"
+            "void p() { std::printf(\"working...\\n\"); }\n",
     }
     clean = {
         "src/power/good.hpp":
@@ -213,6 +284,23 @@ def self_test() -> int:
         "src/util/good.cpp":
             "// rand() in a comment is fine; \"std::cout\" only here\n"
             "static_assert(sizeof(int) == 4);\n",
+        "src/obs/good_metric.cpp":
+            "#include \"obs/registry.hpp\"\n"
+            "void g(nocw::obs::Registry& r, double v) {\n"
+            "  r.observe(base + \"packet_latency\",\n"
+            "            \"cycles\", v);\n"
+            "  r.set_counter(\"noc.flits_injected\", \"flits\", 1);\n"
+            "}\n",
+        "bench/bench_util.cpp":
+            "#include <cstdio>\n"
+            "void emit() { std::printf(\"== table ==\\n\"); }\n",
+        "bench/good_progress.cpp":
+            "#include \"obs/log.hpp\"\n"
+            "#include <cstdio>\n"
+            "void p(std::FILE* f) {\n"
+            "  nocw::obs::log(\"working...\\n\");\n"
+            "  std::fprintf(f, \"{}\\n\");\n"
+            "}\n",
     }
     expected_rules = {
         "src/power/bad_units.hpp": "[units]",
@@ -221,6 +309,8 @@ def self_test() -> int:
         "src/eval/bad_print.cpp": "[iostream]",
         "src/noc/bad_assert.cpp": "[assert]",
         "src/eval/bad_fault.cpp": "[fault]",
+        "src/eval/bad_metric.cpp": "[metric]",
+        "bench/bad_progress.cpp": "[print]",
     }
 
     with tempfile.TemporaryDirectory() as tmp:
