@@ -19,6 +19,7 @@ int main(int, char** argv) {
   const int selected = eval::select_layer(model);
   const auto kernel = model.graph.layer(selected).kernel();
 
+  std::map<std::string, double> metrics;
   Table coef({"delta", "coef bits", "CR", "MSE", "mean |M_i|"});
   for (double delta : {5.0, 15.0}) {
     for (unsigned bits : {32u, 24u, 16u}) {
@@ -26,6 +27,8 @@ int main(int, char** argv) {
       cfg.delta_percent = delta;
       cfg.coef_bits = bits;
       const auto layer = core::compress(kernel, cfg);
+      metrics["d" + fmt_fixed(delta, 0) + ".coef" + std::to_string(bits) +
+              ".cr"] = layer.compression_ratio();
       coef.add_row({fmt_pct(delta / 100.0), std::to_string(bits),
                     fmt_fixed(layer.compression_ratio(), 2),
                     fmt_sci(layer.mse(), 2),
@@ -54,5 +57,6 @@ int main(int, char** argv) {
   }
   bench::emit("Ablation: length-field width (LeNet-5 dense_1, delta=15%)",
               len, dir, "ablation_codec_len");
+  bench::write_summary(dir, "ablation_codec", metrics, model.name);
   return 0;
 }

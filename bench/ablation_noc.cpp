@@ -81,6 +81,7 @@ int main(int, char** argv) {
 
   Table t({"Variant", "Latency (cyc)", "Latency x-15 (cyc)", "Latency gain",
            "Energy (uJ)", "Energy x-15 (uJ)", "Energy gain"});
+  std::map<std::string, double> metrics;
   for (auto& v : variants) {
     v.cfg.noc_window_flits = bench::noc_window();
     accel::AcceleratorSim sim(v.cfg);
@@ -92,6 +93,12 @@ int main(int, char** argv) {
     const double comp_lat = v.cfg.overlap_phases
                                 ? comp.latency.overlap_cycles
                                 : comp.latency.total();
+    if (v.name.rfind("baseline", 0) == 0) {
+      metrics["baseline.latency_cycles"] = base_lat;
+      metrics["baseline.latency_x15_cycles"] = comp_lat;
+      metrics["baseline.energy_j"] = base.energy.total();
+      metrics["baseline.energy_x15_j"] = comp.energy.total();
+    }
     t.add_row({v.name, fmt_fixed(base_lat, 0), fmt_fixed(comp_lat, 0),
                fmt_pct(1.0 - comp_lat / base_lat),
                fmt_fixed(base.energy.total() * 1e6, 2),
@@ -100,5 +107,6 @@ int main(int, char** argv) {
   }
   bench::emit("Ablation: interconnect configuration vs compression win", t,
               dir, "ablation_noc");
+  bench::write_summary(dir, "ablation_noc", metrics, model.name);
   return 0;
 }

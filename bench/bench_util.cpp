@@ -1,13 +1,75 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
 
 #include "nn/serialize.hpp"
-#include "obs/log.hpp"
 #include "nn/train.hpp"
+#include "obs/jsonfmt.hpp"
+#include "obs/log.hpp"
 
 namespace nocw::bench {
+
+namespace {
+
+// Captured at static initialization, i.e. (close enough to) process start;
+// bench_manifest reports wall time relative to this.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+std::string summary_path(const std::string& dir) {
+  return env_string("NOCW_SUMMARY_JSON",
+                    dir + "/results/BENCH_summary.json");
+}
+
+// One bench's entry in the aggregated summary, rendered on a single line
+// (the merge below is line-based).
+std::string summary_entry(const obs::RunManifest& m) {
+  std::ostringstream os;
+  os << "{\"model\":\"" << obs::json_escape(m.model) << "\",\"git_sha\":\""
+     << obs::json_escape(m.build.count("git_sha") ? m.build.at("git_sha")
+                                                  : "unknown")
+     << "\",\"threads\":" << m.threads
+     << ",\"wall_seconds\":" << obs::json_number(m.wall_seconds)
+     << ",\"metrics\":{";
+  std::size_t i = 0;
+  for (const auto& [k, v] : m.metrics) {
+    if (i++ > 0) os << ',';
+    os << "\"" << obs::json_escape(k) << "\":" << obs::json_number(v);
+  }
+  os << "}}";
+  return os.str();
+}
+
+// Read an existing summary back into name -> raw entry line. Tolerates a
+// missing or foreign file (returns empty: the writer below regenerates the
+// envelope from scratch).
+std::map<std::string, std::string> read_summary(const std::string& path) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return out;
+  if (line.find("nocw.bench_summary.v1") == std::string::npos) return out;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '"') continue;
+    const auto name_end = line.find('"', 1);
+    if (name_end == std::string::npos) continue;
+    const auto colon = line.find(':', name_end);
+    if (colon == std::string::npos) continue;
+    std::string entry = line.substr(colon + 1);
+    while (!entry.empty() && (entry.back() == ',' || entry.back() == '\r')) {
+      entry.pop_back();
+    }
+    out[line.substr(1, name_end - 1)] = entry;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string output_dir(const char* argv0) {
   std::string path(argv0 ? argv0 : ".");
@@ -65,6 +127,53 @@ TrainedLenet trained_lenet(const std::string& cache_dir) {
   obs::log("[bench] LeNet-5 test top-1 accuracy: %.4f\n",
            out.test_accuracy);
   return out;
+}
+
+obs::RunManifest bench_manifest(const std::string& bench_name,
+                                const std::string& model) {
+  obs::RunManifest m = obs::make_manifest(bench_name, model);
+  m.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    kProcessStart)
+          .count();
+  return m;
+}
+
+void write_summary(const std::string& dir, const obs::RunManifest& m) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/results", ec);
+  const std::string run_path = dir + "/results/run_" + m.tool + ".json";
+  if (obs::write_manifest(m, run_path)) {
+    std::printf("(manifest: %s)\n", run_path.c_str());
+  }
+
+  const std::string path = summary_path(dir);
+  std::map<std::string, std::string> entries = read_summary(path);
+  entries[m.tool] = summary_entry(m);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << "{\"schema\":\"nocw.bench_summary.v1\",\"benches\":{\n";
+    std::size_t i = 0;
+    for (const auto& [name, entry] : entries) {
+      out << "\"" << obs::json_escape(name) << "\":" << entry
+          << (++i < entries.size() ? "," : "") << "\n";
+    }
+    out << "}}\n";
+    if (!out.good()) return;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (!ec) std::printf("(summary: %s)\n", path.c_str());
+  std::fflush(stdout);
+}
+
+void write_summary(const std::string& dir, const std::string& bench_name,
+                   const std::map<std::string, double>& metrics,
+                   const std::string& model) {
+  obs::RunManifest m = bench_manifest(bench_name, model);
+  m.metrics = metrics;
+  write_summary(dir, m);
 }
 
 }  // namespace nocw::bench

@@ -47,6 +47,7 @@ int main(int, char** argv) {
   }
 
   // Weight streams: lossless baselines vs the proposed lossy codec.
+  std::map<std::string, double> metrics;
   for (const auto& name : {"LeNet-5", "MobileNet"}) {
     nn::Model m = nn::make_model(name, /*seed=*/1);
     const int idx = eval::select_layer(m);
@@ -60,6 +61,9 @@ int main(int, char** argv) {
     core::CodecConfig cfg;
     cfg.delta_percent = 10.0;
     const auto layer = core::compress(kernel, cfg);
+    metrics[std::string(name) + ".rle_cr"] = rle;
+    metrics[std::string(name) + ".huffman_cr"] = huff;
+    metrics[std::string(name) + ".proposed_cr"] = layer.compression_ratio();
     t.add_row({std::string(name) + " weights", fmt_fixed(h, 2),
                fmt_fixed(rle, 2), fmt_fixed(huff, 2),
                fmt_fixed(layer.compression_ratio(), 2)});
@@ -68,5 +72,6 @@ int main(int, char** argv) {
   bench::emit(
       "Extension: lossless baselines vs the proposed codec (Sec. III-B)", t,
       dir, "ext_baseline_codecs");
+  bench::write_summary(dir, "ext_baseline_codecs", metrics);
   return 0;
 }

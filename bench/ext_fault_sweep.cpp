@@ -96,5 +96,20 @@ int main(int, char** argv) {
   std::fprintf(f, "}\n");
   std::fclose(f);
   obs::log("fault-sweep results written to %s\n", json_path.c_str());
+
+  std::map<std::string, double> metrics{
+      {"baseline_accuracy", sweep.baseline_accuracy}};
+  for (const auto& p : sweep.points) {
+    // Headline rows: the worst BER at each δ.
+    if (p.bit_error_rate == cfg.bit_error_rates.back()) {
+      const std::string key = "d" + fmt_fixed(p.delta_percent, 0) + ".";
+      metrics[key + "accuracy_protected"] = p.accuracy_protected;
+      metrics[key + "accuracy_compressed"] = p.accuracy_compressed;
+      metrics[key + "protected_cycles"] = p.protected_cycles;
+      metrics[key + "retransmissions"] =
+          static_cast<double>(p.retransmissions);
+    }
+  }
+  bench::write_summary(dir, "ext_fault_sweep", metrics, lenet.model.name);
   return 0;
 }

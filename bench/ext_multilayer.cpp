@@ -18,7 +18,8 @@ namespace {
 using namespace nocw;
 
 void report(Table& t, const std::string& model_name, nn::Model& model,
-            const eval::MultiLayerResult& r) {
+            const eval::MultiLayerResult& r,
+            std::map<std::string, double>& metrics) {
   const accel::ModelSummary summary = accel::summarize(model);
   accel::AccelConfig acfg;
   acfg.noc_window_flits = bench::noc_window();
@@ -26,6 +27,10 @@ void report(Table& t, const std::string& model_name, nn::Model& model,
   const accel::InferenceResult base = sim.simulate(summary);
   const accel::CompressionPlan plan = r.to_accel_plan();
   const accel::InferenceResult comp = sim.simulate(summary, &plan);
+  metrics[model.name + ".weighted_cr"] = r.weighted_cr;
+  metrics[model.name + ".accuracy"] = r.accuracy;
+  metrics[model.name + ".latency_cycles"] = comp.latency.total();
+  metrics[model.name + ".energy_j"] = comp.energy.total();
   t.add_row({model_name, std::to_string(r.plan.size()),
              fmt_fixed(r.weighted_cr, 2), fmt_fixed(r.accuracy, 4),
              fmt_pct(1.0 - comp.latency.total() / base.latency.total()),
@@ -39,6 +44,7 @@ int main(int, char** argv) {
 
   Table t({"Model", "Layers compressed", "Weighted CR", "Accuracy",
            "Latency reduction", "Energy reduction"});
+  std::map<std::string, double> metrics;
 
   {
     bench::TrainedLenet lenet = bench::trained_lenet(dir);
@@ -48,7 +54,7 @@ int main(int, char** argv) {
     const nn::Dataset test = nn::make_digits(200, 90003);
     const eval::MultiLayerResult r =
         eval::optimize_multi_layer(lenet.model, &test, cfg);
-    report(t, "LeNet-5 (multi)", lenet.model, r);
+    report(t, "LeNet-5 (multi)", lenet.model, r, metrics);
     obs::log("  LeNet-5 plan:");
     for (const auto& e : r.plan) {
       obs::log(" %s@%.0f%%(CR %.1f)", e.layer.c_str(), e.delta_percent,
@@ -65,11 +71,12 @@ int main(int, char** argv) {
     cfg.delta_steps = {2, 4, 8};
     const eval::MultiLayerResult r =
         eval::optimize_multi_layer(m, nullptr, cfg);
-    report(t, "MobileNet (multi)", m, r);
+    report(t, "MobileNet (multi)", m, r, metrics);
     obs::log("  MobileNet plan: %zu layers compressed\n", r.plan.size());
   }
 
   bench::emit("Extension: multi-layer compression under accuracy constraint",
               t, dir, "ext_multilayer");
+  bench::write_summary(dir, "ext_multilayer", metrics);
   return 0;
 }

@@ -185,5 +185,17 @@ int main(int, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
     return 1;
   }
+
+  bench::write_summary(
+      dir, "ext_trace_overhead",
+      {{"disabled_ms_median", off_med_ms},
+       {"enabled_ms", on_ms},
+       {"disabled_overhead_pct", disabled_overhead_pct},
+       {"bit_identical", bit_identical ? 1.0 : 0.0},
+       {"trace_events", static_cast<double>(events)},
+       {"trace_events_dropped", static_cast<double>(dropped)},
+       {"latency_cycles", r_on.latency.total()},
+       {"energy_j", r_on.energy.total()}},
+      m.name);
   return bit_identical && wrote ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 // agreement with their own uncompressed outputs (DESIGN.md §4).
 #include "bench_util.hpp"
 
+#include <cctype>
+
 #include "accel/simulator.hpp"
 #include "eval/flow.hpp"
 #include "nn/models.hpp"
@@ -67,8 +69,17 @@ void emit_model(const std::string& dir, const nn::Model& model,
               en, dir, "fig10_" + model.name + "_energy");
 }
 
+// Prefix for one model's summary metrics: "lenet-5.d10.latency_cycles"
+// style keys feed the dashboard's δ-vs-latency/energy curves.
+std::string metric_key(const std::string& model, const std::string& tail) {
+  std::string lower = model;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  return lower + "." + tail;
+}
+
 void run_model(const std::string& dir, nn::Model& model,
-               eval::DeltaEvaluator& ev) {
+               eval::DeltaEvaluator& ev,
+               std::map<std::string, double>& metrics) {
   const accel::ModelSummary summary = accel::summarize(model);
   accel::AccelConfig cfg;
   cfg.noc_window_flits = bench::noc_window();
@@ -82,10 +93,18 @@ void run_model(const std::string& dir, nn::Model& model,
   // the global thread pool (bit-identical to the serial sweep).
   const std::vector<eval::DeltaPoint> points =
       ev.evaluate_many(delta_grid(model.name));
+  metrics[metric_key(model.name, "d0.latency_cycles")] = base.latency.total();
+  metrics[metric_key(model.name, "d0.energy_j")] = base.energy.total();
+  metrics[metric_key(model.name, "d0.accuracy")] = ev.baseline_accuracy();
   for (const eval::DeltaPoint& p : points) {
     accel::CompressionPlan plan;
     plan[ev.selected_layer()] = p.compression;
     const accel::InferenceResult comp = sim.simulate(summary, &plan);
+    const std::string d = "d" + fmt_fixed(p.delta_percent, 0);
+    metrics[metric_key(model.name, d + ".latency_cycles")] =
+        comp.latency.total();
+    metrics[metric_key(model.name, d + ".energy_j")] = comp.energy.total();
+    metrics[metric_key(model.name, d + ".accuracy")] = p.accuracy;
     series.push_back(SeriesPoint{"x-" + fmt_fixed(p.delta_percent, 0),
                                  p.accuracy, comp.latency, comp.energy});
   }
@@ -108,13 +127,16 @@ void run_model(const std::string& dir, nn::Model& model,
 int main(int, char** argv) {
   const std::string dir = bench::output_dir(argv[0]);
 
+  obs::RunManifest man = bench::bench_manifest("fig10_tradeoff");
   {
     // LeNet-5: genuinely trained; top-1 against held-out digits.
     bench::TrainedLenet lenet = bench::trained_lenet(dir);
     eval::EvalConfig cfg;
     cfg.topk = 1;
     eval::DeltaEvaluator ev(lenet.model, lenet.test, cfg);
-    run_model(dir, lenet.model, ev);
+    run_model(dir, lenet.model, ev, man.metrics);
+    // The trained model's evaluation flow anchors the run's provenance.
+    ev.annotate_manifest(man);
   }
   for (const auto& name : nn::model_names()) {
     if (name == "LeNet-5") continue;
@@ -125,7 +147,8 @@ int main(int, char** argv) {
     obs::log("[%s] computing probe activations (%d probes)...\n",
              name.c_str(), cfg.probes);
     eval::DeltaEvaluator ev(m, cfg);
-    run_model(dir, m, ev);
+    run_model(dir, m, ev, man.metrics);
   }
+  bench::write_summary(dir, man);
   return 0;
 }

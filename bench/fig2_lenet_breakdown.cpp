@@ -59,5 +59,14 @@ int main(int, char** argv) {
               fmt_fixed(r.energy.main_memory.leakage_j * 1e6, 3)});
   bench::emit("Fig. 2 (right): normalized energy breakdown per layer", en,
               dir, "fig2_energy");
+
+  bench::write_summary(
+      dir, "fig2_lenet_breakdown",
+      {{"latency_cycles", total_lat},
+       {"memory_cycles", r.latency.memory_cycles},
+       {"comm_cycles", r.latency.comm_cycles},
+       {"compute_cycles", r.latency.compute_cycles},
+       {"energy_j", total_e}},
+      m.name);
   return 0;
 }

@@ -12,9 +12,14 @@ int main(int, char** argv) {
   const std::string dir = bench::output_dir(argv[0]);
 
   Table t({"Data set", "Entropy (bits/byte)"});
-  t.add_row({"Random data", fmt_fixed(core::random_data_entropy(1 << 20, 7), 3)});
-  t.add_row({"Text file", fmt_fixed(core::text_entropy(1 << 17), 3)});
+  const double random_entropy = core::random_data_entropy(1 << 20, 7);
+  const double text_entropy = core::text_entropy(1 << 17);
+  t.add_row({"Random data", fmt_fixed(random_entropy, 3)});
+  t.add_row({"Text file", fmt_fixed(text_entropy, 3)});
 
+  std::map<std::string, double> metrics{
+      {"random_entropy_bits", random_entropy},
+      {"text_entropy_bits", text_entropy}};
   for (const auto& name : nn::model_names()) {
     nn::Model m = nn::make_model(name, /*seed=*/1);
     // Byte histogram over the whole serialized weight stream.
@@ -23,9 +28,12 @@ int main(int, char** argv) {
       const auto h = byte_histogram(m.graph.layer(idx).kernel());
       for (std::size_t b = 0; b < hist.size(); ++b) hist[b] += h[b];
     }
-    t.add_row({name + " weights", fmt_fixed(shannon_entropy_hist(hist), 3)});
+    const double entropy = shannon_entropy_hist(hist);
+    metrics[name + ".weight_entropy_bits"] = entropy;
+    t.add_row({name + " weights", fmt_fixed(entropy, 3)});
   }
   bench::emit("Fig. 3: entropy of random data, text, and CNN weights", t,
               dir, "fig3_entropy");
+  bench::write_summary(dir, "fig3_entropy", metrics);
   return 0;
 }

@@ -43,11 +43,15 @@ int main(int, char** argv) {
   }
   Table fig5({"Criterion", "delta", "Segments m", "CR (32b coeffs)",
               "Note"});
+  std::map<std::string, double> metrics{
+      {"fig4.segments", static_cast<double>(segments.size())}};
   for (double delta : {0.0, 1.0}) {
     core::CodecConfig cfg;
     // Express delta as percent of range (range is 1.0 here).
     cfg.delta_percent = delta * 100.0;
     const auto layer = core::compress(alt, cfg);
+    metrics[delta == 0.0 ? "fig5.strict_cr" : "fig5.weak_cr"] =
+        layer.compression_ratio();
     fig5.add_row({delta == 0.0 ? "strict (Fig. 5a)" : "weak (Fig. 5b)",
                   fmt_fixed(delta, 1), std::to_string(layer.segments.size()),
                   fmt_fixed(layer.compression_ratio(), 2),
@@ -56,5 +60,6 @@ int main(int, char** argv) {
   }
   bench::emit("Fig. 5: pairwise-alternating worst case", fig5, dir,
               "fig5_worst_case");
+  bench::write_summary(dir, "fig45_segmentation_demo", metrics);
   return 0;
 }

@@ -11,6 +11,7 @@ int main(int, char** argv) {
   using namespace nocw;
   const std::string dir = bench::output_dir(argv[0]);
 
+  std::map<std::string, double> metrics;
   {
     bench::TrainedLenet lenet = bench::trained_lenet(dir);
     eval::SensitivityConfig cfg;
@@ -21,9 +22,11 @@ int main(int, char** argv) {
         eval::sensitivity_analysis(lenet.model, &lenet.test, cfg);
     Table t({"Layer", "Accuracy drop", "Normalized sensitivity"});
     for (const auto& s : rows) {
+      metrics["lenet5." + s.layer + ".sensitivity"] = s.normalized;
       t.add_row({s.layer, fmt_fixed(s.accuracy_drop, 4),
                  fmt_fixed(s.normalized, 3)});
     }
+    metrics["lenet5.test_accuracy"] = lenet.test_accuracy;
     bench::emit("Fig. 9 (top): LeNet-5 layer sensitivity", t, dir,
                 "fig9_lenet");
   }
@@ -37,11 +40,13 @@ int main(int, char** argv) {
     const auto rows = eval::sensitivity_analysis(alex, nullptr, cfg);
     Table t({"Layer", "Agreement drop", "Normalized sensitivity"});
     for (const auto& s : rows) {
+      metrics["alexnet." + s.layer + ".sensitivity"] = s.normalized;
       t.add_row({s.layer, fmt_fixed(s.accuracy_drop, 4),
                  fmt_fixed(s.normalized, 3)});
     }
     bench::emit("Fig. 9 (bottom): AlexNet layer sensitivity", t, dir,
                 "fig9_alexnet");
   }
+  bench::write_summary(dir, "fig9_sensitivity", metrics);
   return 0;
 }

@@ -11,9 +11,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "bench_util.hpp"
 
 #include "core/codec.hpp"
 #include "core/decompressor_unit.hpp"
@@ -201,7 +204,7 @@ void emit_results(std::FILE* f, const std::vector<ScalePoint>& pts,
   std::fprintf(f, "    ]\n");
 }
 
-void write_parallel_scaling_report() {
+void write_parallel_scaling_report(const std::string& dir) {
   const std::string path =
       env_string("NOCW_BENCH_JSON", "BENCH_parallel.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -269,6 +272,17 @@ void write_parallel_scaling_report() {
   std::fprintf(f, "}\n");
   std::fclose(f);
   obs::log("thread-scaling results written to %s\n", path.c_str());
+
+  std::map<std::string, double> metrics{
+      {"gemm.flops", gemm_flops},
+      {"conv.flops", conv_flops}};
+  for (const auto& p : gemm_pts) {
+    metrics["gemm.t" + std::to_string(p.threads) + ".seconds"] = p.seconds;
+  }
+  for (const auto& p : conv_pts) {
+    metrics["conv.t" + std::to_string(p.threads) + ".seconds"] = p.seconds;
+  }
+  bench::write_summary(dir, "micro_kernels", metrics);
 }
 
 }  // namespace
@@ -278,6 +292,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_parallel_scaling_report();
+  write_parallel_scaling_report(nocw::bench::output_dir(argv[0]));
   return 0;
 }

@@ -11,6 +11,7 @@ int main(int, char** argv) {
 
   Table t({"Network Model", "no. params x1000", "Layer name", "Type",
            "Fraction"});
+  std::map<std::string, double> metrics;
   for (const auto& name : nn::model_names()) {
     const nn::Model m = nn::make_model(name, /*seed=*/1);
     const int idx = eval::select_layer(m);
@@ -20,6 +21,7 @@ int main(int, char** argv) {
         static_cast<double>(m.graph.total_params());
     const char* type =
         layer.type() == nn::LayerType::Dense ? "FC" : "CONV";
+    metrics[name + ".selected_fraction"] = fraction;
     t.add_row({name,
                fmt_fixed(static_cast<double>(m.graph.total_params()) / 1000.0,
                          0),
@@ -27,5 +29,6 @@ int main(int, char** argv) {
   }
   bench::emit("Table I: layers selected for compression", t, dir,
               "tab1_layer_selection");
+  bench::write_summary(dir, "tab1_layer_selection", metrics);
   return 0;
 }

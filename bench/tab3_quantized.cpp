@@ -14,11 +14,18 @@ namespace {
 using namespace nocw;
 
 void run(Table& t, const std::string& name, eval::QuantizedDeltaEvaluator& ev,
-         const std::vector<double>& grid) {
+         const std::vector<double>& grid,
+         std::map<std::string, double>& metrics) {
+  metrics[name + ".qt_weighted_cr"] = ev.baseline().weighted_cr;
+  metrics[name + ".qt_accuracy"] = ev.baseline().accuracy;
   t.add_row({name, "QT alone", fmt_fixed(ev.baseline().weighted_cr, 2),
              fmt_fixed(ev.baseline().accuracy, 4)});
   for (double delta : grid) {
     const eval::QuantizedDeltaPoint p = ev.evaluate(delta);
+    if (delta == grid.back()) {
+      metrics[name + ".stacked_weighted_cr"] = p.weighted_cr;
+      metrics[name + ".stacked_accuracy"] = p.accuracy;
+    }
     t.add_row({name, fmt_pct(delta / 100.0), fmt_fixed(p.weighted_cr, 2),
                fmt_fixed(p.accuracy, 4)});
   }
@@ -29,20 +36,21 @@ void run(Table& t, const std::string& name, eval::QuantizedDeltaEvaluator& ev,
 int main(int, char** argv) {
   const std::string dir = bench::output_dir(argv[0]);
   Table t({"Network Model", "delta", "Weighted CR", "Top-k Accuracy"});
+  std::map<std::string, double> metrics;
 
   {
     bench::TrainedLenet lenet = bench::trained_lenet(dir);
     eval::QuantizedEvalConfig cfg;
     cfg.topk = 1;
     eval::QuantizedDeltaEvaluator ev(lenet.model, lenet.test, cfg);
-    run(t, "LeNet-5", ev, {0, 5, 10, 15, 20});
+    run(t, "LeNet-5", ev, {0, 5, 10, 15, 20}, metrics);
   }
   {
     nn::Model m = nn::make_alexnet();
     eval::QuantizedEvalConfig cfg;
     cfg.probes = bench::probe_count();
     eval::QuantizedDeltaEvaluator ev(m, cfg);
-    run(t, "AlexNet", ev, {0, 5, 10, 15, 20});
+    run(t, "AlexNet", ev, {0, 5, 10, 15, 20}, metrics);
   }
   {
     nn::Model m = nn::make_vgg16();
@@ -50,10 +58,11 @@ int main(int, char** argv) {
     cfg.probes = bench::probe_count();
     obs::log("[VGG-16] two full-resolution probe passes, be patient...\n");
     eval::QuantizedDeltaEvaluator ev(m, cfg);
-    run(t, "VGG-16", ev, {0, 5, 7, 8, 10});
+    run(t, "VGG-16", ev, {0, 5, 7, 8, 10}, metrics);
   }
 
   bench::emit("Table III: quantization + proposed compression", t, dir,
               "tab3_quantized");
+  bench::write_summary(dir, "tab3_quantized", metrics);
   return 0;
 }

@@ -16,6 +16,29 @@ std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
 }
 
+// Synthesize time-series points for an analytic phase: `amount` units of
+// work spread uniformly over [start_cycle, start_cycle + phase_cycles).
+// Point count follows the sampling interval but is capped: the analytic
+// profile is uniform by construction, so extra points carry no information.
+void sample_phase(obs::TimeSeriesSet* sink, const char* name,
+                  std::uint64_t start_cycle, double phase_cycles,
+                  double amount, std::uint64_t interval_cycles) {
+  if (sink == nullptr || amount <= 0.0 || phase_cycles <= 0.0) return;
+  const auto span =
+      static_cast<std::uint64_t>(std::llround(phase_cycles));
+  if (span == 0) return;
+  constexpr std::uint64_t kMaxPointsPerPhase = 32;
+  const std::uint64_t n = std::clamp<std::uint64_t>(
+      span / std::max<std::uint64_t>(interval_cycles, 1), 1,
+      kMaxPointsPerPhase);
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    // Each point reports the work done since the previous one (a window
+    // delta, matching the NoC engine's series semantics).
+    sink->append(name, "count", start_cycle + span * k / n,
+                 amount / static_cast<double>(n));
+  }
+}
+
 }  // namespace
 
 void LatencyBreakdown::check_invariants() const {
@@ -53,6 +76,7 @@ void AcceleratorSim::check_invariants() const {
   NOCW_CHECK_GT(cfg_.bits_per_activation, 0);
   NOCW_CHECK_GT(cfg_.noc_window_flits, std::uint64_t{0});
   NOCW_CHECK_GT(cfg_.max_phase_cycles, std::uint64_t{0});
+  NOCW_CHECK_GT(cfg_.series_interval_cycles, std::uint64_t{0});
   // Fault/protection knobs ride inside cfg_.noc; validate probabilities here
   // so a mis-set sweep fails at construction, not mid-run.
   NOCW_CHECK_GE(cfg_.noc.fault.bit_flip_probability, 0.0);
@@ -86,6 +110,9 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
       std::llround(static_cast<double>(gather_flits) * scale));
 
   noc::Network net(cfg_.noc);
+  if (cfg_.series != nullptr) {
+    net.set_series_sink(cfg_.series, cfg_.series_interval_cycles);
+  }
   const auto mis = cfg_.noc.memory_interface_nodes();
   const auto pes = cfg_.noc.pe_nodes();
 
@@ -252,6 +279,24 @@ LayerResult AcceleratorSim::simulate_layer(
     return static_cast<std::uint64_t>(std::llround(cycles));
   };
   const std::uint64_t comm_off = mem_off + dur_of(r.latency.comm_cycles);
+  // Time-series activity for the analytic phases (the NoC phase sampled
+  // itself cycle-by-cycle above). All on the inference-global timeline.
+  if (cfg_.series != nullptr) {
+    const std::uint64_t base = obs::time_base();
+    sample_phase(cfg_.series, "accel.dram_words", base,
+                 r.latency.memory_cycles, static_cast<double>(dram_words),
+                 cfg_.series_interval_cycles);
+    sample_phase(cfg_.series, "accel.macs", base + comm_off,
+                 r.latency.compute_cycles,
+                 static_cast<double>(layer.macs + layer.ops),
+                 cfg_.series_interval_cycles);
+    if (compression) {
+      sample_phase(cfg_.series, "accel.decompress_weights", base + comm_off,
+                   r.latency.compute_cycles,
+                   static_cast<double>(compression->weight_count),
+                   cfg_.series_interval_cycles);
+    }
+  }
   NOCW_TRACE_SPAN(obs::kCatMem, "dram", obs::kPidAccel, 1, 0,
                   dur_of(r.latency.memory_cycles));
   NOCW_TRACE_SPAN_ARG(obs::kCatNoc, "noc", obs::kPidAccel, 2, mem_off,

@@ -25,6 +25,7 @@
 #include "noc/config.hpp"
 #include "noc/stats.hpp"
 #include "obs/observation.hpp"
+#include "obs/timeseries.hpp"
 #include "power/energy_model.hpp"
 
 namespace nocw::accel {
@@ -49,6 +50,17 @@ struct AccelConfig {
   /// and the layer is bound by its slowest phase; enable `overlap_phases`
   /// to model that (ablation_noc quantifies the difference).
   bool overlap_phases = false;
+  /// Optional time-series sink (obs/timeseries). When non-null, the NoC
+  /// cycle engine samples link/queue activity every `series_interval_cycles`
+  /// simulated cycles, and the layer model synthesizes DRAM/MAC/decompress
+  /// activity points over its analytic phase spans — all stamped on the
+  /// inference-global timeline. Sampling reads committed state only, so
+  /// simulation results are bit-identical with or without a sink. One sink
+  /// belongs to one simulation run: concurrent sweep lanes must not share
+  /// it (their timelines interleave and per-series cycles would go
+  /// backwards).
+  obs::TimeSeriesSet* series = nullptr;
+  std::uint64_t series_interval_cycles = 256;
 };
 
 /// Per-layer override installed by the compression flow: the selected

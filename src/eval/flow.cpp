@@ -90,6 +90,18 @@ void DeltaEvaluator::annotate_registry(obs::Registry& reg,
   reg.set_counter(base + "evaluations", "count", evaluations_);
 }
 
+void DeltaEvaluator::annotate_manifest(obs::RunManifest& m) const {
+  if (m.model.empty()) m.model = model_->name;
+  m.config["selected_layer"] = selected_name_;
+  m.config["accuracy_mode"] = labels_.empty() ? "agreement" : "labeled";
+  m.config["probes"] = std::to_string(cfg_.probes);
+  m.config["topk"] = std::to_string(cfg_.topk);
+  m.config["probe_seed"] = std::to_string(cfg_.probe_seed);
+  m.metrics["eval.baseline_accuracy"] = baseline_accuracy_;
+  m.metrics["eval.selected_fraction"] = selected_fraction_;
+  m.metrics["eval.evaluations"] = static_cast<double>(evaluations_);
+}
+
 DeltaPoint DeltaEvaluator::evaluate_on(nn::Graph& graph,
                                        double delta_percent) const {
   DeltaPoint point;

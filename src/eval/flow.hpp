@@ -18,6 +18,7 @@
 #include "core/metrics.hpp"
 #include "nn/digits.hpp"
 #include "nn/models.hpp"
+#include "obs/manifest.hpp"
 #include "obs/registry.hpp"
 
 namespace nocw::eval {
@@ -82,6 +83,12 @@ class DeltaEvaluator {
   /// running evaluation count.
   void annotate_registry(obs::Registry& reg,
                          std::string_view prefix = "eval") const;
+
+  /// Publish the evaluator's provenance into a run manifest: model name and
+  /// evaluation-flow config strings, plus baseline-accuracy / evaluation
+  /// metrics. Benches call this right before write_manifest so run.json
+  /// records which model/layer/probe setup produced the numbers.
+  void annotate_manifest(obs::RunManifest& m) const;
 
  private:
   void prepare(const nn::Tensor& inputs);

@@ -276,6 +276,9 @@ void Network::step() {
   if (observe_ && stats_.cycles % kQueueSampleInterval == 0) {
     sample_queue_depths();
   }
+  if (series_ != nullptr && stats_.cycles % series_interval_cycles_ == 0) {
+    sample_series();
+  }
 }
 
 void Network::sample_queue_depths() {
@@ -283,6 +286,38 @@ void Network::sample_queue_depths() {
   for (const auto& r : routers_) {
     queue_samples_.push_back(static_cast<double>(r.buffered_flits()));
   }
+}
+
+void Network::set_series_sink(obs::TimeSeriesSet* sink,
+                              std::uint64_t interval_cycles) {
+  NOCW_CHECK_GE(interval_cycles, std::uint64_t{1});
+  series_ = sink;
+  series_interval_cycles_ = interval_cycles;
+  series_prev_injected_ = stats_.flits_injected;
+  series_prev_ejected_ = stats_.flits_ejected;
+  series_prev_links_ = stats_.link_traversals;
+}
+
+void Network::sample_series() {
+  // Stamp on the inference-global timeline; the accelerator sets the
+  // thread-local base to each NoC phase's start cycle.
+  const std::uint64_t t = obs::time_base() + stats_.cycles;
+  series_->append("noc.flits_injected", "flits", t,
+                  static_cast<double>(stats_.flits_injected -
+                                      series_prev_injected_));
+  series_->append("noc.flits_ejected", "flits", t,
+                  static_cast<double>(stats_.flits_ejected -
+                                      series_prev_ejected_));
+  series_->append("noc.link_flits", "flits", t,
+                  static_cast<double>(stats_.link_traversals -
+                                      series_prev_links_));
+  std::uint64_t buffered = 0;
+  for (const auto& r : routers_) buffered += r.buffered_flits();
+  series_->append("noc.queue_depth", "flits", t,
+                  static_cast<double>(buffered));
+  series_prev_injected_ = stats_.flits_injected;
+  series_prev_ejected_ = stats_.flits_ejected;
+  series_prev_links_ = stats_.link_traversals;
 }
 
 bool Network::drained() const noexcept {

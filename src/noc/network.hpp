@@ -19,6 +19,7 @@
 #include "noc/flit.hpp"
 #include "noc/router.hpp"
 #include "noc/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace nocw::noc {
@@ -101,6 +102,16 @@ class Network {
   static constexpr std::size_t kMaxObservationSamples = 1u << 20;
   static constexpr std::uint64_t kQueueSampleInterval = 64;
 
+  /// Attach a time-series sink: every `interval_cycles` cycles, step()
+  /// appends the window's flit-injection/ejection/link-traversal deltas and
+  /// the instantaneous buffered-flit occupancy to `sink`, stamped on the
+  /// inference-global timeline (obs::time_base() + local cycle). Pass
+  /// nullptr to detach. Detached cost is one pointer-null branch per cycle
+  /// and sampling never mutates engine state, so simulation results are
+  /// bit-identical with the sink on or off.
+  void set_series_sink(obs::TimeSeriesSet* sink,
+                       std::uint64_t interval_cycles);
+
   /// Validate the cycle engine's global invariants: flit conservation
   /// (injected == ejected + buffered in routers), monotone packet counters,
   /// buffer-access accounting, one latency sample per ejected packet, and
@@ -143,6 +154,7 @@ class Network {
   void eject_flit(const Flit& f, int node);
   void queue_packet(const PacketDescriptor& p);
   void sample_queue_depths();
+  void sample_series();
   /// Flits a descriptor expands to at injection (+1 CRC flit if protected).
   [[nodiscard]] std::uint64_t flits_of(const PacketDescriptor& p)
       const noexcept {
@@ -186,6 +198,15 @@ class Network {
   std::vector<std::uint64_t> node_ejects_;  ///< per node
   std::vector<double> latency_samples_;
   std::vector<double> queue_samples_;
+
+  // Time-series sink (null = detached). Window deltas are reconstructed
+  // from the always-on cumulative counters, so sampling reads committed
+  // state only.
+  obs::TimeSeriesSet* series_ = nullptr;
+  std::uint64_t series_interval_cycles_ = 0;
+  std::uint64_t series_prev_injected_ = 0;
+  std::uint64_t series_prev_ejected_ = 0;
+  std::uint64_t series_prev_links_ = 0;
 };
 
 }  // namespace nocw::noc

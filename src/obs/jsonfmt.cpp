@@ -1,0 +1,57 @@
+#include "obs/jsonfmt.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nocw::obs {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[48];
+  // Integral values print as plain integers (40, not 4e+01): %g's shortest
+  // round-trip form is sometimes scientific, which is noise in dashboards.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == v) {
+    for (int prec = 1; prec <= 16; ++prec) {
+      char shorter[48];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string csv_escape(std::string_view s) {
+  if (s.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace nocw::obs

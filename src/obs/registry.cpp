@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/jsonfmt.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -27,35 +28,6 @@ const char* kind_name(MetricKind k) noexcept {
     case MetricKind::Histogram: return "histogram";
   }
   return "unknown";
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // names are ASCII
-    out.push_back(c);
-  }
-  return out;
-}
-
-std::string fmt_num(double v) {
-  if (std::isnan(v)) return "null";
-  char buf[48];
-  // Shortest round-trippable decimal keeps the export diffable.
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lf", &parsed);
-  if (parsed == v) {
-    for (int prec = 1; prec <= 16; ++prec) {
-      char shorter[48];
-      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-      std::sscanf(shorter, "%lf", &parsed);
-      if (parsed == v) return shorter;
-    }
-  }
-  return buf;
 }
 
 }  // namespace
@@ -161,12 +133,14 @@ std::string Registry::to_json() const {
        << kind_name(s.kind) << "\",\"unit\":\"" << json_escape(s.unit)
        << "\"";
     if (s.kind == MetricKind::Histogram) {
-      os << ",\"count\":" << s.count << ",\"mean\":" << fmt_num(s.mean)
-         << ",\"min\":" << fmt_num(s.min) << ",\"max\":" << fmt_num(s.max)
-         << ",\"p50\":" << fmt_num(s.p50) << ",\"p95\":" << fmt_num(s.p95)
-         << ",\"p99\":" << fmt_num(s.p99);
+      os << ",\"count\":" << s.count << ",\"mean\":" << json_number(s.mean)
+         << ",\"min\":" << json_number(s.min)
+         << ",\"max\":" << json_number(s.max)
+         << ",\"p50\":" << json_number(s.p50)
+         << ",\"p95\":" << json_number(s.p95)
+         << ",\"p99\":" << json_number(s.p99);
     } else {
-      os << ",\"value\":" << fmt_num(s.value);
+      os << ",\"value\":" << json_number(s.value);
     }
     os << "}" << (i + 1 < metrics.size() ? "," : "") << "\n";
   }
@@ -179,13 +153,15 @@ std::string Registry::to_csv() const {
   std::ostringstream os;
   os << "name,kind,unit,value,count,mean,min,max,p50,p95,p99\n";
   for (const MetricSnapshot& s : metrics) {
-    os << s.name << ',' << kind_name(s.kind) << ',' << s.unit << ',';
+    os << csv_escape(s.name) << ',' << kind_name(s.kind) << ','
+       << csv_escape(s.unit) << ',';
     if (s.kind == MetricKind::Histogram) {
-      os << ',' << s.count << ',' << fmt_num(s.mean) << ',' << fmt_num(s.min)
-         << ',' << fmt_num(s.max) << ',' << fmt_num(s.p50) << ','
-         << fmt_num(s.p95) << ',' << fmt_num(s.p99);
+      os << ',' << s.count << ',' << json_number(s.mean) << ','
+         << json_number(s.min) << ',' << json_number(s.max) << ','
+         << json_number(s.p50) << ',' << json_number(s.p95) << ','
+         << json_number(s.p99);
     } else {
-      os << fmt_num(s.value) << ",,,,,,,";
+      os << json_number(s.value) << ",,,,,,,";
     }
     os << '\n';
   }

@@ -12,11 +12,16 @@ double percentile_sorted(std::span<const double> sorted, double p) {
     NOCW_DCHECK(sorted[i - 1] <= sorted[i]);
   }
   p = std::clamp(p, 0.0, 100.0);
+  // All-equal samples: return the value itself, bit-exact for every p. The
+  // interpolated path would also land here numerically, but making it a
+  // short-circuit keeps exports byte-stable even for mixed ±0.0 samples.
+  if (sorted.front() == sorted.back()) return sorted.front();
   // Linear interpolation between closest ranks over [0, n-1].
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
+  if (frac == 0.0) return sorted[lo];  // exact rank: no interpolation noise
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 

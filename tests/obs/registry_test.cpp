@@ -85,6 +85,37 @@ TEST(Registry, JsonAndCsvCarryEveryMetric) {
   EXPECT_EQ(reg.size(), 0u);
 }
 
+TEST(Registry, CsvEscapesCommasAndQuotesInNames) {
+  Registry reg;
+  reg.set_counter("weird,name", "count", 1);
+  reg.set_counter("has\"quote", "count", 2);
+  reg.set_counter("plain", "count", 3);
+  const std::string csv = reg.to_csv();
+  // RFC 4180: fields containing commas are quoted, quotes are doubled, and
+  // untouched names stay unquoted — a spreadsheet import keeps one metric
+  // per row.
+  EXPECT_NE(csv.find("\"weird,name\",counter,count"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("\"has\"\"quote\",counter,count"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("\nplain,counter,count"), std::string::npos) << csv;
+}
+
+TEST(Registry, AllEqualHistogramPercentilesAreExact) {
+  // Interpolating between equal samples must not introduce floating-point
+  // noise: every percentile of {7.3, 7.3, ...} is exactly 7.3, so exports
+  // of a constant series diff clean across runs.
+  Registry reg;
+  for (int i = 0; i < 37; ++i) reg.observe("flat", "cycles", 7.3);
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].p50, 7.3);
+  EXPECT_EQ(snaps[0].p95, 7.3);
+  EXPECT_EQ(snaps[0].p99, 7.3);
+  EXPECT_EQ(snaps[0].min, 7.3);
+  EXPECT_EQ(snaps[0].max, 7.3);
+}
+
 // --- NocStats bridge round-trip (the audit promised in the bridge header) -
 
 TEST(NocStatsBridge, EveryFieldRoundTripsDistinctValues) {

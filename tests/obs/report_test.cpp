@@ -38,6 +38,58 @@ TEST(Report, PeHeatmapEmptyObservationYieldsNoRows) {
   EXPECT_EQ(t.row_count(), 0u);
 }
 
+TEST(Report, ZeroWindowCyclesReportsZeroUtilization) {
+  // A run that collected an observation but simulated zero window cycles
+  // (e.g. a model whose selected layer carries no traffic) must report 0%
+  // utilization everywhere, not divide by zero.
+  const noc::NocConfig cfg;
+  NocObservation obs = make_observation(cfg);
+  obs.window_cycles = 0;
+  obs.node_ejections[5] = 50;
+  obs.link_flits[0 * noc::kNumPorts + noc::kEast] = 10;
+  const Table heat = pe_utilization_heatmap(cfg, obs);
+  EXPECT_EQ(heat.row_count(), static_cast<std::size_t>(cfg.height));
+  EXPECT_NE(heat.to_string().find("PE 0.0%"), std::string::npos);
+  const Table links = link_utilization_table(cfg, obs);
+  ASSERT_EQ(links.row_count(), 1u);
+  EXPECT_NE(links.to_string().find("0.0%"), std::string::npos);
+}
+
+TEST(Report, EmptyObservationYieldsHeaderOnlyTables) {
+  const noc::NocConfig cfg;
+  const NocObservation obs;  // collected == false, vectors empty
+  EXPECT_EQ(pe_utilization_heatmap(cfg, obs).row_count(), 0u);
+  EXPECT_EQ(link_utilization_table(cfg, obs).row_count(), 0u);
+}
+
+TEST(Report, SinglePeMeshIsAllMemoryInterfaces) {
+  // A degenerate 1x1 mesh: the only node is a corner, hence an MI; the
+  // heatmap must still render one row without touching out-of-range ids.
+  noc::NocConfig cfg;
+  cfg.width = 1;
+  cfg.height = 1;
+  NocObservation obs = make_observation(cfg);
+  obs.node_ejections[0] = 25;  // 25 flits / 100 cycles
+  const Table t = pe_utilization_heatmap(cfg, obs);
+  ASSERT_EQ(t.row_count(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("MI 25.0%"), std::string::npos);
+  EXPECT_EQ(s.find("PE "), std::string::npos);
+}
+
+TEST(Report, LayerPhaseTableZeroCycleLayerPrintsDashShares) {
+  accel::InferenceResult r;
+  accel::LayerResult a;
+  a.name = "relu";  // zero-latency layer: shares are '-' rather than NaN%
+  r.layers = {a};
+  const Table t = layer_phase_table(r);
+  ASSERT_EQ(t.row_count(), 2u);  // layer + (total)
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("relu"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+}
+
 TEST(Report, LinkTableSortsBusiestFirstAndSkipsIdleLinks) {
   const noc::NocConfig cfg;
   NocObservation obs = make_observation(cfg);

@@ -1,0 +1,200 @@
+// TimeSeries / TimeSeriesSet: ring-compaction boundaries, the monotone-cycle
+// and closed-unit contracts, line-wise exports, and the end-to-end promise
+// that attaching a sink to the accelerator simulator is observation-only.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/simulator.hpp"
+#include "nn/models.hpp"
+#include "util/check.hpp"
+
+namespace nocw::obs {
+namespace {
+
+TEST(TimeSeries, AppendsWithinCapacityKeepEveryPoint) {
+  TimeSeries s("noc.link_flits", "flits", 8);
+  for (std::uint64_t c = 0; c < 8; ++c) {
+    s.append(c * 10, static_cast<double>(c));
+  }
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.compaction_stride(), 1u);
+  EXPECT_EQ(s.points().front().cycle, 0u);
+  EXPECT_EQ(s.points().back().cycle, 70u);
+}
+
+TEST(TimeSeries, CompactionDropsOddIndicesAndDoublesStride) {
+  TimeSeries s("noc.link_flits", "flits", 8);
+  for (std::uint64_t c = 0; c < 8; ++c) {
+    s.append(c, static_cast<double>(c));
+  }
+  // The 9th append first decimates to the 4 even-index points, then lands.
+  s.append(8, 8.0);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.compaction_stride(), 2u);
+  const std::vector<std::uint64_t> cycles_want{0, 2, 4, 6, 8};
+  for (std::size_t i = 0; i < cycles_want.size(); ++i) {
+    EXPECT_EQ(s.points()[i].cycle, cycles_want[i]) << i;
+    EXPECT_DOUBLE_EQ(s.points()[i].value,
+                     static_cast<double>(cycles_want[i]))
+        << i;
+  }
+}
+
+TEST(TimeSeries, RepeatedCompactionKeepsFirstPointAndMostRecent) {
+  TimeSeries s("accel.dram_words", "count", 4);
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    s.append(c, 1.0);
+  }
+  EXPECT_LE(s.size(), 4u);
+  EXPECT_GE(s.compaction_stride(), 16u);  // 64 points through capacity 4
+  EXPECT_EQ(s.points().front().cycle, 0u);   // first sample never dropped
+  EXPECT_EQ(s.points().back().cycle, 63u);   // latest sample always present
+  // Stride is always a power of two (2^k after k compactions).
+  const std::uint64_t st = s.compaction_stride();
+  EXPECT_EQ(st & (st - 1), 0u);
+}
+
+TEST(TimeSeries, SizeNeverExceedsCapacity) {
+  TimeSeries s("accel.macs", "count", 7);  // odd capacity exercises resize
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    s.append(c, 0.5);
+    EXPECT_LE(s.size(), 7u);
+  }
+}
+
+TEST(TimeSeries, EqualCyclesAllowedRegressionThrows) {
+  TimeSeries s("noc.queue_depth", "flits", 8);
+  s.append(10, 1.0);
+  s.append(10, 2.0);  // non-decreasing: two samples in one window are fine
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_THROW(s.append(9, 3.0), CheckError);
+}
+
+TEST(TimeSeries, RejectsUnknownUnitEmptyNameAndTinyCapacity) {
+  EXPECT_THROW(TimeSeries("x", "femtojoules", 8), CheckError);
+  EXPECT_THROW(TimeSeries("", "count", 8), CheckError);
+  EXPECT_THROW(TimeSeries("x", "count", 3), CheckError);
+  EXPECT_NO_THROW(TimeSeries("x", "count", 4));
+}
+
+TEST(TimeSeriesSet, CreatesOnFirstUseAndLocksUnit) {
+  TimeSeriesSet set(8);
+  set.append("noc.link_flits", "flits", 0, 1.0);
+  set.append("noc.link_flits", "flits", 5, 2.0);
+  EXPECT_TRUE(set.contains("noc.link_flits"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.series("noc.link_flits").size(), 2u);
+  // One name, one meaning: re-use with another unit throws.
+  EXPECT_THROW(set.append("noc.link_flits", "count", 6, 3.0), CheckError);
+  EXPECT_THROW((void)set.series("ghost"), CheckError);
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains("noc.link_flits"));
+}
+
+TEST(TimeSeriesSet, NamesAreSorted) {
+  TimeSeriesSet set(8);
+  set.append("b", "count", 0, 1.0);
+  set.append("a", "count", 0, 1.0);
+  set.append("c", "flits", 0, 1.0);
+  EXPECT_EQ(set.names(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TimeSeriesSet, JsonIsLineWiseSchemaV1) {
+  TimeSeriesSet set(8);
+  set.append("accel.macs", "count", 256, 4000.0);
+  set.append("accel.macs", "count", 512, 4000.0);
+  set.append("noc.link_flits", "flits", 256, 80.0);
+  const std::string json = set.to_json();
+  // Header, one line per series, footer.
+  ASSERT_EQ(json.rfind("{\"schema\":\"nocw.timeseries.v1\",\"series\":[", 0),
+            0u);
+  std::istringstream in(json);
+  std::string line;
+  std::size_t series_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) continue;
+    ++series_lines;
+    for (const char* key :
+         {"\"unit\":", "\"stride\":", "\"points\":["}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+    }
+  }
+  EXPECT_EQ(series_lines, 2u);
+  EXPECT_NE(json.find("[[256,4000],[512,4000]]"), std::string::npos);
+}
+
+TEST(TimeSeriesSet, CsvHasHeaderAndOneRowPerPoint) {
+  TimeSeriesSet set(8);
+  set.append("accel.macs", "count", 256, 4000.0);
+  set.append("noc.link_flits", "flits", 256, 80.0);
+  set.append("noc.link_flits", "flits", 512, 96.5);
+  const std::string csv = set.to_csv();
+  EXPECT_EQ(csv.rfind("series,unit,cycle,value\n", 0), 0u);
+  EXPECT_NE(csv.find("accel.macs,count,256,4000\n"), std::string::npos);
+  EXPECT_NE(csv.find("noc.link_flits,flits,512,96.5\n"), std::string::npos);
+}
+
+TEST(TimeSeriesEnv, KnobsHaveDefaultsAndFloors) {
+  ::unsetenv("NOCW_TS_INTERVAL");
+  ::unsetenv("NOCW_TS_CAP");
+  EXPECT_EQ(series_interval_cycles(), 256u);
+  EXPECT_EQ(series_capacity(), TimeSeriesSet::kDefaultCapacity);
+  // Below-minimum values are ignored (with a warning), not clamped: the
+  // run proceeds on the documented default.
+  ::setenv("NOCW_TS_INTERVAL", "0", 1);  // minimum is 1
+  ::setenv("NOCW_TS_CAP", "2", 1);       // minimum is 4
+  EXPECT_EQ(series_interval_cycles(), 256u);
+  EXPECT_EQ(series_capacity(), TimeSeriesSet::kDefaultCapacity);
+  ::setenv("NOCW_TS_INTERVAL", "64", 1);
+  ::setenv("NOCW_TS_CAP", "128", 1);
+  EXPECT_EQ(series_interval_cycles(), 64u);
+  EXPECT_EQ(series_capacity(), 128u);
+  ::unsetenv("NOCW_TS_INTERVAL");
+  ::unsetenv("NOCW_TS_CAP");
+}
+
+// The end-to-end contract the benches rely on: a sink attached to the full
+// accelerator simulation collects the promised series, every series is
+// cycle-monotone on the inference-global timeline, and the simulated
+// results are bit-identical to an unsampled run.
+TEST(TimeSeriesIntegration, AcceleratorSamplingIsObservationOnly) {
+  nn::Model m = nn::make_lenet5();
+  const accel::ModelSummary summary = accel::summarize(m);
+  accel::AccelConfig cfg;
+  cfg.noc_window_flits = 1500;  // small windows keep the test fast
+
+  const accel::InferenceResult off = accel::AcceleratorSim(cfg).simulate(summary);
+
+  TimeSeriesSet series(64);
+  cfg.series = &series;
+  cfg.series_interval_cycles = 128;
+  const accel::InferenceResult on = accel::AcceleratorSim(cfg).simulate(summary);
+
+  EXPECT_EQ(off.latency.total(), on.latency.total());
+  EXPECT_EQ(off.energy.total(), on.energy.total());
+
+  for (const char* name : {"accel.dram_words", "accel.macs",
+                           "noc.link_flits", "noc.flits_injected",
+                           "noc.flits_ejected", "noc.queue_depth"}) {
+    ASSERT_TRUE(series.contains(name)) << name;
+    const TimeSeries s = series.series(name);
+    EXPECT_GT(s.size(), 0u) << name;
+    for (std::size_t i = 1; i < s.points().size(); ++i) {
+      EXPECT_GE(s.points()[i].cycle, s.points()[i - 1].cycle)
+          << name << " point " << i;
+    }
+  }
+  // No compression plan was passed, so no decompress activity exists.
+  EXPECT_FALSE(series.contains("accel.decompress_weights"));
+}
+
+}  // namespace
+}  // namespace nocw::obs

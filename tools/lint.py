@@ -45,6 +45,14 @@ Rules (all scoped to src/, the library code):
               NOCW_QUIET can silence at once; fprintf to a *file* (JSON
               mirrors) is fine.
 
+  manifest    (scoped to bench/) every bench driver (a bench/*.cpp that
+              defines main) must register its run with the summary writer
+              by calling bench::write_summary, so BENCH_summary.json and
+              the per-run manifest cover every binary and the cross-run
+              regression gate (tools/obs_diff.py) sees the whole suite.
+              A bench that skips registration silently falls out of the
+              gate's coverage.
+
 Usage:
   tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
                                repository containing this script)
@@ -93,6 +101,8 @@ COUT_RE = re.compile(r"std::cout")
 ASSERT_RE = re.compile(r"\bassert\s*\(")
 FAULT_RE = re.compile(r"\bfault_hash\s*\(")
 PRINT_RE = re.compile(r"std::printf|std::cout")
+MAIN_RE = re.compile(r"^\s*int\s+main\s*\(", re.M)
+WRITE_SUMMARY_RE = re.compile(r"\bwrite_summary\s*\(")
 # A registry call whose unit argument is a string literal. The name argument
 # (anything up to the first top-level comma; registry metric names never
 # contain commas) may span lines, hence DOTALL matching over the whole file.
@@ -222,6 +232,14 @@ def lint_bench_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [metric] unit '{unit}' is not in the "
                 f"registry vocabulary ({', '.join(sorted(METRIC_UNITS))}); "
                 f"keep units closed so exports stay comparable")
+    if (MAIN_RE.search(text) and rel != PRINT_ALLOWED
+            and not WRITE_SUMMARY_RE.search(text)):
+        lineno = text.count("\n", 0, MAIN_RE.search(text).start()) + 1
+        findings.append(
+            f"{rel}:{lineno}: [manifest] bench driver never calls "
+            f"bench::write_summary; every bench must register with "
+            f"BENCH_summary.json so the regression gate "
+            f"(tools/obs_diff.py) covers it")
     return findings
 
 
@@ -264,6 +282,12 @@ def self_test() -> int:
         "bench/bad_progress.cpp":
             "#include <cstdio>\n"
             "void p() { std::printf(\"working...\\n\"); }\n",
+        "bench/bad_manifest.cpp":
+            "#include \"bench_util.hpp\"\n"
+            "int main(int, char** argv) {\n"
+            "  (void)nocw::bench::output_dir(argv[0]);\n"
+            "  return 0;\n"
+            "}\n",
     }
     clean = {
         "src/power/good.hpp":
@@ -301,6 +325,13 @@ def self_test() -> int:
             "  nocw::obs::log(\"working...\\n\");\n"
             "  std::fprintf(f, \"{}\\n\");\n"
             "}\n",
+        "bench/good_manifest.cpp":
+            "#include \"bench_util.hpp\"\n"
+            "int main(int, char** argv) {\n"
+            "  const std::string dir = nocw::bench::output_dir(argv[0]);\n"
+            "  nocw::bench::write_summary(dir, \"good\", {{\"x\", 1.0}});\n"
+            "  return 0;\n"
+            "}\n",
     }
     expected_rules = {
         "src/power/bad_units.hpp": "[units]",
@@ -311,6 +342,7 @@ def self_test() -> int:
         "src/eval/bad_fault.cpp": "[fault]",
         "src/eval/bad_metric.cpp": "[metric]",
         "bench/bad_progress.cpp": "[print]",
+        "bench/bad_manifest.cpp": "[manifest]",
     }
 
     with tempfile.TemporaryDirectory() as tmp:
