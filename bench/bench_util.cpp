@@ -147,9 +147,20 @@ void write_summary(const std::string& dir, const obs::RunManifest& m) {
     std::printf("(manifest: %s)\n", run_path.c_str());
   }
 
+  // Stamp the bench's wall-clock cost as an informational metric (the
+  // regression gate treats *_ms keys as never-gating). Computed here, not
+  // from m.wall_seconds: manifests are often created at bench start, and
+  // write_summary runs at the end — the process-relative clock is the
+  // honest "how long did this bench take" number.
+  obs::RunManifest stamped = m;
+  stamped.metrics["wall_ms"] =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - kProcessStart)
+          .count();
+
   const std::string path = summary_path(dir);
   std::map<std::string, std::string> entries = read_summary(path);
-  entries[m.tool] = summary_entry(m);
+  entries[m.tool] = summary_entry(stamped);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);

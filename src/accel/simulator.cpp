@@ -90,10 +90,29 @@ void AcceleratorSim::check_invariants() const {
 }
 
 AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
-    std::uint64_t scatter_flits, std::uint64_t gather_flits) const {
+    std::uint64_t scatter_flits, std::uint64_t gather_flits,
+    std::uint32_t tag) const {
   NocPhase out;
   const std::uint64_t total = scatter_flits + gather_flits;
   if (total == 0) return out;
+
+  // Memoization: under one config the (scatter, gather) volumes fully
+  // determine the compiled packet sequence and hence the phase result (the
+  // tag is a diagnostics label that never reaches stats). A δ-sweep
+  // re-simulates every *unchanged* layer at each grid point; the cache
+  // collapses those repeats to one cycle-accurate run per distinct volume
+  // pair. Bypassed when the run has per-call side channels — a time-series
+  // sink or live NoC tracing must fire on every call, not once.
+  const bool cacheable = cfg_.reuse_noc_phases && cfg_.series == nullptr &&
+                         !NOCW_TRACE_ON(obs::kCatNoc);
+  const auto key = std::make_pair(scatter_flits, gather_flits);
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (const auto it = phase_cache_.find(key); it != phase_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
 
   // Window sampling: preserve the scatter/gather mix, scale volumes down so
   // the cycle-accurate run stays bounded, then scale results back up. The
@@ -113,32 +132,15 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   if (cfg_.series != nullptr) {
     net.set_series_sink(cfg_.series, cfg_.series_interval_cycles);
   }
-  const auto mis = cfg_.noc.memory_interface_nodes();
-  const auto pes = cfg_.noc.pe_nodes();
-
   // Scatter: each MI streams an equal share of the weights+ifmap volume,
   // round-robin over the PEs. Gather: PEs stream the ofmap back, spread over
-  // the MIs.
+  // the MIs. phase_traffic is the one shared definition of that compilation.
   std::uint64_t injected = 0;
-  if (scaled_scatter > 0) {
-    const std::uint64_t share = ceil_div(scaled_scatter, mis.size());
-    std::uint64_t left = scaled_scatter;
-    for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
-      const std::uint64_t vol = std::min(share, left);
-      net.add_packets(noc::scatter_flow(mis[m], pes, vol, cfg_.packet_flits));
-      left -= vol;
-      injected += vol;
-    }
-  }
-  if (scaled_gather > 0) {
-    const std::uint64_t share = ceil_div(scaled_gather, mis.size());
-    std::uint64_t left = scaled_gather;
-    for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
-      const std::uint64_t vol = std::min(share, left);
-      net.add_packets(noc::gather_flow(pes, mis[m], vol, cfg_.packet_flits));
-      left -= vol;
-      injected += vol;
-    }
+  {
+    const auto ps = noc::phase_traffic(cfg_.noc, scaled_scatter,
+                                       scaled_gather, cfg_.packet_flits, tag);
+    net.add_packets(ps);
+    injected = noc::total_flits(ps);
   }
   if (injected == 0) return out;
 
@@ -191,11 +193,27 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
       std::llround(static_cast<double>(st.buffer_reads) * up));
   out.events.crc_flit_events = static_cast<std::uint64_t>(
       std::llround(static_cast<double>(st.crc_flit_events) * up));
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++cache_misses_;
+    phase_cache_.emplace(key, out);
+  }
   return out;
 }
 
+std::uint64_t AcceleratorSim::noc_phase_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_hits_;
+}
+
+std::uint64_t AcceleratorSim::noc_phase_cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_misses_;
+}
+
 LayerResult AcceleratorSim::simulate_layer(
-    const LayerSummary& layer, const LayerCompression* compression) const {
+    const LayerSummary& layer, const LayerCompression* compression,
+    std::uint32_t tag) const {
   LayerResult r;
   r.name = layer.name;
   r.type = layer.type;
@@ -237,7 +255,7 @@ LayerResult AcceleratorSim::simulate_layer(
     // The network stamps phase-local cycles; shift its events past the DRAM
     // phase so the whole layer shares one timeline.
     obs::ScopedTimeBase noc_base(obs::time_base() + mem_off);
-    phase = run_noc_phase(scatter_flits, gather_flits);
+    phase = run_noc_phase(scatter_flits, gather_flits, tag);
   }
   r.noc_obs = std::move(phase.observation);
   r.latency.comm_cycles = phase.cycles;
@@ -326,7 +344,8 @@ InferenceResult AcceleratorSim::simulate(const ModelSummary& summary,
   // by the accumulated latency before simulating it.
   std::uint64_t clock = 0;
   const std::uint64_t outer_base = obs::time_base();
-  for (const auto& layer : summary.layers) {
+  for (std::size_t i = 0; i < summary.layers.size(); ++i) {
+    const auto& layer = summary.layers[i];
     const LayerCompression* lc = nullptr;
     if (plan) {
       const auto it = plan->find(layer.name);
@@ -335,7 +354,9 @@ InferenceResult AcceleratorSim::simulate(const ModelSummary& summary,
     LayerResult lr;
     {
       obs::ScopedTimeBase layer_base(outer_base + clock);
-      lr = simulate_layer(layer, lc);
+      // The layer ordinal tags the layer's NoC packets (drain-timeout
+      // diagnostics name the layer, not just node ids).
+      lr = simulate_layer(layer, lc, static_cast<std::uint32_t>(i));
     }
     if (!layer.traffic_bearing) continue;
     clock += static_cast<std::uint64_t>(std::llround(lr.latency.total()));

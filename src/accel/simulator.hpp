@@ -18,7 +18,9 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/summary.hpp"
@@ -61,6 +63,13 @@ struct AccelConfig {
   /// backwards).
   obs::TimeSeriesSet* series = nullptr;
   std::uint64_t series_interval_cycles = 256;
+  /// Memoize cycle-accurate NoC phase runs by (scatter, gather) flit volume.
+  /// Under one simulator config those volumes fully determine the compiled
+  /// packet sequence and hence the phase result, and δ-sweeps re-simulate
+  /// every unchanged layer once per grid point — the cache collapses those
+  /// repeats to one run each. Automatically bypassed when a run has
+  /// per-call side channels (time-series sink attached, NoC tracing live).
+  bool reuse_noc_phases = true;
 };
 
 /// Per-layer override installed by the compression flow: the selected
@@ -135,11 +144,20 @@ class AcceleratorSim {
       const ModelSummary& summary,
       const CompressionPlan* plan = nullptr) const;
 
+  /// `tag` labels the layer's NoC packets for diagnostics (simulate() passes
+  /// the layer ordinal); it never affects results.
   [[nodiscard]] LayerResult simulate_layer(
       const LayerSummary& layer,
-      const LayerCompression* compression = nullptr) const;
+      const LayerCompression* compression = nullptr,
+      std::uint32_t tag = 0) const;
 
   [[nodiscard]] const AccelConfig& config() const noexcept { return cfg_; }
+
+  /// NoC phase-cache effectiveness counters (see AccelConfig::
+  /// reuse_noc_phases); accumulated across every simulate() call on this
+  /// instance.
+  [[nodiscard]] std::uint64_t noc_phase_cache_hits() const;
+  [[nodiscard]] std::uint64_t noc_phase_cache_misses() const;
 
   /// Validate the configuration: positive mesh extents, buffer depth,
   /// packet size, word widths, clock and cycle budgets; DRAM efficiency in
@@ -155,12 +173,21 @@ class AcceleratorSim {
     obs::NocObservation observation;
   };
   /// Cycle-accurate scatter+gather for the layer's flit volumes, window
-  /// sampled when large.
+  /// sampled when large; memoized by volume when cacheable.
   [[nodiscard]] NocPhase run_noc_phase(std::uint64_t scatter_flits,
-                                       std::uint64_t gather_flits) const;
+                                       std::uint64_t gather_flits,
+                                       std::uint32_t tag) const;
 
   AccelConfig cfg_;
   power::EnergyTable table_;
+  /// Phase memo keyed by (scatter, gather) flit volumes. mutable + mutex:
+  /// simulate() is logically const and sweep drivers share one simulator
+  /// across lanes.
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::pair<std::uint64_t, std::uint64_t>, NocPhase>
+      phase_cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace nocw::accel

@@ -46,18 +46,9 @@ NocCost noc_cost(const FaultSweepConfig& cfg, double ber, bool protect) {
   nc.protection.crc = protect;
   noc::Network net(nc);
 
-  const auto mis = nc.memory_interface_nodes();
-  const auto pes = nc.pe_nodes();
-  NOCW_CHECK(!mis.empty());
-  NOCW_CHECK(!pes.empty());
-  const std::uint64_t share =
-      (cfg.noc_flits + mis.size() - 1) / mis.size();
-  std::uint64_t left = cfg.noc_flits;
-  for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
-    const std::uint64_t vol = std::min<std::uint64_t>(share, left);
-    net.add_packets(noc::scatter_flow(mis[m], pes, vol, cfg.packet_flits));
-    left -= vol;
-  }
+  // Weight streaming is a pure scatter phase; phase_traffic is the shared
+  // MI-share compilation the accelerator uses.
+  net.add_packets(noc::phase_traffic(nc, cfg.noc_flits, 0, cfg.packet_flits));
   const std::uint64_t cycles = net.run_until_drained(cfg.max_noc_cycles);
   const noc::NocStats& st = net.stats();
 
@@ -81,7 +72,7 @@ NocCost noc_cost(const FaultSweepConfig& cfg, double ber, bool protect) {
   const double seconds =
       static_cast<double>(cycles) / (nc.clock_ghz * 1e9);
   const power::PlatformShape shape{nc.node_count(),
-                                   static_cast<int>(pes.size())};
+                                   static_cast<int>(nc.pe_nodes().size())};
   out.energy_j = power::annotate(ev, seconds, cfg.energy, shape).total();
   return out;
 }

@@ -14,6 +14,28 @@ enum class Routing {
   YX,  ///< resolve Y first, then X
 };
 
+/// Cycle-engine selection (DESIGN.md §11). Both engines share one switch
+/// core and are bit-identical in every observable output (stats, latency,
+/// energy, samples, time series); they differ only in how the run loops
+/// advance time.
+enum class EngineMode {
+  /// Reference engine: tick every cycle, walk every router, re-scan the
+  /// whole network for the drain condition. Kept for differential testing.
+  Dense,
+  /// Event engine: O(1) drain tracking, empty routers skipped inside a
+  /// cycle, and fully idle stretches advanced in one jump to the next
+  /// source-release event (sampling hooks still fire on every crossed
+  /// interval boundary). Falls back to dense-equivalent per-cycle stepping
+  /// while fault injection is active, whose per-(entity, cycle) counters
+  /// must tick even on idle cycles.
+  Event,
+};
+
+/// Resolve the engine actually used: NOCW_NOC_ENGINE=dense|event overrides
+/// `configured` (for differential runs of unmodified benches); anything
+/// else, or unset, keeps the configured mode.
+[[nodiscard]] EngineMode engine_from_env(EngineMode configured);
+
 struct NocConfig {
   int width = 4;             ///< mesh columns
   int height = 4;            ///< mesh rows
@@ -32,6 +54,15 @@ struct NocConfig {
   FaultConfig fault;
   /// Per-packet CRC + MI→PE retransmission. Off by default (zero overhead).
   ProtectionConfig protection;
+  /// Cycle engine (see EngineMode). Event is the default; results are
+  /// bit-identical to Dense by construction.
+  EngineMode engine = EngineMode::Event;
+  /// Mesh partitioning across the global thread pool: 0 = automatic
+  /// (partition only meshes of >= 64 nodes when the pool has lanes to
+  /// spare), 1 = always serial, N > 1 = force N contiguous router ranges
+  /// (used by the equivalence tests to exercise the barriers on small
+  /// meshes). Partitioning never changes results; see DESIGN.md §11.
+  int partition_lanes = 0;
 
   [[nodiscard]] int node_count() const noexcept { return width * height; }
   [[nodiscard]] int node_x(int id) const noexcept { return id % width; }

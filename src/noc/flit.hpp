@@ -21,6 +21,10 @@ struct Flit {
   FlitType type = FlitType::HeadTail;
   std::uint8_t vc = 0;             ///< virtual channel (fixed per packet)
   std::uint32_t inject_cycle = 0;  ///< cycle the head entered the source queue
+  /// Caller-defined label copied from the packet descriptor (the accelerator
+  /// stamps the layer ordinal). Diagnostics only — never read by routing,
+  /// arbitration, or stats.
+  std::uint32_t tag = 0;
   /// 64-bit link word. Only populated when fault injection or CRC protection
   /// is active: data flits carry a deterministic per-flit word, a packet's
   /// CRC flit carries the CRC-32 of the preceding payloads.
@@ -37,6 +41,10 @@ struct PacketDescriptor {
   /// Retransmission attempt count; 0 for fresh packets, maintained by the
   /// network's CRC/NACK recovery protocol.
   std::uint16_t attempt = 0;
+  /// Caller-defined label carried into every flit of the packet (the
+  /// accelerator stamps the layer ordinal). Surfaced by the drain-timeout
+  /// diagnostics; otherwise inert.
+  std::uint32_t tag = 0;
 };
 
 /// Router port indices. Local is the NI (injection/ejection) port.

@@ -1,15 +1,19 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nocw::noc {
 
 Network::Network(const NocConfig& cfg)
     : cfg_(cfg), fault_(cfg.fault, cfg.node_count()) {
   vcs_ = cfg_.virtual_channels > 0 ? cfg_.virtual_channels : 1;
+  engine_ = engine_from_env(cfg_.engine);
   protect_ = cfg_.protection.crc;
   carry_payload_ = protect_ || fault_.enabled();
   NOCW_CHECK_GE(cfg_.protection.max_retries, 0);
@@ -18,16 +22,46 @@ Network::Network(const NocConfig& cfg)
     routers_.emplace_back(id, cfg_);
   }
   sources_.resize(static_cast<std::size_t>(cfg_.node_count()));
-  staged_count_.resize(static_cast<std::size_t>(cfg_.node_count()) *
-                           kNumPorts * static_cast<std::size_t>(vcs_),
-                       0);
+  const std::size_t lanes_total = static_cast<std::size_t>(cfg_.node_count()) *
+                                  kNumPorts * static_cast<std::size_t>(vcs_);
+  staged_count_.resize(lanes_total, 0);
+  occ_.resize(lanes_total, 0);
+  router_occ_.resize(static_cast<std::size_t>(cfg_.node_count()), 0);
+  ctxs_.resize(1);
   link_flits_.resize(
       static_cast<std::size_t>(cfg_.node_count()) * kNumPorts, 0);
+  neighbor_.assign(static_cast<std::size_t>(cfg_.node_count()) * kNumPorts,
+                   -1);
+  for (int id = 0; id < cfg_.node_count(); ++id) {
+    const int x = cfg_.node_x(id);
+    const int y = cfg_.node_y(id);
+    for (int out = 0; out < kNumPorts; ++out) {
+      if (out == kLocal) continue;
+      int nx = x, ny = y;
+      switch (out) {
+        case kNorth: ny = y - 1; break;
+        case kSouth: ny = y + 1; break;
+        case kEast: nx = x + 1; break;
+        case kWest: nx = x - 1; break;
+        default: break;
+      }
+      if (nx < 0 || nx >= cfg_.width || ny < 0 || ny >= cfg_.height) continue;
+      neighbor_[static_cast<std::size_t>(id) * kNumPorts +
+                static_cast<std::size_t>(out)] = cfg_.node_id(nx, ny);
+    }
+  }
   node_ejects_.resize(static_cast<std::size_t>(cfg_.node_count()), 0);
   trace_noc_ = NOCW_TRACE_ON(obs::kCatNoc);
   observe_ = trace_noc_;
   trace_sample_ = obs::Tracer::sample_every();
   if (trace_sample_ == 0) trace_sample_ = 1;
+  fast_switch_ = engine_ == EngineMode::Event && !fault_.enabled() &&
+                 !trace_noc_ && kNumPorts * vcs_ <= 64;
+  if (fast_switch_) {
+    occ_mask_.assign(static_cast<std::size_t>(cfg_.node_count()), 0);
+    head_out_.assign(lanes_total, 0);
+    live_occ_.assign(lanes_total, 0);
+  }
 }
 
 void Network::add_packet(const PacketDescriptor& p) {
@@ -42,6 +76,7 @@ void Network::queue_packet(const PacketDescriptor& p) {
   auto& s = sources_[p.src];
   s.pending.push(p);
   s.queued_flits += flits_of(p);
+  queued_total_ += flits_of(p);
 }
 
 void Network::add_packets(std::span<const PacketDescriptor> ps) {
@@ -49,6 +84,9 @@ void Network::add_packets(std::span<const PacketDescriptor> ps) {
 }
 
 void Network::inject_phase() {
+  // Nothing queued anywhere (including the un-sent tail of any active
+  // packet) means no source can inject this cycle.
+  if (queued_total_ == 0) return;
   for (int node = 0; node < cfg_.node_count(); ++node) {
     auto& s = sources_[static_cast<std::size_t>(node)];
     if (!s.active) {
@@ -59,6 +97,7 @@ void Network::inject_phase() {
       s.current = s.pending.top();
       s.pending.pop();
       s.active = true;
+      ++active_sources_;
       s.sent = 0;
       s.packet_id = next_packet_id_++;
       s.crc_accum = kCrcInit;
@@ -77,6 +116,7 @@ void Network::inject_phase() {
     f.dst = s.current.dst;
     f.vc = static_cast<std::uint8_t>(vc);
     f.inject_cycle = static_cast<std::uint32_t>(s.current.release_cycle);
+    f.tag = s.current.tag;
     const bool first = (s.sent == 0);
     const bool last = (s.sent + 1 == size);
     f.type = first && last ? FlitType::HeadTail
@@ -98,6 +138,7 @@ void Network::inject_phase() {
     ++staged_count_[idx];
     ++s.sent;
     --s.queued_flits;
+    --queued_total_;
     ++stats_.flits_injected;
     if (first) {
       ++stats_.packets_injected;
@@ -108,7 +149,10 @@ void Network::inject_phase() {
             static_cast<double>(s.current.dst));
       }
     }
-    if (last) s.active = false;
+    if (last) {
+      s.active = false;
+      --active_sources_;
+    }
   }
 }
 
@@ -189,28 +233,148 @@ void Network::eject_flit(const Flit& f, int node) {
   if (eject_hook_) eject_hook_(f, stats_.cycles);
 }
 
-void Network::switch_phase() {
+void Network::snapshot_occupancy() {
+  if (fast_switch_) {
+    // Sizes are maintained incrementally on every push/pop; freezing the
+    // cycle-boundary view is a single copy. The per-router skip reads the
+    // live occupancy mask instead of router_occ_ (equivalent here: pushes
+    // land at end-of-cycle, so at switch time both reflect the boundary).
+    std::copy(live_occ_.begin(), live_occ_.end(), occ_.begin());
+    return;
+  }
+  for (int rid = 0; rid < cfg_.node_count(); ++rid) {
+    const auto& r = routers_[static_cast<std::size_t>(rid)];
+    std::uint32_t total = 0;
+    for (int port = 0; port < kNumPorts; ++port) {
+      for (int vc = 0; vc < vcs_; ++vc) {
+        const auto sz =
+            static_cast<std::uint16_t>(r.input_vc(port, vc).size());
+        occ_[stage_index(rid, port, vc)] = sz;
+        total += sz;
+      }
+    }
+    router_occ_[static_cast<std::size_t>(rid)] = total;
+  }
+}
+
+void Network::switch_router_fast(int rid, SwitchCtx& ctx) {
+  auto& r = routers_[static_cast<std::size_t>(rid)];
+  const std::size_t base = stage_index(rid, 0, 0);
+  // Per output port, a bitmask of flattened input slots whose head flit
+  // routes there, assembled from the incrementally-maintained occupancy
+  // mask and cached head routes. The per-output round-robin scan then
+  // walks set bits instead of re-reading every FIFO — state only changes
+  // through grants, and each grant refreshes the one slot it popped, so
+  // the masks stay exact for the outputs still to come.
+  std::uint64_t cand[kNumPorts] = {};
+  for (std::uint64_t occ = occ_mask_[static_cast<std::size_t>(rid)];
+       occ != 0; occ &= occ - 1) {
+    const int slot = std::countr_zero(occ);
+    cand[head_out_[base + static_cast<std::size_t>(slot)]] |=
+        std::uint64_t{1} << slot;
+  }
+  const auto depth = static_cast<std::size_t>(cfg_.buffer_depth);
+  for (int out = 0; out < kNumPorts; ++out) {
+    std::uint64_t m = cand[out];
+    if (m == 0) continue;
+    const int nid = neighbor_[static_cast<std::size_t>(rid) * kNumPorts +
+                              static_cast<std::size_t>(out)];
+    const int nport = out == kLocal ? -1 : opposite(out);
+    const int start = r.rr_pointer(out);
+    while (m != 0) {
+      // Round-robin pick: lowest set bit at/after `start`, wrapping. A
+      // veto (wormhole lock, downstream capacity) clears the bit and the
+      // scan resumes in the same order — exactly allocate_with's walk.
+      const std::uint64_t ahead = m & (~std::uint64_t{0} << start);
+      const int slot = std::countr_zero(ahead != 0 ? ahead : m);
+      const Flit& f = r.input_flat(slot).front();
+      const bool is_head =
+          f.type == FlitType::Head || f.type == FlitType::HeadTail;
+      const int owner = r.lock_owner(out, static_cast<int>(f.vc));
+      bool ok = is_head ? owner == -1 : owner == slot;
+      std::size_t idx = 0;
+      if (ok && out != kLocal) {
+        idx = stage_index(nid, nport, static_cast<int>(f.vc));
+        ok = depth >
+             static_cast<std::size_t>(occ_[idx]) + staged_count_[idx];
+      }
+      if (!ok) {
+        m &= ~(std::uint64_t{1} << slot);
+        continue;
+      }
+      const Flit g = r.grant(slot, out);
+      if (out == kLocal) {
+        ctx.ejects.emplace_back(rid, g);
+      } else {
+        ++staged_count_[idx];
+        ctx.staged.push_back(StagedMove{nid, nport, g});
+        ++ctx.buffer_reads;
+        ++ctx.router_traversals;
+        ++ctx.link_traversals;
+        ++link_flits_[static_cast<std::size_t>(rid) * kNumPorts +
+                      static_cast<std::size_t>(out)];
+      }
+      // The pop may expose a new head; refresh the slot's cached route and
+      // its candidacy for the remaining outputs (at most one grant per
+      // output per cycle).
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      cand[out] &= ~bit;
+      --live_occ_[base + static_cast<std::size_t>(slot)];
+      const auto& buf = r.input_flat(slot);
+      if (buf.empty()) {
+        occ_mask_[static_cast<std::size_t>(rid)] &= ~bit;
+      } else {
+        const auto nout =
+            static_cast<std::uint8_t>(r.route(buf.front().dst));
+        head_out_[base + static_cast<std::size_t>(slot)] = nout;
+        cand[nout] |= bit;
+      }
+      break;
+    }
+  }
+}
+
+void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
   const bool faulty = fault_.enabled();
-  for (auto& r : routers_) {
-    if (faulty && fault_.router_stalled(stats_.cycles, r.id())) {
-      ++stats_.router_stall_cycles;
+  const auto depth = static_cast<std::size_t>(cfg_.buffer_depth);
+  if (fast_switch_) {
+    // Occupancy-free routers cannot allocate anything; skipping them is
+    // observationally identical (faults are off on this path — their
+    // counters would tick per router per cycle regardless of traffic).
+    for (int rid = rb; rid < re; ++rid) {
+      if (occ_mask_[static_cast<std::size_t>(rid)] != 0) {
+        switch_router_fast(rid, ctx);
+      }
+    }
+    return;
+  }
+  for (int rid = rb; rid < re; ++rid) {
+    if (skip_empty_this_cycle_ &&
+        router_occ_[static_cast<std::size_t>(rid)] == 0) {
+      continue;
+    }
+    auto& r = routers_[static_cast<std::size_t>(rid)];
+    if (faulty && fault_.router_stalled(stats_.cycles, rid)) {
+      ++ctx.stall_cycles;
       continue;  // control-path glitch: no allocation on any port this cycle
     }
     for (int out = 0; out < kNumPorts; ++out) {
       if (out == kLocal) {
-        // Ejection: the NI always sinks one flit per cycle per port.
-        const auto in = r.allocate(out);
+        // Ejection: the NI always sinks one flit per cycle per port. The
+        // pop happens here (router-local); the stats/CRC/hook side of the
+        // ejection is committed later in router-id order.
+        const auto in = r.allocate_with(out, [](const Flit&) { return true; });
         if (!in) continue;
-        eject_flit(r.grant(*in, out), r.id());
+        ctx.ejects.emplace_back(rid, r.grant(*in, out));
         continue;
       }
-      if (faulty && fault_.link_down(stats_.cycles, r.id(), out)) {
-        ++stats_.link_fault_cycles;
+      if (faulty && fault_.link_down(stats_.cycles, rid, out)) {
+        ++ctx.link_fault_cycles;
         continue;  // transient outage: flits stay buffered and retry
       }
       // Neighbour router and its receiving port.
-      const int x = cfg_.node_x(r.id());
-      const int y = cfg_.node_y(r.id());
+      const int x = cfg_.node_x(rid);
+      const int y = cfg_.node_y(rid);
       int nx = x, ny = y;
       switch (out) {
         case kNorth: ny = y - 1; break;
@@ -227,51 +391,136 @@ void Network::switch_phase() {
       const int nport = opposite(out);
       // Allocation only considers candidates whose downstream (port, VC)
       // FIFO can take a flit this cycle, so a back-pressured VC never
-      // stalls the output for traffic on other VCs.
-      const auto in = r.allocate(out, [&](const Flit& f) {
-        const int vc = static_cast<int>(f.vc);
-        const auto& nbuf =
-            routers_[static_cast<std::size_t>(nid)].input_vc(nport, vc);
-        return nbuf.free_slots() >
-               staged_count_[stage_index(nid, nport, vc)];
+      // stalls the output for traffic on other VCs. Capacity is judged
+      // against the cycle-boundary snapshot plus flits staged toward the
+      // FIFO this cycle — credits return at cycle edges, so the decision
+      // is independent of router visit order (and of lane scheduling).
+      const auto in = r.allocate_with(out, [&](const Flit& f) {
+        const std::size_t idx =
+            stage_index(nid, nport, static_cast<int>(f.vc));
+        return depth > static_cast<std::size_t>(occ_[idx]) +
+                           staged_count_[idx];
       });
       if (!in) continue;
       Flit f = r.grant(*in, out);
       if (faulty) {
-        stats_.payload_bit_flips += static_cast<std::uint64_t>(
-            fault_.corrupt_payload(f.payload, stats_.cycles, r.id(), out));
+        ctx.bit_flips += static_cast<std::uint64_t>(
+            fault_.corrupt_payload(f.payload, stats_.cycles, rid, out));
       }
       const std::size_t idx =
           stage_index(nid, nport, static_cast<int>(f.vc));
-      staged_.push_back(StagedMove{nid, nport, f});
+      // Single producer per downstream (port, VC): only this router's link
+      // feeds it, so the staged count and link counter are race-free even
+      // when ranges run on different lanes.
       ++staged_count_[idx];
-      ++stats_.buffer_reads;
-      ++stats_.router_traversals;
-      ++stats_.link_traversals;
-      ++link_flits_[static_cast<std::size_t>(r.id()) * kNumPorts +
+      ctx.staged.push_back(StagedMove{nid, nport, f});
+      ++ctx.buffer_reads;
+      ++ctx.router_traversals;
+      ++ctx.link_traversals;
+      ++link_flits_[static_cast<std::size_t>(rid) * kNumPorts +
                     static_cast<std::size_t>(out)];
       if (trace_noc_ && hop_seq_++ % trace_sample_ == 0) {
         obs::Tracer::global().record_instant(
             obs::kCatNoc, "hop", obs::kPidNoc,
-            static_cast<std::uint32_t>(r.id()), stats_.cycles, "dst",
+            static_cast<std::uint32_t>(rid), stats_.cycles, "dst",
             static_cast<double>(f.dst));
       }
     }
   }
 }
 
-void Network::step() {
+void Network::commit_switch(SwitchCtx& ctx) {
+  // Contexts commit in chunk (= ascending router-id) order, so ejection
+  // side effects — latency accumulation, CRC verdicts, NACK requeues, the
+  // eject hook — fire in exactly the order a serial sweep produces.
+  for (const auto& [node, f] : ctx.ejects) eject_flit(f, node);
+  stats_.buffer_reads += ctx.buffer_reads;
+  stats_.router_traversals += ctx.router_traversals;
+  stats_.link_traversals += ctx.link_traversals;
+  stats_.router_stall_cycles += ctx.stall_cycles;
+  stats_.link_fault_cycles += ctx.link_fault_cycles;
+  stats_.payload_bit_flips += ctx.bit_flips;
+  // ctx.staged is pushed into the downstream FIFOs directly at the end of
+  // step_cycle — no copy through staged_, which holds only injections.
+}
+
+int Network::partition_chunks() {
+  if (trace_noc_ || cfg_.partition_lanes == 1 ||
+      ThreadPool::in_parallel_region()) {
+    return 1;  // hop-trace sampling shares one sequence counter; nested
+               // regions run serial by pool policy
+  }
+  const int n = cfg_.node_count();
+  if (cfg_.partition_lanes > 1) return std::min(cfg_.partition_lanes, n);
+  if (n < kAutoPartitionNodes) return 1;
+  const int pool = static_cast<int>(global_thread_count());
+  return pool <= 1 ? 1 : std::min(pool, n);
+}
+
+void Network::step_cycle() {
   staged_.clear();
   std::fill(staged_count_.begin(), staged_count_.end(),
             static_cast<std::uint8_t>(0));
-  switch_phase();
-  inject_phase();
-  for (const auto& m : staged_) {
-    routers_[static_cast<std::size_t>(m.router)]
-        .input_vc(m.port, static_cast<int>(m.flit.vc))
-        .push(m.flit);
-    ++stats_.buffer_writes;
+  skip_empty_this_cycle_ =
+      engine_ == EngineMode::Event && !fault_.enabled();
+  snapshot_occupancy();
+  const int n = cfg_.node_count();
+  const int chunks = partition_chunks();
+  std::size_t chunk_ctxs = 1;
+  if (chunks <= 1) {
+    ctxs_[0].clear();
+    switch_range(0, n, ctxs_[0]);
+    commit_switch(ctxs_[0]);
+  } else {
+    // Chunk boundaries depend only on (n, chunks); the pool hands chunks to
+    // lanes dynamically, so contexts are indexed by chunk id, never lane.
+    const std::size_t grain =
+        (static_cast<std::size_t>(n) + static_cast<std::size_t>(chunks) - 1) /
+        static_cast<std::size_t>(chunks);
+    const std::size_t actual =
+        (static_cast<std::size_t>(n) + grain - 1) / grain;
+    if (ctxs_.size() < actual) ctxs_.resize(actual);
+    // Clear before dispatch: the pool's serial fast path may run the whole
+    // range as one chunk into ctxs_[0], and a stale context must not be
+    // committed.
+    for (std::size_t c = 0; c < actual; ++c) ctxs_[c].clear();
+    global_pool().parallel_for(
+        0, static_cast<std::size_t>(n), grain,
+        [&](std::size_t b, std::size_t e, unsigned) {
+          switch_range(static_cast<int>(b), static_cast<int>(e),
+                       ctxs_[b / grain]);
+        });
+    for (std::size_t c = 0; c < actual; ++c) commit_switch(ctxs_[c]);
+    chunk_ctxs = actual;
   }
+  inject_phase();
+  // Deliver this cycle's moves: switch traversals live in the chunk
+  // contexts (already committed in chunk order), injections in staged_.
+  // Each (node, port, VC) FIFO receives at most one flit per cycle —
+  // single producer per link plus local-only injection — so push order
+  // across buffers is immaterial.
+  const auto push_move = [&](const StagedMove& m) {
+    auto& r = routers_[static_cast<std::size_t>(m.router)];
+    auto& buf = r.input_vc(m.port, static_cast<int>(m.flit.vc));
+    if (fast_switch_) {
+      const std::size_t slot = r.flat(m.port, static_cast<int>(m.flit.vc));
+      const std::size_t idx = stage_index(m.router, 0, 0) + slot;
+      ++live_occ_[idx];
+      if (buf.empty()) {
+        // Push-to-empty makes this flit the slot's head: record its
+        // occupancy bit and cached route for the switch fast path.
+        occ_mask_[static_cast<std::size_t>(m.router)] |= std::uint64_t{1}
+                                                         << slot;
+        head_out_[idx] = static_cast<std::uint8_t>(r.route(m.flit.dst));
+      }
+    }
+    buf.push(m.flit);
+    ++stats_.buffer_writes;
+  };
+  for (std::size_t c = 0; c < chunk_ctxs; ++c) {
+    for (const auto& m : ctxs_[c].staged) push_move(m);
+  }
+  for (const auto& m : staged_) push_move(m);
   ++stats_.cycles;
   if (observe_ && stats_.cycles % kQueueSampleInterval == 0) {
     sample_queue_depths();
@@ -280,6 +529,8 @@ void Network::step() {
     sample_series();
   }
 }
+
+void Network::step() { step_cycle(); }
 
 void Network::sample_queue_depths() {
   if (queue_samples_.size() + routers_.size() > kMaxObservationSamples) return;
@@ -321,7 +572,10 @@ void Network::sample_series() {
 }
 
 bool Network::drained() const noexcept {
-  return undelivered_flits() == 0;
+  // queued_total_ counts every flit not yet injected, including the rest of
+  // any packet mid-injection, so it doubles as the active-source check.
+  return queued_total_ == 0 &&
+         stats_.flits_injected == stats_.flits_ejected;
 }
 
 std::uint64_t Network::undelivered_flits() const noexcept {
@@ -331,13 +585,120 @@ std::uint64_t Network::undelivered_flits() const noexcept {
   return n;
 }
 
+bool Network::idle_now() const noexcept {
+  // Stepping would be a pure no-op: nothing buffered (conservation), no
+  // source mid-packet, and no fault counters that tick on idle cycles.
+  return stats_.flits_injected == stats_.flits_ejected &&
+         active_sources_ == 0 && !fault_.enabled();
+}
+
+std::uint64_t Network::next_source_release() const noexcept {
+  std::uint64_t next = ~std::uint64_t{0};
+  for (const auto& s : sources_) {
+    if (!s.pending.empty()) {
+      next = std::min(next, s.pending.top().release_cycle);
+    }
+  }
+  return next;
+}
+
+void Network::advance_idle(std::uint64_t target) {
+  idle_cycles_skipped_ += target - stats_.cycles;
+  // Jump in hops so every sampling boundary a dense engine would have hit
+  // still fires, in increasing cycle order. The network is empty, so queue
+  // depths and series window deltas are exactly the zeros dense reports.
+  while (stats_.cycles < target) {
+    std::uint64_t next = target;
+    if (observe_) {
+      const std::uint64_t b =
+          (stats_.cycles / kQueueSampleInterval + 1) * kQueueSampleInterval;
+      next = std::min(next, b);
+    }
+    if (series_ != nullptr) {
+      const std::uint64_t b =
+          (stats_.cycles / series_interval_cycles_ + 1) *
+          series_interval_cycles_;
+      next = std::min(next, b);
+    }
+    stats_.cycles = next;
+    if (observe_ && stats_.cycles % kQueueSampleInterval == 0) {
+      sample_queue_depths();
+    }
+    if (series_ != nullptr &&
+        stats_.cycles % series_interval_cycles_ == 0) {
+      sample_series();
+    }
+  }
+}
+
+void Network::throw_drain_timeout(std::uint64_t max_cycles) const {
+  std::ostringstream msg;
+  msg << "NoC did not drain within cycle budget (" << max_cycles
+      << " cycles, " << undelivered_flits() << " flits undelivered)";
+  // Name one offender: prefer a flit stuck in some router FIFO, else a
+  // packet still queued at (or mid-injection into) a source.
+  for (const auto& r : routers_) {
+    for (int port = 0; port < kNumPorts; ++port) {
+      for (int vc = 0; vc < vcs_; ++vc) {
+        const auto& buf = r.input_vc(port, vc);
+        if (buf.empty()) continue;
+        const Flit& f = buf.front();
+        msg << "; packet " << f.packet_id << " (src " << f.src << " -> dst "
+            << f.dst << ", tag " << f.tag << ") stuck at router " << r.id()
+            << " port " << port << " vc " << vc;
+        throw std::runtime_error(msg.str());
+      }
+    }
+  }
+  for (std::size_t node = 0; node < sources_.size(); ++node) {
+    const auto& s = sources_[node];
+    if (s.active) {
+      msg << "; packet " << s.packet_id << " (src " << s.current.src
+          << " -> dst " << s.current.dst << ", tag " << s.current.tag
+          << ") mid-injection at node " << node << " after " << s.sent
+          << " flits";
+      throw std::runtime_error(msg.str());
+    }
+    if (!s.pending.empty()) {
+      const PacketDescriptor& p = s.pending.top();
+      msg << "; packet (src " << p.src << " -> dst " << p.dst << ", tag "
+          << p.tag << ") queued at node " << node << " with release cycle "
+          << p.release_cycle << ", attempt " << p.attempt;
+      throw std::runtime_error(msg.str());
+    }
+  }
+  throw std::runtime_error(msg.str());
+}
+
 std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
   const std::uint64_t start = stats_.cycles;
-  while (!drained()) {
-    if (stats_.cycles - start >= max_cycles) {
-      throw std::runtime_error("NoC did not drain within cycle budget");
+  const std::uint64_t deadline =
+      max_cycles > ~std::uint64_t{0} - start ? ~std::uint64_t{0}
+                                             : start + max_cycles;
+  if (engine_ == EngineMode::Dense) {
+    // Reference loop: re-derive the drain condition from a full network
+    // walk every cycle, exactly as the pre-event-engine core did.
+    while (undelivered_flits() != 0) {
+      if (stats_.cycles >= deadline) throw_drain_timeout(max_cycles);
+      step_cycle();
+      if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
     }
-    step();
+    check_invariants();
+    return stats_.cycles - start;
+  }
+  while (!drained()) {
+    if (stats_.cycles >= deadline) throw_drain_timeout(max_cycles);
+    if (idle_now()) {
+      const std::uint64_t next = next_source_release();
+      if (next > stats_.cycles) {
+        // Nothing in flight and the earliest release is ahead: jump to it,
+        // clamped to the deadline so the deadlock guard still fires at the
+        // same cycle a dense run would report.
+        advance_idle(std::min(next, deadline));
+        continue;
+      }
+    }
+    step_cycle();
     if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
   }
   check_invariants();
@@ -346,7 +707,7 @@ std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
 
 void Network::run_cycles(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
-    step();
+    step_cycle();
     if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
   }
   check_invariants();
@@ -369,6 +730,45 @@ void Network::check_invariants() const {
   NOCW_CHECK_EQ(stats_.router_traversals, stats_.buffer_reads);
   // One latency sample per ejected packet (Fig. 2 latency feeds off this).
   NOCW_CHECK_EQ(stats_.packet_latency.count(), stats_.packets_ejected);
+  // The O(1) drain-tracking counters must agree with a full walk over the
+  // sources, or the event engine could terminate early or spin forever.
+  std::uint64_t queued = 0;
+  int active = 0;
+  for (const auto& s : sources_) {
+    queued += s.queued_flits;
+    if (s.active) ++active;
+  }
+  NOCW_CHECK_EQ(queued, queued_total_);
+  NOCW_CHECK_EQ(static_cast<std::uint64_t>(active),
+                static_cast<std::uint64_t>(active_sources_));
+  // The fast path's incremental occupancy masks and cached head routes
+  // must mirror the FIFOs exactly, or switch allocation would silently
+  // diverge from the reference loop.
+  if (fast_switch_) {
+    for (std::size_t rid = 0; rid < routers_.size(); ++rid) {
+      const auto& r = routers_[rid];
+      const int total = kNumPorts * vcs_;
+      for (int slot = 0; slot < total; ++slot) {
+        const auto& buf = r.input_flat(slot);
+        const bool bit =
+            (occ_mask_[rid] >> slot & std::uint64_t{1}) != 0;
+        NOCW_CHECK_EQ(static_cast<int>(bit),
+                      static_cast<int>(!buf.empty()));
+        NOCW_CHECK_EQ(
+            static_cast<std::size_t>(live_occ_[stage_index(
+                static_cast<int>(rid), 0, 0) + static_cast<std::size_t>(
+                slot)]),
+            buf.size());
+        if (!buf.empty()) {
+          NOCW_CHECK_EQ(
+              static_cast<int>(head_out_[stage_index(
+                  static_cast<int>(rid), 0, 0) + static_cast<std::size_t>(
+                  slot)]),
+              r.route(buf.front().dst));
+        }
+      }
+    }
+  }
   // The observability arrays are decompositions of the canonical counters:
   // per-link flit counts must sum to link_traversals and per-node ejections
   // to flits_ejected, or a heatmap would disagree with the stats facade.

@@ -3,8 +3,19 @@
 // One step() is one clock cycle. All switch decisions in a cycle observe the
 // state at the cycle boundary and moves are committed together, so a flit
 // advances at most one hop per cycle and arbitration is order-independent.
+// Downstream capacity is judged against a cycle-boundary occupancy snapshot
+// (credits updated at cycle edges, i.e. one cycle of credit-return latency),
+// which makes the switch core independent of router iteration order — the
+// property the partitioned (multi-threaded) stepping relies on.
 // Sources hold packet descriptors (not expanded flits), so streaming a
 // multi-million-flit layer costs O(1) memory per flow.
+//
+// Two run-loop engines share this switch core (EngineMode, DESIGN.md §11):
+// the dense reference ticks every cycle and re-scans the network for the
+// drain condition; the event engine tracks drain state in O(1), skips empty
+// routers inside a cycle, and jumps over fully idle stretches to the next
+// source-release event while still firing every sampling hook on the
+// interval boundaries it crosses. Both produce bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,9 @@ class Network {
 
   const NocConfig& config() const noexcept { return cfg_; }
 
+  /// Engine actually in use (cfg.engine after the NOCW_NOC_ENGINE override).
+  [[nodiscard]] EngineMode engine() const noexcept { return engine_; }
+
   /// Queue a packet for injection at its source node. Packets become
   /// eligible at release_cycle and inject one flit per cycle per node.
   void add_packet(const PacketDescriptor& p);
@@ -38,11 +52,15 @@ class Network {
   /// Advance one clock cycle.
   void step();
 
-  /// True when no pending, queued, or in-flight flits remain.
+  /// True when no pending, queued, or in-flight flits remain. O(1): the
+  /// sources maintain their queued-flit total and router occupancy equals
+  /// flits_injected - flits_ejected (conservation, cross-checked by
+  /// check_invariants()).
   [[nodiscard]] bool drained() const noexcept;
 
   /// Step until drained; returns cycles executed. Throws std::runtime_error
-  /// if max_cycles elapse first (deadlock guard).
+  /// naming an offending in-flight or queued packet (source/dest/tag) if
+  /// max_cycles elapse first (deadlock guard).
   std::uint64_t run_until_drained(std::uint64_t max_cycles);
 
   void run_cycles(std::uint64_t n);
@@ -64,7 +82,15 @@ class Network {
   }
 
   /// Flits not yet delivered (pending + queued + buffered in routers).
+  /// Walks the whole network; the run loops use drained() instead.
   [[nodiscard]] std::uint64_t undelivered_flits() const noexcept;
+
+  /// Cycles the event engine advanced over without stepping (idle jumps).
+  /// Diagnostics only — deliberately not part of NocStats, whose counters
+  /// are gated bit-identical across engines.
+  [[nodiscard]] std::uint64_t idle_cycles_skipped() const noexcept {
+    return idle_cycles_skipped_;
+  }
 
   // --- observability (src/obs) ---
   // Per-link and per-node flit counts are always collected (one array
@@ -102,27 +128,35 @@ class Network {
   static constexpr std::size_t kMaxObservationSamples = 1u << 20;
   static constexpr std::uint64_t kQueueSampleInterval = 64;
 
-  /// Attach a time-series sink: every `interval_cycles` cycles, step()
+  /// Attach a time-series sink: every `interval_cycles` cycles, the engine
   /// appends the window's flit-injection/ejection/link-traversal deltas and
   /// the instantaneous buffered-flit occupancy to `sink`, stamped on the
   /// inference-global timeline (obs::time_base() + local cycle). Pass
   /// nullptr to detach. Detached cost is one pointer-null branch per cycle
   /// and sampling never mutates engine state, so simulation results are
-  /// bit-identical with the sink on or off.
+  /// bit-identical with the sink on or off. The event engine fires the
+  /// same boundary samples when it jumps over idle stretches (the deltas
+  /// are zero then, exactly as a dense tick would report).
   void set_series_sink(obs::TimeSeriesSet* sink,
                        std::uint64_t interval_cycles);
 
   /// Validate the cycle engine's global invariants: flit conservation
   /// (injected == ejected + buffered in routers), monotone packet counters,
-  /// buffer-access accounting, one latency sample per ejected packet, and
-  /// every router's structural invariants. Throws nocw::CheckError on
-  /// violation. Called every kInvariantCheckInterval cycles by the run
-  /// loops and from tests; it observes only committed state, so it is valid
-  /// at any cycle boundary.
+  /// buffer-access accounting, the O(1) drain-tracking counters against a
+  /// full network walk, one latency sample per ejected packet, and every
+  /// router's structural invariants. Throws nocw::CheckError on violation.
+  /// Called every kInvariantCheckInterval cycles by the run loops and from
+  /// tests; it observes only committed state, so it is valid at any cycle
+  /// boundary.
   void check_invariants() const;
 
   /// Cycle-batch granularity at which the run loops self-check.
   static constexpr std::uint64_t kInvariantCheckInterval = 1024;
+
+  /// Meshes at least this large partition automatically when the global
+  /// pool has idle lanes (cfg.partition_lanes = 0). Below it the per-cycle
+  /// fork-join barrier costs more than the router work it parallelizes.
+  static constexpr int kAutoPartitionNodes = 64;
 
  private:
   struct Source {
@@ -149,8 +183,60 @@ class Network {
     Flit flit;
   };
 
+  /// Per-chunk output of the switch core. A partitioned cycle gives each
+  /// contiguous router range its own context; everything it accumulates is
+  /// either additive (counters) or committed afterwards in router-id order
+  /// (ejects, staged moves), so lane scheduling can never reorder results.
+  struct SwitchCtx {
+    std::vector<StagedMove> staged;
+    std::vector<std::pair<int, Flit>> ejects;  ///< (node, flit), id order
+    std::uint64_t buffer_reads = 0;
+    std::uint64_t router_traversals = 0;
+    std::uint64_t link_traversals = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t link_fault_cycles = 0;
+    std::uint64_t bit_flips = 0;
+    void clear() noexcept {
+      staged.clear();
+      ejects.clear();
+      buffer_reads = router_traversals = link_traversals = 0;
+      stall_cycles = link_fault_cycles = bit_flips = 0;
+    }
+  };
+
   void inject_phase();
-  void switch_phase();
+  /// Snapshot per-(node, port, VC) occupancy and per-router totals at the
+  /// cycle boundary; the switch core's capacity predicate reads only this.
+  void snapshot_occupancy();
+  /// Switch allocation + grants for routers [rb, re). Thread-safe for
+  /// disjoint ranges: mutates only the routers in range, their outgoing
+  /// staged counts (single-producer per entry), their own link counters,
+  /// and `ctx`.
+  void switch_range(int rb, int re, SwitchCtx& ctx);
+  /// Candidate-mask allocation for one router — the event engine's fast
+  /// path. Bit-identical to the reference loop in switch_range (same
+  /// winners, same order); only the scan is restructured around per-output
+  /// head bitmasks. Gated off under faults and live NoC tracing, which
+  /// hook the reference loop per entity.
+  void switch_router_fast(int rid, SwitchCtx& ctx);
+  /// Apply one context's deferred effects on shared state (serial, in
+  /// chunk order).
+  void commit_switch(SwitchCtx& ctx);
+  /// One full cycle through the shared core: snapshot, switch (serial or
+  /// partitioned), inject, commit, sample.
+  void step_cycle();
+  /// Router ranges to switch concurrently this cycle (1 = serial).
+  [[nodiscard]] int partition_chunks();
+  /// True when stepping the current cycle would change nothing but the
+  /// cycle counter: nothing buffered, no source mid-packet, faults off.
+  [[nodiscard]] bool idle_now() const noexcept;
+  /// Earliest release cycle over all pending packets (UINT64_MAX if none).
+  [[nodiscard]] std::uint64_t next_source_release() const noexcept;
+  /// Jump the clock to `target`, emitting the queue-depth and time-series
+  /// samples a dense engine would have produced on every interval boundary
+  /// in (current, target].
+  void advance_idle(std::uint64_t target);
+  [[noreturn]] void throw_drain_timeout(std::uint64_t max_cycles) const;
   void eject_flit(const Flit& f, int node);
   void queue_packet(const PacketDescriptor& p);
   void sample_queue_depths();
@@ -162,6 +248,7 @@ class Network {
   }
 
   NocConfig cfg_;
+  EngineMode engine_ = EngineMode::Event;
   std::vector<Router> routers_;
   std::vector<Source> sources_;
   NocStats stats_;
@@ -176,6 +263,34 @@ class Network {
   std::vector<StagedMove> staged_;
   // staged occupancy per (router, port, vc) for capacity checks in a cycle
   std::vector<std::uint8_t> staged_count_;
+  /// Cycle-boundary occupancy snapshot per (router, port, vc).
+  std::vector<std::uint16_t> occ_;
+  /// Cycle-boundary buffered-flit total per router (empty-router skip).
+  std::vector<std::uint32_t> router_occ_;
+  /// Switch contexts, one per partition chunk (index 0 doubles as the
+  /// serial context). Persistent so per-cycle stepping does not allocate.
+  std::vector<SwitchCtx> ctxs_;
+  /// Downstream node per (router, output port); -1 for kLocal and mesh
+  /// edges. Built once at construction for the switch fast path.
+  std::vector<int> neighbor_;
+  /// True while the current cycle may skip occupancy-free routers (event
+  /// engine, faults off — fault counters tick per router per cycle).
+  bool skip_empty_this_cycle_ = false;
+  /// Fixed at construction: the run may use switch_router_fast (event
+  /// engine, faults off, tracing off, slot count within one bitmask).
+  /// Engine, fault and trace state never change after construction, so
+  /// the incremental occupancy masks below are maintained iff this is set.
+  bool fast_switch_ = false;
+  /// Live occupied-slot bitmask per router (bit = flattened (port, VC)),
+  /// updated on every push/pop. Fast-path only.
+  std::vector<std::uint64_t> occ_mask_;
+  /// Cached DOR output port of each slot's head flit (valid where the
+  /// occupancy bit is set; heads change only on push-to-empty and pop).
+  std::vector<std::uint8_t> head_out_;
+  /// Live per-(router, port, VC) FIFO sizes, updated on every push/pop, so
+  /// the cycle-boundary snapshot is one memcpy instead of a FIFO walk.
+  /// Fast-path only.
+  std::vector<std::uint16_t> live_occ_;
   int vcs_ = 1;
   [[nodiscard]] std::size_t stage_index(int node, int port,
                                         int vc) const noexcept {
@@ -186,6 +301,11 @@ class Network {
   }
   std::uint32_t next_packet_id_ = 1;
   std::function<void(const Flit&, std::uint64_t)> eject_hook_;
+
+  // O(1) drain tracking (event engine; cross-checked by check_invariants).
+  std::uint64_t queued_total_ = 0;  ///< sum of sources' queued_flits
+  int active_sources_ = 0;          ///< sources mid-packet
+  std::uint64_t idle_cycles_skipped_ = 0;
 
   // Observability. trace_noc_ caches the tracer gate at construction so the
   // per-hop emission check is one branch on a plain bool; link/eject counts

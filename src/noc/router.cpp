@@ -35,51 +35,13 @@ int Router::route(int dst) const noexcept {
 
 std::optional<int> Router::allocate(
     int out_port, const std::function<bool(const Flit&)>& can_accept) const {
-  // Round-robin over flattened (input port, VC) indices. A request is
-  // admissible when its head flit routes to out_port, the (out, VC)
-  // wormhole lock is either free (for Head/HeadTail) or owned by exactly
-  // this input (for Body/Tail continuation), and the caller's capacity
-  // predicate accepts the flit.
-  const int total = kNumPorts * vcs_;
-  const int start = rr_[static_cast<std::size_t>(out_port)];
-  for (int k = 0; k < total; ++k) {
-    const int in_flat = (start + k) % total;
-    const auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
-    if (buf.empty()) continue;
-    const Flit& f = buf.front();
-    if (route(f.dst) != out_port) continue;
-    const int owner =
-        lock_[flat(out_port, static_cast<int>(f.vc))];
-    const bool is_head =
-        f.type == FlitType::Head || f.type == FlitType::HeadTail;
-    if (!(is_head ? (owner == -1) : (owner == in_flat))) continue;
-    if (can_accept && !can_accept(f)) continue;
-    return in_flat;
+  // Round-robin admissibility lives in allocate_with (header template); this
+  // overload only erases the predicate type for callers off the hot path.
+  if (!can_accept) {
+    return allocate_with(out_port, [](const Flit&) { return true; });
   }
-  return std::nullopt;
-}
-
-Flit Router::grant(int in_flat, int out_port) {
-  auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
-  NOCW_CHECK(!buf.empty());
-  const Flit f = buf.pop();
-  int& lock = lock_[flat(out_port, static_cast<int>(f.vc))];
-  switch (f.type) {
-    case FlitType::Head:
-      lock = in_flat;
-      break;
-    case FlitType::Tail:
-    case FlitType::HeadTail:
-      lock = -1;
-      break;
-    case FlitType::Body:
-      break;
-  }
-  // Rotate priority past the winner on every grant so concurrent packets on
-  // different VCs share the physical link fairly (flit-level interleaving).
-  rr_[static_cast<std::size_t>(out_port)] =
-      (in_flat + 1) % (kNumPorts * vcs_);
-  return f;
+  return allocate_with(out_port,
+                       [&](const Flit& f) { return can_accept(f); });
 }
 
 bool Router::idle() const noexcept {

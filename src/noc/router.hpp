@@ -20,6 +20,7 @@
 
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
+#include "util/check.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace nocw::noc {
@@ -47,6 +48,27 @@ class Router {
     return input_vc(port, 0);
   }
 
+  /// FIFO by flattened (port, VC) index — the index space allocate_with
+  /// scans and grant() consumes. Used by the network's switch fast path.
+  [[nodiscard]] RingBuffer<Flit>& input_flat(int slot) {
+    return buffers_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] const RingBuffer<Flit>& input_flat(int slot) const {
+    return buffers_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Round-robin priority pointer of an output port: the flattened input
+  /// index the next allocation scan starts from.
+  [[nodiscard]] int rr_pointer(int out_port) const noexcept {
+    return rr_[static_cast<std::size_t>(out_port)];
+  }
+
+  /// Wormhole lock owner of (output port, VC): the flattened input index
+  /// holding the lock, or -1 when the lane is free.
+  [[nodiscard]] int lock_owner(int out_port, int vc) const noexcept {
+    return lock_[flat(out_port, vc)];
+  }
+
   /// Dimension-order route computation: output port for destination `dst`.
   [[nodiscard]] int route(int dst) const noexcept;
 
@@ -57,13 +79,63 @@ class Router {
   /// whose downstream (port, VC) buffer is full, so a back-pressured VC
   /// does not stall the whole output while another VC could use it. With
   /// virtual_channels = 1 the returned index equals the input port number.
+  ///
+  /// Statically dispatched on the predicate type: the network's switch
+  /// core runs this once per output per router per cycle, so the predicate
+  /// call must inline rather than go through std::function.
+  template <typename Pred>
+  [[nodiscard]] std::optional<int> allocate_with(int out_port,
+                                                 Pred&& can_accept) const {
+    const int total = kNumPorts * vcs_;
+    const int start = rr_[static_cast<std::size_t>(out_port)];
+    for (int k = 0; k < total; ++k) {
+      const int in_flat = (start + k) % total;
+      const auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
+      if (buf.empty()) continue;
+      const Flit& f = buf.front();
+      if (route(f.dst) != out_port) continue;
+      const int owner = lock_[flat(out_port, static_cast<int>(f.vc))];
+      const bool is_head =
+          f.type == FlitType::Head || f.type == FlitType::HeadTail;
+      if (!(is_head ? (owner == -1) : (owner == in_flat))) continue;
+      if (!can_accept(f)) continue;
+      return in_flat;
+    }
+    return std::nullopt;
+  }
+
+  /// Type-erased convenience overload (tests, cold paths). An empty
+  /// function accepts every candidate.
   [[nodiscard]] std::optional<int> allocate(
       int out_port,
       const std::function<bool(const Flit&)>& can_accept = {}) const;
 
   /// Commit a grant: pop the head flit of the flattened input index and
-  /// update the wormhole lock of (out_port, flit.vc).
-  Flit grant(int in_flat, int out_port);
+  /// update the wormhole lock of (out_port, flit.vc). Header-inline: the
+  /// switch core calls this for every traversal of every cycle.
+  Flit grant(int in_flat, int out_port) {
+    auto& buf = buffers_[static_cast<std::size_t>(in_flat)];
+    NOCW_CHECK(!buf.empty());
+    const Flit f = buf.pop();
+    int& lock = lock_[flat(out_port, static_cast<int>(f.vc))];
+    switch (f.type) {
+      case FlitType::Head:
+        lock = in_flat;
+        break;
+      case FlitType::Tail:
+      case FlitType::HeadTail:
+        lock = -1;
+        break;
+      case FlitType::Body:
+        break;
+    }
+    // Rotate priority past the winner on every grant so concurrent packets
+    // on different VCs share the physical link fairly (flit-level
+    // interleaving).
+    rr_[static_cast<std::size_t>(out_port)] =
+        (in_flat + 1) % (kNumPorts * vcs_);
+    return f;
+  }
 
   /// True when every input FIFO is empty.
   [[nodiscard]] bool idle() const noexcept;

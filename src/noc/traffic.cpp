@@ -1,5 +1,6 @@
 #include "noc/traffic.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -9,7 +10,8 @@ namespace nocw::noc {
 std::vector<PacketDescriptor> stream_flow(int src, int dst,
                                           std::uint64_t total_flits,
                                           std::uint32_t flits_per_packet,
-                                          std::uint64_t release_cycle) {
+                                          std::uint64_t release_cycle,
+                                          std::uint32_t tag) {
   if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   std::vector<PacketDescriptor> out;
   out.reserve(static_cast<std::size_t>(
@@ -22,6 +24,7 @@ std::vector<PacketDescriptor> stream_flow(int src, int dst,
     p.size_flits = static_cast<std::uint32_t>(
         left < flits_per_packet ? left : flits_per_packet);
     p.release_cycle = release_cycle;
+    p.tag = tag;
     out.push_back(p);
     left -= p.size_flits;
   }
@@ -31,7 +34,8 @@ std::vector<PacketDescriptor> stream_flow(int src, int dst,
 std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
                                            std::uint64_t total_flits,
                                            std::uint32_t flits_per_packet,
-                                           std::uint64_t release_cycle) {
+                                           std::uint64_t release_cycle,
+                                           std::uint32_t tag) {
   if (dsts.empty()) throw std::invalid_argument("scatter with no targets");
   if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   std::vector<PacketDescriptor> out;
@@ -46,6 +50,7 @@ std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
     p.size_flits = static_cast<std::uint32_t>(
         left < flits_per_packet ? left : flits_per_packet);
     p.release_cycle = release_cycle;
+    p.tag = tag;
     out.push_back(p);
     left -= p.size_flits;
     ++turn;
@@ -56,7 +61,8 @@ std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
 std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
                                           std::uint64_t total_flits,
                                           std::uint32_t flits_per_packet,
-                                          std::uint64_t release_cycle) {
+                                          std::uint64_t release_cycle,
+                                          std::uint32_t tag) {
   if (srcs.empty()) throw std::invalid_argument("gather with no sources");
   if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   std::vector<PacketDescriptor> out;
@@ -71,9 +77,50 @@ std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
     p.size_flits = static_cast<std::uint32_t>(
         left < flits_per_packet ? left : flits_per_packet);
     p.release_cycle = release_cycle;
+    p.tag = tag;
     out.push_back(p);
     left -= p.size_flits;
     ++turn;
+  }
+  return out;
+}
+
+std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
+                                            std::uint64_t scatter_flits,
+                                            std::uint64_t gather_flits,
+                                            std::uint32_t flits_per_packet,
+                                            std::uint32_t tag) {
+  if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
+  const auto mis = cfg.memory_interface_nodes();
+  const auto pes = cfg.pe_nodes();
+  if (scatter_flits + gather_flits > 0 && (mis.empty() || pes.empty())) {
+    throw std::invalid_argument("phase traffic needs MIs and PEs");
+  }
+  std::vector<PacketDescriptor> out;
+  const auto append = [&](std::vector<PacketDescriptor>&& ps) {
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  // Each MI carries an equal (ceil) share of the phase volume; the last
+  // shares shrink to whatever volume is left.
+  if (scatter_flits > 0) {
+    const std::uint64_t share =
+        (scatter_flits + mis.size() - 1) / mis.size();
+    std::uint64_t left = scatter_flits;
+    for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
+      const std::uint64_t vol = std::min(share, left);
+      append(scatter_flow(mis[m], pes, vol, flits_per_packet, 0, tag));
+      left -= vol;
+    }
+  }
+  if (gather_flits > 0) {
+    const std::uint64_t share =
+        (gather_flits + mis.size() - 1) / mis.size();
+    std::uint64_t left = gather_flits;
+    for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
+      const std::uint64_t vol = std::min(share, left);
+      append(gather_flow(pes, mis[m], vol, flits_per_packet, 0, tag));
+      left -= vol;
+    }
   }
   return out;
 }

@@ -17,25 +17,41 @@
 namespace nocw::noc {
 
 /// Chop `total_flits` from src to dst into packets of at most
-/// `flits_per_packet`, all eligible at `release_cycle`.
+/// `flits_per_packet`, all eligible at `release_cycle`. `tag` is copied into
+/// every descriptor (diagnostics label, e.g. the layer ordinal).
 std::vector<PacketDescriptor> stream_flow(int src, int dst,
                                           std::uint64_t total_flits,
                                           std::uint32_t flits_per_packet,
-                                          std::uint64_t release_cycle = 0);
+                                          std::uint64_t release_cycle = 0,
+                                          std::uint32_t tag = 0);
 
 /// Distribute `total_flits` from `src` round-robin over `dsts` in packets of
 /// `flits_per_packet` (the MI -> PEs dispatch pattern).
 std::vector<PacketDescriptor> scatter_flow(int src, std::span<const int> dsts,
                                            std::uint64_t total_flits,
                                            std::uint32_t flits_per_packet,
-                                           std::uint64_t release_cycle = 0);
+                                           std::uint64_t release_cycle = 0,
+                                           std::uint32_t tag = 0);
 
 /// Gather `total_flits` from `srcs` (round-robin) into `dst` (the PEs -> MI
 /// writeback pattern).
 std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
                                           std::uint64_t total_flits,
                                           std::uint32_t flits_per_packet,
-                                          std::uint64_t release_cycle = 0);
+                                          std::uint64_t release_cycle = 0,
+                                          std::uint32_t tag = 0);
+
+/// The accelerator's canonical layer phase: split `scatter_flits` into equal
+/// per-MI shares scattered round-robin over the PEs, then `gather_flits`
+/// likewise gathered from the PEs back per MI. One definition shared by the
+/// layer simulator and the sweep drivers, and the unit the simulator's
+/// phase-compilation cache memoizes on ((scatter, gather) volumes under a
+/// fixed config always compile to this exact packet sequence).
+std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
+                                            std::uint64_t scatter_flits,
+                                            std::uint64_t gather_flits,
+                                            std::uint32_t flits_per_packet,
+                                            std::uint32_t tag = 0);
 
 /// `packets` uniform-random source/destination pairs (src != dst).
 std::vector<PacketDescriptor> uniform_random_traffic(

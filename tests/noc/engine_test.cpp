@@ -1,0 +1,217 @@
+// Event engine vs dense reference, and partitioned vs serial stepping.
+//
+// The event engine (O(1) drain tracking, empty-router skip, idle jumps) and
+// the mesh partitioning are pure speed levers: every counter, latency
+// moment, and time-series point must be bit-identical to the dense serial
+// reference, with and without fault injection. These tests are the gate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "noc/network.hpp"
+#include "noc/stats.hpp"
+#include "noc/traffic.hpp"
+#include "obs/timeseries.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nocw::noc {
+namespace {
+
+void expect_identical(const NocStats& a, const NocStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.flits_injected, b.flits_injected);
+  EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_ejected, b.packets_ejected);
+  EXPECT_EQ(a.router_traversals, b.router_traversals);
+  EXPECT_EQ(a.link_traversals, b.link_traversals);
+  EXPECT_EQ(a.buffer_writes, b.buffer_writes);
+  EXPECT_EQ(a.buffer_reads, b.buffer_reads);
+  EXPECT_EQ(a.packet_latency.count(), b.packet_latency.count());
+  // Bit-identical, not approximately equal: the engines must visit packets
+  // in the same order for the running moments to match exactly.
+  EXPECT_EQ(a.packet_latency.sum(), b.packet_latency.sum());
+  EXPECT_EQ(a.packet_latency.mean(), b.packet_latency.mean());
+  EXPECT_EQ(a.packet_latency.min(), b.packet_latency.min());
+  EXPECT_EQ(a.packet_latency.max(), b.packet_latency.max());
+  EXPECT_EQ(a.payload_bit_flips, b.payload_bit_flips);
+  EXPECT_EQ(a.link_fault_cycles, b.link_fault_cycles);
+  EXPECT_EQ(a.router_stall_cycles, b.router_stall_cycles);
+  EXPECT_EQ(a.crc_flits_injected, b.crc_flits_injected);
+  EXPECT_EQ(a.crc_flit_events, b.crc_flit_events);
+  EXPECT_EQ(a.crc_failures, b.crc_failures);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+}
+
+NocStats run_config(NocConfig cfg, EngineMode engine, int lanes,
+                    std::uint64_t seed) {
+  cfg.engine = engine;
+  cfg.partition_lanes = lanes;
+  Network net(cfg);
+  net.add_packets(uniform_random_traffic(cfg, 300, 6, seed));
+  net.run_until_drained(1000000);
+  return net.stats();
+}
+
+TEST(NocEngine, EventMatchesDenseOnRandomTraffic) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    NocConfig cfg;
+    cfg.virtual_channels = 2;
+    const NocStats dense = run_config(cfg, EngineMode::Dense, 1, seed);
+    const NocStats event = run_config(cfg, EngineMode::Event, 1, seed);
+    expect_identical(dense, event);
+  }
+}
+
+TEST(NocEngine, EventMatchesDenseUnderFaultsAndCrc) {
+  NocConfig cfg;
+  cfg.fault.bit_flip_probability = 2e-4;
+  cfg.fault.link_fault_probability = 1e-4;
+  cfg.fault.router_stall_probability = 1e-4;
+  cfg.fault.seed = 99;
+  cfg.protection.crc = true;
+  const NocStats dense = run_config(cfg, EngineMode::Dense, 1, 5);
+  const NocStats event = run_config(cfg, EngineMode::Event, 1, 5);
+  // The traffic must actually exercise the recovery machinery for this
+  // comparison to mean anything.
+  EXPECT_GT(dense.crc_failures, 0u);
+  EXPECT_GT(dense.retransmissions, 0u);
+  expect_identical(dense, event);
+}
+
+TEST(NocEngine, PartitionedMatchesSerialAcrossThreadCounts) {
+  NocConfig cfg;
+  cfg.virtual_channels = 2;
+  const NocStats serial = run_config(cfg, EngineMode::Event, 1, 77);
+  const unsigned before = global_thread_count();
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_global_threads(threads);
+    // Forced 4-way partition: chunk boundaries are fixed by the lane count,
+    // so results must not depend on how many pool threads execute them.
+    const NocStats part = run_config(cfg, EngineMode::Event, 4, 77);
+    expect_identical(serial, part);
+    const NocStats dense_part = run_config(cfg, EngineMode::Dense, 4, 77);
+    expect_identical(serial, dense_part);
+  }
+  set_global_threads(before);
+}
+
+TEST(NocEngine, PartitionedMatchesSerialUnderFaults) {
+  NocConfig cfg;
+  cfg.fault.bit_flip_probability = 2e-4;
+  cfg.fault.router_stall_probability = 1e-4;
+  cfg.fault.seed = 31;
+  cfg.protection.crc = true;
+  const NocStats serial = run_config(cfg, EngineMode::Event, 1, 13);
+  const unsigned before = global_thread_count();
+  set_global_threads(4);
+  const NocStats part = run_config(cfg, EngineMode::Event, 4, 13);
+  set_global_threads(before);
+  EXPECT_GT(serial.crc_failures, 0u);
+  expect_identical(serial, part);
+}
+
+TEST(NocEngine, TimeSeriesIdenticalAcrossEngines) {
+  const auto run_series = [](EngineMode engine) {
+    NocConfig cfg;
+    cfg.engine = engine;
+    Network net(cfg);
+    obs::TimeSeriesSet series;
+    net.set_series_sink(&series, 32);
+    net.add_packets(uniform_random_traffic(cfg, 120, 6, /*seed=*/4));
+    // A release gap forces the event engine through its idle-jump path
+    // while the sink is attached: boundary samples must still fire.
+    net.add_packets(stream_flow(0, 15, 60, 6, /*release_cycle=*/5000));
+    net.run_until_drained(1000000);
+    return series.to_json();
+  };
+  EXPECT_EQ(run_series(EngineMode::Dense), run_series(EngineMode::Event));
+}
+
+TEST(NocEngine, IdleJumpSkipsReleaseGapsWithIdenticalStats) {
+  const auto run_gap = [](EngineMode engine) {
+    NocConfig cfg;
+    cfg.engine = engine;
+    Network net(cfg);
+    // Three bursts separated by ~100k idle cycles each.
+    net.add_packets(stream_flow(0, 15, 80, 8, /*release_cycle=*/0));
+    net.add_packets(stream_flow(5, 10, 80, 8, /*release_cycle=*/100000));
+    net.add_packets(stream_flow(12, 3, 80, 8, /*release_cycle=*/200000));
+    net.run_until_drained(1000000);
+    return net;
+  };
+  const Network dense = run_gap(EngineMode::Dense);
+  const Network event = run_gap(EngineMode::Event);
+  expect_identical(dense.stats(), event.stats());
+  EXPECT_EQ(dense.idle_cycles_skipped(), 0u);
+  // ~200k of the run is idle gap; nearly all of it must be jumped, not
+  // stepped (the whole point of the event engine).
+  EXPECT_GT(event.idle_cycles_skipped(), 190000u);
+}
+
+TEST(NocEngine, EnvOverrideSelectsEngine) {
+  EXPECT_EQ(engine_from_env(EngineMode::Event), EngineMode::Event);
+  EXPECT_EQ(engine_from_env(EngineMode::Dense), EngineMode::Dense);
+}
+
+TEST(NocEngine, DrainTimeoutNamesOffendingPacket) {
+  for (const EngineMode engine : {EngineMode::Dense, EngineMode::Event}) {
+    NocConfig cfg;
+    cfg.engine = engine;
+    Network net(cfg);
+    net.add_packets(stream_flow(0, 15, 64, 8, /*release_cycle=*/0,
+                                /*tag=*/42));
+    try {
+      net.run_until_drained(3);
+      FAIL() << "expected drain-timeout throw";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("cycle budget"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("src 0"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("dst 15"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("tag 42"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(NocEngine, PhaseTrafficMatchesPerMiShareCompilation) {
+  NocConfig cfg;
+  const auto mis = cfg.memory_interface_nodes();
+  const auto pes = cfg.pe_nodes();
+  const std::uint64_t scatter = 1000;
+  const std::uint64_t gather = 300;
+  std::vector<PacketDescriptor> manual;
+  const auto append = [&](std::vector<PacketDescriptor>&& ps) {
+    manual.insert(manual.end(), ps.begin(), ps.end());
+  };
+  const std::uint64_t s_share = (scatter + mis.size() - 1) / mis.size();
+  std::uint64_t left = scatter;
+  for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
+    const std::uint64_t vol = std::min(s_share, left);
+    append(scatter_flow(mis[m], pes, vol, 32, 0, 7));
+    left -= vol;
+  }
+  const std::uint64_t g_share = (gather + mis.size() - 1) / mis.size();
+  left = gather;
+  for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
+    const std::uint64_t vol = std::min(g_share, left);
+    append(gather_flow(pes, mis[m], vol, 32, 0, 7));
+    left -= vol;
+  }
+  const auto phase = phase_traffic(cfg, scatter, gather, 32, /*tag=*/7);
+  ASSERT_EQ(phase.size(), manual.size());
+  EXPECT_EQ(total_flits(phase), scatter + gather);
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    EXPECT_EQ(phase[i].src, manual[i].src);
+    EXPECT_EQ(phase[i].dst, manual[i].dst);
+    EXPECT_EQ(phase[i].size_flits, manual[i].size_flits);
+    EXPECT_EQ(phase[i].release_cycle, manual[i].release_cycle);
+    EXPECT_EQ(phase[i].tag, manual[i].tag);
+  }
+}
+
+}  // namespace
+}  // namespace nocw::noc

@@ -53,6 +53,18 @@ Rules (all scoped to src/, the library code):
               A bench that skips registration silently falls out of the
               gate's coverage.
 
+  engine      direct Network::step() calls (`x.step()` / `p->step()`) are
+              forbidden outside src/noc/network.{cpp,hpp}. Callers drive
+              the network through run_until_drained() / advance_idle(),
+              which route through the engine (event or dense) selected by
+              NocConfig::engine. A hand-rolled step loop bypasses the
+              engine's drain accounting and idle jumps, so it would not
+              be covered by the dense/event equivalence tests and could
+              diverge from both without any gate noticing. Unlike the
+              other source rules this one also scans tests/ and examples/
+              (engine-only pass) — those are exactly where ad-hoc step
+              loops tend to appear.
+
 Usage:
   tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
                                repository containing this script)
@@ -85,6 +97,7 @@ RNG_ALLOWED = "src/util/rng.hpp"
 ASSERT_ALLOWED = "src/util/check.hpp"
 FAULT_ALLOWED = ("src/noc/fault.cpp", "src/noc/fault.hpp")
 PRINT_ALLOWED = "bench/bench_util.cpp"
+ENGINE_ALLOWED = ("src/noc/network.cpp", "src/noc/network.hpp")
 
 # Kept in sync with kUnits in src/obs/registry.cpp (unit_allowed).
 METRIC_UNITS = {
@@ -100,6 +113,10 @@ RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
 COUT_RE = re.compile(r"std::cout")
 ASSERT_RE = re.compile(r"\bassert\s*\(")
 FAULT_RE = re.compile(r"\bfault_hash\s*\(")
+# A member call to a zero-argument step(): `net.step()` or `net->step()`.
+# Network::step() is the only zero-arg step() in the tree; the member-access
+# prefix keeps the rule from matching definitions or unrelated free functions.
+STEP_RE = re.compile(r"(?:\.|->)\s*step\s*\(\s*\)")
 PRINT_RE = re.compile(r"std::printf|std::cout")
 MAIN_RE = re.compile(r"^\s*int\s+main\s*\(", re.M)
 WRITE_SUMMARY_RE = re.compile(r"\bwrite_summary\s*\(")
@@ -168,6 +185,31 @@ def unit_name_ok(name: str) -> bool:
         DIMENSIONLESS_SUFFIXES)
 
 
+def lint_engine_line(rel: str, lineno: int, line: str) -> list[str]:
+    """The [engine] rule for one comment-stripped line; shared by the src/,
+    bench/ and tests//examples/ passes."""
+    if rel in ENGINE_ALLOWED or not STEP_RE.search(line):
+        return []
+    return [
+        f"{rel}:{lineno}: [engine] direct step() call outside the NoC "
+        f"engine; drive the network with run_until_drained() / "
+        f"advance_idle() so the selected engine (event or dense) stays "
+        f"on the audited drain path"]
+
+
+def lint_engine_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
+    """Engine-only pass for tests/ and examples/: the other source rules
+    deliberately do not apply there (tests print, seed ad-hoc RNGs, etc.),
+    but a hand-rolled step loop is exactly as engine-bypassing in a test as
+    in library code."""
+    rel = path.relative_to(root).as_posix()
+    text = strip_comments(path.read_text(encoding="utf-8"))
+    findings = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        findings.extend(lint_engine_line(rel, lineno, line))
+    return findings
+
+
 def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
     rel = path.relative_to(root).as_posix()
     text = strip_comments(path.read_text(encoding="utf-8"))
@@ -200,6 +242,7 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [fault] fault_hash() outside noc/fault.cpp; "
                 f"sample faults through FaultModel / corrupt_bits so fault "
                 f"experiments stay seed-reproducible")
+        findings.extend(lint_engine_line(rel, lineno, line))
     # Registry calls may span lines, so this rule matches the whole
     # comment-stripped text rather than line-by-line.
     for m in METRIC_RE.finditer(text):
@@ -217,13 +260,13 @@ def lint_bench_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
     rel = path.relative_to(root).as_posix()
     text = strip_comments(path.read_text(encoding="utf-8"))
     findings = []
-    if rel != PRINT_ALLOWED:
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if PRINT_RE.search(line):
-                findings.append(
-                    f"{rel}:{lineno}: [print] std::printf/std::cout in a "
-                    f"bench driver; progress lines go through obs::log() "
-                    f"(NOCW_QUIET-aware), tables through bench::emit")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if rel != PRINT_ALLOWED and PRINT_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [print] std::printf/std::cout in a "
+                f"bench driver; progress lines go through obs::log() "
+                f"(NOCW_QUIET-aware), tables through bench::emit")
+        findings.extend(lint_engine_line(rel, lineno, line))
     for m in METRIC_RE.finditer(text):
         unit = m.group(1)
         if unit not in METRIC_UNITS:
@@ -254,6 +297,13 @@ def lint_tree(root: pathlib.Path) -> list[str]:
         for path in sorted(bench.rglob("*")):
             if path.suffix in (".cpp", ".hpp", ".h", ".cc"):
                 findings.extend(lint_bench_file(root, path))
+    for sub in ("tests", "examples"):
+        d = root / sub
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*")):
+            if path.suffix in (".cpp", ".hpp", ".h", ".cc"):
+                findings.extend(lint_engine_file(root, path))
     return findings
 
 
@@ -288,6 +338,14 @@ def self_test() -> int:
             "  (void)nocw::bench::output_dir(argv[0]);\n"
             "  return 0;\n"
             "}\n",
+        "src/eval/bad_step.cpp":
+            "#include \"noc/network.hpp\"\n"
+            "void drain(nocw::noc::Network& net) {\n"
+            "  while (!net.drained()) net.step();\n"
+            "}\n",
+        "tests/noc/bad_step_test.cpp":
+            "#include \"noc/network.hpp\"\n"
+            "void tick(nocw::noc::Network* net) { net->step(); }\n",
     }
     clean = {
         "src/power/good.hpp":
@@ -332,6 +390,16 @@ def self_test() -> int:
             "  nocw::bench::write_summary(dir, \"good\", {{\"x\", 1.0}});\n"
             "  return 0;\n"
             "}\n",
+        "src/noc/network.cpp":
+            "// the engine itself may step, and stepper() members elsewhere\n"
+            "void Network::run() { while (!drained()) step(); this->step(); }\n",
+        "tests/noc/good_step_test.cpp":
+            "#include \"noc/network.hpp\"\n"
+            "// step() in a comment is fine; run_until_drained is the API\n"
+            "void drain(nocw::noc::Network& net) {\n"
+            "  net.run_until_drained(1000);\n"
+            "  (void)net.stats().step_cycles;\n"
+            "}\n",
     }
     expected_rules = {
         "src/power/bad_units.hpp": "[units]",
@@ -343,6 +411,8 @@ def self_test() -> int:
         "src/eval/bad_metric.cpp": "[metric]",
         "bench/bad_progress.cpp": "[print]",
         "bench/bad_manifest.cpp": "[manifest]",
+        "src/eval/bad_step.cpp": "[engine]",
+        "tests/noc/bad_step_test.cpp": "[engine]",
     }
 
     with tempfile.TemporaryDirectory() as tmp:
