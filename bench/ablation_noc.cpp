@@ -87,22 +87,22 @@ int main(int, char** argv) {
     accel::AcceleratorSim sim(v.cfg);
     const accel::InferenceResult base = sim.simulate(summary);
     const accel::InferenceResult comp = sim.simulate(summary, &plan);
-    const double base_lat = v.cfg.overlap_phases
+    const double base_lat = (v.cfg.overlap_phases
                                 ? base.latency.overlap_cycles
-                                : base.latency.total();
-    const double comp_lat = v.cfg.overlap_phases
+                                : base.latency.total()).value();
+    const double comp_lat = (v.cfg.overlap_phases
                                 ? comp.latency.overlap_cycles
-                                : comp.latency.total();
+                                : comp.latency.total()).value();
     if (v.name.rfind("baseline", 0) == 0) {
       metrics["baseline.latency_cycles"] = base_lat;
       metrics["baseline.latency_x15_cycles"] = comp_lat;
-      metrics["baseline.energy_j"] = base.energy.total();
-      metrics["baseline.energy_x15_j"] = comp.energy.total();
+      metrics["baseline.energy_j"] = base.energy.total().value();
+      metrics["baseline.energy_x15_j"] = comp.energy.total().value();
     }
     t.add_row({v.name, fmt_fixed(base_lat, 0), fmt_fixed(comp_lat, 0),
                fmt_pct(1.0 - comp_lat / base_lat),
-               fmt_fixed(base.energy.total() * 1e6, 2),
-               fmt_fixed(comp.energy.total() * 1e6, 2),
+               fmt_fixed(base.energy.total().value() * 1e6, 2),
+               fmt_fixed(comp.energy.total().value() * 1e6, 2),
                fmt_pct(1.0 - comp.energy.total() / base.energy.total())});
   }
   bench::emit("Ablation: interconnect configuration vs compression win", t,

@@ -47,14 +47,14 @@ ArmResult run_arm(noc::EngineMode engine, bool reuse_phases,
   ArmResult out;
   const auto t0 = std::chrono::steady_clock::now();
   const accel::InferenceResult base = sim.simulate(summary);
-  out.latency_cycles.push_back(base.latency.total());
-  out.energy_j.push_back(base.energy.total());
+  out.latency_cycles.push_back(base.latency.total().value());
+  out.energy_j.push_back(base.energy.total().value());
   for (const eval::DeltaPoint& p : points) {
     accel::CompressionPlan plan;
     plan[ev.selected_layer()] = p.compression;
     const accel::InferenceResult comp = sim.simulate(summary, &plan);
-    out.latency_cycles.push_back(comp.latency.total());
-    out.energy_j.push_back(comp.energy.total());
+    out.latency_cycles.push_back(comp.latency.total().value());
+    out.energy_j.push_back(comp.energy.total().value());
   }
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)

@@ -33,10 +33,10 @@ int main(int, char** argv) {
            "acc protected", "seg corrupted", "cycles +CRC", "energy +CRC",
            "retx", "drops"});
   for (const auto& p : sweep.points) {
-    const double cyc_over = p.unprotected_cycles > 0.0
+    const double cyc_over = p.unprotected_cycles > units::FracCycles{0.0}
                                 ? p.protected_cycles / p.unprotected_cycles
                                 : 1.0;
-    const double e_over = p.unprotected_energy_j > 0.0
+    const double e_over = p.unprotected_energy_j > units::Joules{0.0}
                               ? p.protected_energy_j / p.unprotected_energy_j
                               : 1.0;
     t.add_row({fmt_sci(p.bit_error_rate, 0),
@@ -85,8 +85,9 @@ int main(int, char** argv) {
         " \"packets_dropped\": %llu}%s\n",
         p.bit_error_rate, p.delta_percent, p.accuracy_clean,
         p.accuracy_uncompressed, p.accuracy_compressed, p.accuracy_protected,
-        p.corrupted_segment_fraction, p.unprotected_cycles, p.protected_cycles,
-        p.unprotected_energy_j, p.protected_energy_j,
+        p.corrupted_segment_fraction, p.unprotected_cycles.value(),
+        p.protected_cycles.value(), p.unprotected_energy_j.value(),
+        p.protected_energy_j.value(),
         static_cast<unsigned long long>(p.crc_failures),
         static_cast<unsigned long long>(p.retransmissions),
         static_cast<unsigned long long>(p.packets_dropped),
@@ -105,7 +106,7 @@ int main(int, char** argv) {
       const std::string key = "d" + fmt_fixed(p.delta_percent, 0) + ".";
       metrics[key + "accuracy_protected"] = p.accuracy_protected;
       metrics[key + "accuracy_compressed"] = p.accuracy_compressed;
-      metrics[key + "protected_cycles"] = p.protected_cycles;
+      metrics[key + "protected_cycles"] = p.protected_cycles.value();
       metrics[key + "retransmissions"] =
           static_cast<double>(p.retransmissions);
     }

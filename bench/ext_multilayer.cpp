@@ -29,8 +29,8 @@ void report(Table& t, const std::string& model_name, nn::Model& model,
   const accel::InferenceResult comp = sim.simulate(summary, &plan);
   metrics[model.name + ".weighted_cr"] = r.weighted_cr;
   metrics[model.name + ".accuracy"] = r.accuracy;
-  metrics[model.name + ".latency_cycles"] = comp.latency.total();
-  metrics[model.name + ".energy_j"] = comp.energy.total();
+  metrics[model.name + ".latency_cycles"] = comp.latency.total().value();
+  metrics[model.name + ".energy_j"] = comp.energy.total().value();
   t.add_row({model_name, std::to_string(r.plan.size()),
              fmt_fixed(r.weighted_cr, 2), fmt_fixed(r.accuracy, 4),
              fmt_pct(1.0 - comp.latency.total() / base.latency.total()),

@@ -77,8 +77,8 @@ int main(int, char** argv) {
 
   Table t({"Series", "Points", "Stride", "Unit"});
   std::map<std::string, double> metrics{
-      {"latency_cycles", r_on.latency.total()},
-      {"energy_j", r_on.energy.total()},
+      {"latency_cycles", r_on.latency.total().value()},
+      {"energy_j", r_on.energy.total().value()},
       {"bit_identical", bit_identical ? 1.0 : 0.0},
       {"series", static_cast<double>(series.size())}};
   for (const auto& name : series.names()) {

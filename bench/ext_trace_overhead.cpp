@@ -177,7 +177,8 @@ int main(int, char** argv) {
                  static_cast<unsigned long long>(dropped));
     std::fprintf(f, "  \"latency_total_cycles\": %.0f,\n",
                  r_on.latency.total());
-    std::fprintf(f, "  \"energy_total_j\": %.9g\n", r_on.energy.total());
+    std::fprintf(f, "  \"energy_total_j\": %.9g\n",
+                 r_on.energy.total().value());
     std::fprintf(f, "}\n");
     std::fclose(f);
     obs::log("trace-overhead results written to %s\n", json_path.c_str());
@@ -194,8 +195,8 @@ int main(int, char** argv) {
        {"bit_identical", bit_identical ? 1.0 : 0.0},
        {"trace_events", static_cast<double>(events)},
        {"trace_events_dropped", static_cast<double>(dropped)},
-       {"latency_cycles", r_on.latency.total()},
-       {"energy_j", r_on.energy.total()}},
+       {"latency_cycles", r_on.latency.total().value()},
+       {"energy_j", r_on.energy.total().value()}},
       m.name);
   return bit_identical && wrote ? 0 : 1;
 }

@@ -35,8 +35,8 @@ struct SeriesPoint {
 
 void emit_model(const std::string& dir, const nn::Model& model,
                 const std::vector<SeriesPoint>& series) {
-  const double lat0 = series.front().latency.total();
-  const double e0 = series.front().energy.total();
+  const units::FracCycles lat0 = series.front().latency.total();
+  const units::Joules e0 = series.front().energy.total();
 
   Table lat({"Config", "Accuracy", "Memory", "Communication", "Computation",
              "Total latency"});
@@ -93,8 +93,10 @@ void run_model(const std::string& dir, nn::Model& model,
   // the global thread pool (bit-identical to the serial sweep).
   const std::vector<eval::DeltaPoint> points =
       ev.evaluate_many(delta_grid(model.name));
-  metrics[metric_key(model.name, "d0.latency_cycles")] = base.latency.total();
-  metrics[metric_key(model.name, "d0.energy_j")] = base.energy.total();
+  metrics[metric_key(model.name, "d0.latency_cycles")] =
+      base.latency.total().value();
+  metrics[metric_key(model.name, "d0.energy_j")] =
+      base.energy.total().value();
   metrics[metric_key(model.name, "d0.accuracy")] = ev.baseline_accuracy();
   for (const eval::DeltaPoint& p : points) {
     accel::CompressionPlan plan;
@@ -102,8 +104,9 @@ void run_model(const std::string& dir, nn::Model& model,
     const accel::InferenceResult comp = sim.simulate(summary, &plan);
     const std::string d = "d" + fmt_fixed(p.delta_percent, 0);
     metrics[metric_key(model.name, d + ".latency_cycles")] =
-        comp.latency.total();
-    metrics[metric_key(model.name, d + ".energy_j")] = comp.energy.total();
+        comp.latency.total().value();
+    metrics[metric_key(model.name, d + ".energy_j")] =
+        comp.energy.total().value();
     metrics[metric_key(model.name, d + ".accuracy")] = p.accuracy;
     series.push_back(SeriesPoint{"x-" + fmt_fixed(p.delta_percent, 0),
                                  p.accuracy, comp.latency, comp.energy});

@@ -18,7 +18,7 @@ int main(int, char** argv) {
   accel::AcceleratorSim sim(cfg);
   const accel::InferenceResult r = sim.simulate(summary);
 
-  const double total_lat = r.latency.total();
+  const units::FracCycles total_lat = r.latency.total();
   Table lat({"Layer", "Memory", "Communication", "Computation",
              "Layer share"});
   for (const auto& l : r.layers) {
@@ -27,14 +27,15 @@ int main(int, char** argv) {
                  fmt_pct(l.latency.compute_cycles / total_lat, 1),
                  fmt_pct(l.latency.total() / total_lat, 1)});
   }
-  lat.add_row({"TOTAL (cycles)", fmt_fixed(r.latency.memory_cycles, 0),
-               fmt_fixed(r.latency.comm_cycles, 0),
-               fmt_fixed(r.latency.compute_cycles, 0),
-               fmt_fixed(total_lat, 0)});
+  lat.add_row({"TOTAL (cycles)",
+               fmt_fixed(r.latency.memory_cycles.value(), 0),
+               fmt_fixed(r.latency.comm_cycles.value(), 0),
+               fmt_fixed(r.latency.compute_cycles.value(), 0),
+               fmt_fixed(total_lat.value(), 0)});
   bench::emit("Fig. 2 (left): normalized latency breakdown per layer", lat,
               dir, "fig2_latency");
 
-  const double total_e = r.energy.total();
+  const units::Joules total_e = r.energy.total();
   Table en({"Layer", "Comm dyn", "Comm leak", "Comp dyn", "Comp leak",
             "LocalMem dyn", "LocalMem leak", "MainMem dyn", "MainMem leak"});
   for (const auto& l : r.layers) {
@@ -49,24 +50,24 @@ int main(int, char** argv) {
                 fmt_pct(l.energy.main_memory.leakage_j / total_e, 2)});
   }
   en.add_row({"TOTAL (uJ)",
-              fmt_fixed(r.energy.communication.dynamic_j * 1e6, 3),
-              fmt_fixed(r.energy.communication.leakage_j * 1e6, 3),
-              fmt_fixed(r.energy.computation.dynamic_j * 1e6, 3),
-              fmt_fixed(r.energy.computation.leakage_j * 1e6, 3),
-              fmt_fixed(r.energy.local_memory.dynamic_j * 1e6, 3),
-              fmt_fixed(r.energy.local_memory.leakage_j * 1e6, 3),
-              fmt_fixed(r.energy.main_memory.dynamic_j * 1e6, 3),
-              fmt_fixed(r.energy.main_memory.leakage_j * 1e6, 3)});
+              fmt_fixed(r.energy.communication.dynamic_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.communication.leakage_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.computation.dynamic_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.computation.leakage_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.local_memory.dynamic_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.local_memory.leakage_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.main_memory.dynamic_j.value() * 1e6, 3),
+              fmt_fixed(r.energy.main_memory.leakage_j.value() * 1e6, 3)});
   bench::emit("Fig. 2 (right): normalized energy breakdown per layer", en,
               dir, "fig2_energy");
 
   bench::write_summary(
       dir, "fig2_lenet_breakdown",
-      {{"latency_cycles", total_lat},
-       {"memory_cycles", r.latency.memory_cycles},
-       {"comm_cycles", r.latency.comm_cycles},
-       {"compute_cycles", r.latency.compute_cycles},
-       {"energy_j", total_e}},
+      {{"latency_cycles", total_lat.value()},
+       {"memory_cycles", r.latency.memory_cycles.value()},
+       {"comm_cycles", r.latency.comm_cycles.value()},
+       {"compute_cycles", r.latency.compute_cycles.value()},
+       {"energy_j", total_e.value()}},
       m.name);
   return 0;
 }

@@ -21,11 +21,13 @@ std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
 // Point count follows the sampling interval but is capped: the analytic
 // profile is uniform by construction, so extra points carry no information.
 void sample_phase(obs::TimeSeriesSet* sink, const char* name,
-                  std::uint64_t start_cycle, double phase_cycles,
+                  std::uint64_t start_cycle, units::FracCycles phase_cycles,
                   double amount, std::uint64_t interval_cycles) {
-  if (sink == nullptr || amount <= 0.0 || phase_cycles <= 0.0) return;
-  const auto span =
-      static_cast<std::uint64_t>(std::llround(phase_cycles));
+  if (sink == nullptr || amount <= 0.0 ||
+      phase_cycles <= units::FracCycles{0.0}) {
+    return;
+  }
+  const std::uint64_t span = units::round_cycles(phase_cycles).value();
   if (span == 0) return;
   constexpr std::uint64_t kMaxPointsPerPhase = 32;
   const std::uint64_t n = std::clamp<std::uint64_t>(
@@ -42,14 +44,14 @@ void sample_phase(obs::TimeSeriesSet* sink, const char* name,
 }  // namespace
 
 void LatencyBreakdown::check_invariants() const {
-  NOCW_CHECK(std::isfinite(memory_cycles));
-  NOCW_CHECK(std::isfinite(comm_cycles));
-  NOCW_CHECK(std::isfinite(compute_cycles));
-  NOCW_CHECK(std::isfinite(overlap_cycles));
-  NOCW_CHECK_GE(memory_cycles, 0.0);
-  NOCW_CHECK_GE(comm_cycles, 0.0);
-  NOCW_CHECK_GE(compute_cycles, 0.0);
-  NOCW_CHECK_GE(overlap_cycles, 0.0);
+  NOCW_CHECK(std::isfinite(memory_cycles.value()));
+  NOCW_CHECK(std::isfinite(comm_cycles.value()));
+  NOCW_CHECK(std::isfinite(compute_cycles.value()));
+  NOCW_CHECK(std::isfinite(overlap_cycles.value()));
+  NOCW_CHECK_GE(memory_cycles.value(), 0.0);
+  NOCW_CHECK_GE(comm_cycles.value(), 0.0);
+  NOCW_CHECK_GE(compute_cycles.value(), 0.0);
+  NOCW_CHECK_GE(overlap_cycles.value(), 0.0);
 }
 
 AcceleratorSim::AcceleratorSim(const AccelConfig& cfg,
@@ -90,11 +92,11 @@ void AcceleratorSim::check_invariants() const {
 }
 
 AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
-    std::uint64_t scatter_flits, std::uint64_t gather_flits,
+    units::Flits scatter_flits, units::Flits gather_flits,
     std::uint32_t tag) const {
   NocPhase out;
-  const std::uint64_t total = scatter_flits + gather_flits;
-  if (total == 0) return out;
+  const units::Flits total = scatter_flits + gather_flits;
+  if (total.value() == 0) return out;
 
   // Memoization: under one config the (scatter, gather) volumes fully
   // determine the compiled packet sequence and hence the phase result (the
@@ -105,7 +107,7 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   // sink or live NoC tracing must fire on every call, not once.
   const bool cacheable = cfg_.reuse_noc_phases && cfg_.series == nullptr &&
                          !NOCW_TRACE_ON(obs::kCatNoc);
-  const auto key = std::make_pair(scatter_flits, gather_flits);
+  const auto key = std::make_pair(scatter_flits.value(), gather_flits.value());
   if (cacheable) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (const auto it = phase_cache_.find(key); it != phase_cache_.end()) {
@@ -118,15 +120,12 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   // the cycle-accurate run stays bounded, then scale results back up. The
   // traffic is steady-state streaming, so throughput and per-flit event
   // counts are volume-independent once past the pipeline fill.
-  const double scale =
-      total > cfg_.noc_window_flits
-          ? static_cast<double>(cfg_.noc_window_flits) /
-                static_cast<double>(total)
-          : 1.0;
-  const auto scaled_scatter = static_cast<std::uint64_t>(
-      std::llround(static_cast<double>(scatter_flits) * scale));
-  const auto scaled_gather = static_cast<std::uint64_t>(
-      std::llround(static_cast<double>(gather_flits) * scale));
+  const units::Flits window{cfg_.noc_window_flits};
+  const double scale = total > window ? window / total : 1.0;
+  const units::Flits scaled_scatter{static_cast<std::uint64_t>(
+      std::llround(scatter_flits.dvalue() * scale))};
+  const units::Flits scaled_gather{static_cast<std::uint64_t>(
+      std::llround(gather_flits.dvalue() * scale))};
 
   noc::Network net(cfg_.noc);
   if (cfg_.series != nullptr) {
@@ -135,14 +134,14 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   // Scatter: each MI streams an equal share of the weights+ifmap volume,
   // round-robin over the PEs. Gather: PEs stream the ofmap back, spread over
   // the MIs. phase_traffic is the one shared definition of that compilation.
-  std::uint64_t injected = 0;
+  units::Flits injected;
   {
     const auto ps = noc::phase_traffic(cfg_.noc, scaled_scatter,
                                        scaled_gather, cfg_.packet_flits, tag);
     net.add_packets(ps);
     injected = noc::total_flits(ps);
   }
-  if (injected == 0) return out;
+  if (injected.value() == 0) return out;
 
   // Steady-state throughput is measured between the 25% and 75% ejection
   // marks, excluding the pipeline fill and the drain tail; the window run's
@@ -151,9 +150,10 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   std::uint64_t ejected = 0;
   std::uint64_t q1_cycle = 0;
   std::uint64_t q3_cycle = 0;
-  const std::uint64_t q1_mark = std::max<std::uint64_t>(1, injected / 4);
-  const std::uint64_t q3_mark = std::max<std::uint64_t>(q1_mark + 1,
-                                                        3 * injected / 4);
+  const std::uint64_t q1_mark =
+      std::max<std::uint64_t>(1, injected.value() / 4);
+  const std::uint64_t q3_mark =
+      std::max<std::uint64_t>(q1_mark + 1, 3 * injected.value() / 4);
   net.set_eject_hook([&](const noc::Flit&, std::uint64_t cycle) {
     ++ejected;
     if (ejected == q1_mark) q1_cycle = cycle;
@@ -170,18 +170,17 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
     out.observation.window_cycles = cycles;
     out.observation.collected = true;
   }
-  const std::uint64_t remaining = total - injected;
+  const units::Flits remaining = total - injected;
   double extra = 0.0;
-  if (remaining > 0) {
+  if (remaining.value() > 0) {
     const double span =
         q3_cycle > q1_cycle ? static_cast<double>(q3_cycle - q1_cycle) : 1.0;
     const double steady_throughput =
         static_cast<double>(q3_mark - q1_mark) / span;
-    extra = static_cast<double>(remaining) / std::max(0.1, steady_throughput);
+    extra = remaining.dvalue() / std::max(0.1, steady_throughput);
   }
-  out.cycles = static_cast<double>(cycles) + extra;
-  const double up =
-      static_cast<double>(total) / static_cast<double>(injected);
+  out.cycles = units::FracCycles{static_cast<double>(cycles) + extra};
+  const double up = total / injected;
   const auto& st = net.stats();
   out.events.router_traversals = static_cast<std::uint64_t>(
       std::llround(static_cast<double>(st.router_traversals) * up));
@@ -220,36 +219,39 @@ LayerResult AcceleratorSim::simulate_layer(
   if (!layer.traffic_bearing) return r;
 
   const auto word_bits = static_cast<std::uint64_t>(cfg_.noc.link_width_bits);
-  const std::uint64_t weight_bits =
+  const units::Bits weight_bits{
       compression ? compression->compressed_bits
                   : layer.weight_count *
-                        static_cast<std::uint64_t>(cfg_.bits_per_weight);
+                        static_cast<std::uint64_t>(cfg_.bits_per_weight)};
   r.weight_stream_bits = weight_bits;
 
-  const std::uint64_t ifmap_bits =
-      layer.ifmap_elems * static_cast<std::uint64_t>(cfg_.bits_per_activation);
-  const std::uint64_t ofmap_bits =
-      layer.ofmap_elems * static_cast<std::uint64_t>(cfg_.bits_per_activation);
+  const units::Bits ifmap_bits{
+      layer.ifmap_elems *
+      static_cast<std::uint64_t>(cfg_.bits_per_activation)};
+  const units::Bits ofmap_bits{
+      layer.ofmap_elems *
+      static_cast<std::uint64_t>(cfg_.bits_per_activation)};
 
-  const std::uint64_t weight_words = ceil_div(weight_bits, word_bits);
-  const std::uint64_t ifmap_words = ceil_div(ifmap_bits, word_bits);
-  const std::uint64_t ofmap_words = ceil_div(ofmap_bits, word_bits);
+  const units::Words weight_words = units::to_words(weight_bits, word_bits);
+  const units::Words ifmap_words = units::to_words(ifmap_bits, word_bits);
+  const units::Words ofmap_words = units::to_words(ofmap_bits, word_bits);
 
   // --- (1)/(4) main memory ---
-  const std::uint64_t dram_words = weight_words + ifmap_words + ofmap_words;
+  const units::Words dram_words = weight_words + ifmap_words + ofmap_words;
   const std::uint64_t mi_count = cfg_.noc.memory_interface_nodes().size();
   const double dram_rate =
       static_cast<double>(cfg_.dram_words_per_cycle_per_mi) *
       static_cast<double>(mi_count) * cfg_.dram_efficiency;
-  r.latency.memory_cycles =
-      static_cast<double>(dram_words) / dram_rate + cfg_.dram_latency_cycles;
+  r.latency.memory_cycles = units::FracCycles{
+      dram_words.dvalue() / dram_rate + cfg_.dram_latency_cycles};
 
-  // --- (2) NoC scatter + gather ---
-  const std::uint64_t scatter_flits = weight_words + ifmap_words;
-  const std::uint64_t gather_flits = ofmap_words;
+  // --- (2) NoC scatter + gather (one link-width word is one flit) ---
+  const units::Flits scatter_flits =
+      units::flits_of(weight_words + ifmap_words);
+  const units::Flits gather_flits = units::flits_of(ofmap_words);
   r.total_flits = scatter_flits + gather_flits;
-  const auto mem_off =
-      static_cast<std::uint64_t>(std::llround(r.latency.memory_cycles));
+  const std::uint64_t mem_off =
+      units::round_cycles(r.latency.memory_cycles).value();
   NocPhase phase;
   {
     // The network stamps phase-local cycles; shift its events past the DRAM
@@ -264,8 +266,9 @@ LayerResult AcceleratorSim::simulate_layer(
   const std::uint64_t pe_count = cfg_.noc.pe_nodes().size();
   const std::uint64_t throughput =
       pe_count * static_cast<std::uint64_t>(cfg_.macs_per_pe_per_cycle);
-  r.latency.compute_cycles = static_cast<double>(
-      ceil_div(layer.macs + layer.ops, std::max<std::uint64_t>(throughput, 1)));
+  r.latency.compute_cycles = units::FracCycles{static_cast<double>(
+      ceil_div(layer.macs + layer.ops,
+               std::max<std::uint64_t>(throughput, 1)))};
 
   r.latency.overlap_cycles =
       std::max({r.latency.memory_cycles, r.latency.comm_cycles,
@@ -273,17 +276,21 @@ LayerResult AcceleratorSim::simulate_layer(
 
   // --- events -> energy ---
   power::EventCounts ev = phase.events;
-  ev.dram_accesses = dram_words;
+  ev.dram_accesses = dram_words.value();
   ev.macs = layer.macs + layer.ops;
   ev.decompress_steps = compression ? compression->weight_count : 0;
-  // Local SRAM: incoming words buffered once, operands read per MAC (two
-  // fp32 operands per MAC = one 64-bit word).
-  ev.sram_writes = scatter_flits + ofmap_words;
-  ev.sram_reads = layer.macs + layer.ops + ofmap_words;
+  // Local SRAM: incoming words buffered once (one scatter flit carries
+  // exactly one word, hence the explicit .value() unit hand-off), operands
+  // read per MAC (two fp32 operands per MAC = one 64-bit word). The sum is
+  // a dimensionless event count, so the raw magnitudes are the right form.
+  // nocw-analyze: allow(units.value-launder)
+  ev.sram_writes = scatter_flits.value() + ofmap_words.value();
+  ev.sram_reads = layer.macs + layer.ops + ofmap_words.value();
 
-  const double layer_cycles =
+  const units::FracCycles layer_cycles =
       cfg_.overlap_phases ? r.latency.overlap_cycles : r.latency.total();
-  const double seconds = layer_cycles / (cfg_.noc.clock_ghz * 1e9);
+  const units::Seconds seconds =
+      units::seconds_at(layer_cycles, cfg_.noc.clock_ghz);
   const power::PlatformShape shape{cfg_.noc.node_count(),
                                    static_cast<int>(pe_count)};
   r.energy = power::annotate(ev, seconds, table_, shape);
@@ -293,8 +300,8 @@ LayerResult AcceleratorSim::simulate_layer(
   // Phase spans on the layer-local timeline (the caller's ScopedTimeBase
   // shifts them onto the inference-global one). Tracks: 0 = layer markers,
   // 1 = DRAM, 2 = NoC, 3 = MAC lanes, 4 = decompressors.
-  const auto dur_of = [](double cycles) {
-    return static_cast<std::uint64_t>(std::llround(cycles));
+  const auto dur_of = [](units::FracCycles cycles) {
+    return units::round_cycles(cycles).value();
   };
   const std::uint64_t comm_off = mem_off + dur_of(r.latency.comm_cycles);
   // Time-series activity for the analytic phases (the NoC phase sampled
@@ -302,7 +309,7 @@ LayerResult AcceleratorSim::simulate_layer(
   if (cfg_.series != nullptr) {
     const std::uint64_t base = obs::time_base();
     sample_phase(cfg_.series, "accel.dram_words", base,
-                 r.latency.memory_cycles, static_cast<double>(dram_words),
+                 r.latency.memory_cycles, dram_words.dvalue(),
                  cfg_.series_interval_cycles);
     sample_phase(cfg_.series, "accel.macs", base + comm_off,
                  r.latency.compute_cycles,
@@ -319,7 +326,7 @@ LayerResult AcceleratorSim::simulate_layer(
                   dur_of(r.latency.memory_cycles));
   NOCW_TRACE_SPAN_ARG(obs::kCatNoc, "noc", obs::kPidAccel, 2, mem_off,
                       dur_of(r.latency.comm_cycles), "flits",
-                      static_cast<double>(r.total_flits));
+                      r.total_flits.dvalue());
   NOCW_TRACE_SPAN_ARG(obs::kCatMac, "mac", obs::kPidAccel, 3, comm_off,
                       dur_of(r.latency.compute_cycles), "macs",
                       static_cast<double>(layer.macs + layer.ops));
@@ -359,7 +366,7 @@ InferenceResult AcceleratorSim::simulate(const ModelSummary& summary,
       lr = simulate_layer(layer, lc, static_cast<std::uint32_t>(i));
     }
     if (!layer.traffic_bearing) continue;
-    clock += static_cast<std::uint64_t>(std::llround(lr.latency.total()));
+    clock += units::round_cycles(lr.latency.total()).value();
     result.latency += lr.latency;
     result.energy += lr.energy;
     result.noc_obs.merge(lr.noc_obs);

@@ -29,6 +29,7 @@
 #include "obs/observation.hpp"
 #include "obs/timeseries.hpp"
 #include "power/energy_model.hpp"
+#include "util/units.hpp"
 
 namespace nocw::accel {
 
@@ -84,12 +85,15 @@ using CompressionPlan = std::map<std::string, LayerCompression>;
 /// Latency decomposition in cycles (the paper's three latency components).
 /// Under the overlap model `overlap_cycles` holds the max-bound layer time;
 /// total() still reports the stacked sum the paper's figures decompose.
+/// FracCycles: the components are analytic (window-scaled) estimates, so
+/// they are fractional — but they are still *cycles*, and the strong type
+/// keeps them from ever being added to joules or seconds.
 struct LatencyBreakdown {
-  double memory_cycles = 0.0;
-  double comm_cycles = 0.0;
-  double compute_cycles = 0.0;
-  double overlap_cycles = 0.0;
-  [[nodiscard]] double total() const noexcept {
+  units::FracCycles memory_cycles;
+  units::FracCycles comm_cycles;
+  units::FracCycles compute_cycles;
+  units::FracCycles overlap_cycles;
+  [[nodiscard]] units::FracCycles total() const noexcept {
     return memory_cycles + comm_cycles + compute_cycles;
   }
   LatencyBreakdown& operator+=(const LatencyBreakdown& o) noexcept {
@@ -107,8 +111,8 @@ struct LatencyBreakdown {
 struct LayerResult {
   std::string name;
   nn::LayerType type = nn::LayerType::Input;
-  std::uint64_t weight_stream_bits = 0;  ///< after compression, if any
-  std::uint64_t total_flits = 0;
+  units::Bits weight_stream_bits;  ///< after compression, if any
+  units::Flits total_flits;
   LatencyBreakdown latency;
   power::EnergyBreakdown energy;
   /// NoC-phase observation (empty unless the network ran in observation
@@ -124,11 +128,11 @@ struct InferenceResult {
   /// Merge of every traffic-bearing layer's NoC observation.
   obs::NocObservation noc_obs;
 
-  [[nodiscard]] double total_cycles() const noexcept {
+  [[nodiscard]] units::FracCycles total_cycles() const noexcept {
     return latency.total();
   }
-  [[nodiscard]] double total_seconds(double clock_ghz = 1.0) const noexcept {
-    return latency.total() / (clock_ghz * 1e9);
+  [[nodiscard]] units::Seconds total_seconds(double clock_ghz = 1.0) const {
+    return units::seconds_at(latency.total(), clock_ghz);
   }
 };
 
@@ -168,14 +172,14 @@ class AcceleratorSim {
 
  private:
   struct NocPhase {
-    double cycles = 0.0;
+    units::FracCycles cycles;
     power::EventCounts events;
     obs::NocObservation observation;
   };
   /// Cycle-accurate scatter+gather for the layer's flit volumes, window
   /// sampled when large; memoized by volume when cacheable.
-  [[nodiscard]] NocPhase run_noc_phase(std::uint64_t scatter_flits,
-                                       std::uint64_t gather_flits,
+  [[nodiscard]] NocPhase run_noc_phase(units::Flits scatter_flits,
+                                       units::Flits gather_flits,
                                        std::uint32_t tag) const;
 
   AccelConfig cfg_;

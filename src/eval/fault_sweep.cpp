@@ -31,8 +31,8 @@ void sanitize(std::span<float> w) {
 /// NoC cost of streaming cfg.noc_flits of weights MI→PE at the given link
 /// BER, with or without CRC protection. Deterministic in cfg.fault_seed.
 struct NocCost {
-  double cycles = 0.0;
-  double energy_j = 0.0;
+  units::FracCycles cycles;
+  units::Joules energy_j;
   std::uint64_t crc_failures = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t packets_dropped = 0;
@@ -48,12 +48,13 @@ NocCost noc_cost(const FaultSweepConfig& cfg, double ber, bool protect) {
 
   // Weight streaming is a pure scatter phase; phase_traffic is the shared
   // MI-share compilation the accelerator uses.
-  net.add_packets(noc::phase_traffic(nc, cfg.noc_flits, 0, cfg.packet_flits));
+  net.add_packets(noc::phase_traffic(nc, units::Flits{cfg.noc_flits},
+                                     units::Flits{0}, cfg.packet_flits));
   const std::uint64_t cycles = net.run_until_drained(cfg.max_noc_cycles);
   const noc::NocStats& st = net.stats();
 
   NocCost out;
-  out.cycles = static_cast<double>(cycles);
+  out.cycles = units::FracCycles{static_cast<double>(cycles)};
   out.crc_failures = st.crc_failures;
   out.retransmissions = st.retransmissions;
   out.packets_dropped = st.packets_dropped;
@@ -69,8 +70,7 @@ NocCost noc_cost(const FaultSweepConfig& cfg, double ber, bool protect) {
   ev.buffer_writes = st.buffer_writes;
   ev.buffer_reads = st.buffer_reads;
   ev.crc_flit_events = st.crc_flit_events;
-  const double seconds =
-      static_cast<double>(cycles) / (nc.clock_ghz * 1e9);
+  const units::Seconds seconds = units::seconds_at(out.cycles, nc.clock_ghz);
   const power::PlatformShape shape{nc.node_count(),
                                    static_cast<int>(nc.pe_nodes().size())};
   out.energy_j = power::annotate(ev, seconds, cfg.energy, shape).total();
@@ -291,7 +291,7 @@ void annotate_registry(obs::Registry& reg, const FaultSweepResult& result,
                 p.accuracy_compressed);
     reg.observe(base + "accuracy_protected", "fraction",
                 p.accuracy_protected);
-    if (p.unprotected_cycles > 0.0) {
+    if (p.unprotected_cycles > units::FracCycles{0.0}) {
       reg.observe(base + "protection_cycle_overhead", "ratio",
                   p.protected_cycles / p.unprotected_cycles);
     }

@@ -26,6 +26,7 @@
 #include "noc/config.hpp"
 #include "obs/registry.hpp"
 #include "power/energy_model.hpp"
+#include "util/units.hpp"
 
 namespace nocw::eval {
 
@@ -69,10 +70,10 @@ struct FaultPoint {
   double corrupted_segment_fraction = 0.0;
 
   // --- NoC cost of the weight stream at this BER (per cfg.noc_flits) ---
-  double unprotected_cycles = 0.0;
-  double protected_cycles = 0.0;
-  double unprotected_energy_j = 0.0;
-  double protected_energy_j = 0.0;
+  units::FracCycles unprotected_cycles;
+  units::FracCycles protected_cycles;
+  units::Joules unprotected_energy_j;
+  units::Joules protected_energy_j;
   std::uint64_t crc_failures = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t packets_dropped = 0;

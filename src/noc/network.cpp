@@ -91,7 +91,7 @@ void Network::inject_phase() {
     auto& s = sources_[static_cast<std::size_t>(node)];
     if (!s.active) {
       if (s.pending.empty() ||
-          s.pending.top().release_cycle > stats_.cycles) {
+          s.pending.top().release_cycle > stats_.cycles.value()) {
         continue;
       }
       s.current = s.pending.top();
@@ -145,7 +145,7 @@ void Network::inject_phase() {
       if (trace_noc_) {
         obs::Tracer::global().record_instant(
             obs::kCatNoc, "inject", obs::kPidNoc,
-            static_cast<std::uint32_t>(node), stats_.cycles, "dst",
+            static_cast<std::uint32_t>(node), stats_.cycles.value(), "dst",
             static_cast<double>(s.current.dst));
       }
     }
@@ -170,11 +170,12 @@ void Network::eject_flit(const Flit& f, int node) {
       const std::uint32_t crc = it == eject_crc_.end() ? kCrcInit : it->second;
       eject_crc_[f.packet_id] = crc32_word(crc, f.payload);
     }
-    if (eject_hook_) eject_hook_(f, stats_.cycles);
+    if (eject_hook_) eject_hook_(f, stats_.cycles.value());
     return;
   }
   ++stats_.packets_ejected;
-  const double latency = static_cast<double>(stats_.cycles - f.inject_cycle);
+  const double latency =
+      static_cast<double>(stats_.cycles.value() - f.inject_cycle);
   stats_.packet_latency.add(latency);
   if (observe_ && latency_samples_.size() < kMaxObservationSamples) {
     latency_samples_.push_back(latency);
@@ -182,11 +183,11 @@ void Network::eject_flit(const Flit& f, int node) {
   if (trace_noc_) {
     obs::Tracer::global().record_instant(
         obs::kCatNoc, "eject", obs::kPidNoc, static_cast<std::uint32_t>(node),
-        stats_.cycles, "latency_cycles", latency);
+        stats_.cycles.value(), "latency_cycles", latency);
   }
   if (!protect_) {
     ++stats_.packets_delivered;
-    if (eject_hook_) eject_hook_(f, stats_.cycles);
+    if (eject_hook_) eject_hook_(f, stats_.cycles.value());
     return;
   }
   // The tail is the CRC flit: compare against the CRC accumulated over the
@@ -209,14 +210,14 @@ void Network::eject_flit(const Flit& f, int node) {
     inflight_.erase(pit);
     if (d.attempt < cfg_.protection.max_retries) {
       const unsigned shift = std::min<unsigned>(d.attempt, 32);
-      d.release_cycle =
-          stats_.cycles + (cfg_.protection.retry_backoff_cycles << shift);
+      d.release_cycle = stats_.cycles.value() +
+                        (cfg_.protection.retry_backoff_cycles << shift);
       ++d.attempt;
       ++stats_.retransmissions;
       if (trace_noc_) {
         obs::Tracer::global().record_instant(
             obs::kCatNoc, "retransmit", obs::kPidNoc,
-            static_cast<std::uint32_t>(node), stats_.cycles, "attempt",
+            static_cast<std::uint32_t>(node), stats_.cycles.value(), "attempt",
             static_cast<double>(d.attempt));
       }
       queue_packet(d);
@@ -225,12 +226,12 @@ void Network::eject_flit(const Flit& f, int node) {
       if (trace_noc_) {
         obs::Tracer::global().record_instant(
             obs::kCatNoc, "drop", obs::kPidNoc,
-            static_cast<std::uint32_t>(node), stats_.cycles, "attempt",
+            static_cast<std::uint32_t>(node), stats_.cycles.value(), "attempt",
             static_cast<double>(d.attempt));
       }
     }
   }
-  if (eject_hook_) eject_hook_(f, stats_.cycles);
+  if (eject_hook_) eject_hook_(f, stats_.cycles.value());
 }
 
 void Network::snapshot_occupancy() {
@@ -354,7 +355,7 @@ void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
       continue;
     }
     auto& r = routers_[static_cast<std::size_t>(rid)];
-    if (faulty && fault_.router_stalled(stats_.cycles, rid)) {
+    if (faulty && fault_.router_stalled(stats_.cycles.value(), rid)) {
       ++ctx.stall_cycles;
       continue;  // control-path glitch: no allocation on any port this cycle
     }
@@ -368,7 +369,7 @@ void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
         ctx.ejects.emplace_back(rid, r.grant(*in, out));
         continue;
       }
-      if (faulty && fault_.link_down(stats_.cycles, rid, out)) {
+      if (faulty && fault_.link_down(stats_.cycles.value(), rid, out)) {
         ++ctx.link_fault_cycles;
         continue;  // transient outage: flits stay buffered and retry
       }
@@ -405,7 +406,7 @@ void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
       Flit f = r.grant(*in, out);
       if (faulty) {
         ctx.bit_flips += static_cast<std::uint64_t>(
-            fault_.corrupt_payload(f.payload, stats_.cycles, rid, out));
+            fault_.corrupt_payload(f.payload, stats_.cycles.value(), rid, out));
       }
       const std::size_t idx =
           stage_index(nid, nport, static_cast<int>(f.vc));
@@ -422,7 +423,7 @@ void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
       if (trace_noc_ && hop_seq_++ % trace_sample_ == 0) {
         obs::Tracer::global().record_instant(
             obs::kCatNoc, "hop", obs::kPidNoc,
-            static_cast<std::uint32_t>(rid), stats_.cycles, "dst",
+            static_cast<std::uint32_t>(rid), stats_.cycles.value(), "dst",
             static_cast<double>(f.dst));
       }
     }
@@ -437,8 +438,8 @@ void Network::commit_switch(SwitchCtx& ctx) {
   stats_.buffer_reads += ctx.buffer_reads;
   stats_.router_traversals += ctx.router_traversals;
   stats_.link_traversals += ctx.link_traversals;
-  stats_.router_stall_cycles += ctx.stall_cycles;
-  stats_.link_fault_cycles += ctx.link_fault_cycles;
+  stats_.router_stall_cycles += units::Cycles{ctx.stall_cycles};
+  stats_.link_fault_cycles += units::Cycles{ctx.link_fault_cycles};
   stats_.payload_bit_flips += ctx.bit_flips;
   // ctx.staged is pushed into the downstream FIFOs directly at the end of
   // step_cycle — no copy through staged_, which holds only injections.
@@ -522,10 +523,11 @@ void Network::step_cycle() {
   }
   for (const auto& m : staged_) push_move(m);
   ++stats_.cycles;
-  if (observe_ && stats_.cycles % kQueueSampleInterval == 0) {
+  if (observe_ && stats_.cycles.value() % kQueueSampleInterval == 0) {
     sample_queue_depths();
   }
-  if (series_ != nullptr && stats_.cycles % series_interval_cycles_ == 0) {
+  if (series_ != nullptr &&
+      stats_.cycles.value() % series_interval_cycles_ == 0) {
     sample_series();
   }
 }
@@ -544,20 +546,20 @@ void Network::set_series_sink(obs::TimeSeriesSet* sink,
   NOCW_CHECK_GE(interval_cycles, std::uint64_t{1});
   series_ = sink;
   series_interval_cycles_ = interval_cycles;
-  series_prev_injected_ = stats_.flits_injected;
-  series_prev_ejected_ = stats_.flits_ejected;
+  series_prev_injected_ = stats_.flits_injected.value();
+  series_prev_ejected_ = stats_.flits_ejected.value();
   series_prev_links_ = stats_.link_traversals;
 }
 
 void Network::sample_series() {
   // Stamp on the inference-global timeline; the accelerator sets the
   // thread-local base to each NoC phase's start cycle.
-  const std::uint64_t t = obs::time_base() + stats_.cycles;
+  const std::uint64_t t = obs::time_base() + stats_.cycles.value();
   series_->append("noc.flits_injected", "flits", t,
-                  static_cast<double>(stats_.flits_injected -
+                  static_cast<double>(stats_.flits_injected.value() -
                                       series_prev_injected_));
   series_->append("noc.flits_ejected", "flits", t,
-                  static_cast<double>(stats_.flits_ejected -
+                  static_cast<double>(stats_.flits_ejected.value() -
                                       series_prev_ejected_));
   series_->append("noc.link_flits", "flits", t,
                   static_cast<double>(stats_.link_traversals -
@@ -566,8 +568,8 @@ void Network::sample_series() {
   for (const auto& r : routers_) buffered += r.buffered_flits();
   series_->append("noc.queue_depth", "flits", t,
                   static_cast<double>(buffered));
-  series_prev_injected_ = stats_.flits_injected;
-  series_prev_ejected_ = stats_.flits_ejected;
+  series_prev_injected_ = stats_.flits_injected.value();
+  series_prev_ejected_ = stats_.flits_ejected.value();
   series_prev_links_ = stats_.link_traversals;
 }
 
@@ -603,29 +605,30 @@ std::uint64_t Network::next_source_release() const noexcept {
 }
 
 void Network::advance_idle(std::uint64_t target) {
-  idle_cycles_skipped_ += target - stats_.cycles;
+  idle_cycles_skipped_ += target - stats_.cycles.value();
   // Jump in hops so every sampling boundary a dense engine would have hit
   // still fires, in increasing cycle order. The network is empty, so queue
   // depths and series window deltas are exactly the zeros dense reports.
-  while (stats_.cycles < target) {
+  while (stats_.cycles.value() < target) {
     std::uint64_t next = target;
     if (observe_) {
       const std::uint64_t b =
-          (stats_.cycles / kQueueSampleInterval + 1) * kQueueSampleInterval;
+          (stats_.cycles.value() / kQueueSampleInterval + 1) *
+          kQueueSampleInterval;
       next = std::min(next, b);
     }
     if (series_ != nullptr) {
       const std::uint64_t b =
-          (stats_.cycles / series_interval_cycles_ + 1) *
+          (stats_.cycles.value() / series_interval_cycles_ + 1) *
           series_interval_cycles_;
       next = std::min(next, b);
     }
-    stats_.cycles = next;
-    if (observe_ && stats_.cycles % kQueueSampleInterval == 0) {
+    stats_.cycles = units::Cycles{next};
+    if (observe_ && stats_.cycles.value() % kQueueSampleInterval == 0) {
       sample_queue_depths();
     }
     if (series_ != nullptr &&
-        stats_.cycles % series_interval_cycles_ == 0) {
+        stats_.cycles.value() % series_interval_cycles_ == 0) {
       sample_series();
     }
   }
@@ -671,7 +674,7 @@ void Network::throw_drain_timeout(std::uint64_t max_cycles) const {
 }
 
 std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
-  const std::uint64_t start = stats_.cycles;
+  const std::uint64_t start = stats_.cycles.value();
   const std::uint64_t deadline =
       max_cycles > ~std::uint64_t{0} - start ? ~std::uint64_t{0}
                                              : start + max_cycles;
@@ -679,18 +682,20 @@ std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
     // Reference loop: re-derive the drain condition from a full network
     // walk every cycle, exactly as the pre-event-engine core did.
     while (undelivered_flits() != 0) {
-      if (stats_.cycles >= deadline) throw_drain_timeout(max_cycles);
+      if (stats_.cycles.value() >= deadline) throw_drain_timeout(max_cycles);
       step_cycle();
-      if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
+      if (stats_.cycles.value() % kInvariantCheckInterval == 0) {
+        check_invariants();
+      }
     }
     check_invariants();
-    return stats_.cycles - start;
+    return stats_.cycles.value() - start;
   }
   while (!drained()) {
-    if (stats_.cycles >= deadline) throw_drain_timeout(max_cycles);
+    if (stats_.cycles.value() >= deadline) throw_drain_timeout(max_cycles);
     if (idle_now()) {
       const std::uint64_t next = next_source_release();
-      if (next > stats_.cycles) {
+      if (next > stats_.cycles.value()) {
         // Nothing in flight and the earliest release is ahead: jump to it,
         // clamped to the deadline so the deadlock guard still fires at the
         // same cycle a dense run would report.
@@ -699,16 +704,20 @@ std::uint64_t Network::run_until_drained(std::uint64_t max_cycles) {
       }
     }
     step_cycle();
-    if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
+    if (stats_.cycles.value() % kInvariantCheckInterval == 0) {
+      check_invariants();
+    }
   }
   check_invariants();
-  return stats_.cycles - start;
+  return stats_.cycles.value() - start;
 }
 
 void Network::run_cycles(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
     step_cycle();
-    if (stats_.cycles % kInvariantCheckInterval == 0) check_invariants();
+    if (stats_.cycles.value() % kInvariantCheckInterval == 0) {
+      check_invariants();
+    }
   }
   check_invariants();
 }
@@ -721,9 +730,10 @@ void Network::check_invariants() const {
   }
   // Flit conservation: every injected flit is either ejected or still sits
   // in some router FIFO. Queued flits at the sources are not yet injected.
-  NOCW_CHECK_EQ(stats_.flits_injected, stats_.flits_ejected + buffered);
+  NOCW_CHECK_EQ(stats_.flits_injected.value(),
+                stats_.flits_ejected.value() + buffered);
   NOCW_CHECK_GE(stats_.packets_injected, stats_.packets_ejected);
-  NOCW_CHECK_GE(stats_.flits_injected, stats_.packets_injected);
+  NOCW_CHECK_GE(stats_.flits_injected.value(), stats_.packets_injected);
   // Every buffered flit was written exactly once and is read exactly once.
   NOCW_CHECK_EQ(stats_.buffer_writes, stats_.buffer_reads + buffered);
   // Each crossbar traversal reads one flit out of an input FIFO.
@@ -777,7 +787,7 @@ void Network::check_invariants() const {
   NOCW_CHECK_EQ(link_sum, stats_.link_traversals);
   std::uint64_t eject_sum = 0;
   for (const std::uint64_t v : node_ejects_) eject_sum += v;
-  NOCW_CHECK_EQ(eject_sum, stats_.flits_ejected);
+  NOCW_CHECK_EQ(eject_sum, stats_.flits_ejected.value());
   // CRC bookkeeping: every ejected packet is either delivered clean or
   // failed its check, and every failure resolved into a retransmission or a
   // drop at the moment it was detected.
@@ -787,7 +797,7 @@ void Network::check_invariants() const {
                 stats_.crc_failures);
   if (!protect_) {
     NOCW_CHECK_EQ(stats_.crc_failures, std::uint64_t{0});
-    NOCW_CHECK_EQ(stats_.crc_flits_injected, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.crc_flits_injected.value(), std::uint64_t{0});
     NOCW_CHECK_EQ(stats_.crc_flit_events, std::uint64_t{0});
     NOCW_CHECK(inflight_.empty());
     NOCW_CHECK(eject_crc_.empty());

@@ -67,7 +67,9 @@ class Network {
 
   [[nodiscard]] const NocStats& stats() const noexcept { return stats_; }
   [[nodiscard]] NocStats& stats() noexcept { return stats_; }
-  [[nodiscard]] std::uint64_t cycle() const noexcept { return stats_.cycles; }
+  [[nodiscard]] std::uint64_t cycle() const noexcept {
+    return stats_.cycles.value();
+  }
 
   [[nodiscard]] Router& router(int id) {
     return routers_[static_cast<std::size_t>(id)];

@@ -8,13 +8,14 @@
 #include <cstdint>
 
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace nocw::noc {
 
 struct NocStats {
-  std::uint64_t cycles = 0;
-  std::uint64_t flits_injected = 0;
-  std::uint64_t flits_ejected = 0;
+  units::Cycles cycles;
+  units::Flits flits_injected;
+  units::Flits flits_ejected;
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_ejected = 0;
   std::uint64_t router_traversals = 0;  ///< flit crossing a router crossbar
@@ -24,23 +25,23 @@ struct NocStats {
   RunningStats packet_latency;  ///< injection to tail ejection, cycles
 
   // --- fault injection (zero unless a FaultConfig is active) ---
-  std::uint64_t payload_bit_flips = 0;   ///< bits corrupted on links
-  std::uint64_t link_fault_cycles = 0;   ///< (link, cycle) transient outages
-  std::uint64_t router_stall_cycles = 0; ///< (router, cycle) stalls taken
+  std::uint64_t payload_bit_flips = 0;    ///< bits corrupted on links
+  units::Cycles link_fault_cycles;   ///< (link, cycle) transient outages
+  units::Cycles router_stall_cycles; ///< (router, cycle) stalls taken
 
   // --- CRC protection + retransmission (zero unless protection.crc) ---
-  std::uint64_t crc_flits_injected = 0;  ///< extra CRC flits added to packets
+  units::Flits crc_flits_injected;   ///< extra CRC flits added to packets
   std::uint64_t crc_flit_events = 0;     ///< flits through CRC gen/check logic
   std::uint64_t crc_failures = 0;        ///< packets failing the eject check
   std::uint64_t packets_delivered = 0;   ///< packets ejected CRC-clean
   std::uint64_t retransmissions = 0;     ///< NACK-triggered re-injections
   std::uint64_t packets_dropped = 0;     ///< retry budget exhausted
 
-  /// Delivered throughput in flits per cycle.
-  [[nodiscard]] double throughput() const noexcept {
-    return cycles ? static_cast<double>(flits_ejected) /
-                        static_cast<double>(cycles)
-                  : 0.0;
+  /// Delivered throughput in flits per cycle (typed rate; cross-dimension
+  /// division in units.hpp carries the dimensions for us).
+  [[nodiscard]] units::FlitsPerCycle throughput() const noexcept {
+    return cycles.value() != 0 ? flits_ejected / cycles
+                               : units::FlitsPerCycle{};
   }
 
   /// Restore the default-constructed state. Written as `*this = {}` so the

@@ -86,14 +86,15 @@ std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
 }
 
 std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
-                                            std::uint64_t scatter_flits,
-                                            std::uint64_t gather_flits,
+                                            units::Flits scatter_flits,
+                                            units::Flits gather_flits,
                                             std::uint32_t flits_per_packet,
                                             std::uint32_t tag) {
   if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   const auto mis = cfg.memory_interface_nodes();
   const auto pes = cfg.pe_nodes();
-  if (scatter_flits + gather_flits > 0 && (mis.empty() || pes.empty())) {
+  if ((scatter_flits + gather_flits).value() > 0 &&
+      (mis.empty() || pes.empty())) {
     throw std::invalid_argument("phase traffic needs MIs and PEs");
   }
   std::vector<PacketDescriptor> out;
@@ -102,20 +103,20 @@ std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
   };
   // Each MI carries an equal (ceil) share of the phase volume; the last
   // shares shrink to whatever volume is left.
-  if (scatter_flits > 0) {
+  if (scatter_flits.value() > 0) {
     const std::uint64_t share =
-        (scatter_flits + mis.size() - 1) / mis.size();
-    std::uint64_t left = scatter_flits;
+        (scatter_flits.value() + mis.size() - 1) / mis.size();
+    std::uint64_t left = scatter_flits.value();
     for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
       const std::uint64_t vol = std::min(share, left);
       append(scatter_flow(mis[m], pes, vol, flits_per_packet, 0, tag));
       left -= vol;
     }
   }
-  if (gather_flits > 0) {
+  if (gather_flits.value() > 0) {
     const std::uint64_t share =
-        (gather_flits + mis.size() - 1) / mis.size();
-    std::uint64_t left = gather_flits;
+        (gather_flits.value() + mis.size() - 1) / mis.size();
+    std::uint64_t left = gather_flits.value();
     for (std::size_t m = 0; m < mis.size() && left > 0; ++m) {
       const std::uint64_t vol = std::min(share, left);
       append(gather_flow(pes, mis[m], vol, flits_per_packet, 0, tag));
@@ -145,9 +146,9 @@ std::vector<PacketDescriptor> uniform_random_traffic(
   return out;
 }
 
-std::uint64_t total_flits(std::span<const PacketDescriptor> ps) {
-  std::uint64_t n = 0;
-  for (const auto& p : ps) n += p.size_flits;
+units::Flits total_flits(std::span<const PacketDescriptor> ps) {
+  units::Flits n;
+  for (const auto& p : ps) n += units::Flits{p.size_flits};
   return n;
 }
 

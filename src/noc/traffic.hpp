@@ -13,6 +13,7 @@
 
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
+#include "util/units.hpp"
 
 namespace nocw::noc {
 
@@ -48,8 +49,8 @@ std::vector<PacketDescriptor> gather_flow(std::span<const int> srcs, int dst,
 /// phase-compilation cache memoizes on ((scatter, gather) volumes under a
 /// fixed config always compile to this exact packet sequence).
 std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
-                                            std::uint64_t scatter_flits,
-                                            std::uint64_t gather_flits,
+                                            units::Flits scatter_flits,
+                                            units::Flits gather_flits,
                                             std::uint32_t flits_per_packet,
                                             std::uint32_t tag = 0);
 
@@ -59,6 +60,6 @@ std::vector<PacketDescriptor> uniform_random_traffic(
     std::uint64_t seed);
 
 /// Total flits described by a set of packets.
-std::uint64_t total_flits(std::span<const PacketDescriptor> ps);
+units::Flits total_flits(std::span<const PacketDescriptor> ps);
 
 }  // namespace nocw::noc

@@ -8,32 +8,65 @@ namespace {
 
 using noc::NocStats;
 
-// One entry per uint64 field of NocStats, in declaration order. When you add
-// a counter to NocStats, add its row here (the static_assert below will
-// refuse to compile until you do) and keep tests/obs/registry_test.cpp's
-// distinct-value round trip passing.
+/// Accessor for a plain uint64 member.
+template <std::uint64_t NocStats::* M>
+std::uint64_t raw(const NocStats& s) {
+  return s.*M;
+}
+
+/// Accessor for a strong-typed member (units::Cycles / units::Flits): the
+/// registry exports the raw representation; the unit column carries the
+/// dimension, and the static_assert below pins it to the member's own
+/// registry unit so the two can never disagree.
+template <auto M>
+std::uint64_t typed(const NocStats& s) {
+  return (s.*M).value();
+}
+
+// One entry per uint64-representation field of NocStats, in declaration
+// order. When you add a counter to NocStats, add its row here (the
+// static_assert below will refuse to compile until you do) and keep
+// tests/obs/registry_test.cpp's distinct-value round trip passing.
 constexpr NocStatsField kFields[] = {
-    {"cycles", "cycles", &NocStats::cycles},
-    {"flits_injected", "flits", &NocStats::flits_injected},
-    {"flits_ejected", "flits", &NocStats::flits_ejected},
-    {"packets_injected", "packets", &NocStats::packets_injected},
-    {"packets_ejected", "packets", &NocStats::packets_ejected},
-    {"router_traversals", "events", &NocStats::router_traversals},
-    {"link_traversals", "events", &NocStats::link_traversals},
-    {"buffer_writes", "events", &NocStats::buffer_writes},
-    {"buffer_reads", "events", &NocStats::buffer_reads},
-    {"payload_bit_flips", "bits", &NocStats::payload_bit_flips},
-    {"link_fault_cycles", "cycles", &NocStats::link_fault_cycles},
-    {"router_stall_cycles", "cycles", &NocStats::router_stall_cycles},
-    {"crc_flits_injected", "flits", &NocStats::crc_flits_injected},
-    {"crc_flit_events", "events", &NocStats::crc_flit_events},
-    {"crc_failures", "packets", &NocStats::crc_failures},
-    {"packets_delivered", "packets", &NocStats::packets_delivered},
-    {"retransmissions", "packets", &NocStats::retransmissions},
-    {"packets_dropped", "packets", &NocStats::packets_dropped},
+    {"cycles", "cycles", typed<&NocStats::cycles>},
+    {"flits_injected", "flits", typed<&NocStats::flits_injected>},
+    {"flits_ejected", "flits", typed<&NocStats::flits_ejected>},
+    {"packets_injected", "packets", raw<&NocStats::packets_injected>},
+    {"packets_ejected", "packets", raw<&NocStats::packets_ejected>},
+    {"router_traversals", "events", raw<&NocStats::router_traversals>},
+    {"link_traversals", "events", raw<&NocStats::link_traversals>},
+    {"buffer_writes", "events", raw<&NocStats::buffer_writes>},
+    {"buffer_reads", "events", raw<&NocStats::buffer_reads>},
+    {"payload_bit_flips", "bits", raw<&NocStats::payload_bit_flips>},
+    {"link_fault_cycles", "cycles", typed<&NocStats::link_fault_cycles>},
+    {"router_stall_cycles", "cycles", typed<&NocStats::router_stall_cycles>},
+    {"crc_flits_injected", "flits", typed<&NocStats::crc_flits_injected>},
+    {"crc_flit_events", "events", raw<&NocStats::crc_flit_events>},
+    {"crc_failures", "packets", raw<&NocStats::crc_failures>},
+    {"packets_delivered", "packets", raw<&NocStats::packets_delivered>},
+    {"retransmissions", "packets", raw<&NocStats::retransmissions>},
+    {"packets_dropped", "packets", raw<&NocStats::packets_dropped>},
 };
 
 constexpr std::size_t kFieldCount = sizeof(kFields) / sizeof(kFields[0]);
+
+// Unit-vocabulary tripwire: every unit string in the table must come from
+// the closed vocabulary in src/util/units_vocab.inc. Checked at compile
+// time, so an out-of-vocabulary unit never reaches the registry.
+constexpr bool all_units_in_vocab() {
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if (!units::vocab_has(kFields[i].unit)) return false;
+  }
+  return true;
+}
+static_assert(all_units_in_vocab(),
+              "noc_stats_bridge unit not in src/util/units_vocab.inc");
+
+// Dimension/unit tripwire: the strong-typed members' own registry units
+// must match the unit column the bridge exports them under.
+static_assert(decltype(NocStats::cycles)::dim::registry_unit == "cycles");
+static_assert(decltype(NocStats::flits_injected)::dim::registry_unit ==
+              "flits");
 
 // Layout tripwire: NocStats is kFieldCount uint64 counters plus one
 // RunningStats (packet_latency). All members are 8-byte aligned on LP64, so
@@ -59,7 +92,7 @@ void snapshot_noc_stats(Registry& reg, const noc::NocStats& stats,
                         std::string_view prefix) {
   const std::string base = std::string(prefix) + ".";
   for (const NocStatsField& f : kFields) {
-    reg.set_counter(base + f.name, f.unit, stats.*(f.member));
+    reg.set_counter(base + f.name, f.unit, f.get(stats));
   }
   const RunningStats& lat = stats.packet_latency;
   reg.set_gauge(base + "packet_latency_mean", "cycles", lat.mean());
@@ -69,7 +102,7 @@ void snapshot_noc_stats(Registry& reg, const noc::NocStats& stats,
                 lat.count() ? lat.max() : 0.0);
   reg.set_counter(base + "packet_latency_count", "samples",
                   static_cast<std::uint64_t>(lat.count()));
-  reg.set_gauge(base + "throughput", "ratio", stats.throughput());
+  reg.set_gauge(base + "throughput", "ratio", stats.throughput().value());
 }
 
 }  // namespace nocw::obs

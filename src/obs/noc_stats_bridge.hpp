@@ -27,11 +27,15 @@
 namespace nocw::obs {
 
 /// One bridged field: registry name (prefix applied by snapshot_noc_stats),
-/// unit from the registry vocabulary, and the member it mirrors.
+/// unit from the registry vocabulary, and an accessor returning the raw
+/// counter value. An accessor (not a member pointer) because the counters
+/// are a mix of strong unit types (units::Cycles, units::Flits) and plain
+/// uint64 event counts; the bridge exports the underlying representation
+/// either way.
 struct NocStatsField {
   const char* name;
   const char* unit;
-  std::uint64_t noc::NocStats::* member;
+  std::uint64_t (*get)(const noc::NocStats&);
 };
 
 /// The full audit table, one entry per uint64 counter in NocStats.

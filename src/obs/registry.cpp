@@ -1,7 +1,6 @@
 #include "obs/registry.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -9,17 +8,11 @@
 #include "obs/jsonfmt.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace nocw::obs {
 
 namespace {
-
-// Kept in sync with tools/lint.py METRIC_UNITS.
-constexpr std::array<std::string_view, 14> kUnits = {
-    "count",  "cycles",  "seconds",  "flits", "packets",
-    "events", "bits",    "bytes",    "joules", "watts",
-    "ratio",  "fraction", "percent", "samples",
-};
 
 const char* kind_name(MetricKind k) noexcept {
   switch (k) {
@@ -33,7 +26,9 @@ const char* kind_name(MetricKind k) noexcept {
 }  // namespace
 
 bool unit_allowed(std::string_view unit) noexcept {
-  return std::find(kUnits.begin(), kUnits.end(), unit) != kUnits.end();
+  // The vocabulary lives in src/util/units_vocab.inc — one definition shared
+  // with units.hpp's dimension tags and the tools/lint.py [metric] rule.
+  return units::vocab_has(unit);
 }
 
 Registry::Metric& Registry::upsert(std::string_view name,

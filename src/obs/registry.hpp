@@ -18,7 +18,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
+
+#include "util/units.hpp"
 
 namespace nocw::obs {
 
@@ -60,6 +63,33 @@ class Registry {
   void set_gauge(std::string_view name, std::string_view unit, double value);
   /// Append one sample to a histogram metric.
   void observe(std::string_view name, std::string_view unit, double sample);
+
+  // --- typed overloads (util/units) ---
+  // The unit string comes from the quantity's dimension tag at compile time,
+  // so a typed publish can never carry the wrong label. Dimensions whose
+  // registry_unit is empty (Picojoules, Milliwatts, Words, rates) are
+  // rejected at compile time: exporting them directly would be off by a
+  // scale factor — convert (to_joules, to_watts) and publish that.
+
+  /// Publish an exact typed counter (Cycles, Flits, Bits...).
+  template <class Dim, class Rep,
+            class = std::enable_if_t<std::is_integral_v<Rep>>>
+  void set_counter(std::string_view name, units::Quantity<Dim, Rep> v) {
+    static_assert(!Dim::registry_unit.empty(),
+                  "this dimension has no registry unit: convert it "
+                  "(to_joules / to_watts) before publishing");
+    set_counter(name, Dim::registry_unit,
+                static_cast<std::uint64_t>(v.value()));
+  }
+
+  /// Publish a typed level (Joules, Seconds, Watts, FracCycles...).
+  template <class Dim, class Rep>
+  void set_gauge(std::string_view name, units::Quantity<Dim, Rep> v) {
+    static_assert(!Dim::registry_unit.empty(),
+                  "this dimension has no registry unit: convert it "
+                  "(to_joules / to_watts) before publishing");
+    set_gauge(name, Dim::registry_unit, v.dvalue());
+  }
 
   [[nodiscard]] bool contains(std::string_view name) const;
   /// Counter/gauge value; histogram count. Throws nocw::CheckError when the

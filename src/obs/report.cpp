@@ -92,24 +92,24 @@ Table layer_phase_table(const accel::InferenceResult& result) {
   Table t({"layer", "memory", "noc", "compute", "total", "mem%", "noc%",
            "comp%"});
   for (const accel::LayerResult& lr : result.layers) {
-    const double total = lr.latency.total();
-    const auto pct = [total](double v) {
-      return total > 0.0 ? fmt_pct(v / total, 1) : std::string("-");
+    const double total = lr.latency.total().value();
+    const auto pct = [total](units::FracCycles v) {
+      return total > 0.0 ? fmt_pct(v.value() / total, 1) : std::string("-");
     };
-    t.add_row({lr.name, fmt_fixed(lr.latency.memory_cycles, 0),
-               fmt_fixed(lr.latency.comm_cycles, 0),
-               fmt_fixed(lr.latency.compute_cycles, 0), fmt_fixed(total, 0),
-               pct(lr.latency.memory_cycles), pct(lr.latency.comm_cycles),
-               pct(lr.latency.compute_cycles)});
+    t.add_row({lr.name, fmt_fixed(lr.latency.memory_cycles.value(), 0),
+               fmt_fixed(lr.latency.comm_cycles.value(), 0),
+               fmt_fixed(lr.latency.compute_cycles.value(), 0),
+               fmt_fixed(total, 0), pct(lr.latency.memory_cycles),
+               pct(lr.latency.comm_cycles), pct(lr.latency.compute_cycles)});
   }
-  const double total = result.latency.total();
-  const auto pct = [total](double v) {
-    return total > 0.0 ? fmt_pct(v / total, 1) : std::string("-");
+  const double total = result.latency.total().value();
+  const auto pct = [total](units::FracCycles v) {
+    return total > 0.0 ? fmt_pct(v.value() / total, 1) : std::string("-");
   };
-  t.add_row({"(total)", fmt_fixed(result.latency.memory_cycles, 0),
-             fmt_fixed(result.latency.comm_cycles, 0),
-             fmt_fixed(result.latency.compute_cycles, 0), fmt_fixed(total, 0),
-             pct(result.latency.memory_cycles),
+  t.add_row({"(total)", fmt_fixed(result.latency.memory_cycles.value(), 0),
+             fmt_fixed(result.latency.comm_cycles.value(), 0),
+             fmt_fixed(result.latency.compute_cycles.value(), 0),
+             fmt_fixed(total, 0), pct(result.latency.memory_cycles),
              pct(result.latency.comm_cycles),
              pct(result.latency.compute_cycles)});
   return t;
@@ -140,20 +140,20 @@ Table percentile_table(std::string_view label,
 void snapshot_inference(Registry& reg, const accel::InferenceResult& result,
                         std::string_view prefix) {
   const std::string base = std::string(prefix) + ".";
-  reg.set_gauge(base + "latency_memory", "cycles",
-                result.latency.memory_cycles);
-  reg.set_gauge(base + "latency_noc", "cycles", result.latency.comm_cycles);
-  reg.set_gauge(base + "latency_compute", "cycles",
-                result.latency.compute_cycles);
-  reg.set_gauge(base + "latency_total", "cycles", result.latency.total());
-  reg.set_gauge(base + "energy_total", "joules", result.energy.total());
-  reg.set_gauge(base + "energy_communication", "joules",
+  // Typed publishes: the unit labels come from the quantities' dimension
+  // tags (FracCycles -> "cycles", Joules -> "joules") at compile time.
+  reg.set_gauge(base + "latency_memory", result.latency.memory_cycles);
+  reg.set_gauge(base + "latency_noc", result.latency.comm_cycles);
+  reg.set_gauge(base + "latency_compute", result.latency.compute_cycles);
+  reg.set_gauge(base + "latency_total", result.latency.total());
+  reg.set_gauge(base + "energy_total", result.energy.total());
+  reg.set_gauge(base + "energy_communication",
                 result.energy.communication.total());
-  reg.set_gauge(base + "energy_computation", "joules",
+  reg.set_gauge(base + "energy_computation",
                 result.energy.computation.total());
-  reg.set_gauge(base + "energy_local_memory", "joules",
+  reg.set_gauge(base + "energy_local_memory",
                 result.energy.local_memory.total());
-  reg.set_gauge(base + "energy_main_memory", "joules",
+  reg.set_gauge(base + "energy_main_memory",
                 result.energy.main_memory.total());
   reg.set_counter(base + "layers", "count", result.layers.size());
   for (const double v : result.noc_obs.packet_latency_cycles) {

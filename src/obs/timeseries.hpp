@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace nocw::obs {
 
 /// One sampled point: value observed at (the end of) `cycle`.
@@ -87,6 +89,18 @@ class TimeSeriesSet {
   /// the registry's rule).
   void append(std::string_view name, std::string_view unit,
               std::uint64_t cycle, double value);
+
+  /// Typed append: the unit label comes from the quantity's dimension tag
+  /// at compile time (same contract as Registry's typed overloads);
+  /// dimensions with no registry unit are rejected at compile time.
+  template <class Dim, class Rep>
+  void append(std::string_view name, std::uint64_t cycle,
+              units::Quantity<Dim, Rep> v) {
+    static_assert(!Dim::registry_unit.empty(),
+                  "this dimension has no registry unit: convert it "
+                  "(to_joules / to_watts) before publishing");
+    append(name, Dim::registry_unit, cycle, v.dvalue());
+  }
 
   [[nodiscard]] bool contains(std::string_view name) const;
   /// Snapshot of one series' points. Throws nocw::CheckError when absent.

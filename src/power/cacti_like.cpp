@@ -13,13 +13,15 @@ MemoryEstimate sram_estimate(std::uint64_t capacity_bytes, int word_bits) {
   const double cap_ratio =
       std::sqrt(static_cast<double>(capacity_bytes) / 8192.0);
   const double width_ratio = static_cast<double>(word_bits) / 64.0;
-  e.read_energy_pj = 1.6 * cap_ratio * width_ratio;
-  e.write_energy_pj = 1.8 * cap_ratio * width_ratio;
-  e.leakage_mw = 0.25 * static_cast<double>(capacity_bytes) / 8192.0;
+  e.read_energy_pj = units::Picojoules{1.6 * cap_ratio * width_ratio};
+  e.write_energy_pj = units::Picojoules{1.8 * cap_ratio * width_ratio};
+  e.leakage_mw =
+      units::Milliwatts{0.25 * static_cast<double>(capacity_bytes) / 8192.0};
   // One extra pipeline cycle per 8x capacity beyond 16 KB.
   const double octaves =
       std::log2(std::max(1.0, static_cast<double>(capacity_bytes) / 16384.0));
-  e.access_cycles = 1 + static_cast<int>(octaves / 3.0);
+  e.access_cycles =
+      units::Cycles{1 + static_cast<std::uint64_t>(octaves / 3.0)};
   return e;
 }
 
@@ -28,11 +30,11 @@ MemoryEstimate dram_estimate(std::uint64_t capacity_bytes, int word_bits) {
   // Interface + array energy per word dominates and is capacity-insensitive;
   // background power scales mildly with capacity (refresh).
   const double width_ratio = static_cast<double>(word_bits) / 64.0;
-  e.read_energy_pj = 400.0 * width_ratio;
-  e.write_energy_pj = 400.0 * width_ratio;
-  e.leakage_mw =
-      60.0 * (0.5 + 0.5 * static_cast<double>(capacity_bytes) / (1ULL << 30));
-  e.access_cycles = 100;  // row activation + transfer at 1 GHz
+  e.read_energy_pj = units::Picojoules{400.0 * width_ratio};
+  e.write_energy_pj = units::Picojoules{400.0 * width_ratio};
+  e.leakage_mw = units::Milliwatts{
+      60.0 * (0.5 + 0.5 * static_cast<double>(capacity_bytes) / (1ULL << 30))};
+  e.access_cycles = units::Cycles{100};  // row activation + transfer at 1 GHz
   return e;
 }
 

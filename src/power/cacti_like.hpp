@@ -10,13 +10,15 @@
 
 #include <cstdint>
 
+#include "util/units.hpp"
+
 namespace nocw::power {
 
 struct MemoryEstimate {
-  double read_energy_pj = 0.0;   ///< per word
-  double write_energy_pj = 0.0;  ///< per word
-  double leakage_mw = 0.0;       ///< whole macro
-  int access_cycles = 1;         ///< at 1 GHz
+  units::Picojoules read_energy_pj;   ///< per word
+  units::Picojoules write_energy_pj;  ///< per word
+  units::Milliwatts leakage_mw;       ///< whole macro
+  units::Cycles access_cycles{1};     ///< at 1 GHz
 };
 
 /// On-chip SRAM estimate for `capacity_bytes` with `word_bits` ports.

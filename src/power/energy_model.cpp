@@ -30,16 +30,11 @@ EventCounts& EventCounts::operator+=(const EventCounts& o) {
   return *this;
 }
 
-namespace {
-constexpr double kPjToJ = 1e-12;
-constexpr double kMwToW = 1e-3;
-}  // namespace
-
 void EnergyComponent::check_invariants() const {
-  NOCW_CHECK(std::isfinite(dynamic_j));
-  NOCW_CHECK(std::isfinite(leakage_j));
-  NOCW_CHECK_GE(dynamic_j, 0.0);
-  NOCW_CHECK_GE(leakage_j, 0.0);
+  NOCW_CHECK(std::isfinite(dynamic_j.value()));
+  NOCW_CHECK(std::isfinite(leakage_j.value()));
+  NOCW_CHECK_GE(dynamic_j.value(), 0.0);
+  NOCW_CHECK_GE(leakage_j.value(), 0.0);
 }
 
 void EnergyBreakdown::check_invariants() const {
@@ -49,44 +44,46 @@ void EnergyBreakdown::check_invariants() const {
   main_memory.check_invariants();
 }
 
-EnergyBreakdown annotate(const EventCounts& e, double seconds,
+EnergyBreakdown annotate(const EventCounts& e, units::Seconds seconds,
                          const EnergyTable& t, const PlatformShape& shape) {
   // Leakage integrates elapsed time and scales with the platform shape; a
   // negative duration or an empty platform is always a caller bug, and the
   // resulting negative joules would silently skew every Fig. 10 component.
-  NOCW_CHECK_GE(seconds, 0.0);
+  NOCW_CHECK_GE(seconds.value(), 0.0);
   NOCW_CHECK_GT(shape.routers, 0);
   NOCW_CHECK_GT(shape.pes, 0);
 
+  // Every sum accumulates in picojoules (resp. milliwatts) and converts to
+  // joules exactly once at the end — the same factor in the same place as
+  // the pre-typed code, so the Fig. 10 figures are bit-identical.
   EnergyBreakdown out;
 
-  out.communication.dynamic_j =
-      (static_cast<double>(e.router_traversals) * t.router_traversal_pj +
-       static_cast<double>(e.link_traversals) * t.link_traversal_pj +
-       static_cast<double>(e.buffer_writes) * t.buffer_write_pj +
-       static_cast<double>(e.buffer_reads) * t.buffer_read_pj +
-       static_cast<double>(e.crc_flit_events) * t.crc_pj) *
-      kPjToJ;
+  out.communication.dynamic_j = units::to_joules(
+      static_cast<double>(e.router_traversals) * t.router_traversal_pj +
+      static_cast<double>(e.link_traversals) * t.link_traversal_pj +
+      static_cast<double>(e.buffer_writes) * t.buffer_write_pj +
+      static_cast<double>(e.buffer_reads) * t.buffer_read_pj +
+      static_cast<double>(e.crc_flit_events) * t.crc_pj);
   out.communication.leakage_j =
-      static_cast<double>(shape.routers) * t.router_leak_mw * kMwToW * seconds;
+      units::to_watts(static_cast<double>(shape.routers) * t.router_leak_mw) *
+      seconds;
 
-  out.computation.dynamic_j =
-      (static_cast<double>(e.macs) * t.mac_pj +
-       static_cast<double>(e.decompress_steps) * t.decompress_pj) *
-      kPjToJ;
+  out.computation.dynamic_j = units::to_joules(
+      static_cast<double>(e.macs) * t.mac_pj +
+      static_cast<double>(e.decompress_steps) * t.decompress_pj);
   out.computation.leakage_j =
-      static_cast<double>(shape.pes) * t.pe_leak_mw * kMwToW * seconds;
+      units::to_watts(static_cast<double>(shape.pes) * t.pe_leak_mw) * seconds;
 
-  out.local_memory.dynamic_j =
-      (static_cast<double>(e.sram_reads) * t.sram_read_pj +
-       static_cast<double>(e.sram_writes) * t.sram_write_pj) *
-      kPjToJ;
+  out.local_memory.dynamic_j = units::to_joules(
+      static_cast<double>(e.sram_reads) * t.sram_read_pj +
+      static_cast<double>(e.sram_writes) * t.sram_write_pj);
   out.local_memory.leakage_j =
-      static_cast<double>(shape.pes) * t.sram_leak_mw * kMwToW * seconds;
+      units::to_watts(static_cast<double>(shape.pes) * t.sram_leak_mw) *
+      seconds;
 
-  out.main_memory.dynamic_j =
-      static_cast<double>(e.dram_accesses) * t.dram_access_pj * kPjToJ;
-  out.main_memory.leakage_j = t.dram_background_mw * kMwToW * seconds;
+  out.main_memory.dynamic_j = units::to_joules(
+      static_cast<double>(e.dram_accesses) * t.dram_access_pj);
+  out.main_memory.leakage_j = units::to_watts(t.dram_background_mw) * seconds;
 
   return out;
 }

@@ -14,38 +14,46 @@
 
 #include <cstdint>
 
+#include "util/units.hpp"
+
 namespace nocw::power {
 
+using units::Joules;
+using units::Milliwatts;
+using units::Picojoules;
+
 /// Per-event dynamic energies in picojoules and leakage powers in milliwatts.
+/// The strong types make the table's scale part of its interface: a pJ value
+/// cannot reach an exported joule without going through units::to_joules.
 struct EnergyTable {
   // --- NoC (per 64-bit flit event) ---
-  double router_traversal_pj = 8.0;  ///< crossbar + arbitration per flit
-  double link_traversal_pj = 4.0;    ///< 1 mm inter-router wire per flit
-  double buffer_write_pj = 2.0;
-  double buffer_read_pj = 1.5;
-  double crc_pj = 0.3;               ///< CRC-32 generator/checker per flit
-  double router_leak_mw = 0.9;       ///< per router
+  Picojoules router_traversal_pj{8.0};  ///< crossbar + arbitration per flit
+  Picojoules link_traversal_pj{4.0};    ///< 1 mm inter-router wire per flit
+  Picojoules buffer_write_pj{2.0};
+  Picojoules buffer_read_pj{1.5};
+  Picojoules crc_pj{0.3};               ///< CRC-32 generator/checker per flit
+  Milliwatts router_leak_mw{0.9};       ///< per router
 
   // --- PE compute ---
-  double mac_pj = 2.0;               ///< one multiply-accumulate
-  double decompress_pj = 0.4;        ///< one accumulate step of Fig. 6
-  double pe_leak_mw = 1.6;           ///< per PE datapath
+  Picojoules mac_pj{2.0};               ///< one multiply-accumulate
+  Picojoules decompress_pj{0.4};        ///< one accumulate step of Fig. 6
+  Milliwatts pe_leak_mw{1.6};           ///< per PE datapath
 
   // --- Local memory (per 64-bit word; 8 KB SRAM, CACTI-like) ---
-  double sram_read_pj = 1.6;
-  double sram_write_pj = 1.8;
-  double sram_leak_mw = 0.25;        ///< per PE local SRAM
+  Picojoules sram_read_pj{1.6};
+  Picojoules sram_write_pj{1.8};
+  Milliwatts sram_leak_mw{0.25};        ///< per PE local SRAM
 
   // --- Main memory (per 64-bit word over the MI) ---
-  double dram_access_pj = 400.0;     ///< read or write, interface included
-  double dram_background_mw = 60.0;  ///< whole DRAM subsystem
+  Picojoules dram_access_pj{400.0};     ///< read or write, interface included
+  Milliwatts dram_background_mw{60.0};  ///< whole DRAM subsystem
 };
 
 /// Dynamic + leakage split for one subsystem (joules).
 struct EnergyComponent {
-  double dynamic_j = 0.0;
-  double leakage_j = 0.0;
-  [[nodiscard]] double total() const noexcept { return dynamic_j + leakage_j; }
+  Joules dynamic_j;
+  Joules leakage_j;
+  [[nodiscard]] Joules total() const noexcept { return dynamic_j + leakage_j; }
 
   EnergyComponent& operator+=(const EnergyComponent& o) noexcept {
     dynamic_j += o.dynamic_j;
@@ -64,7 +72,7 @@ struct EnergyBreakdown {
   EnergyComponent local_memory;
   EnergyComponent main_memory;
 
-  [[nodiscard]] double total() const noexcept {
+  [[nodiscard]] Joules total() const noexcept {
     return communication.total() + computation.total() +
            local_memory.total() + main_memory.total();
   }
@@ -108,8 +116,9 @@ struct PlatformShape {
 };
 
 /// Convert event counts + elapsed time into the Fig. 10 breakdown.
-/// `seconds` is the wall-clock the phase occupied (leakage integrates it).
-EnergyBreakdown annotate(const EventCounts& events, double seconds,
+/// `seconds` is the simulated time the phase occupied (leakage integrates
+/// it); the strong type makes passing a cycle count here a compile error.
+EnergyBreakdown annotate(const EventCounts& events, units::Seconds seconds,
                          const EnergyTable& table, const PlatformShape& shape);
 
 }  // namespace nocw::power

@@ -8,6 +8,7 @@
 #include "accel/simulator.hpp"
 #include "accel/summary.hpp"
 #include "util/check.hpp"
+#include "util/units.hpp"
 
 namespace nocw::accel {
 namespace {
@@ -77,13 +78,13 @@ TEST(AccelInvariants, SimulatedLayerResultsSatisfyContracts) {
   const LayerResult r = sim.simulate_layer(layer);
   EXPECT_NO_THROW(r.latency.check_invariants());
   EXPECT_NO_THROW(r.energy.check_invariants());
-  EXPECT_GT(r.latency.total(), 0.0);
-  EXPECT_GT(r.energy.total(), 0.0);
+  EXPECT_GT(r.latency.total().value(), 0.0);
+  EXPECT_GT(r.energy.total().value(), 0.0);
 }
 
 TEST(AccelInvariants, LatencyBreakdownRejectsNegativeComponent) {
   LatencyBreakdown l;
-  l.comm_cycles = -1.0;
+  l.comm_cycles = units::FracCycles{-1.0};
   EXPECT_THROW(l.check_invariants(), CheckError);
 }
 

@@ -19,10 +19,10 @@ TEST(Simulator, LenetInferenceProducesBreakdowns) {
   AcceleratorSim sim(fast_cfg());
   const InferenceResult r = sim.simulate(s);
   EXPECT_EQ(r.layers.size(), 7u);  // macro layers only
-  EXPECT_GT(r.latency.memory_cycles, 0.0);
-  EXPECT_GT(r.latency.comm_cycles, 0.0);
-  EXPECT_GT(r.latency.compute_cycles, 0.0);
-  EXPECT_GT(r.energy.total(), 0.0);
+  EXPECT_GT(r.latency.memory_cycles.value(), 0.0);
+  EXPECT_GT(r.latency.comm_cycles.value(), 0.0);
+  EXPECT_GT(r.latency.compute_cycles.value(), 0.0);
+  EXPECT_GT(r.energy.total().value(), 0.0);
 }
 
 TEST(Simulator, MainMemoryDominatesLatencyForLenet) {
@@ -63,10 +63,11 @@ TEST(Simulator, CompressionPlanReducesLatencyAndEnergy) {
   plan["dense_1"] = lc;
   const InferenceResult comp = sim.simulate(s, &plan);
 
-  EXPECT_LT(comp.latency.total(), base.latency.total());
-  EXPECT_LT(comp.energy.total(), base.energy.total());
+  EXPECT_LT(comp.latency.total().value(), base.latency.total().value());
+  EXPECT_LT(comp.energy.total().value(), base.energy.total().value());
   // Compute time is untouched by compression.
-  EXPECT_DOUBLE_EQ(comp.latency.compute_cycles, base.latency.compute_cycles);
+  EXPECT_DOUBLE_EQ(comp.latency.compute_cycles.value(),
+                   base.latency.compute_cycles.value());
 }
 
 TEST(Simulator, CompressionChargesDecompressorEnergy) {
@@ -79,8 +80,8 @@ TEST(Simulator, CompressionChargesDecompressorEnergy) {
   const LayerResult base = sim.simulate_layer(*fc, nullptr);
   const LayerResult comp = sim.simulate_layer(*fc, &lc);
   // Identical traffic but extra decompressor accumulate energy.
-  EXPECT_GT(comp.energy.computation.dynamic_j,
-            base.energy.computation.dynamic_j);
+  EXPECT_GT(comp.energy.computation.dynamic_j.value(),
+            base.energy.computation.dynamic_j.value());
 }
 
 TEST(Simulator, NonTrafficLayersContributeNothing) {
@@ -89,8 +90,8 @@ TEST(Simulator, NonTrafficLayersContributeNothing) {
   const LayerSummary* relu = s.find("conv_1_relu");
   ASSERT_NE(relu, nullptr);
   const LayerResult r = sim.simulate_layer(*relu, nullptr);
-  EXPECT_DOUBLE_EQ(r.latency.total(), 0.0);
-  EXPECT_DOUBLE_EQ(r.energy.total(), 0.0);
+  EXPECT_DOUBLE_EQ(r.latency.total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.total().value(), 0.0);
 }
 
 TEST(Simulator, WindowSamplingConsistentWithFullRun) {
@@ -112,8 +113,8 @@ TEST(Simulator, DeterministicAcrossRuns) {
   AcceleratorSim sim(fast_cfg());
   const InferenceResult a = sim.simulate(s);
   const InferenceResult b = sim.simulate(s);
-  EXPECT_DOUBLE_EQ(a.latency.total(), b.latency.total());
-  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+  EXPECT_DOUBLE_EQ(a.latency.total().value(), b.latency.total().value());
+  EXPECT_DOUBLE_EQ(a.energy.total().value(), b.energy.total().value());
 }
 
 TEST(Simulator, MobilenetSimulatesInReasonableTime) {
@@ -121,7 +122,7 @@ TEST(Simulator, MobilenetSimulatesInReasonableTime) {
   AcceleratorSim sim(fast_cfg());
   const InferenceResult r = sim.simulate(s);
   EXPECT_GT(r.layers.size(), 20u);
-  EXPECT_GT(r.latency.total(), 0.0);
+  EXPECT_GT(r.latency.total().value(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// CONTROL — MUST COMPILE. Exercises the same headers and legal forms of the
+// operations the sibling files misuse; if this file fails, the negative
+// tests' compiler invocation is broken and their failures are meaningless.
+#include "obs/registry.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nocw::units;
+  const Cycles c = Cycles{10} + Cycles{5};
+  const Joules j = to_joules(Picojoules{37.8});
+  const Words w = to_words(Bits{65}, 32);
+  const double ratio = FracCycles{3.0} / FracCycles{2.0};
+  nocw::obs::Registry reg;
+  reg.set_gauge("energy.total", j);
+  reg.set_counter("noc.flits", flits_of(w));
+  return (c.value() == 15 && ratio > 0.0) ? 0 : 1;
+}

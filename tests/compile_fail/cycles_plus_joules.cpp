@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: adding a latency to an energy is dimensionally absurd;
+// the whole point of the quantity types is that this line is a type error.
+#include "util/units.hpp"
+
+int main() {
+  const auto broken = nocw::units::Cycles{10} + nocw::units::Joules{1.0};
+  (void)broken;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: flit counts and bit counts differ by the link width;
+// comparing or adding them skips the checked to_words()/to_bits() conversion.
+#include "util/units.hpp"
+
+int main() {
+  const nocw::units::Flits f{64};
+  const nocw::units::Bits b{64};
+  return f == b ? 0 : 1;  // cross-dimension comparison must not compile
+}

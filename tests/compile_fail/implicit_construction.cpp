@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: construction is explicit — a bare double is not an
+// energy, and a function expecting Joules must not accept one silently.
+#include "util/units.hpp"
+
+namespace {
+double account(nocw::units::Joules j) { return j.value(); }
+}  // namespace
+
+int main() {
+  return account(3.5) > 0.0 ? 0 : 1;  // double -> Joules must not convert
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a picojoule table entry added to an exported joule total
+// is the exact 1e12-scale bug the types exist to stop; the only path is the
+// named conversion to_joules().
+#include "util/units.hpp"
+
+int main() {
+  nocw::units::Joules total{0.0};
+  total += nocw::units::Picojoules{37.8};  // forgot to_joules()
+  return total.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: Picojoules has no registry unit (exporting it raw would
+// be off by 1e12), so the typed publish path rejects it via static_assert.
+#include "obs/registry.hpp"
+#include "util/units.hpp"
+
+int main() {
+  nocw::obs::Registry reg;
+  reg.set_gauge("energy.per_event", nocw::units::Picojoules{37.8});
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "noc/traffic.hpp"
 #include "obs/timeseries.hpp"
 #include "util/thread_pool.hpp"
+#include "util/units.hpp"
 
 namespace nocw::noc {
 namespace {
@@ -201,9 +202,10 @@ TEST(NocEngine, PhaseTrafficMatchesPerMiShareCompilation) {
     append(gather_flow(pes, mis[m], vol, 32, 0, 7));
     left -= vol;
   }
-  const auto phase = phase_traffic(cfg, scatter, gather, 32, /*tag=*/7);
+  const auto phase = phase_traffic(cfg, units::Flits{scatter},
+                                  units::Flits{gather}, 32, /*tag=*/7);
   ASSERT_EQ(phase.size(), manual.size());
-  EXPECT_EQ(total_flits(phase), scatter + gather);
+  EXPECT_EQ(total_flits(phase).value(), scatter + gather);
   for (std::size_t i = 0; i < phase.size(); ++i) {
     EXPECT_EQ(phase[i].src, manual[i].src);
     EXPECT_EQ(phase[i].dst, manual[i].dst);

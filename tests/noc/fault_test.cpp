@@ -7,6 +7,7 @@
 
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
+#include "util/units.hpp"
 
 namespace nocw::noc {
 namespace {
@@ -230,9 +231,9 @@ TEST(NetworkFault, DisabledFaultsAndProtectionAreZeroOverhead) {
   // and every new counter pinned at zero.
   const NocStats st = run_stream(NocConfig{}, 2000);
   EXPECT_EQ(st.payload_bit_flips, 0u);
-  EXPECT_EQ(st.link_fault_cycles, 0u);
-  EXPECT_EQ(st.router_stall_cycles, 0u);
-  EXPECT_EQ(st.crc_flits_injected, 0u);
+  EXPECT_EQ(st.link_fault_cycles.value(), 0u);
+  EXPECT_EQ(st.router_stall_cycles.value(), 0u);
+  EXPECT_EQ(st.crc_flits_injected.value(), 0u);
   EXPECT_EQ(st.crc_flit_events, 0u);
   EXPECT_EQ(st.crc_failures, 0u);
   EXPECT_EQ(st.retransmissions, 0u);
@@ -247,13 +248,13 @@ TEST(NetworkFault, CrcFlitOverheadIsExactlyOnePerPacket) {
   net.add_packets(ps);
   net.run_until_drained(200000);
   const NocStats& st = net.stats();
-  EXPECT_EQ(st.crc_flits_injected, ps.size());
-  EXPECT_EQ(st.flits_injected, total_flits(ps) + ps.size());
+  EXPECT_EQ(st.crc_flits_injected.value(), ps.size());
+  EXPECT_EQ(st.flits_injected.value(), total_flits(ps).value() + ps.size());
   // Fault-free: every packet passes its check first try.
   EXPECT_EQ(st.crc_failures, 0u);
   EXPECT_EQ(st.packets_delivered, ps.size());
   // Generator + checker each touch every flit of every protected packet.
-  EXPECT_EQ(st.crc_flit_events, 2 * st.flits_injected);
+  EXPECT_EQ(st.crc_flit_events, 2 * st.flits_injected.value());
   net.check_invariants();
 }
 
@@ -265,8 +266,8 @@ TEST(NetworkFault, TransientLinkAndStallFaultsDelayButDeliver) {
   const NocStats faulty = run_stream(cfg, 1000);
   const NocStats clean = run_stream(NocConfig{}, 1000);
   EXPECT_EQ(faulty.flits_ejected, clean.flits_ejected);  // all delivered
-  EXPECT_GT(faulty.link_fault_cycles, 0u);
-  EXPECT_GT(faulty.router_stall_cycles, 0u);
+  EXPECT_GT(faulty.link_fault_cycles.value(), 0u);
+  EXPECT_GT(faulty.router_stall_cycles.value(), 0u);
   EXPECT_GT(faulty.cycles, clean.cycles);  // outages cost time
 }
 

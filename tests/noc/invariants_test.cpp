@@ -9,6 +9,7 @@
 #include "noc/stats.hpp"
 #include "noc/traffic.hpp"
 #include "util/check.hpp"
+#include "util/units.hpp"
 
 namespace nocw::noc {
 namespace {
@@ -45,7 +46,7 @@ TEST(NocInvariants, ConservationAfterDrainAcrossConfigs) {
     net.run_until_drained(1000000);
     net.check_invariants();
     EXPECT_EQ(net.stats().flits_injected, net.stats().flits_ejected);
-    EXPECT_EQ(net.stats().flits_injected, 300u * 5u);
+    EXPECT_EQ(net.stats().flits_injected.value(), 300u * 5u);
     EXPECT_EQ(net.stats().packet_latency.count(),
               net.stats().packets_ejected);
   }
@@ -71,7 +72,7 @@ TEST(NocInvariants, DetectSeededCounterDrift) {
   Network net(cfg);
   net.add_packets(uniform_random_traffic(cfg, 20, 4, /*seed=*/11));
   net.run_until_drained(100000);
-  net.stats().flits_ejected -= 1;
+  net.stats().flits_ejected -= units::Flits{1};
   EXPECT_THROW(net.check_invariants(), CheckError);
 }
 
@@ -81,13 +82,13 @@ TEST(NocStatsTest, ResetClearsAllCountersIncludingLatency) {
   net.add_packets(uniform_random_traffic(cfg, 30, 4, /*seed=*/5));
   net.run_until_drained(100000);
   NocStats& st = net.stats();
-  ASSERT_GT(st.flits_injected, 0u);
+  ASSERT_GT(st.flits_injected.value(), 0u);
   ASSERT_GT(st.packet_latency.count(), 0u);
 
   st.reset();
-  EXPECT_EQ(st.cycles, 0u);
-  EXPECT_EQ(st.flits_injected, 0u);
-  EXPECT_EQ(st.flits_ejected, 0u);
+  EXPECT_EQ(st.cycles.value(), 0u);
+  EXPECT_EQ(st.flits_injected.value(), 0u);
+  EXPECT_EQ(st.flits_ejected.value(), 0u);
   EXPECT_EQ(st.packets_injected, 0u);
   EXPECT_EQ(st.packets_ejected, 0u);
   EXPECT_EQ(st.router_traversals, 0u);

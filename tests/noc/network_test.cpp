@@ -18,7 +18,7 @@ TEST(Network, SingleFlitMinimalLatency) {
   p.size_flits = 1;
   net.add_packet(p);
   net.run_until_drained(100);
-  EXPECT_EQ(net.stats().flits_ejected, 1u);
+  EXPECT_EQ(net.stats().flits_ejected.value(), 1u);
   EXPECT_EQ(net.stats().packets_ejected, 1u);
   // Injection (1) + 3 inter-router hops + ejection: latency is hops-bound.
   EXPECT_GE(net.stats().packet_latency.mean(), 4.0);
@@ -43,7 +43,7 @@ TEST(Network, SelfTrafficDelivered) {
   p.size_flits = 3;
   net.add_packet(p);
   net.run_until_drained(100);
-  EXPECT_EQ(net.stats().flits_ejected, 3u);
+  EXPECT_EQ(net.stats().flits_ejected.value(), 3u);
   EXPECT_EQ(net.stats().link_traversals, 0u);  // never leaves the router
 }
 
@@ -117,9 +117,9 @@ TEST(Network, ReleaseCycleDelaysInjection) {
   p.release_cycle = 50;
   net.add_packet(p);
   net.run_cycles(40);
-  EXPECT_EQ(net.stats().flits_injected, 0u);
+  EXPECT_EQ(net.stats().flits_injected.value(), 0u);
   net.run_until_drained(100);
-  EXPECT_EQ(net.stats().flits_ejected, 1u);
+  EXPECT_EQ(net.stats().flits_ejected.value(), 1u);
 }
 
 TEST(Network, ThroughputBoundedByInjectionPort) {
@@ -128,8 +128,8 @@ TEST(Network, ThroughputBoundedByInjectionPort) {
   const auto ps = stream_flow(0, 15, 2000, 32);
   net.add_packets(ps);
   net.run_until_drained(10000);
-  EXPECT_GT(net.stats().throughput(), 0.8);
-  EXPECT_LE(net.stats().throughput(), 1.0);
+  EXPECT_GT(net.stats().throughput().value(), 0.8);
+  EXPECT_LE(net.stats().throughput().value(), 1.0);
 }
 
 TEST(Network, ParallelDisjointFlowsScaleThroughput) {
@@ -138,7 +138,7 @@ TEST(Network, ParallelDisjointFlowsScaleThroughput) {
   net.add_packets(stream_flow(0, 3, 2000, 32));
   net.add_packets(stream_flow(12, 15, 2000, 32));
   net.run_until_drained(10000);
-  EXPECT_GT(net.stats().throughput(), 1.6);
+  EXPECT_GT(net.stats().throughput().value(), 1.6);
 }
 
 TEST(Network, SharedLinkHalvesPerFlowThroughput) {
@@ -149,7 +149,7 @@ TEST(Network, SharedLinkHalvesPerFlowThroughput) {
   const std::uint64_t cycles = net.run_until_drained(20000);
   // 3000 flits through a single injection port: at least 3000 cycles.
   EXPECT_GE(cycles, 3000u);
-  EXPECT_LE(net.stats().throughput(), 1.05);
+  EXPECT_LE(net.stats().throughput().value(), 1.05);
 }
 
 TEST(Network, DrainGuardThrows) {

@@ -10,7 +10,7 @@ TEST(Traffic, StreamChopsIntoMaxSizePackets) {
   ASSERT_EQ(ps.size(), 4u);
   EXPECT_EQ(ps[0].size_flits, 32u);
   EXPECT_EQ(ps[3].size_flits, 4u);  // remainder
-  EXPECT_EQ(total_flits(ps), 100u);
+  EXPECT_EQ(total_flits(ps).value(), 100u);
   for (const auto& p : ps) {
     EXPECT_EQ(p.src, 0);
     EXPECT_EQ(p.dst, 5);
@@ -39,7 +39,7 @@ TEST(Traffic, ScatterRoundRobinsDestinations) {
   EXPECT_EQ(ps[1].dst, 2);
   EXPECT_EQ(ps[2].dst, 5);
   EXPECT_EQ(ps[3].dst, 1);
-  EXPECT_EQ(total_flits(ps), 96u);
+  EXPECT_EQ(total_flits(ps).value(), 96u);
 }
 
 TEST(Traffic, GatherRoundRobinsSources) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "noc/flit.hpp"
+#include "util/units.hpp"
 
 namespace nocw::obs {
 namespace {
@@ -130,14 +131,14 @@ TEST(Report, LayerPhaseTableHasTotalsRow) {
   accel::InferenceResult r;
   accel::LayerResult a;
   a.name = "conv1";
-  a.latency.memory_cycles = 100.0;
-  a.latency.comm_cycles = 50.0;
-  a.latency.compute_cycles = 50.0;
+  a.latency.memory_cycles = units::FracCycles{100.0};
+  a.latency.comm_cycles = units::FracCycles{50.0};
+  a.latency.compute_cycles = units::FracCycles{50.0};
   accel::LayerResult b;
   b.name = "fc1";
-  b.latency.memory_cycles = 20.0;
-  b.latency.comm_cycles = 40.0;
-  b.latency.compute_cycles = 140.0;
+  b.latency.memory_cycles = units::FracCycles{20.0};
+  b.latency.comm_cycles = units::FracCycles{40.0};
+  b.latency.compute_cycles = units::FracCycles{140.0};
   r.layers = {a, b};
   r.latency = a.latency;
   r.latency += b.latency;
@@ -152,9 +153,9 @@ TEST(Report, LayerPhaseTableHasTotalsRow) {
 
 TEST(Report, SnapshotInferenceRegistersHeadlinesAndSamples) {
   accel::InferenceResult r;
-  r.latency.memory_cycles = 10.0;
-  r.latency.comm_cycles = 20.0;
-  r.latency.compute_cycles = 30.0;
+  r.latency.memory_cycles = units::FracCycles{10.0};
+  r.latency.comm_cycles = units::FracCycles{20.0};
+  r.latency.compute_cycles = units::FracCycles{30.0};
   r.noc_obs.packet_latency_cycles = {5.0, 15.0};
   r.noc_obs.queue_depth_flits = {1.0};
   Registry reg;

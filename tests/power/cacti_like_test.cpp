@@ -7,16 +7,16 @@ namespace {
 
 TEST(CactiLike, AnchoredAtPeSram) {
   const MemoryEstimate e = sram_estimate(8192, 64);
-  EXPECT_NEAR(e.read_energy_pj, 1.6, 1e-9);
-  EXPECT_NEAR(e.write_energy_pj, 1.8, 1e-9);
-  EXPECT_NEAR(e.leakage_mw, 0.25, 1e-9);
-  EXPECT_EQ(e.access_cycles, 1);
+  EXPECT_NEAR(e.read_energy_pj.value(), 1.6, 1e-9);
+  EXPECT_NEAR(e.write_energy_pj.value(), 1.8, 1e-9);
+  EXPECT_NEAR(e.leakage_mw.value(), 0.25, 1e-9);
+  EXPECT_EQ(e.access_cycles.value(), 1u);
 }
 
 TEST(CactiLike, EnergyGrowsSublinearlyWithCapacity) {
   const auto small = sram_estimate(8192, 64);
   const auto big = sram_estimate(8192 * 16, 64);
-  EXPECT_GT(big.read_energy_pj, small.read_energy_pj);
+  EXPECT_GT(big.read_energy_pj.value(), small.read_energy_pj.value());
   // sqrt scaling: 16x capacity -> 4x energy, far below 16x.
   EXPECT_NEAR(big.read_energy_pj / small.read_energy_pj, 4.0, 0.01);
 }
@@ -34,14 +34,14 @@ TEST(CactiLike, WidthScalesEnergy) {
 }
 
 TEST(CactiLike, LargeArraysTakeMoreCycles) {
-  EXPECT_GE(sram_estimate(1 << 20, 64).access_cycles, 2);
+  EXPECT_GE(sram_estimate(1 << 20, 64).access_cycles.value(), 2u);
 }
 
 TEST(CactiLike, DramFarCostlierThanSram) {
   const auto sram = sram_estimate(8192, 64);
   const auto dram = dram_estimate(1ULL << 30, 64);
   EXPECT_GT(dram.read_energy_pj, 100.0 * sram.read_energy_pj);
-  EXPECT_GT(dram.access_cycles, 10);
+  EXPECT_GT(dram.access_cycles.value(), 10u);
 }
 
 TEST(CactiLike, DramBackgroundGrowsWithCapacity) {

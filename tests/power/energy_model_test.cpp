@@ -9,8 +9,8 @@ namespace {
 
 TEST(EnergyModel, ZeroEventsZeroTimeIsZero) {
   const EnergyBreakdown e =
-      annotate(EventCounts{}, 0.0, EnergyTable{}, PlatformShape{});
-  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+      annotate(EventCounts{}, units::Seconds{0.0}, EnergyTable{}, PlatformShape{});
+  EXPECT_DOUBLE_EQ(e.total().value(), 0.0);
 }
 
 TEST(EnergyModel, DynamicScalesLinearlyWithEvents) {
@@ -19,30 +19,30 @@ TEST(EnergyModel, DynamicScalesLinearlyWithEvents) {
   a.macs = 1000;
   EventCounts b;
   b.macs = 2000;
-  const auto ea = annotate(a, 0.0, t, PlatformShape{});
-  const auto eb = annotate(b, 0.0, t, PlatformShape{});
-  EXPECT_NEAR(eb.computation.dynamic_j, 2.0 * ea.computation.dynamic_j,
-              1e-18);
+  const auto ea = annotate(a, units::Seconds{0.0}, t, PlatformShape{});
+  const auto eb = annotate(b, units::Seconds{0.0}, t, PlatformShape{});
+  EXPECT_NEAR(eb.computation.dynamic_j.value(),
+              2.0 * ea.computation.dynamic_j.value(), 1e-18);
 }
 
 TEST(EnergyModel, LeakageScalesWithTime) {
   EnergyTable t;
-  const auto e1 = annotate(EventCounts{}, 1e-6, t, PlatformShape{});
-  const auto e2 = annotate(EventCounts{}, 2e-6, t, PlatformShape{});
-  EXPECT_NEAR(e2.communication.leakage_j, 2.0 * e1.communication.leakage_j,
-              1e-15);
-  EXPECT_GT(e1.main_memory.leakage_j, 0.0);
+  const auto e1 = annotate(EventCounts{}, units::Seconds{1e-6}, t, PlatformShape{});
+  const auto e2 = annotate(EventCounts{}, units::Seconds{2e-6}, t, PlatformShape{});
+  EXPECT_NEAR(e2.communication.leakage_j.value(),
+              2.0 * e1.communication.leakage_j.value(), 1e-15);
+  EXPECT_GT(e1.main_memory.leakage_j.value(), 0.0);
 }
 
 TEST(EnergyModel, ComponentsRouteToCorrectBuckets) {
   EnergyTable t;
   EventCounts ev;
   ev.dram_accesses = 100;
-  const auto e = annotate(ev, 0.0, t, PlatformShape{});
-  EXPECT_GT(e.main_memory.dynamic_j, 0.0);
-  EXPECT_DOUBLE_EQ(e.communication.dynamic_j, 0.0);
-  EXPECT_DOUBLE_EQ(e.computation.dynamic_j, 0.0);
-  EXPECT_DOUBLE_EQ(e.local_memory.dynamic_j, 0.0);
+  const auto e = annotate(ev, units::Seconds{0.0}, t, PlatformShape{});
+  EXPECT_GT(e.main_memory.dynamic_j.value(), 0.0);
+  EXPECT_DOUBLE_EQ(e.communication.dynamic_j.value(), 0.0);
+  EXPECT_DOUBLE_EQ(e.computation.dynamic_j.value(), 0.0);
+  EXPECT_DOUBLE_EQ(e.local_memory.dynamic_j.value(), 0.0);
 }
 
 TEST(EnergyModel, KnownHandComputedCase) {
@@ -50,17 +50,18 @@ TEST(EnergyModel, KnownHandComputedCase) {
   EventCounts ev;
   ev.router_traversals = 10;  // 10 * 8 pJ
   ev.link_traversals = 10;    // 10 * 4 pJ
-  const auto e = annotate(ev, 0.0, t, PlatformShape{});
-  EXPECT_NEAR(e.communication.dynamic_j, 120e-12, 1e-15);
+  const auto e = annotate(ev, units::Seconds{0.0}, t, PlatformShape{});
+  EXPECT_NEAR(e.communication.dynamic_j.value(), 120e-12, 1e-15);
 }
 
 TEST(EnergyModel, DramWordDominatesNocFlit) {
   // The architectural premise of the paper: off-chip access costs far more
   // than moving the same word across the NoC.
   EnergyTable t;
-  const double noc_per_flit = t.router_traversal_pj + t.link_traversal_pj +
-                              t.buffer_read_pj + t.buffer_write_pj;
-  EXPECT_GT(t.dram_access_pj, 10.0 * noc_per_flit);
+  const units::Picojoules noc_per_flit =
+      t.router_traversal_pj + t.link_traversal_pj + t.buffer_read_pj +
+      t.buffer_write_pj;
+  EXPECT_GT(t.dram_access_pj.value(), 10.0 * noc_per_flit.value());
 }
 
 TEST(EnergyModel, EventCountsAccumulate) {
@@ -77,16 +78,16 @@ TEST(EnergyModel, EventCountsAccumulate) {
 }
 
 TEST(EnergyModel, AnnotateRejectsNegativeSeconds) {
-  EXPECT_THROW(annotate(EventCounts{}, -1e-9, EnergyTable{}, PlatformShape{}),
+  EXPECT_THROW(annotate(EventCounts{}, units::Seconds{-1e-9}, EnergyTable{}, PlatformShape{}),
                CheckError);
 }
 
 TEST(EnergyModel, AnnotateRejectsNonPositivePlatformShape) {
   EXPECT_THROW(
-      annotate(EventCounts{}, 0.0, EnergyTable{}, PlatformShape{0, 12}),
+      annotate(EventCounts{}, units::Seconds{0.0}, EnergyTable{}, PlatformShape{0, 12}),
       CheckError);
   EXPECT_THROW(
-      annotate(EventCounts{}, 0.0, EnergyTable{}, PlatformShape{16, -1}),
+      annotate(EventCounts{}, units::Seconds{0.0}, EnergyTable{}, PlatformShape{16, -1}),
       CheckError);
 }
 
@@ -95,13 +96,13 @@ TEST(EnergyModel, AnnotatedBreakdownIsNonNegative) {
   ev.macs = 123;
   ev.dram_accesses = 45;
   ev.router_traversals = 67;
-  const auto e = annotate(ev, 1e-6, EnergyTable{}, PlatformShape{});
+  const auto e = annotate(ev, units::Seconds{1e-6}, EnergyTable{}, PlatformShape{});
   EXPECT_NO_THROW(e.check_invariants());
 }
 
 TEST(EnergyModel, ComponentCheckRejectsNegativeJoules) {
   EnergyComponent c;
-  c.dynamic_j = -1e-12;
+  c.dynamic_j = units::Joules{-1e-12};
   EXPECT_THROW(c.check_invariants(), CheckError);
 }
 
@@ -110,10 +111,10 @@ TEST(EnergyModel, BreakdownAccumulates) {
   EventCounts ev;
   ev.macs = 100;
   EnergyBreakdown total;
-  const auto one = annotate(ev, 1e-6, t, PlatformShape{});
+  const auto one = annotate(ev, units::Seconds{1e-6}, t, PlatformShape{});
   total += one;
   total += one;
-  EXPECT_NEAR(total.total(), 2.0 * one.total(), 1e-15);
+  EXPECT_NEAR(total.total().value(), 2.0 * one.total().value(), 1e-15);
 }
 
 }  // namespace

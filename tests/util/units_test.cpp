@@ -1,0 +1,183 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "util/check.hpp"
+
+namespace nocw::units {
+namespace {
+
+// --- layout: the retrofit overlays these on bare uint64/double fields ------
+
+static_assert(sizeof(Flits) == 8 && sizeof(FracCycles) == 8 &&
+              sizeof(Picojoules) == 8 && sizeof(Words) == 8);
+static_assert(std::is_trivially_copyable_v<FracCycles> &&
+              std::is_trivially_copyable_v<Flits>);
+// Construction must stay explicit: a bare double is not an energy.
+static_assert(!std::is_convertible_v<double, Joules>);
+static_assert(!std::is_convertible_v<std::uint64_t, Cycles>);
+
+TEST(Units, VocabularyMembership) {
+  EXPECT_TRUE(vocab_has("cycles"));
+  EXPECT_TRUE(vocab_has("joules"));
+  EXPECT_TRUE(vocab_has("flits"));
+  EXPECT_FALSE(vocab_has("picojoules"));  // export-scale units only
+  EXPECT_FALSE(vocab_has("furlongs"));
+  EXPECT_FALSE(vocab_has(""));
+  EXPECT_GE(kUnitVocabSize, 10u);
+}
+
+TEST(Units, RegistryUnitsComeFromVocabulary) {
+  // Every publishable dimension tag must name a vocabulary unit; the empty
+  // tags (pJ, mW, words, rates) are the ones the typed registry overloads
+  // reject at compile time.
+  EXPECT_TRUE(vocab_has(CycleDim::registry_unit));
+  EXPECT_TRUE(vocab_has(JouleDim::registry_unit));
+  EXPECT_TRUE(vocab_has(FlitDim::registry_unit));
+  EXPECT_TRUE(vocab_has(BitDim::registry_unit));
+  EXPECT_TRUE(PicojouleDim::registry_unit.empty());
+  EXPECT_TRUE(MilliwattDim::registry_unit.empty());
+  EXPECT_TRUE(WordDim::registry_unit.empty());
+  EXPECT_TRUE((RateDim<JouleDim, FlitDim>::registry_unit.empty()));
+}
+
+// --- arithmetic -------------------------------------------------------------
+
+TEST(Units, SameDimensionArithmetic) {
+  Cycles c{10};
+  c += Cycles{5};
+  EXPECT_EQ(c.value(), 15u);
+  c = c - Cycles{3};
+  EXPECT_EQ(c.value(), 12u);
+  ++c;
+  EXPECT_EQ(c.value(), 13u);
+  EXPECT_EQ((Joules{1.5} + Joules{0.5}).value(), 2.0);
+}
+
+TEST(Units, UnsignedOverflowThrowsInsteadOfWrapping) {
+  Cycles c{std::numeric_limits<std::uint64_t>::max()};
+  EXPECT_THROW(c += Cycles{1}, CheckError);
+  EXPECT_THROW(++c, CheckError);
+  Flits f{3};
+  EXPECT_THROW(f -= Flits{4}, CheckError);
+  // The failed operation must not have corrupted the counter.
+  EXPECT_EQ(f.value(), 3u);
+}
+
+TEST(Units, ScalarScalingAndDivision) {
+  EXPECT_EQ((Flits{7} * 3u).value(), 21u);
+  EXPECT_EQ((2.0 * Joules{1.5}).value(), 3.0);
+  EXPECT_EQ((Cycles{9} / 2u).value(), 4u);  // integer semantics preserved
+  EXPECT_THROW(static_cast<void>(Cycles{9} / 0u), CheckError);
+}
+
+TEST(Units, SameDimensionDivisionIsAPlainRatio) {
+  const double r = FracCycles{150.0} / FracCycles{100.0};
+  EXPECT_DOUBLE_EQ(r, 1.5);
+  // Bit-identity contract: the typed ratio is exactly double(a)/double(b),
+  // the expression every pre-typed call site used.
+  EXPECT_EQ(Cycles{7} / Cycles{3}, 7.0 / 3.0);
+}
+
+TEST(Units, CrossDimensionDivisionYieldsTypedRate) {
+  const FlitsPerCycle th = Flits{80} / Cycles{100};
+  EXPECT_DOUBLE_EQ(th.value(), 0.8);
+  const JoulesPerFlit epf = Joules{2e-9} / Flits{1000};
+  EXPECT_DOUBLE_EQ(epf.value(), 2e-12);
+  // rate * denominator recovers the numerator dimension, both operand orders.
+  const Joules back = epf * Flits{500};
+  EXPECT_DOUBLE_EQ(back.value(), 1e-9);
+  const Joules back2 = Flits{500} * epf;
+  EXPECT_DOUBLE_EQ(back2.value(), back.value());
+}
+
+TEST(Units, ComparisonsAreValueComparisons) {
+  EXPECT_TRUE(Cycles{3} < Cycles{4});
+  EXPECT_TRUE(Joules{1.0} >= Joules{1.0});
+  EXPECT_TRUE(Flits{5} != Flits{6});
+}
+
+// --- conversions ------------------------------------------------------------
+
+TEST(Units, PicojouleRoundTripIsExactForTableValues) {
+  // Back-annotation tables hold small decimal pJ values; the pJ -> J -> pJ
+  // round trip must not drift (the export path multiplies by 1e-12 exactly
+  // once, like the pre-typed code).
+  for (const double pj : {0.5, 1.0, 2.25, 37.8, 1234.0}) {
+    const Joules j = to_joules(Picojoules{pj});
+    EXPECT_DOUBLE_EQ(j.value(), pj * 1e-12);
+    EXPECT_NEAR(to_picojoules(j).value(), pj, pj * 1e-12);
+  }
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Watts w = to_watts(Milliwatts{250.0});
+  EXPECT_DOUBLE_EQ(w.value(), 0.25);
+  const Joules j = w * Seconds{2.0};
+  EXPECT_DOUBLE_EQ(j.value(), 0.5);
+  EXPECT_DOUBLE_EQ((Seconds{2.0} * w).value(), 0.5);
+}
+
+TEST(Units, BitsWordsRoundUpAndCheckOverflow) {
+  EXPECT_EQ(to_words(Bits{64}, 32).value(), 2u);
+  EXPECT_EQ(to_words(Bits{65}, 32).value(), 3u);  // ceil
+  EXPECT_EQ(to_words(Bits{0}, 32).value(), 0u);
+  EXPECT_THROW(static_cast<void>(to_words(Bits{1}, 0)), CheckError);
+  EXPECT_EQ(to_bits(Words{3}, 32).value(), 96u);
+  EXPECT_THROW(
+      static_cast<void>(
+          to_bits(Words{std::numeric_limits<std::uint64_t>::max()}, 2)),
+      CheckError);
+  EXPECT_EQ(flits_of(Words{17}).value(), 17u);
+}
+
+TEST(Units, RoundCyclesRejectsUnrepresentableEstimates) {
+  EXPECT_EQ(round_cycles(FracCycles{1234.4}).value(), 1234u);
+  EXPECT_EQ(round_cycles(FracCycles{1234.6}).value(), 1235u);
+  EXPECT_THROW(static_cast<void>(round_cycles(FracCycles{-1.0})), CheckError);
+  EXPECT_THROW(static_cast<void>(round_cycles(FracCycles{std::nan("")})), CheckError);
+  EXPECT_THROW(
+      static_cast<void>(
+          round_cycles(FracCycles{std::numeric_limits<double>::infinity()})),
+      CheckError);
+  EXPECT_THROW(static_cast<void>(round_cycles(FracCycles{1e19})), CheckError);  // > 2^63
+}
+
+TEST(Units, SecondsAtMatchesPreTypedExpression) {
+  // The retrofit contract: seconds_at(c, ghz) == c / (ghz * 1e9) with the
+  // factors applied in exactly that order, so energy exports stay
+  // bit-identical to the pre-typed tree.
+  const double cycles = 123456.789;
+  const double ghz = 1.3;
+  EXPECT_EQ(seconds_at(FracCycles{cycles}, ghz).value(),
+            cycles / (ghz * 1e9));
+  EXPECT_THROW(static_cast<void>(seconds_at(FracCycles{1.0}, 0.0)), CheckError);
+}
+
+TEST(Units, SerializationStability) {
+  // Exports print .value() through printf-family formatting; a quantity must
+  // serialize exactly like the bare double it wraps.
+  const Joules j{1.23456789e-7};
+  char typed[64];
+  char bare[64];
+  std::snprintf(typed, sizeof(typed), "%.8e", j.value());
+  std::snprintf(bare, sizeof(bare), "%.8e", 1.23456789e-7);
+  EXPECT_STREQ(typed, bare);
+  const Cycles c{18446744073709551614ull};
+  EXPECT_EQ(std::to_string(c.value()), "18446744073709551614");
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(Cycles{}.value(), 0u);
+  EXPECT_EQ(Joules{}.value(), 0.0);
+  EXPECT_EQ(FracCycles{}.dvalue(), 0.0);
+}
+
+}  // namespace
+}  // namespace nocw::units

@@ -35,9 +35,11 @@ Rules (all scoped to src/, the library code):
 
   metric      obs::Registry registration sites (set_counter, add_counter,
               set_gauge, observe) whose unit argument is a string literal
-              must draw it from the closed vocabulary in METRIC_UNITS —
-              kept in sync with unit_allowed() in src/obs/registry.cpp, so
-              an unknown unit is caught before the run-time NOCW_CHECK is.
+              must draw it from the closed vocabulary — parsed at startup
+              from src/util/units_vocab.inc, the same X-macro list that
+              units.hpp and unit_allowed() in src/obs/registry.cpp compile
+              in, so an unknown unit is caught before the run-time
+              NOCW_CHECK is and the three consumers cannot drift.
 
   print       (scoped to bench/) std::printf / std::cout are forbidden in
               bench drivers outside bench_util.cpp, the sanctioned table
@@ -99,11 +101,28 @@ FAULT_ALLOWED = ("src/noc/fault.cpp", "src/noc/fault.hpp")
 PRINT_ALLOWED = "bench/bench_util.cpp"
 ENGINE_ALLOWED = ("src/noc/network.cpp", "src/noc/network.hpp")
 
-# Kept in sync with kUnits in src/obs/registry.cpp (unit_allowed).
-METRIC_UNITS = {
-    "count", "cycles", "seconds", "flits", "packets", "events", "bits",
-    "bytes", "joules", "watts", "ratio", "fraction", "percent", "samples",
-}
+NOCW_UNIT_RE = re.compile(r"^\s*NOCW_UNIT\((\w+)\)", re.M)
+
+
+def load_metric_units() -> frozenset[str]:
+    """The closed unit vocabulary, parsed from src/util/units_vocab.inc —
+    the same X-macro list units.hpp and registry.cpp (unit_allowed) compile
+    in, so the linter can never drift from the library. The baked-in
+    fallback only covers a checkout where the .inc has been deleted."""
+    inc = pathlib.Path(__file__).resolve().parent.parent / (
+        "src/util/units_vocab.inc")
+    try:
+        units = NOCW_UNIT_RE.findall(inc.read_text(encoding="utf-8"))
+    except OSError:
+        units = []
+    return frozenset(units) or frozenset({
+        "count", "cycles", "seconds", "flits", "packets", "events", "bits",
+        "bytes", "joules", "watts", "ratio", "fraction", "percent",
+        "samples",
+    })
+
+
+METRIC_UNITS = load_metric_units()
 
 # `double name;` or `double name = ...;` at the start of a line — a field or
 # namespace-scope declaration. Function parameters and return types never
@@ -185,6 +204,23 @@ def unit_name_ok(name: str) -> bool:
         DIMENSIONLESS_SUFFIXES)
 
 
+def lint_metric_units(rel: str, text: str) -> list[str]:
+    """The [metric] rule: registry registration sites whose unit argument is
+    a string literal must draw it from the closed vocabulary. Calls may span
+    lines, so the rule matches the whole comment-stripped text; shared by the
+    src/ and bench/ passes."""
+    findings = []
+    for m in METRIC_RE.finditer(text):
+        unit = m.group(1)
+        if unit not in METRIC_UNITS:
+            lineno = text.count("\n", 0, m.start()) + 1
+            findings.append(
+                f"{rel}:{lineno}: [metric] unit '{unit}' is not in the "
+                f"registry vocabulary ({', '.join(sorted(METRIC_UNITS))}); "
+                f"keep units closed so exports stay comparable")
+    return findings
+
+
 def lint_engine_line(rel: str, lineno: int, line: str) -> list[str]:
     """The [engine] rule for one comment-stripped line; shared by the src/,
     bench/ and tests//examples/ passes."""
@@ -243,16 +279,7 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"sample faults through FaultModel / corrupt_bits so fault "
                 f"experiments stay seed-reproducible")
         findings.extend(lint_engine_line(rel, lineno, line))
-    # Registry calls may span lines, so this rule matches the whole
-    # comment-stripped text rather than line-by-line.
-    for m in METRIC_RE.finditer(text):
-        unit = m.group(1)
-        if unit not in METRIC_UNITS:
-            lineno = text.count("\n", 0, m.start()) + 1
-            findings.append(
-                f"{rel}:{lineno}: [metric] unit '{unit}' is not in the "
-                f"registry vocabulary ({', '.join(sorted(METRIC_UNITS))}); "
-                f"keep units closed so exports stay comparable")
+    findings.extend(lint_metric_units(rel, text))
     return findings
 
 
@@ -267,14 +294,7 @@ def lint_bench_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"bench driver; progress lines go through obs::log() "
                 f"(NOCW_QUIET-aware), tables through bench::emit")
         findings.extend(lint_engine_line(rel, lineno, line))
-    for m in METRIC_RE.finditer(text):
-        unit = m.group(1)
-        if unit not in METRIC_UNITS:
-            lineno = text.count("\n", 0, m.start()) + 1
-            findings.append(
-                f"{rel}:{lineno}: [metric] unit '{unit}' is not in the "
-                f"registry vocabulary ({', '.join(sorted(METRIC_UNITS))}); "
-                f"keep units closed so exports stay comparable")
+    findings.extend(lint_metric_units(rel, text))
     if (MAIN_RE.search(text) and rel != PRINT_ALLOWED
             and not WRITE_SUMMARY_RE.search(text)):
         lineno = text.count("\n", 0, MAIN_RE.search(text).start()) + 1
