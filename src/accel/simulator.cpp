@@ -1,9 +1,12 @@
 #include "accel/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "noc/fault.hpp"
 #include "noc/network.hpp"
+#include "noc/routing.hpp"
 #include "noc/traffic.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -14,6 +17,38 @@ namespace {
 
 std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
+}
+
+std::uint64_t sig_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Fingerprint of the NoC knobs that can change a phase run's outcome
+/// (fault pattern, protection, resilience, routing). Pure config mixing —
+/// deliberately not noc::fault_hash, which is reserved for fault sampling.
+std::uint64_t env_signature(const noc::NocConfig& n) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = sig_mix(h, std::bit_cast<std::uint64_t>(n.fault.bit_flip_probability));
+  h = sig_mix(h, std::bit_cast<std::uint64_t>(n.fault.link_fault_probability));
+  h = sig_mix(h,
+              std::bit_cast<std::uint64_t>(n.fault.router_stall_probability));
+  h = sig_mix(h, static_cast<std::uint64_t>(n.fault.permanent_stuck_links));
+  h = sig_mix(h, static_cast<std::uint64_t>(n.fault.permanent_link_outages));
+  h = sig_mix(h, static_cast<std::uint64_t>(n.fault.permanent_router_outages));
+  h = sig_mix(h, n.fault.seed);
+  h = sig_mix(h, n.protection.crc ? 1u : 0u);
+  h = sig_mix(h, static_cast<std::uint64_t>(n.protection.max_retries));
+  h = sig_mix(h, n.protection.retry_backoff_cycles);
+  h = sig_mix(h, n.protection.fail_on_drop ? 1u : 0u);
+  h = sig_mix(h, static_cast<std::uint64_t>(n.resilience.route_mode));
+  h = sig_mix(h, n.resilience.assume_known_outages ? 1u : 0u);
+  h = sig_mix(h, n.resilience.escalate ? 1u : 0u);
+  h = sig_mix(h, n.resilience.stall_threshold_cycles);
+  h = sig_mix(h,
+              static_cast<std::uint64_t>(n.resilience.retry_suspicion_threshold));
+  h = sig_mix(h, static_cast<std::uint64_t>(n.routing));
+  return h;
 }
 
 // Synthesize time-series points for an analytic phase: `amount` units of
@@ -58,6 +93,83 @@ AcceleratorSim::AcceleratorSim(const AccelConfig& cfg,
                                const power::EnergyTable& table)
     : cfg_(cfg), table_(table) {
   check_invariants();
+  live_mis_ = cfg_.noc.memory_interface_nodes();
+  live_pes_ = cfg_.noc.pe_nodes();
+  if (cfg_.noc.resilience.adaptive()) {
+    // PE/MI failover: endpoints on permanently-dead routers get no traffic
+    // shares and contribute no throughput; survivors absorb their work.
+    // Derived once, from the same seeded placement the network uses, so a
+    // degraded run is deterministic for any thread count.
+    const noc::FaultModel fm(cfg_.noc.fault, cfg_.noc.node_count(),
+                             cfg_.noc.width);
+    const auto dead = fm.dead_routers();
+    if (!dead.empty() || !fm.dead_links().empty()) {
+      const auto drop_dead = [&](std::vector<int>& nodes) {
+        std::erase_if(nodes, [&](int node) {
+          return std::binary_search(dead.begin(), dead.end(), node);
+        });
+      };
+      drop_dead(live_mis_);
+      drop_dead(live_pes_);
+      // Transit connectivity: the west-first turn model cannot always
+      // detour around a dead transit router/link (westward travel must be
+      // a path prefix), so a live endpoint can still be unreachable from a
+      // live MI — and phase traffic must be lossless, never silently
+      // dropped as undeliverable. Drop MIs that cannot exchange data with
+      // any PE, then PEs not mutually reachable with every remaining MI.
+      noc::HealthMap health(cfg_.noc.node_count());
+      for (const int link : fm.dead_links()) {
+        health.mark_link_down(link / noc::kNumPorts, link % noc::kNumPorts);
+      }
+      for (const int rid : dead) health.mark_router_down(rid);
+      noc::RouteTable table(cfg_.noc, cfg_.noc.resilience.route_mode);
+      table.rebuild(health);
+      const auto mutual = [&](int a, int b) {
+        return table.reachable(a, b) && table.reachable(b, a);
+      };
+      const auto mutual_pe_count = [&](int mi) {
+        std::size_t n = 0;
+        for (const int pe : live_pes_) n += mutual(mi, pe) ? 1 : 0;
+        return n;
+      };
+      // Keep the PEs every surviving MI can exchange data with. When that
+      // set is empty the outage has split the mesh from the MIs' point of
+      // view (e.g. a dead column-0 router strands one corner MI on the
+      // wrong side of every west-chain); sacrificing the most-constraining
+      // MI — fewest mutually reachable PEs, highest node id on ties — and
+      // retrying trades one memory port for a usable compute pool. The
+      // walk is a pure function of the fault placement: deterministic.
+      while (true) {
+        std::vector<int> ok;
+        for (const int pe : live_pes_) {
+          if (std::all_of(live_mis_.begin(), live_mis_.end(),
+                          [&](int mi) { return mutual(mi, pe); })) {
+            ok.push_back(pe);
+          }
+        }
+        if (!ok.empty() || live_mis_.size() <= 1) {
+          live_pes_ = std::move(ok);
+          break;
+        }
+        int worst = live_mis_.front();
+        std::size_t worst_count = mutual_pe_count(worst);
+        for (const int mi : live_mis_) {
+          const std::size_t count = mutual_pe_count(mi);
+          if (count < worst_count ||
+              (count == worst_count && mi > worst)) {
+            worst = mi;
+            worst_count = count;
+          }
+        }
+        std::erase(live_mis_, worst);
+      }
+      // No surviving MI (or PE) means the workload cannot be remapped —
+      // degradation has a floor, and silently dividing by zero is not it.
+      NOCW_CHECK(!live_mis_.empty());
+      NOCW_CHECK(!live_pes_.empty());
+    }
+  }
+  env_sig_ = env_signature(cfg_.noc);
 }
 
 void AcceleratorSim::check_invariants() const {
@@ -88,7 +200,12 @@ void AcceleratorSim::check_invariants() const {
   NOCW_CHECK_GE(cfg_.noc.fault.router_stall_probability, 0.0);
   NOCW_CHECK_LE(cfg_.noc.fault.router_stall_probability, 1.0);
   NOCW_CHECK_GE(cfg_.noc.fault.permanent_stuck_links, 0);
+  NOCW_CHECK_GE(cfg_.noc.fault.permanent_link_outages, 0);
+  NOCW_CHECK_GE(cfg_.noc.fault.permanent_router_outages, 0);
   NOCW_CHECK_GE(cfg_.noc.protection.max_retries, 0);
+  NOCW_CHECK(!cfg_.noc.resilience.escalate || cfg_.noc.resilience.adaptive());
+  NOCW_CHECK_GE(cfg_.noc.resilience.stall_threshold_cycles, std::uint64_t{1});
+  NOCW_CHECK_GE(cfg_.noc.resilience.retry_suspicion_threshold, 1);
 }
 
 AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
@@ -107,7 +224,8 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   // sink or live NoC tracing must fire on every call, not once.
   const bool cacheable = cfg_.reuse_noc_phases && cfg_.series == nullptr &&
                          !NOCW_TRACE_ON(obs::kCatNoc);
-  const auto key = std::make_pair(scatter_flits.value(), gather_flits.value());
+  const auto key = std::make_tuple(scatter_flits.value(),
+                                   gather_flits.value(), env_sig_);
   if (cacheable) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (const auto it = phase_cache_.find(key); it != phase_cache_.end()) {
@@ -136,8 +254,11 @@ AcceleratorSim::NocPhase AcceleratorSim::run_noc_phase(
   // the MIs. phase_traffic is the one shared definition of that compilation.
   units::Flits injected;
   {
-    const auto ps = noc::phase_traffic(cfg_.noc, scaled_scatter,
-                                       scaled_gather, cfg_.packet_flits, tag);
+    // Compile over the *live* endpoint lists (== the full sets without
+    // failover), so a degraded layer's traffic never targets a dead router.
+    const auto ps =
+        noc::phase_traffic(cfg_.noc, live_mis_, live_pes_, scaled_scatter,
+                           scaled_gather, cfg_.packet_flits, tag);
     net.add_packets(ps);
     injected = noc::total_flits(ps);
   }
@@ -238,7 +359,7 @@ LayerResult AcceleratorSim::simulate_layer(
 
   // --- (1)/(4) main memory ---
   const units::Words dram_words = weight_words + ifmap_words + ofmap_words;
-  const std::uint64_t mi_count = cfg_.noc.memory_interface_nodes().size();
+  const std::uint64_t mi_count = live_mis_.size();
   const double dram_rate =
       static_cast<double>(cfg_.dram_words_per_cycle_per_mi) *
       static_cast<double>(mi_count) * cfg_.dram_efficiency;
@@ -263,7 +384,7 @@ LayerResult AcceleratorSim::simulate_layer(
   r.latency.comm_cycles = phase.cycles;
 
   // --- (3) compute ---
-  const std::uint64_t pe_count = cfg_.noc.pe_nodes().size();
+  const std::uint64_t pe_count = live_pes_.size();
   const std::uint64_t throughput =
       pe_count * static_cast<std::uint64_t>(cfg_.macs_per_pe_per_cycle);
   r.latency.compute_cycles = units::FracCycles{static_cast<double>(

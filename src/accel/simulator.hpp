@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -157,6 +159,24 @@ class AcceleratorSim {
 
   [[nodiscard]] const AccelConfig& config() const noexcept { return cfg_; }
 
+  /// Endpoints actually used for traffic and throughput. Equal to the mesh's
+  /// full MI/PE sets unless fault-aware routing is on and permanent outages
+  /// hit the mesh — then failover runs at construction: endpoints on dead
+  /// routers are dropped, as are MIs/PEs the west-first turn model can no
+  /// longer connect (a dead transit router disconnects some west-chains, and
+  /// phase traffic must be lossless, never silently undeliverable). The
+  /// survivors absorb the dropped endpoints' traffic shares and compute
+  /// throughput (deterministically), so the inference completes degraded
+  /// instead of deadlocking. Construction throws nocw::CheckError when no
+  /// MI or no PE survives.
+  [[nodiscard]] std::span<const int> live_memory_interfaces() const noexcept {
+    return live_mis_;
+  }
+  [[nodiscard]] std::span<const int> live_processing_elements()
+      const noexcept {
+    return live_pes_;
+  }
+
   /// NoC phase-cache effectiveness counters (see AccelConfig::
   /// reuse_noc_phases); accumulated across every simulate() call on this
   /// instance.
@@ -184,11 +204,21 @@ class AcceleratorSim {
 
   AccelConfig cfg_;
   power::EnergyTable table_;
-  /// Phase memo keyed by (scatter, gather) flit volumes. mutable + mutex:
-  /// simulate() is logically const and sweep drivers share one simulator
-  /// across lanes.
+  /// Surviving MI/PE node ids (== the config's full sets without failover).
+  std::vector<int> live_mis_;
+  std::vector<int> live_pes_;
+  /// Fingerprint of every fault/protection/resilience/routing knob that can
+  /// change what a phase run produces. Folded into the phase-cache key so a
+  /// cached result can never be replayed under a different fault scenario
+  /// or routing mode (defense in depth: cfg_ is immutable per instance, but
+  /// the cache key should say so rather than assume it).
+  std::uint64_t env_sig_ = 0;
+  /// Phase memo keyed by (scatter, gather) flit volumes plus the fault/
+  /// routing environment signature. mutable + mutex: simulate() is
+  /// logically const and sweep drivers share one simulator across lanes.
   mutable std::mutex cache_mu_;
-  mutable std::map<std::pair<std::uint64_t, std::uint64_t>, NocPhase>
+  mutable std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+                   NocPhase>
       phase_cache_;
   mutable std::uint64_t cache_hits_ = 0;
   mutable std::uint64_t cache_misses_ = 0;

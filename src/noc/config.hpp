@@ -14,6 +14,43 @@ enum class Routing {
   YX,  ///< resolve Y first, then X
 };
 
+/// Route computation mode (noc/routing.hpp). Dor keeps the per-hop
+/// dimension-order formula; WestFirst installs a table-driven west-first
+/// turn-model route that can be rebuilt around quarantined links/routers.
+/// With zero faults the west-first table is identical to XY DOR entry for
+/// entry, so adaptive runs are bit-identical to the DOR baseline.
+enum class RouteMode {
+  Dor,
+  WestFirst,
+};
+
+/// Resilience knobs: fault-aware routing + online fault escalation
+/// (DESIGN.md §13). All off by default — the engine then behaves
+/// bit-identically to a build without the subsystem.
+struct ResilienceConfig {
+  /// Routing mode. WestFirst requires Routing::XY (the turn model's
+  /// forbidden turns are defined relative to X-first paths).
+  RouteMode route_mode = RouteMode::Dor;
+  /// Pre-mark the FaultModel's permanent link/router outages as down at
+  /// construction (routes avoid them from cycle 0). With this off the
+  /// outages must be discovered online by the watchdogs below.
+  bool assume_known_outages = true;
+  /// Online escalation: stall watchdogs and CRC-exhaustion suspicion may
+  /// quarantine links/routers mid-run (flush + route rebuild). Requires an
+  /// adaptive route_mode — quarantine without rerouting cannot recover.
+  bool escalate = false;
+  /// Consecutive blocked cycles before a stall watchdog quarantines a link
+  /// or router.
+  std::uint64_t stall_threshold_cycles = 256;
+  /// Retry-exhausted packets charge one strike to every link on their
+  /// path; a link reaching this many strikes is quarantined.
+  int retry_suspicion_threshold = 3;
+
+  [[nodiscard]] bool adaptive() const noexcept {
+    return route_mode != RouteMode::Dor;
+  }
+};
+
 /// Cycle-engine selection (DESIGN.md §11). Both engines share one switch
 /// core and are bit-identical in every observable output (stats, latency,
 /// energy, samples, time series); they differ only in how the run loops
@@ -54,6 +91,8 @@ struct NocConfig {
   FaultConfig fault;
   /// Per-packet CRC + MI→PE retransmission. Off by default (zero overhead).
   ProtectionConfig protection;
+  /// Fault-aware routing + escalation. Off by default (zero overhead).
+  ResilienceConfig resilience;
   /// Cycle engine (see EngineMode). Event is the default; results are
   /// bit-identical to Dense by construction.
   EngineMode engine = EngineMode::Event;

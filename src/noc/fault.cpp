@@ -1,5 +1,6 @@
 #include "noc/fault.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "noc/flit.hpp"
@@ -17,6 +18,8 @@ constexpr std::uint64_t kSaltBitPick = 0xB17C0DE5ULL;
 constexpr std::uint64_t kSaltLinkDown = 0x11D0D011ULL;
 constexpr std::uint64_t kSaltStall = 0x57A11EDULL;
 constexpr std::uint64_t kSaltStuck = 0x57C0CA7ULL;
+constexpr std::uint64_t kSaltLinkOut = 0xDEADF117ULL;
+constexpr std::uint64_t kSaltRouterOut = 0xDEAD0C7AULL;
 
 /// Uniform double in [0, 1) from a hash value, mirroring
 /// Xoshiro256pp::uniform()'s bit discipline.
@@ -79,7 +82,8 @@ std::uint64_t corrupt_bits(std::span<std::uint8_t> bytes,
   return flips;
 }
 
-FaultModel::FaultModel(const FaultConfig& cfg, int node_count) : cfg_(cfg) {
+FaultModel::FaultModel(const FaultConfig& cfg, int node_count, int width)
+    : cfg_(cfg) {
   NOCW_CHECK_GE(cfg_.bit_flip_probability, 0.0);
   NOCW_CHECK_LE(cfg_.bit_flip_probability, 1.0);
   NOCW_CHECK_GE(cfg_.link_fault_probability, 0.0);
@@ -87,6 +91,9 @@ FaultModel::FaultModel(const FaultConfig& cfg, int node_count) : cfg_(cfg) {
   NOCW_CHECK_GE(cfg_.router_stall_probability, 0.0);
   NOCW_CHECK_LE(cfg_.router_stall_probability, 1.0);
   NOCW_CHECK_GE(cfg_.permanent_stuck_links, 0);
+  NOCW_CHECK_GE(cfg_.permanent_link_outages, 0);
+  NOCW_CHECK_GE(cfg_.permanent_router_outages, 0);
+  NOCW_CHECK_LT(cfg_.permanent_router_outages, node_count);
   NOCW_CHECK_GT(node_count, 0);
   enabled_ = cfg_.any();
   if (!enabled_) return;
@@ -113,6 +120,59 @@ FaultModel::FaultModel(const FaultConfig& cfg, int node_count) : cfg_(cfg) {
       stuck_masks_[link] = mask;
       ++placed;
     }
+  }
+  const std::size_t link_count =
+      static_cast<std::size_t>(node_count) * kNumPorts;
+  // A candidate link must be a real mesh link: never the local (NI) port,
+  // and — when the mesh width is known — never a port that points off-mesh
+  // (an off-mesh "outage" would silently change nothing).
+  const int height = width > 0 ? node_count / width : 0;
+  const auto is_real_link = [&](std::size_t link) {
+    const auto port = static_cast<int>(link % kNumPorts);
+    if (port == kLocal) return false;
+    if (width <= 0) return true;
+    const auto node = static_cast<int>(link / kNumPorts);
+    const int x = node % width;
+    const int y = node / width;
+    switch (port) {
+      case kNorth: return y > 0;
+      case kSouth: return y < height - 1;
+      case kEast: return x < width - 1;
+      case kWest: return x > 0;
+      default: return false;
+    }
+  };
+  if (cfg_.permanent_link_outages > 0) {
+    link_dead_.assign(link_count, 0);
+    int placed = 0;
+    for (std::uint64_t salt = 0;
+         placed < cfg_.permanent_link_outages && salt < link_count * 64;
+         ++salt) {
+      const std::uint64_t h = fault_hash(cfg_.seed, kSaltLinkOut, salt, 0);
+      const std::size_t link = static_cast<std::size_t>(h % link_count);
+      if (!is_real_link(link) || link_dead_[link] != 0) continue;
+      link_dead_[link] = 1;
+      dead_links_.push_back(static_cast<int>(link));
+      ++placed;
+    }
+    std::sort(dead_links_.begin(), dead_links_.end());
+  }
+  if (cfg_.permanent_router_outages > 0) {
+    router_dead_.assign(static_cast<std::size_t>(node_count), 0);
+    int placed = 0;
+    for (std::uint64_t salt = 0;
+         placed < cfg_.permanent_router_outages &&
+         salt < static_cast<std::uint64_t>(node_count) * 64;
+         ++salt) {
+      const std::uint64_t h = fault_hash(cfg_.seed, kSaltRouterOut, salt, 0);
+      const auto router = static_cast<std::size_t>(
+          h % static_cast<std::uint64_t>(node_count));
+      if (router_dead_[router] != 0) continue;
+      router_dead_[router] = 1;
+      dead_routers_.push_back(static_cast<int>(router));
+      ++placed;
+    }
+    std::sort(dead_routers_.begin(), dead_routers_.end());
   }
 }
 
@@ -142,17 +202,26 @@ int FaultModel::corrupt_payload(std::uint64_t& payload, std::uint64_t cycle,
 
 bool FaultModel::link_down(std::uint64_t cycle, int router,
                            int out_port) const noexcept {
-  if (!enabled_ || cfg_.link_fault_probability <= 0.0) return false;
+  if (!enabled_) return false;
   const std::uint64_t link =
       static_cast<std::uint64_t>(router) * kNumPorts +
       static_cast<std::uint64_t>(out_port);
+  if (!link_dead_.empty() && link_dead_[static_cast<std::size_t>(link)] != 0) {
+    return true;  // permanent outage: down every cycle
+  }
+  if (cfg_.link_fault_probability <= 0.0) return false;
   const std::uint64_t h = fault_hash(cfg_.seed, kSaltLinkDown, cycle, link);
   return to_uniform(h) < cfg_.link_fault_probability;
 }
 
 bool FaultModel::router_stalled(std::uint64_t cycle,
                                 int router) const noexcept {
-  if (!enabled_ || cfg_.router_stall_probability <= 0.0) return false;
+  if (!enabled_) return false;
+  if (!router_dead_.empty() &&
+      router_dead_[static_cast<std::size_t>(router)] != 0) {
+    return true;  // permanent outage: stalled every cycle
+  }
+  if (cfg_.router_stall_probability <= 0.0) return false;
   const std::uint64_t h = fault_hash(cfg_.seed, kSaltStall, cycle,
                                      static_cast<std::uint64_t>(router));
   return to_uniform(h) < cfg_.router_stall_probability;

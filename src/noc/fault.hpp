@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace nocw::noc {
@@ -37,13 +39,22 @@ struct FaultConfig {
   /// Number of links with a permanent stuck-at fault: every flit crossing
   /// one has a fixed seed-derived bit mask XOR-ed into its payload.
   int permanent_stuck_links = 0;
+  /// Number of links permanently down for the whole run (seed-placed on
+  /// distinct non-local links). Flits queued toward one stay buffered
+  /// forever unless fault-aware routing detours around it.
+  int permanent_link_outages = 0;
+  /// Number of routers permanently down for the whole run (seed-placed,
+  /// distinct). A dead router never allocates its switch; with resilience
+  /// active its PE/MI role is failed over (DESIGN.md §13).
+  int permanent_router_outages = 0;
   /// Seed for all fault decisions.
   std::uint64_t seed = 1;
 
   /// True when any fault mechanism is active.
   [[nodiscard]] bool any() const noexcept {
     return bit_flip_probability > 0.0 || link_fault_probability > 0.0 ||
-           router_stall_probability > 0.0 || permanent_stuck_links > 0;
+           router_stall_probability > 0.0 || permanent_stuck_links > 0 ||
+           permanent_link_outages > 0 || permanent_router_outages > 0;
   }
 };
 
@@ -54,8 +65,28 @@ struct ProtectionConfig {
   bool crc = false;
   /// Retransmission budget per packet; beyond it the packet is dropped.
   int max_retries = 4;
-  /// Backoff before the k-th retry is `retry_backoff_cycles << k` cycles.
+  /// Backoff before the k-th retry is `retry_backoff_cycles << k` cycles,
+  /// with the shift capped at kMaxBackoffShift so a deep retry chain
+  /// saturates instead of scheduling the packet billions of cycles out.
   std::uint64_t retry_backoff_cycles = 8;
+  static constexpr unsigned kMaxBackoffShift = 10;  ///< backoff cap: << 10
+  /// Throw PacketLossError when a packet exhausts its retry budget instead
+  /// of counting a silent drop (callers that must not lose weight-stream
+  /// data opt in).
+  bool fail_on_drop = false;
+};
+
+/// Typed error for an unrecoverable packet loss: the retry budget of a
+/// CRC-protected packet ran out and ProtectionConfig::fail_on_drop is set.
+class PacketLossError : public std::runtime_error {
+ public:
+  PacketLossError(const std::string& what, int src_node, int dst_node,
+                  std::uint32_t packet_tag)
+      : std::runtime_error(what), src(src_node), dst(dst_node),
+        tag(packet_tag) {}
+  int src;
+  int dst;
+  std::uint32_t tag;
 };
 
 /// Counter-based hash: a uniform 64-bit value determined purely by
@@ -95,7 +126,9 @@ std::uint64_t corrupt_bits(std::span<std::uint8_t> bytes,
 class FaultModel {
  public:
   FaultModel() = default;
-  FaultModel(const FaultConfig& cfg, int node_count);
+  /// `width` (mesh columns) lets permanent-outage placement skip ports that
+  /// point off-mesh; 0 means unknown (only local ports are skipped then).
+  FaultModel(const FaultConfig& cfg, int node_count, int width = 0);
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
@@ -105,11 +138,13 @@ class FaultModel {
   int corrupt_payload(std::uint64_t& payload, std::uint64_t cycle, int router,
                       int out_port) const noexcept;
 
-  /// True when link (router, out_port) is transiently down this cycle.
+  /// True when link (router, out_port) is down this cycle (transient
+  /// outage, or one of the permanent link outages / a dead router's link).
   [[nodiscard]] bool link_down(std::uint64_t cycle, int router,
                                int out_port) const noexcept;
 
-  /// True when `router` performs no switch allocation this cycle.
+  /// True when `router` performs no switch allocation this cycle
+  /// (transient stall, or a permanent router outage).
   [[nodiscard]] bool router_stalled(std::uint64_t cycle,
                                     int router) const noexcept;
 
@@ -117,12 +152,27 @@ class FaultModel {
   [[nodiscard]] std::uint64_t stuck_mask(int router,
                                          int out_port) const noexcept;
 
+  /// Seed-placed permanent outages (sorted flattened link ids
+  /// router * kNumPorts + port, and sorted router ids). The resilience
+  /// layer pre-marks these in its HealthMap; the accelerator fails the
+  /// affected PE/MI roles over to survivors.
+  [[nodiscard]] std::span<const int> dead_links() const noexcept {
+    return dead_links_;
+  }
+  [[nodiscard]] std::span<const int> dead_routers() const noexcept {
+    return dead_routers_;
+  }
+
  private:
   FaultConfig cfg_;
   bool enabled_ = false;
   double flit_flip_probability_ = 0.0;  ///< 1 - (1 - p_bit)^64
   /// Flattened link id (router * kNumPorts + port) → stuck-at XOR mask.
   std::vector<std::uint64_t> stuck_masks_;
+  std::vector<int> dead_links_;        ///< sorted flattened link ids
+  std::vector<int> dead_routers_;      ///< sorted router ids
+  std::vector<std::uint8_t> link_dead_;    ///< [link id] permanent outage
+  std::vector<std::uint8_t> router_dead_;  ///< [router id] permanent outage
 };
 
 }  // namespace nocw::noc

@@ -11,12 +11,21 @@
 namespace nocw::noc {
 
 Network::Network(const NocConfig& cfg)
-    : cfg_(cfg), fault_(cfg.fault, cfg.node_count()) {
+    : cfg_(cfg), fault_(cfg.fault, cfg.node_count(), cfg.width),
+      health_(cfg.node_count()) {
   vcs_ = cfg_.virtual_channels > 0 ? cfg_.virtual_channels : 1;
   engine_ = engine_from_env(cfg_.engine);
   protect_ = cfg_.protection.crc;
   carry_payload_ = protect_ || fault_.enabled();
+  adaptive_ = cfg_.resilience.adaptive();
+  escalate_ = cfg_.resilience.escalate;
+  // Escalation rides on the adaptive machinery (health map, rebuilds);
+  // without it a quarantine verdict would have nowhere to go.
+  NOCW_CHECK(!escalate_ || adaptive_);
+  track_inflight_ = protect_ || escalate_;
   NOCW_CHECK_GE(cfg_.protection.max_retries, 0);
+  NOCW_CHECK_GE(cfg_.resilience.stall_threshold_cycles, std::uint64_t{1});
+  NOCW_CHECK_GE(cfg_.resilience.retry_suspicion_threshold, 1);
   routers_.reserve(static_cast<std::size_t>(cfg_.node_count()));
   for (int id = 0; id < cfg_.node_count(); ++id) {
     routers_.emplace_back(id, cfg_);
@@ -55,12 +64,42 @@ Network::Network(const NocConfig& cfg)
   observe_ = trace_noc_;
   trace_sample_ = obs::Tracer::sample_every();
   if (trace_sample_ == 0) trace_sample_ = 1;
+  // The fast path caches DOR head routes; any table-driven rerouting would
+  // invalidate those caches mid-run, so adaptive mode pins the reference
+  // switch loop (PR 6's bit-identity gate makes both produce equal stats).
   fast_switch_ = engine_ == EngineMode::Event && !fault_.enabled() &&
-                 !trace_noc_ && kNumPorts * vcs_ <= 64;
+                 !trace_noc_ && !adaptive_ && kNumPorts * vcs_ <= 64;
   if (fast_switch_) {
     occ_mask_.assign(static_cast<std::size_t>(cfg_.node_count()), 0);
     head_out_.assign(lanes_total, 0);
     live_occ_.assign(lanes_total, 0);
+  }
+  if (adaptive_) {
+    route_table_ =
+        std::make_unique<RouteTable>(cfg_, cfg_.resilience.route_mode);
+    for (auto& r : routers_) r.set_route_table(route_table_.get());
+    if (escalate_) {
+      link_streak_.assign(
+          static_cast<std::size_t>(cfg_.node_count()) * kNumPorts, 0);
+      router_streak_.assign(static_cast<std::size_t>(cfg_.node_count()), 0);
+      link_suspicion_.assign(
+          static_cast<std::size_t>(cfg_.node_count()) * kNumPorts, 0);
+    }
+    if (cfg_.resilience.assume_known_outages &&
+        (!fault_.dead_links().empty() || !fault_.dead_routers().empty())) {
+      // Known permanent outages are quarantined before the first packet:
+      // no detection latency, no recovery_cycles charged.
+      for (const int link : fault_.dead_links()) {
+        if (health_.mark_link_down(link / kNumPorts, link % kNumPorts)) {
+          ++stats_.links_quarantined;
+        }
+      }
+      for (const int rid : fault_.dead_routers()) {
+        if (health_.mark_router_down(rid)) ++stats_.routers_quarantined;
+      }
+      route_table_->rebuild(health_);
+      ++stats_.route_rebuilds;
+    }
   }
 }
 
@@ -90,6 +129,18 @@ void Network::inject_phase() {
   for (int node = 0; node < cfg_.node_count(); ++node) {
     auto& s = sources_[static_cast<std::size_t>(node)];
     if (!s.active) {
+      // Drop packets with no live route at activation time (dead source or
+      // destination router, or a partitioned mesh) instead of injecting
+      // flits that could never eject — graceful degradation over deadlock.
+      while (adaptive_ && !s.pending.empty() &&
+             s.pending.top().release_cycle <= stats_.cycles.value() &&
+             !deliverable(node, s.pending.top().dst)) {
+        const std::uint64_t fl = flits_of(s.pending.top());
+        s.pending.pop();
+        s.queued_flits -= fl;
+        queued_total_ -= fl;
+        ++stats_.packets_undeliverable;
+      }
       if (s.pending.empty() ||
           s.pending.top().release_cycle > stats_.cycles.value()) {
         continue;
@@ -101,7 +152,7 @@ void Network::inject_phase() {
       s.sent = 0;
       s.packet_id = next_packet_id_++;
       s.crc_accum = kCrcInit;
-      if (protect_) inflight_.emplace(s.packet_id, s.current);
+      if (track_inflight_) inflight_.emplace(s.packet_id, s.current);
     }
     const int vc = static_cast<int>(s.packet_id % static_cast<std::uint32_t>(vcs_));
     auto& local =
@@ -187,6 +238,7 @@ void Network::eject_flit(const Flit& f, int node) {
   }
   if (!protect_) {
     ++stats_.packets_delivered;
+    if (track_inflight_) inflight_.erase(f.packet_id);
     if (eject_hook_) eject_hook_(f, stats_.cycles.value());
     return;
   }
@@ -209,7 +261,8 @@ void Network::eject_flit(const Flit& f, int node) {
     PacketDescriptor d = pit->second;
     inflight_.erase(pit);
     if (d.attempt < cfg_.protection.max_retries) {
-      const unsigned shift = std::min<unsigned>(d.attempt, 32);
+      const unsigned shift = std::min<unsigned>(
+          static_cast<unsigned>(d.attempt), ProtectionConfig::kMaxBackoffShift);
       d.release_cycle = stats_.cycles.value() +
                         (cfg_.protection.retry_backoff_cycles << shift);
       ++d.attempt;
@@ -229,9 +282,47 @@ void Network::eject_flit(const Flit& f, int node) {
             static_cast<std::uint32_t>(node), stats_.cycles.value(), "attempt",
             static_cast<double>(d.attempt));
       }
+      // A whole retry budget burned on one flow is strong evidence of a
+      // hard fault somewhere on its path; let the escalation layer point
+      // the finger before (optionally) failing loudly.
+      if (escalate_) suspect_path(d);
+      if (cfg_.protection.fail_on_drop) {
+        std::ostringstream oss;
+        oss << "packet lost after " << d.attempt + 1 << " attempts (src "
+            << d.src << " -> dst " << d.dst << ", tag " << d.tag << ")";
+        throw PacketLossError(oss.str(), d.src, d.dst, d.tag);
+      }
     }
   }
   if (eject_hook_) eject_hook_(f, stats_.cycles.value());
+}
+
+bool Network::deliverable(int src, int dst) const noexcept {
+  if (!adaptive_) return true;
+  return health_.router_up(src) && health_.router_up(dst) &&
+         route_table_->reachable(src, dst);
+}
+
+void Network::suspect_path(const PacketDescriptor& d) {
+  // Walk the packet's current route (the one its retries kept failing on)
+  // and charge every link one suspicion point. Runs on the serial commit
+  // path, so escalation order is deterministic for any lane count.
+  int node = d.src;
+  for (int hop = 0; hop < cfg_.node_count() && node != d.dst; ++hop) {
+    const int port = route_table_->next_hop(node, d.dst);
+    if (port == RouteTable::kUnreachable || port == kLocal) break;
+    const std::size_t link = static_cast<std::size_t>(node) * kNumPorts +
+                             static_cast<std::size_t>(port);
+    if (health_.link_up(node, port) &&
+        ++link_suspicion_[link] ==
+            static_cast<std::uint32_t>(
+                cfg_.resilience.retry_suspicion_threshold)) {
+      pending_down_links_.push_back(static_cast<int>(link));
+    }
+    const int next = neighbor_[link];
+    if (next < 0) break;
+    node = next;
+  }
 }
 
 void Network::snapshot_occupancy() {
@@ -357,8 +448,18 @@ void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
     auto& r = routers_[static_cast<std::size_t>(rid)];
     if (faulty && fault_.router_stalled(stats_.cycles.value(), rid)) {
       ++ctx.stall_cycles;
+      // Stall watchdog: consecutive stalled-while-occupied cycles. Streak
+      // slots belong to this router, so disjoint chunks never race.
+      if (escalate_ && health_.router_up(rid) &&
+          router_occ_[static_cast<std::size_t>(rid)] > 0 &&
+          ++router_streak_[static_cast<std::size_t>(rid)] ==
+              static_cast<std::uint32_t>(
+                  cfg_.resilience.stall_threshold_cycles)) {
+        ctx.down_routers.push_back(rid);
+      }
       continue;  // control-path glitch: no allocation on any port this cycle
     }
+    if (escalate_) router_streak_[static_cast<std::size_t>(rid)] = 0;
     for (int out = 0; out < kNumPorts; ++out) {
       if (out == kLocal) {
         // Ejection: the NI always sinks one flit per cycle per port. The
@@ -371,7 +472,21 @@ void Network::switch_range(int rb, int re, SwitchCtx& ctx) {
       }
       if (faulty && fault_.link_down(stats_.cycles.value(), rid, out)) {
         ++ctx.link_fault_cycles;
+        if (escalate_ && health_.link_up(rid, out) &&
+            neighbor_[static_cast<std::size_t>(rid) * kNumPorts +
+                      static_cast<std::size_t>(out)] >= 0 &&
+            router_occ_[static_cast<std::size_t>(rid)] > 0 &&
+            ++link_streak_[static_cast<std::size_t>(rid) * kNumPorts +
+                           static_cast<std::size_t>(out)] ==
+                static_cast<std::uint32_t>(
+                    cfg_.resilience.stall_threshold_cycles)) {
+          ctx.down_links.push_back(rid * kNumPorts + out);
+        }
         continue;  // transient outage: flits stay buffered and retry
+      }
+      if (escalate_) {
+        link_streak_[static_cast<std::size_t>(rid) * kNumPorts +
+                     static_cast<std::size_t>(out)] = 0;
       }
       // Neighbour router and its receiving port.
       const int x = cfg_.node_x(rid);
@@ -522,6 +637,7 @@ void Network::step_cycle() {
     for (const auto& m : ctxs_[c].staged) push_move(m);
   }
   for (const auto& m : staged_) push_move(m);
+  if (escalate_) process_escalations(chunk_ctxs);
   ++stats_.cycles;
   if (observe_ && stats_.cycles.value() % kQueueSampleInterval == 0) {
     sample_queue_depths();
@@ -533,6 +649,87 @@ void Network::step_cycle() {
 }
 
 void Network::step() { step_cycle(); }
+
+void Network::process_escalations(std::size_t chunk_ctxs) {
+  // Merge the chunks' watchdog verdicts with the retry-suspicion queue.
+  // Sorting (and deduplicating) makes the apply order a function of the
+  // entity ids alone, never of lane scheduling.
+  std::vector<int> links = std::move(pending_down_links_);
+  pending_down_links_.clear();
+  std::vector<int> routers;
+  for (std::size_t c = 0; c < chunk_ctxs; ++c) {
+    links.insert(links.end(), ctxs_[c].down_links.begin(),
+                 ctxs_[c].down_links.end());
+    routers.insert(routers.end(), ctxs_[c].down_routers.begin(),
+                   ctxs_[c].down_routers.end());
+  }
+  if (links.empty() && routers.empty()) return;
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  std::sort(routers.begin(), routers.end());
+  routers.erase(std::unique(routers.begin(), routers.end()), routers.end());
+  std::uint64_t newly_marked = 0;
+  for (const int link : links) {
+    if (health_.mark_link_down(link / kNumPorts, link % kNumPorts)) {
+      ++stats_.links_quarantined;
+      ++newly_marked;
+    }
+  }
+  for (const int rid : routers) {
+    if (health_.mark_router_down(rid)) {
+      ++stats_.routers_quarantined;
+      ++newly_marked;
+    }
+  }
+  if (newly_marked == 0) return;
+  // Each escalation spent one detection window stalled before the verdict.
+  stats_.recovery_cycles +=
+      units::Cycles{cfg_.resilience.stall_threshold_cycles * newly_marked};
+  quarantine_flush();
+  route_table_->rebuild(health_);
+  ++stats_.route_rebuilds;
+}
+
+void Network::quarantine_flush() {
+  // Mid-flight wormholes cannot survive a route change (body flits must
+  // follow their head's path), so the recovery story is restart-from-
+  // source: drop everything buffered, cancel mid-injection sources, and
+  // requeue every affected packet from its original descriptor.
+  std::uint64_t flushed = 0;
+  for (auto& r : routers_) {
+    flushed += static_cast<std::uint64_t>(r.flush_buffers());
+  }
+  stats_.flits_flushed += units::Flits{flushed};
+  for (auto& s : sources_) {
+    if (!s.active) continue;
+    const std::uint64_t remaining =
+        static_cast<std::uint64_t>(flits_of(s.current)) - s.sent;
+    s.queued_flits -= remaining;
+    queued_total_ -= remaining;
+    s.active = false;
+    --active_sources_;
+    // The descriptor is requeued through the inflight_ sweep below
+    // (track_inflight_ always holds here: escalation implies it).
+  }
+  eject_crc_.clear();
+  if (!track_inflight_) return;
+  std::vector<std::pair<std::uint32_t, PacketDescriptor>> flow(
+      inflight_.begin(), inflight_.end());
+  inflight_.clear();
+  std::sort(flow.begin(), flow.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [id, d] : flow) requeue_or_drop(d);
+}
+
+void Network::requeue_or_drop(PacketDescriptor d) {
+  if (!deliverable(d.src, d.dst)) {
+    ++stats_.packets_undeliverable;
+    return;
+  }
+  d.release_cycle = stats_.cycles.value() + 1;
+  queue_packet(d);
+  ++stats_.packets_rerouted;
+}
 
 void Network::sample_queue_depths() {
   if (queue_samples_.size() + routers_.size() > kMaxObservationSamples) return;
@@ -549,6 +746,7 @@ void Network::set_series_sink(obs::TimeSeriesSet* sink,
   series_prev_injected_ = stats_.flits_injected.value();
   series_prev_ejected_ = stats_.flits_ejected.value();
   series_prev_links_ = stats_.link_traversals;
+  series_prev_rerouted_ = stats_.packets_rerouted;
 }
 
 void Network::sample_series() {
@@ -568,6 +766,15 @@ void Network::sample_series() {
   for (const auto& r : routers_) buffered += r.buffered_flits();
   series_->append("noc.queue_depth", "flits", t,
                   static_cast<double>(buffered));
+  if (adaptive_) {
+    // Recovery visibility: reroute bursts mark the quarantine events on the
+    // same timeline as the throughput dip they explain. Gated on adaptive_
+    // so baseline runs keep their exact series schema.
+    series_->append("noc.packets_rerouted", "packets", t,
+                    static_cast<double>(stats_.packets_rerouted -
+                                        series_prev_rerouted_));
+    series_prev_rerouted_ = stats_.packets_rerouted;
+  }
   series_prev_injected_ = stats_.flits_injected.value();
   series_prev_ejected_ = stats_.flits_ejected.value();
   series_prev_links_ = stats_.link_traversals;
@@ -576,8 +783,10 @@ void Network::sample_series() {
 bool Network::drained() const noexcept {
   // queued_total_ counts every flit not yet injected, including the rest of
   // any packet mid-injection, so it doubles as the active-source check.
+  // Flushed flits left the network without ejecting (their packets were
+  // requeued or dropped), so conservation is injected == ejected + flushed.
   return queued_total_ == 0 &&
-         stats_.flits_injected == stats_.flits_ejected;
+         stats_.flits_injected == stats_.flits_ejected + stats_.flits_flushed;
 }
 
 std::uint64_t Network::undelivered_flits() const noexcept {
@@ -590,7 +799,9 @@ std::uint64_t Network::undelivered_flits() const noexcept {
 bool Network::idle_now() const noexcept {
   // Stepping would be a pure no-op: nothing buffered (conservation), no
   // source mid-packet, and no fault counters that tick on idle cycles.
-  return stats_.flits_injected == stats_.flits_ejected &&
+  // (flits_flushed is always zero here: flushes require faults.)
+  return stats_.flits_injected ==
+             stats_.flits_ejected + stats_.flits_flushed &&
          active_sources_ == 0 && !fault_.enabled();
 }
 
@@ -638,6 +849,35 @@ void Network::throw_drain_timeout(std::uint64_t max_cycles) const {
   std::ostringstream msg;
   msg << "NoC did not drain within cycle budget (" << max_cycles
       << " cycles, " << undelivered_flits() << " flits undelivered)";
+  // Name the active fault/resilience configuration: a drain timeout under
+  // faults is usually a blocked route, and which links/routers are down is
+  // the first thing the triage needs.
+  if (fault_.enabled()) {
+    const FaultConfig& fc = fault_.config();
+    msg << "; faults: ber=" << fc.bit_flip_probability
+        << " link_p=" << fc.link_fault_probability
+        << " stall_p=" << fc.router_stall_probability
+        << " stuck_links=" << fc.permanent_stuck_links << " seed=" << fc.seed;
+    if (!fault_.dead_links().empty()) {
+      msg << "; dead links (router:port):";
+      for (const int link : fault_.dead_links()) {
+        msg << " " << link / kNumPorts << ":" << link % kNumPorts;
+      }
+    }
+    if (!fault_.dead_routers().empty()) {
+      msg << "; dead routers:";
+      for (const int rid : fault_.dead_routers()) msg << " " << rid;
+    }
+  }
+  if (adaptive_) {
+    msg << "; routing="
+        << (cfg_.resilience.route_mode == RouteMode::WestFirst ? "west_first"
+                                                               : "dor")
+        << " escalate=" << (escalate_ ? 1 : 0)
+        << " quarantined_links=" << health_.links_down()
+        << " quarantined_routers=" << health_.routers_down()
+        << " rebuilds=" << stats_.route_rebuilds;
+  }
   // Name one offender: prefer a flit stuck in some router FIFO, else a
   // packet still queued at (or mid-injection into) a source.
   for (const auto& r : routers_) {
@@ -728,14 +968,18 @@ void Network::check_invariants() const {
     r.check_invariants();
     buffered += r.buffered_flits();
   }
-  // Flit conservation: every injected flit is either ejected or still sits
-  // in some router FIFO. Queued flits at the sources are not yet injected.
+  // Flit conservation: every injected flit is either ejected, still sitting
+  // in some router FIFO, or was flushed by a quarantine. Queued flits at
+  // the sources are not yet injected.
   NOCW_CHECK_EQ(stats_.flits_injected.value(),
-                stats_.flits_ejected.value() + buffered);
+                stats_.flits_ejected.value() + buffered +
+                    stats_.flits_flushed.value());
   NOCW_CHECK_GE(stats_.packets_injected, stats_.packets_ejected);
   NOCW_CHECK_GE(stats_.flits_injected.value(), stats_.packets_injected);
-  // Every buffered flit was written exactly once and is read exactly once.
-  NOCW_CHECK_EQ(stats_.buffer_writes, stats_.buffer_reads + buffered);
+  // Every buffered flit was written exactly once and is read exactly once
+  // (a flushed flit was written but never read out).
+  NOCW_CHECK_EQ(stats_.buffer_writes,
+                stats_.buffer_reads + buffered + stats_.flits_flushed.value());
   // Each crossbar traversal reads one flit out of an input FIFO.
   NOCW_CHECK_EQ(stats_.router_traversals, stats_.buffer_reads);
   // One latency sample per ejected packet (Fig. 2 latency feeds off this).
@@ -799,8 +1043,25 @@ void Network::check_invariants() const {
     NOCW_CHECK_EQ(stats_.crc_failures, std::uint64_t{0});
     NOCW_CHECK_EQ(stats_.crc_flits_injected.value(), std::uint64_t{0});
     NOCW_CHECK_EQ(stats_.crc_flit_events, std::uint64_t{0});
-    NOCW_CHECK(inflight_.empty());
     NOCW_CHECK(eject_crc_.empty());
+  }
+  if (!track_inflight_) NOCW_CHECK(inflight_.empty());
+  // Resilience counters are pinned to zero when the machinery is off — the
+  // zero-overhead guarantee the bit-identity gates rely on — and mirror
+  // the health map exactly when it is on.
+  if (!adaptive_) {
+    NOCW_CHECK_EQ(stats_.route_rebuilds, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.links_quarantined, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.routers_quarantined, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.flits_flushed.value(), std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.packets_rerouted, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.packets_undeliverable, std::uint64_t{0});
+    NOCW_CHECK_EQ(stats_.recovery_cycles.value(), std::uint64_t{0});
+  } else {
+    NOCW_CHECK_EQ(stats_.links_quarantined,
+                  static_cast<std::uint64_t>(health_.links_down()));
+    NOCW_CHECK_EQ(stats_.routers_quarantined,
+                  static_cast<std::uint64_t>(health_.routers_down()));
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <span>
 #include <unordered_map>
@@ -29,6 +30,7 @@
 #include "noc/fault.hpp"
 #include "noc/flit.hpp"
 #include "noc/router.hpp"
+#include "noc/routing.hpp"
 #include "noc/stats.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -192,6 +194,11 @@ class Network {
   struct SwitchCtx {
     std::vector<StagedMove> staged;
     std::vector<std::pair<int, Flit>> ejects;  ///< (node, flit), id order
+    /// Watchdog escalations raised by this chunk's routers: flattened link
+    /// ids / router ids whose stall streak crossed the threshold. Merged,
+    /// sorted and applied serially at the end of the cycle.
+    std::vector<int> down_links;
+    std::vector<int> down_routers;
     std::uint64_t buffer_reads = 0;
     std::uint64_t router_traversals = 0;
     std::uint64_t link_traversals = 0;
@@ -201,6 +208,8 @@ class Network {
     void clear() noexcept {
       staged.clear();
       ejects.clear();
+      down_links.clear();
+      down_routers.clear();
       buffer_reads = router_traversals = link_traversals = 0;
       stall_cycles = link_fault_cycles = bit_flips = 0;
     }
@@ -241,6 +250,24 @@ class Network {
   [[noreturn]] void throw_drain_timeout(std::uint64_t max_cycles) const;
   void eject_flit(const Flit& f, int node);
   void queue_packet(const PacketDescriptor& p);
+  /// True when a packet from `src` can currently be delivered to `dst`
+  /// (both routers live, route exists). Always true when not adaptive.
+  [[nodiscard]] bool deliverable(int src, int dst) const noexcept;
+  /// CRC-exhaustion escalation: a packet burned its whole retry budget, so
+  /// every link on its current route grows one suspicion point; links that
+  /// reach retry_suspicion_threshold are queued for quarantine.
+  void suspect_path(const PacketDescriptor& d);
+  /// End-of-cycle escalation: merge the chunks' watchdog verdicts with the
+  /// suspicion queue, mark new casualties in the health map, flush, requeue
+  /// and rebuild. Serial; deterministic for any lane count.
+  void process_escalations(std::size_t chunk_ctxs);
+  /// Drop every buffered flit network-wide, cancel mid-injection sources,
+  /// and requeue the affected packets (in packet-id order) for a fresh
+  /// attempt over the rebuilt routes.
+  void quarantine_flush();
+  /// Requeue `d` for reinjection if a live route still exists, else count
+  /// it undeliverable.
+  void requeue_or_drop(PacketDescriptor d);
   void sample_queue_depths();
   void sample_series();
   /// Flits a descriptor expands to at injection (+1 CRC flit if protected).
@@ -257,8 +284,27 @@ class Network {
   FaultModel fault_;
   bool protect_ = false;       ///< cfg_.protection.crc
   bool carry_payload_ = false; ///< faults or protection active
-  /// Protected packets in flight: packet id → original descriptor (attempt
-  /// count included), so a CRC failure at ejection can requeue it.
+
+  // --- resilience (DESIGN.md §13) ---
+  bool adaptive_ = false;        ///< cfg_.resilience.adaptive()
+  bool escalate_ = false;        ///< cfg_.resilience.escalate
+  /// inflight_ is maintained when either CRC protection (NACK requeue) or
+  /// escalation (quarantine-flush requeue) needs the original descriptors.
+  bool track_inflight_ = false;
+  HealthMap health_;
+  std::unique_ptr<RouteTable> route_table_;  ///< null unless adaptive_
+  /// Consecutive blocked-while-occupied cycles per link / router; crossing
+  /// cfg_.resilience.stall_threshold_cycles escalates to quarantine.
+  std::vector<std::uint32_t> link_streak_;    ///< [node * kNumPorts + port]
+  std::vector<std::uint32_t> router_streak_;  ///< per router
+  /// Retry-exhaustion suspicion points per link (see suspect_path).
+  std::vector<std::uint32_t> link_suspicion_;
+  /// Links fingered by suspect_path this cycle, quarantined at cycle end.
+  std::vector<int> pending_down_links_;
+
+  /// Packets in flight: packet id → original descriptor (attempt count
+  /// included), so a CRC failure at ejection — or a quarantine flush — can
+  /// requeue it. Maintained iff track_inflight_.
   std::unordered_map<std::uint32_t, PacketDescriptor> inflight_;
   /// Ejection-side running CRC per in-flight packet id.
   std::unordered_map<std::uint32_t, std::uint32_t> eject_crc_;
@@ -329,6 +375,7 @@ class Network {
   std::uint64_t series_prev_injected_ = 0;
   std::uint64_t series_prev_ejected_ = 0;
   std::uint64_t series_prev_links_ = 0;
+  std::uint64_t series_prev_rerouted_ = 0;
 };
 
 }  // namespace nocw::noc

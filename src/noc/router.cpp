@@ -1,11 +1,14 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+
+#include "noc/routing.hpp"
 #include "util/check.hpp"
 
 namespace nocw::noc {
 
 Router::Router(int id, const NocConfig& cfg)
-    : id_(id), x_(cfg.node_x(id)), y_(cfg.node_y(id)),
+    : id_(id),
       vcs_(cfg.virtual_channels > 0 ? cfg.virtual_channels : 1), cfg_(&cfg) {
   buffers_.reserve(static_cast<std::size_t>(kNumPorts) * vcs_);
   for (int i = 0; i < kNumPorts * vcs_; ++i) {
@@ -16,21 +19,24 @@ Router::Router(int id, const NocConfig& cfg)
 }
 
 int Router::route(int dst) const noexcept {
-  // Dimension-order routing; both orders are deadlock-free on meshes.
-  const int dx = cfg_->node_x(dst);
-  const int dy = cfg_->node_y(dst);
-  if (cfg_->routing == Routing::YX) {
-    if (dy > y_) return kSouth;
-    if (dy < y_) return kNorth;
-    if (dx > x_) return kEast;
-    if (dx < x_) return kWest;
-    return kLocal;
+  if (table_ != nullptr) {
+    const int port = table_->next_hop(id_, dst);
+    // Unreachable pairs never carry traffic (undeliverable packets are
+    // dropped at the source and every rebuild is preceded by a flush);
+    // ejecting locally keeps the fallback conservation-safe regardless.
+    return port != RouteTable::kUnreachable ? port : kLocal;
   }
-  if (dx > x_) return kEast;
-  if (dx < x_) return kWest;
-  if (dy > y_) return kSouth;
-  if (dy < y_) return kNorth;
-  return kLocal;
+  return dor_next_hop(*cfg_, id_, dst);
+}
+
+std::size_t Router::flush_buffers() {
+  std::size_t flushed = 0;
+  for (auto& b : buffers_) {
+    flushed += b.size();
+    while (!b.empty()) b.pop();
+  }
+  std::fill(lock_.begin(), lock_.end(), -1);
+  return flushed;
 }
 
 std::optional<int> Router::allocate(

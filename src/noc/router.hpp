@@ -25,6 +25,8 @@
 
 namespace nocw::noc {
 
+class RouteTable;
+
 class Router {
  public:
   Router(int id, const NocConfig& cfg);
@@ -69,8 +71,22 @@ class Router {
     return lock_[flat(out_port, vc)];
   }
 
-  /// Dimension-order route computation: output port for destination `dst`.
+  /// Output port for destination `dst`: the installed RouteTable's entry
+  /// when fault-aware routing is active, else dimension-order (noc/routing's
+  /// dor_next_hop). An unreachable table entry falls back to kLocal — the
+  /// network drops undeliverable packets before injection and flushes
+  /// in-flight flits before any rebuild, so that branch never carries
+  /// traffic.
   [[nodiscard]] int route(int dst) const noexcept;
+
+  /// Install (or clear, with nullptr) a route table owned by the network.
+  void set_route_table(const RouteTable* table) noexcept { table_ = table; }
+
+  /// Drop every buffered flit and release all wormhole locks (quarantine
+  /// flush: in-flight wormholes are restarted from their sources after a
+  /// route rebuild). Returns the number of flits removed. Round-robin
+  /// pointers keep their values — any in-range start is valid.
+  std::size_t flush_buffers();
 
   /// Switch allocation for one output port: choose a flattened
   /// (input port, VC) index whose head flit may traverse to `out_port`
@@ -156,9 +172,9 @@ class Router {
 
  private:
   int id_;
-  int x_, y_;
   int vcs_;
   const NocConfig* cfg_;
+  const RouteTable* table_ = nullptr;  ///< owned by the network; may be null
   std::vector<RingBuffer<Flit>> buffers_;  ///< kNumPorts x vcs_
   /// Wormhole owner per (output port, VC): flattened input index or -1.
   std::vector<int> lock_;  ///< kNumPorts x vcs_

@@ -37,6 +37,15 @@ struct NocStats {
   std::uint64_t retransmissions = 0;     ///< NACK-triggered re-injections
   std::uint64_t packets_dropped = 0;     ///< retry budget exhausted
 
+  // --- resilience / fault-aware routing (zero unless resilience active) ---
+  std::uint64_t route_rebuilds = 0;        ///< RouteTable recomputations
+  std::uint64_t links_quarantined = 0;     ///< links marked permanently down
+  std::uint64_t routers_quarantined = 0;   ///< routers marked permanently down
+  units::Flits flits_flushed;              ///< flits dropped by quarantine flush
+  std::uint64_t packets_rerouted = 0;      ///< in-flight packets restarted
+  std::uint64_t packets_undeliverable = 0; ///< dropped: no live route to dst
+  units::Cycles recovery_cycles;           ///< detection latency spent stalled
+
   /// Delivered throughput in flits per cycle (typed rate; cross-dimension
   /// division in units.hpp carries the dimensions for us).
   [[nodiscard]] units::FlitsPerCycle throughput() const noexcept {

@@ -90,12 +90,33 @@ std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
                                             units::Flits gather_flits,
                                             std::uint32_t flits_per_packet,
                                             std::uint32_t tag) {
-  if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   const auto mis = cfg.memory_interface_nodes();
   const auto pes = cfg.pe_nodes();
+  return phase_traffic(cfg, mis, pes, scatter_flits, gather_flits,
+                       flits_per_packet, tag);
+}
+
+std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
+                                            std::span<const int> mis,
+                                            std::span<const int> pes,
+                                            units::Flits scatter_flits,
+                                            units::Flits gather_flits,
+                                            std::uint32_t flits_per_packet,
+                                            std::uint32_t tag) {
+  if (flits_per_packet == 0) throw std::invalid_argument("zero packet size");
   if ((scatter_flits + gather_flits).value() > 0 &&
       (mis.empty() || pes.empty())) {
     throw std::invalid_argument("phase traffic needs MIs and PEs");
+  }
+  for (const int node : mis) {
+    if (node < 0 || node >= cfg.node_count()) {
+      throw std::invalid_argument("phase traffic MI out of range");
+    }
+  }
+  for (const int node : pes) {
+    if (node < 0 || node >= cfg.node_count()) {
+      throw std::invalid_argument("phase traffic PE out of range");
+    }
   }
   std::vector<PacketDescriptor> out;
   const auto append = [&](std::vector<PacketDescriptor>&& ps) {

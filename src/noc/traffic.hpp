@@ -54,6 +54,17 @@ std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
                                             std::uint32_t flits_per_packet,
                                             std::uint32_t tag = 0);
 
+/// phase_traffic over an explicit endpoint set: the accelerator's failover
+/// path passes the *surviving* MIs and PEs (dead routers excluded), so a
+/// degraded layer compiles to traffic that only touches live endpoints.
+std::vector<PacketDescriptor> phase_traffic(const NocConfig& cfg,
+                                            std::span<const int> mis,
+                                            std::span<const int> pes,
+                                            units::Flits scatter_flits,
+                                            units::Flits gather_flits,
+                                            std::uint32_t flits_per_packet,
+                                            std::uint32_t tag = 0);
+
 /// `packets` uniform-random source/destination pairs (src != dst).
 std::vector<PacketDescriptor> uniform_random_traffic(
     const NocConfig& cfg, int packets, std::uint32_t flits_per_packet,

@@ -46,6 +46,14 @@ constexpr NocStatsField kFields[] = {
     {"packets_delivered", "packets", raw<&NocStats::packets_delivered>},
     {"retransmissions", "packets", raw<&NocStats::retransmissions>},
     {"packets_dropped", "packets", raw<&NocStats::packets_dropped>},
+    {"route_rebuilds", "count", raw<&NocStats::route_rebuilds>},
+    {"links_quarantined", "links", raw<&NocStats::links_quarantined>},
+    {"routers_quarantined", "routers", raw<&NocStats::routers_quarantined>},
+    {"flits_flushed", "flits", typed<&NocStats::flits_flushed>},
+    {"packets_rerouted", "packets", raw<&NocStats::packets_rerouted>},
+    {"packets_undeliverable", "packets",
+     raw<&NocStats::packets_undeliverable>},
+    {"recovery_cycles", "cycles", typed<&NocStats::recovery_cycles>},
 };
 
 constexpr std::size_t kFieldCount = sizeof(kFields) / sizeof(kFields[0]);

@@ -1,0 +1,111 @@
+// PE/MI failover under permanent router outages (DESIGN.md §13): when
+// fault-aware routing quarantines an endpoint's router, the simulator drops
+// it from the live MI/PE sets at construction and redistributes its traffic
+// share and compute throughput across the survivors — the inference
+// completes degraded instead of deadlocking.
+#include "accel/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/models.hpp"
+#include "noc/fault.hpp"
+#include "util/check.hpp"
+
+namespace nocw::accel {
+namespace {
+
+AccelConfig degraded_cfg(int outages, std::uint64_t seed = 42) {
+  AccelConfig cfg;
+  cfg.noc.fault.permanent_router_outages = outages;
+  cfg.noc.fault.seed = seed;
+  cfg.noc.resilience.route_mode = noc::RouteMode::WestFirst;
+  cfg.noc_window_flits = 4000;  // keep unit tests quick
+  return cfg;
+}
+
+TEST(Failover, LiveListsEqualFullSetsWithoutFaults) {
+  AccelConfig cfg;
+  AcceleratorSim sim(cfg);
+  const auto mis = cfg.noc.memory_interface_nodes();
+  const auto pes = cfg.noc.pe_nodes();
+  ASSERT_EQ(sim.live_memory_interfaces().size(), mis.size());
+  ASSERT_EQ(sim.live_processing_elements().size(), pes.size());
+  for (std::size_t i = 0; i < mis.size(); ++i) {
+    EXPECT_EQ(sim.live_memory_interfaces()[i], mis[i]);
+  }
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    EXPECT_EQ(sim.live_processing_elements()[i], pes[i]);
+  }
+}
+
+TEST(Failover, DeadRoutersAreDroppedFromLiveLists) {
+  const AccelConfig cfg = degraded_cfg(2);
+  const noc::FaultModel fm(cfg.noc.fault, cfg.noc.node_count(),
+                           cfg.noc.width);
+  ASSERT_EQ(fm.dead_routers().size(), 2u);
+  AcceleratorSim sim(cfg);
+  // Dead endpoints are always dropped; the connectivity filter may drop a
+  // few more (west-first cannot serve every pair around a dead transit
+  // router), but never everything.
+  EXPECT_LE(sim.live_memory_interfaces().size() +
+                sim.live_processing_elements().size(),
+            static_cast<std::size_t>(cfg.noc.node_count()) -
+                fm.dead_routers().size());
+  EXPECT_FALSE(sim.live_memory_interfaces().empty());
+  EXPECT_FALSE(sim.live_processing_elements().empty());
+  for (const int dead : fm.dead_routers()) {
+    const auto mis = sim.live_memory_interfaces();
+    const auto pes = sim.live_processing_elements();
+    EXPECT_EQ(std::find(mis.begin(), mis.end(), dead), mis.end());
+    EXPECT_EQ(std::find(pes.begin(), pes.end(), dead), pes.end());
+  }
+}
+
+TEST(Failover, DegradedInferenceCompletesAtHigherCost) {
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AccelConfig healthy;
+  healthy.noc_window_flits = 4000;
+  AcceleratorSim healthy_sim(healthy);
+  const InferenceResult base = healthy_sim.simulate(s);
+
+  AcceleratorSim degraded_sim(degraded_cfg(2));
+  const InferenceResult deg = degraded_sim.simulate(s);
+
+  // Fewer PEs and detoured routes: the inference still finishes (no drain
+  // timeout — simulate() would have thrown) but pays for the failover.
+  EXPECT_GT(deg.latency.total(), base.latency.total());
+  EXPECT_GT(deg.energy.total(), base.energy.total());
+}
+
+TEST(Failover, AllButOneRouterDeadIsRejected) {
+  // 15 of 16 routers dead leaves at most one endpoint class alive — the
+  // simulator must refuse to pretend such a mesh can run an inference.
+  EXPECT_THROW(AcceleratorSim{degraded_cfg(15)}, CheckError);
+}
+
+TEST(Failover, EscalationWithoutAdaptiveRoutingIsRejected) {
+  AccelConfig cfg;
+  cfg.noc.resilience.escalate = true;  // quarantine without rerouting
+  EXPECT_THROW(AcceleratorSim{cfg}, CheckError);
+}
+
+TEST(Failover, PhaseCacheStillHitsUnderFailover) {
+  // The phase-cache key folds in the fault/routing environment signature;
+  // within one degraded simulator, repeated inferences must still reuse the
+  // cycle-accurate phase runs and reproduce identical results.
+  const ModelSummary s = summarize(nn::make_lenet5());
+  AcceleratorSim sim(degraded_cfg(1));
+  const InferenceResult a = sim.simulate(s);
+  const std::uint64_t misses_after_first = sim.noc_phase_cache_misses();
+  const InferenceResult b = sim.simulate(s);
+  EXPECT_EQ(sim.noc_phase_cache_misses(), misses_after_first);
+  EXPECT_GT(sim.noc_phase_cache_hits(), 0u);
+  EXPECT_EQ(a.latency.total(), b.latency.total());
+  EXPECT_EQ(a.energy.total(), b.energy.total());
+}
+
+}  // namespace
+}  // namespace nocw::accel

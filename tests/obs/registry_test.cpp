@@ -144,7 +144,14 @@ void fill_bridged_fields(noc::NocStats& stats, std::uint64_t v) {
   stats.packets_delivered = v++;
   stats.retransmissions = v++;
   stats.packets_dropped = v++;
-  ASSERT_EQ(noc_stats_fields().size(), 18u)
+  stats.route_rebuilds = v++;
+  stats.links_quarantined = v++;
+  stats.routers_quarantined = v++;
+  stats.flits_flushed = units::Flits{v++};
+  stats.packets_rerouted = v++;
+  stats.packets_undeliverable = v++;
+  stats.recovery_cycles = units::Cycles{v++};
+  ASSERT_EQ(noc_stats_fields().size(), 25u)
       << "bridge table grew: extend fill_bridged_fields";
 }
 

@@ -55,6 +55,13 @@ Rules (all scoped to src/, the library code):
               A bench that skips registration silently falls out of the
               gate's coverage.
 
+  route       next-hop computation (dor_next_hop()) is forbidden outside
+              src/noc/routing.{cpp,hpp} and src/noc/router.cpp. Fault-aware
+              routing (DESIGN.md §13) works because the RouteTable is the
+              single source of next hops — an ad-hoc DOR call elsewhere
+              would silently ignore quarantined links/routers and ship
+              packets into a hole the recovery machinery cannot see.
+
   engine      direct Network::step() calls (`x.step()` / `p->step()`) are
               forbidden outside src/noc/network.{cpp,hpp}. Callers drive
               the network through run_until_drained() / advance_idle(),
@@ -100,6 +107,8 @@ ASSERT_ALLOWED = "src/util/check.hpp"
 FAULT_ALLOWED = ("src/noc/fault.cpp", "src/noc/fault.hpp")
 PRINT_ALLOWED = "bench/bench_util.cpp"
 ENGINE_ALLOWED = ("src/noc/network.cpp", "src/noc/network.hpp")
+ROUTE_ALLOWED = ("src/noc/routing.cpp", "src/noc/routing.hpp",
+                 "src/noc/router.cpp")
 
 NOCW_UNIT_RE = re.compile(r"^\s*NOCW_UNIT\((\w+)\)", re.M)
 
@@ -132,6 +141,7 @@ RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
 COUT_RE = re.compile(r"std::cout")
 ASSERT_RE = re.compile(r"\bassert\s*\(")
 FAULT_RE = re.compile(r"\bfault_hash\s*\(")
+ROUTE_RE = re.compile(r"\bdor_next_hop\s*\(")
 # A member call to a zero-argument step(): `net.step()` or `net->step()`.
 # Network::step() is the only zero-arg step() in the tree; the member-access
 # prefix keeps the rule from matching definitions or unrelated free functions.
@@ -278,6 +288,11 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [fault] fault_hash() outside noc/fault.cpp; "
                 f"sample faults through FaultModel / corrupt_bits so fault "
                 f"experiments stay seed-reproducible")
+        if rel not in ROUTE_ALLOWED and ROUTE_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [route] dor_next_hop() outside noc/routing "
+                f"(+ router.cpp); next hops come from the RouteTable so "
+                f"quarantined links/routers are honored everywhere")
         findings.extend(lint_engine_line(rel, lineno, line))
     findings.extend(lint_metric_units(rel, text))
     return findings
@@ -358,6 +373,11 @@ def self_test() -> int:
             "  (void)nocw::bench::output_dir(argv[0]);\n"
             "  return 0;\n"
             "}\n",
+        "src/accel/bad_route.cpp":
+            "#include \"noc/routing.hpp\"\n"
+            "int hop(const nocw::noc::NocConfig& c) {\n"
+            "  return nocw::noc::dor_next_hop(c, 0, 15);\n"
+            "}\n",
         "src/eval/bad_step.cpp":
             "#include \"noc/network.hpp\"\n"
             "void drain(nocw::noc::Network& net) {\n"
@@ -410,6 +430,12 @@ def self_test() -> int:
             "  nocw::bench::write_summary(dir, \"good\", {{\"x\", 1.0}});\n"
             "  return 0;\n"
             "}\n",
+        "src/noc/router.cpp":
+            "#include \"noc/routing.hpp\"\n"
+            "// the DOR fallback path may compute next hops directly\n"
+            "int fallback(const nocw::noc::NocConfig& c, int id, int dst) {\n"
+            "  return nocw::noc::dor_next_hop(c, id, dst);\n"
+            "}\n",
         "src/noc/network.cpp":
             "// the engine itself may step, and stepper() members elsewhere\n"
             "void Network::run() { while (!drained()) step(); this->step(); }\n",
@@ -431,6 +457,7 @@ def self_test() -> int:
         "src/eval/bad_metric.cpp": "[metric]",
         "bench/bad_progress.cpp": "[print]",
         "bench/bad_manifest.cpp": "[manifest]",
+        "src/accel/bad_route.cpp": "[route]",
         "src/eval/bad_step.cpp": "[engine]",
         "tests/noc/bad_step_test.cpp": "[engine]",
     }
