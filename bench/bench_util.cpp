@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <system_error>
 
@@ -25,6 +27,15 @@ std::string summary_path(const std::string& dir) {
   return env_string("NOCW_SUMMARY_JSON",
                     dir + "/results/BENCH_summary.json");
 }
+
+// Tools this process has already registered with write_summary, so a
+// double registration (two write_summary calls for one tool in one run)
+// is warned about instead of silently keeping whichever ran last without
+// anyone noticing. The summary itself stays last-writer-wins either way:
+// entries are keyed by tool, so duplicates cannot appear in the file.
+std::mutex g_registered_mu;
+std::set<std::string> g_registered_tools;
+std::uint64_t g_duplicate_writes = 0;
 
 // One bench's entry in the aggregated summary, rendered on a single line
 // (the merge below is line-based).
@@ -140,6 +151,17 @@ obs::RunManifest bench_manifest(const std::string& bench_name,
 }
 
 void write_summary(const std::string& dir, const obs::RunManifest& m) {
+  {
+    const std::lock_guard<std::mutex> lock(g_registered_mu);
+    if (!g_registered_tools.insert(m.tool).second) {
+      ++g_duplicate_writes;
+      std::fprintf(stderr,
+                   "[bench] warning: write_summary called again for tool "
+                   "'%s' in this process; keeping the latest entry "
+                   "(last-writer-wins)\n",
+                   m.tool.c_str());
+    }
+  }
   std::error_code ec;
   std::filesystem::create_directories(dir + "/results", ec);
   const std::string run_path = dir + "/results/run_" + m.tool + ".json";
@@ -185,6 +207,11 @@ void write_summary(const std::string& dir, const std::string& bench_name,
   obs::RunManifest m = bench_manifest(bench_name, model);
   m.metrics = metrics;
   write_summary(dir, m);
+}
+
+std::uint64_t duplicate_summary_writes() {
+  const std::lock_guard<std::mutex> lock(g_registered_mu);
+  return g_duplicate_writes;
 }
 
 }  // namespace nocw::bench

@@ -9,6 +9,7 @@
 // Defaults finish the full bench suite in minutes on one laptop core.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -68,5 +69,12 @@ void write_summary(const std::string& dir, const obs::RunManifest& m);
 void write_summary(const std::string& dir, const std::string& bench_name,
                    const std::map<std::string, double>& metrics,
                    const std::string& model = "");
+
+/// Times this process re-registered a tool that had already written its
+/// summary entry. A re-run within one process cannot duplicate the tool's
+/// key — the merge is last-writer-wins — but it usually means a bench
+/// registered twice by accident, so each repeat warns on stderr and bumps
+/// this counter (exposed for tests).
+std::uint64_t duplicate_summary_writes();
 
 }  // namespace nocw::bench

@@ -496,4 +496,15 @@ InferenceResult AcceleratorSim::simulate(const ModelSummary& summary,
   return result;
 }
 
+CompressionPlan resident_weights_plan(const ModelSummary& summary) {
+  CompressionPlan plan;
+  for (const LayerSummary& layer : summary.layers) {
+    if (!layer.traffic_bearing || layer.weight_count == 0) continue;
+    // compressed_bits = 0: no weight stream to fetch or scatter;
+    // weight_count = 0: no decompress steps (nothing was encoded).
+    plan[layer.name] = LayerCompression{0, 0};
+  }
+  return plan;
+}
+
 }  // namespace nocw::accel

@@ -84,6 +84,17 @@ struct LayerCompression {
 };
 using CompressionPlan = std::map<std::string, LayerCompression>;
 
+/// Plan under which every weighted traffic-bearing layer streams *zero*
+/// weight bits and performs zero decompress steps: the weights are already
+/// resident in the PE local memories from a previous inference of the same
+/// model. Feature-map traffic and MAC work are untouched. The serving
+/// layer simulates each request class once with its real plan (cold cost)
+/// and once with this plan (marginal batched cost); the gap is exactly the
+/// weight traffic batching amortizes — the same traffic the paper's
+/// compression attacks.
+[[nodiscard]] CompressionPlan resident_weights_plan(
+    const ModelSummary& summary);
+
 /// Latency decomposition in cycles (the paper's three latency components).
 /// Under the overlap model `overlap_cycles` holds the max-bound layer time;
 /// total() still reports the stacked sum the paper's figures decompose.

@@ -1,0 +1,108 @@
+#include "eval/serving.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace nocw::eval {
+
+double capacity_requests_per_cycle(
+    std::span<const serve::RequestClass> classes,
+    std::span<const serve::ServiceProfile> profiles,
+    std::uint64_t max_batch) {
+  NOCW_CHECK_EQ(classes.size(), profiles.size());
+  NOCW_CHECK_GT(max_batch, 0u);
+  double mix_total = 0.0;
+  for (const serve::RequestClass& c : classes) mix_total += c.mix_fraction;
+  NOCW_CHECK_GT(mix_total, 0.0);
+  // Mix-weighted amortized cycles per request at full batches.
+  double cycles_per_request = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const double amortized =
+        static_cast<double>(profiles[i].batch_cycles(max_batch).value()) /
+        static_cast<double>(max_batch);
+    cycles_per_request += (classes[i].mix_fraction / mix_total) * amortized;
+  }
+  NOCW_CHECK_GT(cycles_per_request, 0.0);
+  return 1.0 / cycles_per_request;
+}
+
+ServingSweepResult run_serving_sweep(std::vector<serve::RequestClass> classes,
+                                     const ServingSweepConfig& cfg) {
+  NOCW_CHECK(!cfg.offered_loads.empty());
+  NOCW_CHECK(!cfg.schedulers.empty());
+  NOCW_CHECK_GT(cfg.requests_per_point, 0);
+
+  const serve::ServeSim sim(cfg.serve, std::move(classes));
+
+  ServingSweepResult out;
+  out.profiles.assign(sim.profiles().begin(), sim.profiles().end());
+  for (const serve::RequestClass& c : sim.classes()) {
+    out.class_names.push_back(c.name);
+  }
+  const double cap_rpc = capacity_requests_per_cycle(
+      sim.classes(), sim.profiles(), cfg.serve.batch.max_batch);
+  out.capacity_rps =
+      cap_rpc * cfg.serve.accel.noc.clock_ghz * 1e9;
+
+  for (const double load : cfg.offered_loads) {
+    NOCW_CHECK_GT(load, 0.0);
+    const double rate_per_cycle = load * cap_rpc;
+    serve::ArrivalConfig acfg;
+    acfg.process = cfg.process;
+    acfg.rate_per_mcycle = rate_per_cycle * 1e6;
+    acfg.horizon_cycles = static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(cfg.requests_per_point) / rate_per_cycle));
+    acfg.seed = cfg.arrival_seed;
+    acfg.burst_factor = cfg.burst_factor;
+    acfg.segment_cycles = cfg.segment_cycles;
+    // The same arrival timeline replays through every scheduler at this
+    // load point: the comparison isolates policy, not luck.
+    const std::vector<serve::Arrival> arrivals =
+        serve::generate_arrivals(sim.classes(), acfg);
+    for (const std::string& sched : cfg.schedulers) {
+      ServingPoint p;
+      p.scheduler = sched;
+      p.offered_load = load;
+      p.offered_rps = rate_per_cycle * cfg.serve.accel.noc.clock_ghz * 1e9;
+      p.result = sim.run(arrivals, sched);
+      out.points.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void annotate_registry(obs::Registry& reg, const ServingSweepResult& result,
+                       std::string_view prefix) {
+  const std::string p(prefix);
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t batches = 0;
+  double batched = 0.0;
+  for (const ServingPoint& pt : result.points) {
+    offered += pt.result.aggregate.offered;
+    completed += pt.result.aggregate.completed;
+    shed += pt.result.aggregate.shed;
+    batches += pt.result.batches;
+    batched += pt.result.mean_batch_size *
+               static_cast<double>(pt.result.batches);
+    reg.observe(p + ".point_p99_latency", "cycles",
+                pt.result.aggregate.latency.p99);
+    reg.set_gauge(p + "." + pt.scheduler + ".goodput_fraction", "fraction",
+                  result.capacity_rps > 0.0
+                      ? pt.result.goodput_rps / result.capacity_rps
+                      : 0.0);
+  }
+  reg.set_counter(p + ".offered_requests", "requests", offered);
+  reg.set_counter(p + ".completed_requests", "requests", completed);
+  reg.set_counter(p + ".shed_requests", "requests", shed);
+  reg.set_counter(p + ".batches_dispatched", "batches", batches);
+  reg.set_counter(p + ".grid_points", "count",
+                  static_cast<std::uint64_t>(result.points.size()));
+  reg.set_gauge(p + ".mean_batch_size", "requests",
+                batches > 0 ? batched / static_cast<double>(batches) : 0.0);
+}
+
+}  // namespace nocw::eval

@@ -42,8 +42,9 @@ struct CategoryName {
 };
 
 constexpr CategoryName kCategoryNames[] = {
-    {"noc", kCatNoc},       {"mac", kCatMac}, {"decomp", kCatDecomp},
-    {"layer", kCatLayer},   {"mem", kCatMem}, {"eval", kCatEval},
+    {"noc", kCatNoc},       {"mac", kCatMac},   {"decomp", kCatDecomp},
+    {"layer", kCatLayer},   {"mem", kCatMem},   {"eval", kCatEval},
+    {"serve", kCatServe},
 };
 
 thread_local std::uint64_t tl_time_base = 0;

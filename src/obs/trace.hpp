@@ -41,6 +41,7 @@ enum Category : std::uint32_t {
   kCatLayer = 1u << 3,   ///< layer begin/end markers
   kCatMem = 1u << 4,     ///< DRAM phase spans
   kCatEval = 1u << 5,    ///< evaluation-driver spans
+  kCatServe = 1u << 6,   ///< serving layer: enqueue/shed/batch/request
   kCatAll = 0xffffffffu,
 };
 
@@ -50,6 +51,7 @@ inline constexpr std::uint32_t kPidAccel = 1;   ///< layer/phase spans
 inline constexpr std::uint32_t kPidNoc = 2;     ///< per-router instants
 inline constexpr std::uint32_t kPidDecomp = 3;  ///< decompressor FSM
 inline constexpr std::uint32_t kPidEval = 4;    ///< evaluation drivers
+inline constexpr std::uint32_t kPidServe = 5;   ///< serving layer (ServeSim)
 
 /// "noc,mac" -> mask; "all"/"" -> kCatAll; unknown names are ignored.
 [[nodiscard]] std::uint32_t parse_categories(const std::string& csv) noexcept;

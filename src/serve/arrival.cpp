@@ -1,0 +1,140 @@
+#include "serve/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace nocw::serve {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash-stream salts: one per decision kind, so arrival sampling and MMPP
+/// state transitions can never collide on the same counter.
+constexpr std::uint64_t kSaltInterArrival = 0xA221;
+constexpr std::uint64_t kSaltStateFlip = 0x57A7;
+
+/// MMPP segment states, computed iteratively from segment 0 (still a pure
+/// function of (seed, class, segment index); the walk just memoizes it).
+class SegmentChain {
+ public:
+  SegmentChain(std::uint64_t seed, std::uint64_t class_id, double switch_p)
+      : seed_(seed), class_id_(class_id), switch_p_(switch_p) {}
+
+  /// True when `segment` is in the burst state.
+  bool bursting(std::uint64_t segment) {
+    while (known_ <= segment) {
+      const double u = arrival_u01(
+          arrival_hash(seed_, class_id_, known_, kSaltStateFlip));
+      if (u < switch_p_) state_ = !state_;
+      ++known_;
+    }
+    return states_at(segment);
+  }
+
+ private:
+  bool states_at(std::uint64_t segment) {
+    // The chain is consumed in non-decreasing segment order by the
+    // generator; remember only the frontier plus the one queried state.
+    NOCW_CHECK_LT(segment, known_);
+    if (segment + 1 == known_) return state_;
+    // Re-derive from scratch for out-of-order queries (tests only).
+    bool s = false;
+    for (std::uint64_t g = 0; g <= segment; ++g) {
+      const double u =
+          arrival_u01(arrival_hash(seed_, class_id_, g, kSaltStateFlip));
+      if (u < switch_p_) s = !s;
+    }
+    return s;
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t class_id_;
+  double switch_p_;
+  bool state_ = false;  ///< segment -1 notionally calm
+  std::uint64_t known_ = 0;
+  };
+
+}  // namespace
+
+std::uint64_t arrival_hash(std::uint64_t seed, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) noexcept {
+  // Distinct odd multipliers decorrelate the coordinates before the
+  // finalizer; same construction as the fault-injection hash, different
+  // constants so the two streams are independent even under equal seeds.
+  std::uint64_t x = seed ^ 0x53525645u;  // "SRVE"
+  x = mix64(x + a * 0x9e3779b97f4a7c15ull);
+  x = mix64(x ^ (b * 0xc2b2ae3d27d4eb4full));
+  x = mix64(x ^ (c * 0x165667b19e3779f9ull));
+  return x;
+}
+
+double arrival_u01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<Arrival> generate_arrivals(std::span<const RequestClass> classes,
+                                       const ArrivalConfig& cfg) {
+  NOCW_CHECK_GT(cfg.horizon_cycles, 0u);
+  NOCW_CHECK(std::isfinite(cfg.rate_per_mcycle));
+  NOCW_CHECK_GE(cfg.rate_per_mcycle, 0.0);
+  if (cfg.process == ArrivalProcess::kMmpp) {
+    NOCW_CHECK_GT(cfg.burst_factor, 1.0);
+    NOCW_CHECK_GT(cfg.segment_cycles, 0u);
+    NOCW_CHECK_GE(cfg.switch_probability, 0.0);
+    NOCW_CHECK_LE(cfg.switch_probability, 1.0);
+  }
+
+  double mix_total = 0.0;
+  for (const RequestClass& c : classes) {
+    NOCW_CHECK_GE(c.mix_fraction, 0.0);
+    mix_total += c.mix_fraction;
+  }
+
+  std::vector<Arrival> out;
+  if (mix_total <= 0.0 || cfg.rate_per_mcycle <= 0.0) return out;
+
+  const double burst_scale =
+      2.0 * cfg.burst_factor / (cfg.burst_factor + 1.0);
+  const double calm_scale = 2.0 / (cfg.burst_factor + 1.0);
+
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const double rate_per_cycle = cfg.rate_per_mcycle *
+                                  (classes[ci].mix_fraction / mix_total) /
+                                  1e6;
+    if (rate_per_cycle <= 0.0) continue;
+    SegmentChain chain(cfg.seed, ci, cfg.switch_probability);
+    double t = 0.0;
+    for (std::uint64_t k = 0;; ++k) {
+      double rate = rate_per_cycle;
+      if (cfg.process == ArrivalProcess::kMmpp) {
+        const auto segment =
+            static_cast<std::uint64_t>(t) / cfg.segment_cycles;
+        rate *= chain.bursting(segment) ? burst_scale : calm_scale;
+      }
+      const double u =
+          arrival_u01(arrival_hash(cfg.seed, ci, k, kSaltInterArrival));
+      // Exponential inter-arrival; 1-u avoids log(0) since u < 1.
+      t += -std::log1p(-u) / rate;
+      if (!(t < static_cast<double>(cfg.horizon_cycles))) break;
+      out.push_back(Arrival{static_cast<std::uint64_t>(std::ceil(t)), ci, k});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Arrival& a, const Arrival& b) {
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    if (a.class_id != b.class_id) return a.class_id < b.class_id;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+}  // namespace nocw::serve

@@ -1,0 +1,37 @@
+#include "serve/queue.hpp"
+
+#include "util/check.hpp"
+
+namespace nocw::serve {
+
+AdmissionQueue::AdmissionQueue(const QueueConfig& cfg,
+                               std::size_t num_classes)
+    : capacity_(cfg.capacity), shed_per_class_(num_classes, 0) {
+  NOCW_CHECK_GT(capacity_, 0u);
+  NOCW_CHECK_GT(num_classes, 0u);
+}
+
+std::optional<RejectReason> AdmissionQueue::offer(const Request& r) {
+  NOCW_CHECK_LT(r.class_id, shed_per_class_.size());
+  if (pending_.size() >= capacity_) {
+    ++shed_per_class_[r.class_id];
+    ++shed_total_;
+    return RejectReason::kQueueFull;
+  }
+  pending_.push_back(r);
+  return std::nullopt;
+}
+
+Request AdmissionQueue::take(std::size_t index) {
+  NOCW_CHECK_LT(index, pending_.size());
+  Request r = pending_[index];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  return r;
+}
+
+std::uint64_t AdmissionQueue::shed_for_class(std::size_t class_id) const {
+  NOCW_CHECK_LT(class_id, shed_per_class_.size());
+  return shed_per_class_[class_id];
+}
+
+}  // namespace nocw::serve

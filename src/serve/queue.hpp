@@ -1,0 +1,55 @@
+// Bounded admission queue with typed rejection (load shedding).
+//
+// Admission is the only place the serving layer drops work, and it never
+// does so silently: a rejected request returns a RejectReason and bumps a
+// per-class shed counter. The queue holds requests in arrival order; the
+// scheduler picks by index, so FIFO is "index of the oldest" and smarter
+// policies scan the same window deterministically.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace nocw::serve {
+
+struct QueueConfig {
+  std::size_t capacity = 64;  ///< max queued (not yet dispatched) requests
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const QueueConfig& cfg, std::size_t num_classes);
+
+  /// Admit `r` or return the typed reason it was shed. Shed requests are
+  /// counted per class and in total.
+  [[nodiscard]] std::optional<RejectReason> offer(const Request& r);
+
+  /// Pending requests in arrival order (index 0 is the oldest).
+  [[nodiscard]] const std::deque<Request>& pending() const noexcept {
+    return pending_;
+  }
+
+  /// Remove and return the request at `index` (scheduler's pick).
+  Request take(std::size_t index);
+
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return shed_total_;
+  }
+  [[nodiscard]] std::uint64_t shed_for_class(std::size_t class_id) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Request> pending_;
+  std::vector<std::uint64_t> shed_per_class_;
+  std::uint64_t shed_total_ = 0;
+};
+
+}  // namespace nocw::serve

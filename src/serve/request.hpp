@@ -1,0 +1,79 @@
+// Request-level serving types: classes, requests, service profiles.
+//
+// The serving layer (DESIGN.md §14) wraps the single-inference accelerator
+// simulator in an open-loop request workload. A RequestClass names one
+// (model, compression plan, tenant) combination offered to the accelerator;
+// every in-flight Request carries only its class id and timeline stamps, so
+// the hot event loop never copies model state.
+//
+// Service cost is precomputed per class as a ServiceProfile by running the
+// audited AcceleratorSim twice: once cold (`full_cycles`: the weight stream
+// is fetched and decompressed as in a standalone inference) and once with a
+// resident-weights plan (`marginal_cycles`: weights already live in the PE
+// local memories, only feature maps move and MACs run). A batch of n
+// same-class requests then costs full + (n-1)*marginal — the amortization
+// batching buys on this architecture is exactly the weight traffic the
+// paper's compression attacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "accel/simulator.hpp"
+#include "accel/summary.hpp"
+#include "util/units.hpp"
+
+namespace nocw::serve {
+
+/// One workload class: a model (pre-summarized; the serving layer never
+/// touches live float math), an optional compression plan, and the tenant
+/// it bills to. `mix_fraction`s across a class set describe how offered
+/// load splits between them (normalized by the arrival generator).
+struct RequestClass {
+  std::string name;             ///< e.g. "lenet5_d8"
+  int tenant = 0;               ///< tenant id for multi-tenant reporting
+  double tenant_weight = 1.0;   ///< priority-scheduler weight (higher first)
+  double mix_fraction = 1.0;    ///< share of total offered load
+  accel::ModelSummary summary;  ///< symbolic layer volumes (owned copy)
+  accel::CompressionPlan plan;  ///< empty = uncompressed weight stream
+};
+
+/// Precomputed service cost of one class on the configured accelerator.
+struct ServiceProfile {
+  units::Cycles full_cycles;      ///< cold inference (weights streamed)
+  units::Cycles marginal_cycles;  ///< same-batch follow-up (weights resident)
+  units::Joules full_energy_j;
+  units::Joules marginal_energy_j;
+
+  /// Cycles to serve a batch of `n` same-class requests back to back.
+  [[nodiscard]] units::Cycles batch_cycles(std::uint64_t n) const {
+    if (n == 0) return units::Cycles{0};
+    return full_cycles + units::Cycles{(n - 1) * marginal_cycles.value()};
+  }
+};
+
+/// Why the admission queue refused a request. Typed so load shedding is
+/// counted per reason, never silently dropped.
+enum class RejectReason : std::uint8_t {
+  kQueueFull,  ///< bounded queue at capacity
+};
+
+[[nodiscard]] constexpr const char* to_string(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::kQueueFull:
+      return "queue_full";
+  }
+  return "unknown";
+}
+
+/// One in-flight request. Stamps are absolute cycles on the serving
+/// timeline; start/finish stay zero until the scheduler dispatches it.
+struct Request {
+  std::uint64_t id = 0;        ///< unique per run, in arrival order
+  std::size_t class_id = 0;    ///< index into the class set
+  std::uint64_t arrival_cycle = 0;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t finish_cycle = 0;
+};
+
+}  // namespace nocw::serve

@@ -1,0 +1,84 @@
+#include "serve/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace nocw::serve {
+
+namespace {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fifo";
+  }
+  [[nodiscard]] std::size_t pick(
+      const AdmissionQueue& queue, std::span<const RequestClass> /*classes*/,
+      std::span<const ServiceProfile> /*profiles*/) const override {
+    NOCW_CHECK(!queue.empty());
+    return 0;  // queue is in arrival order
+  }
+};
+
+class SjfScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sjf";
+  }
+  [[nodiscard]] std::size_t pick(
+      const AdmissionQueue& queue, std::span<const RequestClass> /*classes*/,
+      std::span<const ServiceProfile> profiles) const override {
+    NOCW_CHECK(!queue.empty());
+    const auto& pending = queue.pending();
+    std::size_t best = 0;
+    std::uint64_t best_cost =
+        profiles[pending[0].class_id].full_cycles.value();
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      const std::uint64_t cost =
+          profiles[pending[i].class_id].full_cycles.value();
+      if (cost < best_cost) {  // strict: ties keep the oldest
+        best = i;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+};
+
+class PriorityScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "priority";
+  }
+  [[nodiscard]] std::size_t pick(
+      const AdmissionQueue& queue, std::span<const RequestClass> classes,
+      std::span<const ServiceProfile> /*profiles*/) const override {
+    NOCW_CHECK(!queue.empty());
+    const auto& pending = queue.pending();
+    std::size_t best = 0;
+    double best_weight = classes[pending[0].class_id].tenant_weight;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      const double w = classes[pending[i].class_id].tenant_weight;
+      if (w > best_weight) {  // strict: equal weights keep the oldest
+        best = i;
+        best_weight = w;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(std::string_view name) {
+  if (name == "fifo") return std::make_unique<FifoScheduler>();
+  if (name == "sjf") return std::make_unique<SjfScheduler>();
+  if (name == "priority") return std::make_unique<PriorityScheduler>();
+  NOCW_CHECK(false && "unknown scheduler name (fifo|sjf|priority)");
+  return nullptr;
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"fifo", "sjf", "priority"};
+}
+
+}  // namespace nocw::serve

@@ -1,0 +1,50 @@
+// Pluggable dispatch policies over the admission queue.
+//
+// A Scheduler picks which queued request seeds the next accelerator batch.
+// Policies are pure functions of the visible queue state — no hidden
+// counters, no randomness — so a sweep that replays the same arrival
+// timeline through two schedulers isolates exactly the policy difference.
+// Ties always break toward the oldest request (lowest queue index; the
+// queue is in arrival order), which keeps every policy deterministic and
+// starvation-visible rather than starvation-hidden.
+//
+//   fifo      oldest request first (the baseline).
+//   sjf       shortest job first: cheapest class by the memoized
+//             full-inference cycle cost (the PR 6 layer->traffic
+//             compilation is what makes this cost free to consult).
+//   priority  highest tenant_weight first, FIFO within a weight level.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace nocw::serve {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Index (into `queue.pending()`) of the request to dispatch next.
+  /// Precondition: the queue is non-empty. Must be deterministic.
+  [[nodiscard]] virtual std::size_t pick(
+      const AdmissionQueue& queue, std::span<const RequestClass> classes,
+      std::span<const ServiceProfile> profiles) const = 0;
+};
+
+/// Factory for the built-in policies: "fifo", "sjf", "priority".
+/// Throws nocw::CheckError on an unknown name.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    std::string_view name);
+
+/// Canonical policy names, in the order benches sweep them.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace nocw::serve

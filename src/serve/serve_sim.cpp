@@ -1,0 +1,277 @@
+#include "serve/serve_sim.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace nocw::serve {
+
+namespace {
+
+/// The batch currently occupying the accelerator.
+struct Flight {
+  std::vector<Request> requests;  ///< all of one class
+  std::size_t class_id = 0;
+  std::uint64_t start = 0;
+  std::uint64_t finish = 0;
+};
+
+}  // namespace
+
+void ServeResult::check_invariants() const {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  for (const ClassServeStats& c : per_class) {
+    NOCW_CHECK_EQ(c.offered, c.admitted + c.shed);
+    NOCW_CHECK_EQ(c.completed, c.admitted);  // the driver drains fully
+    offered += c.offered;
+    admitted += c.admitted;
+    shed += c.shed;
+    completed += c.completed;
+  }
+  NOCW_CHECK_EQ(aggregate.offered, offered);
+  NOCW_CHECK_EQ(aggregate.admitted, admitted);
+  NOCW_CHECK_EQ(aggregate.shed, shed);
+  NOCW_CHECK_EQ(aggregate.completed, completed);
+  NOCW_CHECK_EQ(aggregate.latency.count, completed);
+}
+
+ServeSim::ServeSim(const ServeConfig& cfg, std::vector<RequestClass> classes)
+    : cfg_(cfg), classes_(std::move(classes)), sim_(cfg.accel) {
+  NOCW_CHECK(!classes_.empty());
+  NOCW_CHECK_GT(cfg_.batch.max_batch, 0u);
+  profiles_.reserve(classes_.size());
+  for (const RequestClass& cls : classes_) {
+    const accel::CompressionPlan* plan =
+        cls.plan.empty() ? nullptr : &cls.plan;
+    const accel::InferenceResult full = sim_.simulate(cls.summary, plan);
+    const accel::CompressionPlan resident =
+        accel::resident_weights_plan(cls.summary);
+    const accel::InferenceResult marginal =
+        sim_.simulate(cls.summary, &resident);
+    ServiceProfile p;
+    p.full_cycles = units::round_cycles(full.latency.total());
+    p.marginal_cycles = units::round_cycles(marginal.latency.total());
+    p.full_energy_j = full.energy.total();
+    p.marginal_energy_j = marginal.energy.total();
+    NOCW_CHECK_GT(p.full_cycles.value(), 0u);
+    // Residency only removes weight traffic and decompression; it can
+    // never make an inference slower.
+    NOCW_CHECK_LE(p.marginal_cycles.value(), p.full_cycles.value());
+    profiles_.push_back(p);
+  }
+}
+
+ServeResult ServeSim::run(std::span<const Arrival> arrivals,
+                          std::string_view scheduler_name,
+                          obs::TimeSeriesSet* series) const {
+  return run(arrivals, *make_scheduler(scheduler_name), series);
+}
+
+ServeResult ServeSim::run(std::span<const Arrival> arrivals,
+                          const Scheduler& scheduler,
+                          obs::TimeSeriesSet* series) const {
+  const std::uint64_t max_batch = cfg_.batch.max_batch;
+  const std::uint64_t max_wait = cfg_.batch.max_wait.value();
+
+  AdmissionQueue queue(cfg_.queue, classes_.size());
+  std::vector<std::vector<double>> class_latency(classes_.size());
+  std::vector<double> all_latency;
+  std::vector<std::uint64_t> offered(classes_.size(), 0);
+  for (const Arrival& a : arrivals) {
+    NOCW_CHECK_LT(a.class_id, classes_.size());
+    ++offered[a.class_id];
+  }
+
+  const auto sample_depth = [&](std::uint64_t cycle) {
+    if (series != nullptr) {
+      series->append("serve.queue_depth", "requests", cycle,
+                     static_cast<double>(queue.size()));
+    }
+  };
+
+  std::uint64_t now = 0;
+  std::size_t next_arrival = 0;
+  std::uint64_t next_id = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t makespan = 0;
+  std::optional<Flight> flight;
+
+  while (true) {
+    // (1) Admit every arrival due at or before `now`. The clock only ever
+    // jumps *to* event cycles, so each arrival is admitted at exactly its
+    // own cycle stamp.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].cycle <= now) {
+      const Arrival& a = arrivals[next_arrival];
+      Request r;
+      r.id = next_id++;
+      r.class_id = a.class_id;
+      r.arrival_cycle = a.cycle;
+      const std::optional<RejectReason> rejected = queue.offer(r);
+      if (rejected.has_value()) {
+        NOCW_TRACE_INSTANT_ARG(obs::kCatServe,
+                               "serve.shed:" + classes_[r.class_id].name,
+                               obs::kPidServe,
+                               static_cast<std::uint32_t>(r.class_id),
+                               a.cycle, "request", static_cast<double>(r.id));
+      } else {
+        NOCW_TRACE_INSTANT_ARG(obs::kCatServe,
+                               "serve.enqueue:" + classes_[r.class_id].name,
+                               obs::kPidServe,
+                               static_cast<std::uint32_t>(r.class_id),
+                               a.cycle, "request", static_cast<double>(r.id));
+        sample_depth(a.cycle);
+      }
+      ++next_arrival;
+    }
+
+    // (2) Retire the in-flight batch once its finish cycle is reached.
+    if (flight.has_value() && now >= flight->finish) {
+      for (Request& r : flight->requests) {
+        r.finish_cycle = flight->finish;
+        const auto latency =
+            static_cast<double>(r.finish_cycle - r.arrival_cycle);
+        class_latency[r.class_id].push_back(latency);
+        all_latency.push_back(latency);
+        NOCW_TRACE_SPAN_ARG(obs::kCatServe,
+                            "serve.request:" + classes_[r.class_id].name,
+                            obs::kPidServe,
+                            static_cast<std::uint32_t>(r.class_id),
+                            r.arrival_cycle, r.finish_cycle - r.arrival_cycle,
+                            "request", static_cast<double>(r.id));
+      }
+      makespan = flight->finish;
+      flight.reset();
+    }
+
+    if (flight.has_value()) {
+      // Accelerator busy: jump to the next arrival or the batch finish,
+      // whichever comes first.
+      std::uint64_t next = flight->finish;
+      if (next_arrival < arrivals.size()) {
+        next = std::min(next, arrivals[next_arrival].cycle);
+      }
+      now = next;
+      continue;
+    }
+
+    // (3) Accelerator idle.
+    if (queue.empty()) {
+      if (next_arrival >= arrivals.size()) break;  // drained
+      now = arrivals[next_arrival].cycle;
+      continue;
+    }
+
+    // The queue is in arrival order, so index 0 is the longest waiter; its
+    // deadline bounds how long any batch formation may stall.
+    const std::uint64_t deadline =
+        queue.pending().front().arrival_cycle + max_wait;
+    const bool no_more_arrivals = next_arrival >= arrivals.size();
+    const bool start = queue.size() >= max_batch || now >= deadline ||
+                       no_more_arrivals;
+    if (!start) {
+      std::uint64_t next = deadline;
+      if (next_arrival < arrivals.size()) {
+        next = std::min(next, arrivals[next_arrival].cycle);
+      }
+      now = next;
+      continue;
+    }
+
+    // Dispatch: the scheduler seeds the batch, same-class requests join in
+    // arrival order up to max_batch.
+    const std::size_t seed_index = scheduler.pick(queue, classes_, profiles_);
+    Flight f;
+    f.requests.push_back(queue.take(seed_index));
+    f.class_id = f.requests.front().class_id;
+    std::size_t scan = 0;
+    while (f.requests.size() < max_batch && scan < queue.size()) {
+      if (queue.pending()[scan].class_id == f.class_id) {
+        f.requests.push_back(queue.take(scan));
+      } else {
+        ++scan;
+      }
+    }
+    const auto n = static_cast<std::uint64_t>(f.requests.size());
+    const units::Cycles service = profiles_[f.class_id].batch_cycles(n);
+    f.start = now;
+    f.finish = now + service.value();
+    for (Request& r : f.requests) r.start_cycle = now;
+    ++batches;
+    batched_requests += n;
+    sample_depth(now);
+    NOCW_TRACE_SPAN_ARG(obs::kCatServe,
+                        "serve.batch:" + classes_[f.class_id].name,
+                        obs::kPidServe,
+                        static_cast<std::uint32_t>(f.class_id), now,
+                        service.value(), "requests", static_cast<double>(n));
+    if (NOCW_TRACE_ON(obs::kCatServe)) {
+      // Trace-only replay: stitch the accelerator's own layer/phase spans
+      // inside this batch span on the serving timeline. Results are
+      // discarded — timing always comes from the profiles — and simulation
+      // is pure, so this cannot change any reported number.
+      obs::ScopedTimeBase batch_base(obs::time_base() + now);
+      const accel::CompressionPlan* plan =
+          classes_[f.class_id].plan.empty() ? nullptr
+                                            : &classes_[f.class_id].plan;
+      (void)sim_.simulate(classes_[f.class_id].summary, plan);
+    }
+    flight = std::move(f);
+  }
+
+  // Assemble per-class and aggregate statistics.
+  ServeResult result;
+  result.scheduler = std::string(scheduler.name());
+  result.per_class.resize(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    ClassServeStats& s = result.per_class[c];
+    s.name = classes_[c].name;
+    s.tenant = classes_[c].tenant;
+    s.offered = offered[c];
+    s.shed = queue.shed_for_class(c);
+    s.admitted = s.offered - s.shed;
+    s.completed = static_cast<std::uint64_t>(class_latency[c].size());
+    s.shed_rate = s.offered > 0
+                      ? static_cast<double>(s.shed) /
+                            static_cast<double>(s.offered)
+                      : 0.0;
+    s.latency = tail_percentiles(class_latency[c]);
+  }
+  ClassServeStats& agg = result.aggregate;
+  agg.name = "all";
+  agg.tenant = -1;
+  for (const ClassServeStats& s : result.per_class) {
+    agg.offered += s.offered;
+    agg.admitted += s.admitted;
+    agg.shed += s.shed;
+    agg.completed += s.completed;
+  }
+  agg.shed_rate = agg.offered > 0 ? static_cast<double>(agg.shed) /
+                                        static_cast<double>(agg.offered)
+                                  : 0.0;
+  agg.latency = tail_percentiles(all_latency);
+  result.batches = batches;
+  result.mean_batch_size =
+      batches > 0 ? static_cast<double>(batched_requests) /
+                        static_cast<double>(batches)
+                  : 0.0;
+  result.makespan = units::Cycles{makespan};
+  if (makespan > 0) {
+    const units::Seconds secs = units::seconds_at(
+        units::FracCycles{static_cast<double>(makespan)},
+        cfg_.accel.noc.clock_ghz);
+    result.goodput_rps =
+        static_cast<double>(agg.completed) / secs.value();
+  }
+  result.check_invariants();
+  return result;
+}
+
+}  // namespace nocw::serve

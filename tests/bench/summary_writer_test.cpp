@@ -1,0 +1,99 @@
+// bench::write_summary promises: the aggregated summary is keyed by tool
+// (so repeated registration can never duplicate a key — last writer wins),
+// and a second write_summary for one tool inside one process warns and is
+// counted instead of passing silently.
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace nocw::bench {
+namespace {
+
+class SummaryWriter : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "summary_writer";
+    summary_ = dir_ + "/results/BENCH_summary.json";
+    // Pin the summary path: the environment outside the test must not
+    // redirect where write_summary lands.
+    ASSERT_EQ(::setenv("NOCW_SUMMARY_JSON", summary_.c_str(), 1), 0);
+  }
+  void TearDown() override { ::unsetenv("NOCW_SUMMARY_JSON"); }
+
+  std::string read_summary_file() const {
+    std::ifstream in(summary_);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  static std::size_t count_occurrences(const std::string& text,
+                                       const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  }
+
+  std::string dir_;
+  std::string summary_;
+};
+
+TEST_F(SummaryWriter, RepeatedWriteForOneToolWarnsAndKeepsLatest) {
+  const std::uint64_t before = duplicate_summary_writes();
+  obs::RunManifest m = bench_manifest("dup_tool");
+  m.metrics["x"] = 1.0;
+  write_summary(dir_, m);
+  EXPECT_EQ(duplicate_summary_writes(), before);  // first write is clean
+
+  m.metrics["x"] = 2.0;
+  write_summary(dir_, m);
+  EXPECT_EQ(duplicate_summary_writes(), before + 1);
+
+  const std::string text = read_summary_file();
+  // Exactly one entry for the tool — map-keyed merge, no duplicate key —
+  // holding the value of the *latest* write.
+  EXPECT_EQ(count_occurrences(text, "\"dup_tool\":"), 1u);
+  EXPECT_NE(text.find("\"x\":2"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\"x\":1"), std::string::npos) << text;
+  EXPECT_NE(text.find("nocw.bench_summary.v1"), std::string::npos);
+}
+
+TEST_F(SummaryWriter, DistinctToolsMergeWithoutWarning) {
+  const std::uint64_t before = duplicate_summary_writes();
+  write_summary(dir_, "tool_one", {{"a", 1.0}});
+  write_summary(dir_, "tool_two", {{"b", 2.0}});
+  EXPECT_EQ(duplicate_summary_writes(), before);
+
+  const std::string text = read_summary_file();
+  EXPECT_EQ(count_occurrences(text, "\"tool_one\":"), 1u);
+  EXPECT_EQ(count_occurrences(text, "\"tool_two\":"), 1u);
+}
+
+TEST_F(SummaryWriter, RewriteAcrossToolsPreservesOtherEntries) {
+  obs::RunManifest m = bench_manifest("survivor");
+  m.metrics["keep"] = 7.0;
+  write_summary(dir_, m);
+
+  obs::RunManifest other = bench_manifest("overwriter");
+  other.metrics["y"] = 1.0;
+  write_summary(dir_, other);
+  other.metrics["y"] = 3.0;
+  write_summary(dir_, other);  // warned, last-writer-wins
+
+  const std::string text = read_summary_file();
+  EXPECT_EQ(count_occurrences(text, "\"survivor\":"), 1u);
+  EXPECT_NE(text.find("\"keep\":7"), std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "\"overwriter\":"), 1u);
+  EXPECT_NE(text.find("\"y\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nocw::bench

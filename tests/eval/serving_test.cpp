@@ -1,0 +1,141 @@
+// The serving sweep promises: a grid in load-outer/scheduler-inner order
+// where every scheduler at one load replays the same arrival timeline, a
+// capacity estimate that scales offered rates, and registry annotation in
+// the closed unit vocabulary.
+#include "eval/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/summary.hpp"
+#include "nn/models.hpp"
+#include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nocw::eval {
+namespace {
+
+class ServingSweep : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_threads(1); }
+
+  static std::vector<serve::RequestClass> small_classes() {
+    nn::Model model = nn::make_lenet5();
+    const accel::ModelSummary summary = accel::summarize(model);
+    std::vector<serve::RequestClass> classes(2);
+    classes[0].name = "cold";
+    classes[0].mix_fraction = 0.6;
+    classes[0].summary = summary;
+    classes[1].name = "resident";
+    classes[1].tenant = 1;
+    classes[1].tenant_weight = 3.0;
+    classes[1].mix_fraction = 0.4;
+    classes[1].summary = summary;
+    classes[1].plan = accel::resident_weights_plan(summary);
+    return classes;
+  }
+
+  static ServingSweepConfig small_config() {
+    ServingSweepConfig cfg;
+    cfg.offered_loads = {0.5, 1.4};
+    cfg.schedulers = {"fifo", "sjf"};
+    cfg.requests_per_point = 60;
+    cfg.serve.accel.noc_window_flits = 4000;
+    cfg.serve.queue.capacity = 16;
+    return cfg;
+  }
+};
+
+TEST_F(ServingSweep, GridOrderAndSharedTimelines) {
+  set_global_threads(1);
+  const ServingSweepResult res =
+      run_serving_sweep(small_classes(), small_config());
+  ASSERT_EQ(res.points.size(), 4u);  // 2 loads x 2 schedulers
+  EXPECT_GT(res.capacity_rps, 0.0);
+  ASSERT_EQ(res.profiles.size(), 2u);
+  ASSERT_EQ(res.class_names.size(), 2u);
+  EXPECT_EQ(res.class_names[0], "cold");
+
+  // Load-outer, scheduler-inner, offered_rps proportional to load.
+  EXPECT_EQ(res.points[0].scheduler, "fifo");
+  EXPECT_EQ(res.points[1].scheduler, "sjf");
+  EXPECT_DOUBLE_EQ(res.points[0].offered_load, 0.5);
+  EXPECT_DOUBLE_EQ(res.points[2].offered_load, 1.4);
+  EXPECT_NEAR(res.points[0].offered_rps, 0.5 * res.capacity_rps,
+              1e-6 * res.capacity_rps);
+
+  // Same load => same arrival timeline => identical per-class offered
+  // counts for every scheduler.
+  for (std::size_t base : {0u, 2u}) {
+    const serve::ServeResult& a = res.points[base].result;
+    const serve::ServeResult& b = res.points[base + 1].result;
+    EXPECT_EQ(a.aggregate.offered, b.aggregate.offered);
+    for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+      EXPECT_EQ(a.per_class[c].offered, b.per_class[c].offered);
+    }
+  }
+}
+
+TEST_F(ServingSweep, CapacityHelperMatchesAmortizedMix) {
+  set_global_threads(1);
+  std::vector<serve::RequestClass> classes(1);
+  classes[0].mix_fraction = 1.0;
+  std::vector<serve::ServiceProfile> profiles(1);
+  profiles[0].full_cycles = units::Cycles{1000};
+  profiles[0].marginal_cycles = units::Cycles{200};
+  // Batch of 4: (1000 + 3*200) / 4 = 400 cycles per request.
+  EXPECT_DOUBLE_EQ(capacity_requests_per_cycle(classes, profiles, 4),
+                   1.0 / 400.0);
+  // Batch of 1: no amortization.
+  EXPECT_DOUBLE_EQ(capacity_requests_per_cycle(classes, profiles, 1),
+                   1.0 / 1000.0);
+}
+
+TEST_F(ServingSweep, DeterministicAcrossThreadCounts) {
+  set_global_threads(1);
+  const ServingSweepResult ref =
+      run_serving_sweep(small_classes(), small_config());
+  for (const unsigned threads : {2U, 8U}) {
+    set_global_threads(threads);
+    const ServingSweepResult got =
+        run_serving_sweep(small_classes(), small_config());
+    ASSERT_EQ(got.points.size(), ref.points.size());
+    EXPECT_EQ(got.capacity_rps, ref.capacity_rps);
+    for (std::size_t i = 0; i < ref.points.size(); ++i) {
+      const serve::ClassServeStats& a = ref.points[i].result.aggregate;
+      const serve::ClassServeStats& b = got.points[i].result.aggregate;
+      EXPECT_EQ(a.completed, b.completed) << "point " << i;
+      EXPECT_EQ(a.shed, b.shed) << "point " << i;
+      EXPECT_EQ(a.latency.p50, b.latency.p50) << "point " << i;
+      EXPECT_EQ(a.latency.p99, b.latency.p99) << "point " << i;
+      EXPECT_EQ(ref.points[i].result.goodput_rps,
+                got.points[i].result.goodput_rps)
+          << "point " << i;
+    }
+  }
+}
+
+TEST_F(ServingSweep, RegistryAnnotationPublishesTotals) {
+  set_global_threads(1);
+  const ServingSweepResult res =
+      run_serving_sweep(small_classes(), small_config());
+  obs::Registry reg;
+  annotate_registry(reg, res);
+
+  std::uint64_t offered = 0;
+  for (const ServingPoint& pt : res.points) {
+    offered += pt.result.aggregate.offered;
+  }
+  EXPECT_DOUBLE_EQ(reg.value("serve.offered_requests"),
+                   static_cast<double>(offered));
+  EXPECT_DOUBLE_EQ(reg.value("serve.grid_points"), 4.0);
+  EXPECT_TRUE(reg.contains("serve.completed_requests"));
+  EXPECT_TRUE(reg.contains("serve.shed_requests"));
+  EXPECT_TRUE(reg.contains("serve.batches_dispatched"));
+  EXPECT_TRUE(reg.contains("serve.mean_batch_size"));
+  EXPECT_TRUE(reg.contains("serve.fifo.goodput_fraction"));
+  EXPECT_TRUE(reg.contains("serve.sjf.goodput_fraction"));
+  EXPECT_TRUE(reg.contains("serve.point_p99_latency"));
+}
+
+}  // namespace
+}  // namespace nocw::eval

@@ -1,0 +1,174 @@
+// The arrival generator promises: counter-based determinism (same config →
+// bit-identical timeline), open-loop rate control split by mix fractions,
+// and an MMPP mode that adds burstiness without changing the mean rate.
+#include "serve/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace nocw::serve {
+namespace {
+
+std::vector<RequestClass> two_classes(double mix0 = 0.75,
+                                      double mix1 = 0.25) {
+  std::vector<RequestClass> classes(2);
+  classes[0].name = "a";
+  classes[0].mix_fraction = mix0;
+  classes[1].name = "b";
+  classes[1].mix_fraction = mix1;
+  return classes;
+}
+
+ArrivalConfig base_config() {
+  ArrivalConfig cfg;
+  cfg.rate_per_mcycle = 50.0;
+  cfg.horizon_cycles = 2'000'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+bool same_timeline(const std::vector<Arrival>& x,
+                   const std::vector<Arrival>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i].cycle != y[i].cycle || x[i].class_id != y[i].class_id ||
+        x[i].seq != y[i].seq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ArrivalHash, PureAndArgumentSensitive) {
+  const std::uint64_t h = arrival_hash(1, 2, 3, 4);
+  EXPECT_EQ(h, arrival_hash(1, 2, 3, 4));
+  EXPECT_NE(h, arrival_hash(2, 2, 3, 4));
+  EXPECT_NE(h, arrival_hash(1, 3, 3, 4));
+  EXPECT_NE(h, arrival_hash(1, 2, 4, 4));
+  EXPECT_NE(h, arrival_hash(1, 2, 3, 5));
+}
+
+TEST(ArrivalHash, U01IsInHalfOpenUnitInterval) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = arrival_u01(arrival_hash(42, i, 0, 0));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Arrival, DeterministicAcrossRepeats) {
+  const auto classes = two_classes();
+  const ArrivalConfig cfg = base_config();
+  const std::vector<Arrival> a = generate_arrivals(classes, cfg);
+  const std::vector<Arrival> b = generate_arrivals(classes, cfg);
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(same_timeline(a, b));
+}
+
+TEST(Arrival, SeedChangesTimeline) {
+  const auto classes = two_classes();
+  ArrivalConfig cfg = base_config();
+  const std::vector<Arrival> a = generate_arrivals(classes, cfg);
+  cfg.seed = 8;
+  const std::vector<Arrival> b = generate_arrivals(classes, cfg);
+  EXPECT_FALSE(same_timeline(a, b));
+}
+
+TEST(Arrival, SortedAndWithinHorizon) {
+  const auto classes = two_classes();
+  const ArrivalConfig cfg = base_config();
+  const std::vector<Arrival> a = generate_arrivals(classes, cfg);
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].cycle, a[i].cycle) << "index " << i;
+  }
+  EXPECT_LE(a.back().cycle, cfg.horizon_cycles);
+}
+
+TEST(Arrival, RateControlsExpectedCount) {
+  const auto classes = two_classes();
+  const ArrivalConfig cfg = base_config();  // expect ~100 arrivals
+  const double expected =
+      cfg.rate_per_mcycle * static_cast<double>(cfg.horizon_cycles) / 1e6;
+  const std::vector<Arrival> a = generate_arrivals(classes, cfg);
+  EXPECT_GT(static_cast<double>(a.size()), 0.7 * expected);
+  EXPECT_LT(static_cast<double>(a.size()), 1.3 * expected);
+}
+
+TEST(Arrival, MixFractionsSplitTheLoad) {
+  const auto classes = two_classes(0.75, 0.25);
+  ArrivalConfig cfg = base_config();
+  cfg.rate_per_mcycle = 200.0;  // ~400 arrivals: enough to see the 3:1 split
+  const std::vector<Arrival> a = generate_arrivals(classes, cfg);
+  const auto count0 = static_cast<double>(std::count_if(
+      a.begin(), a.end(), [](const Arrival& x) { return x.class_id == 0; }));
+  const double frac0 = count0 / static_cast<double>(a.size());
+  EXPECT_GT(frac0, 0.6);
+  EXPECT_LT(frac0, 0.9);
+}
+
+TEST(Arrival, ZeroMixClassContributesNothing) {
+  auto classes = two_classes(1.0, 0.0);
+  const std::vector<Arrival> a =
+      generate_arrivals(classes, base_config());
+  ASSERT_FALSE(a.empty());
+  for (const Arrival& x : a) EXPECT_EQ(x.class_id, 0u);
+}
+
+TEST(Arrival, MmppPreservesMeanRate) {
+  const auto classes = two_classes();
+  ArrivalConfig cfg = base_config();
+  cfg.rate_per_mcycle = 100.0;
+  cfg.horizon_cycles = 10'000'000;  // ~1000 arrivals; law of large numbers
+  const double poisson = static_cast<double>(
+      generate_arrivals(classes, cfg).size());
+  cfg.process = ArrivalProcess::kMmpp;
+  const double mmpp = static_cast<double>(
+      generate_arrivals(classes, cfg).size());
+  EXPECT_GT(mmpp, 0.85 * poisson);
+  EXPECT_LT(mmpp, 1.15 * poisson);
+}
+
+TEST(Arrival, MmppIsBurstierThanPoisson) {
+  // Index of dispersion of per-segment counts: Poisson ≈ 1, MMPP with
+  // burst_factor 4 substantially above it.
+  const auto classes = two_classes();
+  ArrivalConfig cfg = base_config();
+  cfg.rate_per_mcycle = 100.0;
+  cfg.horizon_cycles = 20'000'000;
+  cfg.segment_cycles = 100'000;
+
+  const auto dispersion = [&](const std::vector<Arrival>& a) {
+    const std::size_t bins = cfg.horizon_cycles / cfg.segment_cycles;
+    std::vector<double> counts(bins, 0.0);
+    for (const Arrival& x : a) {
+      const std::size_t b = std::min(bins - 1, x.cycle / cfg.segment_cycles);
+      counts[b] += 1.0;
+    }
+    double mean = 0.0;
+    for (const double c : counts) mean += c;
+    mean /= static_cast<double>(bins);
+    double var = 0.0;
+    for (const double c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(bins);
+    return mean > 0.0 ? var / mean : 0.0;
+  };
+
+  const double poisson = dispersion(generate_arrivals(classes, cfg));
+  cfg.process = ArrivalProcess::kMmpp;
+  cfg.burst_factor = 4.0;
+  const double mmpp = dispersion(generate_arrivals(classes, cfg));
+  EXPECT_GT(mmpp, poisson * 1.5)
+      << "poisson dispersion " << poisson << ", mmpp " << mmpp;
+}
+
+TEST(Arrival, ProcessNamesRoundTrip) {
+  EXPECT_STREQ(to_string(ArrivalProcess::kPoisson), "poisson");
+  EXPECT_STREQ(to_string(ArrivalProcess::kMmpp), "mmpp");
+}
+
+}  // namespace
+}  // namespace nocw::serve

@@ -1,0 +1,83 @@
+// The admission queue promises bounded occupancy with typed, counted
+// rejection and arrival-order iteration for the schedulers.
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace nocw::serve {
+namespace {
+
+Request make_request(std::uint64_t id, std::size_t class_id,
+                     std::uint64_t arrival) {
+  Request r;
+  r.id = id;
+  r.class_id = class_id;
+  r.arrival_cycle = arrival;
+  return r;
+}
+
+TEST(AdmissionQueue, AdmitsUpToCapacityThenSheds) {
+  AdmissionQueue q(QueueConfig{2}, /*num_classes=*/1);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_FALSE(q.offer(make_request(0, 0, 10)).has_value());
+  EXPECT_FALSE(q.offer(make_request(1, 0, 11)).has_value());
+  const auto rejected = q.offer(make_request(2, 0, 12));
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(*rejected, RejectReason::kQueueFull);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.shed_total(), 1u);
+  EXPECT_EQ(q.shed_for_class(0), 1u);
+}
+
+TEST(AdmissionQueue, PendingKeepsArrivalOrder) {
+  AdmissionQueue q(QueueConfig{4}, /*num_classes=*/2);
+  (void)q.offer(make_request(0, 1, 10));
+  (void)q.offer(make_request(1, 0, 20));
+  (void)q.offer(make_request(2, 1, 30));
+  ASSERT_EQ(q.pending().size(), 3u);
+  EXPECT_EQ(q.pending()[0].id, 0u);
+  EXPECT_EQ(q.pending()[1].id, 1u);
+  EXPECT_EQ(q.pending()[2].id, 2u);
+}
+
+TEST(AdmissionQueue, TakeRemovesByIndexPreservingOrder) {
+  AdmissionQueue q(QueueConfig{4}, /*num_classes=*/1);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    (void)q.offer(make_request(i, 0, i));
+  }
+  const Request picked = q.take(1);
+  EXPECT_EQ(picked.id, 1u);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pending()[0].id, 0u);
+  EXPECT_EQ(q.pending()[1].id, 2u);
+  EXPECT_EQ(q.pending()[2].id, 3u);
+  // Freed capacity is reusable.
+  EXPECT_FALSE(q.offer(make_request(9, 0, 9)).has_value());
+  EXPECT_TRUE(q.offer(make_request(10, 0, 10)).has_value());
+}
+
+TEST(AdmissionQueue, ShedIsCountedPerClass) {
+  AdmissionQueue q(QueueConfig{1}, /*num_classes=*/3);
+  (void)q.offer(make_request(0, 0, 1));
+  (void)q.offer(make_request(1, 1, 2));  // shed
+  (void)q.offer(make_request(2, 2, 3));  // shed
+  (void)q.offer(make_request(3, 1, 4));  // shed
+  EXPECT_EQ(q.shed_total(), 3u);
+  EXPECT_EQ(q.shed_for_class(0), 0u);
+  EXPECT_EQ(q.shed_for_class(1), 2u);
+  EXPECT_EQ(q.shed_for_class(2), 1u);
+}
+
+TEST(AdmissionQueue, RejectReasonIsNamed) {
+  EXPECT_STREQ(to_string(RejectReason::kQueueFull), "queue_full");
+}
+
+TEST(AdmissionQueue, OutOfRangeClassIsRejectedByCheck) {
+  AdmissionQueue q(QueueConfig{2}, /*num_classes=*/1);
+  EXPECT_THROW((void)q.offer(make_request(0, 5, 1)), CheckError);
+}
+
+}  // namespace
+}  // namespace nocw::serve

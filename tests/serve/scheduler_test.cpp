@@ -1,0 +1,108 @@
+// Scheduler policies are pure and deterministic over the visible queue
+// state: FIFO takes the oldest, SJF the cheapest class, priority the
+// heaviest tenant weight — all ties breaking toward the oldest request.
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace nocw::serve {
+namespace {
+
+class SchedulerPolicy : public ::testing::Test {
+ protected:
+  SchedulerPolicy() : queue_(QueueConfig{16}, /*num_classes=*/3) {
+    classes_.resize(3);
+    classes_[0].name = "slow_light";
+    classes_[0].tenant_weight = 1.0;
+    classes_[1].name = "fast_heavy";
+    classes_[1].tenant_weight = 4.0;
+    classes_[2].name = "mid_mid";
+    classes_[2].tenant_weight = 2.0;
+    profiles_.resize(3);
+    profiles_[0].full_cycles = units::Cycles{300};
+    profiles_[1].full_cycles = units::Cycles{100};
+    profiles_[2].full_cycles = units::Cycles{200};
+    for (ServiceProfile& p : profiles_) {
+      p.marginal_cycles = units::Cycles{p.full_cycles.value() / 2};
+    }
+  }
+
+  void enqueue(std::size_t class_id) {
+    Request r;
+    r.id = next_id_;
+    r.class_id = class_id;
+    r.arrival_cycle = next_id_;
+    ++next_id_;
+    ASSERT_FALSE(queue_.offer(r).has_value());
+  }
+
+  std::size_t pick(const char* name) const {
+    return make_scheduler(name)->pick(queue_, classes_, profiles_);
+  }
+
+  AdmissionQueue queue_;
+  std::vector<RequestClass> classes_;
+  std::vector<ServiceProfile> profiles_;
+  std::uint64_t next_id_ = 0;
+};
+
+TEST_F(SchedulerPolicy, FifoPicksTheOldest) {
+  enqueue(1);
+  enqueue(0);
+  enqueue(2);
+  EXPECT_EQ(pick("fifo"), 0u);
+}
+
+TEST_F(SchedulerPolicy, SjfPicksTheCheapestClass) {
+  enqueue(0);  // 300 cycles
+  enqueue(2);  // 200 cycles
+  enqueue(1);  // 100 cycles  <- cheapest
+  EXPECT_EQ(pick("sjf"), 2u);
+}
+
+TEST_F(SchedulerPolicy, SjfTieBreaksTowardTheOldest) {
+  enqueue(0);
+  enqueue(1);  // first of the cheapest class
+  enqueue(1);
+  EXPECT_EQ(pick("sjf"), 1u);
+}
+
+TEST_F(SchedulerPolicy, PriorityPicksTheHighestTenantWeight) {
+  enqueue(0);  // weight 1
+  enqueue(2);  // weight 2
+  enqueue(1);  // weight 4  <- heaviest
+  EXPECT_EQ(pick("priority"), 2u);
+}
+
+TEST_F(SchedulerPolicy, PriorityTieBreaksTowardTheOldest) {
+  enqueue(2);
+  enqueue(1);  // first of the heaviest tenant
+  enqueue(1);
+  EXPECT_EQ(pick("priority"), 1u);
+}
+
+TEST_F(SchedulerPolicy, SingleRequestIsEveryPolicysPick) {
+  enqueue(2);
+  EXPECT_EQ(pick("fifo"), 0u);
+  EXPECT_EQ(pick("sjf"), 0u);
+  EXPECT_EQ(pick("priority"), 0u);
+}
+
+TEST_F(SchedulerPolicy, FactoryNamesRoundTrip) {
+  for (const std::string& name : scheduler_names()) {
+    EXPECT_EQ(make_scheduler(name)->name(), name);
+  }
+  EXPECT_EQ(scheduler_names().size(), 3u);
+}
+
+TEST_F(SchedulerPolicy, UnknownPolicyNameThrows) {
+  EXPECT_THROW((void)make_scheduler("lifo"), CheckError);
+}
+
+}  // namespace
+}  // namespace nocw::serve

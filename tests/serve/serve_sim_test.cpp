@@ -1,0 +1,213 @@
+// ServeSim end-to-end promises: conservation (offered = admitted + shed,
+// everything admitted completes), deterministic results across repeats and
+// NOCW_THREADS, policy-sensitive tails on a shared arrival timeline, and a
+// queue-depth time series in the closed unit vocabulary.
+#include "serve/serve_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "accel/summary.hpp"
+#include "nn/models.hpp"
+#include "obs/timeseries.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nocw::serve {
+namespace {
+
+class ServeSimTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_threads(1); }
+
+  static ServeConfig small_config() {
+    ServeConfig cfg;
+    cfg.accel.noc_window_flits = 4000;  // keep unit tests quick
+    cfg.queue.capacity = 16;
+    cfg.batch.max_batch = 4;
+    cfg.batch.max_wait = units::Cycles{50'000};
+    return cfg;
+  }
+
+  /// Two classes over one LeNet-5: "cold" streams weights every inference,
+  /// "resident" reuses them (the resident-weights plan), so SJF has a real
+  /// cost difference to exploit.
+  static std::vector<RequestClass> small_classes() {
+    nn::Model model = nn::make_lenet5();
+    const accel::ModelSummary summary = accel::summarize(model);
+    std::vector<RequestClass> classes(2);
+    classes[0].name = "cold";
+    classes[0].tenant = 0;
+    classes[0].tenant_weight = 1.0;
+    classes[0].mix_fraction = 0.5;
+    classes[0].summary = summary;
+    classes[1].name = "resident";
+    classes[1].tenant = 1;
+    classes[1].tenant_weight = 4.0;
+    classes[1].mix_fraction = 0.5;
+    classes[1].summary = summary;
+    classes[1].plan = accel::resident_weights_plan(summary);
+    return classes;
+  }
+
+  /// Arrival timeline at `load` x the sim's batch-amortized capacity.
+  static std::vector<Arrival> arrivals_at(const ServeSim& sim, double load,
+                                          int requests) {
+    double cycles_per_request = 0.0;
+    double mix_total = 0.0;
+    for (const RequestClass& c : sim.classes()) mix_total += c.mix_fraction;
+    const std::uint64_t b = sim.config().batch.max_batch;
+    for (std::size_t i = 0; i < sim.profiles().size(); ++i) {
+      cycles_per_request +=
+          sim.classes()[i].mix_fraction / mix_total *
+          static_cast<double>(sim.profiles()[i].batch_cycles(b).value()) /
+          static_cast<double>(b);
+    }
+    ArrivalConfig acfg;
+    acfg.rate_per_mcycle = load / cycles_per_request * 1e6;
+    acfg.horizon_cycles = static_cast<std::uint64_t>(
+        std::ceil(requests * cycles_per_request / load));
+    acfg.seed = 99;
+    return generate_arrivals(sim.classes(), acfg);
+  }
+};
+
+void expect_stats_equal(const ClassServeStats& a, const ClassServeStats& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed_rate, b.shed_rate);
+  EXPECT_EQ(a.latency.count, b.latency.count);
+  EXPECT_EQ(a.latency.mean, b.latency.mean);
+  EXPECT_EQ(a.latency.p50, b.latency.p50);
+  EXPECT_EQ(a.latency.p99, b.latency.p99);
+  EXPECT_EQ(a.latency.p999, b.latency.p999);
+  EXPECT_EQ(a.latency.max, b.latency.max);
+}
+
+TEST_F(ServeSimTest, ProfilesResidentClassIsCheaper) {
+  set_global_threads(1);
+  const ServeSim sim(small_config(), small_classes());
+  ASSERT_EQ(sim.profiles().size(), 2u);
+  const ServiceProfile& cold = sim.profiles()[0];
+  const ServiceProfile& resident = sim.profiles()[1];
+  EXPECT_GT(cold.full_cycles.value(), 0u);
+  EXPECT_LE(cold.marginal_cycles.value(), cold.full_cycles.value());
+  EXPECT_LE(resident.marginal_cycles.value(), resident.full_cycles.value());
+  // The resident plan strips the weight stream, so its cold cost is below
+  // the cold class's and batching it amortizes less.
+  EXPECT_LT(resident.full_cycles.value(), cold.full_cycles.value());
+  // A batch of n costs full + (n-1)*marginal.
+  EXPECT_EQ(cold.batch_cycles(1), cold.full_cycles);
+  EXPECT_EQ(cold.batch_cycles(3).value(),
+            cold.full_cycles.value() + 2 * cold.marginal_cycles.value());
+  EXPECT_EQ(cold.batch_cycles(0).value(), 0u);
+}
+
+TEST_F(ServeSimTest, ConservationUnderOverload) {
+  set_global_threads(1);
+  const ServeSim sim(small_config(), small_classes());
+  const std::vector<Arrival> arrivals = arrivals_at(sim, 1.6, 120);
+  const ServeResult res = sim.run(arrivals, "fifo");
+
+  EXPECT_EQ(res.aggregate.offered, arrivals.size());
+  EXPECT_EQ(res.aggregate.offered, res.aggregate.admitted + res.aggregate.shed);
+  EXPECT_EQ(res.aggregate.completed, res.aggregate.admitted);
+  EXPECT_GT(res.aggregate.shed, 0u) << "60% overload should shed";
+  EXPECT_GT(res.aggregate.completed, 0u);
+  EXPECT_GT(res.aggregate.shed_rate, 0.0);
+  EXPECT_LT(res.aggregate.shed_rate, 1.0);
+
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  for (const ClassServeStats& c : res.per_class) {
+    offered += c.offered;
+    completed += c.completed;
+    EXPECT_EQ(c.completed, c.admitted) << c.name;
+  }
+  EXPECT_EQ(offered, res.aggregate.offered);
+  EXPECT_EQ(completed, res.aggregate.completed);
+  EXPECT_EQ(res.aggregate.latency.count, res.aggregate.completed);
+
+  EXPECT_GT(res.batches, 0u);
+  EXPECT_GE(res.mean_batch_size, 1.0);
+  EXPECT_LE(res.mean_batch_size,
+            static_cast<double>(sim.config().batch.max_batch));
+  EXPECT_GT(res.makespan.value(), 0u);
+  EXPECT_GT(res.goodput_rps, 0.0);
+  // Latency is at least one batch's service time away from zero.
+  EXPECT_GT(res.aggregate.latency.p50, 0.0);
+  EXPECT_GE(res.aggregate.latency.max, res.aggregate.latency.p50);
+}
+
+TEST_F(ServeSimTest, UnderloadedRunShedsNothing) {
+  set_global_threads(1);
+  const ServeSim sim(small_config(), small_classes());
+  const ServeResult res = sim.run(arrivals_at(sim, 0.4, 60), "fifo");
+  EXPECT_EQ(res.aggregate.shed, 0u);
+  EXPECT_EQ(res.aggregate.completed, res.aggregate.offered);
+}
+
+TEST_F(ServeSimTest, EmptyArrivalsGiveEmptyResult) {
+  set_global_threads(1);
+  const ServeSim sim(small_config(), small_classes());
+  const ServeResult res = sim.run({}, "fifo");
+  EXPECT_EQ(res.aggregate.offered, 0u);
+  EXPECT_EQ(res.aggregate.completed, 0u);
+  EXPECT_EQ(res.batches, 0u);
+  EXPECT_EQ(res.makespan.value(), 0u);
+  EXPECT_EQ(res.goodput_rps, 0.0);
+}
+
+TEST_F(ServeSimTest, SjfCutsMedianLatencyUnderOverloadVsFifo) {
+  set_global_threads(1);
+  const ServeSim sim(small_config(), small_classes());
+  const std::vector<Arrival> arrivals = arrivals_at(sim, 1.6, 120);
+  const ServeResult fifo = sim.run(arrivals, "fifo");
+  const ServeResult sjf = sim.run(arrivals, "sjf");
+  EXPECT_EQ(fifo.aggregate.offered, sjf.aggregate.offered);
+  EXPECT_LT(sjf.aggregate.latency.p50, fifo.aggregate.latency.p50);
+  // The cheap (resident) class's tail improves when it stops waiting
+  // behind cold-weight batches.
+  EXPECT_LE(sjf.per_class[1].latency.p99, fifo.per_class[1].latency.p99);
+}
+
+TEST_F(ServeSimTest, IdenticalAcrossThreadCountsAndRepeats) {
+  set_global_threads(1);
+  const ServeSim ref_sim(small_config(), small_classes());
+  const std::vector<Arrival> arrivals = arrivals_at(ref_sim, 1.2, 80);
+  const ServeResult ref = ref_sim.run(arrivals, "priority");
+
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    set_global_threads(threads);
+    // Rebuild the sim so the profiling inferences themselves run at this
+    // thread count — that is where parallelism actually lives.
+    const ServeSim sim(small_config(), small_classes());
+    const ServeResult got = sim.run(arrivals, "priority");
+    ASSERT_EQ(got.per_class.size(), ref.per_class.size());
+    for (std::size_t i = 0; i < ref.per_class.size(); ++i) {
+      expect_stats_equal(got.per_class[i], ref.per_class[i]);
+    }
+    expect_stats_equal(got.aggregate, ref.aggregate);
+    EXPECT_EQ(got.batches, ref.batches);
+    EXPECT_EQ(got.mean_batch_size, ref.mean_batch_size);
+    EXPECT_EQ(got.makespan.value(), ref.makespan.value());
+    EXPECT_EQ(got.goodput_rps, ref.goodput_rps);
+  }
+}
+
+TEST_F(ServeSimTest, QueueDepthSeriesIsRecorded) {
+  set_global_threads(1);
+  const ServeSim sim(small_config(), small_classes());
+  obs::TimeSeriesSet ts;
+  (void)sim.run(arrivals_at(sim, 1.2, 60), "fifo", &ts);
+  ASSERT_TRUE(ts.contains("serve.queue_depth"));
+  const obs::TimeSeries depth = ts.series("serve.queue_depth");
+  EXPECT_EQ(depth.unit(), "requests");
+}
+
+}  // namespace
+}  // namespace nocw::serve

@@ -74,6 +74,14 @@ Rules (all scoped to src/, the library code):
               (engine-only pass) — those are exactly where ad-hoc step
               loops tend to appear.
 
+  serve       (scoped to src/serve/) direct AcceleratorSim simulate() /
+              simulate_layer() calls are forbidden outside
+              src/serve/serve_sim.cpp, the audited ServeSim driver path.
+              Schedulers, arrival generators and queues consult the
+              ServiceProfiles the driver precomputes; an ad-hoc simulate
+              call in policy code would fork request timing off the one
+              path the determinism gates (ext_serving) actually check.
+
 Usage:
   tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
                                repository containing this script)
@@ -109,6 +117,7 @@ PRINT_ALLOWED = "bench/bench_util.cpp"
 ENGINE_ALLOWED = ("src/noc/network.cpp", "src/noc/network.hpp")
 ROUTE_ALLOWED = ("src/noc/routing.cpp", "src/noc/routing.hpp",
                  "src/noc/router.cpp")
+SERVE_ALLOWED = ("src/serve/serve_sim.cpp",)
 
 NOCW_UNIT_RE = re.compile(r"^\s*NOCW_UNIT\((\w+)\)", re.M)
 
@@ -146,6 +155,10 @@ ROUTE_RE = re.compile(r"\bdor_next_hop\s*\(")
 # Network::step() is the only zero-arg step() in the tree; the member-access
 # prefix keeps the rule from matching definitions or unrelated free functions.
 STEP_RE = re.compile(r"(?:\.|->)\s*step\s*\(\s*\)")
+# A member call to AcceleratorSim's simulate()/simulate_layer(). Within
+# src/serve/ only the audited ServeSim driver may invoke the accelerator;
+# schedulers and generators must consult the precomputed ServiceProfiles.
+SIMULATE_RE = re.compile(r"(?:\.|->)\s*simulate(?:_layer)?\s*\(")
 PRINT_RE = re.compile(r"std::printf|std::cout")
 MAIN_RE = re.compile(r"^\s*int\s+main\s*\(", re.M)
 WRITE_SUMMARY_RE = re.compile(r"\bwrite_summary\s*\(")
@@ -293,6 +306,13 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [route] dor_next_hop() outside noc/routing "
                 f"(+ router.cpp); next hops come from the RouteTable so "
                 f"quarantined links/routers are honored everywhere")
+        if (rel.startswith("src/serve/") and rel not in SERVE_ALLOWED
+                and SIMULATE_RE.search(line)):
+            findings.append(
+                f"{rel}:{lineno}: [serve] direct AcceleratorSim simulate "
+                f"call outside the ServeSim driver; serving code consults "
+                f"the precomputed ServiceProfiles so request timing stays "
+                f"on the one audited accelerator path")
         findings.extend(lint_engine_line(rel, lineno, line))
     findings.extend(lint_metric_units(rel, text))
     return findings
@@ -386,6 +406,12 @@ def self_test() -> int:
         "tests/noc/bad_step_test.cpp":
             "#include \"noc/network.hpp\"\n"
             "void tick(nocw::noc::Network* net) { net->step(); }\n",
+        "src/serve/bad_sim.cpp":
+            "#include \"accel/simulator.hpp\"\n"
+            "double cost(const nocw::accel::AcceleratorSim& sim,\n"
+            "            const nocw::accel::ModelSummary& s) {\n"
+            "  return sim.simulate(s).latency.total().value();\n"
+            "}\n",
     }
     clean = {
         "src/power/good.hpp":
@@ -446,6 +472,18 @@ def self_test() -> int:
             "  net.run_until_drained(1000);\n"
             "  (void)net.stats().step_cycles;\n"
             "}\n",
+        "src/serve/serve_sim.cpp":
+            "#include \"accel/simulator.hpp\"\n"
+            "// the audited driver path may run the accelerator\n"
+            "double profile(const nocw::accel::AcceleratorSim& sim,\n"
+            "               const nocw::accel::ModelSummary& s) {\n"
+            "  return sim.simulate(s).latency.total().value();\n"
+            "}\n",
+        "src/serve/good_sched.cpp":
+            "// simulate() in a comment is fine; profiles are the API\n"
+            "unsigned long cost(unsigned long full_cycles) {\n"
+            "  return full_cycles;\n"
+            "}\n",
     }
     expected_rules = {
         "src/power/bad_units.hpp": "[units]",
@@ -460,6 +498,7 @@ def self_test() -> int:
         "src/accel/bad_route.cpp": "[route]",
         "src/eval/bad_step.cpp": "[engine]",
         "tests/noc/bad_step_test.cpp": "[engine]",
+        "src/serve/bad_sim.cpp": "[serve]",
     }
 
     with tempfile.TemporaryDirectory() as tmp:

@@ -47,6 +47,11 @@ PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
 DELTA_KEY_RE = re.compile(r"^(?P<model>.+)\.d(?P<delta>\d+)\."
                           r"(?P<metric>latency_cycles|energy_j|accuracy)$")
 
+# ext_serving's grid keys: "<scheduler>.l<load%>.<metric>", e.g.
+# "sjf.l120.p99_cycles" is SJF at 1.2x capacity.
+SERVING_KEY_RE = re.compile(r"^(?P<sched>[a-z_]+)\.l(?P<load>\d+)\."
+                            r"(?P<metric>p99_cycles|goodput_rps)$")
+
 
 def fmt(v: float) -> str:
     return f"{v:g}"
@@ -216,6 +221,31 @@ def delta_curves(benches: dict) -> list[str]:
     return charts
 
 
+def serving_curves(benches: dict) -> list[str]:
+    """One chart per serving metric, one line per scheduler, from
+    ext_serving's load-sweep keys."""
+    curves: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for entry in benches.values():
+        for key, value in entry.get("metrics", {}).items():
+            m = SERVING_KEY_RE.match(key)
+            if m:
+                curves.setdefault(m["metric"], {}).setdefault(
+                    m["sched"], []).append((float(m["load"]) / 100.0, value))
+    charts = []
+    titles = {"p99_cycles": ("Request p99 latency vs offered load",
+                             "cycles"),
+              "goodput_rps": ("Goodput vs offered load", "requests/s")}
+    for metric in ("p99_cycles", "goodput_rps"):
+        if metric not in curves:
+            continue
+        title, ylabel = titles[metric]
+        chart = Chart(title, "offered load (fraction of capacity)", ylabel)
+        for i, (sched, pts) in enumerate(sorted(curves[metric].items())):
+            chart.add_line(sched, PALETTE[i % len(PALETTE)], sorted(pts))
+        charts.append(chart.render())
+    return charts
+
+
 def summary_table(benches: dict) -> str:
     if not benches:
         return ""
@@ -264,6 +294,10 @@ def render(timeseries: dict | None, summary: dict | None) -> str:
         if charts:
             sections.append("<h2>δ trade-off (fig10_tradeoff)</h2>")
             sections.extend(charts)
+        charts = serving_curves(benches)
+        if charts:
+            sections.append("<h2>Serving load sweep (ext_serving)</h2>")
+            sections.extend(charts)
         sections.append("<h2>Bench runs</h2>")
         sections.append(summary_table(benches))
     if not sections:
@@ -308,17 +342,31 @@ def self_test() -> int:
         "ext_timeseries": {"model": "LeNet-5", "git_sha": "abc123",
                            "threads": 1, "wall_seconds": 0.04,
                            "metrics": {"bit_identical": 1.0}},
+        "ext_serving": {"model": "LeNet-5", "git_sha": "abc123",
+                        "threads": 1, "wall_seconds": 1.5, "metrics": {
+                            "fifo.l090.p99_cycles": 39021290.0,
+                            "fifo.l090.goodput_rps": 1087.0,
+                            "fifo.l150.p99_cycles": 69729940.0,
+                            "fifo.l150.goodput_rps": 1277.0,
+                            "sjf.l090.p99_cycles": 37030121.0,
+                            "sjf.l090.goodput_rps": 1086.0,
+                            "sjf.l150.p99_cycles": 209531368.0,
+                            "sjf.l150.goodput_rps": 1226.0,
+                            "capacity_rps": 1260.0}},
     }}
     page = render(ts, summary)
 
     failures = []
-    if page.count("<svg") != 5:  # timeline + utilization + 3 δ charts
-        failures.append(f"expected 5 svg blocks, got {page.count('<svg')}")
-    if page.count("<polyline") < 3 + 3:  # 3 series + δ lines
+    # timeline + utilization + 3 δ charts + 2 serving charts
+    if page.count("<svg") != 7:
+        failures.append(f"expected 7 svg blocks, got {page.count('<svg')}")
+    if page.count("<polyline") < 3 + 3 + 4:  # series + δ + serving lines
         failures.append(f"too few polylines: {page.count('<polyline')}")
     for needle in ("accel.dram_words", "noc.link_flits", "stride 2",
                    "Inference latency vs δ", "Accuracy vs δ", "lenet-5",
-                   "mini-vgg", "ext_timeseries", "abc123"):
+                   "mini-vgg", "ext_timeseries", "abc123",
+                   "Request p99 latency vs offered load",
+                   "Goodput vs offered load", "sjf"):
         if needle not in page:
             failures.append(f"missing from rendered page: {needle!r}")
     if "javascript" in page.lower() or "<script" in page.lower():

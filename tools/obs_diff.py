@@ -16,10 +16,10 @@ DESIGN.md §10):
   informational   wall-clock and throughput numbers that vary with the host
                   machine (substrings: _ms, seconds, gflops, speedup,
                   wall_seconds, flops). Reported, never gated.
-  lower-better    latency, energy, cycles, _j, overhead, dropped — an
+  lower-better    latency, energy, cycles, _j, overhead, dropped, shed — an
                   increase beyond tolerance is a regression.
-  higher-better   accuracy, cr, bit_identical, speedup is informational —
-                  a decrease beyond tolerance is a regression.
+  higher-better   accuracy, cr, bit_identical, goodput — a decrease beyond
+                  tolerance is a regression (speedup is informational).
   neutral         everything else (counts, point totals, ratios without a
                   direction) — any drift beyond tolerance is flagged as a
                   change, which also fails the gate: simulator outputs are
@@ -51,8 +51,9 @@ import pathlib
 import sys
 
 INFORMATIONAL = ("_ms", "seconds", "gflops", "speedup", "flops")
-LOWER_BETTER = ("latency", "energy", "cycles", "_j", "overhead", "dropped")
-HIGHER_BETTER = ("accuracy", "bit_identical", ".cr", "_cr")
+LOWER_BETTER = ("latency", "energy", "cycles", "_j", "overhead", "dropped",
+                "shed")
+HIGHER_BETTER = ("accuracy", "bit_identical", ".cr", "_cr", "goodput")
 
 
 def classify(name: str) -> str:
@@ -280,12 +281,28 @@ def self_test() -> int:
     if loaded != {"ext_timeseries": {"latency_cycles": 20015.0}}:
         failures.append(f"manifest load wrong: {loaded}")
 
+    # 9. Serving directions: goodput down and shed up are both regressions.
+    serving_doc = copy.deepcopy(base_doc)
+    serving_doc["benches"]["ext_serving"] = {
+        "model": "LeNet-5",
+        "metrics": {"sjf.l150.goodput_rps": 1226.0,
+                    "sjf.l150.shed_rate": 0.13},
+    }
+    pert = copy.deepcopy(serving_doc)
+    pert["benches"]["ext_serving"]["metrics"]["sjf.l150.goodput_rps"] *= 0.90
+    pert["benches"]["ext_serving"]["metrics"]["sjf.l150.shed_rate"] *= 1.50
+    d, _ = run(serving_doc, pert, strict=False)
+    if not any("goodput" in r for r in d.regressions):
+        failures.append(f"-10% goodput not flagged: {d.regressions}")
+    if not any("shed_rate" in r for r in d.regressions):
+        failures.append(f"+50% shed rate not flagged: {d.regressions}")
+
     if failures:
         print("obs_diff self-test FAILED:")
         for f in failures:
             print(f"  {f}")
         return 1
-    print("obs_diff self-test passed: 8 scenarios")
+    print("obs_diff self-test passed: 9 scenarios")
     return 0
 
 
