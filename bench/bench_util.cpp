@@ -13,6 +13,7 @@
 #include "nn/train.hpp"
 #include "obs/jsonfmt.hpp"
 #include "obs/log.hpp"
+#include "util/check.hpp"
 
 namespace nocw::bench {
 
@@ -155,6 +156,13 @@ void write_summary(const std::string& dir, const obs::RunManifest& m) {
     const std::lock_guard<std::mutex> lock(g_registered_mu);
     if (!g_registered_tools.insert(m.tool).second) {
       ++g_duplicate_writes;
+      // Under the strict regression gate a double registration is a bench
+      // bug (two mains claiming one summary key), not a warning: the same
+      // switch that turns tolerance drift into failures turns this hard.
+      if (env_int("NOCW_REGRESS_STRICT", 0) == 1) {
+        throw CheckError("write_summary: duplicate registration for tool '" +
+                         m.tool + "' with NOCW_REGRESS_STRICT=1");
+      }
       std::fprintf(stderr,
                    "[bench] warning: write_summary called again for tool "
                    "'%s' in this process; keeping the latest entry "

@@ -1,0 +1,425 @@
+// Request tracing + SLO gate: causal span trees, tail sampling and the
+// streaming SLO monitor over the serving sweep (DESIGN.md §15).
+//
+// Workload: the ext_serving class mix (lenet_d0 / lenet_d8 / alexnet_d0)
+// on a smaller load x scheduler grid, run twice per arm — plain
+// (run_serving_sweep, the PR 9 path) and observed
+// (run_observed_serving_sweep: SLO monitor + trace sink hooked into every
+// point).
+//
+// Gates (non-zero exit on failure):
+//   (1) Purity: the observed sweep's ServeResult numbers are bit-identical
+//       to the plain sweep's, across NOCW_THREADS {1,2,8} and repeats —
+//       hooks observe, they never feed back.
+//   (2) Overhead: tail-sampled tracing (hooks on) costs < 1% wall-clock
+//       over the plain sweep, min-over-reps on the 1-thread arm.
+//   (3) Exemplars: every breached SLO window names an exemplar trace the
+//       sink retained, and its span tree's root latency equals the
+//       window's recorded max (shed exemplar for shed-only windows); at
+//       least one window must breach, and exemplar storage must not drop.
+//   Determinism: slo + reqtrace JSON exports byte-identical across arms.
+//
+// Outputs: summary metrics (per-point windows_breached / max_burn_1w +
+// overhead for obs_diff), BENCH_reqtrace.json (nocw.reqtrace.v1, override
+// NOCW_REQTRACE_JSON) and results/slo_windows.json (nocw.slo.v1) for the
+// overloaded FIFO point, results/reqtrace_tail.json (Perfetto tree of the
+// worst tail request).
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/summary.hpp"
+#include "eval/flow.hpp"
+#include "eval/serving.hpp"
+#include "nn/models.hpp"
+#include "obs/jsonfmt.hpp"
+#include "obs/log.hpp"
+#include "obs/trace_export.hpp"
+#include "serve/reqtrace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace nocw;
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+std::string load_key(double load) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "l%03d",
+                static_cast<int>(std::lround(load * 100.0)));
+  return buf;
+}
+
+/// Exhaustive flattening of a sweep result (ext_serving's shape): the
+/// bit-identity comparison between the plain and observed paths.
+std::map<std::string, double> flatten(const eval::ServingSweepResult& r) {
+  std::map<std::string, double> out;
+  out["capacity_rps"] = r.capacity_rps;
+  for (std::size_t c = 0; c < r.profiles.size(); ++c) {
+    const std::string base = "profile." + r.class_names[c];
+    out[base + ".full_cycles"] =
+        static_cast<double>(r.profiles[c].full_cycles.value());
+    out[base + ".marginal_cycles"] =
+        static_cast<double>(r.profiles[c].marginal_cycles.value());
+  }
+  for (const eval::ServingPoint& pt : r.points) {
+    const std::string base = pt.scheduler + "." + load_key(pt.offered_load);
+    const auto add_class = [&](const std::string& key,
+                               const serve::ClassServeStats& s) {
+      out[key + ".offered"] = static_cast<double>(s.offered);
+      out[key + ".completed"] = static_cast<double>(s.completed);
+      out[key + ".shed"] = static_cast<double>(s.shed);
+      out[key + ".shed_rate"] = s.shed_rate;
+      out[key + ".p50_cycles"] = finite_or_zero(s.latency.p50);
+      out[key + ".p99_cycles"] = finite_or_zero(s.latency.p99);
+      out[key + ".p999_cycles"] = finite_or_zero(s.latency.p999);
+      out[key + ".mean_cycles"] = finite_or_zero(s.latency.mean);
+    };
+    add_class(base, pt.result.aggregate);
+    for (const serve::ClassServeStats& s : pt.result.per_class) {
+      add_class(base + "." + s.name, s);
+    }
+    out[base + ".goodput_rps"] = pt.result.goodput_rps;
+    out[base + ".batches"] = static_cast<double>(pt.result.batches);
+    out[base + ".mean_batch_size"] = pt.result.mean_batch_size;
+    out[base + ".makespan_cycles"] =
+        static_cast<double>(pt.result.makespan.value());
+  }
+  return out;
+}
+
+/// Byte-stable digest of every point's slo + reqtrace export, for the
+/// cross-arm determinism comparison.
+std::string observability_digest(const eval::ObservedSweepResult& obs) {
+  std::string out;
+  for (std::size_t i = 0; i < obs.sweep.points.size(); ++i) {
+    out += obs.sweep.points[i].scheduler + "." +
+           load_key(obs.sweep.points[i].offered_load) + "\n";
+    out += obs.slo[i].to_json();
+    out += obs.sinks[i].to_json();
+  }
+  return out;
+}
+
+double elapsed_s(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void write_file(const std::string& path, const std::string& body,
+                const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  obs::log("[reqtrace] wrote %s (%s)\n", path.c_str(), what);
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  const std::string dir = bench::output_dir(argv[0]);
+  obs::RunManifest man = bench::bench_manifest("ext_reqtrace", "LeNet-5");
+
+  // --- workload classes (ext_serving's mix) -----------------------------
+  bench::TrainedLenet lenet = bench::trained_lenet(dir);
+  eval::EvalConfig ecfg;
+  ecfg.topk = 1;
+  eval::DeltaEvaluator ev(lenet.model, lenet.test, ecfg);
+  const eval::DeltaPoint d8 = ev.evaluate(8.0);
+  const accel::ModelSummary lenet_summary = accel::summarize(lenet.model);
+  nn::Model alexnet = nn::make_alexnet();
+  const accel::ModelSummary alexnet_summary = accel::summarize(alexnet);
+
+  std::vector<serve::RequestClass> classes(3);
+  classes[0].name = "lenet_d0";
+  classes[0].tenant = 0;
+  classes[0].tenant_weight = 4.0;
+  classes[0].mix_fraction = 0.45;
+  classes[0].summary = lenet_summary;
+  classes[1].name = "lenet_d8";
+  classes[1].tenant = 0;
+  classes[1].tenant_weight = 4.0;
+  classes[1].mix_fraction = 0.35;
+  classes[1].summary = lenet_summary;
+  classes[1].plan[ev.selected_layer()] = d8.compression;
+  classes[2].name = "alexnet_d0";
+  classes[2].tenant = 1;
+  classes[2].tenant_weight = 1.0;
+  classes[2].mix_fraction = 0.20;
+  classes[2].summary = alexnet_summary;
+
+  eval::ServingSweepConfig cfg;
+  cfg.offered_loads = {0.6, 0.9, 1.3};
+  cfg.schedulers = {"fifo", "sjf"};
+  cfg.requests_per_point =
+      static_cast<int>(env_int("REPRO_REQTRACE_REQUESTS", 800, 10));
+  cfg.serve.accel.noc_window_flits = bench::noc_window();
+  cfg.serve.queue.capacity = 64;
+  cfg.serve.batch.max_batch = 4;
+  cfg.serve.batch.max_wait = units::Cycles{200'000};
+
+  // --- reference run + SLO policy derived from the profiled classes -----
+  set_global_threads(1);
+  auto t0 = std::chrono::steady_clock::now();
+  const eval::ServingSweepResult plain = eval::run_serving_sweep(classes, cfg);
+  std::vector<double> plain_s{elapsed_s(t0)};
+  const std::map<std::string, double> reference = flatten(plain);
+
+  std::uint64_t max_full = 0;
+  for (const serve::ServiceProfile& p : plain.profiles) {
+    max_full = std::max(max_full, p.full_cycles.value());
+  }
+  const double amortized_cycles =
+      1.0 / eval::capacity_requests_per_cycle(
+                classes, plain.profiles, cfg.serve.batch.max_batch);
+
+  eval::ObservedSweepConfig ocfg;
+  ocfg.base = cfg;
+  // ~100 capacity-requests per window: enough samples for a window p99,
+  // >= a dozen windows per point.
+  ocfg.slo.window_cycles =
+      static_cast<std::uint64_t>(std::llround(100.0 * amortized_cycles));
+  ocfg.slo.p99_budget_cycles = 4.0 * static_cast<double>(max_full);
+  ocfg.slo.p999_budget_cycles = 6.0 * static_cast<double>(max_full);
+  ocfg.slo.min_goodput_fraction = 0.99;
+  ocfg.slo.error_budget = 0.01;
+  ocfg.traces.tail_keep = 32;
+  ocfg.traces.exemplar_capacity = 512;
+
+  // --- gate (1): purity on the 1-thread arm -----------------------------
+  const int reps = static_cast<int>(env_int("REPRO_REQTRACE_REPS", 3, 1));
+  bool sweep_identical = true;
+  bool deterministic = true;
+  std::vector<double> observed_s;
+  std::string digest0;
+  eval::ObservedSweepResult obs0;  // rep 0, the gated result
+  for (int rep = 0; rep < reps; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    eval::ObservedSweepResult o =
+        eval::run_observed_serving_sweep(classes, ocfg);
+    observed_s.push_back(elapsed_s(t0));
+    if (flatten(o.sweep) != reference) sweep_identical = false;
+    const std::string digest = observability_digest(o);
+    if (rep == 0) {
+      digest0 = digest;
+      obs0 = std::move(o);
+    } else if (digest != digest0) {
+      deterministic = false;
+    }
+    if (rep + 1 < reps) {
+      t0 = std::chrono::steady_clock::now();
+      const eval::ServingSweepResult again =
+          eval::run_serving_sweep(classes, cfg);
+      plain_s.push_back(elapsed_s(t0));
+      if (flatten(again) != reference) sweep_identical = false;
+    }
+  }
+
+  // --- gate (2): tracing's extra wall-clock, amortized ------------------
+  // The sweep's wall-clock is dominated by class profiling (identical in
+  // both arms, it cancels exactly), and run-to-run noise on ~100 ms swamps
+  // a ~1 ms hook cost — a naive on/off sweep comparison cannot resolve a
+  // 1% bound. Following ext_trace_overhead's estimator idiom, the gated
+  // number measures the *difference* directly: the per-point serving loops
+  // run paired (hooks off / hooks on) on one shared profiled sim many
+  // times; the aggregate extra, scaled to one sweep, is compared against
+  // the plain sweep's median wall-clock.
+  const serve::ServeSim shared_sim(cfg.serve, classes);
+  const double cap_rpc = eval::capacity_requests_per_cycle(
+      shared_sim.classes(), shared_sim.profiles(), cfg.serve.batch.max_batch);
+  std::vector<std::vector<serve::Arrival>> grid_arrivals;
+  for (const double load : cfg.offered_loads) {
+    const double rate_per_cycle = load * cap_rpc;
+    serve::ArrivalConfig acfg;
+    acfg.process = cfg.process;
+    acfg.rate_per_mcycle = rate_per_cycle * 1e6;
+    acfg.horizon_cycles = static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(cfg.requests_per_point) / rate_per_cycle));
+    acfg.seed = cfg.arrival_seed;
+    grid_arrivals.push_back(
+        serve::generate_arrivals(shared_sim.classes(), acfg));
+  }
+  const int loop_reps =
+      static_cast<int>(env_int("REPRO_REQTRACE_LOOPS", 24, 1));
+  double plain_loop_s = 0.0;
+  double hooked_loop_s = 0.0;
+  for (int rep = 0; rep < loop_reps; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    for (const std::vector<serve::Arrival>& arr : grid_arrivals) {
+      for (const std::string& sched : cfg.schedulers) {
+        (void)shared_sim.run(arr, *serve::make_scheduler(sched), nullptr);
+      }
+    }
+    plain_loop_s += elapsed_s(t0);
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t li = 0; li < grid_arrivals.size(); ++li) {
+      for (const std::string& sched : cfg.schedulers) {
+        obs::SloMonitor slo(shared_sim.classes().size(), ocfg.slo);
+        serve::RequestTraceSink sink(shared_sim.classes().size(),
+                                     ocfg.traces);
+        serve::RunHooks hooks;
+        hooks.slo = &slo;
+        hooks.traces = &sink;
+        hooks.trace_seed =
+            ocfg.trace_seed ^
+            (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(li + 1));
+        (void)shared_sim.run(grid_arrivals[li], *serve::make_scheduler(sched),
+                             hooks);
+      }
+    }
+    hooked_loop_s += elapsed_s(t0);
+  }
+  const double plain_med = median(plain_s);
+  const double extra_per_sweep_s =
+      (hooked_loop_s - plain_loop_s) / static_cast<double>(loop_reps);
+  const double overhead =
+      plain_med > 0.0 ? extra_per_sweep_s / plain_med : 0.0;
+
+  // --- determinism across thread counts ---------------------------------
+  for (const unsigned threads : {2u, 8u}) {
+    set_global_threads(threads);
+    eval::ObservedSweepResult o =
+        eval::run_observed_serving_sweep(classes, ocfg);
+    if (flatten(o.sweep) != reference) sweep_identical = false;
+    if (observability_digest(o) != digest0) deterministic = false;
+  }
+  set_global_threads(1);
+
+  // --- gate (3): every breached window resolves to a retained exemplar --
+  std::uint64_t windows_total = 0;
+  std::uint64_t windows_breached = 0;
+  std::uint64_t exemplar_drops = 0;
+  bool exemplar_ok = true;
+  for (std::size_t i = 0; i < obs0.sweep.points.size(); ++i) {
+    const obs::SloMonitor& m = obs0.slo[i];
+    const serve::RequestTraceSink& sink = obs0.sinks[i];
+    exemplar_drops += sink.exemplar_drops();
+    windows_total += static_cast<std::uint64_t>(m.windows().size());
+    for (const obs::SloWindow& w : m.windows()) {
+      if (w.breach_mask == 0) continue;
+      ++windows_breached;
+      if (w.completions > 0) {
+        const serve::RequestTrace* t = sink.exemplar(w.exemplar_trace_id);
+        if (t == nullptr || t->shed || t->spans.empty() ||
+            t->spans.front().dur_cycles != w.max_latency_cycles ||
+            t->latency_cycles != w.max_latency_cycles) {
+          exemplar_ok = false;
+        }
+      } else {
+        const serve::RequestTrace* t =
+            sink.exemplar(w.shed_exemplar_trace_id);
+        if (t == nullptr || !t->shed) exemplar_ok = false;
+      }
+    }
+  }
+  if (windows_breached == 0) exemplar_ok = false;  // the gate must bite
+  if (exemplar_drops != 0) exemplar_ok = false;
+
+  // --- artifacts: overloaded FIFO point + worst tail request ------------
+  std::size_t artifact_point = 0;
+  for (std::size_t i = 0; i < obs0.sweep.points.size(); ++i) {
+    if (obs0.sweep.points[i].scheduler == "fifo" &&
+        obs0.sweep.points[i].offered_load >
+            obs0.sweep.points[artifact_point].offered_load) {
+      artifact_point = i;
+    }
+  }
+  write_file(env_string("NOCW_REQTRACE_JSON", "BENCH_reqtrace.json"),
+             obs0.sinks[artifact_point].to_json(), "nocw.reqtrace.v1");
+  write_file(dir + "/results/slo_windows.json",
+             obs0.slo[artifact_point].to_json(), "nocw.slo.v1");
+  if (!obs0.sinks[artifact_point].tail().empty()) {
+    const std::vector<obs::TraceEvent> events =
+        serve::to_trace_events(obs0.sinks[artifact_point].tail().front());
+    write_file(dir + "/results/reqtrace_tail.json",
+               obs::to_chrome_json(events), "perfetto tail request");
+  }
+
+  // --- table + metrics ---------------------------------------------------
+  Table t({"Sched", "Load", "Windows", "Breached", "Burn 1w", "Sampled",
+           "Dropped", "Exemplars"});
+  for (std::size_t i = 0; i < obs0.sweep.points.size(); ++i) {
+    const eval::ServingPoint& pt = obs0.sweep.points[i];
+    const obs::SloMonitor& m = obs0.slo[i];
+    const serve::RequestTraceSink& sink = obs0.sinks[i];
+    t.add_row({pt.scheduler, fmt_fixed(pt.offered_load, 2),
+               std::to_string(m.windows().size()),
+               std::to_string(m.windows_breached()),
+               fmt_fixed(m.max_burn(0), 2),
+               std::to_string(sink.tail().size()),
+               std::to_string(sink.dropped_trees()),
+               std::to_string(sink.exemplar_count())});
+    const std::string base = pt.scheduler + "." + load_key(pt.offered_load);
+    man.metrics[base + ".windows_breached"] =
+        static_cast<double>(m.windows_breached());
+    man.metrics[base + ".max_burn_1w"] = m.max_burn(0);
+    man.metrics[base + ".sampled_trees"] =
+        static_cast<double>(sink.tail().size());
+    man.metrics[base + ".dropped_trees"] =
+        static_cast<double>(sink.dropped_trees());
+  }
+  bench::emit("Request tracing + SLO windows (observed serving sweep)", t,
+              dir, "ext_reqtrace");
+
+  man.metrics["deterministic"] = deterministic ? 1.0 : 0.0;
+  man.metrics["sweep_identical"] = sweep_identical ? 1.0 : 0.0;
+  man.metrics["trace_overhead_fraction"] = overhead;
+  man.metrics["trace_extra_ms_per_sweep"] = extra_per_sweep_s * 1e3;
+  man.metrics["plain_sweep_seconds"] = plain_med;
+  man.metrics["observed_sweep_seconds"] = median(observed_s);
+  man.metrics["exemplar_ok"] = exemplar_ok ? 1.0 : 0.0;
+  man.metrics["windows_total"] = static_cast<double>(windows_total);
+  man.metrics["windows_breached"] = static_cast<double>(windows_breached);
+  man.metrics["exemplar_drops"] = static_cast<double>(exemplar_drops);
+  man.metrics["slo_window_cycles"] =
+      static_cast<double>(ocfg.slo.window_cycles);
+  bench::write_summary(dir, man);
+
+  if (!sweep_identical) {
+    std::fprintf(stderr,
+                 "ERROR: observed sweep numbers differ from the plain "
+                 "(tracing-off) sweep\n");
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "ERROR: slo/reqtrace exports are not byte-identical "
+                 "across NOCW_THREADS {1,2,8} / repeats\n");
+    return 1;
+  }
+  if (!(overhead < 0.01)) {
+    std::fprintf(stderr,
+                 "ERROR: tracing overhead %.2f%% exceeds the 1%% gate "
+                 "(extra %.3f ms per sweep, plain sweep median %.3f s)\n",
+                 overhead * 100.0, extra_per_sweep_s * 1e3, plain_med);
+    return 1;
+  }
+  if (!exemplar_ok) {
+    std::fprintf(stderr,
+                 "ERROR: exemplar gate failed (%llu breached windows, "
+                 "%llu exemplar drops)\n",
+                 static_cast<unsigned long long>(windows_breached),
+                 static_cast<unsigned long long>(exemplar_drops));
+    return 1;
+  }
+  obs::log("[reqtrace] %llu windows (%llu breached), overhead %.2f%%, "
+           "exemplars resolve, deterministic\n",
+           static_cast<unsigned long long>(windows_total),
+           static_cast<unsigned long long>(windows_breached),
+           overhead * 100.0);
+  return 0;
+}

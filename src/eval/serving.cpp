@@ -28,8 +28,15 @@ double capacity_requests_per_cycle(
   return 1.0 / cycles_per_request;
 }
 
-ServingSweepResult run_serving_sweep(std::vector<serve::RequestClass> classes,
-                                     const ServingSweepConfig& cfg) {
+namespace {
+
+/// One grid implementation for both the plain and observed sweeps: the
+/// loop structure (and so every simulated number) is shared; the observed
+/// variant only *adds* hook objects per point.
+ServingSweepResult run_grid(std::vector<serve::RequestClass> classes,
+                            const ServingSweepConfig& cfg,
+                            const ObservedSweepConfig* obs_cfg,
+                            ObservedSweepResult* observed) {
   NOCW_CHECK(!cfg.offered_loads.empty());
   NOCW_CHECK(!cfg.schedulers.empty());
   NOCW_CHECK_GT(cfg.requests_per_point, 0);
@@ -46,6 +53,7 @@ ServingSweepResult run_serving_sweep(std::vector<serve::RequestClass> classes,
   out.capacity_rps =
       cap_rpc * cfg.serve.accel.noc.clock_ghz * 1e9;
 
+  std::size_t load_index = 0;
   for (const double load : cfg.offered_loads) {
     NOCW_CHECK_GT(load, 0.0);
     const double rate_per_cycle = load * cap_rpc;
@@ -66,10 +74,43 @@ ServingSweepResult run_serving_sweep(std::vector<serve::RequestClass> classes,
       p.scheduler = sched;
       p.offered_load = load;
       p.offered_rps = rate_per_cycle * cfg.serve.accel.noc.clock_ghz * 1e9;
-      p.result = sim.run(arrivals, sched);
+      if (observed != nullptr) {
+        observed->slo.emplace_back(sim.classes().size(), obs_cfg->slo);
+        observed->sinks.emplace_back(sim.classes().size(), obs_cfg->traces);
+        serve::RunHooks hooks;
+        hooks.slo = &observed->slo.back();
+        hooks.traces = &observed->sinks.back();
+        // Per load point, shared across schedulers: the same arrival
+        // timeline gets the same trace ids under every policy.
+        hooks.trace_seed =
+            obs_cfg->trace_seed ^
+            (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(load_index + 1));
+        p.result = sim.run(arrivals, *serve::make_scheduler(sched), hooks);
+      } else {
+        p.result = sim.run(arrivals, sched);
+      }
       out.points.push_back(std::move(p));
     }
+    ++load_index;
   }
+  return out;
+}
+
+}  // namespace
+
+ServingSweepResult run_serving_sweep(std::vector<serve::RequestClass> classes,
+                                     const ServingSweepConfig& cfg) {
+  return run_grid(std::move(classes), cfg, nullptr, nullptr);
+}
+
+ObservedSweepResult run_observed_serving_sweep(
+    std::vector<serve::RequestClass> classes, const ObservedSweepConfig& cfg) {
+  ObservedSweepResult out;
+  const std::size_t points =
+      cfg.base.offered_loads.size() * cfg.base.schedulers.size();
+  out.slo.reserve(points);
+  out.sinks.reserve(points);
+  out.sweep = run_grid(std::move(classes), cfg.base, &cfg, &out);
   return out;
 }
 

@@ -70,6 +70,31 @@ struct ServingSweepResult {
 [[nodiscard]] ServingSweepResult run_serving_sweep(
     std::vector<serve::RequestClass> classes, const ServingSweepConfig& cfg);
 
+/// Observed sweep: the same grid with an SLO monitor and a request-trace
+/// sink attached to every point.
+struct ObservedSweepConfig {
+  ServingSweepConfig base;
+  /// One policy for every class (budgets in cycles; <= 0 not enforced).
+  obs::SloPolicy slo;
+  serve::ReqTraceConfig traces;
+  /// Base seed for root trace-id minting; each load point derives its own
+  /// so a trace id names one request globally across the sweep.
+  std::uint64_t trace_seed = 0x7E11;
+};
+
+struct ObservedSweepResult {
+  ServingSweepResult sweep;  ///< bit-identical to run_serving_sweep's
+  /// One finished monitor/sink per point, parallel to sweep.points.
+  std::vector<obs::SloMonitor> slo;
+  std::vector<serve::RequestTraceSink> sinks;
+};
+
+/// Run the observed grid. sweep.points carries exactly the numbers
+/// run_serving_sweep would produce for cfg.base (the hooks only observe);
+/// bench/ext_reqtrace gates that equivalence.
+[[nodiscard]] ObservedSweepResult run_observed_serving_sweep(
+    std::vector<serve::RequestClass> classes, const ObservedSweepConfig& cfg);
+
 /// Publish a finished sweep into a counter registry (prefix.*): offered /
 /// completed / shed totals as counters (unit "requests"), batch totals
 /// (unit "batches"), per-point goodput-vs-capacity fractions and the mean

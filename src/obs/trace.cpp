@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/trace_context.hpp"
 #include "util/env.hpp"
 
 namespace nocw::obs {
@@ -13,7 +14,7 @@ struct Flags {
   std::atomic<bool> enabled;
   std::atomic<std::uint32_t> categories;
   std::atomic<std::uint32_t> sample_every;
-  std::size_t capacity;
+  std::atomic<std::size_t> capacity;
 };
 
 Flags& flags() {
@@ -29,8 +30,10 @@ Flags& flags() {
     init->sample_every.store(
         static_cast<std::uint32_t>(env_int("NOCW_TRACE_SAMPLE", 1, 1)),
         std::memory_order_relaxed);
-    init->capacity = static_cast<std::size_t>(
-        env_int("NOCW_TRACE_BUF", std::int64_t{1} << 16, 16));
+    init->capacity.store(
+        static_cast<std::size_t>(
+            env_int("NOCW_TRACE_BUF", std::int64_t{1} << 16, 16)),
+        std::memory_order_relaxed);
     return init;
   }();
   return *f;
@@ -92,7 +95,27 @@ void Tracer::set_sample_every(std::uint32_t n) noexcept {
   flags().sample_every.store(std::max(1u, n), std::memory_order_relaxed);
 }
 
-std::size_t Tracer::buffer_capacity() noexcept { return flags().capacity; }
+std::size_t Tracer::buffer_capacity() noexcept {
+  return flags().capacity.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_buffer_capacity(std::size_t cap) noexcept {
+  flags().capacity.store(std::max<std::size_t>(1, cap),
+                         std::memory_order_relaxed);
+}
+
+void stamp(TraceEvent& ev, const TraceContext& ctx) noexcept {
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.parent_span_id = ctx.parent_span_id;
+}
+
+void stamp(TraceEvent& ev, std::uint64_t trace_id, std::uint64_t span_id,
+           std::uint64_t parent_span_id) noexcept {
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.parent_span_id = parent_span_id;
+}
 
 Tracer::Buffer& Tracer::local_buffer() {
   // One buffer per (tracer, thread). The raw pointer is safe because the
@@ -110,6 +133,10 @@ Tracer::Buffer& Tracer::local_buffer() {
 
 void Tracer::record(TraceEvent ev) {
   ev.ts += tl_time_base;
+  if (ev.trace_id == 0) {
+    const TraceContext& ctx = trace_context();
+    if (ctx.valid()) stamp(ev, ctx);
+  }
   Buffer& buf = local_buffer();
   ++buf.total;
   if (buf.ring.size() < buffer_capacity()) {

@@ -68,7 +68,25 @@ struct TraceEvent {
   std::uint64_t dur = 0;  ///< span length in cycles ('X' only)
   const char* arg_name = nullptr;  ///< optional single numeric arg (static)
   double arg = 0.0;
+  /// Request attribution (obs/trace_context.hpp). Zero = unattributed;
+  /// Tracer::record() fills these from the thread-local context when the
+  /// event does not carry its own, so a serving-driver replay re-parents
+  /// the accel/noc phase spans under the owning request's span tree.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
+
+struct TraceContext;  // obs/trace_context.hpp
+
+/// Copy `ctx` onto `ev`'s attribution fields. Lives here (not in callers)
+/// so tools/lint.py's [trace-ctx] rule can pin raw trace-id writes to the
+/// trace plumbing itself.
+void stamp(TraceEvent& ev, const TraceContext& ctx) noexcept;
+/// Raw-id overload for re-emitting stored span trees (serve/reqtrace):
+/// same lint boundary, no TraceContext required.
+void stamp(TraceEvent& ev, std::uint64_t trace_id, std::uint64_t span_id,
+           std::uint64_t parent_span_id) noexcept;
 
 class Tracer {
  public:
@@ -111,6 +129,11 @@ class Tracer {
 
   /// Per-thread ring capacity in events (NOCW_TRACE_BUF, default 1<<16).
   [[nodiscard]] static std::size_t buffer_capacity() noexcept;
+  /// Test-only override of the ring capacity. Takes effect for events
+  /// recorded after the call; set it before any thread records so every
+  /// ring sees one consistent bound (tests/obs/trace_test.cpp forces a
+  /// tiny ring to exercise drop-oldest accounting).
+  static void set_buffer_capacity(std::size_t cap) noexcept;
 
   static Tracer& global();
 

@@ -1,0 +1,42 @@
+#include "obs/trace_context.hpp"
+
+namespace nocw::obs {
+
+namespace {
+
+/// splitmix64 finalizer, as used by the other counter-based streams in the
+/// tree; the constant pre-xor keeps span-id derivation decorrelated from
+/// the serve/fault hash domains even under equal inputs.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+thread_local TraceContext tl_context;
+
+}  // namespace
+
+TraceContext derive_child(const TraceContext& parent,
+                          std::uint64_t slot) noexcept {
+  TraceContext child;
+  child.trace_id = parent.trace_id;
+  child.parent_span_id = parent.span_id;
+  child.span_id =
+      mix64(parent.span_id ^ 0x5350414eull ^  // "SPAN"
+            mix64(slot + 0x63746f72ull)) |
+      1u;  // never zero: zero means "no attribution"
+  return child;
+}
+
+const TraceContext& trace_context() noexcept { return tl_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) noexcept
+    : prev_(tl_context) {
+  tl_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tl_context = prev_; }
+
+}  // namespace nocw::obs

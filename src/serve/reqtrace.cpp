@@ -1,0 +1,307 @@
+#include "serve/reqtrace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace nocw::serve {
+
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+std::uint64_t rounded(units::FracCycles cycles) {
+  return units::round_cycles(cycles).value();
+}
+
+/// Tail order: worst latency first, then the earlier request — the order
+/// a tail investigation reads them in, and a total order so the retained
+/// set is independent of ingest order.
+bool tail_before(const TraceSeed& a, const TraceSeed& b) {
+  if (a.latency_cycles != b.latency_cycles) {
+    return a.latency_cycles > b.latency_cycles;
+  }
+  return a.request_id < b.request_id;
+}
+
+RequestTrace materialize(const ClassTraceTemplate& tpl,
+                         const TraceSeed& seed) {
+  return seed.shed ? build_shed_trace(tpl, seed)
+                   : build_request_trace(tpl, seed);
+}
+
+}  // namespace
+
+std::vector<ReqSpanTemplate> layout_spans(const accel::InferenceResult& result,
+                                          const accel::CompressionPlan* plan) {
+  std::vector<ReqSpanTemplate> out;
+  std::uint64_t clock = 0;
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const accel::LayerResult& lr = result.layers[i];
+    const std::uint64_t mem = rounded(lr.latency.memory_cycles);
+    const std::uint64_t comm = rounded(lr.latency.comm_cycles);
+    const std::uint64_t comp = rounded(lr.latency.compute_cycles);
+    const std::uint64_t total = rounded(lr.latency.total());
+    const std::uint64_t comm_off = mem + comm;
+    const bool compressed =
+        plan != nullptr && plan->find(lr.name) != plan->end();
+    out.push_back({"layer:" + lr.name, clock, total, i, 0});
+    out.push_back({"dram", clock, mem, i, 1});
+    out.push_back({"noc", clock + mem, comm, i, 2});
+    out.push_back({"mac", clock + comm_off, comp, i, 3});
+    if (compressed) {
+      out.push_back({"decompress", clock + comm_off, comp, i, 4});
+    }
+    clock += total;
+  }
+  return out;
+}
+
+RequestTrace build_request_trace(const ClassTraceTemplate& tpl,
+                                 const TraceSeed& seed) {
+  NOCW_CHECK(seed.root.valid());
+  NOCW_CHECK(!seed.shed);
+  RequestTrace t;
+  t.request_id = seed.request_id;
+  t.class_id = seed.class_id;
+  t.class_name = tpl.class_name;
+  t.root_trace_id = seed.root.trace_id;
+  t.latency_cycles = seed.finish_cycle - seed.arrival_cycle;
+  t.shed = false;
+
+  const std::vector<ReqSpanTemplate>& layout =
+      seed.marginal_layout ? tpl.marginal : tpl.full;
+  t.spans.reserve(3 + layout.size());
+  t.spans.push_back({"request:" + tpl.class_name, seed.root.span_id, 0,
+                     seed.arrival_cycle, t.latency_cycles});
+  const obs::TraceContext wait = obs::derive_child(seed.root, 1);
+  t.spans.push_back({"queue_wait", wait.span_id, seed.root.span_id,
+                     seed.arrival_cycle,
+                     seed.batch_start - seed.arrival_cycle});
+  const obs::TraceContext service = obs::derive_child(seed.root, 2);
+  t.spans.push_back({"service", service.span_id, seed.root.span_id,
+                     seed.svc_start, seed.svc_dur});
+
+  for (const ReqSpanTemplate& s : layout) {
+    const obs::TraceContext layer =
+        obs::derive_child(service, 3 + s.layer_index);
+    if (s.phase_slot == 0) {
+      t.spans.push_back({s.name, layer.span_id, service.span_id,
+                         seed.svc_start + s.start, s.dur});
+    } else {
+      const obs::TraceContext phase = obs::derive_child(layer, s.phase_slot);
+      t.spans.push_back({s.name, phase.span_id, layer.span_id,
+                         seed.svc_start + s.start, s.dur});
+    }
+  }
+  return t;
+}
+
+RequestTrace build_shed_trace(const ClassTraceTemplate& tpl,
+                              const TraceSeed& seed) {
+  NOCW_CHECK(seed.root.valid());
+  NOCW_CHECK(seed.shed);
+  RequestTrace t;
+  t.request_id = seed.request_id;
+  t.class_id = seed.class_id;
+  t.class_name = tpl.class_name;
+  t.root_trace_id = seed.root.trace_id;
+  t.latency_cycles = 0;
+  t.shed = true;
+  t.spans.push_back({"request:" + tpl.class_name, seed.root.span_id, 0,
+                     seed.arrival_cycle, 0});
+  const obs::TraceContext shed = obs::derive_child(seed.root, 1);
+  t.spans.push_back({"shed", shed.span_id, seed.root.span_id,
+                     seed.arrival_cycle, 0});
+  return t;
+}
+
+RequestTraceSink::RequestTraceSink(std::size_t num_classes,
+                                   const ReqTraceConfig& cfg)
+    : cfg_(cfg),
+      pending_complete_(num_classes),
+      pending_shed_(num_classes) {
+  NOCW_CHECK_GT(cfg_.tail_keep, 0u);
+}
+
+bool RequestTraceSink::wants_tail(std::uint64_t latency_cycles,
+                                  std::uint64_t request_id) const {
+  if (tail_seeds_.size() < cfg_.tail_keep) return true;
+  // Heap front = the tail-order maximum = the worst-kept entry.
+  const TraceSeed& worst_kept = tail_seeds_.front();
+  if (latency_cycles != worst_kept.latency_cycles) {
+    return latency_cycles > worst_kept.latency_cycles;
+  }
+  return request_id < worst_kept.request_id;
+}
+
+void RequestTraceSink::promote(std::optional<TraceSeed>& pending) {
+  if (!pending.has_value()) return;
+  const std::uint64_t key = pending->root.trace_id;
+  if (exemplar_seeds_.size() < cfg_.exemplar_capacity ||
+      exemplar_seeds_.count(key) > 0) {
+    exemplar_seeds_.insert_or_assign(key, *pending);
+  } else {
+    ++exemplar_drops_;
+  }
+  pending.reset();
+}
+
+void RequestTraceSink::promote_or_clear(std::size_t class_id, bool breached) {
+  if (breached) {
+    promote(pending_complete_[class_id]);
+    promote(pending_shed_[class_id]);
+  } else {
+    pending_complete_[class_id].reset();
+    pending_shed_[class_id].reset();
+  }
+}
+
+void RequestTraceSink::ingest_complete(const obs::SloIngest& ingest,
+                                       const TraceSeed& seed) {
+  NOCW_CHECK(seed.class_id < pending_complete_.size());
+  ++completions_seen_;
+  if (ingest.closed_window) {
+    promote_or_clear(seed.class_id, ingest.closed_breached);
+  }
+  if (ingest.window_max) pending_complete_[seed.class_id] = seed;
+  if (wants_tail(seed.latency_cycles, seed.request_id)) {
+    // Max-heap under tail order, so the heap front is the next eviction
+    // victim. Under overload latencies grow monotonically and nearly every
+    // completion qualifies; a sorted vector would front-insert (a memmove
+    // of the whole tail) each time, the heap costs O(log K) POD swaps.
+    tail_seeds_.push_back(seed);
+    std::push_heap(tail_seeds_.begin(), tail_seeds_.end(), tail_before);
+    if (tail_seeds_.size() > cfg_.tail_keep) {
+      std::pop_heap(tail_seeds_.begin(), tail_seeds_.end(), tail_before);
+      tail_seeds_.pop_back();
+    }
+  }
+}
+
+void RequestTraceSink::ingest_shed(const obs::SloIngest& ingest,
+                                   const TraceSeed& seed) {
+  NOCW_CHECK(seed.class_id < pending_shed_.size());
+  ++sheds_seen_;
+  if (ingest.closed_window) {
+    promote_or_clear(seed.class_id, ingest.closed_breached);
+  }
+  if (!pending_shed_[seed.class_id].has_value()) {
+    pending_shed_[seed.class_id] = seed;
+  }
+}
+
+void RequestTraceSink::finish(std::span<const ClassTraceTemplate> templates) {
+  if (finished_) return;
+  finished_ = true;
+  // The monitor's final windows close inside SloMonitor::finish() with no
+  // follow-up event to carry the verdict, so keep every pending pin: a
+  // final breached window's exemplar must be resolvable.
+  for (std::optional<TraceSeed>& p : pending_complete_) promote(p);
+  for (std::optional<TraceSeed>& p : pending_shed_) promote(p);
+  // Synthesize trees once, for exactly the retained set. The tail heap
+  // becomes the sorted (latency desc, id asc) presentation order here.
+  std::sort(tail_seeds_.begin(), tail_seeds_.end(), tail_before);
+  tail_.reserve(tail_seeds_.size());
+  for (const TraceSeed& s : tail_seeds_) {
+    NOCW_CHECK(s.class_id < templates.size());
+    tail_.push_back(materialize(templates[s.class_id], s));
+  }
+  for (const auto& [id, s] : exemplar_seeds_) {
+    NOCW_CHECK(s.class_id < templates.size());
+    exemplars_.emplace(id, materialize(templates[s.class_id], s));
+  }
+}
+
+const RequestTrace* RequestTraceSink::exemplar(
+    std::uint64_t trace_id) const noexcept {
+  const auto it = exemplars_.find(trace_id);
+  return it == exemplars_.end() ? nullptr : &it->second;
+}
+
+std::string RequestTraceSink::to_json() const {
+  NOCW_CHECK(finished_);
+  // Union of the tail sample and the promoted exemplars, one trace per
+  // line, deduplicated by request and ordered by request id.
+  struct Entry {
+    const RequestTrace* trace = nullptr;
+    bool tail = false;
+    bool exemplar = false;
+  };
+  std::map<std::uint64_t, Entry> traces;
+  for (const RequestTrace& t : tail_) {
+    Entry& e = traces[t.request_id];
+    e.trace = &t;
+    e.tail = true;
+  }
+  for (const auto& [id, t] : exemplars_) {
+    (void)id;
+    Entry& e = traces[t.request_id];
+    e.trace = &t;
+    e.exemplar = true;
+  }
+
+  std::ostringstream os;
+  os << "{\"schema\":\"nocw.reqtrace.v1\",\"tail_keep\":" << cfg_.tail_keep
+     << ",\"completions\":" << completions_seen_
+     << ",\"sheds\":" << sheds_seen_ << ",\"sampled\":" << tail_.size()
+     << ",\"dropped_trees\":" << dropped_trees()
+     << ",\"exemplars\":" << exemplars_.size()
+     << ",\"exemplar_drops\":" << exemplar_drops_ << ",\"traces\":[\n";
+  bool first = true;
+  for (const auto& [id, entry] : traces) {
+    (void)id;
+    const RequestTrace& t = *entry.trace;
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"trace\":\"" << hex_id(t.root_trace_id)
+       << "\",\"request_id\":" << t.request_id
+       << ",\"class_id\":" << t.class_id << ",\"class\":\"" << t.class_name
+       << "\",\"latency_cycles\":" << t.latency_cycles
+       << ",\"shed\":" << (t.shed ? "true" : "false")
+       << ",\"tail\":" << (entry.tail ? "true" : "false")
+       << ",\"exemplar\":" << (entry.exemplar ? "true" : "false")
+       << ",\"spans\":[";
+    bool sfirst = true;
+    for (const ReqSpan& s : t.spans) {
+      if (!sfirst) os << ",";
+      sfirst = false;
+      os << "{\"name\":\"" << s.name << "\",\"span\":\""
+         << hex_id(s.span_id) << "\",\"parent\":\""
+         << hex_id(s.parent_span_id) << "\",\"start\":" << s.start_cycle
+         << ",\"dur\":" << s.dur_cycles << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::vector<obs::TraceEvent> to_trace_events(const RequestTrace& trace) {
+  std::vector<obs::TraceEvent> out;
+  out.reserve(trace.spans.size());
+  for (const ReqSpan& s : trace.spans) {
+    obs::TraceEvent ev;
+    ev.name = s.name;
+    ev.ph = 'X';
+    ev.cat = obs::kCatServe;
+    ev.pid = obs::kPidServe;
+    ev.tid = static_cast<std::uint32_t>(trace.request_id);
+    ev.ts = s.start_cycle;
+    ev.dur = s.dur_cycles;
+    obs::stamp(ev, trace.root_trace_id, s.span_id, s.parent_span_id);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace nocw::serve

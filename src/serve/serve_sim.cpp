@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "serve/trace_ids.hpp"
 #include "util/check.hpp"
 
 namespace nocw::serve {
@@ -64,6 +66,15 @@ ServeSim::ServeSim(const ServeConfig& cfg, std::vector<RequestClass> classes)
     // never make an inference slower.
     NOCW_CHECK_LE(p.marginal_cycles.value(), p.full_cycles.value());
     profiles_.push_back(p);
+
+    // Span-layout templates for the trace sink: the same full/marginal
+    // results, flattened into the simulator's phase-span geometry once, so
+    // per-request tree synthesis never re-simulates anything.
+    ClassTraceTemplate tpl;
+    tpl.class_name = cls.name;
+    tpl.full = layout_spans(full, plan);
+    tpl.marginal = layout_spans(marginal, &resident);
+    trace_templates_.push_back(std::move(tpl));
   }
 }
 
@@ -76,6 +87,19 @@ ServeResult ServeSim::run(std::span<const Arrival> arrivals,
 ServeResult ServeSim::run(std::span<const Arrival> arrivals,
                           const Scheduler& scheduler,
                           obs::TimeSeriesSet* series) const {
+  RunHooks hooks;
+  hooks.series = series;
+  return run(arrivals, scheduler, hooks);
+}
+
+ServeResult ServeSim::run(std::span<const Arrival> arrivals,
+                          const Scheduler& scheduler,
+                          const RunHooks& hooks) const {
+  obs::TimeSeriesSet* series = hooks.series;
+  // Hooks observe the stream; nothing below feeds their state back into a
+  // decision, which is what keeps this overload bit-identical to the
+  // hook-less one (bench/ext_reqtrace gates it).
+  const bool hooked = hooks.slo != nullptr || hooks.traces != nullptr;
   const std::uint64_t max_batch = cfg_.batch.max_batch;
   const std::uint64_t max_wait = cfg_.batch.max_wait.value();
 
@@ -116,11 +140,32 @@ ServeResult ServeSim::run(std::span<const Arrival> arrivals,
       r.arrival_cycle = a.cycle;
       const std::optional<RejectReason> rejected = queue.offer(r);
       if (rejected.has_value()) {
-        NOCW_TRACE_INSTANT_ARG(obs::kCatServe,
-                               "serve.shed:" + classes_[r.class_id].name,
-                               obs::kPidServe,
-                               static_cast<std::uint32_t>(r.class_id),
-                               a.cycle, "request", static_cast<double>(r.id));
+        obs::TraceContext root;
+        if (hooked) root = request_trace_context(hooks.trace_seed, r.id);
+        {
+          const obs::ScopedTraceContext tctx(root);
+          NOCW_TRACE_INSTANT_ARG(obs::kCatServe,
+                                 "serve.shed:" + classes_[r.class_id].name,
+                                 obs::kPidServe,
+                                 static_cast<std::uint32_t>(r.class_id),
+                                 a.cycle, "request",
+                                 static_cast<double>(r.id));
+        }
+        if (hooked) {
+          obs::SloIngest ingest;
+          if (hooks.slo != nullptr) {
+            ingest = hooks.slo->on_shed(r.class_id, a.cycle, root.trace_id);
+          }
+          if (hooks.traces != nullptr) {
+            TraceSeed seed;
+            seed.request_id = r.id;
+            seed.class_id = r.class_id;
+            seed.shed = true;
+            seed.root = root;
+            seed.arrival_cycle = a.cycle;
+            hooks.traces->ingest_shed(ingest, seed);
+          }
+        }
       } else {
         NOCW_TRACE_INSTANT_ARG(obs::kCatServe,
                                "serve.enqueue:" + classes_[r.class_id].name,
@@ -134,18 +179,58 @@ ServeResult ServeSim::run(std::span<const Arrival> arrivals,
 
     // (2) Retire the in-flight batch once its finish cycle is reached.
     if (flight.has_value() && now >= flight->finish) {
-      for (Request& r : flight->requests) {
+      for (std::size_t j = 0; j < flight->requests.size(); ++j) {
+        Request& r = flight->requests[j];
         r.finish_cycle = flight->finish;
-        const auto latency =
-            static_cast<double>(r.finish_cycle - r.arrival_cycle);
+        const std::uint64_t latency_cycles =
+            r.finish_cycle - r.arrival_cycle;
+        const auto latency = static_cast<double>(latency_cycles);
         class_latency[r.class_id].push_back(latency);
         all_latency.push_back(latency);
-        NOCW_TRACE_SPAN_ARG(obs::kCatServe,
-                            "serve.request:" + classes_[r.class_id].name,
-                            obs::kPidServe,
-                            static_cast<std::uint32_t>(r.class_id),
-                            r.arrival_cycle, r.finish_cycle - r.arrival_cycle,
-                            "request", static_cast<double>(r.id));
+        obs::TraceContext root;
+        if (hooked) root = request_trace_context(hooks.trace_seed, r.id);
+        {
+          const obs::ScopedTraceContext tctx(root);
+          NOCW_TRACE_SPAN_ARG(obs::kCatServe,
+                              "serve.request:" + classes_[r.class_id].name,
+                              obs::kPidServe,
+                              static_cast<std::uint32_t>(r.class_id),
+                              r.arrival_cycle, latency_cycles, "request",
+                              static_cast<double>(r.id));
+        }
+        if (hooked) {
+          obs::SloIngest ingest;
+          if (hooks.slo != nullptr) {
+            ingest = hooks.slo->on_complete(r.class_id, r.finish_cycle,
+                                            latency_cycles, root.trace_id);
+          }
+          if (hooks.traces != nullptr) {
+            // Batch geometry for the service span: the seed (j = 0) owns
+            // the full-cost layout, followers serialize marginal slots
+            // after it (batch cost = full + (n-1)*marginal).
+            const std::uint64_t full =
+                profiles_[flight->class_id].full_cycles.value();
+            const std::uint64_t marginal =
+                profiles_[flight->class_id].marginal_cycles.value();
+            const std::uint64_t svc_start =
+                j == 0 ? flight->start
+                       : flight->start + full +
+                             (static_cast<std::uint64_t>(j) - 1) * marginal;
+            const std::uint64_t svc_dur = j == 0 ? full : marginal;
+            TraceSeed seed;
+            seed.request_id = r.id;
+            seed.class_id = r.class_id;
+            seed.marginal_layout = j > 0;
+            seed.root = root;
+            seed.arrival_cycle = r.arrival_cycle;
+            seed.batch_start = flight->start;
+            seed.svc_start = svc_start;
+            seed.svc_dur = svc_dur;
+            seed.finish_cycle = r.finish_cycle;
+            seed.latency_cycles = latency_cycles;
+            hooks.traces->ingest_complete(ingest, seed);
+          }
+        }
       }
       makespan = flight->finish;
       flight.reset();
@@ -207,6 +292,16 @@ ServeResult ServeSim::run(std::span<const Arrival> arrivals,
     ++batches;
     batched_requests += n;
     sample_depth(now);
+    // The batch is attributed to its seed request's service span: the seed
+    // owns the full-cost replay, so the accel/noc phase spans below land
+    // re-parented under exactly the tree serve/reqtrace synthesizes for it.
+    obs::TraceContext batch_ctx;
+    if (hooked) {
+      const obs::TraceContext seed_root =
+          request_trace_context(hooks.trace_seed, f.requests.front().id);
+      batch_ctx = obs::derive_child(seed_root, 2);
+    }
+    const obs::ScopedTraceContext batch_tctx(batch_ctx);
     NOCW_TRACE_SPAN_ARG(obs::kCatServe,
                         "serve.batch:" + classes_[f.class_id].name,
                         obs::kPidServe,
@@ -225,6 +320,11 @@ ServeResult ServeSim::run(std::span<const Arrival> arrivals,
     }
     flight = std::move(f);
   }
+
+  // Close the monitor's final windows, then let the sink promote its
+  // pending exemplar pins for them.
+  if (hooks.slo != nullptr) hooks.slo->finish();
+  if (hooks.traces != nullptr) hooks.traces->finish(trace_templates_);
 
   // Assemble per-class and aggregate statistics.
   ServeResult result;

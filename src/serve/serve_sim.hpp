@@ -38,9 +38,11 @@
 #include <vector>
 
 #include "accel/simulator.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "serve/arrival.hpp"
 #include "serve/queue.hpp"
+#include "serve/reqtrace.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "util/stats.hpp"
@@ -73,6 +75,21 @@ struct ClassServeStats {
   double shed_rate = 0.0;       ///< shed / offered (0 when nothing offered)
   /// Request latency (finish - arrival) in cycles.
   TailPercentiles latency;
+};
+
+/// Optional per-run observability attachments. All pointers may be null;
+/// the loop's decisions and the ServeResult are identical whether or not
+/// any hook is installed (hooks observe, they never feed back).
+struct RunHooks {
+  /// Queue-depth timeline sink ("serve.queue_depth").
+  obs::TimeSeriesSet* series = nullptr;
+  /// Streaming SLO evaluation over completions/sheds.
+  obs::SloMonitor* slo = nullptr;
+  /// Span-tree retention (tail sample + SLO exemplars). Needs trace_seed.
+  RequestTraceSink* traces = nullptr;
+  /// Seed for request_trace_context root-id minting (per sweep point, so
+  /// trace ids are stable across schedulers replaying one timeline).
+  std::uint64_t trace_seed = 0;
 };
 
 struct ServeResult {
@@ -120,10 +137,25 @@ class ServeSim {
                                 std::string_view scheduler_name,
                                 obs::TimeSeriesSet* series = nullptr) const;
 
+  /// Fully-hooked run: SLO windows stream through `hooks.slo`, span trees
+  /// through `hooks.traces` (finish() is called on both before returning).
+  /// The returned ServeResult is bit-identical to the hook-less overloads.
+  [[nodiscard]] ServeResult run(std::span<const Arrival> arrivals,
+                                const Scheduler& scheduler,
+                                const RunHooks& hooks) const;
+
+  /// Per-class span-layout templates (full + marginal) the trace sink's
+  /// trees are synthesized from.
+  [[nodiscard]] std::span<const ClassTraceTemplate> trace_templates()
+      const noexcept {
+    return trace_templates_;
+  }
+
  private:
   ServeConfig cfg_;
   std::vector<RequestClass> classes_;
   std::vector<ServiceProfile> profiles_;
+  std::vector<ClassTraceTemplate> trace_templates_;
   accel::AcceleratorSim sim_;
 };
 

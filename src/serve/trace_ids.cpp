@@ -1,0 +1,16 @@
+#include "serve/trace_ids.hpp"
+
+#include "serve/arrival.hpp"
+
+namespace nocw::serve {
+
+obs::TraceContext request_trace_context(std::uint64_t seed,
+                                        std::uint64_t request_id) noexcept {
+  obs::TraceContext ctx;
+  ctx.trace_id = arrival_hash(seed, kSaltTraceId, request_id, 0) | 1u;
+  ctx.span_id = arrival_hash(seed, kSaltTraceId, request_id, 1) | 1u;
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+}  // namespace nocw::serve

@@ -1,7 +1,8 @@
 // bench::write_summary promises: the aggregated summary is keyed by tool
 // (so repeated registration can never duplicate a key — last writer wins),
-// and a second write_summary for one tool inside one process warns and is
-// counted instead of passing silently.
+// a second write_summary for one tool inside one process warns and is
+// counted instead of passing silently, and NOCW_REGRESS_STRICT=1 promotes
+// that warning to a hard CheckError.
 #include "bench_util.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +11,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace nocw::bench {
 namespace {
@@ -23,7 +26,10 @@ class SummaryWriter : public ::testing::Test {
     // redirect where write_summary lands.
     ASSERT_EQ(::setenv("NOCW_SUMMARY_JSON", summary_.c_str(), 1), 0);
   }
-  void TearDown() override { ::unsetenv("NOCW_SUMMARY_JSON"); }
+  void TearDown() override {
+    ::unsetenv("NOCW_SUMMARY_JSON");
+    ::unsetenv("NOCW_REGRESS_STRICT");
+  }
 
   std::string read_summary_file() const {
     std::ifstream in(summary_);
@@ -75,6 +81,26 @@ TEST_F(SummaryWriter, DistinctToolsMergeWithoutWarning) {
   const std::string text = read_summary_file();
   EXPECT_EQ(count_occurrences(text, "\"tool_one\":"), 1u);
   EXPECT_EQ(count_occurrences(text, "\"tool_two\":"), 1u);
+}
+
+TEST_F(SummaryWriter, StrictModeTurnsDuplicateRegistrationIntoError) {
+  ASSERT_EQ(::setenv("NOCW_REGRESS_STRICT", "1", 1), 0);
+  const std::uint64_t before = duplicate_summary_writes();
+  write_summary(dir_, "strict_tool", {{"a", 1.0}});
+  // Distinct tools stay fine under strict mode.
+  write_summary(dir_, "strict_other", {{"b", 1.0}});
+  EXPECT_THROW(write_summary(dir_, "strict_tool", {{"a", 2.0}}), CheckError);
+  // The duplicate is still counted, and the summary keeps the first entry
+  // (the strict throw fires before any file write).
+  EXPECT_EQ(duplicate_summary_writes(), before + 1);
+  const std::string text = read_summary_file();
+  EXPECT_EQ(count_occurrences(text, "\"strict_tool\":"), 1u);
+  EXPECT_NE(text.find("\"a\":1"), std::string::npos) << text;
+  ::unsetenv("NOCW_REGRESS_STRICT");
+
+  // Back in warn-only mode the same duplicate passes again.
+  write_summary(dir_, "strict_tool", {{"a", 3.0}});
+  EXPECT_EQ(duplicate_summary_writes(), before + 2);
 }
 
 TEST_F(SummaryWriter, RewriteAcrossToolsPreservesOtherEntries) {

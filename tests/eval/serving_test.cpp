@@ -114,6 +114,59 @@ TEST_F(ServingSweep, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST_F(ServingSweep, ObservedSweepIsPureAndResolvesExemplars) {
+  set_global_threads(1);
+  const ServingSweepResult plain =
+      run_serving_sweep(small_classes(), small_config());
+
+  ObservedSweepConfig ocfg;
+  ocfg.base = small_config();
+  ocfg.slo.window_cycles = 500'000;
+  ocfg.slo.p99_budget_cycles = 1.0;  // everything breaches: exercises pins
+  ocfg.traces.tail_keep = 8;
+  const ObservedSweepResult obs_res =
+      run_observed_serving_sweep(small_classes(), ocfg);
+
+  // Hooks observe only: the sweep results are bit-identical to the plain
+  // run, point by point.
+  ASSERT_EQ(obs_res.sweep.points.size(), plain.points.size());
+  ASSERT_EQ(obs_res.slo.size(), plain.points.size());
+  ASSERT_EQ(obs_res.sinks.size(), plain.points.size());
+  for (std::size_t i = 0; i < plain.points.size(); ++i) {
+    const serve::ClassServeStats& a = plain.points[i].result.aggregate;
+    const serve::ClassServeStats& b = obs_res.sweep.points[i].result.aggregate;
+    EXPECT_EQ(a.completed, b.completed) << "point " << i;
+    EXPECT_EQ(a.shed, b.shed) << "point " << i;
+    EXPECT_EQ(a.latency.p99, b.latency.p99) << "point " << i;
+  }
+
+  // Every breached window's exemplar resolves to a sampled span tree whose
+  // root latency is the window's recorded max.
+  std::uint64_t breached = 0;
+  for (std::size_t i = 0; i < obs_res.slo.size(); ++i) {
+    for (const obs::SloWindow& w : obs_res.slo[i].windows()) {
+      if (w.breach_mask == 0) continue;
+      ++breached;
+      if (w.completions > 0) {
+        const serve::RequestTrace* ex =
+            obs_res.sinks[i].exemplar(w.exemplar_trace_id);
+        ASSERT_NE(ex, nullptr);
+        EXPECT_FALSE(ex->shed);
+        EXPECT_EQ(ex->latency_cycles, w.max_latency_cycles);
+        ASSERT_FALSE(ex->spans.empty());
+        EXPECT_EQ(ex->spans.front().dur_cycles, w.max_latency_cycles);
+      } else {
+        const serve::RequestTrace* ex =
+            obs_res.sinks[i].exemplar(w.shed_exemplar_trace_id);
+        ASSERT_NE(ex, nullptr);
+        EXPECT_TRUE(ex->shed);
+      }
+    }
+    EXPECT_EQ(obs_res.sinks[i].exemplar_drops(), 0u);
+  }
+  EXPECT_GT(breached, 0u);
+}
+
 TEST_F(ServingSweep, RegistryAnnotationPublishesTotals) {
   set_global_threads(1);
   const ServingSweepResult res =

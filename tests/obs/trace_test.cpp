@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "obs/trace_export.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nocw::obs {
 namespace {
@@ -130,6 +132,97 @@ TEST_F(TraceTest, SpanCarriesDurationAndArg) {
   ASSERT_NE(events[0].arg_name, nullptr);
   EXPECT_STREQ(events[0].arg_name, "macs");
   EXPECT_DOUBLE_EQ(events[0].arg, 64.0);
+}
+
+// Forced-tiny ring capacity (Tracer::set_buffer_capacity): drop-oldest
+// stays deterministic, counted, and exportable. Restores the configured
+// capacity so suite order never leaks the override.
+class TinyRingTest : public TraceTest {
+ protected:
+  void SetUp() override {
+    TraceTest::SetUp();
+    old_capacity_ = Tracer::buffer_capacity();
+  }
+  void TearDown() override {
+    Tracer::set_buffer_capacity(old_capacity_);
+    set_global_threads(1);
+    TraceTest::TearDown();
+  }
+
+  static std::size_t event_lines(const std::string& json) {
+    std::istringstream in(json);
+    std::string line;
+    std::size_t events = 0;
+    while (std::getline(in, line)) {
+      if (line.rfind("{\"name\":", 0) != 0) continue;
+      if (line.find("\"ph\":\"M\"") != std::string::npos) continue;  // metadata
+      ++events;
+      for (const char* key :
+           {"\"ph\":", "\"pid\":", "\"tid\":", "\"ts\":"}) {
+        EXPECT_NE(line.find(key), std::string::npos)
+            << "missing " << key << " in: " << line;
+      }
+    }
+    return events;
+  }
+
+  std::size_t old_capacity_ = 0;
+};
+
+TEST_F(TinyRingTest, ForcedTinyCapacityDropsOldestDeterministically) {
+  Tracer::set_buffer_capacity(8);
+  Tracer& t = Tracer::global();
+  for (std::size_t i = 0; i < 30; ++i) {
+    t.record_instant(kCatNoc, "e", kPidNoc, 0, i);
+  }
+  EXPECT_EQ(t.recorded(), 8u);
+  EXPECT_EQ(t.dropped(), 22u);
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), 8u);
+  // Drop-oldest: the surviving window is exactly the last 8 events.
+  EXPECT_EQ(events.front().ts, 22u);
+  EXPECT_EQ(events.back().ts, 29u);
+  // The truncated buffer still exports schema-valid Chrome JSON.
+  const std::string json = to_chrome_json(events);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(event_lines(json), 8u);
+}
+
+TEST_F(TinyRingTest, MultiThreadDropsConserveCountsAtAnyLaneCount) {
+  Tracer::set_buffer_capacity(16);
+  constexpr std::size_t kTids = 24;
+  constexpr std::size_t kPerTid = 8;
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    set_global_threads(threads);
+    Tracer& t = Tracer::global();
+    t.clear();
+    // Per-thread rings: which lane hosts which tid varies with the lane
+    // count, but every recorded-or-dropped event is accounted somewhere.
+    global_pool().parallel_for(
+        0, kTids, 1, [&t](std::size_t begin, std::size_t end, unsigned) {
+          for (std::size_t tid = begin; tid < end; ++tid) {
+            for (std::size_t i = 0; i < kPerTid; ++i) {
+              t.record_instant(kCatNoc, "mt", kPidNoc,
+                               static_cast<std::uint32_t>(tid), i);
+            }
+          }
+        });
+    EXPECT_EQ(t.recorded() + t.dropped(), kTids * kPerTid)
+        << "lanes " << threads;
+    const auto events = t.collect();
+    EXPECT_EQ(events.size(), t.recorded()) << "lanes " << threads;
+    // collect() orders (pid, tid, ts) regardless of which ring held what,
+    // and the export stays schema-valid under drops.
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      const bool ordered =
+          events[i - 1].tid < events[i].tid ||
+          (events[i - 1].tid == events[i].tid &&
+           events[i - 1].ts <= events[i].ts);
+      ASSERT_TRUE(ordered) << "lanes " << threads << " index " << i;
+    }
+    EXPECT_EQ(event_lines(to_chrome_json(events)), events.size())
+        << "lanes " << threads;
+  }
 }
 
 TEST_F(TraceTest, ChromeJsonShapeAndMetadata) {

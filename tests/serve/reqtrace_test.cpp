@@ -1,0 +1,360 @@
+// serve/reqtrace promises: template layouts that mirror the simulator's
+// phase geometry, span trees rebuilt deterministically from TraceSeeds,
+// tail-based top-K retention, SLO-pinned exemplar promotion, and a
+// line-wise nocw.reqtrace.v1 export with stamped Perfetto events.
+#include "serve/reqtrace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "serve/trace_ids.hpp"
+#include "util/check.hpp"
+
+namespace nocw::serve {
+namespace {
+
+accel::LayerResult make_layer(const std::string& name, double mem,
+                              double comm, double comp) {
+  accel::LayerResult lr;
+  lr.name = name;
+  lr.latency.memory_cycles = units::FracCycles{mem};
+  lr.latency.comm_cycles = units::FracCycles{comm};
+  lr.latency.compute_cycles = units::FracCycles{comp};
+  return lr;
+}
+
+accel::InferenceResult synthetic_result() {
+  accel::InferenceResult r;
+  r.model_name = "synthetic";
+  r.layers.push_back(make_layer("conv1", 100.0, 20.0, 30.0));  // total 150
+  r.layers.push_back(make_layer("fc1", 40.0, 10.0, 50.0));     // total 100
+  return r;
+}
+
+ClassTraceTemplate synthetic_template() {
+  ClassTraceTemplate tpl;
+  tpl.class_name = "synthetic";
+  accel::CompressionPlan plan;
+  plan["fc1"] = accel::LayerCompression{};
+  tpl.full = layout_spans(synthetic_result(), &plan);
+  tpl.marginal = layout_spans(synthetic_result(), nullptr);
+  return tpl;
+}
+
+/// A completed-request seed with the given latency, arriving at cycle 100
+/// and spending 10 cycles queued.
+TraceSeed make_seed(std::uint64_t request_id, std::uint64_t latency) {
+  TraceSeed s;
+  s.request_id = request_id;
+  s.class_id = 0;
+  s.root = request_trace_context(0x5EED, request_id);
+  s.arrival_cycle = 100;
+  s.batch_start = 110;
+  s.svc_start = 110;
+  s.svc_dur = latency - 10;
+  s.finish_cycle = 100 + latency;
+  s.latency_cycles = latency;
+  return s;
+}
+
+TraceSeed make_shed_seed(std::uint64_t request_id) {
+  TraceSeed s;
+  s.request_id = request_id;
+  s.class_id = 0;
+  s.shed = true;
+  s.root = request_trace_context(0x5EED, request_id);
+  s.arrival_cycle = 100;
+  return s;
+}
+
+std::vector<ClassTraceTemplate> one_template() {
+  std::vector<ClassTraceTemplate> t;
+  t.push_back(synthetic_template());
+  return t;
+}
+
+TEST(LayoutSpansTest, MirrorsSimulatorPhaseGeometry) {
+  accel::CompressionPlan plan;
+  plan["fc1"] = accel::LayerCompression{};
+  const std::vector<ReqSpanTemplate> spans =
+      layout_spans(synthetic_result(), &plan);
+  // conv1: layer + dram/noc/mac. fc1 adds a decompress phase.
+  ASSERT_EQ(spans.size(), 9u);
+  EXPECT_EQ(spans[0].name, "layer:conv1");
+  EXPECT_EQ(spans[0].start, 0u);
+  EXPECT_EQ(spans[0].dur, 150u);
+  EXPECT_EQ(spans[0].phase_slot, 0u);
+  EXPECT_EQ(spans[1].name, "dram");
+  EXPECT_EQ(spans[1].dur, 100u);
+  EXPECT_EQ(spans[2].name, "noc");
+  EXPECT_EQ(spans[2].start, 100u);  // after the DRAM phase
+  EXPECT_EQ(spans[3].name, "mac");
+  EXPECT_EQ(spans[3].start, 120u);  // after the NoC phase
+  EXPECT_EQ(spans[3].dur, 30u);
+  // fc1 stacks after conv1's rounded total.
+  EXPECT_EQ(spans[4].name, "layer:fc1");
+  EXPECT_EQ(spans[4].start, 150u);
+  EXPECT_EQ(spans[4].layer_index, 1u);
+  EXPECT_EQ(spans[8].name, "decompress");
+  EXPECT_EQ(spans[8].start, 150u + 50u);  // alongside fc1's mac phase
+  EXPECT_EQ(spans[8].phase_slot, 4u);
+  // Without a plan there is no decompress span.
+  EXPECT_EQ(layout_spans(synthetic_result(), nullptr).size(), 8u);
+}
+
+TEST(BuildRequestTraceTest, SpanTreeStructureAndDerivedIds) {
+  const ClassTraceTemplate tpl = synthetic_template();
+  const TraceSeed seed = make_seed(7, 560);
+  const RequestTrace t = build_request_trace(tpl, seed);
+
+  EXPECT_EQ(t.request_id, 7u);
+  EXPECT_EQ(t.root_trace_id, seed.root.trace_id);
+  EXPECT_EQ(t.latency_cycles, 560u);
+  EXPECT_FALSE(t.shed);
+  // Root + queue_wait + service + 9 template spans.
+  ASSERT_EQ(t.spans.size(), 12u);
+
+  const ReqSpan& root = t.spans[0];
+  EXPECT_EQ(root.name, "request:synthetic");
+  EXPECT_EQ(root.span_id, seed.root.span_id);
+  EXPECT_EQ(root.parent_span_id, 0u);
+  EXPECT_EQ(root.start_cycle, 100u);
+  EXPECT_EQ(root.dur_cycles, 560u);
+
+  const ReqSpan& wait = t.spans[1];
+  EXPECT_EQ(wait.name, "queue_wait");
+  EXPECT_EQ(wait.span_id, obs::derive_child(seed.root, 1).span_id);
+  EXPECT_EQ(wait.parent_span_id, root.span_id);
+  EXPECT_EQ(wait.dur_cycles, 10u);  // batch_start - arrival
+
+  const obs::TraceContext service_ctx = obs::derive_child(seed.root, 2);
+  const ReqSpan& service = t.spans[2];
+  EXPECT_EQ(service.span_id, service_ctx.span_id);
+  EXPECT_EQ(service.start_cycle, 110u);
+  EXPECT_EQ(service.dur_cycles, 550u);
+
+  // Layer spans parent on the service span; phase spans on their layer.
+  const obs::TraceContext layer0 = obs::derive_child(service_ctx, 3);
+  EXPECT_EQ(t.spans[3].span_id, layer0.span_id);
+  EXPECT_EQ(t.spans[3].parent_span_id, service_ctx.span_id);
+  EXPECT_EQ(t.spans[4].span_id, obs::derive_child(layer0, 1).span_id);
+  EXPECT_EQ(t.spans[4].parent_span_id, layer0.span_id);
+  // Template starts are relative to the service span.
+  EXPECT_EQ(t.spans[5].start_cycle, 110u + 100u);  // noc after dram
+
+  // Every id is nonzero and unique within the tree.
+  std::vector<std::uint64_t> ids;
+  for (const ReqSpan& s : t.spans) {
+    EXPECT_NE(s.span_id, 0u);
+    ids.push_back(s.span_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(BuildRequestTraceTest, MarginalLayoutSelectsResidentTemplate) {
+  const ClassTraceTemplate tpl = synthetic_template();
+  TraceSeed seed = make_seed(3, 200);
+  seed.marginal_layout = true;
+  // marginal = no compression plan = no decompress span.
+  EXPECT_EQ(build_request_trace(tpl, seed).spans.size(), 11u);
+}
+
+TEST(BuildShedTraceTest, ZeroLengthRootWithShedMarker) {
+  const ClassTraceTemplate tpl = synthetic_template();
+  const TraceSeed seed = make_shed_seed(9);
+  const RequestTrace t = build_shed_trace(tpl, seed);
+  EXPECT_TRUE(t.shed);
+  EXPECT_EQ(t.latency_cycles, 0u);
+  ASSERT_EQ(t.spans.size(), 2u);
+  EXPECT_EQ(t.spans[0].dur_cycles, 0u);
+  EXPECT_EQ(t.spans[1].name, "shed");
+  EXPECT_EQ(t.spans[1].parent_span_id, t.spans[0].span_id);
+}
+
+TEST(RequestTraceSinkTest, KeepsTopKByLatencyAndCountsDrops) {
+  ReqTraceConfig cfg;
+  cfg.tail_keep = 4;
+  RequestTraceSink sink(1, cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.ingest_complete({}, make_seed(i, 100 + 10 * i));
+  }
+  sink.finish(one_template());
+  ASSERT_EQ(sink.tail().size(), 4u);
+  // Sorted latency-descending: requests 9, 8, 7, 6.
+  EXPECT_EQ(sink.tail()[0].request_id, 9u);
+  EXPECT_EQ(sink.tail()[0].latency_cycles, 190u);
+  EXPECT_EQ(sink.tail()[3].request_id, 6u);
+  EXPECT_EQ(sink.completions_seen(), 10u);
+  EXPECT_EQ(sink.dropped_trees(), 6u);
+}
+
+TEST(RequestTraceSinkTest, TailTieBreaksOnEarlierRequestId) {
+  ReqTraceConfig cfg;
+  cfg.tail_keep = 2;
+  RequestTraceSink sink(1, cfg);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    sink.ingest_complete({}, make_seed(i, 500));
+  }
+  sink.finish(one_template());
+  ASSERT_EQ(sink.tail().size(), 2u);
+  EXPECT_EQ(sink.tail()[0].request_id, 0u);
+  EXPECT_EQ(sink.tail()[1].request_id, 1u);
+}
+
+TEST(RequestTraceSinkTest, RetentionIsIndependentOfIngestOrder) {
+  ReqTraceConfig cfg;
+  cfg.tail_keep = 3;
+  const std::vector<std::uint64_t> latencies = {300, 100, 500, 200,
+                                                400, 150, 250};
+  RequestTraceSink ascending(1, cfg);
+  RequestTraceSink descending(1, cfg);
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    ascending.ingest_complete({}, make_seed(i, latencies[i]));
+  }
+  for (std::size_t i = latencies.size(); i-- > 0;) {
+    descending.ingest_complete({}, make_seed(i, latencies[i]));
+  }
+  ascending.finish(one_template());
+  descending.finish(one_template());
+  EXPECT_EQ(ascending.to_json(), descending.to_json());
+}
+
+TEST(RequestTraceSinkTest, BreachedClosePromotesPinnedExemplar) {
+  RequestTraceSink sink(1);
+  const TraceSeed pinned = make_seed(1, 900);
+  obs::SloIngest window_max;
+  window_max.window_max = true;
+  sink.ingest_complete(window_max, pinned);
+
+  obs::SloIngest breached_close;
+  breached_close.closed_window = true;
+  breached_close.closed_breached = true;
+  sink.ingest_complete(breached_close, make_seed(2, 50));
+  sink.finish(one_template());
+
+  const RequestTrace* ex = sink.exemplar(pinned.root.trace_id);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->request_id, 1u);
+  EXPECT_EQ(ex->latency_cycles, 900u);
+}
+
+TEST(RequestTraceSinkTest, CleanCloseClearsPendingPin) {
+  RequestTraceSink sink(1);
+  obs::SloIngest window_max;
+  window_max.window_max = true;
+  sink.ingest_complete(window_max, make_seed(1, 900));
+
+  obs::SloIngest clean_close;
+  clean_close.closed_window = true;
+  sink.ingest_complete(clean_close, make_seed(2, 50));
+  sink.finish(one_template());
+  EXPECT_EQ(sink.exemplar_count(), 0u);
+}
+
+TEST(RequestTraceSinkTest, FinishPromotesPendingForFinalWindow) {
+  // The monitor's final window closes inside SloMonitor::finish() with no
+  // follow-up event, so the sink must keep its last pins.
+  RequestTraceSink sink(1);
+  obs::SloIngest window_max;
+  window_max.window_max = true;
+  const TraceSeed pinned = make_seed(5, 700);
+  sink.ingest_complete(window_max, pinned);
+  sink.finish(one_template());
+  EXPECT_NE(sink.exemplar(pinned.root.trace_id), nullptr);
+}
+
+TEST(RequestTraceSinkTest, ShedExemplarPromotesAsShedTree) {
+  RequestTraceSink sink(1);
+  const TraceSeed shed = make_shed_seed(4);
+  sink.ingest_shed({}, shed);  // first shed of the window is pinned
+
+  obs::SloIngest breached_close;
+  breached_close.closed_window = true;
+  breached_close.closed_breached = true;
+  sink.ingest_shed(breached_close, make_shed_seed(5));
+  sink.finish(one_template());
+
+  const RequestTrace* ex = sink.exemplar(shed.root.trace_id);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_TRUE(ex->shed);
+  EXPECT_EQ(sink.sheds_seen(), 2u);
+}
+
+TEST(RequestTraceSinkTest, ExemplarOverflowIsCountedNotStored) {
+  ReqTraceConfig cfg;
+  cfg.exemplar_capacity = 1;
+  RequestTraceSink sink(1, cfg);
+  obs::SloIngest window_max;
+  window_max.window_max = true;
+  obs::SloIngest breached_close;
+  breached_close.closed_window = true;
+  breached_close.closed_breached = true;
+
+  sink.ingest_complete(window_max, make_seed(1, 900));
+  sink.ingest_complete(breached_close, make_seed(2, 50));  // promotes #1
+  sink.ingest_complete(window_max, make_seed(3, 800));
+  sink.finish(one_template());  // tries to promote #3, capacity is full
+
+  EXPECT_EQ(sink.exemplar_count(), 1u);
+  EXPECT_EQ(sink.exemplar_drops(), 1u);
+}
+
+TEST(RequestTraceSinkTest, JsonExportCarriesSchemaAndAccounting) {
+  ReqTraceConfig cfg;
+  cfg.tail_keep = 2;
+  RequestTraceSink sink(1, cfg);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    sink.ingest_complete({}, make_seed(i, 100 + i));
+  }
+  sink.finish(one_template());
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"schema\":\"nocw.reqtrace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"completions\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"sampled\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_trees\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+}
+
+TEST(RequestTraceSinkTest, ExportBeforeFinishIsRejected) {
+  RequestTraceSink sink(1);
+  sink.ingest_complete({}, make_seed(1, 100));
+  EXPECT_TRUE(sink.tail().empty());  // trees materialize in finish()
+  EXPECT_THROW(static_cast<void>(sink.to_json()), CheckError);
+}
+
+TEST(ToTraceEventsTest, StampsAttributionForPerfetto) {
+  const RequestTrace t =
+      build_request_trace(synthetic_template(), make_seed(11, 300));
+  const std::vector<obs::TraceEvent> events = to_trace_events(t);
+  ASSERT_EQ(events.size(), t.spans.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ph, 'X');
+    EXPECT_EQ(events[i].cat, obs::kCatServe);
+    EXPECT_EQ(events[i].pid, obs::kPidServe);
+    EXPECT_EQ(events[i].tid, 11u);
+    EXPECT_EQ(events[i].trace_id, t.root_trace_id);
+    EXPECT_EQ(events[i].span_id, t.spans[i].span_id);
+    EXPECT_EQ(events[i].parent_span_id, t.spans[i].parent_span_id);
+    EXPECT_EQ(events[i].ts, t.spans[i].start_cycle);
+    EXPECT_EQ(events[i].dur, t.spans[i].dur_cycles);
+  }
+}
+
+TEST(TraceIdsTest, RootMintIsDeterministicAndSeedKeyed) {
+  const obs::TraceContext a = request_trace_context(0x5EED, 42);
+  const obs::TraceContext b = request_trace_context(0x5EED, 42);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_EQ(a.parent_span_id, 0u);
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a.trace_id, a.span_id);
+  // Different seed or request => different tree.
+  EXPECT_NE(request_trace_context(0x5EED, 43).trace_id, a.trace_id);
+  EXPECT_NE(request_trace_context(0x0BAD, 42).trace_id, a.trace_id);
+}
+
+}  // namespace
+}  // namespace nocw::serve

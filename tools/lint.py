@@ -82,6 +82,22 @@ Rules (all scoped to src/, the library code):
               call in policy code would fork request timing off the one
               path the determinism gates (ext_serving) actually check.
 
+  trace-ctx   constructing an obs::TraceContext by aggregate init or
+              writing a raw `.trace_id =` is forbidden outside the trace
+              plumbing (src/obs/trace_context.{hpp,cpp}, src/obs/trace.cpp)
+              and the one sanctioned root mint
+              (src/serve/trace_ids.cpp). Request span ids are pure
+              functions of (trace seed, request id) via request_trace_
+              context() + derive_child(); a second mint would fork the id
+              space and break the Perfetto-export ↔ reqtrace-JSON join
+              that ext_reqtrace gates on.
+
+  slo         the window-alignment primitive slo_window_start() may only
+              be called in src/obs/slo.{hpp,cpp}. SLO windows, burn rates
+              and exemplar pins all assume one tumbling alignment; a
+              second, subtly different alignment computed elsewhere is how
+              a breached window and its exemplar trace silently disagree.
+
 Usage:
   tools/lint.py [--root DIR]   lint the tree rooted at DIR (default: the
                                repository containing this script)
@@ -118,6 +134,9 @@ ENGINE_ALLOWED = ("src/noc/network.cpp", "src/noc/network.hpp")
 ROUTE_ALLOWED = ("src/noc/routing.cpp", "src/noc/routing.hpp",
                  "src/noc/router.cpp")
 SERVE_ALLOWED = ("src/serve/serve_sim.cpp",)
+TRACE_CTX_ALLOWED = ("src/obs/trace_context.hpp", "src/obs/trace_context.cpp",
+                     "src/obs/trace.cpp", "src/serve/trace_ids.cpp")
+SLO_ALLOWED = ("src/obs/slo.hpp", "src/obs/slo.cpp")
 
 NOCW_UNIT_RE = re.compile(r"^\s*NOCW_UNIT\((\w+)\)", re.M)
 
@@ -159,6 +178,11 @@ STEP_RE = re.compile(r"(?:\.|->)\s*step\s*\(\s*\)")
 # src/serve/ only the audited ServeSim driver may invoke the accelerator;
 # schedulers and generators must consult the precomputed ServiceProfiles.
 SIMULATE_RE = re.compile(r"(?:\.|->)\s*simulate(?:_layer)?\s*\(")
+# A TraceContext built by aggregate init (`TraceContext{...}` /
+# `TraceContext ctx{...}`, which also matches the struct definition — the
+# definition lives in an allowed file) or a raw trace-id field write.
+TRACE_CTX_RE = re.compile(r"\bTraceContext\s*\w*\s*\{|\.trace_id\s*=(?!=)")
+SLO_WINDOW_RE = re.compile(r"\bslo_window_start\s*\(")
 PRINT_RE = re.compile(r"std::printf|std::cout")
 MAIN_RE = re.compile(r"^\s*int\s+main\s*\(", re.M)
 WRITE_SUMMARY_RE = re.compile(r"\bwrite_summary\s*\(")
@@ -313,6 +337,18 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"call outside the ServeSim driver; serving code consults "
                 f"the precomputed ServiceProfiles so request timing stays "
                 f"on the one audited accelerator path")
+        if rel not in TRACE_CTX_ALLOWED and TRACE_CTX_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [trace-ctx] TraceContext construction / "
+                f"raw trace_id write outside the trace plumbing; mint roots "
+                f"with serve::request_trace_context and derive children "
+                f"with obs::derive_child so span ids stay a pure function "
+                f"of the trace seed")
+        if rel not in SLO_ALLOWED and SLO_WINDOW_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [slo] slo_window_start() outside obs/slo; "
+                f"one tumbling alignment keeps windows, burn rates and "
+                f"exemplar pins mutually consistent")
         findings.extend(lint_engine_line(rel, lineno, line))
     findings.extend(lint_metric_units(rel, text))
     return findings
@@ -328,6 +364,18 @@ def lint_bench_file(root: pathlib.Path, path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [print] std::printf/std::cout in a "
                 f"bench driver; progress lines go through obs::log() "
                 f"(NOCW_QUIET-aware), tables through bench::emit")
+        if TRACE_CTX_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [trace-ctx] TraceContext construction / "
+                f"raw trace_id write outside the trace plumbing; mint roots "
+                f"with serve::request_trace_context and derive children "
+                f"with obs::derive_child so span ids stay a pure function "
+                f"of the trace seed")
+        if SLO_WINDOW_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [slo] slo_window_start() outside obs/slo; "
+                f"one tumbling alignment keeps windows, burn rates and "
+                f"exemplar pins mutually consistent")
         findings.extend(lint_engine_line(rel, lineno, line))
     findings.extend(lint_metric_units(rel, text))
     if (MAIN_RE.search(text) and rel != PRINT_ALLOWED
@@ -412,6 +460,24 @@ def self_test() -> int:
             "            const nocw::accel::ModelSummary& s) {\n"
             "  return sim.simulate(s).latency.total().value();\n"
             "}\n",
+        "src/noc/bad_traceid.cpp":
+            "#include \"obs/trace.hpp\"\n"
+            "void forge(nocw::obs::TraceEvent& ev) { ev.trace_id = 7; }\n",
+        "src/eval/bad_mint.cpp":
+            "#include \"obs/trace_context.hpp\"\n"
+            "nocw::obs::TraceContext mint() {\n"
+            "  return nocw::obs::TraceContext{1, 2, 3};\n"
+            "}\n",
+        "src/eval/bad_slo.cpp":
+            "#include \"obs/slo.hpp\"\n"
+            "unsigned long align(unsigned long cycle) {\n"
+            "  return nocw::obs::slo_window_start(cycle, 4096);\n"
+            "}\n",
+        "bench/bad_slo_bench.cpp":
+            "#include \"obs/slo.hpp\"\n"
+            "unsigned long w(unsigned long c) {\n"
+            "  return nocw::obs::slo_window_start(c, 1000);\n"
+            "}\n",
     }
     clean = {
         "src/power/good.hpp":
@@ -484,6 +550,34 @@ def self_test() -> int:
             "unsigned long cost(unsigned long full_cycles) {\n"
             "  return full_cycles;\n"
             "}\n",
+        "src/serve/trace_ids.cpp":
+            "#include \"obs/trace_context.hpp\"\n"
+            "// the one sanctioned root mint may assemble a context\n"
+            "nocw::obs::TraceContext request_trace_context(\n"
+            "    unsigned long seed, unsigned long request_id) {\n"
+            "  nocw::obs::TraceContext ctx;\n"
+            "  ctx.trace_id = seed ^ request_id;\n"
+            "  return ctx;\n"
+            "}\n",
+        "src/obs/trace.cpp":
+            "#include \"obs/trace.hpp\"\n"
+            "// stamping attribution onto emitted events is plumbing\n"
+            "void stamp(nocw::obs::TraceEvent& ev, unsigned long id) {\n"
+            "  ev.trace_id = id;\n"
+            "}\n",
+        "src/obs/slo.cpp":
+            "#include \"obs/slo.hpp\"\n"
+            "// the alignment primitive lives (and is used) here\n"
+            "unsigned long open_window(unsigned long cycle) {\n"
+            "  return nocw::obs::slo_window_start(cycle, 4096);\n"
+            "}\n",
+        "src/eval/good_span.cpp":
+            "#include \"obs/trace_context.hpp\"\n"
+            "// ScopedTraceContext and derive_child are the sanctioned API\n"
+            "nocw::obs::TraceContext child(\n"
+            "    const nocw::obs::TraceContext& parent) {\n"
+            "  return nocw::obs::derive_child(parent, 2);\n"
+            "}\n",
     }
     expected_rules = {
         "src/power/bad_units.hpp": "[units]",
@@ -499,6 +593,10 @@ def self_test() -> int:
         "src/eval/bad_step.cpp": "[engine]",
         "tests/noc/bad_step_test.cpp": "[engine]",
         "src/serve/bad_sim.cpp": "[serve]",
+        "src/noc/bad_traceid.cpp": "[trace-ctx]",
+        "src/eval/bad_mint.cpp": "[trace-ctx]",
+        "src/eval/bad_slo.cpp": "[slo]",
+        "bench/bad_slo_bench.cpp": "[slo]",
     }
 
     with tempfile.TemporaryDirectory() as tmp:

@@ -16,8 +16,10 @@ DESIGN.md §10):
   informational   wall-clock and throughput numbers that vary with the host
                   machine (substrings: _ms, seconds, gflops, speedup,
                   wall_seconds, flops). Reported, never gated.
-  lower-better    latency, energy, cycles, _j, overhead, dropped, shed — an
-                  increase beyond tolerance is a regression.
+  lower-better    latency, energy, cycles, _j, overhead, dropped, drops,
+                  shed, burn, breach — an increase beyond tolerance is a
+                  regression (SLO burn rates, breached-window counts and
+                  trace-sampling drop counters all gate downward).
   higher-better   accuracy, cr, bit_identical, goodput — a decrease beyond
                   tolerance is a regression (speedup is informational).
   neutral         everything else (counts, point totals, ratios without a
@@ -52,7 +54,7 @@ import sys
 
 INFORMATIONAL = ("_ms", "seconds", "gflops", "speedup", "flops")
 LOWER_BETTER = ("latency", "energy", "cycles", "_j", "overhead", "dropped",
-                "shed")
+                "drops", "shed", "burn", "breach")
 HIGHER_BETTER = ("accuracy", "bit_identical", ".cr", "_cr", "goodput")
 
 
@@ -297,12 +299,38 @@ def self_test() -> int:
     if not any("shed_rate" in r for r in d.regressions):
         failures.append(f"+50% shed rate not flagged: {d.regressions}")
 
+    # 10. Tracing/SLO directions: more breached windows, a hotter burn rate
+    # and more sampler drops are all regressions; fewer dropped trees is an
+    # improvement (the tail sampler kept more of the tail).
+    trace_doc = copy.deepcopy(base_doc)
+    trace_doc["benches"]["ext_reqtrace"] = {
+        "model": "LeNet-5",
+        "metrics": {"slo.windows_breached": 20.0,
+                    "slo.max_burn_4w": 0.5,
+                    "traces.exemplar_drops": 4.0,
+                    "traces.dropped_trees": 700.0},
+    }
+    pert = copy.deepcopy(trace_doc)
+    m = pert["benches"]["ext_reqtrace"]["metrics"]
+    m["slo.windows_breached"] = 24.0
+    m["slo.max_burn_4w"] = 0.8
+    m["traces.exemplar_drops"] = 6.0
+    m["traces.dropped_trees"] = 500.0
+    d, _ = run(trace_doc, pert, strict=False)
+    for key in ("windows_breached", "max_burn_4w", "exemplar_drops"):
+        if not any(key in r for r in d.regressions):
+            failures.append(f"worse {key} not flagged: {d.regressions}")
+    if any("dropped_trees" in r for r in d.regressions) or not any(
+            "dropped_trees" in s for s in d.improvements):
+        failures.append(f"fewer dropped_trees misclassified: "
+                        f"{d.regressions} / {d.improvements}")
+
     if failures:
         print("obs_diff self-test FAILED:")
         for f in failures:
             print(f"  {f}")
         return 1
-    print("obs_diff self-test passed: 9 scenarios")
+    print("obs_diff self-test passed: 10 scenarios")
     return 0
 
 
